@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks for the hot paths under every table:
+//! codecs, the B+Tree, the interpreter, and the analyzer itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mr_analysis::analyze;
+use mr_ir::asm::parse_function;
+use mr_ir::interp::Interpreter;
+use mr_ir::record::{record, Record};
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_ir::Program;
+use mr_storage::btree::{BTreeIndex, BTreeWriter, ScanBound};
+use mr_storage::rowcodec::{decode_row, encode_row};
+use mr_storage::varint::{decode_i64, encode_i64};
+
+fn webpage_schema() -> Arc<Schema> {
+    Schema::new(
+        "WebPage",
+        vec![
+            ("url", FieldType::Str),
+            ("rank", FieldType::Int),
+            ("content", FieldType::Str),
+        ],
+    )
+    .into_arc()
+}
+
+fn sample_record(s: &Arc<Schema>, i: i64) -> Record {
+    record(
+        s,
+        vec![
+            format!("http://site{i:06}.example.com/").into(),
+            Value::Int(i % 100),
+            "lorem ipsum data query page search click web index".into(),
+        ],
+    )
+}
+
+fn select_map() -> mr_ir::function::Function {
+    parse_function(
+        r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.rank
+          r2 = const 50
+          r3 = cmp gt r1, r2
+          br r3, t, e
+        t:
+          r4 = field r0.url
+          emit r4, r1
+        e:
+          ret
+        }
+        "#,
+    )
+    .expect("parse")
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("varint");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_i64", |b| {
+        let mut buf = Vec::with_capacity(16);
+        let mut i = 0i64;
+        b.iter(|| {
+            buf.clear();
+            i = i.wrapping_add(0x9E37_79B9);
+            encode_i64(std::hint::black_box(i), &mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("decode_i64", |b| {
+        let mut buf = Vec::new();
+        encode_i64(-123_456_789, &mut buf);
+        b.iter(|| decode_i64(std::hint::black_box(&buf)).expect("decode"))
+    });
+    group.finish();
+}
+
+fn bench_rowcodec(c: &mut Criterion) {
+    let s = webpage_schema();
+    let r = sample_record(&s, 7);
+    let mut encoded = Vec::new();
+    encode_row(&r, &mut encoded).expect("encode");
+
+    let mut group = c.benchmark_group("rowcodec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_row", |b| {
+        let mut buf = Vec::with_capacity(encoded.len());
+        b.iter(|| {
+            buf.clear();
+            encode_row(std::hint::black_box(&r), &mut buf).expect("encode");
+            buf.len()
+        })
+    });
+    group.bench_function("decode_row", |b| {
+        b.iter(|| decode_row(&s, std::hint::black_box(&encoded)).expect("decode"))
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let s = webpage_schema();
+    let dir = std::env::temp_dir().join("manimal-criterion");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let path = dir.join(format!("bench-{}.idx", std::process::id()));
+    let mut w = BTreeWriter::create(&path, Arc::clone(&s)).expect("writer");
+    for i in 0..50_000i64 {
+        let r = sample_record(&s, i);
+        w.append(&Value::Int(i), &Value::Int(i), &r).expect("append");
+    }
+    w.finish().expect("finish");
+    let idx = BTreeIndex::open(&path).expect("open");
+
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("point_lookup", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7919) % 50_000;
+            idx.lookup(&Value::Int(k)).expect("lookup").len()
+        })
+    });
+    group.bench_function("range_scan_1k", |b| {
+        b.iter(|| {
+            idx.scan(
+                ScanBound::Incl(Value::Int(10_000)),
+                ScanBound::Excl(Value::Int(11_000)),
+            )
+            .expect("scan")
+            .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let s = webpage_schema();
+    let f = select_map();
+    let v: Value = sample_record(&s, 77).into();
+    let mut group = c.benchmark_group("interpreter");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("map_invocation", |b| {
+        b.iter_batched(
+            || Interpreter::new(&f),
+            |mut interp| {
+                interp
+                    .invoke_map(&f, &Value::Int(0), std::hint::black_box(&v))
+                    .expect("invoke")
+                    .emits
+                    .len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("map_invocation_reused", |b| {
+        let mut interp = Interpreter::new(&f);
+        b.iter(|| {
+            interp
+                .invoke_map(&f, &Value::Int(0), std::hint::black_box(&v))
+                .expect("invoke")
+                .emits
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let program = Program::new("bench", select_map(), webpage_schema());
+    c.bench_function("analyzer/full_report", |b| {
+        b.iter(|| analyze(std::hint::black_box(&program)))
+    });
+    let b4 = mr_workloads::pavlo::benchmark4();
+    c.bench_function("analyzer/benchmark4_loops", |b| {
+        b.iter(|| analyze(std::hint::black_box(&b4)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_varint,
+    bench_rowcodec,
+    bench_btree,
+    bench_interpreter,
+    bench_analyzer
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Table 1 — analyzer recall on the Pavlo benchmark programs.
+//!
+//! "For each cell in the table, we show whether the optimization was
+//! successfully Detected, or went Undetected, or was simply Not Present.
+//! A human observer examined the programs to see which optimizations
+//! were present. The analyzer emits no false positives."
+//!
+//! Paper values:
+//! ```text
+//! Benchmark-1 Selection        Detected     Undetected   Undetected
+//! Benchmark-2 Aggregation      Not Present  Detected     Detected
+//! Benchmark-3 Join             Detected     Not Present  Detected
+//! Benchmark-4 UDF Aggregation  Undetected   Not Present  Not Present
+//! ```
+
+use manimal::analyze;
+use mr_analysis::{DeltaOutcome, ProjectOutcome, SelectOutcome};
+use mr_workloads::pavlo::{self, HumanAnnotation, Presence};
+
+/// Grade one optimization: analyzer outcome vs human annotation.
+fn grade(detected: bool, human: Presence, miss_reason: Option<String>) -> String {
+    match (human, detected) {
+        (Presence::NotPresent, false) => "Not Present".to_string(),
+        (Presence::Present, true) => "Detected".to_string(),
+        (Presence::Present, false) => match miss_reason {
+            Some(r) => format!("Undetected ({r})"),
+            None => "Undetected".to_string(),
+        },
+        (Presence::NotPresent, true) => "FALSE POSITIVE".to_string(),
+    }
+}
+
+fn row(name: &str, desc: &str, program: &mr_ir::Program, ann: HumanAnnotation) -> Vec<String> {
+    let report = analyze(program);
+
+    let (sel_detected, sel_reason) = match &report.selection {
+        SelectOutcome::Selection(_) => (true, None),
+        SelectOutcome::Unknown(m) => (false, Some(m.to_string())),
+        _ => (false, None),
+    };
+    let (proj_detected, proj_reason) = match &report.projection {
+        ProjectOutcome::Projection(_) => (true, None),
+        ProjectOutcome::Opaque => (false, Some("opaque serialization".to_string())),
+        _ => (false, None),
+    };
+    let (delta_detected, delta_reason) = match &report.delta {
+        DeltaOutcome::Delta(_) => (true, None),
+        DeltaOutcome::Opaque => (false, Some("opaque serialization".to_string())),
+        _ => (false, None),
+    };
+
+    vec![
+        name.to_string(),
+        desc.to_string(),
+        grade(sel_detected, ann.select, sel_reason),
+        grade(proj_detected, ann.project, proj_reason),
+        grade(delta_detected, ann.delta, delta_reason),
+    ]
+}
+
+fn main() {
+    bench::banner(
+        "Table 1 — analyzer recall",
+        "The Manimal analyzer run on the four Pavlo et al. benchmark programs,\n\
+         graded against a human annotator. Paper: B1 select detected but\n\
+         projection/delta hidden by the custom AbstractTuple serialization;\n\
+         B4's Hashtable-based selection is the one serious miss.",
+    );
+
+    // Benchmark 3's analysis concerns both of its mappers; the visits
+    // side carries the selection and delta, the rankings side neither —
+    // grade the benchmark on the visits mapper like the paper does.
+    let rows = vec![
+        row(
+            "Benchmark-1",
+            "Selection",
+            &pavlo::benchmark1(9998),
+            pavlo::benchmark1_annotation(),
+        ),
+        row(
+            "Benchmark-2",
+            "Aggregation",
+            &pavlo::benchmark2(),
+            pavlo::benchmark2_annotation(),
+        ),
+        row(
+            "Benchmark-3",
+            "Join",
+            &pavlo::benchmark3_visits_mapper(1_000, 2_000),
+            pavlo::benchmark3_annotation(),
+        ),
+        row(
+            "Benchmark-4",
+            "UDF Aggregation",
+            &pavlo::benchmark4(),
+            pavlo::benchmark4_annotation(),
+        ),
+    ];
+
+    bench::print_table(
+        &["Test", "Description", "Select", "Project", "Delta-Compression"],
+        &rows,
+    );
+
+    let false_positives = rows
+        .iter()
+        .flat_map(|r| r.iter())
+        .filter(|c| c.contains("FALSE POSITIVE"))
+        .count();
+    println!("\nfalse positives: {false_positives} (paper: 0)");
+}

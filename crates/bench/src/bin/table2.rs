@@ -1,0 +1,241 @@
+//! Table 2 — end-to-end performance on the Pavlo benchmarks.
+//!
+//! Paper values (5-node Hadoop cluster, 100+ GB inputs):
+//! ```text
+//! Benchmark-1 Selection        overhead 0.1%   429.78s →    38.35s  11.21x
+//! Benchmark-2 Aggregation      overhead 20%  5,496.29s → 1,855.65s   2.96x
+//! Benchmark-3 Join             overhead 11.7% 6,077.97s →  903.75s   6.73x
+//! Benchmark-4 UDF Aggregation  overhead 0%         N/A         N/A   0
+//! ```
+//!
+//! Absolute times are not comparable (this is a single-machine fabric on
+//! megabytes, not a cluster on 100 GB); the *shape* — which benchmarks
+//! speed up, roughly how much, and that B4 gets nothing — is the
+//! reproduction target. Selectivities match the paper: 0.02% for B1 and
+//! 0.095% for B3's date window.
+
+use std::sync::Arc;
+
+use manimal::{Builtin, Manimal};
+use mr_engine::{run_job, InputBinding, InputSpec, IrMapperFactory, JobConfig, OutputSpec};
+use mr_workloads::data::{
+    generate_documents, generate_rankings, generate_uservisits, UserVisitsConfig,
+    WebPagesConfig,
+};
+use mr_workloads::pavlo;
+
+fn main() {
+    bench::banner(
+        "Table 2 — end-to-end Pavlo benchmarks",
+        "Baseline full scan (\"Hadoop\") vs. the Manimal-optimized plan, plus\n\
+         index space overhead. Paper speedups: 11.21x / 2.96x / 6.73x / n/a.",
+    );
+    let dir = bench::bench_dir("table2");
+    let mut rows = Vec::new();
+
+    // ---- Benchmark 1: Selection @ 0.02% --------------------------------
+    {
+        let input = dir.join("rankings.seq");
+        let n = bench::scaled(200_000);
+        generate_rankings(&input, n, true, 11).expect("generate rankings");
+        let manimal = Manimal::new(dir.join("b1-work")).expect("manimal");
+        // Ranks are uniform in 0..10_000: rank > 9997 keeps 2/10000 = 0.02%.
+        let program = pavlo::benchmark1(9997);
+        let submission = manimal.submit(&program, &input);
+        let entries = manimal.build_indexes(&submission).expect("index");
+        let overhead = entries
+            .iter()
+            .map(manimal::CatalogEntry::space_overhead)
+            .fold(0.0, f64::max);
+
+        let (hadoop, base) = bench::time_runs(|| {
+            manimal
+                .execute_baseline(&submission, Arc::new(Builtin::First))
+                .expect("baseline")
+        });
+        let (opt, run) = bench::time_runs(|| {
+            manimal
+                .execute(&submission, Arc::new(Builtin::First))
+                .expect("optimized")
+        });
+        assert!(run.applied.iter().any(|a| a.contains("selection")));
+        assert_eq!(run.result.output, base.result.output);
+        println!(
+            "B1 map invocations: {} -> {} (this fabric has no per-job startup\n\
+             cost, so the speedup approaches 1/selectivity instead of the\n\
+             paper's startup-bounded 11.2x)",
+            base.result.counters.map_invocations,
+            run.result.counters.map_invocations
+        );
+        rows.push(vec![
+            "Benchmark-1".into(),
+            "Selection".into(),
+            format!("{:.1}%", overhead * 100.0),
+            bench::fmt_secs(hadoop),
+            bench::fmt_secs(opt),
+            format!("{:.2}", hadoop.as_secs_f64() / opt.as_secs_f64()),
+        ]);
+    }
+
+    // ---- Benchmark 2: Aggregation ---------------------------------------
+    {
+        let input = dir.join("uservisits-b2.seq");
+        generate_uservisits(
+            &input,
+            &UserVisitsConfig {
+                visits: bench::scaled(150_000),
+                pages: bench::scaled(10_000),
+                ..UserVisitsConfig::default()
+            },
+        )
+        .expect("generate uservisits");
+        let manimal = Manimal::new(dir.join("b2-work")).expect("manimal");
+        let program = pavlo::benchmark2();
+        let submission = manimal.submit(&program, &input);
+        let entries = manimal.build_indexes(&submission).expect("index");
+        let overhead = entries
+            .iter()
+            .map(manimal::CatalogEntry::space_overhead)
+            .fold(0.0, f64::max);
+
+        let (hadoop, base) = bench::time_runs(|| {
+            manimal
+                .execute_baseline(&submission, Arc::new(Builtin::Sum))
+                .expect("baseline")
+        });
+        let (opt, run) = bench::time_runs(|| {
+            manimal
+                .execute(&submission, Arc::new(Builtin::Sum))
+                .expect("optimized")
+        });
+        assert!(!run.applied.is_empty());
+        println!(
+            "B2 input bytes: {} -> {} ({:.1}x less; the paper's 2.96x came from\n\
+             this byte reduction on a disk-bound cluster)",
+            bench::fmt_bytes(base.result.counters.input_bytes),
+            bench::fmt_bytes(run.result.counters.input_bytes),
+            base.result.counters.input_bytes as f64
+                / run.result.counters.input_bytes.max(1) as f64
+        );
+        rows.push(vec![
+            "Benchmark-2".into(),
+            "Aggregation".into(),
+            format!("{:.1}%", overhead * 100.0),
+            bench::fmt_secs(hadoop),
+            bench::fmt_secs(opt),
+            format!("{:.2}", hadoop.as_secs_f64() / opt.as_secs_f64()),
+        ]);
+    }
+
+    // ---- Benchmark 3: Join ----------------------------------------------
+    {
+        let rankings = dir.join("rankings-b3.seq");
+        let visits = dir.join("uservisits-b3.seq");
+        generate_rankings(&rankings, bench::scaled(20_000), false, 13).expect("rankings");
+        let uv_cfg = UserVisitsConfig {
+            visits: bench::scaled(150_000),
+            pages: bench::scaled(20_000),
+            ..UserVisitsConfig::default()
+        };
+        generate_uservisits(&visits, &uv_cfg).expect("uservisits");
+
+        // A date window covering 0.095% of the uniform date range.
+        let span = uv_cfg.date_end - uv_cfg.date_start;
+        let lo = uv_cfg.date_start + span / 2;
+        let hi = lo + (span as f64 * 0.00095) as i64;
+        let visits_program = pavlo::benchmark3_visits_mapper(lo, hi);
+        let rankings_program = pavlo::benchmark3_rankings_mapper();
+
+        let manimal = Manimal::new(dir.join("b3-work")).expect("manimal");
+        let submission = manimal.submit(&visits_program, &visits);
+        let entries = manimal.build_indexes(&submission).expect("index");
+        let overhead = entries
+            .iter()
+            .map(manimal::CatalogEntry::space_overhead)
+            .fold(0.0, f64::max);
+        let visits_plan = manimal.plan(&submission).expect("plan");
+        assert!(
+            visits_plan.applied.iter().any(|a| a.contains("selection")),
+            "visits side must use the date index: {:?}",
+            visits_plan.applied
+        );
+
+        let join_job = |visits_input: InputSpec| JobConfig {
+            name: "pavlo-bench3-join".into(),
+            inputs: vec![
+                InputBinding {
+                    input: InputSpec::SeqFile {
+                        path: rankings.clone(),
+                    },
+                    mapper: IrMapperFactory::new(rankings_program.mapper.clone()),
+                },
+                InputBinding {
+                    input: visits_input,
+                    mapper: IrMapperFactory::new(visits_program.mapper.clone()),
+                },
+            ],
+            num_reducers: 4,
+            reducer: Arc::new(pavlo::JoinReducer),
+            output: OutputSpec::InMemory,
+            map_parallelism: mr_engine::job::available_parallelism(),
+            sort_output: true,
+        };
+
+        let (hadoop, base_result) = bench::time_runs(|| {
+            run_job(&join_job(InputSpec::SeqFile {
+                path: visits.clone(),
+            }))
+            .expect("baseline join")
+        });
+        let (opt, opt_result) = bench::time_runs(|| {
+            run_job(&join_job(visits_plan.input.clone())).expect("optimized join")
+        });
+        assert_eq!(
+            base_result.output, opt_result.output,
+            "join outputs must match"
+        );
+        rows.push(vec![
+            "Benchmark-3".into(),
+            "Join".into(),
+            format!("{:.1}%", overhead * 100.0),
+            bench::fmt_secs(hadoop),
+            bench::fmt_secs(opt),
+            format!("{:.2}", hadoop.as_secs_f64() / opt.as_secs_f64()),
+        ]);
+    }
+
+    // ---- Benchmark 4: UDF Aggregation (nothing detected) -----------------
+    {
+        let input = dir.join("documents.seq");
+        generate_documents(
+            &input,
+            &WebPagesConfig {
+                pages: bench::scaled(5_000),
+                content_size: 600,
+                ..WebPagesConfig::default()
+            },
+        )
+        .expect("documents");
+        let manimal = Manimal::new(dir.join("b4-work")).expect("manimal");
+        let program = pavlo::benchmark4();
+        let submission = manimal.submit(&program, &input);
+        assert!(
+            submission.index_programs.is_empty(),
+            "no optimization applies to Benchmark 4"
+        );
+        rows.push(vec![
+            "Benchmark-4".into(),
+            "UDF Aggregation".into(),
+            "0%".into(),
+            "N/A".into(),
+            "N/A".into(),
+            "0".into(),
+        ]);
+    }
+
+    bench::print_table(
+        &["Test", "Description", "Space Overhead", "Hadoop", "Manimal", "Speedup"],
+        &rows,
+    );
+    println!("\npaper: 0.1% / 11.21x; 20% / 2.96x; 11.7% / 6.73x; n/a");
+}

@@ -1,0 +1,90 @@
+//! Table 3 — selection at varying selectivities.
+//!
+//! The query (paper §4.3):
+//! `SELECT pageRank, COUNT(url) FROM WebPages WHERE pageRank > t
+//!  GROUP BY pageRank`, with `t` chosen for selectivities 60%…10%.
+//!
+//! Paper speedups: 1.59 / 1.85 / 2.29 / 2.98 / 4.19 / 7.10 — roughly
+//! linear in selectivity, because the B+Tree scan reads only the
+//! emitting fraction of a 129.5 GB input.
+
+use std::sync::Arc;
+
+use manimal::{Builtin, Manimal};
+use mr_workloads::data::{generate_webpages, WebPagesConfig};
+use mr_workloads::queries::{selection_query, threshold_for_selectivity};
+
+fn main() {
+    bench::banner(
+        "Table 3 — selection vs. selectivity",
+        "SELECT pageRank, COUNT(url) WHERE pageRank > t GROUP BY pageRank.\n\
+         Paper speedups: 60%→1.59x, 50%→1.85x, 40%→2.29x, 30%→2.98x,\n\
+         20%→4.19x, 10%→7.10x.",
+    );
+    let dir = bench::bench_dir("table3");
+    let input = dir.join("webpages.seq");
+    let n = bench::scaled(60_000);
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: n,
+            content_size: 1024,
+            ..WebPagesConfig::default()
+        },
+    )
+    .expect("generate webpages");
+    let input_size = std::fs::metadata(&input).expect("meta").len();
+    println!(
+        "input: {n} pages, {} (paper: 129.5 GB)\n",
+        bench::fmt_bytes(input_size)
+    );
+
+    let mut rows = Vec::new();
+    for selectivity in [60u32, 50, 40, 30, 20, 10] {
+        let threshold = threshold_for_selectivity(selectivity);
+        let program = selection_query(threshold);
+        let manimal = Manimal::new(dir.join(format!("work-{selectivity}"))).expect("manimal");
+        let submission = manimal.submit(&program, &input);
+        manimal.build_indexes(&submission).expect("index");
+
+        let (hadoop, base) = bench::time_runs(|| {
+            manimal
+                .execute_baseline(&submission, Arc::new(Builtin::Count))
+                .expect("baseline")
+        });
+        let (opt, run) = bench::time_runs(|| {
+            manimal
+                .execute(&submission, Arc::new(Builtin::Count))
+                .expect("optimized")
+        });
+        assert!(run.applied.iter().any(|a| a.contains("selection")));
+        assert_eq!(run.result.output, base.result.output, "outputs must match");
+
+        rows.push(vec![
+            format!("{selectivity}%"),
+            bench::fmt_bytes(base.result.counters.shuffle_bytes),
+            base.result.counters.reduce_output_records.to_string(),
+            bench::fmt_secs(hadoop),
+            bench::fmt_secs(opt),
+            format!("{:.2}", hadoop.as_secs_f64() / opt.as_secs_f64()),
+            format!(
+                "{:.0}%",
+                100.0 * run.result.counters.map_invocations as f64
+                    / base.result.counters.map_invocations.max(1) as f64
+            ),
+        ]);
+    }
+
+    bench::print_table(
+        &[
+            "Selectivity",
+            "Intermediate output",
+            "Final groups",
+            "Hadoop",
+            "Manimal",
+            "Speedup",
+            "Records read",
+        ],
+        &rows,
+    );
+}

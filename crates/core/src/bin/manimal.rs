@@ -1,0 +1,264 @@
+//! `manimal` — the command-line interface to the whole pipeline.
+//!
+//! ```text
+//! manimal generate webpages  OUT.seq [--pages N] [--content BYTES]
+//! manimal generate uservisits OUT.seq [--visits N] [--pages N]
+//! manimal cat     DATA.seq  [--limit N]           # dump records
+//! manimal analyze PROG.mrasm DATA.seq             # Step 1: the analyzer
+//! manimal build   PROG.mrasm DATA.seq [--work DIR]# run index-gen programs
+//! manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer sum|count|…]
+//!                 [--baseline] [--safe-mode]      # Steps 2+3
+//! ```
+//!
+//! The program file is MR-IR assembly (see `mr_ir::asm`); the input's
+//! schema travels in the sequence-file header, so nothing else needs to
+//! be declared — exactly the paper's submission interface.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use manimal::{Builtin, Manimal};
+use mr_ir::asm::parse_function;
+use mr_ir::Program;
+use mr_storage::seqfile::SeqFileMeta;
+use mr_workloads::data::{
+    generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    let rest: Vec<&String> = it.collect();
+    match cmd {
+        "generate" => generate(&rest),
+        "cat" => cat(&rest),
+        "analyze" => analyze_cmd(&rest),
+        "build" => build(&rest),
+        "run" => run_cmd(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `manimal help`")),
+    }
+}
+
+const HELP: &str = "\
+manimal — automatic optimization for MapReduce programs
+
+  manimal generate webpages   OUT.seq [--pages N] [--content BYTES]
+  manimal generate uservisits OUT.seq [--visits N] [--pages N]
+  manimal cat     DATA.seq  [--limit N]
+  manimal analyze PROG.mrasm DATA.seq
+  manimal build   PROG.mrasm DATA.seq [--work DIR]
+  manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer R]
+                  [--baseline] [--safe-mode]
+
+reducers: sum, count, max, min, identity, first, sum-drop-key
+";
+
+fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| *a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn flag_present(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| *a == name)
+}
+
+fn positional<'a>(rest: &'a [&String], idx: usize) -> Result<&'a str, String> {
+    rest.iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Skip values that follow a --flag.
+            let pos = rest.iter().position(|b| b == *a).expect("present");
+            pos == 0 || !rest[pos - 1].starts_with("--")
+        })
+        .nth(idx)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing positional argument #{}", idx + 1))
+}
+
+fn parse_num(rest: &[&String], name: &str, default: usize) -> Result<usize, String> {
+    match flag_value(rest, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("{name} expects a number, got `{v}`")),
+    }
+}
+
+fn generate(rest: &[&String]) -> Result<(), String> {
+    let kind = positional(rest, 0)?;
+    let out = positional(rest, 1)?;
+    match kind {
+        "webpages" => {
+            let cfg = WebPagesConfig {
+                pages: parse_num(rest, "--pages", 10_000)?,
+                content_size: parse_num(rest, "--content", 510)?,
+                ..WebPagesConfig::default()
+            };
+            let n = generate_webpages(out, &cfg).map_err(|e| e.to_string())?;
+            println!("wrote {n} WebPages records to {out}");
+        }
+        "uservisits" => {
+            let cfg = UserVisitsConfig {
+                visits: parse_num(rest, "--visits", 50_000)?,
+                pages: parse_num(rest, "--pages", 10_000)?,
+                ..UserVisitsConfig::default()
+            };
+            let n = generate_uservisits(out, &cfg).map_err(|e| e.to_string())?;
+            println!("wrote {n} UserVisits records to {out}");
+        }
+        other => return Err(format!("unknown dataset `{other}` (webpages|uservisits)")),
+    }
+    Ok(())
+}
+
+fn cat(rest: &[&String]) -> Result<(), String> {
+    let path = positional(rest, 0)?;
+    let limit = parse_num(rest, "--limit", 10)?;
+    let meta = SeqFileMeta::open(path).map_err(|e| e.to_string())?;
+    println!(
+        "# {} — {} records, {} bytes, schema {}",
+        path, meta.record_count, meta.file_size, meta.schema
+    );
+    for (i, rec) in meta
+        .read_all()
+        .map_err(|e| e.to_string())?
+        .take(limit)
+        .enumerate()
+    {
+        println!("{i}: {}", rec.map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+fn load_program(prog_path: &str, input: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(prog_path)
+        .map_err(|e| format!("read {prog_path}: {e}"))?;
+    let func = parse_function(&src).map_err(|e| format!("{prog_path}: {e}"))?;
+    mr_ir::verify::verify(&func).map_err(|errs| {
+        let lines: Vec<String> = errs.iter().map(|e| format!("  {e}")).collect();
+        format!("{prog_path} failed verification:\n{}", lines.join("\n"))
+    })?;
+    let meta = SeqFileMeta::open(input).map_err(|e| e.to_string())?;
+    let name = Path::new(prog_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "program".to_string());
+    Ok(Program::new(name, func, Arc::clone(&meta.schema)))
+}
+
+fn workdir(rest: &[&String], input: &str) -> PathBuf {
+    flag_value(rest, "--work")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(input)
+                .parent()
+                .unwrap_or_else(|| Path::new("."))
+                .join("manimal-work")
+        })
+}
+
+fn analyze_cmd(rest: &[&String]) -> Result<(), String> {
+    let prog_path = positional(rest, 0)?;
+    let input = positional(rest, 1)?;
+    let program = load_program(prog_path, input)?;
+    let manimal = Manimal::new(workdir(rest, input)).map_err(|e| e.to_string())?;
+    let submission = manimal.submit(&program, input);
+    print!("{}", submission.report);
+    if submission.index_programs.is_empty() {
+        println!("no index programs recommended");
+    } else {
+        println!("recommended index-generation programs:");
+        for p in &submission.index_programs {
+            println!("  {p}");
+        }
+    }
+    Ok(())
+}
+
+fn build(rest: &[&String]) -> Result<(), String> {
+    let prog_path = positional(rest, 0)?;
+    let input = positional(rest, 1)?;
+    let program = load_program(prog_path, input)?;
+    let manimal = Manimal::new(workdir(rest, input)).map_err(|e| e.to_string())?;
+    let submission = manimal.submit(&program, input);
+    let entries = manimal
+        .build_indexes(&submission)
+        .map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("nothing to build");
+    }
+    for e in &entries {
+        println!(
+            "built {}: {} ({} bytes, {:.1}% of input)",
+            e.kind,
+            e.index_path.display(),
+            e.index_bytes,
+            e.space_overhead() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn reducer_of(name: &str) -> Result<Builtin, String> {
+    Ok(match name {
+        "sum" => Builtin::Sum,
+        "count" => Builtin::Count,
+        "max" => Builtin::Max,
+        "min" => Builtin::Min,
+        "identity" => Builtin::Identity,
+        "first" => Builtin::First,
+        "sum-drop-key" => Builtin::SumDropKey,
+        other => return Err(format!("unknown reducer `{other}`")),
+    })
+}
+
+fn run_cmd(rest: &[&String]) -> Result<(), String> {
+    let prog_path = positional(rest, 0)?;
+    let input = positional(rest, 1)?;
+    let program = load_program(prog_path, input)?;
+    let reducer = reducer_of(flag_value(rest, "--reducer").unwrap_or("count"))?;
+    let mut manimal = Manimal::new(workdir(rest, input)).map_err(|e| e.to_string())?;
+    manimal.optimizer.safe_mode = flag_present(rest, "--safe-mode");
+    let submission = manimal.submit(&program, input);
+
+    let execution = if flag_present(rest, "--baseline") {
+        manimal
+            .execute_baseline(&submission, Arc::new(reducer))
+            .map_err(|e| e.to_string())?
+    } else {
+        manimal
+            .execute(&submission, Arc::new(reducer))
+            .map_err(|e| e.to_string())?
+    };
+    eprintln!("plan: {}", execution.descriptor_summary);
+    eprintln!(
+        "elapsed: {:?}; {}",
+        execution.result.elapsed, execution.result.counters
+    );
+    for (k, v) in execution.result.output.iter().take(50) {
+        println!("{k}\t{v}");
+    }
+    let extra = execution.result.output.len().saturating_sub(50);
+    if extra > 0 {
+        println!("… {extra} more rows");
+    }
+    Ok(())
+}

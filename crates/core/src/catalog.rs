@@ -1,0 +1,488 @@
+//! The Manimal catalog (paper Fig. 1).
+//!
+//! "The optimizer uses this descriptor, plus a catalog of precomputed
+//! indexes, to choose an optimized execution plan. … Each run of an
+//! index generation program is tracked in the filesystem catalog."
+//!
+//! The catalog is a durable JSON file mapping input files to the index
+//! artifacts built for them, with enough metadata (index kind, key
+//! expression, fields) for the optimizer to match a new program's
+//! optimization descriptors against existing indexes.
+
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use mr_ir::value::Value;
+use mr_storage::btree::ScanBound;
+use mr_storage::rowcodec::{decode_value, encode_value};
+
+use crate::error::{ManimalError, Result};
+
+/// A serializable scan bound: values are hex-encoded through the
+/// self-describing value codec so the catalog stays a plain JSON file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundRepr {
+    /// Unbounded.
+    Open,
+    /// Inclusive bound (hex-encoded value).
+    Incl(String),
+    /// Exclusive bound (hex-encoded value).
+    Excl(String),
+}
+
+/// A serializable key range covered by a selection index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeRepr {
+    /// Lower bound.
+    pub low: BoundRepr,
+    /// Upper bound.
+    pub high: BoundRepr,
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+impl BoundRepr {
+    /// Encode a scan bound.
+    pub fn from_bound(b: &ScanBound) -> Result<BoundRepr> {
+        let enc = |v: &Value| -> Result<String> {
+            let mut buf = Vec::new();
+            encode_value(v, &mut buf)?;
+            Ok(hex_encode(&buf))
+        };
+        Ok(match b {
+            ScanBound::Unbounded => BoundRepr::Open,
+            ScanBound::Incl(v) => BoundRepr::Incl(enc(v)?),
+            ScanBound::Excl(v) => BoundRepr::Excl(enc(v)?),
+        })
+    }
+
+    /// Decode back to a scan bound.
+    pub fn to_bound(&self) -> Result<ScanBound> {
+        let dec = |s: &str| -> Result<Value> {
+            let bytes = hex_decode(s)
+                .ok_or_else(|| ManimalError::Catalog("bad hex in catalog".into()))?;
+            Ok(decode_value(&bytes)?.0)
+        };
+        Ok(match self {
+            BoundRepr::Open => ScanBound::Unbounded,
+            BoundRepr::Incl(s) => ScanBound::Incl(dec(s)?),
+            BoundRepr::Excl(s) => ScanBound::Excl(dec(s)?),
+        })
+    }
+}
+
+impl RangeRepr {
+    /// Encode a `(low, high)` scan range.
+    pub fn from_bounds(low: &ScanBound, high: &ScanBound) -> Result<RangeRepr> {
+        Ok(RangeRepr {
+            low: BoundRepr::from_bound(low)?,
+            high: BoundRepr::from_bound(high)?,
+        })
+    }
+
+    /// Decode back to `(low, high)`.
+    pub fn to_bounds(&self) -> Result<(ScanBound, ScanBound)> {
+        Ok((self.low.to_bound()?, self.high.to_bound()?))
+    }
+}
+
+/// What kind of physical artifact an index file is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// A clustered B+Tree on `key` (the display form of the index-key
+    /// expression), materializing only the records whose key falls in
+    /// `covered` — "a description of a view on the data from the user's
+    /// input file, which is materialized by the index generation
+    /// program" (paper §2.2). `projected_fields` is `Some` for a
+    /// combined selection+projection index that stores only the used
+    /// fields.
+    Selection {
+        /// Display form of the indexed expression, e.g. `value.rank`.
+        key: String,
+        /// Key ranges the view materializes. A later program may use
+        /// this index only if its own ranges are contained in these.
+        covered: Vec<RangeRepr>,
+        /// Stored fields for a combined selection+projection index.
+        projected_fields: Option<Vec<String>>,
+    },
+    /// A projected sequence file keeping only `fields`.
+    Projection {
+        /// Kept fields, in schema order.
+        fields: Vec<String>,
+    },
+    /// A delta-compressed file on the named integer fields;
+    /// `projected` is `Some` when the file also drops unused fields
+    /// (the combined projection+delta artifact of Pavlo Benchmark 2).
+    Delta {
+        /// Delta-encoded fields.
+        fields: Vec<String>,
+        /// Kept fields for a combined projection+delta artifact.
+        projected: Option<Vec<String>>,
+    },
+    /// A dictionary-compressed file on the named string fields.
+    Dict {
+        /// Compressed fields.
+        fields: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexKind::Selection {
+                key,
+                covered,
+                projected_fields,
+            } => {
+                write!(f, "selection B+Tree on {key}")?;
+                if let Some(fields) = projected_fields {
+                    write!(f, " storing [{}]", fields.join(", "))?;
+                }
+                if !covered.is_empty() {
+                    let ranges: Vec<String> = covered
+                        .iter()
+                        .filter_map(|r| r.to_bounds().ok())
+                        .map(|(lo, hi)| {
+                            let side = |b: &ScanBound, open: &str, incl: char, excl: char| match b
+                            {
+                                ScanBound::Unbounded => open.to_string(),
+                                ScanBound::Incl(v) => format!("{incl}{v}"),
+                                ScanBound::Excl(v) => format!("{excl}{v}"),
+                            };
+                            format!(
+                                "{}, {}",
+                                side(&lo, "(-inf", '[', '('),
+                                match &hi {
+                                    ScanBound::Unbounded => "+inf)".to_string(),
+                                    ScanBound::Incl(v) => format!("{v}]"),
+                                    ScanBound::Excl(v) => format!("{v})"),
+                                }
+                            )
+                        })
+                        .collect();
+                    write!(f, " covering {}", ranges.join(" ∪ "))?;
+                }
+                Ok(())
+            }
+            IndexKind::Projection { fields } => {
+                write!(f, "projected file [{}]", fields.join(", "))
+            }
+            IndexKind::Delta { fields, projected } => {
+                write!(f, "delta file on [{}]", fields.join(", "))?;
+                if let Some(kept) = projected {
+                    write!(f, " keeping [{}]", kept.join(", "))?;
+                }
+                Ok(())
+            }
+            IndexKind::Dict { fields } => {
+                write!(f, "dictionary file on [{}]", fields.join(", "))
+            }
+        }
+    }
+}
+
+/// One catalog entry: an index built over an input file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The original input file.
+    pub input_path: PathBuf,
+    /// The index artifact.
+    pub index_path: PathBuf,
+    /// What the artifact is.
+    pub kind: IndexKind,
+    /// Artifact size in bytes (the "space overhead" column of Table 2).
+    pub index_bytes: u64,
+    /// Original input size in bytes, for overhead reporting.
+    pub input_bytes: u64,
+}
+
+impl CatalogEntry {
+    /// Space overhead relative to the input, as a fraction.
+    pub fn space_overhead(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            self.index_bytes as f64 / self.input_bytes as f64
+        }
+    }
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct CatalogFile {
+    entries: Vec<CatalogEntry>,
+}
+
+/// The filesystem catalog.
+#[derive(Debug)]
+pub struct Catalog {
+    path: PathBuf,
+    inner: Mutex<CatalogFile>,
+}
+
+impl Catalog {
+    /// Open (or create) the catalog at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Catalog> {
+        let path = path.as_ref().to_path_buf();
+        let inner = if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            match serde_json::from_str(&text) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    // A stale or corrupt catalog (e.g. written by an
+                    // older format) must not brick the system: move it
+                    // aside and start fresh, like Hadoop ignoring a bad
+                    // metadata file.
+                    let backup = path.with_extension("json.corrupt");
+                    let _ = std::fs::rename(&path, &backup);
+                    eprintln!(
+                        "warning: unreadable catalog {} ({e}); moved to {} and starting fresh",
+                        path.display(),
+                        backup.display()
+                    );
+                    CatalogFile::default()
+                }
+            }
+        } else {
+            CatalogFile::default()
+        };
+        Ok(Catalog {
+            path,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Register an index, replacing any previous entry with the same
+    /// input path and kind, and persist.
+    pub fn register(&self, entry: CatalogEntry) -> Result<()> {
+        {
+            let mut inner = self.inner.lock();
+            inner
+                .entries
+                .retain(|e| !(e.input_path == entry.input_path && e.kind == entry.kind));
+            inner.entries.push(entry);
+        }
+        self.save()
+    }
+
+    /// All indexes registered for an input file.
+    pub fn indexes_for(&self, input: &Path) -> Vec<CatalogEntry> {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|e| e.input_path == input)
+            .cloned()
+            .collect()
+    }
+
+    /// Every entry.
+    pub fn entries(&self) -> Vec<CatalogEntry> {
+        self.inner.lock().entries.clone()
+    }
+
+    /// Drop all entries for an input (e.g. after the file changed).
+    pub fn invalidate(&self, input: &Path) -> Result<()> {
+        self.inner.lock().entries.retain(|e| e.input_path != input);
+        self.save()
+    }
+
+    fn save(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        let text = serde_json::to_string_pretty(&*inner)
+            .map_err(|e| ManimalError::Catalog(format!("serialize: {e}")))?;
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&self.path, text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("manimal-catalog-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.json", std::process::id()))
+    }
+
+    fn entry(input: &str, kind: IndexKind) -> CatalogEntry {
+        CatalogEntry {
+            input_path: PathBuf::from(input),
+            index_path: PathBuf::from(format!("{input}.idx")),
+            kind,
+            index_bytes: 100,
+            input_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn register_persist_reload() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let cat = Catalog::open(&path).unwrap();
+        cat.register(entry(
+            "/data/logs.seq",
+            IndexKind::Selection {
+                key: "value.rank".into(),
+                covered: vec![RangeRepr {
+                    low: BoundRepr::Open,
+                    high: BoundRepr::Open,
+                }],
+                projected_fields: None,
+            },
+        ))
+        .unwrap();
+        cat.register(entry(
+            "/data/logs.seq",
+            IndexKind::Projection {
+                fields: vec!["url".into()],
+            },
+        ))
+        .unwrap();
+
+        let reopened = Catalog::open(&path).unwrap();
+        let found = reopened.indexes_for(Path::new("/data/logs.seq"));
+        assert_eq!(found.len(), 2);
+        assert!(reopened
+            .indexes_for(Path::new("/data/other.seq"))
+            .is_empty());
+    }
+
+    #[test]
+    fn register_replaces_same_kind() {
+        let path = tmp("replace");
+        let _ = std::fs::remove_file(&path);
+        let cat = Catalog::open(&path).unwrap();
+        let kind = IndexKind::Delta {
+            fields: vec!["ts".into()],
+            projected: None,
+        };
+        cat.register(entry("/a", kind.clone())).unwrap();
+        let mut second = entry("/a", kind);
+        second.index_bytes = 999;
+        cat.register(second).unwrap();
+        let found = cat.indexes_for(Path::new("/a"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].index_bytes, 999);
+    }
+
+    #[test]
+    fn invalidate_removes_everything_for_input() {
+        let path = tmp("invalidate");
+        let _ = std::fs::remove_file(&path);
+        let cat = Catalog::open(&path).unwrap();
+        cat.register(entry(
+            "/a",
+            IndexKind::Dict {
+                fields: vec!["u".into()],
+            },
+        ))
+        .unwrap();
+        cat.register(entry(
+            "/b",
+            IndexKind::Dict {
+                fields: vec!["u".into()],
+            },
+        ))
+        .unwrap();
+        cat.invalidate(Path::new("/a")).unwrap();
+        assert!(cat.indexes_for(Path::new("/a")).is_empty());
+        assert_eq!(cat.indexes_for(Path::new("/b")).len(), 1);
+    }
+
+    #[test]
+    fn space_overhead_reported() {
+        let e = entry(
+            "/a",
+            IndexKind::Projection {
+                fields: vec!["x".into()],
+            },
+        );
+        assert!((e.space_overhead() - 0.1).abs() < 1e-9);
+    }
+}
+
+
+#[cfg(test)]
+mod range_repr_tests {
+    use super::*;
+
+    #[test]
+    fn bound_repr_roundtrip() {
+        for b in [
+            ScanBound::Unbounded,
+            ScanBound::Incl(Value::Int(42)),
+            ScanBound::Excl(Value::str("http://x")),
+            ScanBound::Incl(Value::Double(2.5)),
+        ] {
+            let repr = BoundRepr::from_bound(&b).unwrap();
+            assert_eq!(repr.to_bound().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn range_repr_json_roundtrip() {
+        let r = RangeRepr::from_bounds(
+            &ScanBound::Excl(Value::Int(1)),
+            &ScanBound::Unbounded,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RangeRepr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let (lo, hi) = back.to_bounds().unwrap();
+        assert_eq!(lo, ScanBound::Excl(Value::Int(1)));
+        assert_eq!(hi, ScanBound::Unbounded);
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        assert!(BoundRepr::Incl("zz".into()).to_bound().is_err());
+        assert!(BoundRepr::Incl("abc".into()).to_bound().is_err());
+    }
+}
+
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn index_kind_display_is_readable() {
+        let kind = IndexKind::Selection {
+            key: "value.rank".into(),
+            covered: vec![RangeRepr::from_bounds(
+                &ScanBound::Excl(Value::Int(90)),
+                &ScanBound::Unbounded,
+            )
+            .unwrap()],
+            projected_fields: Some(vec!["url".into(), "rank".into()]),
+        };
+        let text = kind.to_string();
+        assert!(text.contains("selection B+Tree on value.rank"), "{text}");
+        assert!(text.contains("storing [url, rank]"), "{text}");
+        assert!(text.contains("(90, +inf)"), "{text}");
+
+        assert_eq!(
+            IndexKind::Dict { fields: vec!["u".into()] }.to_string(),
+            "dictionary file on [u]"
+        );
+    }
+}

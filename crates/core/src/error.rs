@@ -1,0 +1,56 @@
+//! Top-level Manimal errors.
+
+use std::fmt;
+
+/// Any failure in the Manimal pipeline.
+#[derive(Debug)]
+pub enum ManimalError {
+    /// Storage-layer failure.
+    Storage(mr_storage::StorageError),
+    /// Execution-fabric failure.
+    Engine(mr_engine::EngineError),
+    /// Catalog corruption or serialization failure.
+    Catalog(String),
+    /// Index generation failed.
+    IndexGen(String),
+    /// The optimizer was asked for an impossible plan.
+    Plan(String),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ManimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManimalError::Storage(e) => write!(f, "storage: {e}"),
+            ManimalError::Engine(e) => write!(f, "engine: {e}"),
+            ManimalError::Catalog(e) => write!(f, "catalog: {e}"),
+            ManimalError::IndexGen(e) => write!(f, "index generation: {e}"),
+            ManimalError::Plan(e) => write!(f, "planning: {e}"),
+            ManimalError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManimalError {}
+
+impl From<mr_storage::StorageError> for ManimalError {
+    fn from(e: mr_storage::StorageError) -> Self {
+        ManimalError::Storage(e)
+    }
+}
+
+impl From<mr_engine::EngineError> for ManimalError {
+    fn from(e: mr_engine::EngineError) -> Self {
+        ManimalError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ManimalError {
+    fn from(e: std::io::Error) -> Self {
+        ManimalError::Io(e)
+    }
+}
+
+/// Manimal result alias.
+pub type Result<T> = std::result::Result<T, ManimalError>;

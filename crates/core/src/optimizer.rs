@@ -1,0 +1,523 @@
+//! The Manimal optimizer (paper §2.2 Step 2).
+//!
+//! "The optimizer examines the descriptors, the user's input file, and
+//! the catalog to choose the most efficient execution plan currently
+//! possible. The resulting execution descriptor indicates to the final
+//! execution fabric which index file to use, and which optimizations
+//! should be applied. … It currently decides using a simple hard-coded
+//! ranking of applicable optimizations."
+//!
+//! Ranking implemented here (most to least preferred):
+//! selection+projection B+Tree → selection B+Tree → projection+delta →
+//! projection → dictionary/direct-operation → delta → full scan.
+//! The one conflict the paper names — selection vs. delta-compression —
+//! resolves in selection's favour by that ordering.
+//!
+//! The optimizer may also produce "a potentially-modified copy of the
+//! user's original program" (§2): for direct-operation plans, string
+//! constants compared against a dictionary-compressed field are
+//! rewritten into their dictionary codes.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use mr_analysis::cfg::Cfg;
+use mr_analysis::dataflow::ReachingDefs;
+use mr_analysis::ranges::{Endpoint, KeyRange};
+use mr_analysis::{AnalysisReport, SelectOutcome};
+use mr_engine::InputSpec;
+use mr_ir::function::{Function, Program};
+use mr_ir::instr::{CmpOp, Instr, ParamId};
+use mr_ir::value::Value;
+use mr_storage::btree::ScanBound;
+use mr_storage::dict::DictFileReader;
+
+use crate::catalog::{Catalog, CatalogEntry, IndexKind};
+use crate::error::Result;
+
+/// Optimizer knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizerConfig {
+    /// The "safe mode" of paper §2 footnote 2: refuse plans that would
+    /// change how often side-effecting code runs (i.e. selection indexes
+    /// over programs with detected side effects).
+    pub safe_mode: bool,
+}
+
+/// The plan handed to the execution fabric (paper Fig. 1's "execution
+/// descriptor": optimization label, index file, predicate ranges).
+pub struct ExecutionDescriptor {
+    /// The physical input to read.
+    pub input: InputSpec,
+    /// The (possibly rewritten) map function to run.
+    pub mapper: Function,
+    /// Human-readable list of applied optimizations.
+    pub applied: Vec<String>,
+    /// The catalog entry backing the plan, if any.
+    pub index: Option<CatalogEntry>,
+}
+
+impl std::fmt::Display for ExecutionDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.applied.is_empty() {
+            write!(f, "full scan (no optimization applied)")
+        } else {
+            write!(f, "applied: {}", self.applied.join(" + "))
+        }
+    }
+}
+
+/// Choose the best plan for `program` over `input` given the catalog.
+pub fn choose_plan(
+    program: &Program,
+    report: &AnalysisReport,
+    catalog: &Catalog,
+    input: &Path,
+    config: OptimizerConfig,
+) -> Result<ExecutionDescriptor> {
+    // Stale catalog entries (artifact deleted from disk) are skipped
+    // rather than crashing the job.
+    let indexes: Vec<CatalogEntry> = catalog
+        .indexes_for(input)
+        .into_iter()
+        .filter(|e| e.index_path.exists())
+        .collect();
+    let full_scan = || ExecutionDescriptor {
+        input: InputSpec::SeqFile {
+            path: input.to_path_buf(),
+        },
+        mapper: program.mapper.clone(),
+        applied: vec![],
+        index: None,
+    };
+
+    // 1. Selection B+Tree (optionally combined with projection).
+    if let SelectOutcome::Selection(sel) = &report.selection {
+        let selection_safe = !config.safe_mode || report.side_effects.is_empty();
+        if let (Some(plan), true) = (&sel.plan, selection_safe) {
+            if !plan.is_full_scan() {
+                let key_str = plan.key.to_string();
+                // Prefer the combined selection+projection entry.
+                let mut candidates: Vec<&CatalogEntry> = indexes
+                    .iter()
+                    .filter(|e| {
+                        matches!(&e.kind, IndexKind::Selection { key, .. } if *key == key_str)
+                    })
+                    .collect();
+                candidates.sort_by_key(|e| {
+                    // projected first
+                    match &e.kind {
+                        IndexKind::Selection {
+                            projected_fields: Some(_),
+                            ..
+                        } => 0,
+                        _ => 1,
+                    }
+                });
+                let required: Vec<(ScanBound, ScanBound)> =
+                    plan.ranges.iter().map(range_to_bounds).collect();
+                for entry in candidates {
+                    let IndexKind::Selection {
+                        projected_fields,
+                        covered,
+                        ..
+                    } = &entry.kind
+                    else {
+                        continue;
+                    };
+                    // The index materializes a view; it is usable only
+                    // when every range this program needs is contained
+                    // in a range the view covers.
+                    let covered_bounds: Vec<(ScanBound, ScanBound)> = covered
+                        .iter()
+                        .filter_map(|r| r.to_bounds().ok())
+                        .collect();
+                    let all_covered = required.iter().all(|req| {
+                        covered_bounds.iter().any(|cov| range_covers(cov, req))
+                    });
+                    if !all_covered {
+                        continue;
+                    }
+                    // A projected index is usable only if it stores every
+                    // field this program can observe.
+                    if let Some(stored) = projected_fields {
+                        let needed = match report.projection.descriptor() {
+                            Some(p) => p.used_fields.clone(),
+                            // Program may observe anything: projected
+                            // index unusable.
+                            None => continue,
+                        };
+                        if !needed.iter().all(|f| stored.contains(f)) {
+                            continue;
+                        }
+                    }
+                    let ranges = plan.ranges.iter().map(range_to_bounds).collect();
+                    let mut applied = vec![format!("selection(index on {key_str})")];
+                    if projected_fields.is_some() {
+                        applied.push("projection(clustered)".to_string());
+                    }
+                    return Ok(ExecutionDescriptor {
+                        input: InputSpec::BTreeRanges {
+                            path: entry.index_path.clone(),
+                            ranges,
+                        },
+                        mapper: program.mapper.clone(),
+                        applied,
+                        index: Some(entry.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. Projection(+delta) artifacts.
+    if let Some(proj) = report.projection.descriptor() {
+        // Combined projection+delta first.
+        for entry in &indexes {
+            if let IndexKind::Delta {
+                projected: Some(kept),
+                fields,
+            } = &entry.kind
+            {
+                if proj.used_fields.iter().all(|f| kept.contains(f)) {
+                    return Ok(ExecutionDescriptor {
+                        input: InputSpec::Delta {
+                            path: entry.index_path.clone(),
+                            widen_to: Some(Arc::clone(&program.value_schema)),
+                        },
+                        mapper: program.mapper.clone(),
+                        applied: vec![
+                            format!("projection(keep [{}])", kept.join(", ")),
+                            format!("delta-compression([{}])", fields.join(", ")),
+                        ],
+                        index: Some(entry.clone()),
+                    });
+                }
+            }
+        }
+        for entry in &indexes {
+            if let IndexKind::Projection { fields } = &entry.kind {
+                if proj.used_fields.iter().all(|f| fields.contains(f)) {
+                    return Ok(ExecutionDescriptor {
+                        input: InputSpec::Projected {
+                            path: entry.index_path.clone(),
+                            source_schema: Arc::clone(&program.value_schema),
+                        },
+                        mapper: program.mapper.clone(),
+                        applied: vec![format!("projection(keep [{}])", fields.join(", "))],
+                        index: Some(entry.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Direct-operation on dictionary-compressed data.
+    if let Some(direct) = report.direct.descriptor() {
+        for entry in &indexes {
+            if let IndexKind::Dict { fields } = &entry.kind {
+                if direct.fields.iter().all(|f| fields.contains(f))
+                    && fields.iter().all(|f| direct.fields.contains(f))
+                {
+                    let mapper = rewrite_dict_constants(
+                        &program.mapper,
+                        fields,
+                        &entry.index_path,
+                    )?;
+                    return Ok(ExecutionDescriptor {
+                        input: InputSpec::Dict {
+                            path: entry.index_path.clone(),
+                        },
+                        mapper,
+                        applied: vec![format!(
+                            "direct-operation(dictionary on [{}])",
+                            fields.join(", ")
+                        )],
+                        index: Some(entry.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    // 4. Plain delta compression.
+    if report.delta.descriptor().is_some() {
+        for entry in &indexes {
+            if let IndexKind::Delta {
+                projected: None,
+                fields,
+            } = &entry.kind
+            {
+                return Ok(ExecutionDescriptor {
+                    input: InputSpec::Delta {
+                        path: entry.index_path.clone(),
+                        widen_to: None,
+                    },
+                    mapper: program.mapper.clone(),
+                    applied: vec![format!("delta-compression([{}])", fields.join(", "))],
+                    index: Some(entry.clone()),
+                });
+            }
+        }
+    }
+
+    Ok(full_scan())
+}
+
+/// `cov` admits every key that `req` admits.
+fn range_covers(cov: &(ScanBound, ScanBound), req: &(ScanBound, ScanBound)) -> bool {
+    low_covers(&cov.0, &req.0) && high_covers(&cov.1, &req.1)
+}
+
+/// The covering low bound admits everything the required low bound does.
+fn low_covers(cov: &ScanBound, req: &ScanBound) -> bool {
+    match (cov, req) {
+        (ScanBound::Unbounded, _) => true,
+        (_, ScanBound::Unbounded) => false,
+        (ScanBound::Incl(c), ScanBound::Incl(r)) => c <= r,
+        (ScanBound::Incl(c), ScanBound::Excl(r)) => c <= r,
+        (ScanBound::Excl(c), ScanBound::Incl(r)) => c < r,
+        (ScanBound::Excl(c), ScanBound::Excl(r)) => c <= r,
+    }
+}
+
+/// The covering high bound admits everything the required high bound
+/// does.
+fn high_covers(cov: &ScanBound, req: &ScanBound) -> bool {
+    match (cov, req) {
+        (ScanBound::Unbounded, _) => true,
+        (_, ScanBound::Unbounded) => false,
+        (ScanBound::Incl(c), ScanBound::Incl(r)) => c >= r,
+        (ScanBound::Incl(c), ScanBound::Excl(r)) => c >= r,
+        (ScanBound::Excl(c), ScanBound::Incl(r)) => c > r,
+        (ScanBound::Excl(c), ScanBound::Excl(r)) => c >= r,
+    }
+}
+
+/// Convert an analyzer key range into B+Tree scan bounds.
+pub fn range_to_bounds(range: &KeyRange) -> (ScanBound, ScanBound) {
+    let low = match &range.low {
+        Endpoint::Open => ScanBound::Unbounded,
+        Endpoint::Incl(v) => ScanBound::Incl(v.clone()),
+        Endpoint::Excl(v) => ScanBound::Excl(v.clone()),
+    };
+    let high = match &range.high {
+        Endpoint::Open => ScanBound::Unbounded,
+        Endpoint::Incl(v) => ScanBound::Incl(v.clone()),
+        Endpoint::Excl(v) => ScanBound::Excl(v.clone()),
+    };
+    (low, high)
+}
+
+/// Produce the "potentially-modified copy of the user's original
+/// program": rewrite string constants that are equality-compared against
+/// a dictionary-compressed field into their integer codes. Constants
+/// absent from the dictionary become a sentinel code that matches no
+/// record.
+fn rewrite_dict_constants(
+    func: &Function,
+    dict_fields: &[String],
+    dict_path: &Path,
+) -> Result<Function> {
+    let reader = DictFileReader::open(dict_path)?;
+    let cfg = Cfg::build(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+
+    // Find Cmp(Eq/Ne) instructions where one operand reaches only loads
+    // of a dict field and the other only string constants; collect the
+    // constant-instruction pcs with the field they compare against.
+    let mut rewrites: Vec<(usize, String)> = Vec::new();
+    for (pc, instr) in func.instrs.iter().enumerate() {
+        let Instr::Cmp { op, lhs, rhs, .. } = instr else {
+            continue;
+        };
+        if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+            continue;
+        }
+        for (a, b) in [(lhs, rhs), (rhs, lhs)] {
+            let a_defs = rd.reaching(func, &cfg, pc, *a);
+            let field = a_defs.iter().try_fold(None::<String>, |acc, &d| {
+                match &func.instrs[d] {
+                    Instr::GetField { obj, field, .. } if dict_fields.contains(field) => {
+                        let from_value = rd.reaching(func, &cfg, d, *obj).into_iter().all(
+                            |od| {
+                                matches!(
+                                    func.instrs[od],
+                                    Instr::LoadParam {
+                                        param: ParamId::Value,
+                                        ..
+                                    }
+                                )
+                            },
+                        );
+                        if !from_value {
+                            return Err(());
+                        }
+                        match &acc {
+                            Some(f) if f != field => Err(()),
+                            _ => Ok(Some(field.clone())),
+                        }
+                    }
+                    _ => Err(()),
+                }
+            });
+            let Ok(Some(field)) = field else { continue };
+            for d in rd.reaching(func, &cfg, pc, *b) {
+                if matches!(&func.instrs[d], Instr::Const { val, .. } if val.as_str().is_some())
+                {
+                    rewrites.push((d, field.clone()));
+                }
+            }
+        }
+    }
+
+    let mut out = func.clone();
+    for (pc, field) in rewrites {
+        let Instr::Const { val, .. } = &mut out.instrs[pc] else {
+            continue;
+        };
+        let Some(s) = val.as_str() else { continue };
+        let code = reader
+            .dictionary(&field)
+            .and_then(|d| d.code_of(s))
+            .unwrap_or(-1); // matches no dictionary code
+        *val = Value::Int(code);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::record::record;
+    use mr_ir::schema::{FieldType, Schema};
+    use mr_storage::dict::DictFileWriter;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("manimal-optimizer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn coverage_logic() {
+        let cov = (
+            ScanBound::Excl(Value::Int(10)),
+            ScanBound::Unbounded,
+        );
+        // Narrower required range: covered.
+        assert!(range_covers(
+            &cov,
+            &(ScanBound::Incl(Value::Int(50)), ScanBound::Unbounded)
+        ));
+        // Wider: not covered.
+        assert!(!range_covers(
+            &cov,
+            &(ScanBound::Incl(Value::Int(5)), ScanBound::Unbounded)
+        ));
+        // Excl(10) does not admit 10, Incl(10) requires it.
+        assert!(!range_covers(
+            &cov,
+            &(ScanBound::Incl(Value::Int(10)), ScanBound::Unbounded)
+        ));
+        assert!(range_covers(
+            &cov,
+            &(ScanBound::Excl(Value::Int(10)), ScanBound::Incl(Value::Int(99)))
+        ));
+    }
+
+    #[test]
+    fn range_conversion() {
+        let r = KeyRange {
+            low: Endpoint::Excl(Value::Int(1)),
+            high: Endpoint::Open,
+        };
+        let (lo, hi) = range_to_bounds(&r);
+        assert_eq!(lo, ScanBound::Excl(Value::Int(1)));
+        assert_eq!(hi, ScanBound::Unbounded);
+    }
+
+    #[test]
+    fn dict_constant_rewrite() {
+        // Build a dict file with a known dictionary.
+        let schema = Schema::new(
+            "V",
+            vec![("destURL", FieldType::Str), ("n", FieldType::Int)],
+        )
+        .into_arc();
+        let path = tmp("dict");
+        let mut w =
+            DictFileWriter::create(&path, Arc::clone(&schema), &["destURL".into()]).unwrap();
+        for u in ["http://a", "http://b"] {
+            w.append(&record(&schema, vec![u.into(), 1.into()])).unwrap();
+        }
+        w.finish().unwrap();
+
+        let func = parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = const "http://b"
+              r3 = cmp eq r1, r2
+              br r3, t, e
+            t:
+              r4 = field r0.n
+              r5 = const "unrelated"
+              emit r5, r4
+            e:
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let rewritten =
+            rewrite_dict_constants(&func, &["destURL".to_string()], &path).unwrap();
+        // The compared constant becomes its code (http://b inserted
+        // second → code 1)…
+        assert_eq!(
+            rewritten.instrs[2],
+            Instr::Const {
+                dst: mr_ir::instr::Reg(2),
+                val: Value::Int(1)
+            }
+        );
+        // …and the unrelated constant is untouched.
+        assert!(matches!(
+            &rewritten.instrs[6],
+            Instr::Const { val, .. } if val.as_str() == Some("unrelated")
+        ));
+    }
+
+    #[test]
+    fn dict_rewrite_absent_constant_gets_sentinel() {
+        let schema = Schema::new("V", vec![("u", FieldType::Str)]).into_arc();
+        let path = tmp("dict-absent");
+        let mut w = DictFileWriter::create(&path, Arc::clone(&schema), &["u".into()]).unwrap();
+        w.append(&record(&schema, vec!["present".into()])).unwrap();
+        w.finish().unwrap();
+        let func = parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.u
+              r2 = const "absent"
+              r3 = cmp eq r1, r2
+              br r3, t, e
+            t:
+              emit r1, r3
+            e:
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let rewritten = rewrite_dict_constants(&func, &["u".to_string()], &path).unwrap();
+        assert!(matches!(
+            &rewritten.instrs[2],
+            Instr::Const { val, .. } if *val == Value::Int(-1)
+        ));
+    }
+}

@@ -1,0 +1,214 @@
+//! The optimizer's hard-coded plan ranking (paper §2.2 Step 2),
+//! exercised against a catalog holding every artifact at once.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use manimal::{Builtin, Manimal};
+use mr_engine::InputSpec;
+use mr_workloads::data::{generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig};
+use mr_workloads::queries::{
+    duration_sum_query, projection_query, selection_query, threshold_for_selectivity,
+};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("manimal-ranking")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn selection_outranks_projection_and_delta() {
+    let dir = tmpdir("sel-first");
+    let input = dir.join("webpages.seq");
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: 2000,
+            content_size: 100,
+            ..WebPagesConfig::default()
+        },
+    )
+    .unwrap();
+
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+    // Build the combined selection index via the normal path…
+    let program = projection_query(threshold_for_selectivity(10));
+    let submission = manimal.submit(&program, &input);
+    manimal.build_indexes(&submission).unwrap();
+    // …and also a standalone projection artifact for the same input.
+    let proj = manimal::IndexGenProgram {
+        kind: manimal::IndexKind::Projection {
+            fields: vec!["url".into(), "rank".into()],
+        },
+        input: input.clone(),
+        output: dir.join("webpages.proj.idx"),
+        key_expr: None,
+        view_ranges: vec![],
+    };
+    manimal.build_index(&proj).unwrap();
+
+    // With both available, selection must win.
+    let plan = manimal.plan(&submission).unwrap();
+    assert!(
+        matches!(plan.input, InputSpec::BTreeRanges { .. }),
+        "selection index should outrank projection: {:?}",
+        plan.applied
+    );
+}
+
+#[test]
+fn selection_over_delta_conflict_resolves_to_selection() {
+    // Paper §2.2 footnote 3: "we currently favor selection over
+    // delta-compression." A selection query over WebPages (numeric rank
+    // ⇒ delta also applies): the recommended artifact set must contain
+    // a selection index and no plain delta artifact.
+    let dir = tmpdir("conflict");
+    let input = dir.join("webpages.seq");
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: 1000,
+            content_size: 64,
+            ..WebPagesConfig::default()
+        },
+    )
+    .unwrap();
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+    let submission = manimal.submit(&selection_query(50), &input);
+    assert!(submission
+        .index_programs
+        .iter()
+        .any(|p| matches!(p.kind, manimal::IndexKind::Selection { .. })));
+    assert!(
+        !submission
+            .index_programs
+            .iter()
+            .any(|p| matches!(p.kind, manimal::IndexKind::Delta { .. })),
+        "delta loses the conflict with selection"
+    );
+}
+
+#[test]
+fn projection_delta_outranks_dict() {
+    let dir = tmpdir("proj-over-dict");
+    let input = dir.join("uservisits.seq");
+    generate_uservisits(
+        &input,
+        &UserVisitsConfig {
+            visits: 2000,
+            pages: 200,
+            ..UserVisitsConfig::default()
+        },
+    )
+    .unwrap();
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+    let submission = manimal.submit(&duration_sum_query(), &input);
+    // Both artifacts recommended…
+    manimal.build_indexes(&submission).unwrap();
+    // …projection+delta wins the ranking.
+    let plan = manimal.plan(&submission).unwrap();
+    assert!(
+        matches!(plan.input, InputSpec::Delta { .. }),
+        "expected the projected-delta plan, got {:?}",
+        plan.applied
+    );
+}
+
+#[test]
+fn stale_narrow_index_not_reused_for_wider_predicate() {
+    let dir = tmpdir("coverage");
+    let input = dir.join("webpages.seq");
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: 2000,
+            content_size: 64,
+            ..WebPagesConfig::default()
+        },
+    )
+    .unwrap();
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+
+    // Build an index for the narrow predicate rank > 89.
+    let narrow = manimal.submit(&selection_query(89), &input);
+    manimal.build_indexes(&narrow).unwrap();
+
+    // A wider predicate (rank > 10) must NOT use it…
+    let wide = manimal.submit(&selection_query(10), &input);
+    let plan = manimal.plan(&wide).unwrap();
+    assert!(
+        !matches!(plan.input, InputSpec::BTreeRanges { .. }),
+        "view covering (89, +inf) cannot serve (10, +inf): {:?}",
+        plan.applied
+    );
+
+    // …while an even narrower one can.
+    let narrower = manimal.submit(&selection_query(95), &input);
+    let plan = manimal.plan(&narrower).unwrap();
+    assert!(
+        matches!(plan.input, InputSpec::BTreeRanges { .. }),
+        "(95, +inf) ⊆ (89, +inf) should reuse the view: {:?}",
+        plan.applied
+    );
+    // And produce correct results.
+    let baseline = manimal
+        .execute_baseline(&narrower, Arc::new(Builtin::Count))
+        .unwrap();
+    let optimized = manimal
+        .execute(&narrower, Arc::new(Builtin::Count))
+        .unwrap();
+    assert_eq!(optimized.result.output, baseline.result.output);
+}
+
+#[test]
+fn wide_predicate_still_correct_via_full_scan() {
+    let dir = tmpdir("fallback");
+    let input = dir.join("webpages.seq");
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: 1500,
+            content_size: 64,
+            ..WebPagesConfig::default()
+        },
+    )
+    .unwrap();
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+    let narrow = manimal.submit(&selection_query(90), &input);
+    manimal.build_indexes(&narrow).unwrap();
+
+    let wide = manimal.submit(&selection_query(5), &input);
+    let baseline = manimal
+        .execute_baseline(&wide, Arc::new(Builtin::Count))
+        .unwrap();
+    let optimized = manimal.execute(&wide, Arc::new(Builtin::Count)).unwrap();
+    assert_eq!(optimized.result.output, baseline.result.output);
+}
+
+#[test]
+fn deleted_artifact_falls_back_to_full_scan() {
+    let dir = tmpdir("deleted");
+    let input = dir.join("webpages.seq");
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: 500,
+            content_size: 64,
+            ..WebPagesConfig::default()
+        },
+    )
+    .unwrap();
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+    let submission = manimal.submit(&selection_query(50), &input);
+    let entries = manimal.build_indexes(&submission).unwrap();
+    // Sabotage: remove the artifact but leave the catalog entry.
+    std::fs::remove_file(&entries[0].index_path).unwrap();
+    let plan = manimal.plan(&submission).unwrap();
+    assert!(plan.applied.is_empty(), "must fall back: {:?}", plan.applied);
+    // And the job still runs correctly.
+    let run = manimal.execute(&submission, Arc::new(Builtin::Count)).unwrap();
+    assert!(!run.result.output.is_empty());
+}

@@ -1,0 +1,127 @@
+//! Whole-pipeline property test: for random data and random predicates,
+//! every plan the optimizer can produce yields output identical to the
+//! unoptimized baseline — the paper's end-to-end safety contract.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use manimal::{Builtin, Manimal};
+use mr_ir::builder::FunctionBuilder;
+use mr_ir::instr::{CmpOp, ParamId};
+use mr_ir::record::{record, Record};
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_ir::Program;
+use mr_storage::seqfile::write_seqfile;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("manimal-plan-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    dir.join(format!("{name}-{}-{n}", std::process::id()))
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::new(
+        "T",
+        vec![
+            ("key", FieldType::Str),
+            ("score", FieldType::Int),
+            ("payload", FieldType::Str),
+        ],
+    )
+    .into_arc()
+}
+
+/// `if score <op> c1 && score <op2> c2 { emit(key, score) }` — a
+/// two-sided predicate with random operators, never touching payload.
+fn program(op1: CmpOp, c1: i64, op2: CmpOp, c2: i64) -> Program {
+    let mut b = FunctionBuilder::new("gen_map");
+    let v = b.load_param(ParamId::Value);
+    let score = b.get_field(v, "score");
+    let k1 = b.const_int(c1);
+    let t1 = b.cmp(op1, score, k1);
+    let (next, exit) = (b.fresh_label("next"), b.fresh_label("exit"));
+    b.br(t1, next, exit);
+    b.bind(next);
+    let k2 = b.const_int(c2);
+    let t2 = b.cmp(op2, score, k2);
+    let (hit, exit2) = (b.fresh_label("hit"), b.fresh_label("exit2"));
+    b.br(t2, hit, exit2);
+    b.bind(hit);
+    let key = b.get_field(v, "key");
+    b.emit(key, score);
+    b.bind(exit2);
+    b.ret();
+    b.bind(exit);
+    b.ret();
+    Program::new("gen", b.finish(), schema())
+}
+
+fn cmp_of(i: u8) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][i as usize % 6]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn optimized_plan_equals_baseline(
+        rows in proptest::collection::vec(("[a-d]", -30i64..30), 1..150),
+        op1 in 0u8..6,
+        c1 in -30i64..30,
+        op2 in 0u8..6,
+        c2 in -30i64..30,
+    ) {
+        let s = schema();
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(k, v)| {
+                record(
+                    &s,
+                    vec![k.as_str().into(), Value::Int(*v), "unused-payload".into()],
+                )
+            })
+            .collect();
+        let input = tmp("data");
+        write_seqfile(&input, Arc::clone(&s), records).unwrap();
+
+        let workdir = tmp("work");
+        let manimal = Manimal::new(&workdir).unwrap();
+        let prog = program(cmp_of(op1), c1, cmp_of(op2), c2);
+        let submission = manimal.submit(&prog, &input);
+
+        let baseline = manimal
+            .execute_baseline(&submission, Arc::new(Builtin::Sum))
+            .unwrap();
+        manimal.build_indexes(&submission).unwrap();
+        let optimized = manimal
+            .execute(&submission, Arc::new(Builtin::Sum))
+            .unwrap();
+
+        prop_assert_eq!(
+            &optimized.result.output,
+            &baseline.result.output,
+            "plan [{}] diverged for predicate (score {:?} {} && score {:?} {})",
+            optimized.applied.join(" + "),
+            cmp_of(op1), c1, cmp_of(op2), c2
+        );
+        // The optimized plan never does MORE work than the baseline.
+        prop_assert!(
+            optimized.result.counters.map_invocations
+                <= baseline.result.counters.map_invocations
+        );
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_dir_all(&workdir).ok();
+    }
+}

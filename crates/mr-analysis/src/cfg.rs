@@ -1,0 +1,405 @@
+//! Control-flow graphs (paper §3.1, Fig. 4).
+//!
+//! "A CFG for a method contains a node for each block of statements, and
+//! directed edges that represent control transitions from one block to
+//! another. A sequence of statements that employ no control-flow
+//! primitives … can be merged into a single basic block."
+//!
+//! Blocks are discovered by classic leader analysis over the linear
+//! MR-IR instruction stream, exactly as a JVM bytecode CFG builder
+//! would.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mr_ir::function::Function;
+use mr_ir::instr::Instr;
+
+/// Identifier of a basic block (index into [`Cfg::blocks`]).
+pub type BlockId = usize;
+
+/// A basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+}
+
+impl BasicBlock {
+    /// Index of the block's last instruction.
+    pub fn last(&self) -> usize {
+        self.end - 1
+    }
+
+    /// Instruction indices in this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// A control-flow graph over basic blocks.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The blocks, ordered by start index. Block 0 is the function entry
+    /// (instruction 0).
+    pub blocks: Vec<BasicBlock>,
+    /// Successor blocks of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor blocks of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    block_of_instr: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Build the CFG of a function.
+    ///
+    /// # Panics
+    /// Panics on an empty function or out-of-range branch targets; run
+    /// [`mr_ir::verify::verify`] first.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.instrs.len();
+        assert!(n > 0, "cannot build CFG of empty function");
+
+        // Leaders: entry, branch targets, and fall-through points after
+        // terminators.
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        leaders.insert(0);
+        for (pc, instr) in func.instrs.iter().enumerate() {
+            match instr {
+                Instr::Jmp { target } => {
+                    assert!(*target < n, "jump target out of range");
+                    leaders.insert(*target);
+                    if pc + 1 < n {
+                        leaders.insert(pc + 1);
+                    }
+                }
+                Instr::Br {
+                    then_tgt, else_tgt, ..
+                } => {
+                    assert!(*then_tgt < n && *else_tgt < n, "branch target out of range");
+                    leaders.insert(*then_tgt);
+                    leaders.insert(*else_tgt);
+                    if pc + 1 < n {
+                        leaders.insert(pc + 1);
+                    }
+                }
+                Instr::Ret
+                    if pc + 1 < n => {
+                        leaders.insert(pc + 1);
+                    }
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (i, &start) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(n);
+            blocks.push(BasicBlock { start, end });
+        }
+
+        let mut block_of_instr = vec![0usize; n];
+        for (bid, b) in blocks.iter().enumerate() {
+            for pc in b.range() {
+                block_of_instr[pc] = bid;
+            }
+        }
+
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
+        for (bid, b) in blocks.iter().enumerate() {
+            let last = &func.instrs[b.last()];
+            for succ_pc in last.successors(b.last()) {
+                if succ_pc < n {
+                    let sid = block_of_instr[succ_pc];
+                    if !succs[bid].contains(&sid) {
+                        succs[bid].push(sid);
+                        preds[sid].push(bid);
+                    }
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            succs,
+            preds,
+            block_of_instr,
+        }
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> BlockId {
+        self.block_of_instr[pc]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the graph has no blocks (never happens for verified
+    /// functions; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks that terminate the function (end in `Ret`).
+    pub fn exit_blocks(&self, func: &Function) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(func.instrs[b.last()], Instr::Ret))
+            .map(|(bid, _)| bid)
+            .collect()
+    }
+
+    /// The set of blocks that participate in some CFG cycle (a
+    /// non-trivial strongly-connected component, or a self-loop).
+    /// Used by the analyzer's loop-soundness guard: per-path symbolic
+    /// resolution is only valid for values never redefined inside a
+    /// cycle.
+    pub fn blocks_in_cycles(&self) -> Vec<bool> {
+        // Tarjan's SCC, iterative.
+        let n = self.len();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<BlockId> = Vec::new();
+        let mut in_cycle = vec![false; n];
+        let mut next_index = 0usize;
+
+        // Explicit DFS stack: (node, child iterator position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(BlockId, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ci < self.succs[v].len() {
+                    let w = self.succs[v][*ci];
+                    *ci += 1;
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    if lowlink[v] == index[v] {
+                        // Root of an SCC: pop it.
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let cyclic = comp.len() > 1
+                            || self.succs[comp[0]].contains(&comp[0]);
+                        if cyclic {
+                            for w in comp {
+                                in_cycle[w] = true;
+                            }
+                        }
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+        in_cycle
+    }
+
+    /// True when any cycle block can reach `target` — i.e. execution may
+    /// iterate a loop before arriving there.
+    pub fn reachable_from_cycle(&self, target: BlockId) -> bool {
+        let cyc = self.blocks_in_cycles();
+        if cyc[target] {
+            return true;
+        }
+        // Backward reachability from target.
+        let mut seen = vec![false; self.len()];
+        let mut work = vec![target];
+        while let Some(b) = work.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            for &p in &self.preds[b] {
+                if cyc[p] {
+                    return true;
+                }
+                work.push(p);
+            }
+        }
+        false
+    }
+
+    /// Render the CFG in the style of the paper's Fig. 4, with synthetic
+    /// `fn entry` / `fn exit` nodes.
+    pub fn render(&self, func: &Function) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("CFG for {}:\n", func.name));
+        out.push_str("  [fn entry] -> B0\n");
+        for (bid, b) in self.blocks.iter().enumerate() {
+            out.push_str(&format!("  B{bid} [{}..{}):\n", b.start, b.end));
+            for pc in b.range() {
+                out.push_str(&format!("    {pc:>3}: {}\n", func.instrs[pc]));
+            }
+            if self.succs[bid].is_empty() {
+                out.push_str("    -> [fn exit]\n");
+            } else {
+                let targets: Vec<String> =
+                    self.succs[bid].iter().map(|s| format!("B{s}")).collect();
+                out.push_str(&format!("    -> {}\n", targets.join(", ")));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (bid, b) in self.blocks.iter().enumerate() {
+            write!(f, "B{bid}[{}..{}) ->", b.start, b.end)?;
+            for s in &self.succs[bid] {
+                write!(f, " B{s}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+
+    /// The paper's §2 example — Fig. 4 shows its CFG:
+    /// entry → cond-block → {emit-block, end} → exit.
+    fn select_fn() -> Function {
+        parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = cmp gt r1, r2
+              br r3, then, exit
+            then:
+              r4 = param key
+              emit r4, r2
+            exit:
+              ret
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig4_shape() {
+        let f = select_fn();
+        let cfg = Cfg::build(&f);
+        // B0 = test block, B1 = emit block, B2 = ret block.
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.succs[0], vec![1, 2]);
+        assert_eq!(cfg.succs[1], vec![2]);
+        assert!(cfg.succs[2].is_empty());
+        assert_eq!(cfg.preds[2], vec![0, 1]);
+        assert_eq!(cfg.exit_blocks(&f), vec![2]);
+    }
+
+    #[test]
+    fn straightline_is_single_block() {
+        let f = parse_function(
+            "func f(key, value) {\n  r0 = const 1\n  r1 = const 2\n  emit r0, r1\n  ret\n}\n",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.blocks[0].range(), 0..4);
+    }
+
+    #[test]
+    fn block_of_instr_mapping() {
+        let f = select_fn();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.block_of(0), 0);
+        assert_eq!(cfg.block_of(4), 0);
+        assert_eq!(cfg.block_of(5), 1);
+        assert_eq!(cfg.block_of(7), 2);
+    }
+
+    #[test]
+    fn loop_detected_as_cycle() {
+        let f = parse_function(
+            r#"
+            func f(key, value) {
+              r0 = const 0
+              r1 = const 10
+            head:
+              r2 = cmp lt r0, r1
+              br r2, body, exit
+            body:
+              r3 = const 1
+              r4 = add r0, r3
+              r0 = r4
+              jmp head
+            exit:
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&f);
+        let cyc = cfg.blocks_in_cycles();
+        let head = cfg.block_of(2);
+        let body = cfg.block_of(4);
+        let exit = cfg.block_of(8);
+        assert!(cyc[head]);
+        assert!(cyc[body]);
+        assert!(!cyc[exit]);
+        // The exit block is reachable from the loop.
+        assert!(cfg.reachable_from_cycle(exit));
+        // The entry block is not.
+        assert!(!cfg.reachable_from_cycle(cfg.block_of(0)));
+    }
+
+    #[test]
+    fn acyclic_function_has_no_cycles() {
+        let cfg = Cfg::build(&select_fn());
+        assert!(cfg.blocks_in_cycles().iter().all(|c| !c));
+        assert!(!cfg.reachable_from_cycle(1));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let f = parse_function("func f(key, value) {\nspin:\n  jmp spin\n}\n").unwrap();
+        let cfg = Cfg::build(&f);
+        assert!(cfg.blocks_in_cycles()[0]);
+    }
+
+    #[test]
+    fn render_mentions_entry_and_exit() {
+        let f = select_fn();
+        let cfg = Cfg::build(&f);
+        let text = cfg.render(&f);
+        assert!(text.contains("[fn entry]"));
+        assert!(text.contains("[fn exit]"));
+        assert!(text.contains("emit"));
+    }
+}

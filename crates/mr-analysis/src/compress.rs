@@ -1,0 +1,500 @@
+//! Compression detection (paper App. C).
+//!
+//! **Delta-compression**: "analyzer simply tests whether the serialized
+//! key and value inputs to map() contain numeric values. If so,
+//! delta-compression can be applied to those fields." Opaque
+//! serialization hides the numeric fields (the Benchmark-1 miss).
+//!
+//! **Direct-operation**: "analyzer first obtains a list of input
+//! parameters that are actually used in map(). Input parameters for
+//! which all uses are equality tests are suitable for direct-operation
+//! on compressed data." Additionally, the map output key qualifies "as
+//! long as the user does not require the final program output to be in
+//! sorted order" (§2.1 footnote 1) — group-by behaviour only needs
+//! equality.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use mr_ir::function::Program;
+use mr_ir::instr::{CmpOp, Instr, ParamId, Reg};
+use mr_ir::schema::FieldType;
+
+use crate::cfg::Cfg;
+use crate::dataflow::ReachingDefs;
+
+/// The DELTA optimization descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaDescriptor {
+    /// Numeric fields eligible for delta encoding, in schema order.
+    pub fields: Vec<String>,
+}
+
+impl fmt::Display for DeltaDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELTA on [{}]", self.fields.join(", "))
+    }
+}
+
+/// Outcome of delta-compression detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// Numeric fields found.
+    Delta(DeltaDescriptor),
+    /// The schema has no numeric fields.
+    NoNumericFields,
+    /// Custom serialization hides field boundaries.
+    Opaque,
+}
+
+impl DeltaOutcome {
+    /// Convenience accessor.
+    pub fn descriptor(&self) -> Option<&DeltaDescriptor> {
+        match self {
+            DeltaOutcome::Delta(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Run delta-compression detection.
+pub fn find_delta(program: &Program) -> DeltaOutcome {
+    let schema = &program.value_schema;
+    if schema.is_opaque() {
+        return DeltaOutcome::Opaque;
+    }
+    // Doubles delta-encode poorly and the paper's experiments only delta
+    // integer-valued fields (visitDate, adRevenue, duration); restrict
+    // to integer types.
+    let fields: Vec<String> = schema
+        .fields()
+        .iter()
+        .filter(|f| matches!(f.ty, FieldType::Int | FieldType::Long))
+        .map(|f| f.name.clone())
+        .collect();
+    if fields.is_empty() {
+        DeltaOutcome::NoNumericFields
+    } else {
+        DeltaOutcome::Delta(DeltaDescriptor { fields })
+    }
+}
+
+/// The DIRECT-OPERATION descriptor: fields that can stay
+/// dictionary-compressed during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectDescriptor {
+    /// Eligible string fields, in schema order.
+    pub fields: Vec<String>,
+    /// String constants compared against each field; the optimizer must
+    /// rewrite them through the dictionary in the modified program copy.
+    pub compared_constants: Vec<(String, Vec<String>)>,
+}
+
+impl fmt::Display for DirectDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIRECT-OP on [{}]", self.fields.join(", "))
+    }
+}
+
+/// Outcome of direct-operation detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectOutcome {
+    /// At least one field qualifies.
+    Direct(DirectDescriptor),
+    /// No field is used in equality-only fashion.
+    NonePresent,
+    /// Custom serialization hides field boundaries.
+    Opaque,
+}
+
+impl DirectOutcome {
+    /// Convenience accessor.
+    pub fn descriptor(&self) -> Option<&DirectDescriptor> {
+        match self {
+            DirectOutcome::Direct(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Run direct-operation detection.
+///
+/// A string field qualifies when **every** use of every load of that
+/// field (followed through `Move` chains) is one of:
+///
+/// * an equality/inequality comparison (against a constant — recorded
+///   for dictionary rewriting — or against a load of the same field),
+/// * the *key* argument of `emit`, provided the program does not require
+///   sorted final output *and* the reduce stage drops the key from the
+///   final output (otherwise dictionary codes would leak into it).
+///
+/// Everything else (ordering comparisons, arithmetic, substring calls,
+/// emitting as the value, feeding members or effects) disqualifies the
+/// field.
+pub fn find_direct(program: &Program) -> DirectOutcome {
+    let schema = &program.value_schema;
+    if schema.is_opaque() {
+        return DirectOutcome::Opaque;
+    }
+    let func = &program.mapper;
+    let cfg = Cfg::build(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+
+    let mut fields = Vec::new();
+    let mut compared_constants = Vec::new();
+    for fd in schema.fields() {
+        if fd.ty != FieldType::Str {
+            continue;
+        }
+        // Load sites for this field.
+        let loads: Vec<(usize, Reg)> = func
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, i)| match i {
+                Instr::GetField { dst, obj, field } if field == &fd.name => {
+                    // Only loads off the value param count; loads off
+                    // other records are a different class's field.
+                    let from_value = rd
+                        .reaching(func, &cfg, pc, *obj)
+                        .into_iter()
+                        .all(|d| {
+                            matches!(
+                                func.instrs[d],
+                                Instr::LoadParam {
+                                    param: ParamId::Value,
+                                    ..
+                                }
+                            )
+                        });
+                    from_value.then_some((pc, *dst))
+                }
+                _ => None,
+            })
+            .collect();
+        if loads.is_empty() {
+            continue; // unused → projection's business, not direct-op's
+        }
+        let mut constants: Vec<String> = Vec::new();
+        if loads
+            .iter()
+            .all(|&(pc, dst)| equality_only(program, func, &cfg, &rd, pc, dst, &fd.name, &mut constants))
+        {
+            fields.push(fd.name.clone());
+            constants.sort();
+            constants.dedup();
+            compared_constants.push((fd.name.clone(), constants));
+        }
+    }
+    if fields.is_empty() {
+        DirectOutcome::NonePresent
+    } else {
+        DirectOutcome::Direct(DirectDescriptor {
+            fields,
+            compared_constants,
+        })
+    }
+}
+
+/// Check that every (transitive) use of the value defined at `def_pc`
+/// in register `reg` is equality-only.
+#[allow(clippy::too_many_arguments)]
+fn equality_only(
+    program: &Program,
+    func: &mr_ir::function::Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    def_pc: usize,
+    reg: Reg,
+    field: &str,
+    constants: &mut Vec<String>,
+) -> bool {
+    let mut work = vec![(def_pc, reg)];
+    let mut seen: HashSet<(usize, Reg)> = HashSet::new();
+    while let Some((dpc, r)) = work.pop() {
+        if !seen.insert((dpc, r)) {
+            continue;
+        }
+        for (use_pc, instr) in func.instrs.iter().enumerate() {
+            if !instr.uses().contains(&r) {
+                continue;
+            }
+            // Does *this* definition reach that use?
+            if !rd.reaching(func, cfg, use_pc, r).contains(&dpc) {
+                continue;
+            }
+            match instr {
+                Instr::Cmp {
+                    op: _op @ (CmpOp::Eq | CmpOp::Ne),
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    // The other operand must be a constant (recorded for
+                    // dictionary rewriting) or another load of the same
+                    // field.
+                    let other = if *lhs == r { *rhs } else { *lhs };
+                    for od in rd.reaching(func, cfg, use_pc, other) {
+                        match &func.instrs[od] {
+                            Instr::Const { val, .. } => {
+                                if let Some(s) = val.as_str() {
+                                    constants.push(s.to_string());
+                                } else {
+                                    return false;
+                                }
+                            }
+                            Instr::GetField { field: f2, .. } if f2 == field => {}
+                            _ => return false,
+                        }
+                    }
+                }
+                Instr::Move { dst, .. } => {
+                    work.push((use_pc, *dst));
+                }
+                Instr::Emit { key, value } => {
+                    if *value == r {
+                        return false; // emitted as value: reduce sees it
+                    }
+                    if *key == r
+                        && (program.requires_sorted_output || program.key_in_final_output)
+                    {
+                        // Sorted output needs the real ordering, and a
+                        // key that reaches the final output would leak
+                        // dictionary codes.
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::function::Program;
+    use mr_ir::schema::Schema;
+    use std::sync::Arc;
+
+    fn uservisits_schema() -> Arc<Schema> {
+        Schema::new(
+            "UserVisits",
+            vec![
+                ("sourceIP", FieldType::Str),
+                ("destURL", FieldType::Str),
+                ("visitDate", FieldType::Long),
+                ("adRevenue", FieldType::Int),
+                ("duration", FieldType::Int),
+            ],
+        )
+        .into_arc()
+    }
+
+    fn program_with(src: &str, schema: Arc<Schema>) -> Program {
+        Program::new("test", parse_function(src).unwrap(), schema)
+    }
+
+    #[test]
+    fn delta_detects_integer_fields() {
+        let p = program_with("func map(key, value) {\n  ret\n}\n", uservisits_schema());
+        let d = find_delta(&p).descriptor().cloned().unwrap();
+        assert_eq!(d.fields, vec!["visitDate", "adRevenue", "duration"]);
+    }
+
+    #[test]
+    fn delta_opaque_refused() {
+        let schema = Arc::new(
+            Schema::new("T", vec![("n", FieldType::Int)]).opaque(),
+        );
+        let p = program_with("func map(key, value) {\n  ret\n}\n", schema);
+        assert_eq!(find_delta(&p), DeltaOutcome::Opaque);
+    }
+
+    #[test]
+    fn delta_no_numeric() {
+        let schema = Schema::new(
+            "Doc",
+            vec![("url", FieldType::Str), ("content", FieldType::Str)],
+        )
+        .into_arc();
+        let p = program_with("func map(key, value) {\n  ret\n}\n", schema);
+        assert_eq!(find_delta(&p), DeltaOutcome::NoNumericFields);
+    }
+
+    /// The Table-6 workload: destURL used only as the group-by emit key.
+    #[test]
+    fn group_by_key_is_direct_eligible() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = field r0.duration
+              emit r1, r2
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        )
+        .with_key_dropped_from_output();
+        let d = find_direct(&p).descriptor().cloned().unwrap();
+        assert_eq!(d.fields, vec!["destURL"]);
+        // sourceIP is never loaded → not listed.
+        assert!(!d.fields.contains(&"sourceIP".to_string()));
+    }
+
+    /// The Benchmark-2 shape: sourceIP is the group-by key but the
+    /// reduce output contains it, so direct-operation must not apply
+    /// (Table 1 reports direct-operation Not Present everywhere).
+    #[test]
+    fn key_in_final_output_disqualifies() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = field r0.duration
+              emit r1, r2
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        );
+        assert_eq!(find_direct(&p), DirectOutcome::NonePresent);
+    }
+
+    #[test]
+    fn sorted_output_disqualifies_emit_key() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = field r0.duration
+              emit r1, r2
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        )
+        .with_key_dropped_from_output()
+        .with_sorted_output();
+        assert_eq!(find_direct(&p), DirectOutcome::NonePresent);
+    }
+
+    #[test]
+    fn equality_against_constant_allowed_and_recorded() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = const "http://x.com"
+              r3 = cmp eq r1, r2
+              br r3, t, e
+            t:
+              r4 = field r0.duration
+              r5 = const 1
+              emit r5, r4
+            e:
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        );
+        let d = find_direct(&p).descriptor().cloned().unwrap();
+        assert_eq!(d.fields, vec!["destURL"]);
+        assert_eq!(
+            d.compared_constants,
+            vec![("destURL".to_string(), vec!["http://x.com".to_string()])]
+        );
+    }
+
+    #[test]
+    fn ordering_comparison_disqualifies() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = const "m"
+              r3 = cmp lt r1, r2
+              br r3, t, e
+            t:
+              r4 = const 1
+              emit r4, r4
+            e:
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        );
+        assert_eq!(find_direct(&p), DirectOutcome::NonePresent);
+    }
+
+    #[test]
+    fn substring_call_disqualifies() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = call str.len(r1)
+              emit r1, r2
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        );
+        assert_eq!(find_direct(&p), DirectOutcome::NonePresent);
+    }
+
+    #[test]
+    fn emit_as_value_disqualifies() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = const 1
+              emit r2, r1
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        );
+        assert_eq!(find_direct(&p), DirectOutcome::NonePresent);
+    }
+
+    #[test]
+    fn move_chains_followed() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.destURL
+              r2 = r1
+              r3 = field r0.duration
+              emit r2, r3
+              ret
+            }
+            "#,
+            uservisits_schema(),
+        )
+        .with_key_dropped_from_output();
+        let d = find_direct(&p).descriptor().cloned().unwrap();
+        assert_eq!(d.fields, vec!["destURL"]);
+    }
+
+    #[test]
+    fn direct_opaque_refused() {
+        let schema = Arc::new(
+            Schema::new("T", vec![("s", FieldType::Str)]).opaque(),
+        );
+        let p = program_with("func map(key, value) {\n  ret\n}\n", schema);
+        assert_eq!(find_direct(&p), DirectOutcome::Opaque);
+    }
+}

@@ -1,0 +1,149 @@
+//! The analyzer façade: run every detector and assemble the
+//! optimization-descriptor list of paper Fig. 1.
+
+use std::fmt;
+
+use mr_ir::function::Program;
+
+use crate::compress::{find_delta, find_direct, DeltaOutcome, DirectOutcome};
+use crate::project::{find_project, ProjectOutcome};
+use crate::select::{find_select, SelectOutcome};
+use crate::sideeffect::{find_side_effects, SideEffectReport};
+
+/// Everything the analyzer learned about one submitted program.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The analyzed program's name.
+    pub program_name: String,
+    /// Selection detection result.
+    pub selection: SelectOutcome,
+    /// Projection detection result.
+    pub projection: ProjectOutcome,
+    /// Delta-compression detection result.
+    pub delta: DeltaOutcome,
+    /// Direct-operation detection result.
+    pub direct: DirectOutcome,
+    /// Detected (not optimized) side effects.
+    pub side_effects: Vec<SideEffectReport>,
+}
+
+impl AnalysisReport {
+    /// Whether any exploitable optimization was found.
+    pub fn any_detected(&self) -> bool {
+        matches!(self.selection, SelectOutcome::Selection(_))
+            || matches!(self.projection, ProjectOutcome::Projection(_))
+            || matches!(self.delta, DeltaOutcome::Delta(_))
+            || matches!(self.direct, DirectOutcome::Direct(_))
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "analysis of `{}`:", self.program_name)?;
+        match &self.selection {
+            SelectOutcome::Selection(d) => writeln!(f, "  selection: {d}")?,
+            SelectOutcome::AlwaysEmits => writeln!(f, "  selection: none (always emits)")?,
+            SelectOutcome::NeverEmits => writeln!(f, "  selection: none (never emits)")?,
+            SelectOutcome::Unknown(m) => writeln!(f, "  selection: undetected ({m})")?,
+        }
+        match &self.projection {
+            ProjectOutcome::Projection(d) => writeln!(f, "  projection: {d}")?,
+            ProjectOutcome::AllFieldsNeeded => {
+                writeln!(f, "  projection: none (all fields needed)")?
+            }
+            ProjectOutcome::Opaque => {
+                writeln!(f, "  projection: undetected (opaque serialization)")?
+            }
+            ProjectOutcome::NoEmit => writeln!(f, "  projection: none (no emit)")?,
+        }
+        match &self.delta {
+            DeltaOutcome::Delta(d) => writeln!(f, "  delta: {d}")?,
+            DeltaOutcome::NoNumericFields => writeln!(f, "  delta: none (no numeric fields)")?,
+            DeltaOutcome::Opaque => writeln!(f, "  delta: undetected (opaque serialization)")?,
+        }
+        match &self.direct {
+            DirectOutcome::Direct(d) => writeln!(f, "  direct-op: {d}")?,
+            DirectOutcome::NonePresent => writeln!(f, "  direct-op: none")?,
+            DirectOutcome::Opaque => {
+                writeln!(f, "  direct-op: undetected (opaque serialization)")?
+            }
+        }
+        if !self.side_effects.is_empty() {
+            writeln!(f, "  side effects: {} detected", self.side_effects.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the complete analyzer on a program (paper §2.2 Step 1).
+pub fn analyze(program: &Program) -> AnalysisReport {
+    AnalysisReport {
+        program_name: program.name.clone(),
+        selection: find_select(program),
+        projection: find_project(program),
+        delta: find_delta(program),
+        direct: find_direct(program),
+        side_effects: find_side_effects(&program.mapper),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::schema::{FieldType, Schema};
+
+    #[test]
+    fn full_report_on_paper_example() {
+        let schema = Schema::new(
+            "WebPage",
+            vec![
+                ("url", FieldType::Str),
+                ("rank", FieldType::Int),
+                ("content", FieldType::Str),
+            ],
+        )
+        .into_arc();
+        let p = Program::new(
+            "select-demo",
+            parse_function(
+                r#"
+                func map(key, value) {
+                  r0 = param value
+                  r1 = field r0.rank
+                  r2 = const 1
+                  r3 = cmp gt r1, r2
+                  br r3, t, e
+                t:
+                  r4 = param key
+                  emit r4, r2
+                e:
+                  ret
+                }
+                "#,
+            )
+            .unwrap(),
+            schema,
+        );
+        let report = analyze(&p);
+        assert!(report.any_detected());
+        assert!(matches!(report.selection, SelectOutcome::Selection(_)));
+        assert!(matches!(report.projection, ProjectOutcome::Projection(_)));
+        assert!(matches!(report.delta, DeltaOutcome::Delta(_)));
+        let text = report.to_string();
+        assert!(text.contains("selection: SELECT iff"));
+        assert!(text.contains("projection: PROJECT"));
+    }
+
+    #[test]
+    fn nothing_detected_report() {
+        let schema = Schema::new("Doc", vec![("content", FieldType::Str)]).into_arc();
+        let p = Program::new(
+            "noop",
+            parse_function("func map(key, value) {\n  ret\n}\n").unwrap(),
+            schema,
+        );
+        let report = analyze(&p);
+        assert!(!report.any_detected());
+    }
+}

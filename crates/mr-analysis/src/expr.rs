@@ -1,0 +1,580 @@
+//! Symbolic expressions over `map()` inputs.
+//!
+//! The analyzer's output — "a logical formula over these values that
+//! describes when the map() may emit data" (paper §2.2) — needs a
+//! symbolic language. An [`Expr`] is a tree over the map parameters,
+//! record fields, constants, operators and (pure) library calls,
+//! obtained by resolving a register backwards through its definitions
+//! along one concrete CFG path.
+//!
+//! Path-sensitive resolution is what makes the per-path conjuncts of the
+//! selection DNF precise: a register assigned differently in two
+//! branches resolves to the branch the path actually took, and the
+//! branch condition itself is part of that path's conjunct.
+
+use std::fmt;
+
+use mr_ir::error::IrError;
+use mr_ir::function::Function;
+use mr_ir::instr::{BinOp, CmpOp, Instr, ParamId, Reg};
+use mr_ir::interp::eval_binop;
+use mr_ir::stdlib::stdlib;
+use mr_ir::value::Value;
+
+use crate::cfg::{BlockId, Cfg};
+use crate::dataflow::ReachingDefs;
+
+/// A symbolic expression over the map inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A compile-time constant.
+    Const(Value),
+    /// One of the two map parameters.
+    Param(ParamId),
+    /// A field read: `obj.field`.
+    Field(Box<Expr>, String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A comparison (boolean-valued).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical negation of truthiness.
+    Not(Box<Expr>),
+    /// A library call.
+    Call(String, Vec<Expr>),
+    /// A mapper member variable — present so the analyzer can *explain*
+    /// why an expression is not functional; never evaluable.
+    Member(String),
+}
+
+impl Expr {
+    /// Shorthand: `value.<field>`.
+    pub fn value_field(name: &str) -> Expr {
+        Expr::Field(Box::new(Expr::Param(ParamId::Value)), name.to_string())
+    }
+
+    /// Tree size (number of nodes); used as a tie-breaker when choosing
+    /// index keys.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Param(_) | Expr::Member(_) => 1,
+            Expr::Field(obj, _) => 1 + obj.size(),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Not(a) => 1 + a.size(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Visit all nodes.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Field(obj, _) => obj.walk(f),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Not(a) => a.walk(f),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Member variables referenced anywhere in the tree.
+    pub fn members(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Member(m) = e {
+                if !out.contains(m) {
+                    out.push(m.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Library calls referenced anywhere in the tree.
+    pub fn calls(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Call(name, _) = e {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Whether the expression is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Const(_))
+    }
+
+    /// Field names read directly off the *value* parameter, plus whether
+    /// the whole value record "escapes" (is used other than through a
+    /// direct field read, e.g. passed to a call or emitted whole), in
+    /// which case a projection must keep every field.
+    pub fn value_field_uses(&self) -> (Vec<String>, bool) {
+        let mut fields = Vec::new();
+        let mut escapes = false;
+        fn go(e: &Expr, fields: &mut Vec<String>, escapes: &mut bool) {
+            match e {
+                Expr::Field(obj, name) => {
+                    if matches!(**obj, Expr::Param(ParamId::Value)) {
+                        if !fields.contains(name) {
+                            fields.push(name.clone());
+                        }
+                    } else {
+                        go(obj, fields, escapes);
+                    }
+                }
+                Expr::Param(ParamId::Value) => *escapes = true,
+                Expr::Param(ParamId::Key) | Expr::Const(_) | Expr::Member(_) => {}
+                Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                    go(a, fields, escapes);
+                    go(b, fields, escapes);
+                }
+                Expr::Not(a) => go(a, fields, escapes),
+                Expr::Call(_, args) => {
+                    for a in args {
+                        go(a, fields, escapes);
+                    }
+                }
+            }
+        }
+        go(self, &mut fields, &mut escapes);
+        (fields, escapes)
+    }
+
+    /// Evaluate against a concrete `(key, value)` pair. Fails on
+    /// [`Expr::Member`] (not a function of the inputs) and propagates
+    /// library-call errors.
+    pub fn eval(&self, key: &Value, value: &Value) -> Result<Value, IrError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Param(ParamId::Key) => Ok(key.clone()),
+            Expr::Param(ParamId::Value) => Ok(value.clone()),
+            Expr::Field(obj, name) => {
+                let o = obj.eval(key, value)?;
+                let rec = o.as_record().ok_or_else(|| IrError::Type {
+                    context: format!("field .{name}"),
+                    expected: "record",
+                    got: o.kind_name(),
+                })?;
+                rec.get(name).cloned()
+                    .map_err(|_| IrError::NoSuchField(name.clone()))
+            }
+            Expr::Bin(op, a, b) => {
+                let (l, r) = (a.eval(key, value)?, b.eval(key, value)?);
+                eval_binop(*op, &l, &r)
+            }
+            Expr::Cmp(op, a, b) => {
+                let (l, r) = (a.eval(key, value)?, b.eval(key, value)?);
+                Ok(Value::Bool(op.eval(&l, &r)))
+            }
+            Expr::Not(a) => Ok(Value::Bool(!a.eval(key, value)?.is_truthy())),
+            Expr::Call(name, args) => {
+                let argv: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(key, value))
+                    .collect::<Result<_, _>>()?;
+                stdlib().eval(name, &argv)
+            }
+            Expr::Member(name) => Err(IrError::UnknownMember(name.clone())),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Param(p) => write!(f, "{p}"),
+            Expr::Field(obj, name) => write!(f, "{obj}.{name}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::Not(a) => write!(f, "!{a}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Member(name) => write!(f, "this.{name}"),
+        }
+    }
+}
+
+/// Why a register could not be resolved to a symbolic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The value may be redefined inside a CFG cycle; first-iteration
+    /// resolution along an acyclic path would be unsound.
+    LoopCarried {
+        /// The register involved.
+        reg: Reg,
+        /// The use site.
+        pc: usize,
+    },
+    /// No definition found on the path (malformed input).
+    Unbound {
+        /// The register involved.
+        reg: Reg,
+    },
+    /// The resolution tree exceeded the size budget.
+    TooLarge,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::LoopCarried { reg, pc } => {
+                write!(f, "{reg} at pc {pc} may be redefined inside a loop")
+            }
+            ResolveError::Unbound { reg } => write!(f, "{reg} has no definition on path"),
+            ResolveError::TooLarge => write!(f, "expression exceeds size budget"),
+        }
+    }
+}
+
+/// Resolves registers to symbolic expressions along concrete CFG paths.
+pub struct PathResolver<'a> {
+    func: &'a Function,
+    cfg: &'a Cfg,
+    rd: &'a ReachingDefs,
+    cyclic: Vec<bool>,
+    /// Expression-size budget guarding against pathological blowup.
+    max_size: usize,
+}
+
+impl<'a> PathResolver<'a> {
+    /// Create a resolver for one function.
+    pub fn new(func: &'a Function, cfg: &'a Cfg, rd: &'a ReachingDefs) -> Self {
+        PathResolver {
+            func,
+            cfg,
+            rd,
+            cyclic: cfg.blocks_in_cycles(),
+            max_size: 4096,
+        }
+    }
+
+    /// Resolve `reg` as used by the instruction at `use_pc`, where
+    /// `use_pc` lies in `path[path_idx]` and `path` is a simple
+    /// entry-to-somewhere block path.
+    pub fn resolve(
+        &self,
+        path: &[BlockId],
+        path_idx: usize,
+        use_pc: usize,
+        reg: Reg,
+    ) -> Result<Expr, ResolveError> {
+        let mut budget = self.max_size;
+        self.resolve_inner(path, path_idx, use_pc, reg, &mut budget)
+    }
+
+    fn resolve_inner(
+        &self,
+        path: &[BlockId],
+        path_idx: usize,
+        use_pc: usize,
+        reg: Reg,
+        budget: &mut usize,
+    ) -> Result<Expr, ResolveError> {
+        if *budget == 0 {
+            return Err(ResolveError::TooLarge);
+        }
+        *budget -= 1;
+
+        // Soundness guard: if any globally-reaching def of this use sits
+        // in a cycle block, the value may depend on loop iterations that
+        // a simple path does not model.
+        for def_pc in self.rd.reaching(self.func, self.cfg, use_pc, reg) {
+            if self.cyclic[self.cfg.block_of(def_pc)] {
+                return Err(ResolveError::LoopCarried { reg, pc: use_pc });
+            }
+        }
+
+        // Walk backwards along the path for the most recent definition.
+        let (def_idx, def_pc) = self
+            .find_def_backwards(path, path_idx, use_pc, reg)
+            .ok_or(ResolveError::Unbound { reg })?;
+
+        let instr = &self.func.instrs[def_pc];
+        let sub = |r: Reg, b: &mut usize| self.resolve_inner(path, def_idx, def_pc, r, b);
+        Ok(match instr {
+            Instr::Const { val, .. } => Expr::Const(val.clone()),
+            Instr::Move { src, .. } => sub(*src, budget)?,
+            Instr::LoadParam { param, .. } => Expr::Param(*param),
+            Instr::GetField { obj, field, .. } => {
+                Expr::Field(Box::new(sub(*obj, budget)?), field.clone())
+            }
+            Instr::BinOp { op, lhs, rhs, .. } => Expr::Bin(
+                *op,
+                Box::new(sub(*lhs, budget)?),
+                Box::new(sub(*rhs, budget)?),
+            ),
+            Instr::Cmp { op, lhs, rhs, .. } => Expr::Cmp(
+                *op,
+                Box::new(sub(*lhs, budget)?),
+                Box::new(sub(*rhs, budget)?),
+            ),
+            Instr::Not { src, .. } => Expr::Not(Box::new(sub(*src, budget)?)),
+            Instr::Call { func, args, .. } => {
+                let mut resolved = Vec::with_capacity(args.len());
+                for a in args {
+                    resolved.push(sub(*a, budget)?);
+                }
+                Expr::Call(func.clone(), resolved)
+            }
+            Instr::GetMember { name, .. } => Expr::Member(name.clone()),
+            // Remaining instructions never define a register.
+            _ => unreachable!("non-defining instruction found as definition"),
+        })
+    }
+
+    /// Most recent definition of `reg` strictly before `use_pc`, walking
+    /// the current block's prefix then earlier path blocks in full.
+    fn find_def_backwards(
+        &self,
+        path: &[BlockId],
+        path_idx: usize,
+        use_pc: usize,
+        reg: Reg,
+    ) -> Option<(usize, usize)> {
+        // Current block: [start, use_pc).
+        let block = self.cfg.blocks[path[path_idx]];
+        for pc in (block.start..use_pc.min(block.end)).rev() {
+            if self.func.instrs[pc].def() == Some(reg) {
+                return Some((path_idx, pc));
+            }
+        }
+        // Earlier blocks, whole ranges.
+        for idx in (0..path_idx).rev() {
+            let b = self.cfg.blocks[path[idx]];
+            for pc in b.range().rev() {
+                if self.func.instrs[pc].def() == Some(reg) {
+                    return Some((idx, pc));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::record::record;
+    use mr_ir::schema::{FieldType, Schema};
+
+    fn setup(src: &str) -> (Function, Cfg) {
+        let f = parse_function(src).unwrap();
+        let cfg = Cfg::build(&f);
+        (f, cfg)
+    }
+
+    #[test]
+    fn resolve_simple_condition() {
+        let (f, cfg) = setup(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = cmp gt r1, r2
+              br r3, then, exit
+            then:
+              r4 = param key
+              emit r4, r2
+            exit:
+              ret
+            }
+            "#,
+        );
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let resolver = PathResolver::new(&f, &cfg, &rd);
+        // Resolve the branch condition r3 at the br (pc 4) on the path
+        // [B0].
+        let e = resolver.resolve(&[0], 0, 4, Reg(3)).unwrap();
+        assert_eq!(e.to_string(), "(value.rank > 1)");
+        let (fields, escapes) = e.value_field_uses();
+        assert_eq!(fields, vec!["rank"]);
+        assert!(!escapes);
+    }
+
+    #[test]
+    fn path_sensitive_resolution_picks_branch_def() {
+        let (f, cfg) = setup(
+            r#"
+            func f(key, value) {
+              r0 = param value
+              r1 = field r0.flag
+              br r1, a, b
+            a:
+              r2 = const 10
+              jmp join
+            b:
+              r2 = const 20
+            join:
+              emit r1, r2
+              ret
+            }
+            "#,
+        );
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let resolver = PathResolver::new(&f, &cfg, &rd);
+        let emit_pc = f.instrs.iter().position(|i| i.is_emit()).unwrap();
+        let join = cfg.block_of(emit_pc);
+        let a = cfg.block_of(3);
+        let b = cfg.block_of(5);
+        let via_a = resolver.resolve(&[0, a, join], 2, emit_pc, Reg(2)).unwrap();
+        let via_b = resolver.resolve(&[0, b, join], 2, emit_pc, Reg(2)).unwrap();
+        assert_eq!(via_a, Expr::Const(Value::Int(10)));
+        assert_eq!(via_b, Expr::Const(Value::Int(20)));
+    }
+
+    #[test]
+    fn member_resolves_to_member_node() {
+        let (f, cfg) = setup(
+            r#"
+            func f(key, value) {
+              member count = 0
+              r0 = member count
+              r1 = const 5
+              r2 = cmp gt r0, r1
+              br r2, t, e
+            t:
+              emit r0, r1
+            e:
+              ret
+            }
+            "#,
+        );
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let resolver = PathResolver::new(&f, &cfg, &rd);
+        let e = resolver.resolve(&[0], 0, 3, Reg(2)).unwrap();
+        assert_eq!(e.to_string(), "(this.count > 5)");
+        assert_eq!(e.members(), vec!["count"]);
+    }
+
+    #[test]
+    fn loop_carried_rejected() {
+        let (f, cfg) = setup(
+            r#"
+            func f(key, value) {
+              r0 = const 0
+              r1 = const 3
+            head:
+              r2 = cmp lt r0, r1
+              br r2, body, exit
+            body:
+              r3 = const 1
+              r4 = add r0, r3
+              r0 = r4
+              jmp head
+            exit:
+              ret
+            }
+            "#,
+        );
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let resolver = PathResolver::new(&f, &cfg, &rd);
+        let head = cfg.block_of(2);
+        // Resolving the loop condition must fail: r0 is redefined in the
+        // loop body.
+        let err = resolver.resolve(&[0, head], 1, 2, Reg(2)).unwrap_err();
+        assert!(matches!(err, ResolveError::LoopCarried { .. }));
+    }
+
+    #[test]
+    fn expr_eval_matches_interpreter_semantics() {
+        let schema = Schema::new("W", vec![("rank", FieldType::Int)]).into_arc();
+        let e = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::value_field("rank")),
+            Box::new(Expr::Const(Value::Int(1))),
+        );
+        let hi: Value = record(&schema, vec![5.into()]).into();
+        let lo: Value = record(&schema, vec![0.into()]).into();
+        assert_eq!(e.eval(&Value::Null, &hi).unwrap(), Value::Bool(true));
+        assert_eq!(e.eval(&Value::Null, &lo).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn eval_member_fails() {
+        let e = Expr::Member("x".into());
+        assert!(e.eval(&Value::Null, &Value::Null).is_err());
+    }
+
+    #[test]
+    fn call_resolution_and_eval() {
+        let (f, cfg) = setup(
+            r#"
+            func f(key, value) {
+              r0 = param value
+              r1 = field r0.url
+              r2 = const ".html"
+              r3 = call str.ends_with(r1, r2)
+              br r3, t, e
+            t:
+              emit r1, r2
+            e:
+              ret
+            }
+            "#,
+        );
+        let rd = ReachingDefs::compute(&f, &cfg);
+        let resolver = PathResolver::new(&f, &cfg, &rd);
+        let e = resolver.resolve(&[0], 0, 4, Reg(3)).unwrap();
+        assert_eq!(e.to_string(), "str.ends_with(value.url, \".html\")");
+        assert_eq!(e.calls(), vec!["str.ends_with"]);
+
+        let schema = Schema::new("P", vec![("url", FieldType::Str)]).into_arc();
+        let v: Value = record(&schema, vec!["a.html".into()]).into();
+        assert_eq!(e.eval(&Value::Null, &v).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn whole_value_escape_detected() {
+        let e = Expr::Call(
+            "tuple.get_int".into(),
+            vec![Expr::Param(ParamId::Value), Expr::Const(Value::str("rank"))],
+        );
+        let (fields, escapes) = e.value_field_uses();
+        assert!(fields.is_empty());
+        assert!(escapes, "record passed whole to a call must escape");
+    }
+
+    #[test]
+    fn size_and_walk() {
+        let e = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::value_field("rank")),
+            Box::new(Expr::Const(Value::Int(1))),
+        );
+        assert_eq!(e.size(), 4);
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! # mr-analysis — the Manimal static analyzer
+//!
+//! This crate is the reproduction of the paper's central contribution
+//! (§3, App. C): detecting relational-style data operations inside
+//! compiled, unmodified `map()` functions.
+//!
+//! Pipeline, bottom to top:
+//!
+//! * [`cfg`](mod@cfg) — basic blocks and control-flow graphs (Fig. 4);
+//! * [`dataflow`] — reaching definitions;
+//! * [`usedef`] — use-def DAGs (`getUseDef`, Fig. 5);
+//! * [`paths`] — `paths(s)` / `conds(path)` enumeration;
+//! * [`expr`] — path-sensitive symbolic resolution of registers;
+//! * [`predicate`] — DNF construction and normalization;
+//! * [`ranges`] — index-key choice and B+Tree scan ranges;
+//! * [`purity`] — the `isFunc` safety test;
+//! * detectors: [`select`] (Fig. 3), [`project`] (Fig. 6),
+//!   [`compress`] (delta + direct-operation), [`sideeffect`];
+//! * [`descriptor`] — the [`analyze`] façade producing the
+//!   optimization-descriptor list of Fig. 1.
+//!
+//! Everything here is best-effort but **safe**: "missing an optimization
+//! is regrettable, but finding a false one is catastrophic." Every
+//! detector either proves its descriptor from the use-def structure or
+//! declines with a reason.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cfg;
+pub mod compress;
+pub mod dataflow;
+pub mod descriptor;
+pub mod expr;
+pub mod paths;
+pub mod predicate;
+pub mod project;
+pub mod purity;
+pub mod ranges;
+pub mod select;
+pub mod sideeffect;
+pub mod usedef;
+
+pub use compress::{DeltaDescriptor, DeltaOutcome, DirectDescriptor, DirectOutcome};
+pub use descriptor::{analyze, AnalysisReport};
+pub use expr::Expr;
+pub use predicate::Dnf;
+pub use project::{ProjectOutcome, ProjectionDescriptor};
+pub use ranges::{Endpoint, IndexPlan, KeyRange};
+pub use select::{SelectMiss, SelectOutcome, SelectionDescriptor};

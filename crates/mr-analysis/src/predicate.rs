@@ -1,0 +1,349 @@
+//! Predicates in disjunctive normal form.
+//!
+//! The selection detector (Fig. 3) "constructs a conditional statement
+//! in disjunctive normal form, in which there is a disjunct for each
+//! unique path to an emit() statement. Each of the disjuncts contain a
+//! conjunction of the conditional tests that must hold true to reach the
+//! emit() through its respective path."
+//!
+//! Conditions arrive as `(Expr, polarity)` pairs from `conds(path)`.
+//! Normalization pushes negations through `not`/`and`/`or` down to
+//! comparison leaves (so range extraction sees plain comparisons), and
+//! expands embedded disjunctions so the final formula really is a flat
+//! OR-of-ANDs.
+
+use std::fmt;
+
+use mr_ir::error::IrError;
+use mr_ir::instr::BinOp;
+use mr_ir::value::Value;
+
+use crate::expr::Expr;
+
+/// A conjunction of boolean-valued expressions. An empty conjunct is
+/// trivially true.
+pub type Conjunct = Vec<Expr>;
+
+/// A predicate in disjunctive normal form. No conjuncts ⇒ `false`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dnf {
+    /// The disjuncts.
+    pub conjuncts: Vec<Conjunct>,
+}
+
+/// Maximum number of conjuncts produced during normalization before the
+/// analyzer declares the predicate too complex.
+pub const MAX_CONJUNCTS: usize = 1024;
+
+/// Error for formulas beyond the normalization budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooComplex;
+
+impl fmt::Display for TooComplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "predicate exceeds DNF normalization budget")
+    }
+}
+
+impl Dnf {
+    /// The always-false predicate.
+    pub fn never() -> Dnf {
+        Dnf { conjuncts: vec![] }
+    }
+
+    /// The always-true predicate.
+    pub fn always() -> Dnf {
+        Dnf {
+            conjuncts: vec![vec![]],
+        }
+    }
+
+    /// True when some conjunct is empty (trivially satisfied).
+    pub fn is_always_true(&self) -> bool {
+        self.conjuncts.iter().any(Vec::is_empty)
+    }
+
+    /// True when there are no conjuncts.
+    pub fn is_never(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// OR another DNF into this one.
+    pub fn or(&mut self, other: Dnf) {
+        self.conjuncts.extend(other.conjuncts);
+    }
+
+    /// Evaluate against a concrete `(key, value)`.
+    pub fn eval(&self, key: &Value, value: &Value) -> Result<bool, IrError> {
+        for conjunct in &self.conjuncts {
+            let mut all = true;
+            for pred in conjunct {
+                if !pred.eval(key, value)?.is_truthy() {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Light simplification: drop constant-true predicates, drop
+    /// conjuncts containing constant-false predicates, deduplicate
+    /// predicates within conjuncts and identical conjuncts, and collapse
+    /// to [`Dnf::always`] when any conjunct becomes empty.
+    pub fn simplify(mut self) -> Dnf {
+        let mut out: Vec<Conjunct> = Vec::new();
+        'conjuncts: for mut conj in std::mem::take(&mut self.conjuncts) {
+            let mut kept: Conjunct = Vec::new();
+            for pred in conj.drain(..) {
+                match &pred {
+                    Expr::Const(v) if v.is_truthy() => continue,
+                    Expr::Const(_) => continue 'conjuncts, // false kills conjunct
+                    _ => {}
+                }
+                if !kept.contains(&pred) {
+                    kept.push(pred);
+                }
+            }
+            if kept.is_empty() {
+                return Dnf::always();
+            }
+            if !out.contains(&kept) {
+                out.push(kept);
+            }
+        }
+        Dnf { conjuncts: out }
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            return write!(f, "false");
+        }
+        for (i, conj) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            if conj.is_empty() {
+                write!(f, "true")?;
+            } else {
+                write!(f, "(")?;
+                for (j, p) in conj.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Normalize a single condition expression with a polarity into DNF:
+/// negations are pushed inward, conjunctions/disjunctions of conditions
+/// are expanded, and comparison leaves absorb the negation by operator
+/// inversion.
+pub fn normalize(expr: &Expr, polarity: bool) -> Result<Dnf, TooComplex> {
+    let dnf = match (expr, polarity) {
+        (Expr::Not(inner), p) => normalize(inner, !p)?,
+        (Expr::Bin(BinOp::And, a, b), true) | (Expr::Bin(BinOp::Or, a, b), false) => {
+            and(normalize(a, polarity)?, normalize(b, polarity)?)?
+        }
+        (Expr::Bin(BinOp::Or, a, b), true) | (Expr::Bin(BinOp::And, a, b), false) => {
+            let mut d = normalize(a, polarity)?;
+            d.or(normalize(b, polarity)?);
+            d
+        }
+        (Expr::Cmp(op, a, b), p) => {
+            let op = if p { *op } else { op.negate() };
+            Dnf {
+                conjuncts: vec![vec![Expr::Cmp(op, a.clone(), b.clone())]],
+            }
+        }
+        (Expr::Const(v), p) => {
+            if v.is_truthy() == p {
+                Dnf::always()
+            } else {
+                Dnf::never()
+            }
+        }
+        (other, true) => Dnf {
+            conjuncts: vec![vec![other.clone()]],
+        },
+        (other, false) => Dnf {
+            conjuncts: vec![vec![Expr::Not(Box::new(other.clone()))]],
+        },
+    };
+    if dnf.conjuncts.len() > MAX_CONJUNCTS {
+        return Err(TooComplex);
+    }
+    Ok(dnf)
+}
+
+/// AND of two DNFs (cross product of conjuncts).
+pub fn and(a: Dnf, b: Dnf) -> Result<Dnf, TooComplex> {
+    if a.conjuncts.len().saturating_mul(b.conjuncts.len()) > MAX_CONJUNCTS {
+        return Err(TooComplex);
+    }
+    let mut out = Vec::with_capacity(a.conjuncts.len() * b.conjuncts.len());
+    for ca in &a.conjuncts {
+        for cb in &b.conjuncts {
+            let mut c = ca.clone();
+            c.extend(cb.iter().cloned());
+            out.push(c);
+        }
+    }
+    Ok(Dnf { conjuncts: out })
+}
+
+/// Build the DNF of one path: the conjunction of all its (normalized)
+/// conditions — the paper's `conj(conds(path))`.
+pub fn conjoin_path(conds: &[(Expr, bool)]) -> Result<Dnf, TooComplex> {
+    let mut acc = Dnf::always();
+    for (expr, polarity) in conds {
+        acc = and(acc, normalize(expr, *polarity)?)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::instr::{CmpOp, ParamId};
+    use mr_ir::record::record;
+    use mr_ir::schema::{FieldType, Schema};
+
+    fn rank_gt(n: i64) -> Expr {
+        Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::value_field("rank")),
+            Box::new(Expr::Const(Value::Int(n))),
+        )
+    }
+
+    fn webpage(rank: i64) -> Value {
+        let s = Schema::new("W", vec![("rank", FieldType::Int)]).into_arc();
+        record(&s, vec![rank.into()]).into()
+    }
+
+    #[test]
+    fn polarity_negates_comparison() {
+        let d = normalize(&rank_gt(1), false).unwrap();
+        assert_eq!(d.to_string(), "((value.rank <= 1))");
+    }
+
+    #[test]
+    fn and_or_expansion() {
+        // (a AND b) with polarity false → !a OR !b.
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(rank_gt(1)),
+            Box::new(rank_gt(10)),
+        );
+        let d = normalize(&e, false).unwrap();
+        assert_eq!(d.conjuncts.len(), 2);
+        // With polarity true → one conjunct of two predicates.
+        let d = normalize(&e, true).unwrap();
+        assert_eq!(d.conjuncts.len(), 1);
+        assert_eq!(d.conjuncts[0].len(), 2);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = Expr::Not(Box::new(Expr::Not(Box::new(rank_gt(1)))));
+        let d = normalize(&e, true).unwrap();
+        assert_eq!(d.to_string(), "((value.rank > 1))");
+    }
+
+    #[test]
+    fn eval_on_records() {
+        let mut d = normalize(&rank_gt(1), true).unwrap();
+        d.or(normalize(&rank_gt(100), true).unwrap());
+        assert!(d.eval(&Value::Null, &webpage(5)).unwrap());
+        assert!(!d.eval(&Value::Null, &webpage(0)).unwrap());
+    }
+
+    #[test]
+    fn conjoin_path_builds_conjunction() {
+        let d = conjoin_path(&[(rank_gt(1), true), (rank_gt(100), false)]).unwrap();
+        // rank > 1 AND rank <= 100.
+        assert!(d.eval(&Value::Null, &webpage(50)).unwrap());
+        assert!(!d.eval(&Value::Null, &webpage(0)).unwrap());
+        assert!(!d.eval(&Value::Null, &webpage(200)).unwrap());
+    }
+
+    #[test]
+    fn simplify_drops_true_and_dedupes() {
+        let d = Dnf {
+            conjuncts: vec![
+                vec![Expr::Const(Value::Bool(true)), rank_gt(1), rank_gt(1)],
+                vec![rank_gt(1)],
+                vec![Expr::Const(Value::Bool(false)), rank_gt(7)],
+            ],
+        };
+        let s = d.simplify();
+        assert_eq!(s.conjuncts.len(), 1);
+        assert_eq!(s.conjuncts[0].len(), 1);
+    }
+
+    #[test]
+    fn simplify_collapses_to_always() {
+        let d = Dnf {
+            conjuncts: vec![vec![Expr::Const(Value::Bool(true))]],
+        };
+        assert!(d.simplify().is_always_true());
+    }
+
+    #[test]
+    fn never_and_always() {
+        assert!(Dnf::never().is_never());
+        assert!(Dnf::always().is_always_true());
+        assert!(Dnf::always().eval(&Value::Null, &Value::Null).unwrap());
+        assert!(!Dnf::never().eval(&Value::Null, &Value::Null).unwrap());
+        assert_eq!(Dnf::never().to_string(), "false");
+        assert_eq!(Dnf::always().to_string(), "true");
+    }
+
+    #[test]
+    fn complexity_budget_enforced() {
+        // Chain of ORs, each AND-composed: (a1 OR a2) AND (a1 OR a2) …
+        // grows as 2^k conjuncts.
+        let pair = Expr::Bin(
+            BinOp::Or,
+            Box::new(rank_gt(1)),
+            Box::new(rank_gt(2)),
+        );
+        let mut acc = Dnf::always();
+        let mut overflowed = false;
+        for _ in 0..12 {
+            match and(acc.clone(), normalize(&pair, true).unwrap()) {
+                Ok(next) => acc = next,
+                Err(TooComplex) => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed);
+    }
+
+    #[test]
+    fn non_comparison_condition_wraps_in_not() {
+        let call = Expr::Call(
+            "str.contains".into(),
+            vec![
+                Expr::value_field("url"),
+                Expr::Const(Value::str("x")),
+            ],
+        );
+        let d = normalize(&call, false).unwrap();
+        assert!(matches!(d.conjuncts[0][0], Expr::Not(_)));
+        let _ = Expr::Param(ParamId::Key); // silence unused import lint path
+    }
+}

@@ -1,0 +1,392 @@
+//! Projection detection — the paper's `findProject` (Fig. 6, App. C).
+//!
+//! "Optimizing for projections means enumerating which fields of the
+//! map()'s inputs are never used. We only care about calls to emit() and
+//! control-flow decisions that lead up to emit() calls. Other reasons to
+//! use inputs — log messages, debugging text, etc. — we optimize away."
+//!
+//! Differences from the paper's Fig. 6, both on the safe side:
+//!
+//! * Instead of enumerating paths, we seed the use-def DAG with every
+//!   emit argument plus the condition of every branch from which an emit
+//!   remains reachable — the same cond set Fig. 6 collects, without the
+//!   exponential path walk. Extra conditions can only *keep* fields.
+//! * Member variables are expanded: a field flowing into an emit across
+//!   invocations through mapper state is kept (see
+//!   [`DagOptions::expand_members`](crate::usedef::DagOptions)).
+//! * Opaque serialization formats (the Benchmark-1 `AbstractTuple`)
+//!   cause an explicit refusal, as does any whole-record escape.
+
+use std::fmt;
+
+use mr_ir::function::Program;
+use mr_ir::instr::{Instr, Reg};
+
+use crate::cfg::Cfg;
+use crate::dataflow::ReachingDefs;
+use crate::usedef::{DagOptions, UseDef};
+
+/// The PROJECT optimization descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectionDescriptor {
+    /// Fields the map can observe on an emit-relevant chain, in schema
+    /// order.
+    pub used_fields: Vec<String>,
+    /// Fields that can safely be dropped from the on-disk layout, in
+    /// schema order.
+    pub dropped_fields: Vec<String>,
+}
+
+impl fmt::Display for ProjectionDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PROJECT keep [{}] drop [{}]",
+            self.used_fields.join(", "),
+            self.dropped_fields.join(", ")
+        )
+    }
+}
+
+/// Outcome of projection analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjectOutcome {
+    /// Some fields can be dropped.
+    Projection(ProjectionDescriptor),
+    /// Every field is (possibly) needed — nothing to gain.
+    AllFieldsNeeded,
+    /// The value class uses a custom serialization format whose field
+    /// boundaries the analyzer cannot see (Benchmark 1's miss).
+    Opaque,
+    /// The map never emits; projection is moot.
+    NoEmit,
+}
+
+impl ProjectOutcome {
+    /// Convenience accessor.
+    pub fn descriptor(&self) -> Option<&ProjectionDescriptor> {
+        match self {
+            ProjectOutcome::Projection(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Run projection detection on a program's mapper.
+pub fn find_project(program: &Program) -> ProjectOutcome {
+    let func = &program.mapper;
+    let emit_pcs = func.emit_sites();
+    if emit_pcs.is_empty() {
+        return ProjectOutcome::NoEmit;
+    }
+    if program.value_schema.is_opaque() {
+        return ProjectOutcome::Opaque;
+    }
+
+    let cfg = Cfg::build(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+    let ud = UseDef::new(func, &cfg, &rd);
+
+    // Blocks from which an emit is reachable (the blocks whose branch
+    // conditions "lead up to emit() calls").
+    let emit_reaching = blocks_reaching_emit(func, &cfg, &emit_pcs);
+
+    let mut seeds: Vec<(usize, Reg)> = Vec::new();
+    for &pc in &emit_pcs {
+        if let Instr::Emit { key, value } = &func.instrs[pc] {
+            seeds.push((pc, *key));
+            seeds.push((pc, *value));
+        }
+    }
+    for (bid, block) in cfg.blocks.iter().enumerate() {
+        if !emit_reaching[bid] {
+            continue;
+        }
+        let last = block.last();
+        if let Instr::Br { cond, .. } = &func.instrs[last] {
+            seeds.push((last, *cond));
+        }
+    }
+
+    let dag = ud.collect(
+        &seeds,
+        DagOptions {
+            expand_members: true,
+        },
+    );
+    if dag.value_escapes {
+        return ProjectOutcome::AllFieldsNeeded;
+    }
+
+    let schema = &program.value_schema;
+    let mut used = Vec::new();
+    let mut dropped = Vec::new();
+    for fd in schema.fields() {
+        if dag.value_fields.contains(&fd.name) {
+            used.push(fd.name.clone());
+        } else {
+            dropped.push(fd.name.clone());
+        }
+    }
+    if dropped.is_empty() {
+        ProjectOutcome::AllFieldsNeeded
+    } else {
+        ProjectOutcome::Projection(ProjectionDescriptor {
+            used_fields: used,
+            dropped_fields: dropped,
+        })
+    }
+}
+
+/// Blocks from which some emit instruction is reachable (including the
+/// blocks containing the emits).
+fn blocks_reaching_emit(
+    func: &mr_ir::function::Function,
+    cfg: &Cfg,
+    emit_pcs: &[usize],
+) -> Vec<bool> {
+    let _ = func;
+    let mut reaching = vec![false; cfg.len()];
+    let mut work: Vec<usize> = emit_pcs.iter().map(|&pc| cfg.block_of(pc)).collect();
+    while let Some(b) = work.pop() {
+        if reaching[b] {
+            continue;
+        }
+        reaching[b] = true;
+        for &p in &cfg.preds[b] {
+            work.push(p);
+        }
+    }
+    reaching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::schema::{FieldType, Schema};
+    use std::sync::Arc;
+
+    fn webpage_schema() -> Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![
+                ("url", FieldType::Str),
+                ("rank", FieldType::Int),
+                ("content", FieldType::Str),
+            ],
+        )
+        .into_arc()
+    }
+
+    fn program_with(src: &str, schema: Arc<Schema>) -> Program {
+        Program::new("test", parse_function(src).unwrap(), schema)
+    }
+
+    /// The paper's motivating example: code never examines the large
+    /// `htmlContent`-style field, so it is projected away.
+    #[test]
+    fn unused_content_dropped() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = cmp gt r1, r2
+              br r3, t, e
+            t:
+              r4 = field r0.url
+              emit r4, r1
+            e:
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        let d = match find_project(&p) {
+            ProjectOutcome::Projection(d) => d,
+            other => panic!("expected projection, got {other:?}"),
+        };
+        assert_eq!(d.used_fields, vec!["url", "rank"]);
+        assert_eq!(d.dropped_fields, vec!["content"]);
+    }
+
+    #[test]
+    fn log_only_field_use_is_dropped() {
+        // `content` feeds only a debug log — "other reasons to use
+        // inputs … we optimize away".
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.content
+              effect log(r1)
+              r2 = field r0.rank
+              emit r2, r2
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        let d = find_project(&p).descriptor().cloned().unwrap();
+        assert_eq!(d.used_fields, vec!["rank"]);
+        assert!(d.dropped_fields.contains(&"content".to_string()));
+        assert!(d.dropped_fields.contains(&"url".to_string()));
+    }
+
+    #[test]
+    fn branch_guarding_only_log_is_ignored() {
+        // A branch that leads only to a side effect (no emit reachable
+        // beyond what's already reachable) still gets its cond included
+        // only if an emit is reachable from that block. Here the emit IS
+        // reachable from the branch block, so rank stays; but content,
+        // used only inside the log-arm, is dropped.
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 5
+              r3 = cmp gt r1, r2
+              br r3, noisy, quiet
+            noisy:
+              r4 = field r0.content
+              effect log(r4)
+              jmp quiet
+            quiet:
+              emit r1, r1
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        let d = find_project(&p).descriptor().cloned().unwrap();
+        assert!(d.dropped_fields.contains(&"content".to_string()));
+        assert!(d.used_fields.contains(&"rank".to_string()));
+    }
+
+    #[test]
+    fn opaque_schema_refused() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = const "rank"
+              r2 = call tuple.get_int(r0, r1)
+              emit r2, r2
+              ret
+            }
+            "#,
+            Arc::new(
+                Schema::new(
+                    "AbstractTuple",
+                    vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+                )
+                .opaque(),
+            ),
+        );
+        assert_eq!(find_project(&p), ProjectOutcome::Opaque);
+    }
+
+    #[test]
+    fn whole_record_emit_keeps_everything() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = param key
+              emit r1, r0
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        assert_eq!(find_project(&p), ProjectOutcome::AllFieldsNeeded);
+    }
+
+    #[test]
+    fn all_fields_used_nothing_to_drop() {
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.url
+              r2 = field r0.rank
+              r3 = field r0.content
+              r4 = call str.len(r3)
+              r5 = add r2, r4
+              emit r1, r5
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        assert_eq!(find_project(&p), ProjectOutcome::AllFieldsNeeded);
+    }
+
+    #[test]
+    fn no_emit_case() {
+        let p = program_with("func map(key, value) {\n  ret\n}\n", webpage_schema());
+        assert_eq!(find_project(&p), ProjectOutcome::NoEmit);
+    }
+
+    #[test]
+    fn field_through_member_state_kept() {
+        // rank flows into the member on one invocation and out through
+        // the emit on a later one; projection must keep it even though
+        // no single invocation chains rank → emit.
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              member best = 0
+              r0 = param value
+              r1 = field r0.rank
+              member best = r1
+              r2 = member best
+              r3 = field r0.url
+              emit r3, r2
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        let d = find_project(&p).descriptor().cloned().unwrap();
+        assert!(d.used_fields.contains(&"rank".to_string()));
+        assert!(d.used_fields.contains(&"url".to_string()));
+        assert_eq!(d.dropped_fields, vec!["content"]);
+    }
+
+    #[test]
+    fn loop_body_field_uses_kept() {
+        // Projection (unlike selection) handles loops fine: the DAG is
+        // flow-insensitive enough to keep content.
+        let p = program_with(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.content
+              r2 = call text.extract_urls(r1)
+              r3 = call list.len(r2)
+              r4 = const 0
+              r5 = const 1
+            head:
+              r6 = cmp lt r4, r3
+              br r6, body, exit
+            body:
+              r7 = call list.get(r2, r4)
+              emit r7, r5
+              r8 = add r4, r5
+              r4 = r8
+              jmp head
+            exit:
+              ret
+            }
+            "#,
+            webpage_schema(),
+        );
+        let d = find_project(&p).descriptor().cloned().unwrap();
+        assert_eq!(d.used_fields, vec!["content"]);
+        assert_eq!(d.dropped_fields, vec!["url", "rank"]);
+    }
+}

@@ -1,0 +1,154 @@
+//! The functional test — the paper's `isFunc(useDefChain)` (§3.2).
+//!
+//! "The functional test succeeds when all of the following hold: the use
+//! depends only on map() parameters or constants, not class members or
+//! other external variables; \[and\] the use-def DAG contains no calls to
+//! methods which themselves may not be functional in terms of their
+//! inputs."
+//!
+//! A failed test names its witness so Table 1 can report *why* an
+//! optimization went undetected (e.g. `unknown call: ht.contains` — the
+//! paper's Benchmark-4 Hashtable blind spot).
+
+use std::fmt;
+
+use mr_ir::stdlib::stdlib;
+
+use crate::expr::Expr;
+use crate::usedef::DagSummary;
+
+/// Why a chain is not a pure function of the map inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NonFunctional {
+    /// Depends on a mapper member variable (the Fig. 2 hazard).
+    MemberDependence(String),
+    /// Calls a method the analyzer has no built-in knowledge of.
+    UnknownCall(String),
+}
+
+impl fmt::Display for NonFunctional {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonFunctional::MemberDependence(m) => {
+                write!(f, "depends on member variable `{m}`")
+            }
+            NonFunctional::UnknownCall(c) => write!(f, "unknown call: {c}"),
+        }
+    }
+}
+
+/// `isFunc` over a resolved symbolic expression.
+pub fn check_expr(expr: &Expr) -> Result<(), NonFunctional> {
+    if let Some(m) = expr.members().into_iter().next() {
+        return Err(NonFunctional::MemberDependence(m));
+    }
+    let lib = stdlib();
+    for call in expr.calls() {
+        if !lib.is_pure(&call) {
+            return Err(NonFunctional::UnknownCall(call));
+        }
+    }
+    Ok(())
+}
+
+/// `isFunc` over a use-def DAG summary.
+pub fn check_dag(dag: &DagSummary) -> Result<(), NonFunctional> {
+    if let Some(m) = dag.members.iter().next() {
+        return Err(NonFunctional::MemberDependence(m.clone()));
+    }
+    let lib = stdlib();
+    for call in &dag.calls {
+        if !lib.is_pure(call) {
+            return Err(NonFunctional::UnknownCall(call.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::instr::CmpOp;
+    use mr_ir::value::Value;
+
+    #[test]
+    fn pure_expression_passes() {
+        let e = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::value_field("rank")),
+            Box::new(Expr::Const(Value::Int(1))),
+        );
+        assert!(check_expr(&e).is_ok());
+    }
+
+    #[test]
+    fn member_dependence_fails() {
+        let e = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::Member("numMapsRun".into())),
+            Box::new(Expr::Const(Value::Int(200))),
+        );
+        assert_eq!(
+            check_expr(&e),
+            Err(NonFunctional::MemberDependence("numMapsRun".into()))
+        );
+    }
+
+    #[test]
+    fn whitelisted_call_passes_unknown_fails() {
+        let pure = Expr::Call(
+            "str.contains".into(),
+            vec![Expr::value_field("url"), Expr::Const(Value::str("x"))],
+        );
+        assert!(check_expr(&pure).is_ok());
+
+        let ht = Expr::Call(
+            "ht.contains".into(),
+            vec![Expr::value_field("t"), Expr::Const(Value::str("k"))],
+        );
+        assert_eq!(
+            check_expr(&ht),
+            Err(NonFunctional::UnknownCall("ht.contains".into()))
+        );
+    }
+
+    #[test]
+    fn impure_call_fails() {
+        let e = Expr::Call("time.now_millis".into(), vec![]);
+        assert!(matches!(
+            check_expr(&e),
+            Err(NonFunctional::UnknownCall(_))
+        ));
+    }
+
+    #[test]
+    fn dag_checks_mirror_expr_checks() {
+        let mut dag = DagSummary::default();
+        assert!(check_dag(&dag).is_ok());
+        dag.calls.insert("str.len".into());
+        assert!(check_dag(&dag).is_ok());
+        dag.calls.insert("ht.put".into());
+        assert!(matches!(
+            check_dag(&dag),
+            Err(NonFunctional::UnknownCall(_))
+        ));
+        let mut dag2 = DagSummary::default();
+        dag2.members.insert("sum".into());
+        assert!(matches!(
+            check_dag(&dag2),
+            Err(NonFunctional::MemberDependence(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_witness() {
+        assert_eq!(
+            NonFunctional::UnknownCall("ht.contains".into()).to_string(),
+            "unknown call: ht.contains"
+        );
+        assert_eq!(
+            NonFunctional::MemberDependence("n".into()).to_string(),
+            "depends on member variable `n`"
+        );
+    }
+}

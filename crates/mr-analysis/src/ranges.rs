@@ -1,0 +1,500 @@
+//! Key-range extraction: turning a selection DNF into B+Tree scan
+//! ranges.
+//!
+//! The SELECT descriptor "includes a description of which values should
+//! be indexed, plus a logical formula over these values" (paper §2.2).
+//! The optimizer then needs the formula *as ranges over the indexed
+//! value* so the execution fabric can scan only the relevant portion of
+//! the index. The extraction over-approximates: predicates that do not
+//! constrain the chosen key widen the range, never narrow it, so the
+//! index scan is always a superset of the emitting records (the map
+//! function still runs and applies its own tests — safety never depends
+//! on range precision).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use mr_ir::instr::{CmpOp, ParamId};
+use mr_ir::value::Value;
+
+use crate::expr::Expr;
+use crate::predicate::Dnf;
+
+/// One endpoint of a key range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unbounded.
+    Open,
+    /// Inclusive bound.
+    Incl(Value),
+    /// Exclusive bound.
+    Excl(Value),
+}
+
+/// A contiguous range of key values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Lower endpoint.
+    pub low: Endpoint,
+    /// Upper endpoint.
+    pub high: Endpoint,
+}
+
+impl KeyRange {
+    /// The full, unbounded range.
+    pub fn full() -> KeyRange {
+        KeyRange {
+            low: Endpoint::Open,
+            high: Endpoint::Open,
+        }
+    }
+
+    /// The single-point range `[v, v]`.
+    pub fn point(v: Value) -> KeyRange {
+        KeyRange {
+            low: Endpoint::Incl(v.clone()),
+            high: Endpoint::Incl(v),
+        }
+    }
+
+    /// Whether this is the unbounded range.
+    pub fn is_full(&self) -> bool {
+        self.low == Endpoint::Open && self.high == Endpoint::Open
+    }
+
+    /// Whether `v` lies within the range.
+    pub fn contains(&self, v: &Value) -> bool {
+        let low_ok = match &self.low {
+            Endpoint::Open => true,
+            Endpoint::Incl(b) => v >= b,
+            Endpoint::Excl(b) => v > b,
+        };
+        let high_ok = match &self.high {
+            Endpoint::Open => true,
+            Endpoint::Incl(b) => v <= b,
+            Endpoint::Excl(b) => v < b,
+        };
+        low_ok && high_ok
+    }
+
+    /// Intersect with another range; `None` when provably empty.
+    pub fn intersect(&self, other: &KeyRange) -> Option<KeyRange> {
+        let low = max_low(&self.low, &other.low);
+        let high = min_high(&self.high, &other.high);
+        let r = KeyRange { low, high };
+        if r.is_provably_empty() {
+            None
+        } else {
+            Some(r)
+        }
+    }
+
+    fn is_provably_empty(&self) -> bool {
+        match (&self.low, &self.high) {
+            (Endpoint::Incl(a), Endpoint::Incl(b)) => a > b,
+            (Endpoint::Incl(a), Endpoint::Excl(b))
+            | (Endpoint::Excl(a), Endpoint::Incl(b))
+            | (Endpoint::Excl(a), Endpoint::Excl(b)) => a >= b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.low {
+            Endpoint::Open => write!(f, "(-inf")?,
+            Endpoint::Incl(v) => write!(f, "[{v}")?,
+            Endpoint::Excl(v) => write!(f, "({v}")?,
+        }
+        write!(f, ", ")?;
+        match &self.high {
+            Endpoint::Open => write!(f, "+inf)"),
+            Endpoint::Incl(v) => write!(f, "{v}]"),
+            Endpoint::Excl(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+fn max_low(a: &Endpoint, b: &Endpoint) -> Endpoint {
+    match (a, b) {
+        (Endpoint::Open, x) | (x, Endpoint::Open) => x.clone(),
+        (Endpoint::Incl(x), Endpoint::Incl(y)) => {
+            Endpoint::Incl(if x >= y { x.clone() } else { y.clone() })
+        }
+        (Endpoint::Excl(x), Endpoint::Excl(y)) => {
+            Endpoint::Excl(if x >= y { x.clone() } else { y.clone() })
+        }
+        (Endpoint::Incl(x), Endpoint::Excl(y)) => match x.cmp(y) {
+            Ordering::Greater => Endpoint::Incl(x.clone()),
+            _ => Endpoint::Excl(y.clone()),
+        },
+        (Endpoint::Excl(x), Endpoint::Incl(y)) => match y.cmp(x) {
+            Ordering::Greater => Endpoint::Incl(y.clone()),
+            _ => Endpoint::Excl(x.clone()),
+        },
+    }
+}
+
+fn min_high(a: &Endpoint, b: &Endpoint) -> Endpoint {
+    match (a, b) {
+        (Endpoint::Open, x) | (x, Endpoint::Open) => x.clone(),
+        (Endpoint::Incl(x), Endpoint::Incl(y)) => {
+            Endpoint::Incl(if x <= y { x.clone() } else { y.clone() })
+        }
+        (Endpoint::Excl(x), Endpoint::Excl(y)) => {
+            Endpoint::Excl(if x <= y { x.clone() } else { y.clone() })
+        }
+        (Endpoint::Incl(x), Endpoint::Excl(y)) => match x.cmp(y) {
+            Ordering::Less => Endpoint::Incl(x.clone()),
+            _ => Endpoint::Excl(y.clone()),
+        },
+        (Endpoint::Excl(x), Endpoint::Incl(y)) => match y.cmp(x) {
+            Ordering::Less => Endpoint::Incl(y.clone()),
+            _ => Endpoint::Excl(x.clone()),
+        },
+    }
+}
+
+/// The chosen index key plus the scan ranges implied by the DNF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexPlan {
+    /// The expression to index (evaluated per record at index-build
+    /// time).
+    pub key: Expr,
+    /// Scan ranges, one per satisfiable disjunct, merged where they
+    /// overlap and sorted by lower bound.
+    pub ranges: Vec<KeyRange>,
+}
+
+impl IndexPlan {
+    /// Whether the plan degenerates to a full scan.
+    pub fn is_full_scan(&self) -> bool {
+        self.ranges.iter().any(KeyRange::is_full)
+    }
+}
+
+/// Choose an index key for `dnf` and compute its scan ranges.
+///
+/// Candidates are the non-constant sides of comparisons against
+/// constants. The candidate constraining the most conjuncts wins;
+/// ties prefer a direct field of the value parameter, then the smaller
+/// expression. Returns `None` when no comparison against a constant
+/// exists anywhere (nothing indexable).
+pub fn extract_index_plan(dnf: &Dnf) -> Option<IndexPlan> {
+    let mut candidates: Vec<Expr> = Vec::new();
+    for conj in &dnf.conjuncts {
+        for pred in conj {
+            if let Some((key, _, _)) = as_key_constraint(pred) {
+                if !candidates.contains(key) {
+                    candidates.push(key.clone());
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+
+    let score = |cand: &Expr| -> usize {
+        dnf.conjuncts
+            .iter()
+            .filter(|conj| {
+                conj.iter()
+                    .any(|p| as_key_constraint(p).is_some_and(|(k, _, _)| k == cand))
+            })
+            .count()
+    };
+    let prefers_field = |e: &Expr| {
+        matches!(e, Expr::Field(obj, _) if matches!(**obj, Expr::Param(ParamId::Value)))
+    };
+    let best = candidates
+        .into_iter()
+        .max_by(|a, b| {
+            score(a)
+                .cmp(&score(b))
+                .then_with(|| prefers_field(a).cmp(&prefers_field(b)))
+                .then_with(|| b.size().cmp(&a.size()))
+        })
+        .expect("non-empty candidates");
+
+    let mut ranges: Vec<KeyRange> = Vec::new();
+    for conj in &dnf.conjuncts {
+        let mut range = KeyRange::full();
+        let mut satisfiable = true;
+        for pred in conj {
+            if let Some((key, op, constant)) = as_key_constraint(pred) {
+                if key != &best {
+                    continue;
+                }
+                let constraint = range_of_cmp(op, constant);
+                match range.intersect(&constraint) {
+                    Some(r) => range = r,
+                    None => {
+                        satisfiable = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if satisfiable {
+            ranges.push(range);
+        }
+    }
+    Some(IndexPlan {
+        key: best,
+        ranges: merge_ranges(ranges),
+    })
+}
+
+/// Decompose `pred` as `key <op> constant` (normalizing flipped
+/// comparisons like `1 < v.rank`).
+fn as_key_constraint(pred: &Expr) -> Option<(&Expr, CmpOp, &Value)> {
+    let Expr::Cmp(op, lhs, rhs) = pred else {
+        return None;
+    };
+    match (&**lhs, &**rhs) {
+        (Expr::Const(_), Expr::Const(_)) => None,
+        (key, Expr::Const(c)) => Some((key, *op, c)),
+        (Expr::Const(c), key) => Some((key, op.flip(), c)),
+        _ => None,
+    }
+}
+
+/// Range implied by `key <op> c`. `Ne` yields the full range (the index
+/// cannot express exclusion; the map re-checks).
+fn range_of_cmp(op: CmpOp, c: &Value) -> KeyRange {
+    match op {
+        CmpOp::Eq => KeyRange::point(c.clone()),
+        CmpOp::Ne => KeyRange::full(),
+        CmpOp::Lt => KeyRange {
+            low: Endpoint::Open,
+            high: Endpoint::Excl(c.clone()),
+        },
+        CmpOp::Le => KeyRange {
+            low: Endpoint::Open,
+            high: Endpoint::Incl(c.clone()),
+        },
+        CmpOp::Gt => KeyRange {
+            low: Endpoint::Excl(c.clone()),
+            high: Endpoint::Open,
+        },
+        CmpOp::Ge => KeyRange {
+            low: Endpoint::Incl(c.clone()),
+            high: Endpoint::Open,
+        },
+    }
+}
+
+/// Sort ranges by lower bound and merge overlapping/adjacent ones.
+fn merge_ranges(mut ranges: Vec<KeyRange>) -> Vec<KeyRange> {
+    if ranges.len() <= 1 {
+        return ranges;
+    }
+    ranges.sort_by(|a, b| cmp_low(&a.low, &b.low));
+    let mut out: Vec<KeyRange> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match out.last_mut() {
+            Some(prev) if overlaps_or_touches(prev, &r) => {
+                if cmp_high(&r.high, &prev.high) == Ordering::Greater {
+                    prev.high = r.high;
+                }
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+fn cmp_low(a: &Endpoint, b: &Endpoint) -> Ordering {
+    match (a, b) {
+        (Endpoint::Open, Endpoint::Open) => Ordering::Equal,
+        (Endpoint::Open, _) => Ordering::Less,
+        (_, Endpoint::Open) => Ordering::Greater,
+        (Endpoint::Incl(x), Endpoint::Incl(y)) | (Endpoint::Excl(x), Endpoint::Excl(y)) => {
+            x.cmp(y)
+        }
+        (Endpoint::Incl(x), Endpoint::Excl(y)) => x.cmp(y).then(Ordering::Less),
+        (Endpoint::Excl(x), Endpoint::Incl(y)) => x.cmp(y).then(Ordering::Greater),
+    }
+}
+
+fn cmp_high(a: &Endpoint, b: &Endpoint) -> Ordering {
+    match (a, b) {
+        (Endpoint::Open, Endpoint::Open) => Ordering::Equal,
+        (Endpoint::Open, _) => Ordering::Greater,
+        (_, Endpoint::Open) => Ordering::Less,
+        (Endpoint::Incl(x), Endpoint::Incl(y)) | (Endpoint::Excl(x), Endpoint::Excl(y)) => {
+            x.cmp(y)
+        }
+        (Endpoint::Incl(x), Endpoint::Excl(y)) => x.cmp(y).then(Ordering::Greater),
+        (Endpoint::Excl(x), Endpoint::Incl(y)) => x.cmp(y).then(Ordering::Less),
+    }
+}
+
+/// Conservative overlap test used during merging: ranges sorted by low
+/// endpoint overlap when the earlier range's high reaches the later
+/// range's low.
+fn overlaps_or_touches(a: &KeyRange, b: &KeyRange) -> bool {
+    match (&a.high, &b.low) {
+        (Endpoint::Open, _) | (_, Endpoint::Open) => true,
+        (Endpoint::Incl(h), Endpoint::Incl(l)) => h >= l,
+        (Endpoint::Incl(h), Endpoint::Excl(l)) | (Endpoint::Excl(h), Endpoint::Incl(l)) => h >= l,
+        (Endpoint::Excl(h), Endpoint::Excl(l)) => h > l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::normalize;
+
+    fn rank() -> Expr {
+        Expr::value_field("rank")
+    }
+
+    fn rank_cmp(op: CmpOp, n: i64) -> Expr {
+        Expr::Cmp(op, Box::new(rank()), Box::new(Expr::Const(Value::Int(n))))
+    }
+
+    #[test]
+    fn simple_greater_than_range() {
+        let dnf = normalize(&rank_cmp(CmpOp::Gt, 1), true).unwrap();
+        let plan = extract_index_plan(&dnf).unwrap();
+        assert_eq!(plan.key, rank());
+        assert_eq!(plan.ranges.len(), 1);
+        assert_eq!(plan.ranges[0].to_string(), "(1, +inf)");
+        assert!(!plan.is_full_scan());
+        assert!(plan.ranges[0].contains(&Value::Int(2)));
+        assert!(!plan.ranges[0].contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn between_intersects() {
+        let d = crate::predicate::conjoin_path(&[
+            (rank_cmp(CmpOp::Ge, 10), true),
+            (rank_cmp(CmpOp::Lt, 20), true),
+        ])
+        .unwrap();
+        let plan = extract_index_plan(&d).unwrap();
+        assert_eq!(plan.ranges[0].to_string(), "[10, 20)");
+    }
+
+    #[test]
+    fn contradictory_conjunct_dropped() {
+        let d = crate::predicate::conjoin_path(&[
+            (rank_cmp(CmpOp::Gt, 20), true),
+            (rank_cmp(CmpOp::Lt, 10), true),
+        ])
+        .unwrap();
+        let plan = extract_index_plan(&d).unwrap();
+        assert!(plan.ranges.is_empty(), "empty intersection yields no range");
+    }
+
+    #[test]
+    fn disjuncts_union_and_merge() {
+        let mut d = normalize(&rank_cmp(CmpOp::Gt, 10), true).unwrap();
+        d.or(normalize(&rank_cmp(CmpOp::Gt, 5), true).unwrap());
+        let plan = extract_index_plan(&d).unwrap();
+        assert_eq!(plan.ranges.len(), 1);
+        assert_eq!(plan.ranges[0].to_string(), "(5, +inf)");
+    }
+
+    #[test]
+    fn disjoint_disjuncts_stay_separate() {
+        let mut d = normalize(&rank_cmp(CmpOp::Eq, 1), true).unwrap();
+        d.or(normalize(&rank_cmp(CmpOp::Eq, 9), true).unwrap());
+        let plan = extract_index_plan(&d).unwrap();
+        assert_eq!(plan.ranges.len(), 2);
+        assert_eq!(plan.ranges[0].to_string(), "[1, 1]");
+        assert_eq!(plan.ranges[1].to_string(), "[9, 9]");
+    }
+
+    #[test]
+    fn unconstrained_disjunct_forces_full_scan() {
+        let other = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::value_field("url")),
+            Box::new(Expr::Const(Value::str("x"))),
+        );
+        let mut d = normalize(&rank_cmp(CmpOp::Gt, 1), true).unwrap();
+        d.or(normalize(&other, true).unwrap());
+        // `rank` constrains one conjunct, `url` the other; either key
+        // choice leaves the other disjunct unconstrained → a full range
+        // appears.
+        let plan = extract_index_plan(&d).unwrap();
+        assert!(plan.is_full_scan());
+    }
+
+    #[test]
+    fn flipped_comparison_normalized() {
+        // `1 < rank` must read as `rank > 1`.
+        let pred = Expr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::Const(Value::Int(1))),
+            Box::new(rank()),
+        );
+        let d = normalize(&pred, true).unwrap();
+        let plan = extract_index_plan(&d).unwrap();
+        assert_eq!(plan.key, rank());
+        assert_eq!(plan.ranges[0].to_string(), "(1, +inf)");
+    }
+
+    #[test]
+    fn no_constant_comparison_no_plan() {
+        let pred = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::value_field("a")),
+            Box::new(Expr::value_field("b")),
+        );
+        let d = normalize(&pred, true).unwrap();
+        assert!(extract_index_plan(&d).is_none());
+    }
+
+    #[test]
+    fn ne_widens_to_full() {
+        let d = normalize(&rank_cmp(CmpOp::Ne, 5), true).unwrap();
+        let plan = extract_index_plan(&d).unwrap();
+        assert!(plan.is_full_scan());
+    }
+
+    #[test]
+    fn range_intersection_edge_cases() {
+        let a = KeyRange {
+            low: Endpoint::Incl(Value::Int(5)),
+            high: Endpoint::Open,
+        };
+        let b = KeyRange {
+            low: Endpoint::Open,
+            high: Endpoint::Excl(Value::Int(5)),
+        };
+        assert!(a.intersect(&b).is_none(), "[5,∞) ∩ (-∞,5) = ∅");
+        let c = KeyRange {
+            low: Endpoint::Open,
+            high: Endpoint::Incl(Value::Int(5)),
+        };
+        assert_eq!(a.intersect(&c).unwrap().to_string(), "[5, 5]");
+    }
+
+    #[test]
+    fn key_with_pure_call_supported() {
+        // The Benchmark-1 shape: the indexed value is an expression,
+        // tuple.get_int(value, "rank"), not a schema field.
+        let key = Expr::Call(
+            "tuple.get_int".into(),
+            vec![
+                Expr::Param(ParamId::Value),
+                Expr::Const(Value::str("rank")),
+            ],
+        );
+        let pred = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(key.clone()),
+            Box::new(Expr::Const(Value::Int(10))),
+        );
+        let d = normalize(&pred, true).unwrap();
+        let plan = extract_index_plan(&d).unwrap();
+        assert_eq!(plan.key, key);
+        assert_eq!(plan.ranges[0].to_string(), "(10, +inf)");
+    }
+}

@@ -1,0 +1,608 @@
+//! Selection detection — the paper's `findSelect` (Fig. 3, §3.2).
+//!
+//! "The primary goal is to compute a logical formula over map()'s
+//! variables and input parameters that evaluates to true if and only if
+//! the function emits a tuple."
+//!
+//! The implementation follows Fig. 3: for every emit site, enumerate the
+//! simple CFG paths reaching it, take the conjunction of the (polarity-
+//! adjusted) conditions along each path, and OR the conjunctions
+//! together. Every condition — and, beyond Fig. 3 but demanded by the
+//! §3.2 prose ("a functional chain from input parameters to
+//! tuple-emission"), every emitted key/value — must pass `isFunc`;
+//! otherwise the program is reported unoptimizable with the witness.
+//!
+//! Loop soundness: per-path symbolic resolution is valid only for values
+//! that cannot be redefined inside a CFG cycle. The resolver enforces
+//! this; any violation surfaces as [`SelectMiss::LoopCarried`].
+
+use std::fmt;
+
+use mr_ir::function::Program;
+
+use crate::cfg::Cfg;
+use crate::dataflow::ReachingDefs;
+use crate::expr::{Expr, PathResolver, ResolveError};
+use crate::paths::{conds_on_path, paths_to, PathError};
+use crate::predicate::{conjoin_path, Dnf, TooComplex};
+use crate::purity::{check_dag, check_expr, NonFunctional};
+use crate::usedef::{DagOptions, UseDef};
+use crate::ranges::{extract_index_plan, IndexPlan};
+
+/// Default cap on simple paths per emit site.
+pub const DEFAULT_PATH_CAP: usize = 512;
+
+/// The SELECT optimization descriptor (paper Fig. 1: label + indexed
+/// values + logical formula).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionDescriptor {
+    /// Emits happen iff this formula holds.
+    pub dnf: Dnf,
+    /// Indexable key and scan ranges, when the formula admits one.
+    pub plan: Option<IndexPlan>,
+}
+
+impl SelectionDescriptor {
+    /// Whether an index would actually skip records (a key was found and
+    /// at least one range is narrower than a full scan).
+    pub fn index_useful(&self) -> bool {
+        self.plan
+            .as_ref()
+            .is_some_and(|p| !p.is_full_scan())
+    }
+}
+
+impl fmt::Display for SelectionDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT iff {}", self.dnf)?;
+        if let Some(plan) = &self.plan {
+            write!(f, "  [index on {} ranges:", plan.key)?;
+            for r in &plan.ranges {
+                write!(f, " {r}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why selection analysis declined to produce a descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectMiss {
+    /// A condition or emitted value failed `isFunc`.
+    NotFunctional(NonFunctional),
+    /// A condition or emitted value may be redefined inside a loop.
+    LoopCarried {
+        /// Human-readable witness.
+        detail: String,
+    },
+    /// Path enumeration exceeded its budget.
+    TooManyPaths,
+    /// DNF normalization exceeded its budget.
+    FormulaTooComplex,
+}
+
+impl fmt::Display for SelectMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectMiss::NotFunctional(n) => write!(f, "{n}"),
+            SelectMiss::LoopCarried { detail } => write!(f, "loop-carried value: {detail}"),
+            SelectMiss::TooManyPaths => write!(f, "too many control-flow paths"),
+            SelectMiss::FormulaTooComplex => write!(f, "predicate too complex"),
+        }
+    }
+}
+
+/// Outcome of `findSelect`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectOutcome {
+    /// A non-trivial emit predicate was found.
+    Selection(SelectionDescriptor),
+    /// The map emits on every invocation — no selection present.
+    AlwaysEmits,
+    /// The map contains no reachable emit — degenerate program.
+    NeverEmits,
+    /// Analysis declined (the paper's "return {}" branch), with the
+    /// reason.
+    Unknown(SelectMiss),
+}
+
+impl SelectOutcome {
+    /// Convenience: the descriptor if a selection was found.
+    pub fn descriptor(&self) -> Option<&SelectionDescriptor> {
+        match self {
+            SelectOutcome::Selection(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Run selection detection on a program's mapper.
+pub fn find_select(program: &Program) -> SelectOutcome {
+    find_select_with_cap(program, DEFAULT_PATH_CAP)
+}
+
+/// [`find_select`] with an explicit path cap (exposed for tests).
+pub fn find_select_with_cap(program: &Program, path_cap: usize) -> SelectOutcome {
+    let func = &program.mapper;
+    let emit_pcs = func.emit_sites();
+    if emit_pcs.is_empty() {
+        return SelectOutcome::NeverEmits;
+    }
+
+    let cfg = Cfg::build(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+    let resolver = PathResolver::new(func, &cfg, &rd);
+    let usedef = UseDef::new(func, &cfg, &rd);
+    // When path-sensitive resolution fails (loop-carried values), fall
+    // back to the flow-insensitive use-def DAG to extract a more
+    // informative isFunc witness — e.g. Benchmark 4's Hashtable call
+    // sits inside the same loop that defeats resolution, and the
+    // Hashtable is the reason worth reporting.
+    let miss_of = |use_pc: usize, reg: mr_ir::instr::Reg, fallback: SelectMiss| -> SelectMiss {
+        let dag = usedef.collect(&[(use_pc, reg)], DagOptions::default());
+        match check_dag(&dag) {
+            Err(nf) => SelectMiss::NotFunctional(nf),
+            Ok(()) => fallback,
+        }
+    };
+
+    let mut dnf = Dnf::never();
+    let mut any_reachable = false;
+    // Misses are collected (not early-returned) so the *most
+    // informative* witness is reported: an unknown call (the paper's
+    // Hashtable blind spot) beats a loop-carried value, which beats
+    // budget overruns.
+    let mut misses: Vec<SelectMiss> = Vec::new();
+
+    // Group emit sites by block: paths are a property of the block.
+    let mut emit_blocks: Vec<(usize, Vec<usize>)> = Vec::new();
+    for pc in emit_pcs {
+        let b = cfg.block_of(pc);
+        match emit_blocks.iter_mut().find(|(blk, _)| *blk == b) {
+            Some((_, pcs)) => pcs.push(pc),
+            None => emit_blocks.push((b, vec![pc])),
+        }
+    }
+
+    for (block, pcs_in_block) in emit_blocks {
+        let paths = match paths_to(&cfg, block, path_cap) {
+            Ok(p) => p,
+            Err(PathError::TooManyPaths { .. }) => {
+                return SelectOutcome::Unknown(SelectMiss::TooManyPaths)
+            }
+        };
+        if paths.is_empty() {
+            continue; // unreachable emit
+        }
+        any_reachable = true;
+
+        for path in &paths {
+            let conds = conds_on_path(func, &cfg, path);
+            // Resolve every condition to a symbolic expression.
+            let mut resolved: Vec<(Expr, bool)> = Vec::with_capacity(conds.len());
+            for c in &conds {
+                let idx = path
+                    .iter()
+                    .position(|&b| b == cfg.block_of(c.br_pc))
+                    .expect("branch block lies on its own path");
+                match resolver.resolve(path, idx, c.br_pc, c.cond) {
+                    Ok(e) => resolved.push((e, c.polarity)),
+                    Err(e) => misses.push(miss_of(c.br_pc, c.cond, resolve_miss(e))),
+                }
+            }
+            // isFunc on every condition (Fig. 3 lines 8–11).
+            for (e, _) in &resolved {
+                if let Err(nf) = check_expr(e) {
+                    misses.push(SelectMiss::NotFunctional(nf));
+                }
+            }
+            // isFunc on the emitted key/value (the §3.2 "functional
+            // chain from input parameters to tuple-emission").
+            let last_idx = path.len() - 1;
+            for &emit_pc in &pcs_in_block {
+                if let mr_ir::instr::Instr::Emit { key, value } = &func.instrs[emit_pc] {
+                    for reg in [*key, *value] {
+                        match resolver.resolve(path, last_idx, emit_pc, reg) {
+                            Ok(e) => {
+                                if let Err(nf) = check_expr(&e) {
+                                    misses.push(SelectMiss::NotFunctional(nf));
+                                }
+                            }
+                            Err(e) => {
+                                misses.push(miss_of(emit_pc, reg, resolve_miss(e)))
+                            }
+                        }
+                    }
+                }
+            }
+            // dnf ← dnf OR conj(conds(path)).
+            match conjoin_path(&resolved) {
+                Ok(piece) => dnf.or(piece),
+                Err(TooComplex) => misses.push(SelectMiss::FormulaTooComplex),
+            }
+        }
+    }
+
+    if !misses.is_empty() {
+        return SelectOutcome::Unknown(best_miss(misses));
+    }
+    if !any_reachable {
+        return SelectOutcome::NeverEmits;
+    }
+    let dnf = dnf.simplify();
+    if dnf.is_always_true() {
+        return SelectOutcome::AlwaysEmits;
+    }
+    if dnf.is_never() {
+        return SelectOutcome::NeverEmits;
+    }
+    let plan = extract_index_plan(&dnf);
+    SelectOutcome::Selection(SelectionDescriptor { dnf, plan })
+}
+
+/// Pick the most informative miss to report.
+fn best_miss(misses: Vec<SelectMiss>) -> SelectMiss {
+    let rank = |m: &SelectMiss| match m {
+        SelectMiss::NotFunctional(_) => 0,
+        SelectMiss::FormulaTooComplex => 1,
+        SelectMiss::TooManyPaths => 2,
+        SelectMiss::LoopCarried { .. } => 3,
+    };
+    misses
+        .into_iter()
+        .min_by_key(rank)
+        .expect("non-empty misses")
+}
+
+fn resolve_miss(e: ResolveError) -> SelectMiss {
+    match e {
+        ResolveError::LoopCarried { reg, pc } => SelectMiss::LoopCarried {
+            detail: format!("{reg} at pc {pc}"),
+        },
+        ResolveError::Unbound { reg } => SelectMiss::LoopCarried {
+            detail: format!("{reg} unbound on path"),
+        },
+        ResolveError::TooLarge => SelectMiss::FormulaTooComplex,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::record::record;
+    use mr_ir::schema::{FieldType, Schema};
+    use mr_ir::value::Value;
+    use std::sync::Arc;
+
+    fn webpage_schema() -> Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![
+                ("url", FieldType::Str),
+                ("rank", FieldType::Int),
+                ("content", FieldType::Str),
+            ],
+        )
+        .into_arc()
+    }
+
+    fn program(src: &str) -> Program {
+        Program::new("test", parse_function(src).unwrap(), webpage_schema())
+    }
+
+    /// The paper's §2 running example.
+    #[test]
+    fn paper_example_detected() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = cmp gt r1, r2
+              br r3, then, exit
+            then:
+              r4 = param key
+              emit r4, r2
+            exit:
+              ret
+            }
+            "#,
+        );
+        let out = find_select(&p);
+        let d = out.descriptor().expect("selection must be found");
+        assert_eq!(d.dnf.to_string(), "((value.rank > 1))");
+        assert!(d.index_useful());
+        let plan = d.plan.as_ref().unwrap();
+        assert_eq!(plan.key.to_string(), "value.rank");
+        assert_eq!(plan.ranges[0].to_string(), "(1, +inf)");
+    }
+
+    /// The paper's Fig. 2: member-dependent control flow is unsafe.
+    #[test]
+    fn fig2_member_dependence_rejected() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              member numMapsRun = 0
+              r0 = member numMapsRun
+              r1 = const 1
+              r2 = add r0, r1
+              member numMapsRun = r2
+              r3 = param value
+              r4 = field r3.rank
+              r5 = cmp gt r4, r1
+              r6 = const 200
+              r7 = cmp gt r2, r6
+              r8 = or r5, r7
+              br r8, t, e
+            t:
+              r9 = param key
+              emit r9, r1
+            e:
+              ret
+            }
+            "#,
+        );
+        match find_select(&p) {
+            SelectOutcome::Unknown(SelectMiss::NotFunctional(
+                NonFunctional::MemberDependence(m),
+            )) => assert_eq!(m, "numMapsRun"),
+            other => panic!("expected member-dependence rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconditional_emit_is_always() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              r0 = param key
+              r1 = const 1
+              emit r0, r1
+              ret
+            }
+            "#,
+        );
+        assert_eq!(find_select(&p), SelectOutcome::AlwaysEmits);
+    }
+
+    #[test]
+    fn no_emit_is_never() {
+        let p = program("func map(key, value) {\n  ret\n}\n");
+        assert_eq!(find_select(&p), SelectOutcome::NeverEmits);
+    }
+
+    #[test]
+    fn unreachable_emit_is_never() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              jmp end
+            dead:
+              r0 = const 1
+              emit r0, r0
+            end:
+              ret
+            }
+            "#,
+        );
+        assert_eq!(find_select(&p), SelectOutcome::NeverEmits);
+    }
+
+    /// Two emit sites on different branches OR together.
+    #[test]
+    fn multiple_emits_build_disjunction() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 100
+              r3 = cmp gt r1, r2
+              br r3, hi, next
+            hi:
+              emit r1, r2
+              jmp exit
+            next:
+              r4 = const 2
+              r5 = cmp lt r1, r4
+              br r5, lo, exit
+            lo:
+              emit r1, r4
+            exit:
+              ret
+            }
+            "#,
+        );
+        let out = find_select(&p);
+        let d = out.descriptor().unwrap();
+        // rank > 100 OR (rank <= 100 AND rank < 2).
+        assert_eq!(d.dnf.conjuncts.len(), 2);
+        let s = webpage_schema();
+        let mk = |rank: i64| -> Value { record(&s, vec!["u".into(), rank.into(), "c".into()]).into() };
+        assert!(d.dnf.eval(&Value::Null, &mk(200)).unwrap());
+        assert!(d.dnf.eval(&Value::Null, &mk(1)).unwrap());
+        assert!(!d.dnf.eval(&Value::Null, &mk(50)).unwrap());
+        // Index: two disjoint ranges on rank.
+        let plan = d.plan.as_ref().unwrap();
+        assert_eq!(plan.ranges.len(), 2);
+    }
+
+    /// The Hashtable pattern of Benchmark 4: unknown call rejected.
+    #[test]
+    fn hashtable_condition_rejected() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.url
+              r2 = call ht.new()
+              r3 = call ht.contains(r2, r1)
+              br r3, t, e
+            t:
+              r4 = const 1
+              emit r1, r4
+            e:
+              ret
+            }
+            "#,
+        );
+        match find_select(&p) {
+            SelectOutcome::Unknown(SelectMiss::NotFunctional(NonFunctional::UnknownCall(
+                c,
+            ))) => assert!(c.starts_with("ht."), "witness should be the ht call, got {c}"),
+            other => panic!("expected unknown-call rejection, got {other:?}"),
+        }
+    }
+
+    /// Emit inside a loop: loop-carried values are rejected.
+    #[test]
+    fn loop_emit_rejected() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.content
+              r2 = call text.extract_urls(r1)
+              r3 = call list.len(r2)
+              r4 = const 0
+              r5 = const 1
+            head:
+              r6 = cmp lt r4, r3
+              br r6, body, exit
+            body:
+              r7 = call list.get(r2, r4)
+              emit r7, r5
+              r8 = add r4, r5
+              r4 = r8
+              jmp head
+            exit:
+              ret
+            }
+            "#,
+        );
+        match find_select(&p) {
+            SelectOutcome::Unknown(SelectMiss::LoopCarried { .. }) => {}
+            other => panic!("expected loop-carried rejection, got {other:?}"),
+        }
+    }
+
+    /// Member-dependent emitted *value* (not condition) is also unsafe:
+    /// skipping invocations would change the member and thus the output.
+    #[test]
+    fn member_dependent_emit_value_rejected() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              member seen = 0
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = member seen
+              r4 = add r3, r2
+              member seen = r4
+              r5 = cmp gt r1, r2
+              br r5, t, e
+            t:
+              emit r1, r4
+            e:
+              ret
+            }
+            "#,
+        );
+        match find_select(&p) {
+            SelectOutcome::Unknown(SelectMiss::NotFunctional(
+                NonFunctional::MemberDependence(_),
+            )) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    /// DNF evaluation must agree with the interpreter: the formula is
+    /// true iff the map emits.
+    #[test]
+    fn dnf_matches_interpreter_on_sweep() {
+        let src = r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 10
+              r3 = cmp ge r1, r2
+              br r3, inner, exit
+            inner:
+              r4 = const 90
+              r5 = cmp le r1, r4
+              br r5, hit, exit
+            hit:
+              r6 = param key
+              emit r6, r1
+            exit:
+              ret
+            }
+        "#;
+        let p = program(src);
+        let d = find_select(&p).descriptor().cloned().unwrap();
+        let f = parse_function(src).unwrap();
+        let s = webpage_schema();
+        for rank in [-5i64, 0, 9, 10, 11, 50, 90, 91, 1000] {
+            let v: Value = record(&s, vec!["u".into(), rank.into(), "c".into()]).into();
+            let mut interp = mr_ir::interp::Interpreter::new(&f);
+            let emitted = !interp
+                .invoke_map(&f, &Value::str("k"), &v)
+                .unwrap()
+                .emits
+                .is_empty();
+            let predicted = d.dnf.eval(&Value::str("k"), &v).unwrap();
+            assert_eq!(predicted, emitted, "mismatch at rank={rank}");
+        }
+        // And the plan ranges must cover every emitting rank.
+        let plan = d.plan.unwrap();
+        assert_eq!(plan.ranges.len(), 1);
+        assert_eq!(plan.ranges[0].to_string(), "[10, 90]");
+    }
+
+    #[test]
+    fn pure_call_condition_accepted() {
+        let p = program(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.url
+              r2 = const "https://*"
+              r3 = call pattern.matches(r2, r1)
+              br r3, t, e
+            t:
+              r4 = const 1
+              emit r1, r4
+            e:
+              ret
+            }
+            "#,
+        );
+        let out = find_select(&p);
+        let d = out.descriptor().expect("pattern.matches is whitelisted");
+        assert!(d.dnf.to_string().contains("pattern.matches"));
+        // No comparison against a constant → no index plan.
+        assert!(d.plan.is_none());
+    }
+
+    #[test]
+    fn path_cap_produces_too_many_paths() {
+        // Build a ladder of diamonds ending in an emit.
+        let mut src = String::from("func map(key, value) {\n  r0 = param value\n");
+        let n = 12;
+        for i in 0..n {
+            src.push_str(&format!("  r{} = field r0.f{i}\n", i + 1));
+            src.push_str(&format!("  br r{}, a{i}, b{i}\na{i}:\n  jmp m{i}\nb{i}:\n  jmp m{i}\nm{i}:\n", i + 1));
+        }
+        src.push_str("  r100 = const 1\n  emit r100, r100\n  ret\n}\n");
+        let p = program(&src);
+        match find_select_with_cap(&p, 64) {
+            SelectOutcome::Unknown(SelectMiss::TooManyPaths) => {}
+            other => panic!("expected TooManyPaths, got {other:?}"),
+        }
+    }
+}

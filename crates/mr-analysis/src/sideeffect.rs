@@ -1,0 +1,67 @@
+//! Side-effect detection (paper §2.2).
+//!
+//! "Anything that does not impact the program's final output is fair
+//! game for the analyzer to consider for downstream removal or
+//! modification, including code that has side effects such as debugging
+//! statements, network connections, and file-writes. Manimal can
+//! currently detect, though not optimize, such side effects."
+//!
+//! The report distinguishes effects whose *execution count* would change
+//! under a selection optimization (those on paths the index may skip)
+//! from unconditional ones — the information a future "safe mode"
+//! (§2 footnote 2) would need.
+
+use mr_ir::function::Function;
+use mr_ir::instr::{Instr, SideEffectKind};
+
+/// One detected side effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideEffectReport {
+    /// Instruction index.
+    pub pc: usize,
+    /// Kind of effect.
+    pub kind: SideEffectKind,
+}
+
+/// Collect all side-effect statements in a mapper.
+pub fn find_side_effects(func: &Function) -> Vec<SideEffectReport> {
+    func.instrs
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, i)| match i {
+            Instr::SideEffect { kind, .. } => Some(SideEffectReport { pc, kind: *kind }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+
+    #[test]
+    fn effects_found() {
+        let f = parse_function(
+            r#"
+            func map(key, value) {
+              r0 = const "starting"
+              effect log(r0)
+              effect network(r0)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let effects = find_side_effects(&f);
+        assert_eq!(effects.len(), 2);
+        assert_eq!(effects[0].kind, SideEffectKind::Log);
+        assert_eq!(effects[1].kind, SideEffectKind::Network);
+    }
+
+    #[test]
+    fn clean_function_reports_none() {
+        let f = parse_function("func map(key, value) {\n  ret\n}\n").unwrap();
+        assert!(find_side_effects(&f).is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Use-def DAGs (paper §3.1–3.2, Fig. 5).
+//!
+//! "`getUseDef()` starts as a single use-def chain, but for each def
+//! node, analyzer treats the def as a new use and recursively obtains
+//! its use-def chain, bottoming out when the uses have no more dependent
+//! def statements inside the map(). … The result is a directed acyclic
+//! graph that represents all the points in the map() that might
+//! influence the value of the initial statement."
+//!
+//! The [`DagSummary`] produced here is the analyzer's working currency:
+//! which member variables, library calls and value-parameter fields can
+//! influence a statement, and whether the whole value record "escapes"
+//! into contexts the analyzer cannot see through.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use mr_ir::function::Function;
+use mr_ir::instr::{Instr, ParamId, Reg};
+
+use crate::cfg::Cfg;
+use crate::dataflow::ReachingDefs;
+
+/// Summary of everything that can influence a set of seed uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DagSummary {
+    /// Definition sites included in the DAG.
+    pub def_pcs: BTreeSet<usize>,
+    /// Member variables read anywhere in the DAG.
+    pub members: BTreeSet<String>,
+    /// Library functions called anywhere in the DAG.
+    pub calls: BTreeSet<String>,
+    /// Fields read directly off the value parameter.
+    pub value_fields: BTreeSet<String>,
+    /// The whole value record flows somewhere other than a direct field
+    /// read (a call argument, an emit, a comparison, …). Projection must
+    /// then keep every field.
+    pub value_escapes: bool,
+    /// The key parameter is used.
+    pub uses_key_param: bool,
+}
+
+/// Options controlling DAG construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DagOptions {
+    /// When a member read appears, also pull in the use-def DAGs of
+    /// every write to that member anywhere in the function. Projection
+    /// needs this: a field can flow into an emit *across invocations*
+    /// through member state, which the paper's intra-invocation recursion
+    /// would miss.
+    pub expand_members: bool,
+}
+
+/// Use-def DAG builder for one function.
+pub struct UseDef<'a> {
+    func: &'a Function,
+    cfg: &'a Cfg,
+    rd: &'a ReachingDefs,
+}
+
+/// Which parameters a register may hold (tracked through `Move` chains).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MayHold {
+    /// May hold the value parameter.
+    pub value: bool,
+    /// May hold the key parameter.
+    pub key: bool,
+}
+
+impl<'a> UseDef<'a> {
+    /// Create a builder.
+    pub fn new(func: &'a Function, cfg: &'a Cfg, rd: &'a ReachingDefs) -> Self {
+        UseDef { func, cfg, rd }
+    }
+
+    /// Which map parameters the register `reg`, as used at `pc`, may
+    /// hold — following reaching definitions through `Move` chains.
+    pub fn may_hold(&self, pc: usize, reg: Reg) -> MayHold {
+        let mut memo: HashMap<(usize, Reg), MayHold> = HashMap::new();
+        self.may_hold_inner(pc, reg, &mut memo, &mut HashSet::new())
+    }
+
+    fn may_hold_inner(
+        &self,
+        pc: usize,
+        reg: Reg,
+        memo: &mut HashMap<(usize, Reg), MayHold>,
+        visiting: &mut HashSet<(usize, Reg)>,
+    ) -> MayHold {
+        if let Some(&m) = memo.get(&(pc, reg)) {
+            return m;
+        }
+        if !visiting.insert((pc, reg)) {
+            // Cycle through a loop: contributes nothing new on this path.
+            return MayHold::default();
+        }
+        let mut out = MayHold::default();
+        for def_pc in self.rd.reaching(self.func, self.cfg, pc, reg) {
+            match &self.func.instrs[def_pc] {
+                Instr::LoadParam { param, .. } => match param {
+                    ParamId::Value => out.value = true,
+                    ParamId::Key => out.key = true,
+                },
+                Instr::Move { src, .. } => {
+                    let m = self.may_hold_inner(def_pc, *src, memo, visiting);
+                    out.value |= m.value;
+                    out.key |= m.key;
+                }
+                _ => {}
+            }
+        }
+        visiting.remove(&(pc, reg));
+        memo.insert((pc, reg), out);
+        out
+    }
+
+    /// Build the use-def DAG summary for a set of seed uses
+    /// `(use_pc, reg)` — the paper's `getUseDef` generalized to several
+    /// starting statements.
+    pub fn collect(&self, seeds: &[(usize, Reg)], opts: DagOptions) -> DagSummary {
+        let mut summary = DagSummary::default();
+        let mut work: Vec<(usize, Reg)> = seeds.to_vec();
+        let mut seen_uses: HashSet<(usize, Reg)> = HashSet::new();
+        let mut seen_members: HashSet<String> = HashSet::new();
+
+        // Record how the seed itself treats parameter-holding registers:
+        // the seed use is part of a statement (emit, branch, …) whose
+        // context we cannot see here, so a parameter reaching a seed
+        // register escapes unless that seed is consumed by GetField.
+        while let Some((use_pc, reg)) = work.pop() {
+            if !seen_uses.insert((use_pc, reg)) {
+                continue;
+            }
+            for def_pc in self.rd.reaching(self.func, self.cfg, use_pc, reg) {
+                if !summary.def_pcs.insert(def_pc) {
+                    continue;
+                }
+                let instr = &self.func.instrs[def_pc];
+                match instr {
+                    Instr::LoadParam { param, .. } => {
+                        if *param == ParamId::Key {
+                            summary.uses_key_param = true;
+                        }
+                    }
+                    Instr::GetField { obj, field, .. } => {
+                        let m = self.may_hold(def_pc, *obj);
+                        if m.value {
+                            summary.value_fields.insert(field.clone());
+                        }
+                        // The object register itself is a use, but a
+                        // field read is the one context that does NOT
+                        // make the record escape; recurse for the
+                        // non-parameter part of the chain.
+                        work.push((def_pc, *obj));
+                    }
+                    Instr::GetMember { name, .. } => {
+                        summary.members.insert(name.clone());
+                        if opts.expand_members && seen_members.insert(name.clone()) {
+                            for (pc, i) in self.func.instrs.iter().enumerate() {
+                                if let Instr::SetMember { name: n, src } = i {
+                                    if n == name {
+                                        work.push((pc, *src));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Instr::Call { func: name, args, .. } => {
+                        summary.calls.insert(name.clone());
+                        for a in args {
+                            if self.may_hold(def_pc, *a).value {
+                                summary.value_escapes = true;
+                            }
+                            work.push((def_pc, *a));
+                        }
+                    }
+                    _ => {
+                        for u in instr.uses() {
+                            work.push((def_pc, u));
+                        }
+                    }
+                }
+            }
+            // Escape check at the use itself: if this use's register may
+            // hold the value record and the using instruction is not a
+            // direct field read of it, the record escapes.
+            let holds = self.may_hold(use_pc, reg);
+            if holds.value {
+                let is_field_read = matches!(
+                    &self.func.instrs[use_pc],
+                    Instr::GetField { obj, .. } if *obj == reg
+                );
+                let is_move = matches!(&self.func.instrs[use_pc], Instr::Move { .. });
+                if !is_field_read && !is_move {
+                    summary.value_escapes = true;
+                }
+            }
+            if holds.key {
+                summary.uses_key_param = true;
+            }
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+
+    fn setup(src: &str) -> (Function, Cfg, ReachingDefs) {
+        let f = parse_function(src).unwrap();
+        let cfg = Cfg::build(&f);
+        let rd = ReachingDefs::compute(&f, &cfg);
+        (f, cfg, rd)
+    }
+
+    #[test]
+    fn fields_collected_through_chain() {
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = cmp gt r1, r2
+              br r3, t, e
+            t:
+              r4 = param key
+              emit r4, r1
+            e:
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        // Seed: the branch condition at pc 4 plus the emit args at pc 7.
+        let s = ud.collect(
+            &[(4, Reg(3)), (7, Reg(4)), (7, Reg(1))],
+            DagOptions::default(),
+        );
+        assert!(s.value_fields.contains("rank"));
+        assert!(!s.value_escapes);
+        assert!(s.uses_key_param);
+        assert!(s.members.is_empty());
+    }
+
+    #[test]
+    fn member_read_recorded() {
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              member count = 0
+              r0 = member count
+              r1 = const 1
+              r2 = add r0, r1
+              emit r2, r1
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        let s = ud.collect(&[(3, Reg(2))], DagOptions::default());
+        assert!(s.members.contains("count"));
+    }
+
+    #[test]
+    fn member_expansion_pulls_in_field_flow() {
+        // v.adRevenue flows into the member, which later feeds the emit.
+        // Without expansion the field is invisible; with it, projection
+        // must keep adRevenue.
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              member sum = 0
+              r0 = param value
+              r1 = field r0.adRevenue
+              r2 = member sum
+              r3 = add r2, r1
+              member sum = r3
+              r4 = member sum
+              emit r4, r4
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        let emit_pc = f.instrs.iter().position(|i| i.is_emit()).unwrap();
+        let bare = ud.collect(&[(emit_pc, Reg(4))], DagOptions::default());
+        assert!(!bare.value_fields.contains("adRevenue"));
+        let expanded = ud.collect(
+            &[(emit_pc, Reg(4))],
+            DagOptions {
+                expand_members: true,
+            },
+        );
+        assert!(expanded.value_fields.contains("adRevenue"));
+    }
+
+    #[test]
+    fn whole_record_emit_escapes() {
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = param key
+              emit r1, r0
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        let s = ud.collect(&[(2, Reg(1)), (2, Reg(0))], DagOptions::default());
+        assert!(s.value_escapes);
+    }
+
+    #[test]
+    fn record_as_call_argument_escapes() {
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = const "rank"
+              r2 = call tuple.get_int(r0, r1)
+              emit r2, r2
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        let emit_pc = 3;
+        let s = ud.collect(&[(emit_pc, Reg(2))], DagOptions::default());
+        assert!(s.value_escapes, "tuple.get_int(value, …) hides the field");
+        assert!(s.calls.contains("tuple.get_int"));
+        assert!(s.value_fields.is_empty());
+    }
+
+    #[test]
+    fn move_chains_tracked() {
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = r0
+              r2 = field r1.rank
+              emit r2, r2
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        let s = ud.collect(&[(3, Reg(2))], DagOptions::default());
+        assert!(s.value_fields.contains("rank"));
+        assert!(!s.value_escapes, "moves do not count as escapes");
+    }
+
+    #[test]
+    fn may_hold_both_params_on_merge() {
+        let (f, cfg, rd) = setup(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = param key
+              r3 = field r0.flag
+              br r3, a, b
+            a:
+              r2 = r0
+              jmp join
+            b:
+              r2 = r1
+            join:
+              emit r2, r2
+              ret
+            }
+            "#,
+        );
+        let ud = UseDef::new(&f, &cfg, &rd);
+        let emit_pc = f.instrs.iter().position(|i| i.is_emit()).unwrap();
+        let m = ud.may_hold(emit_pc, Reg(2));
+        assert!(m.value && m.key);
+    }
+}

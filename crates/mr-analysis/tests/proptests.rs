@@ -1,0 +1,238 @@
+//! Property-based tests for the analyzer's central soundness claims.
+//!
+//! The paper's safety bar — "missing an optimization is regrettable, but
+//! finding a false one is catastrophic" — reduces to two checkable
+//! properties:
+//!
+//! 1. **Selection**: whenever `find_select` returns a DNF, the formula
+//!    evaluates true on a record *iff* interpreting the original map on
+//!    that record emits at least one pair; and every emitting record's
+//!    index key falls inside some scan range.
+//! 2. **Projection**: running the map on a record projected down to the
+//!    analyzer's used-field set (others defaulted) produces exactly the
+//!    emits of the original record.
+//!
+//! The programs are drawn from a generator of random predicate shapes
+//! (nested if/else over comparisons, conjunctions, disjunctions and
+//! pure string calls), so these tests cover far more shapes than the
+//! hand-written unit cases.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mr_analysis::project::{find_project, ProjectOutcome};
+use mr_analysis::select::{find_select, SelectOutcome};
+use mr_ir::builder::FunctionBuilder;
+use mr_ir::function::Program;
+use mr_ir::instr::{BinOp, CmpOp, ParamId, Reg};
+use mr_ir::interp::Interpreter;
+use mr_ir::record::record;
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_ir::verify::verify;
+
+fn schema() -> Arc<Schema> {
+    Schema::new(
+        "T",
+        vec![
+            ("a", FieldType::Int),
+            ("b", FieldType::Int),
+            ("s", FieldType::Str),
+            ("unused", FieldType::Str),
+        ],
+    )
+    .into_arc()
+}
+
+/// A randomly-shaped boolean condition over fields `a`, `b`, `s`.
+#[derive(Debug, Clone)]
+enum Cond {
+    CmpA(CmpOp, i64),
+    CmpB(CmpOp, i64),
+    StrPrefix(String),
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    let cmp_op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let leaf = prop_oneof![
+        (cmp_op.clone(), -20i64..20).prop_map(|(op, c)| Cond::CmpA(op, c)),
+        (cmp_op, -20i64..20).prop_map(|(op, c)| Cond::CmpB(op, c)),
+        "[xy]{1,2}".prop_map(Cond::StrPrefix),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Cond::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Compile a `Cond` into a register holding its boolean value.
+fn emit_cond(b: &mut FunctionBuilder, v: Reg, cond: &Cond) -> Reg {
+    match cond {
+        Cond::CmpA(op, c) => {
+            let f = b.get_field(v, "a");
+            let k = b.const_int(*c);
+            b.cmp(*op, f, k)
+        }
+        Cond::CmpB(op, c) => {
+            let f = b.get_field(v, "b");
+            let k = b.const_int(*c);
+            b.cmp(*op, f, k)
+        }
+        Cond::StrPrefix(p) => {
+            let f = b.get_field(v, "s");
+            let k = b.const_str(p);
+            b.call("str.starts_with", vec![f, k])
+        }
+        Cond::And(x, y) => {
+            let rx = emit_cond(b, v, x);
+            let ry = emit_cond(b, v, y);
+            b.bin(BinOp::And, rx, ry)
+        }
+        Cond::Or(x, y) => {
+            let rx = emit_cond(b, v, x);
+            let ry = emit_cond(b, v, y);
+            b.bin(BinOp::Or, rx, ry)
+        }
+        Cond::Not(x) => {
+            let rx = emit_cond(b, v, x);
+            b.not(rx)
+        }
+    }
+}
+
+/// Build `if cond { emit(v.a, 1) }`, optionally with a second guarded
+/// emit to exercise multi-path DNFs.
+fn build_program(cond: &Cond, second: Option<&Cond>) -> Program {
+    let mut b = FunctionBuilder::new("gen_map");
+    let v = b.load_param(ParamId::Value);
+    let one = b.const_int(1);
+    let a = b.get_field(v, "a");
+
+    let c1 = emit_cond(&mut b, v, cond);
+    let (hit1, next) = (b.fresh_label("hit1"), b.fresh_label("next"));
+    b.br(c1, hit1, next);
+    b.bind(hit1);
+    b.emit(a, one);
+    b.bind(next);
+    if let Some(c) = second {
+        let c2 = emit_cond(&mut b, v, c);
+        let (hit2, exit) = (b.fresh_label("hit2"), b.fresh_label("exit"));
+        b.br(c2, hit2, exit);
+        b.bind(hit2);
+        b.emit(one, a);
+        b.bind(exit);
+    }
+    b.ret();
+    Program::new("generated", b.finish(), schema())
+}
+
+fn record_strategy() -> impl Strategy<Value = (i64, i64, String)> {
+    (-25i64..25, -25i64..25, "[xyz]{0,3}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Selection soundness: DNF(record) ⟺ map(record) emits.
+    #[test]
+    fn selection_dnf_matches_interpreter(
+        cond in cond_strategy(),
+        second in proptest::option::of(cond_strategy()),
+        records in proptest::collection::vec(record_strategy(), 1..24),
+    ) {
+        let program = build_program(&cond, second.as_ref());
+        prop_assert!(verify(&program.mapper).is_ok());
+
+        let outcome = find_select(&program);
+        let s = schema();
+        for (a, bv, sv) in &records {
+            let rec: Value =
+                record(&s, vec![Value::Int(*a), Value::Int(*bv), sv.as_str().into(), "pad".into()]).into();
+            let mut interp = Interpreter::new(&program.mapper);
+            let emitted = !interp
+                .invoke_map(&program.mapper, &Value::Int(0), &rec)
+                .unwrap()
+                .emits
+                .is_empty();
+            match &outcome {
+                SelectOutcome::Selection(d) => {
+                    let predicted = d.dnf.eval(&Value::Int(0), &rec).unwrap();
+                    prop_assert_eq!(
+                        predicted, emitted,
+                        "DNF {} disagrees on a={} b={} s={:?}", d.dnf, a, bv, sv
+                    );
+                    // Index safety: an emitting record's key must fall
+                    // inside some scan range.
+                    if emitted {
+                        if let Some(plan) = &d.plan {
+                            let key = plan.key.eval(&Value::Int(0), &rec).unwrap();
+                            prop_assert!(
+                                plan.ranges.iter().any(|r| r.contains(&key)),
+                                "key {} of emitting record outside all ranges", key
+                            );
+                        }
+                    }
+                }
+                SelectOutcome::AlwaysEmits => prop_assert!(emitted),
+                SelectOutcome::NeverEmits => prop_assert!(!emitted),
+                SelectOutcome::Unknown(_) => {
+                    // Declining is always safe; nothing to check.
+                }
+            }
+        }
+    }
+
+    /// Projection soundness: dropping analyzer-dropped fields never
+    /// changes the map's output.
+    #[test]
+    fn projection_preserves_emits(
+        cond in cond_strategy(),
+        records in proptest::collection::vec(record_strategy(), 1..24),
+    ) {
+        let program = build_program(&cond, None);
+        let outcome = find_project(&program);
+        let ProjectOutcome::Projection(desc) = &outcome else {
+            // AllFieldsNeeded etc.: nothing to falsify.
+            return Ok(());
+        };
+        let s = schema();
+        let proj_schema = Arc::new(s.project(&desc.used_fields));
+        for (a, bv, sv) in &records {
+            let full = record(
+                &s,
+                vec![Value::Int(*a), Value::Int(*bv), sv.as_str().into(), "pad".into()],
+            );
+            // Project away dropped fields, then widen back with
+            // defaults — exactly what the projected input format does.
+            let projected = full
+                .project_to(Arc::clone(&proj_schema))
+                .project_to(Arc::clone(&s));
+
+            let mut i1 = Interpreter::new(&program.mapper);
+            let out_full = i1
+                .invoke_map(&program.mapper, &Value::Int(0), &full.into())
+                .unwrap();
+            let mut i2 = Interpreter::new(&program.mapper);
+            let out_proj = i2
+                .invoke_map(&program.mapper, &Value::Int(0), &projected.into())
+                .unwrap();
+            prop_assert_eq!(out_full.emits, out_proj.emits);
+        }
+    }
+}

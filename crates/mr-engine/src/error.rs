@@ -1,0 +1,53 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Any failure while running a MapReduce job.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Failure inside user map code (the IR interpreter).
+    Map(mr_ir::IrError),
+    /// Failure in a reducer.
+    Reduce(String),
+    /// Storage-layer failure.
+    Storage(mr_storage::StorageError),
+    /// Job misconfiguration.
+    Config(String),
+    /// Output-sink failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Map(e) => write!(f, "map task failed: {e}"),
+            EngineError::Reduce(e) => write!(f, "reduce task failed: {e}"),
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Config(e) => write!(f, "bad job config: {e}"),
+            EngineError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<mr_ir::IrError> for EngineError {
+    fn from(e: mr_ir::IrError) -> Self {
+        EngineError::Map(e)
+    }
+}
+
+impl From<mr_storage::StorageError> for EngineError {
+    fn from(e: mr_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,382 @@
+//! Input formats: how the execution fabric turns a physical layout into
+//! `(key, value)` pairs for map tasks.
+//!
+//! The execution descriptor chooses one of these per input (paper §2.2
+//! Step 3). `SeqFile` is what "standard Hadoop" uses; the others are the
+//! Manimal-optimized paths — including the B+Tree range format, "the
+//! modifications to support B+Tree-indexed input formats".
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mr_ir::schema::Schema;
+use mr_ir::value::Value;
+use mr_storage::btree::{BTreeIndex, BTreeScanner, ScanBound};
+use mr_storage::delta::{DeltaFileMeta, DeltaFileReader};
+use mr_storage::dict::DictFileReader;
+use mr_storage::seqfile::{SeqFileMeta, SeqFileReader};
+
+use crate::error::{EngineError, Result};
+
+/// Which physical layout to read, and how.
+#[derive(Debug, Clone)]
+pub enum InputSpec {
+    /// Plain sequence file, split across map tasks. Keys are record
+    /// positions (what Hadoop's byte offsets stand for).
+    SeqFile {
+        /// The file path.
+        path: PathBuf,
+    },
+    /// B+Tree index range scan: only records whose index key falls in
+    /// one of the ranges are read. Keys are the index keys.
+    BTreeRanges {
+        /// The index path.
+        path: PathBuf,
+        /// Ranges to scan (disjoint, sorted).
+        ranges: Vec<(ScanBound, ScanBound)>,
+    },
+    /// Projected file, widened back to the declared schema.
+    Projected {
+        /// The projected file path.
+        path: PathBuf,
+        /// The wide schema the map function declares.
+        source_schema: Arc<Schema>,
+    },
+    /// Delta-compressed file (sequential; single split). When the file
+    /// was also projected, `widen_to` carries the declared wide schema
+    /// so map sees its full parameter type (dropped fields read as
+    /// defaults the analyzer proved unobserved).
+    Delta {
+        /// The file path.
+        path: PathBuf,
+        /// Widen records back to this schema, if projected.
+        widen_to: Option<Arc<Schema>>,
+    },
+    /// Dictionary-compressed file (sequential; map sees integer codes
+    /// in place of compressed strings).
+    Dict {
+        /// The file path.
+        path: PathBuf,
+    },
+}
+
+impl InputSpec {
+    /// Open the input as a set of independent split readers; `hint` is
+    /// the desired parallelism.
+    pub fn open(&self, hint: usize) -> Result<Vec<SplitReader>> {
+        match self {
+            InputSpec::SeqFile { path } => {
+                let meta = SeqFileMeta::open(path)?;
+                let splits = meta.splits(hint.max(1));
+                let mut out = Vec::with_capacity(splits.len());
+                let mut first_record = 0u64;
+                for sp in splits {
+                    let records = sp.records;
+                    out.push(SplitReader::Seq {
+                        reader: meta.read_split(&sp)?,
+                        next_key: first_record,
+                    });
+                    first_record += records;
+                }
+                Ok(out)
+            }
+            InputSpec::BTreeRanges { path, ranges } => {
+                let idx = BTreeIndex::open(path)?;
+                let mut out = Vec::with_capacity(ranges.len());
+                for (low, high) in ranges {
+                    out.push(SplitReader::BTree {
+                        scanner: idx.scan(low.clone(), high.clone())?,
+                    });
+                }
+                Ok(out)
+            }
+            InputSpec::Projected {
+                path,
+                source_schema,
+            } => {
+                let meta = SeqFileMeta::open(path)?;
+                let splits = meta.splits(hint.max(1));
+                let mut out = Vec::with_capacity(splits.len());
+                let mut first_record = 0u64;
+                for sp in splits {
+                    let records = sp.records;
+                    out.push(SplitReader::Widened {
+                        reader: meta.read_split(&sp)?,
+                        next_key: first_record,
+                        target: Arc::clone(source_schema),
+                    });
+                    first_record += records;
+                }
+                Ok(out)
+            }
+            InputSpec::Delta { path, widen_to } => {
+                let meta = DeltaFileMeta::open(path)?;
+                let mut out = Vec::new();
+                for (off, before, records) in meta.splits(hint.max(1)) {
+                    out.push(SplitReader::Delta {
+                        reader: meta.read_split(off, records)?,
+                        next_key: before,
+                        widen_to: widen_to.clone(),
+                    });
+                }
+                Ok(out)
+            }
+            InputSpec::Dict { path } => {
+                let whole = DictFileReader::open(path)?;
+                let mut out = Vec::new();
+                for (off, records) in whole.splits(hint.max(1)) {
+                    let mut before = 0;
+                    for &(boff, bbefore) in &whole.blocks {
+                        if boff == off {
+                            before = bbefore;
+                            break;
+                        }
+                    }
+                    out.push(SplitReader::Dict {
+                        reader: whole.read_split(off, records)?,
+                        next_key: before,
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// The schema map tasks will observe from this input.
+    pub fn observed_schema(&self) -> Result<Arc<Schema>> {
+        match self {
+            InputSpec::SeqFile { path } => Ok(Arc::clone(&SeqFileMeta::open(path)?.schema)),
+            InputSpec::BTreeRanges { path, .. } => {
+                Ok(Arc::clone(BTreeIndex::open(path)?.schema()))
+            }
+            InputSpec::Projected { source_schema, .. } => Ok(Arc::clone(source_schema)),
+            InputSpec::Delta { path, widen_to } => match widen_to {
+                Some(s) => Ok(Arc::clone(s)),
+                None => Ok(Arc::clone(DeltaFileReader::open(path)?.schema())),
+            },
+            InputSpec::Dict { path } => Ok(Arc::clone(DictFileReader::open(path)?.schema())),
+        }
+    }
+}
+
+/// One split's record stream.
+pub enum SplitReader {
+    /// Sequence-file split.
+    Seq {
+        /// Underlying reader.
+        reader: SeqFileReader,
+        /// Next synthetic record key.
+        next_key: u64,
+    },
+    /// B+Tree range scan.
+    BTree {
+        /// Underlying scanner.
+        scanner: BTreeScanner,
+    },
+    /// Projected file widened to the declared schema.
+    Widened {
+        /// Underlying reader.
+        reader: SeqFileReader,
+        /// Next synthetic record key.
+        next_key: u64,
+        /// Wide schema.
+        target: Arc<Schema>,
+    },
+    /// Delta-compressed stream.
+    Delta {
+        /// Underlying reader.
+        reader: DeltaFileReader,
+        /// Next synthetic record key.
+        next_key: u64,
+        /// Widen records back to this schema, if projected.
+        widen_to: Option<Arc<Schema>>,
+    },
+    /// Dictionary-compressed stream.
+    Dict {
+        /// Underlying reader.
+        reader: DictFileReader,
+        /// Next synthetic record key.
+        next_key: u64,
+    },
+}
+
+impl SplitReader {
+    /// Bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        match self {
+            SplitReader::Seq { reader, .. } => reader.bytes_read(),
+            SplitReader::BTree { scanner } => scanner.bytes_read(),
+            SplitReader::Widened { reader, .. } => reader.bytes_read(),
+            SplitReader::Delta { reader, .. } => reader.bytes_read(),
+            SplitReader::Dict { reader, .. } => reader.bytes_read(),
+        }
+    }
+}
+
+impl Iterator for SplitReader {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            SplitReader::Seq { reader, next_key } => {
+                let rec = reader.next()?;
+                let key = *next_key;
+                *next_key += 1;
+                Some(
+                    rec.map(|r| (Value::Int(key as i64), Value::from(r)))
+                        .map_err(EngineError::from),
+                )
+            }
+            SplitReader::BTree { scanner } => {
+                let entry = scanner.next()?;
+                Some(
+                    entry
+                        .map(|(k, r)| (k, Value::from(r)))
+                        .map_err(EngineError::from),
+                )
+            }
+            SplitReader::Widened {
+                reader,
+                next_key,
+                target,
+            } => {
+                let rec = reader.next()?;
+                let key = *next_key;
+                *next_key += 1;
+                Some(
+                    rec.map(|r| {
+                        (
+                            Value::Int(key as i64),
+                            Value::from(r.project_to(Arc::clone(target))),
+                        )
+                    })
+                    .map_err(EngineError::from),
+                )
+            }
+            SplitReader::Delta {
+                reader,
+                next_key,
+                widen_to,
+            } => {
+                let rec = reader.next()?;
+                let key = *next_key;
+                *next_key += 1;
+                Some(
+                    rec.map(|r| {
+                        let r = match widen_to {
+                            Some(s) => r.project_to(Arc::clone(s)),
+                            None => r,
+                        };
+                        (Value::Int(key as i64), Value::from(r))
+                    })
+                    .map_err(EngineError::from),
+                )
+            }
+            SplitReader::Dict { reader, next_key } => {
+                let rec = reader.next()?;
+                let key = *next_key;
+                *next_key += 1;
+                Some(
+                    rec.map(|r| (Value::Int(key as i64), Value::from(r)))
+                        .map_err(EngineError::from),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::record::record;
+    use mr_ir::schema::FieldType;
+    use mr_storage::btree::BTreeWriter;
+    use mr_storage::seqfile::write_seqfile;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+        )
+        .into_arc()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mr-engine-input-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn seqfile_input_covers_all_records() {
+        let s = schema();
+        let path = tmp("seq");
+        let records: Vec<_> = (0..500)
+            .map(|i| record(&s, vec![format!("u{i}").into(), Value::Int(i)]))
+            .collect();
+        write_seqfile(&path, Arc::clone(&s), records).unwrap();
+        let spec = InputSpec::SeqFile { path };
+        let readers = spec.open(4).unwrap();
+        let mut ranks: Vec<i64> = Vec::new();
+        for rd in readers {
+            for item in rd {
+                let (_, v) = item.unwrap();
+                ranks.push(
+                    v.as_record()
+                        .unwrap()
+                        .get("rank")
+                        .unwrap()
+                        .as_int()
+                        .unwrap(),
+                );
+            }
+        }
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn btree_input_reads_only_ranges() {
+        let s = schema();
+        let path = tmp("btree");
+        let mut w = BTreeWriter::with_page_size(&path, Arc::clone(&s), 4096).unwrap();
+        for i in 0..1000 {
+            let r = record(&s, vec![format!("u{i}").into(), Value::Int(i)]);
+            w.append(&Value::Int(i), &Value::Int(i), &r).unwrap();
+        }
+        w.finish().unwrap();
+        let spec = InputSpec::BTreeRanges {
+            path,
+            ranges: vec![
+                (
+                    ScanBound::Incl(Value::Int(10)),
+                    ScanBound::Excl(Value::Int(15)),
+                ),
+                (
+                    ScanBound::Incl(Value::Int(990)),
+                    ScanBound::Unbounded,
+                ),
+            ],
+        };
+        let readers = spec.open(4).unwrap();
+        assert_eq!(readers.len(), 2, "one split per range");
+        let mut keys: Vec<i64> = Vec::new();
+        for rd in readers {
+            for item in rd {
+                keys.push(item.unwrap().0.as_int().unwrap());
+            }
+        }
+        keys.sort_unstable();
+        let expected: Vec<i64> = (10..15).chain(990..1000).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn observed_schema_per_format() {
+        let s = schema();
+        let seq_path = tmp("schema-seq");
+        write_seqfile(&seq_path, Arc::clone(&s), vec![]).unwrap();
+        let spec = InputSpec::SeqFile { path: seq_path };
+        assert_eq!(spec.observed_schema().unwrap().name(), "WebPage");
+    }
+}

@@ -1,0 +1,108 @@
+//! Job configuration.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mr_ir::function::Function;
+
+use crate::input::InputSpec;
+use crate::mapper::{IrMapperFactory, MapperFactory};
+use crate::reducer::{Builtin, ReducerFactory};
+
+/// One input plus the mapper that processes it. A job may carry several
+/// bindings — Hadoop's `MultipleInputs`, which the Pavlo join benchmark
+/// needs (each joined table comes from a different source file with its
+/// own mapper).
+pub struct InputBinding {
+    /// Where the records come from.
+    pub input: InputSpec,
+    /// The mapper applied to this input.
+    pub mapper: Arc<dyn MapperFactory>,
+}
+
+impl InputBinding {
+    /// Bind a compiled IR map function to an input.
+    pub fn ir(input: InputSpec, func: Function) -> InputBinding {
+        InputBinding {
+            input,
+            mapper: IrMapperFactory::new(func),
+        }
+    }
+}
+
+/// Where reduce output goes.
+#[derive(Debug, Clone)]
+pub enum OutputSpec {
+    /// Collect `(key, value)` pairs in memory (returned in
+    /// [`JobResult::output`](crate::runner::JobResult)).
+    InMemory,
+    /// Write one `key\tvalue` text file per reduce partition:
+    /// `part-00000`, `part-00001`, … in the given directory.
+    TextDir(PathBuf),
+}
+
+/// A complete MapReduce job description.
+pub struct JobConfig {
+    /// Job name (diagnostics only).
+    pub name: String,
+    /// Inputs with their mappers.
+    pub inputs: Vec<InputBinding>,
+    /// Number of reduce partitions.
+    pub num_reducers: usize,
+    /// The reduce function.
+    pub reducer: Arc<dyn ReducerFactory>,
+    /// Output destination.
+    pub output: OutputSpec,
+    /// Map-side worker threads (also the input-split hint).
+    pub map_parallelism: usize,
+    /// Sort the final in-memory output by key (stable across plans, for
+    /// equivalence checks).
+    pub sort_output: bool,
+}
+
+impl JobConfig {
+    /// A job with a single IR-mapped input and a builtin reducer —
+    /// the common case.
+    pub fn ir_job(
+        name: impl Into<String>,
+        input: InputSpec,
+        mapper: Function,
+        reducer: Builtin,
+    ) -> JobConfig {
+        JobConfig {
+            name: name.into(),
+            inputs: vec![InputBinding::ir(input, mapper)],
+            num_reducers: 4,
+            reducer: Arc::new(reducer),
+            output: OutputSpec::InMemory,
+            map_parallelism: available_parallelism(),
+            sort_output: true,
+        }
+    }
+
+    /// Override the reducer count.
+    pub fn with_reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n.max(1);
+        self
+    }
+
+    /// Override map parallelism.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.map_parallelism = n.max(1);
+        self
+    }
+
+    /// Send output to a text directory.
+    pub fn with_text_output(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.output = OutputSpec::TextDir(dir.into());
+        self
+    }
+}
+
+/// Threads to use by default.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}

@@ -1,0 +1,34 @@
+//! # mr-engine — the execution fabric
+//!
+//! A deterministic, multi-threaded, single-process MapReduce runtime:
+//! input splits → map worker pool → hash partition → per-partition sort
+//! → reduce workers → output. "The execution fabric retains the standard
+//! map-shuffle-reduce sequence and is almost identical to standard
+//! MapReduce" (paper §2); the Manimal-specific parts are the pluggable
+//! [`input`] formats (B+Tree ranges, projected, delta- and
+//! dictionary-compressed files).
+//!
+//! Map functions are compiled MR-IR run through the interpreter (one
+//! [`mapper::IrMapper`] per task, so member variables have the real Java
+//! `Mapper`-object lifetime); reducers are native Rust shared by every
+//! plan, baseline and optimized alike.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counters;
+pub mod error;
+pub mod input;
+pub mod job;
+pub mod mapper;
+pub mod partition;
+pub mod reducer;
+pub mod runner;
+
+pub use counters::{CounterSnapshot, Counters};
+pub use error::{EngineError, Result};
+pub use input::{InputSpec, SplitReader};
+pub use job::{InputBinding, JobConfig, OutputSpec};
+pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
+pub use reducer::{Builtin, FnReducerFactory, Reducer, ReducerFactory};
+pub use runner::{run_job, JobResult};

@@ -1,0 +1,234 @@
+//! Reduce tasks and the builtin reducer library.
+//!
+//! Manimal analyzes only `map()` ("we plan to examine reduce() in future
+//! work", paper §3.2), so reducers here are native Rust — the same
+//! reducers run under the baseline plan and every optimized plan, which
+//! is what makes output-equivalence checks between plans meaningful.
+
+use mr_ir::value::Value;
+
+use crate::error::{EngineError, Result};
+
+/// A reduce task instance: called once per key group.
+pub trait Reducer: Send {
+    /// Reduce one `(key, values)` group into zero or more output pairs.
+    fn reduce(
+        &mut self,
+        key: &Value,
+        values: &[Value],
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<()>;
+}
+
+/// Creates per-task reducer instances.
+pub trait ReducerFactory: Send + Sync {
+    /// New reducer.
+    fn create(&self) -> Box<dyn Reducer>;
+}
+
+/// The builtin reducers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// Sum numeric values per key.
+    Sum,
+    /// Count values per key.
+    Count,
+    /// Maximum value per key.
+    Max,
+    /// Minimum value per key.
+    Min,
+    /// Pass every value through unchanged.
+    Identity,
+    /// Emit only the first value of each group.
+    First,
+    /// Sum numeric values per key but drop the key from the output
+    /// (the paper's Table 6 program: "groups these sums by destURL, but
+    /// does not in the end emit the URL").
+    SumDropKey,
+}
+
+impl Reducer for Builtin {
+    fn reduce(
+        &mut self,
+        key: &Value,
+        values: &[Value],
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<()> {
+        match self {
+            Builtin::Sum => {
+                let mut int_sum: i64 = 0;
+                let mut float_sum: f64 = 0.0;
+                let mut any_float = false;
+                for v in values {
+                    match v {
+                        Value::Int(i) => int_sum = int_sum.wrapping_add(*i),
+                        Value::Double(d) => {
+                            any_float = true;
+                            float_sum += d;
+                        }
+                        other => {
+                            return Err(EngineError::Reduce(format!(
+                                "Sum: non-numeric value {other} for key {key}"
+                            )))
+                        }
+                    }
+                }
+                let total = if any_float {
+                    Value::Double(float_sum + int_sum as f64)
+                } else {
+                    Value::Int(int_sum)
+                };
+                out.push((key.clone(), total));
+            }
+            Builtin::Count => {
+                out.push((key.clone(), Value::Int(values.len() as i64)));
+            }
+            Builtin::Max => {
+                if let Some(m) = values.iter().max() {
+                    out.push((key.clone(), m.clone()));
+                }
+            }
+            Builtin::Min => {
+                if let Some(m) = values.iter().min() {
+                    out.push((key.clone(), m.clone()));
+                }
+            }
+            Builtin::Identity => {
+                for v in values {
+                    out.push((key.clone(), v.clone()));
+                }
+            }
+            Builtin::First => {
+                if let Some(v) = values.first() {
+                    out.push((key.clone(), v.clone()));
+                }
+            }
+            Builtin::SumDropKey => {
+                let mut sum: i64 = 0;
+                for v in values {
+                    match v.as_int() {
+                        Some(i) => sum = sum.wrapping_add(i),
+                        None => {
+                            return Err(EngineError::Reduce(format!(
+                                "SumDropKey: non-integer value {v}"
+                            )))
+                        }
+                    }
+                }
+                out.push((Value::Null, Value::Int(sum)));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ReducerFactory for Builtin {
+    fn create(&self) -> Box<dyn Reducer> {
+        Box::new(*self)
+    }
+}
+
+/// A native closure reducer.
+pub struct FnReducer<F>(pub F);
+
+impl<F> Reducer for FnReducer<F>
+where
+    F: FnMut(&Value, &[Value], &mut Vec<(Value, Value)>) -> Result<()> + Send,
+{
+    fn reduce(
+        &mut self,
+        key: &Value,
+        values: &[Value],
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<()> {
+        (self.0)(key, values, out)
+    }
+}
+
+/// Factory wrapping a cloneable closure reducer.
+pub struct FnReducerFactory<F>(pub F);
+
+impl<F> ReducerFactory for FnReducerFactory<F>
+where
+    F: Fn(&Value, &[Value], &mut Vec<(Value, Value)>) -> Result<()>
+        + Send
+        + Sync
+        + Clone
+        + 'static,
+{
+    fn create(&self) -> Box<dyn Reducer> {
+        Box::new(FnReducer(self.0.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(b: Builtin, key: Value, values: Vec<Value>) -> Vec<(Value, Value)> {
+        let mut out = Vec::new();
+        b.create().reduce(&key, &values, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn sum_ints_and_floats() {
+        let out = run(Builtin::Sum, Value::str("k"), vec![1.into(), 2.into(), 3.into()]);
+        assert_eq!(out, vec![(Value::str("k"), Value::Int(6))]);
+        let out = run(
+            Builtin::Sum,
+            Value::str("k"),
+            vec![Value::Int(1), Value::Double(0.5)],
+        );
+        assert_eq!(out, vec![(Value::str("k"), Value::Double(1.5))]);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut out = Vec::new();
+        let err = Builtin::Sum
+            .create()
+            .reduce(&Value::str("k"), &[Value::str("x")], &mut out)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Reduce(_)));
+    }
+
+    #[test]
+    fn count_max_min_first_identity() {
+        let vals: Vec<Value> = vec![5.into(), 1.into(), 3.into()];
+        assert_eq!(
+            run(Builtin::Count, Value::Int(0), vals.clone())[0].1,
+            Value::Int(3)
+        );
+        assert_eq!(
+            run(Builtin::Max, Value::Int(0), vals.clone())[0].1,
+            Value::Int(5)
+        );
+        assert_eq!(
+            run(Builtin::Min, Value::Int(0), vals.clone())[0].1,
+            Value::Int(1)
+        );
+        assert_eq!(
+            run(Builtin::First, Value::Int(0), vals.clone())[0].1,
+            Value::Int(5)
+        );
+        assert_eq!(run(Builtin::Identity, Value::Int(0), vals).len(), 3);
+    }
+
+    #[test]
+    fn sum_drop_key_hides_key() {
+        let out = run(
+            Builtin::SumDropKey,
+            Value::str("http://compressed-or-not"),
+            vec![3.into(), 4.into()],
+        );
+        assert_eq!(out, vec![(Value::Null, Value::Int(7))]);
+    }
+
+    #[test]
+    fn empty_groups_are_quiet() {
+        assert!(run(Builtin::Max, Value::Int(0), vec![]).is_empty());
+        assert!(run(Builtin::First, Value::Int(0), vec![]).is_empty());
+        assert_eq!(run(Builtin::Count, Value::Int(0), vec![])[0].1, Value::Int(0));
+    }
+}

@@ -1,0 +1,443 @@
+//! The job runner: map → shuffle → sort → reduce.
+//!
+//! "The execution fabric retains the standard map-shuffle-reduce
+//! sequence and is almost identical to standard MapReduce" (paper §2).
+//! Map tasks run on a worker pool consuming input splits from a queue;
+//! emitted pairs are hash-partitioned into per-reducer buckets; each
+//! reduce partition sorts by key, groups equal keys, and applies the
+//! reducer.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mr_ir::value::Value;
+use parking_lot::Mutex as PlMutex;
+
+use crate::counters::{CounterSnapshot, Counters};
+use crate::error::{EngineError, Result};
+use crate::input::SplitReader;
+use crate::job::{JobConfig, OutputSpec};
+use crate::mapper::MapperFactory;
+use crate::partition::partition;
+
+/// What a finished job hands back.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Counter snapshot.
+    pub counters: CounterSnapshot,
+    /// Output pairs (empty when writing to files).
+    pub output: Vec<(Value, Value)>,
+    /// Output files written (empty for in-memory output).
+    pub output_files: Vec<std::path::PathBuf>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// Run a job to completion.
+pub fn run_job(job: &JobConfig) -> Result<JobResult> {
+    let start = Instant::now();
+    if job.inputs.is_empty() {
+        return Err(EngineError::Config("job has no inputs".into()));
+    }
+    let num_reducers = job.num_reducers.max(1);
+    let counters = Counters::new();
+
+    // ---- plan map tasks ------------------------------------------------
+    struct MapTask {
+        reader: SplitReader,
+        mapper: Arc<dyn MapperFactory>,
+    }
+    let mut tasks: VecDeque<MapTask> = VecDeque::new();
+    for binding in &job.inputs {
+        for reader in binding.input.open(job.map_parallelism)? {
+            tasks.push_back(MapTask {
+                reader,
+                mapper: Arc::clone(&binding.mapper),
+            });
+        }
+    }
+
+    // ---- map phase ------------------------------------------------------
+    let buckets: Vec<PlMutex<Vec<(Value, Value)>>> =
+        (0..num_reducers).map(|_| PlMutex::new(Vec::new())).collect();
+    let queue = Mutex::new(tasks);
+    let failed: PlMutex<Option<EngineError>> = PlMutex::new(None);
+    let abort = AtomicBool::new(false);
+    let workers = job.map_parallelism.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut emit_buf: Vec<(Value, Value)> = Vec::new();
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let task = queue.lock().expect("queue lock").pop_front();
+                    let Some(mut task) = task else { return };
+                    let mut mapper = task.mapper.create();
+                    let mut local: Vec<Vec<(Value, Value)>> =
+                        (0..num_reducers).map(|_| Vec::new()).collect();
+                    let mut records = 0u64;
+                    let mut outputs = 0u64;
+                    let mut instructions = 0u64;
+                    let mut effects = 0u64;
+                    let mut shuffle_bytes = 0u64;
+                    let run = (|| -> Result<()> {
+                        for item in task.reader.by_ref() {
+                            let (k, v) = item?;
+                            records += 1;
+                            emit_buf.clear();
+                            let stats = mapper.map(&k, &v, &mut emit_buf)?;
+                            instructions += stats.instructions;
+                            effects += stats.side_effects;
+                            outputs += emit_buf.len() as u64;
+                            for (ok, ov) in emit_buf.drain(..) {
+                                shuffle_bytes +=
+                                    (ok.payload_size() + ov.payload_size()) as u64 + 2;
+                                local[partition(&ok, num_reducers)].push((ok, ov));
+                            }
+                        }
+                        Ok(())
+                    })();
+                    match run {
+                        Ok(()) => {
+                            Counters::add(&counters.map_input_records, records);
+                            Counters::add(&counters.map_invocations, records);
+                            Counters::add(&counters.map_output_records, outputs);
+                            Counters::add(&counters.instructions_executed, instructions);
+                            Counters::add(&counters.side_effects, effects);
+                            Counters::add(&counters.shuffle_bytes, shuffle_bytes);
+                            Counters::add(&counters.input_bytes, task.reader.bytes_read());
+                            for (p, mut pairs) in local.into_iter().enumerate() {
+                                buckets[p].lock().append(&mut pairs);
+                            }
+                        }
+                        Err(e) => {
+                            *failed.lock() = Some(e);
+                            abort.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failed.lock().take() {
+        return Err(e);
+    }
+
+    // ---- sort + reduce phase ---------------------------------------------
+    let reduce_outputs: Vec<PlMutex<Vec<(Value, Value)>>> =
+        (0..num_reducers).map(|_| PlMutex::new(Vec::new())).collect();
+    let partitions: Mutex<VecDeque<usize>> = Mutex::new((0..num_reducers).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(num_reducers) {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let p = partitions.lock().expect("partition lock").pop_front();
+                let Some(p) = p else { return };
+                let mut pairs = std::mem::take(&mut *buckets[p].lock());
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut reducer = job.reducer.create();
+                let mut out: Vec<(Value, Value)> = Vec::new();
+                let mut groups = 0u64;
+                let run = (|| -> Result<()> {
+                    let mut i = 0usize;
+                    while i < pairs.len() {
+                        let mut j = i + 1;
+                        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                            j += 1;
+                        }
+                        groups += 1;
+                        let key = pairs[i].0.clone();
+                        // Move the group's values out without cloning.
+                        let values: Vec<Value> =
+                            pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+                        reducer
+                            .reduce(&key, &values, &mut out)?;
+                        i = j;
+                    }
+                    Ok(())
+                })();
+                match run {
+                    Ok(()) => {
+                        Counters::add(&counters.reduce_input_groups, groups);
+                        Counters::add(&counters.reduce_output_records, out.len() as u64);
+                        *reduce_outputs[p].lock() = out;
+                    }
+                    Err(e) => {
+                        *failed.lock() = Some(e);
+                        abort.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failed.lock().take() {
+        return Err(e);
+    }
+
+    // ---- output ----------------------------------------------------------
+    let mut output_files = Vec::new();
+    let mut output = Vec::new();
+    match &job.output {
+        OutputSpec::InMemory => {
+            for bucket in &reduce_outputs {
+                output.append(&mut bucket.lock());
+            }
+            if job.sort_output {
+                output.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            }
+        }
+        OutputSpec::TextDir(dir) => {
+            std::fs::create_dir_all(dir)?;
+            for (p, bucket) in reduce_outputs.iter().enumerate() {
+                let path = dir.join(format!("part-{p:05}"));
+                let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                let mut pairs = std::mem::take(&mut *bucket.lock());
+                if job.sort_output {
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                }
+                for (k, v) in pairs {
+                    writeln!(f, "{k}\t{v}")?;
+                }
+                f.flush()?;
+                output_files.push(path);
+            }
+        }
+    }
+
+    Ok(JobResult {
+        counters: counters.snapshot(),
+        output,
+        output_files,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputSpec;
+    use crate::job::InputBinding;
+    use crate::reducer::Builtin;
+    use mr_ir::asm::parse_function;
+    use mr_ir::record::record;
+    use mr_ir::schema::{FieldType, Schema};
+    use mr_storage::seqfile::write_seqfile;
+    use std::path::PathBuf;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+        )
+        .into_arc()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mr-runner-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn write_pages(name: &str, n: i64) -> PathBuf {
+        let s = schema();
+        let path = tmp(name);
+        let records: Vec<_> = (0..n)
+            .map(|i| {
+                record(
+                    &s,
+                    vec![format!("http://s/{}", i % 10).into(), Value::Int(i % 100)],
+                )
+            })
+            .collect();
+        write_seqfile(&path, s, records).unwrap();
+        path
+    }
+
+    /// SELECT rank, COUNT(*) WHERE rank > 89 GROUP BY rank.
+    fn count_high_ranks() -> mr_ir::function::Function {
+        parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 89
+              r3 = cmp gt r1, r2
+              br r3, t, e
+            t:
+              r4 = const 1
+              emit r1, r4
+            e:
+              ret
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_count_end_to_end() {
+        let path = write_pages("groupby", 1000);
+        let job = JobConfig::ir_job(
+            "count-high",
+            InputSpec::SeqFile { path },
+            count_high_ranks(),
+            Builtin::Count,
+        );
+        let result = run_job(&job).unwrap();
+        // Ranks 90..=99 each appear 10 times.
+        assert_eq!(result.output.len(), 10);
+        for (k, v) in &result.output {
+            assert!(k.as_int().unwrap() > 89);
+            assert_eq!(v, &Value::Int(10));
+        }
+        assert_eq!(result.counters.map_input_records, 1000);
+        assert_eq!(result.counters.map_output_records, 100);
+        assert_eq!(result.counters.reduce_input_groups, 10);
+        assert!(result.counters.input_bytes > 0);
+        assert!(result.counters.shuffle_bytes > 0);
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let path = write_pages("determinism", 2000);
+        let mut results = Vec::new();
+        for par in [1usize, 2, 8] {
+            let job = JobConfig::ir_job(
+                "count-high",
+                InputSpec::SeqFile { path: path.clone() },
+                count_high_ranks(),
+                Builtin::Count,
+            )
+            .with_parallelism(par)
+            .with_reducers(3);
+            results.push(run_job(&job).unwrap().output);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn sum_reducer_over_multiple_inputs() {
+        let p1 = write_pages("multi1", 500);
+        let p2 = write_pages("multi2", 500);
+        let mapper = || {
+            parse_function(
+                r#"
+                func map(key, value) {
+                  r0 = param value
+                  r1 = field r0.url
+                  r2 = field r0.rank
+                  emit r1, r2
+                  ret
+                }
+                "#,
+            )
+            .unwrap()
+        };
+        let job = JobConfig {
+            name: "multi".into(),
+            inputs: vec![
+                InputBinding::ir(InputSpec::SeqFile { path: p1 }, mapper()),
+                InputBinding::ir(InputSpec::SeqFile { path: p2 }, mapper()),
+            ],
+            num_reducers: 4,
+            reducer: Arc::new(Builtin::Sum),
+            output: OutputSpec::InMemory,
+            map_parallelism: 4,
+            sort_output: true,
+        };
+        let result = run_job(&job).unwrap();
+        assert_eq!(result.output.len(), 10, "ten distinct urls");
+        assert_eq!(result.counters.map_input_records, 1000);
+        let total: i64 = result
+            .output
+            .iter()
+            .map(|(_, v)| v.as_int().unwrap())
+            .sum();
+        // Sum of (i % 100) over 0..500, twice.
+        let expected: i64 = (0..500).map(|i| i % 100).sum::<i64>() * 2;
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn map_error_propagates() {
+        let path = write_pages("maperr", 10);
+        // Mapper reads a nonexistent field.
+        let bad = parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.nope
+              emit r1, r1
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let job = JobConfig::ir_job("bad", InputSpec::SeqFile { path }, bad, Builtin::Count);
+        assert!(matches!(run_job(&job), Err(EngineError::Map(_))));
+    }
+
+    #[test]
+    fn text_output_files_written() {
+        let path = write_pages("textout", 100);
+        let outdir = tmp("textout-dir");
+        let _ = std::fs::remove_dir_all(&outdir);
+        let job = JobConfig::ir_job(
+            "text",
+            InputSpec::SeqFile { path },
+            count_high_ranks(),
+            Builtin::Count,
+        )
+        .with_reducers(2)
+        .with_text_output(&outdir);
+        let result = run_job(&job).unwrap();
+        assert_eq!(result.output_files.len(), 2);
+        let mut lines = 0;
+        for f in &result.output_files {
+            lines += std::fs::read_to_string(f).unwrap().lines().count();
+        }
+        assert_eq!(lines as u64, result.counters.reduce_output_records);
+    }
+
+    #[test]
+    fn empty_input_runs_clean() {
+        let s = schema();
+        let path = tmp("empty");
+        write_seqfile(&path, s, Vec::new()).unwrap();
+        let job = JobConfig::ir_job(
+            "empty",
+            InputSpec::SeqFile { path },
+            count_high_ranks(),
+            Builtin::Count,
+        );
+        let result = run_job(&job).unwrap();
+        assert!(result.output.is_empty());
+        assert_eq!(result.counters.map_input_records, 0);
+    }
+
+    #[test]
+    fn no_inputs_is_config_error() {
+        let job = JobConfig {
+            name: "none".into(),
+            inputs: vec![],
+            num_reducers: 1,
+            reducer: Arc::new(Builtin::Count),
+            output: OutputSpec::InMemory,
+            map_parallelism: 1,
+            sort_output: false,
+        };
+        assert!(matches!(run_job(&job), Err(EngineError::Config(_))));
+    }
+}

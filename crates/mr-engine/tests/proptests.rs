@@ -1,0 +1,131 @@
+//! Property-based tests for the execution fabric: determinism across
+//! parallelism levels and reducer counts, for arbitrary inputs.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mr_engine::{run_job, Builtin, InputSpec, JobConfig};
+use mr_ir::asm::parse_function;
+use mr_ir::record::{record, Record};
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_storage::seqfile::write_seqfile;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mr-engine-proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    dir.join(format!("{name}-{}-{n}", std::process::id()))
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::new(
+        "T",
+        vec![("k", FieldType::Str), ("v", FieldType::Int)],
+    )
+    .into_arc()
+}
+
+fn group_sum_mapper() -> mr_ir::function::Function {
+    parse_function(
+        r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.k
+          r2 = field r0.v
+          emit r1, r2
+          ret
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Group-by sums are identical for every (parallelism, reducers)
+    /// combination and match a sequential reference computation.
+    #[test]
+    fn job_output_independent_of_parallelism(
+        pairs in proptest::collection::vec(("[a-e]", -100i64..100), 0..200),
+    ) {
+        let s = schema();
+        let records: Vec<Record> = pairs
+            .iter()
+            .map(|(k, v)| record(&s, vec![k.as_str().into(), Value::Int(*v)]))
+            .collect();
+        let path = tmp("par");
+        write_seqfile(&path, Arc::clone(&s), records).unwrap();
+
+        // Sequential reference.
+        let mut expected: std::collections::BTreeMap<String, i64> = Default::default();
+        for (k, v) in &pairs {
+            *expected.entry(k.clone()).or_default() += v;
+        }
+
+        for (par, reducers) in [(1usize, 1usize), (2, 3), (8, 1), (4, 7)] {
+            let job = JobConfig::ir_job(
+                "sum",
+                InputSpec::SeqFile { path: path.clone() },
+                group_sum_mapper(),
+                Builtin::Sum,
+            )
+            .with_parallelism(par)
+            .with_reducers(reducers);
+            let result = run_job(&job).unwrap();
+            let got: std::collections::BTreeMap<String, i64> = result
+                .output
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.as_str().unwrap().to_string(),
+                        v.as_int().unwrap(),
+                    )
+                })
+                .collect();
+            prop_assert_eq!(&got, &expected, "par={} reducers={}", par, reducers);
+            prop_assert_eq!(
+                result.counters.map_input_records as usize,
+                pairs.len()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Counters are conserved: map outputs equal the sum of reduce
+    /// group sizes, and every record is read exactly once.
+    #[test]
+    fn counter_conservation(
+        pairs in proptest::collection::vec(("[a-c]", 0i64..10), 1..100),
+        reducers in 1usize..6,
+    ) {
+        let s = schema();
+        let records: Vec<Record> = pairs
+            .iter()
+            .map(|(k, v)| record(&s, vec![k.as_str().into(), Value::Int(*v)]))
+            .collect();
+        let path = tmp("conserve");
+        write_seqfile(&path, Arc::clone(&s), records).unwrap();
+        let job = JobConfig::ir_job(
+            "count",
+            InputSpec::SeqFile { path: path.clone() },
+            group_sum_mapper(),
+            Builtin::Count,
+        )
+        .with_reducers(reducers);
+        let result = run_job(&job).unwrap();
+        let c = result.counters;
+        prop_assert_eq!(c.map_input_records as usize, pairs.len());
+        prop_assert_eq!(c.map_output_records as usize, pairs.len());
+        // Count reducer: one output per group; group counts sum to the
+        // map output count.
+        let total: i64 = result.output.iter().map(|(_, v)| v.as_int().unwrap()).sum();
+        prop_assert_eq!(total as usize, pairs.len());
+        prop_assert_eq!(c.reduce_output_records, c.reduce_input_groups);
+        std::fs::remove_file(&path).ok();
+    }
+}

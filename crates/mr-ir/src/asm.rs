@@ -1,0 +1,572 @@
+//! A textual assembler for MR-IR.
+//!
+//! The assembly syntax mirrors the printer output of
+//! [`Function`](crate::function::Function#impl-Display-for-Function) closely enough that programs
+//! in docs, tests and examples stay readable:
+//!
+//! ```text
+//! func map(key, value) {
+//!   member numMapsRun = 0
+//!   r0 = param value
+//!   r1 = field r0.rank
+//!   r2 = const 1
+//!   r3 = cmp gt r1, r2
+//!   br r3, then, exit
+//! then:
+//!   r4 = param key
+//!   emit r4, r2
+//! exit:
+//!   ret
+//! }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::instr::{BinOp, CmpOp, Instr, ParamId, Reg, SideEffectKind};
+use crate::value::Value;
+
+/// Assembly parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse one function from assembly text.
+pub fn parse_function(src: &str) -> Result<Function, AsmError> {
+    let mut name = String::from("map");
+    let mut members: Vec<(String, Value)> = Vec::new();
+    // First pass: collect label positions (indices into the pending
+    // instruction list), second pass resolves them.
+    let mut pending: Vec<(usize, PendingInstr)> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut in_body = false;
+    let mut saw_close = false;
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_body {
+            let rest = line
+                .strip_prefix("func ")
+                .ok_or_else(|| err(line_no, "expected `func <name>(key, value) {`"))?;
+            let open = rest
+                .find('(')
+                .ok_or_else(|| err(line_no, "expected `(` in func header"))?;
+            name = rest[..open].trim().to_string();
+            if !rest.trim_end().ends_with('{') {
+                return Err(err(line_no, "func header must end with `{`"));
+            }
+            in_body = true;
+            continue;
+        }
+        if line == "}" {
+            saw_close = true;
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("member ") {
+            // Disambiguate `member n = 0` (declaration, literal RHS)
+            // from `member n = r2` (store instruction, register RHS).
+            let (mname, init) = rest
+                .split_once('=')
+                .ok_or_else(|| err(line_no, "member needs `= <initial>` or `= rN`"))?;
+            let rhs = init.trim();
+            let is_reg = rhs.len() > 1
+                && rhs.starts_with('r')
+                && rhs[1..].chars().all(|c| c.is_ascii_digit());
+            if !is_reg {
+                if !pending.is_empty() || !labels.is_empty() {
+                    return Err(err(
+                        line_no,
+                        "member declarations must precede instructions",
+                    ));
+                }
+                members.push((
+                    mname.trim().to_string(),
+                    parse_literal(rhs, line_no)?,
+                ));
+                continue;
+            }
+            // Fall through to instruction parsing below.
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if labels.insert(label.to_string(), pending.len()).is_some() {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            continue;
+        }
+        pending.push((line_no, parse_instr_line(line, line_no)?));
+    }
+
+    if !in_body {
+        return Err(err(1, "no `func` header found"));
+    }
+    if !saw_close {
+        return Err(err(src.lines().count(), "missing closing `}`"));
+    }
+
+    let n = pending.len();
+    let resolve = |label: &str, line: usize| -> Result<usize, AsmError> {
+        labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown label `{label}`")))
+            .and_then(|t| {
+                if t <= n {
+                    Ok(t)
+                } else {
+                    Err(err(line, format!("label `{label}` out of range")))
+                }
+            })
+    };
+
+    let mut instrs = Vec::with_capacity(n);
+    for (line, p) in pending {
+        instrs.push(match p {
+            PendingInstr::Done(i) => i,
+            PendingInstr::Jmp(label) => Instr::Jmp {
+                target: resolve(&label, line)?,
+            },
+            PendingInstr::Br(cond, t, e) => Instr::Br {
+                cond,
+                then_tgt: resolve(&t, line)?,
+                else_tgt: resolve(&e, line)?,
+            },
+        });
+    }
+    Ok(Function {
+        name,
+        instrs,
+        members,
+    })
+}
+
+enum PendingInstr {
+    Done(Instr),
+    Jmp(String),
+    Br(Reg, String, String),
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Comments start with `;` or `//` outside string literals.
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b';' if !in_str => return &line[..i],
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let tok = tok.trim();
+    tok.strip_prefix('r')
+        .and_then(|d| d.parse::<u16>().ok())
+        .map(Reg)
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))
+}
+
+fn parse_literal(tok: &str, line: usize) -> Result<Value, AsmError> {
+    let tok = tok.trim();
+    if tok == "null" {
+        return Ok(Value::Null);
+    }
+    if tok == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if tok == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(stripped) = tok.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| err(line, "unterminated string literal"))?;
+        return Ok(Value::str(unescape(inner)));
+    }
+    if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+        if let Ok(d) = tok.parse::<f64>() {
+            return Ok(Value::Double(d));
+        }
+    }
+    tok.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(line, format!("bad literal `{tok}`")))
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_binop(tok: &str) -> Option<BinOp> {
+    Some(match tok {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "concat" => BinOp::Concat,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        _ => return None,
+    })
+}
+
+fn parse_cmpop(tok: &str, line: usize) -> Result<CmpOp, AsmError> {
+    Ok(match tok {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        other => return Err(err(line, format!("unknown comparison `{other}`"))),
+    })
+}
+
+fn parse_effect_kind(tok: &str, line: usize) -> Result<SideEffectKind, AsmError> {
+    Ok(match tok {
+        "log" => SideEffectKind::Log,
+        "filewrite" => SideEffectKind::FileWrite,
+        "network" => SideEffectKind::Network,
+        "counter" => SideEffectKind::Counter,
+        other => return Err(err(line, format!("unknown effect kind `{other}`"))),
+    })
+}
+
+fn parse_call_args(argstr: &str, line: usize) -> Result<Vec<Reg>, AsmError> {
+    let argstr = argstr.trim();
+    if argstr.is_empty() {
+        return Ok(vec![]);
+    }
+    argstr
+        .split(',')
+        .map(|a| parse_reg(a, line))
+        .collect()
+}
+
+fn parse_instr_line(line: &str, ln: usize) -> Result<PendingInstr, AsmError> {
+    // Non-assignment forms first.
+    if line == "ret" {
+        return Ok(PendingInstr::Done(Instr::Ret));
+    }
+    if let Some(rest) = line.strip_prefix("jmp ") {
+        return Ok(PendingInstr::Jmp(rest.trim().to_string()));
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(err(ln, "br needs `br rN, then_label, else_label`"));
+        }
+        return Ok(PendingInstr::Br(
+            parse_reg(parts[0], ln)?,
+            parts[1].to_string(),
+            parts[2].to_string(),
+        ));
+    }
+    if let Some(rest) = line.strip_prefix("emit ") {
+        let (k, v) = rest
+            .split_once(',')
+            .ok_or_else(|| err(ln, "emit needs two registers"))?;
+        return Ok(PendingInstr::Done(Instr::Emit {
+            key: parse_reg(k, ln)?,
+            value: parse_reg(v, ln)?,
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("effect ") {
+        let open = rest.find('(').ok_or_else(|| err(ln, "effect needs `(`"))?;
+        let close = rest.rfind(')').ok_or_else(|| err(ln, "effect needs `)`"))?;
+        return Ok(PendingInstr::Done(Instr::SideEffect {
+            kind: parse_effect_kind(rest[..open].trim(), ln)?,
+            args: parse_call_args(&rest[open + 1..close], ln)?,
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("call ") {
+        let open = rest.find('(').ok_or_else(|| err(ln, "call needs `(`"))?;
+        let close = rest.rfind(')').ok_or_else(|| err(ln, "call needs `)`"))?;
+        return Ok(PendingInstr::Done(Instr::Call {
+            dst: None,
+            func: rest[..open].trim().to_string(),
+            args: parse_call_args(&rest[open + 1..close], ln)?,
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("member ") {
+        // `member name = rN` (store form; loads are assignments).
+        let (mname, src) = rest
+            .split_once('=')
+            .ok_or_else(|| err(ln, "member store needs `member <name> = rN`"))?;
+        return Ok(PendingInstr::Done(Instr::SetMember {
+            name: mname.trim().to_string(),
+            src: parse_reg(src, ln)?,
+        }));
+    }
+
+    // Assignment forms: `rN = <rhs>`.
+    let (dst_s, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| err(ln, format!("unrecognized instruction `{line}`")))?;
+    let dst = parse_reg(dst_s, ln)?;
+    let rhs = rhs.trim();
+
+    if let Some(rest) = rhs.strip_prefix("const ") {
+        return Ok(PendingInstr::Done(Instr::Const {
+            dst,
+            val: parse_literal(rest, ln)?,
+        }));
+    }
+    if let Some(rest) = rhs.strip_prefix("param ") {
+        let param = match rest.trim() {
+            "key" => ParamId::Key,
+            "value" => ParamId::Value,
+            other => return Err(err(ln, format!("unknown param `{other}`"))),
+        };
+        return Ok(PendingInstr::Done(Instr::LoadParam { dst, param }));
+    }
+    if let Some(rest) = rhs.strip_prefix("field ") {
+        let (obj, field) = rest
+            .split_once('.')
+            .ok_or_else(|| err(ln, "field needs `rN.<name>`"))?;
+        return Ok(PendingInstr::Done(Instr::GetField {
+            dst,
+            obj: parse_reg(obj, ln)?,
+            field: field.trim().to_string(),
+        }));
+    }
+    if let Some(rest) = rhs.strip_prefix("cmp ") {
+        let mut it = rest.splitn(2, ' ');
+        let op = parse_cmpop(it.next().unwrap_or(""), ln)?;
+        let operands = it.next().ok_or_else(|| err(ln, "cmp needs operands"))?;
+        let (l, r) = operands
+            .split_once(',')
+            .ok_or_else(|| err(ln, "cmp needs two operands"))?;
+        return Ok(PendingInstr::Done(Instr::Cmp {
+            dst,
+            op,
+            lhs: parse_reg(l, ln)?,
+            rhs: parse_reg(r, ln)?,
+        }));
+    }
+    if let Some(rest) = rhs.strip_prefix("not ") {
+        return Ok(PendingInstr::Done(Instr::Not {
+            dst,
+            src: parse_reg(rest, ln)?,
+        }));
+    }
+    if let Some(rest) = rhs.strip_prefix("call ") {
+        let open = rest.find('(').ok_or_else(|| err(ln, "call needs `(`"))?;
+        let close = rest.rfind(')').ok_or_else(|| err(ln, "call needs `)`"))?;
+        return Ok(PendingInstr::Done(Instr::Call {
+            dst: Some(dst),
+            func: rest[..open].trim().to_string(),
+            args: parse_call_args(&rest[open + 1..close], ln)?,
+        }));
+    }
+    if let Some(rest) = rhs.strip_prefix("member ") {
+        return Ok(PendingInstr::Done(Instr::GetMember {
+            dst,
+            name: rest.trim().to_string(),
+        }));
+    }
+    // `rN = <binop> rA, rB`
+    if let Some((op_tok, operands)) = rhs.split_once(' ') {
+        if let Some(op) = parse_binop(op_tok) {
+            let (l, r) = operands
+                .split_once(',')
+                .ok_or_else(|| err(ln, "binop needs two operands"))?;
+            return Ok(PendingInstr::Done(Instr::BinOp {
+                dst,
+                op,
+                lhs: parse_reg(l, ln)?,
+                rhs: parse_reg(r, ln)?,
+            }));
+        }
+    }
+    // Plain move: `rN = rM`.
+    if rhs.starts_with('r') && rhs[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(PendingInstr::Done(Instr::Move {
+            dst,
+            src: parse_reg(rhs, ln)?,
+        }));
+    }
+    Err(err(ln, format!("unrecognized right-hand side `{rhs}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::record::record;
+    use crate::schema::{FieldType, Schema};
+    use crate::verify::verify;
+
+    const SELECT_SRC: &str = r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.rank
+          r2 = const 1
+          r3 = cmp gt r1, r2
+          br r3, then, exit
+        then:
+          r4 = param key
+          emit r4, r2
+        exit:
+          ret
+        }
+    "#;
+
+    #[test]
+    fn parse_and_run_selection() {
+        let f = parse_function(SELECT_SRC).unwrap();
+        assert!(verify(&f).is_ok());
+        let s = Schema::new("W", vec![("rank", FieldType::Int)]).into_arc();
+        let mut interp = Interpreter::new(&f);
+        let out = interp
+            .invoke_map(&f, &Value::str("k"), &record(&s, vec![5.into()]).into())
+            .unwrap();
+        assert_eq!(out.emits.len(), 1);
+        let out = interp
+            .invoke_map(&f, &Value::str("k"), &record(&s, vec![0.into()]).into())
+            .unwrap();
+        assert!(out.emits.is_empty());
+    }
+
+    #[test]
+    fn members_comments_and_effects() {
+        let src = r#"
+            func map(key, value) {      ; the Fig. 2 program
+              member numMapsRun = 0
+              r0 = member numMapsRun    // load counter
+              r1 = const 1
+              r2 = add r0, r1
+              member numMapsRun = r2
+              effect log(r2)
+              ret
+            }
+        "#;
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.members, vec![("numMapsRun".to_string(), Value::Int(0))]);
+        assert!(verify(&f).is_ok());
+        assert!(matches!(f.instrs[4], Instr::SideEffect { .. }));
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(parse_literal("42", 1).unwrap(), Value::Int(42));
+        assert_eq!(parse_literal("-7", 1).unwrap(), Value::Int(-7));
+        assert_eq!(parse_literal("2.5", 1).unwrap(), Value::Double(2.5));
+        assert_eq!(parse_literal("true", 1).unwrap(), Value::Bool(true));
+        assert_eq!(parse_literal("null", 1).unwrap(), Value::Null);
+        assert_eq!(
+            parse_literal("\"a b\"", 1).unwrap(),
+            Value::str("a b")
+        );
+        assert_eq!(
+            parse_literal(r#""tab\there""#, 1).unwrap(),
+            Value::str("tab\there")
+        );
+        assert!(parse_literal("wat", 1).is_err());
+    }
+
+    #[test]
+    fn calls_parse() {
+        let src = r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.url
+              r2 = const ".html"
+              r3 = call str.ends_with(r1, r2)
+              call str.len(r1)
+              ret
+            }
+        "#;
+        let f = parse_function(src).unwrap();
+        assert!(matches!(
+            &f.instrs[3],
+            Instr::Call { dst: Some(_), func, .. } if func == "str.ends_with"
+        ));
+        assert!(matches!(&f.instrs[4], Instr::Call { dst: None, .. }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "func map(key, value) {\n  r0 = wat 1\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let src = "func map(key, value) {\n  jmp nowhere\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert!(e.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let src = "func f(key, value) {\nx:\nx:\n  ret\n}\n";
+        let e = parse_function(src).unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn missing_close_rejected() {
+        let src = "func f(key, value) {\n  ret\n";
+        assert!(parse_function(src).is_err());
+    }
+
+    #[test]
+    fn label_at_end_resolves_past_last_instr() {
+        // A label binding to one-past-the-end would produce a jump out of
+        // range at runtime; the verifier catches it, but parsing succeeds
+        // only when the target is within range. `exit:` right before `}`
+        // with no trailing instruction binds to index == len; keep the
+        // parser permissive and let verify() reject it.
+        let src = "func f(key, value) {\n  jmp exit\nexit:\n}\n";
+        let f = parse_function(src).unwrap();
+        assert!(crate::verify::verify(&f).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! An ergonomic builder for MR-IR functions.
+//!
+//! The builder allocates registers, resolves symbolic labels to
+//! instruction indices, and produces a [`Function`] ready for the
+//! verifier and interpreter. It plays the role of `javac`: workload
+//! programs are written against this API and the analyzer only ever sees
+//! the compiled artifact.
+//!
+//! ```
+//! use mr_ir::builder::FunctionBuilder;
+//! use mr_ir::instr::{CmpOp, ParamId};
+//!
+//! // void map(String k, WebPage v) { if (v.rank > 1) emit(k, 1); }
+//! let mut b = FunctionBuilder::new("map");
+//! let v = b.load_param(ParamId::Value);
+//! let rank = b.get_field(v, "rank");
+//! let one = b.const_int(1);
+//! let cond = b.cmp(CmpOp::Gt, rank, one);
+//! let (then_l, exit_l) = (b.fresh_label("then"), b.fresh_label("exit"));
+//! b.br(cond, then_l, exit_l);
+//! b.bind(then_l);
+//! let k = b.load_param(ParamId::Key);
+//! b.emit(k, one);
+//! b.bind(exit_l);
+//! b.ret();
+//! let f = b.finish();
+//! assert_eq!(f.emit_sites().len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::instr::{BinOp, CmpOp, Instr, ParamId, Reg, SideEffectKind};
+use crate::value::Value;
+
+/// A symbolic jump target handed out by [`FunctionBuilder::fresh_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`Function`] incrementally.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    next_reg: u16,
+    next_label: usize,
+    bound: HashMap<Label, usize>,
+    /// (instruction index, which slot, label) fixups to patch at finish.
+    fixups: Vec<(usize, usize, Label)>,
+    members: Vec<(String, Value)>,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+            next_label: 0,
+            bound: HashMap::new(),
+            fixups: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Declare a mapper member variable with an initial value
+    /// (a Java instance field).
+    pub fn declare_member(&mut self, name: impl Into<String>, init: Value) {
+        self.members.push((name.into(), init));
+    }
+
+    fn alloc(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register space exhausted");
+        r
+    }
+
+    /// Create a new, unbound label. The `hint` is only for debugging.
+    pub fn fresh_label(&mut self, _hint: &str) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Bind `label` to the current instruction position.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let pos = self.instrs.len();
+        let prev = self.bound.insert(label, pos);
+        assert!(prev.is_none(), "label bound twice");
+    }
+
+    /// `dst = const val`.
+    pub fn const_val(&mut self, val: Value) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::Const { dst, val });
+        dst
+    }
+
+    /// `dst = const <int>`.
+    pub fn const_int(&mut self, v: i64) -> Reg {
+        self.const_val(Value::Int(v))
+    }
+
+    /// `dst = const <str>`.
+    pub fn const_str(&mut self, s: &str) -> Reg {
+        self.const_val(Value::str(s))
+    }
+
+    /// `dst = const <double>`.
+    pub fn const_double(&mut self, v: f64) -> Reg {
+        self.const_val(Value::Double(v))
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, src: Reg) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::Move { dst, src });
+        dst
+    }
+
+    /// Overwrite an existing register (models a local-variable
+    /// reassignment, giving reaching-definitions something to do).
+    pub fn mov_to(&mut self, dst: Reg, src: Reg) {
+        self.instrs.push(Instr::Move { dst, src });
+    }
+
+    /// `dst = param`.
+    pub fn load_param(&mut self, param: ParamId) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::LoadParam { dst, param });
+        dst
+    }
+
+    /// `dst = obj.field`.
+    pub fn get_field(&mut self, obj: Reg, field: &str) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::GetField {
+            dst,
+            obj,
+            field: field.into(),
+        });
+        dst
+    }
+
+    /// `dst = lhs <op> rhs`.
+    pub fn bin(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::BinOp { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// Overwrite `dst` with `lhs <op> rhs` (local reassignment form).
+    pub fn bin_to(&mut self, dst: Reg, op: BinOp, lhs: Reg, rhs: Reg) {
+        self.instrs.push(Instr::BinOp { dst, op, lhs, rhs });
+    }
+
+    /// `dst = lhs <cmp> rhs`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Reg, rhs: Reg) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::Cmp { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// `dst = !src`.
+    pub fn not(&mut self, src: Reg) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::Not { dst, src });
+        dst
+    }
+
+    /// `dst = func(args…)`.
+    pub fn call(&mut self, func: &str, args: Vec<Reg>) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::Call {
+            dst: Some(dst),
+            func: func.into(),
+            args,
+        });
+        dst
+    }
+
+    /// `func(args…)` discarding the result.
+    pub fn call_void(&mut self, func: &str, args: Vec<Reg>) {
+        self.instrs.push(Instr::Call {
+            dst: None,
+            func: func.into(),
+            args,
+        });
+    }
+
+    /// `dst = this.name`.
+    pub fn get_member(&mut self, name: &str) -> Reg {
+        let dst = self.alloc();
+        self.instrs.push(Instr::GetMember {
+            dst,
+            name: name.into(),
+        });
+        dst
+    }
+
+    /// `this.name = src`.
+    pub fn set_member(&mut self, name: &str, src: Reg) {
+        self.instrs.push(Instr::SetMember {
+            name: name.into(),
+            src,
+        });
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        let at = self.instrs.len();
+        self.instrs.push(Instr::Jmp { target: usize::MAX });
+        self.fixups.push((at, 0, label));
+    }
+
+    /// Branch to `then_l` when `cond` is truthy, else to `else_l`.
+    pub fn br(&mut self, cond: Reg, then_l: Label, else_l: Label) {
+        let at = self.instrs.len();
+        self.instrs.push(Instr::Br {
+            cond,
+            then_tgt: usize::MAX,
+            else_tgt: usize::MAX,
+        });
+        self.fixups.push((at, 0, then_l));
+        self.fixups.push((at, 1, else_l));
+    }
+
+    /// `emit(key, value)`.
+    pub fn emit(&mut self, key: Reg, value: Reg) {
+        self.instrs.push(Instr::Emit { key, value });
+    }
+
+    /// A side effect (log/file/network/counter).
+    pub fn side_effect(&mut self, kind: SideEffectKind, args: Vec<Reg>) {
+        self.instrs.push(Instr::SideEffect { kind, args });
+    }
+
+    /// Return.
+    pub fn ret(&mut self) {
+        self.instrs.push(Instr::Ret);
+    }
+
+    /// Resolve labels and produce the function.
+    ///
+    /// # Panics
+    /// Panics on unbound labels or a label past the instruction stream —
+    /// these are construction bugs in the calling code.
+    pub fn finish(mut self) -> Function {
+        for (at, slot, label) in &self.fixups {
+            let target = *self
+                .bound
+                .get(label)
+                .unwrap_or_else(|| panic!("unbound label {label:?}"));
+            assert!(
+                target <= self.instrs.len(),
+                "label {label:?} out of range"
+            );
+            match (&mut self.instrs[*at], slot) {
+                (Instr::Jmp { target: t }, _) => *t = target,
+                (Instr::Br { then_tgt, .. }, 0) => *then_tgt = target,
+                (Instr::Br { else_tgt, .. }, 1) => *else_tgt = target,
+                _ => unreachable!("fixup on non-branch instruction"),
+            }
+        }
+        Function {
+            name: self.name,
+            instrs: self.instrs,
+            members: self.members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.const_int(1);
+        let (t, e) = (b.fresh_label("t"), b.fresh_label("e"));
+        b.br(c, t, e);
+        b.bind(t);
+        let k = b.const_int(0);
+        b.emit(k, c);
+        b.bind(e);
+        b.ret();
+        let f = b.finish();
+        match &f.instrs[1] {
+            Instr::Br {
+                then_tgt, else_tgt, ..
+            } => {
+                assert_eq!(*then_tgt, 2);
+                assert_eq!(*else_tgt, 4);
+            }
+            other => panic!("expected Br, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.fresh_label("x");
+        b.jmp(l);
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let l = b.fresh_label("x");
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn member_declarations_survive() {
+        let mut b = FunctionBuilder::new("f");
+        b.declare_member("numMapsRun", Value::Int(0));
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.member_initial("numMapsRun"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn backward_jump_builds_loop() {
+        let mut b = FunctionBuilder::new("f");
+        let head = b.fresh_label("head");
+        let exit = b.fresh_label("exit");
+        b.bind(head);
+        let c = b.const_int(0);
+        b.br(c, head, exit);
+        b.bind(exit);
+        b.ret();
+        let f = b.finish();
+        match &f.instrs[1] {
+            Instr::Br { then_tgt, .. } => assert_eq!(*then_tgt, 0),
+            _ => panic!(),
+        }
+    }
+}

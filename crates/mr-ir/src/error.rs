@@ -1,0 +1,71 @@
+//! Errors shared by the interpreter, verifier and stdlib.
+
+use std::fmt;
+
+use crate::instr::Reg;
+
+/// Runtime or verification failure in an MR-IR program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A value had the wrong kind for an operation.
+    Type {
+        /// Where the error occurred (operator or function name).
+        context: String,
+        /// What was expected.
+        expected: &'static str,
+        /// The kind actually seen.
+        got: &'static str,
+    },
+    /// Call to a function not present in the stdlib registry.
+    UnknownFunction(String),
+    /// Wrong number of call arguments.
+    Arity {
+        /// Function name.
+        func: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Record field not found.
+    NoSuchField(String),
+    /// A register was read before any write on this execution path.
+    UnboundRegister(Reg),
+    /// Read of an undeclared member variable.
+    UnknownMember(String),
+    /// The interpreter's instruction budget ran out (runaway loop).
+    FuelExhausted,
+    /// A branch target is outside the instruction stream.
+    BadJump(usize),
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Execution fell off the end of the instruction stream.
+    FellOffEnd,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Type {
+                context,
+                expected,
+                got,
+            } => write!(f, "type error in {context}: expected {expected}, got {got}"),
+            IrError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            IrError::Arity {
+                func,
+                expected,
+                got,
+            } => write!(f, "{func}: expected {expected} args, got {got}"),
+            IrError::NoSuchField(name) => write!(f, "no such field: {name}"),
+            IrError::UnboundRegister(r) => write!(f, "read of unbound register {r}"),
+            IrError::UnknownMember(name) => write!(f, "read of undeclared member: {name}"),
+            IrError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            IrError::BadJump(t) => write!(f, "jump target {t} out of range"),
+            IrError::DivByZero => write!(f, "division by zero"),
+            IrError::FellOffEnd => write!(f, "execution fell off the end of the function"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

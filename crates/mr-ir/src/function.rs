@@ -1,0 +1,198 @@
+//! Functions and programs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::instr::{Instr, Reg};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A compiled MR-IR function: a linear instruction stream plus the
+/// mapper-object member variables it may touch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name, for diagnostics.
+    pub name: String,
+    /// The instruction stream. Branch targets are indices into this
+    /// vector. Execution begins at index 0.
+    pub instrs: Vec<Instr>,
+    /// Mapper instance fields with their initial values (the state that
+    /// persists across `map()` invocations within a task).
+    pub members: Vec<(String, Value)>,
+}
+
+impl Function {
+    /// Number of registers used (1 + highest register index), for
+    /// interpreter frame allocation.
+    pub fn num_regs(&self) -> usize {
+        let mut max: Option<u16> = None;
+        for instr in &self.instrs {
+            if let Some(Reg(d)) = instr.def() {
+                max = Some(max.map_or(d, |m| m.max(d)));
+            }
+            for Reg(u) in instr.uses() {
+                max = Some(max.map_or(u, |m| m.max(u)));
+            }
+        }
+        max.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Indices of all emit instructions.
+    pub fn emit_sites(&self) -> Vec<usize> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_emit())
+            .map(|(pc, _)| pc)
+            .collect()
+    }
+
+    /// Initial value of the named member, if declared.
+    pub fn member_initial(&self, name: &str) -> Option<&Value> {
+        self.members
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}(key, value) {{", self.name)?;
+        for (name, init) in &self.members {
+            writeln!(f, "  member {name} = {init}")?;
+        }
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "  {pc:>3}: {instr}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A complete user-submitted MapReduce program, from the analyzer's
+/// point of view: the compiled `map()` plus the declared input types
+/// ("the code that serializes and deserializes these classes effectively
+/// declares the file's schema", paper §2.2).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Job name.
+    pub name: String,
+    /// The compiled `map()` function.
+    pub mapper: Function,
+    /// Schema of the map value parameter.
+    pub value_schema: Arc<Schema>,
+    /// Whether the user requires final output in sorted key order. When
+    /// true, direct-operation compression of the map output key is
+    /// unsafe (paper §2.1 footnote 1).
+    pub requires_sorted_output: bool,
+    /// Whether the reduce stage writes the map key into the final
+    /// output. When true (the conservative default), direct-operation
+    /// compression of the emit key would leak dictionary codes into the
+    /// program's output; only group-by jobs that drop the key (the
+    /// paper's Table 6 program "does not in the end emit the URL; it
+    /// simply uses destURL as the key parameter to reduce()") may
+    /// operate directly on compressed keys.
+    pub key_in_final_output: bool,
+}
+
+impl Program {
+    /// Build a program with the common defaults (unsorted output).
+    pub fn new(name: impl Into<String>, mapper: Function, value_schema: Arc<Schema>) -> Self {
+        Program {
+            name: name.into(),
+            mapper,
+            value_schema,
+            requires_sorted_output: false,
+            key_in_final_output: true,
+        }
+    }
+
+    /// Declare that final output must be in sorted key order.
+    pub fn with_sorted_output(mut self) -> Self {
+        self.requires_sorted_output = true;
+        self
+    }
+
+    /// Declare that the reduce stage never writes the map key into the
+    /// final output (enables direct-operation on the emit key).
+    pub fn with_key_dropped_from_output(mut self) -> Self {
+        self.key_in_final_output = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{CmpOp, ParamId};
+    use crate::schema::FieldType;
+
+    fn sample() -> Function {
+        Function {
+            name: "map".into(),
+            instrs: vec![
+                Instr::LoadParam {
+                    dst: Reg(0),
+                    param: ParamId::Value,
+                },
+                Instr::GetField {
+                    dst: Reg(1),
+                    obj: Reg(0),
+                    field: "rank".into(),
+                },
+                Instr::Const {
+                    dst: Reg(2),
+                    val: Value::Int(1),
+                },
+                Instr::Cmp {
+                    dst: Reg(3),
+                    op: CmpOp::Gt,
+                    lhs: Reg(1),
+                    rhs: Reg(2),
+                },
+                Instr::Br {
+                    cond: Reg(3),
+                    then_tgt: 5,
+                    else_tgt: 6,
+                },
+                Instr::Emit {
+                    key: Reg(1),
+                    value: Reg(2),
+                },
+                Instr::Ret,
+            ],
+            members: vec![],
+        }
+    }
+
+    #[test]
+    fn num_regs_counts_highest() {
+        assert_eq!(sample().num_regs(), 4);
+        let empty = Function {
+            name: "f".into(),
+            instrs: vec![Instr::Ret],
+            members: vec![],
+        };
+        assert_eq!(empty.num_regs(), 0);
+    }
+
+    #[test]
+    fn emit_sites_found() {
+        assert_eq!(sample().emit_sites(), vec![5]);
+    }
+
+    #[test]
+    fn program_defaults() {
+        let schema = Schema::new("W", vec![("rank", FieldType::Int)]).into_arc();
+        let p = Program::new("job", sample(), schema);
+        assert!(!p.requires_sorted_output);
+        assert!(p.with_sorted_output().requires_sorted_output);
+    }
+
+    #[test]
+    fn display_contains_pcs() {
+        let text = sample().to_string();
+        assert!(text.contains("0: r0 = param value"));
+        assert!(text.contains("emit"));
+    }
+}

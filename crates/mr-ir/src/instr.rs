@@ -1,0 +1,487 @@
+//! The MR-IR instruction set.
+//!
+//! MR-IR is a register machine over [`Value`]s. A function body is a
+//! linear instruction stream with explicit branch targets (instruction
+//! indices), the same shape a JVM bytecode method presents to the ASM
+//! library the paper's analyzer is built on. Control-flow analysis
+//! (basic blocks, CFG) is performed by `mr-analysis`, not assumed here.
+//!
+//! Design notes relevant to the analyzer:
+//!
+//! * [`Instr::GetMember`] / [`Instr::SetMember`] model Java instance
+//!   fields on the `Mapper` object. State stored there survives across
+//!   `map()` invocations within a task — the hazard of the paper's
+//!   Fig. 2 (`numMapsRun`).
+//! * [`Instr::Call`] invokes a function from the [`stdlib`](crate::stdlib)
+//!   registry. Whether a call is *known pure* is metadata of the
+//!   registry, mirroring the analyzer's "built-in knowledge of standard
+//!   language operations and some common class library methods".
+//! * [`Instr::SideEffect`] models debug logging, file writes and network
+//!   traffic — effects the analyzer may optimize away because they do
+//!   not influence the program's reduce-visible output (paper §2.2).
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Which `map(key, value)` parameter a [`Instr::LoadParam`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamId {
+    /// The map key (e.g. a file offset or a `String` key).
+    Key,
+    /// The map value (the deserialized record).
+    Value,
+}
+
+impl fmt::Display for ParamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamId::Key => f.write_str("key"),
+            ParamId::Value => f.write_str("value"),
+        }
+    }
+}
+
+/// Arithmetic / string operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Numeric addition.
+    Add,
+    /// Numeric subtraction.
+    Sub,
+    /// Numeric multiplication.
+    Mul,
+    /// Numeric division (integer division on two ints).
+    Div,
+    /// Remainder.
+    Rem,
+    /// String concatenation.
+    Concat,
+    /// Logical AND on truthiness (non-short-circuit, like a bytecode `&`).
+    And,
+    /// Logical OR on truthiness.
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Concat => "concat",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator testing the negated relation.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluate the comparison on two runtime values.
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        let ord = lhs.cmp(rhs);
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kinds of output-invisible side effects (paper §2.2: debugging
+/// statements, network connections, file-writes — "Manimal can currently
+/// detect, though not optimize, such side effects").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SideEffectKind {
+    /// Debug/progress logging.
+    Log,
+    /// Writing to a side file.
+    FileWrite,
+    /// Opening a network connection / sending a message.
+    Network,
+    /// Incrementing a framework counter.
+    Counter,
+}
+
+impl fmt::Display for SideEffectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SideEffectKind::Log => "log",
+            SideEffectKind::FileWrite => "filewrite",
+            SideEffectKind::Network => "network",
+            SideEffectKind::Counter => "counter",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One MR-IR instruction. Branch targets are absolute instruction
+/// indices within the owning function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = constant`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The constant value.
+        val: Value,
+    },
+    /// `dst = src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = <map parameter>`.
+    LoadParam {
+        /// Destination register.
+        dst: Reg,
+        /// Which parameter.
+        param: ParamId,
+    },
+    /// `dst = obj.field` — a typed field read from a deserialized record.
+    GetField {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the record.
+        obj: Reg,
+        /// Field name.
+        field: String,
+    },
+    /// `dst = lhs <op> rhs`.
+    BinOp {
+        /// Destination register.
+        dst: Reg,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = lhs <cmp> rhs`, producing a bool.
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = !src` (logical negation of truthiness).
+    Not {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = func(args…)` — a library call resolved through the
+    /// [`stdlib`](crate::stdlib) registry.
+    Call {
+        /// Destination register (`None` for void calls).
+        dst: Option<Reg>,
+        /// Registry name, e.g. `"str.contains"`.
+        func: String,
+        /// Argument registers.
+        args: Vec<Reg>,
+    },
+    /// `dst = this.<name>` — read a mapper instance field.
+    GetMember {
+        /// Destination register.
+        dst: Reg,
+        /// Member name.
+        name: String,
+    },
+    /// `this.<name> = src` — write a mapper instance field.
+    SetMember {
+        /// Member name.
+        name: String,
+        /// Source register.
+        src: Reg,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional branch on the truthiness of `cond`.
+    Br {
+        /// Condition register.
+        cond: Reg,
+        /// Target when truthy.
+        then_tgt: usize,
+        /// Target when falsy.
+        else_tgt: usize,
+    },
+    /// Emit a `(key, value)` pair to the shuffle.
+    Emit {
+        /// Key register.
+        key: Reg,
+        /// Value register.
+        value: Reg,
+    },
+    /// An output-invisible side effect.
+    SideEffect {
+        /// What kind of effect.
+        kind: SideEffectKind,
+        /// Arguments (e.g. the logged values).
+        args: Vec<Reg>,
+    },
+    /// Return from the function.
+    Ret,
+}
+
+impl Instr {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Move { dst, .. }
+            | Instr::LoadParam { dst, .. }
+            | Instr::GetField { dst, .. }
+            | Instr::BinOp { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Not { dst, .. }
+            | Instr::GetMember { dst, .. } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// The registers this instruction reads.
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            Instr::Const { .. }
+            | Instr::LoadParam { .. }
+            | Instr::GetMember { .. }
+            | Instr::Jmp { .. }
+            | Instr::Ret => vec![],
+            Instr::Move { src, .. } | Instr::Not { src, .. } => vec![*src],
+            Instr::GetField { obj, .. } => vec![*obj],
+            Instr::BinOp { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::Call { args, .. } => args.clone(),
+            Instr::SetMember { src, .. } => vec![*src],
+            Instr::Br { cond, .. } => vec![*cond],
+            Instr::Emit { key, value } => vec![*key, *value],
+            Instr::SideEffect { args, .. } => args.clone(),
+        }
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Jmp { .. } | Instr::Br { .. } | Instr::Ret)
+    }
+
+    /// Whether this instruction emits data to the reduce step — the
+    /// paper's `isEmit(s)` predicate (Fig. 3).
+    pub fn is_emit(&self) -> bool {
+        matches!(self, Instr::Emit { .. })
+    }
+
+    /// Successor instruction indices given this instruction's own index.
+    /// Non-terminators fall through to `pc + 1`.
+    pub fn successors(&self, pc: usize) -> Vec<usize> {
+        match self {
+            Instr::Jmp { target } => vec![*target],
+            Instr::Br {
+                then_tgt, else_tgt, ..
+            } => {
+                if then_tgt == else_tgt {
+                    vec![*then_tgt]
+                } else {
+                    vec![*then_tgt, *else_tgt]
+                }
+            }
+            Instr::Ret => vec![],
+            _ => vec![pc + 1],
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const { dst, val } => write!(f, "{dst} = const {val}"),
+            Instr::Move { dst, src } => write!(f, "{dst} = {src}"),
+            Instr::LoadParam { dst, param } => write!(f, "{dst} = param {param}"),
+            Instr::GetField { dst, obj, field } => write!(f, "{dst} = field {obj}.{field}"),
+            Instr::BinOp { dst, op, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Instr::Cmp { dst, op, lhs, rhs } => write!(f, "{dst} = cmp {op} {lhs}, {rhs}"),
+            Instr::Not { dst, src } => write!(f, "{dst} = not {src}"),
+            Instr::Call { dst, func, args } => {
+                if let Some(dst) = dst {
+                    write!(f, "{dst} = call {func}(")?;
+                } else {
+                    write!(f, "call {func}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Instr::GetMember { dst, name } => write!(f, "{dst} = member {name}"),
+            Instr::SetMember { name, src } => write!(f, "member {name} = {src}"),
+            Instr::Jmp { target } => write!(f, "jmp @{target}"),
+            Instr::Br {
+                cond,
+                then_tgt,
+                else_tgt,
+            } => write!(f, "br {cond}, @{then_tgt}, @{else_tgt}"),
+            Instr::Emit { key, value } => write!(f, "emit {key}, {value}"),
+            Instr::SideEffect { kind, args } => {
+                write!(f, "effect {kind}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Instr::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let i = Instr::BinOp {
+            dst: Reg(2),
+            op: BinOp::Add,
+            lhs: Reg(0),
+            rhs: Reg(1),
+        };
+        assert_eq!(i.def(), Some(Reg(2)));
+        assert_eq!(i.uses(), vec![Reg(0), Reg(1)]);
+
+        let e = Instr::Emit {
+            key: Reg(0),
+            value: Reg(1),
+        };
+        assert_eq!(e.def(), None);
+        assert!(e.is_emit());
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        let br = Instr::Br {
+            cond: Reg(0),
+            then_tgt: 5,
+            else_tgt: 9,
+        };
+        assert_eq!(br.successors(2), vec![5, 9]);
+        assert_eq!(Instr::Ret.successors(2), Vec::<usize>::new());
+        assert_eq!(Instr::Jmp { target: 7 }.successors(0), vec![7]);
+        let fall = Instr::Const {
+            dst: Reg(0),
+            val: Value::Int(1),
+        };
+        assert_eq!(fall.successors(3), vec![4]);
+    }
+
+    #[test]
+    fn branch_with_equal_targets_has_one_successor() {
+        let br = Instr::Br {
+            cond: Reg(0),
+            then_tgt: 4,
+            else_tgt: 4,
+        };
+        assert_eq!(br.successors(0), vec![4]);
+    }
+
+    #[test]
+    fn cmp_negate_flip() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Gt.eval(&Value::Int(2), &Value::Int(1)));
+        assert!(CmpOp::Le.eval(&Value::str("a"), &Value::str("b")));
+        assert!(!CmpOp::Eq.eval(&Value::Int(1), &Value::str("1")));
+    }
+}

@@ -1,0 +1,461 @@
+//! The MR-IR interpreter.
+//!
+//! The execution fabric runs one [`Interpreter`] per map task. Member
+//! variables persist across `map()` invocations within a task — exactly
+//! the Java `Mapper`-object lifetime that makes the paper's Fig. 2
+//! program unsafe to optimize.
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::function::Function;
+use crate::instr::{BinOp, Instr, ParamId, SideEffectKind};
+use crate::stdlib::stdlib;
+use crate::value::Value;
+
+/// Everything a single `map()` invocation produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MapOutput {
+    /// `(key, value)` pairs sent to the shuffle.
+    pub emits: Vec<(Value, Value)>,
+    /// Output-invisible side effects, recorded for inspection.
+    pub effects: Vec<(SideEffectKind, Vec<Value>)>,
+    /// Instructions executed (for work accounting in benchmarks).
+    pub instructions_executed: u64,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// Maximum instructions per invocation before [`IrError::FuelExhausted`].
+    pub fuel: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        // Generous: real map functions are tiny; this only exists to
+        // turn accidental infinite loops into errors.
+        InterpConfig { fuel: 10_000_000 }
+    }
+}
+
+/// A map-task interpreter holding cross-invocation member state.
+#[derive(Debug)]
+pub struct Interpreter {
+    config: InterpConfig,
+    members: HashMap<String, Value>,
+    /// Scratch register frame, reused across invocations to avoid
+    /// per-record allocation.
+    frame: Vec<Option<Value>>,
+}
+
+impl Interpreter {
+    /// Create an interpreter for one task running `func`, initializing
+    /// member variables to their declared values.
+    pub fn new(func: &Function) -> Self {
+        Self::with_config(func, InterpConfig::default())
+    }
+
+    /// Create with an explicit configuration.
+    pub fn with_config(func: &Function, config: InterpConfig) -> Self {
+        Interpreter {
+            config,
+            members: func
+                .members
+                .iter()
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect(),
+            frame: vec![None; func.num_regs()],
+        }
+    }
+
+    /// Current value of a member variable (used by tests to observe the
+    /// Fig. 2 hazard).
+    pub fn member(&self, name: &str) -> Option<&Value> {
+        self.members.get(name)
+    }
+
+    /// Run one `map(key, value)` invocation.
+    pub fn invoke_map(
+        &mut self,
+        func: &Function,
+        key: &Value,
+        value: &Value,
+    ) -> Result<MapOutput, IrError> {
+        if self.frame.len() < func.num_regs() {
+            self.frame.resize(func.num_regs(), None);
+        }
+        for slot in &mut self.frame {
+            *slot = None;
+        }
+        let mut out = MapOutput::default();
+        let mut pc: usize = 0;
+        let mut fuel = self.config.fuel;
+        let lib = stdlib();
+
+        loop {
+            let instr = func.instrs.get(pc).ok_or(IrError::FellOffEnd)?;
+            fuel = fuel.checked_sub(1).ok_or(IrError::FuelExhausted)?;
+            out.instructions_executed += 1;
+            match instr {
+                Instr::Const { dst, val } => {
+                    self.frame[dst.0 as usize] = Some(val.clone());
+                }
+                Instr::Move { dst, src } => {
+                    let v = self.read(*src)?;
+                    self.frame[dst.0 as usize] = Some(v);
+                }
+                Instr::LoadParam { dst, param } => {
+                    let v = match param {
+                        ParamId::Key => key.clone(),
+                        ParamId::Value => value.clone(),
+                    };
+                    self.frame[dst.0 as usize] = Some(v);
+                }
+                Instr::GetField { dst, obj, field } => {
+                    let v = self.read(*obj)?;
+                    let rec = v
+                        .as_record()
+                        .ok_or_else(|| IrError::Type {
+                            context: format!("field .{field}"),
+                            expected: "record",
+                            got: v.kind_name(),
+                        })?;
+                    let fv = rec
+                        .get(field)
+                        .map_err(|_| IrError::NoSuchField(field.clone()))?
+                        .clone();
+                    self.frame[dst.0 as usize] = Some(fv);
+                }
+                Instr::BinOp { dst, op, lhs, rhs } => {
+                    let l = self.read(*lhs)?;
+                    let r = self.read(*rhs)?;
+                    self.frame[dst.0 as usize] = Some(eval_binop(*op, &l, &r)?);
+                }
+                Instr::Cmp { dst, op, lhs, rhs } => {
+                    let l = self.read(*lhs)?;
+                    let r = self.read(*rhs)?;
+                    self.frame[dst.0 as usize] = Some(Value::Bool(op.eval(&l, &r)));
+                }
+                Instr::Not { dst, src } => {
+                    let v = self.read(*src)?;
+                    self.frame[dst.0 as usize] = Some(Value::Bool(!v.is_truthy()));
+                }
+                Instr::Call { dst, func: name, args } => {
+                    let argv: Vec<Value> =
+                        args.iter().map(|r| self.read(*r)).collect::<Result<_, _>>()?;
+                    let result = lib.eval(name, &argv)?;
+                    if let Some(dst) = dst {
+                        self.frame[dst.0 as usize] = Some(result);
+                    }
+                }
+                Instr::GetMember { dst, name } => {
+                    let v = self
+                        .members
+                        .get(name)
+                        .ok_or_else(|| IrError::UnknownMember(name.clone()))?
+                        .clone();
+                    self.frame[dst.0 as usize] = Some(v);
+                }
+                Instr::SetMember { name, src } => {
+                    let v = self.read(*src)?;
+                    self.members.insert(name.clone(), v);
+                }
+                Instr::Jmp { target } => {
+                    if *target >= func.instrs.len() {
+                        return Err(IrError::BadJump(*target));
+                    }
+                    pc = *target;
+                    continue;
+                }
+                Instr::Br {
+                    cond,
+                    then_tgt,
+                    else_tgt,
+                } => {
+                    let t = self.read(*cond)?.is_truthy();
+                    let target = if t { *then_tgt } else { *else_tgt };
+                    if target >= func.instrs.len() {
+                        return Err(IrError::BadJump(target));
+                    }
+                    pc = target;
+                    continue;
+                }
+                Instr::Emit { key: k, value: v } => {
+                    let kv = self.read(*k)?;
+                    let vv = self.read(*v)?;
+                    out.emits.push((kv, vv));
+                }
+                Instr::SideEffect { kind, args } => {
+                    let argv: Vec<Value> =
+                        args.iter().map(|r| self.read(*r)).collect::<Result<_, _>>()?;
+                    out.effects.push((*kind, argv));
+                }
+                Instr::Ret => return Ok(out),
+            }
+            pc += 1;
+        }
+    }
+
+    fn read(&self, reg: crate::instr::Reg) -> Result<Value, IrError> {
+        self.frame[reg.0 as usize]
+            .clone()
+            .ok_or(IrError::UnboundRegister(reg))
+    }
+}
+
+/// Evaluate a binary operator on two values.
+pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, IrError> {
+    let type_err = |expected: &'static str, got: &Value| IrError::Type {
+        context: format!("binop {op}"),
+        expected,
+        got: got.kind_name(),
+    };
+    match op {
+        BinOp::Concat => {
+            let a = l.as_str().ok_or_else(|| type_err("str", l))?;
+            let b = r.as_str().ok_or_else(|| type_err("str", r))?;
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(a);
+            s.push_str(b);
+            Ok(Value::from(s))
+        }
+        BinOp::And => Ok(Value::Bool(l.is_truthy() && r.is_truthy())),
+        BinOp::Or => Ok(Value::Bool(l.is_truthy() || r.is_truthy())),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            match (l, r) {
+                (Value::Int(a), Value::Int(b)) => {
+                    let v = match op {
+                        BinOp::Add => a.wrapping_add(*b),
+                        BinOp::Sub => a.wrapping_sub(*b),
+                        BinOp::Mul => a.wrapping_mul(*b),
+                        BinOp::Div => {
+                            if *b == 0 {
+                                return Err(IrError::DivByZero);
+                            }
+                            a.wrapping_div(*b)
+                        }
+                        BinOp::Rem => {
+                            if *b == 0 {
+                                return Err(IrError::DivByZero);
+                            }
+                            a.wrapping_rem(*b)
+                        }
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Int(v))
+                }
+                _ => {
+                    let a = l.as_double().ok_or_else(|| type_err("number", l))?;
+                    let b = r.as_double().ok_or_else(|| type_err("number", r))?;
+                    let v = match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => a / b,
+                        BinOp::Rem => a % b,
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Double(v))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpOp;
+    use crate::record::record;
+    use crate::schema::{FieldType, Schema};
+
+    fn webpage_schema() -> std::sync::Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+        )
+        .into_arc()
+    }
+
+    /// The paper's §2 example: `if (v.rank > 1) emit(k, 1)`.
+    fn select_map() -> Function {
+        let mut b = FunctionBuilder::new("map");
+        let v = b.load_param(ParamId::Value);
+        let rank = b.get_field(v, "rank");
+        let one = b.const_int(1);
+        let c = b.cmp(CmpOp::Gt, rank, one);
+        let (t, e) = (b.fresh_label("t"), b.fresh_label("e"));
+        b.br(c, t, e);
+        b.bind(t);
+        let k = b.load_param(ParamId::Key);
+        b.emit(k, one);
+        b.bind(e);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn selection_emits_only_above_threshold() {
+        let f = select_map();
+        let s = webpage_schema();
+        let mut interp = Interpreter::new(&f);
+
+        let hi = record(&s, vec!["http://a".into(), 5.into()]);
+        let out = interp
+            .invoke_map(&f, &Value::str("k1"), &hi.into())
+            .unwrap();
+        assert_eq!(out.emits, vec![(Value::str("k1"), Value::Int(1))]);
+
+        let lo = record(&s, vec!["http://b".into(), 0.into()]);
+        let out = interp
+            .invoke_map(&f, &Value::str("k2"), &lo.into())
+            .unwrap();
+        assert!(out.emits.is_empty());
+    }
+
+    /// The paper's Fig. 2: emit decision depends on a member counter.
+    #[test]
+    fn member_state_persists_across_invocations() {
+        let mut b = FunctionBuilder::new("map");
+        b.declare_member("numMapsRun", Value::Int(0));
+        let n = b.get_member("numMapsRun");
+        let one = b.const_int(1);
+        let n2 = b.bin(BinOp::Add, n, one);
+        b.set_member("numMapsRun", n2);
+        let v = b.load_param(ParamId::Value);
+        let rank = b.get_field(v, "rank");
+        let c1 = b.cmp(CmpOp::Gt, rank, one);
+        let limit = b.const_int(2);
+        let c2 = b.cmp(CmpOp::Gt, n2, limit);
+        let c = b.bin(BinOp::Or, c1, c2);
+        let (t, e) = (b.fresh_label("t"), b.fresh_label("e"));
+        b.br(c, t, e);
+        b.bind(t);
+        let k = b.load_param(ParamId::Key);
+        b.emit(k, one);
+        b.bind(e);
+        b.ret();
+        let f = b.finish();
+
+        let s = webpage_schema();
+        let lo = record(&s, vec!["u".into(), 0.into()]);
+        let mut interp = Interpreter::new(&f);
+        // First two low-rank records do not emit; the third does,
+        // because numMapsRun crossed the limit.
+        for expected in [0usize, 0, 1] {
+            let out = interp
+                .invoke_map(&f, &Value::Null, &lo.clone().into())
+                .unwrap();
+            assert_eq!(out.emits.len(), expected);
+        }
+        assert_eq!(interp.member("numMapsRun"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn loop_with_fuel_limit() {
+        let mut b = FunctionBuilder::new("spin");
+        let head = b.fresh_label("head");
+        b.bind(head);
+        b.jmp(head);
+        let f = b.finish();
+        let mut interp = Interpreter::with_config(&f, InterpConfig { fuel: 100 });
+        let err = interp.invoke_map(&f, &Value::Null, &Value::Null).unwrap_err();
+        assert_eq!(err, IrError::FuelExhausted);
+    }
+
+    #[test]
+    fn unbound_register_detected() {
+        use crate::instr::Reg;
+        let f = Function {
+            name: "bad".into(),
+            instrs: vec![
+                Instr::Move {
+                    dst: Reg(0),
+                    src: Reg(1),
+                },
+                Instr::Ret,
+            ],
+            members: vec![],
+        };
+        let mut interp = Interpreter::new(&f);
+        assert_eq!(
+            interp.invoke_map(&f, &Value::Null, &Value::Null).unwrap_err(),
+            IrError::UnboundRegister(Reg(1))
+        );
+    }
+
+    #[test]
+    fn side_effects_recorded() {
+        let mut b = FunctionBuilder::new("map");
+        let msg = b.const_str("processing");
+        b.side_effect(SideEffectKind::Log, vec![msg]);
+        b.ret();
+        let f = b.finish();
+        let mut interp = Interpreter::new(&f);
+        let out = interp.invoke_map(&f, &Value::Null, &Value::Null).unwrap();
+        assert_eq!(out.effects.len(), 1);
+        assert_eq!(out.effects[0].0, SideEffectKind::Log);
+    }
+
+    #[test]
+    fn binop_arithmetic() {
+        assert_eq!(
+            eval_binop(BinOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, &Value::Int(1), &Value::Int(0)).unwrap_err(),
+            IrError::DivByZero
+        );
+        assert_eq!(
+            eval_binop(BinOp::Add, &Value::Int(1), &Value::Double(0.5)).unwrap(),
+            Value::Double(1.5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Concat, &Value::str("a"), &Value::str("b")).unwrap(),
+            Value::str("ab")
+        );
+    }
+
+    #[test]
+    fn loop_over_extracted_urls() {
+        // for url in extract_urls(v.content): emit(url, 1)
+        let mut b = FunctionBuilder::new("map");
+        let v = b.load_param(ParamId::Value);
+        let content = b.get_field(v, "content");
+        let urls = b.call("text.extract_urls", vec![content]);
+        let len = b.call("list.len", vec![urls]);
+        let one = b.const_int(1);
+        let i = b.const_int(0);
+        let (head, body, exit) = (
+            b.fresh_label("head"),
+            b.fresh_label("body"),
+            b.fresh_label("exit"),
+        );
+        b.bind(head);
+        let c = b.cmp(CmpOp::Lt, i, len);
+        b.br(c, body, exit);
+        b.bind(body);
+        let url = b.call("list.get", vec![urls, i]);
+        b.emit(url, one);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.mov_to(i, i2);
+        b.jmp(head);
+        b.bind(exit);
+        b.ret();
+        let f = b.finish();
+
+        let s = Schema::new("Doc", vec![("content", FieldType::Str)]).into_arc();
+        let doc = record(&s, vec!["x http://a.com y http://b.com z".into()]);
+        let mut interp = Interpreter::new(&f);
+        let out = interp.invoke_map(&f, &Value::Null, &doc.into()).unwrap();
+        assert_eq!(out.emits.len(), 2);
+        assert_eq!(out.emits[0].0, Value::str("http://a.com"));
+    }
+}

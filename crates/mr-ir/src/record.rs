@@ -1,0 +1,185 @@
+//! Records: schema-typed tuples flowing through map and reduce.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A record is an ordered tuple of values conforming to a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    schema: Arc<Schema>,
+    values: Vec<Value>,
+}
+
+/// Errors raised when building or accessing records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Value count does not match the schema's field count.
+    ArityMismatch {
+        /// Fields declared by the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// No field with this name exists in the schema.
+    NoSuchField(String),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::ArityMismatch { expected, got } => {
+                write!(f, "record arity mismatch: schema has {expected} fields, got {got} values")
+            }
+            RecordError::NoSuchField(name) => write!(f, "no such field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl Record {
+    /// Build a record, checking arity against the schema.
+    pub fn new(schema: Arc<Schema>, values: Vec<Value>) -> Result<Self, RecordError> {
+        if values.len() != schema.len() {
+            return Err(RecordError::ArityMismatch {
+                expected: schema.len(),
+                got: values.len(),
+            });
+        }
+        Ok(Record { schema, values })
+    }
+
+    /// The record's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// All field values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value of the named field.
+    pub fn get(&self, field: &str) -> Result<&Value, RecordError> {
+        self.schema
+            .index_of(field)
+            .map(|i| &self.values[i])
+            .ok_or_else(|| RecordError::NoSuchField(field.to_string()))
+    }
+
+    /// Value by positional index.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Project this record onto the fields of `target` (which must be a
+    /// sub-schema produced by [`Schema::project`]). Fields absent from
+    /// this record's schema get their type's default value.
+    pub fn project_to(&self, target: Arc<Schema>) -> Record {
+        let values = target
+            .fields()
+            .iter()
+            .map(|fd| {
+                self.schema
+                    .index_of(&fd.name)
+                    .map(|i| self.values[i].clone())
+                    .unwrap_or_else(|| fd.ty.default_value())
+            })
+            .collect();
+        Record {
+            schema: target,
+            values,
+        }
+    }
+
+    /// Approximate in-memory payload size; used by engine counters.
+    pub fn payload_size(&self) -> usize {
+        self.values.iter().map(Value::payload_size).sum()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.schema.name())?;
+        for (i, (fd, v)) in self.schema.fields().iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fd.name, v)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Convenience constructor used pervasively in tests and generators.
+pub fn record(schema: &Arc<Schema>, values: Vec<Value>) -> Record {
+    Record::new(Arc::clone(schema), values).expect("record arity matches schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldType;
+
+    fn webpage() -> Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![
+                ("url", FieldType::Str),
+                ("rank", FieldType::Int),
+                ("content", FieldType::Str),
+            ],
+        )
+        .into_arc()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let s = webpage();
+        let r = record(&s, vec!["http://a".into(), 7.into(), "body".into()]);
+        assert_eq!(r.get("rank").unwrap(), &Value::Int(7));
+        assert!(matches!(
+            r.get("nope"),
+            Err(RecordError::NoSuchField(_))
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let s = webpage();
+        let err = Record::new(s, vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(
+            err,
+            RecordError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn projection_drops_and_defaults() {
+        let s = webpage();
+        let r = record(&s, vec!["http://a".into(), 7.into(), "body".into()]);
+        let proj = Arc::new(s.project(&["rank".into()]));
+        let p = r.project_to(Arc::clone(&proj));
+        assert_eq!(p.values(), &[Value::Int(7)]);
+        // Projecting to a wider schema back-fills defaults.
+        let q = p.project_to(s.clone());
+        assert_eq!(q.get("url").unwrap(), &Value::str(""));
+        assert_eq!(q.get("rank").unwrap(), &Value::Int(7));
+    }
+
+    #[test]
+    fn display_shows_fields() {
+        let s = webpage();
+        let r = record(&s, vec!["u".into(), 1.into(), "c".into()]);
+        assert_eq!(
+            r.to_string(),
+            "WebPage{url: \"u\", rank: 1, content: \"c\"}"
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Static well-formedness checks for MR-IR functions.
+//!
+//! The verifier rejects malformed programs *before* analysis or
+//! execution, the way the JVM's bytecode verifier guarantees ASM-level
+//! tools a minimum of sanity: in-range jumps, definite assignment of
+//! registers on every path, resolvable calls with correct arity, and
+//! declared member variables.
+
+use std::collections::VecDeque;
+
+use crate::function::Function;
+use crate::instr::Instr;
+use crate::stdlib::stdlib;
+
+/// A verification failure, with the offending instruction index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Index of the offending instruction.
+    pub pc: usize,
+    /// What is wrong.
+    pub kind: VerifyErrorKind,
+}
+
+/// The kinds of verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// Branch or jump target outside the instruction stream.
+    JumpOutOfRange(usize),
+    /// The last reachable instruction can fall off the end.
+    FallsOffEnd,
+    /// A register may be read before any assignment.
+    MaybeUnassigned(crate::instr::Reg),
+    /// Call to an unregistered function.
+    UnknownFunction(String),
+    /// Call with the wrong number of arguments.
+    BadArity {
+        /// Function name.
+        func: String,
+        /// Declared arity.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// `GetMember`/`SetMember` on a member the function never declared.
+    UndeclaredMember(String),
+    /// The function body is empty.
+    EmptyBody,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at {}: ", self.pc)?;
+        match &self.kind {
+            VerifyErrorKind::JumpOutOfRange(t) => write!(f, "jump target {t} out of range"),
+            VerifyErrorKind::FallsOffEnd => write!(f, "execution can fall off the end"),
+            VerifyErrorKind::MaybeUnassigned(r) => {
+                write!(f, "register {r} may be read before assignment")
+            }
+            VerifyErrorKind::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            VerifyErrorKind::BadArity {
+                func,
+                expected,
+                got,
+            } => write!(f, "{func} takes {expected} args, got {got}"),
+            VerifyErrorKind::UndeclaredMember(n) => write!(f, "undeclared member {n}"),
+            VerifyErrorKind::EmptyBody => write!(f, "empty function body"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a function, returning all problems found.
+pub fn verify(func: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    let n = func.instrs.len();
+    if n == 0 {
+        return Err(vec![VerifyError {
+            pc: 0,
+            kind: VerifyErrorKind::EmptyBody,
+        }]);
+    }
+
+    let reachable = reachable_set(func);
+    let lib = stdlib();
+    for (pc, instr) in func.instrs.iter().enumerate() {
+        // Jump ranges.
+        match instr {
+            Instr::Jmp { target }
+                if *target >= n => {
+                    errors.push(VerifyError {
+                        pc,
+                        kind: VerifyErrorKind::JumpOutOfRange(*target),
+                    });
+                }
+            Instr::Br {
+                then_tgt, else_tgt, ..
+            } => {
+                for t in [then_tgt, else_tgt] {
+                    if *t >= n {
+                        errors.push(VerifyError {
+                            pc,
+                            kind: VerifyErrorKind::JumpOutOfRange(*t),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Fall-through off the end (only for reachable code).
+        if pc == n - 1 && !instr.is_terminator() && reachable[pc] {
+            errors.push(VerifyError {
+                pc,
+                kind: VerifyErrorKind::FallsOffEnd,
+            });
+        }
+        // Calls resolvable with the right arity.
+        if let Instr::Call { func: name, args, .. } = instr {
+            match lib.get(name) {
+                None => errors.push(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::UnknownFunction(name.clone()),
+                }),
+                Some(def) if def.arity != args.len() => errors.push(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::BadArity {
+                        func: name.clone(),
+                        expected: def.arity,
+                        got: args.len(),
+                    },
+                }),
+                _ => {}
+            }
+        }
+        // Members declared.
+        match instr {
+            Instr::GetMember { name, .. } | Instr::SetMember { name, .. }
+                if func.member_initial(name).is_none() => {
+                    errors.push(VerifyError {
+                        pc,
+                        kind: VerifyErrorKind::UndeclaredMember(name.clone()),
+                    });
+                }
+            _ => {}
+        }
+    }
+
+    // Abort early if jumps are broken — the dataflow below needs a
+    // well-formed CFG.
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    errors.extend(check_definite_assignment(func));
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Instructions reachable from entry, ignoring out-of-range targets.
+fn reachable_set(func: &Function) -> Vec<bool> {
+    let n = func.instrs.len();
+    let mut seen = vec![false; n];
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        if pc >= n || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        work.extend(func.instrs[pc].successors(pc));
+    }
+    seen
+}
+
+/// Forward may-be-unassigned dataflow: a register read is an error if
+/// *some* path reaches it without a prior def. `assigned[pc]` holds the
+/// set of registers definitely assigned on entry to `pc` (intersection
+/// over predecessors).
+fn check_definite_assignment(func: &Function) -> Vec<VerifyError> {
+    let n = func.instrs.len();
+    let regs = func.num_regs();
+    if regs == 0 {
+        return Vec::new();
+    }
+    // Bitset per pc; None = not yet visited.
+    let mut assigned_in: Vec<Option<Vec<bool>>> = vec![None; n];
+    assigned_in[0] = Some(vec![false; regs]);
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+
+    while let Some(pc) = work.pop_front() {
+        let mut state = assigned_in[pc].clone().expect("queued pc has state");
+        let instr = &func.instrs[pc];
+        if let Some(d) = instr.def() {
+            state[d.0 as usize] = true;
+        }
+        for succ in instr.successors(pc) {
+            if succ >= n {
+                continue; // jump-range errors already reported
+            }
+            let changed = match &mut assigned_in[succ] {
+                None => {
+                    assigned_in[succ] = Some(state.clone());
+                    true
+                }
+                Some(existing) => {
+                    let mut changed = false;
+                    for (e, s) in existing.iter_mut().zip(&state) {
+                        // Intersection: definitely assigned only if
+                        // assigned along *every* incoming path.
+                        if *e && !*s {
+                            *e = false;
+                            changed = true;
+                        }
+                    }
+                    changed
+                }
+            };
+            if changed {
+                work.push_back(succ);
+            }
+        }
+    }
+
+    let mut errors = Vec::new();
+    for (pc, instr) in func.instrs.iter().enumerate() {
+        let Some(state) = &assigned_in[pc] else {
+            continue; // unreachable code: nothing to report
+        };
+        for r in instr.uses() {
+            if !state[r.0 as usize] {
+                errors.push(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::MaybeUnassigned(r),
+                });
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{CmpOp, ParamId, Reg};
+    use crate::value::Value;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("map");
+        let v = b.load_param(ParamId::Value);
+        let r = b.get_field(v, "rank");
+        let one = b.const_int(1);
+        let c = b.cmp(CmpOp::Gt, r, one);
+        let (t, e) = (b.fresh_label("t"), b.fresh_label("e"));
+        b.br(c, t, e);
+        b.bind(t);
+        b.emit(r, one);
+        b.bind(e);
+        b.ret();
+        assert!(verify(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let f = Function {
+            name: "f".into(),
+            instrs: vec![],
+            members: vec![],
+        };
+        let errs = verify(&f).unwrap_err();
+        assert_eq!(errs[0].kind, VerifyErrorKind::EmptyBody);
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let f = Function {
+            name: "f".into(),
+            instrs: vec![Instr::Const {
+                dst: Reg(0),
+                val: Value::Int(1),
+            }],
+            members: vec![],
+        };
+        let errs = verify(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == VerifyErrorKind::FallsOffEnd));
+    }
+
+    #[test]
+    fn out_of_range_jump_rejected() {
+        let f = Function {
+            name: "f".into(),
+            instrs: vec![Instr::Jmp { target: 99 }],
+            members: vec![],
+        };
+        let errs = verify(&f).unwrap_err();
+        assert_eq!(errs[0].kind, VerifyErrorKind::JumpOutOfRange(99));
+    }
+
+    #[test]
+    fn maybe_unassigned_on_one_path_rejected() {
+        // r1 assigned only on the then-path, then read after the join.
+        let f = Function {
+            name: "f".into(),
+            instrs: vec![
+                Instr::Const {
+                    dst: Reg(0),
+                    val: Value::Bool(true),
+                },
+                Instr::Br {
+                    cond: Reg(0),
+                    then_tgt: 2,
+                    else_tgt: 3,
+                },
+                Instr::Const {
+                    dst: Reg(1),
+                    val: Value::Int(1),
+                },
+                Instr::Emit {
+                    key: Reg(0),
+                    value: Reg(1),
+                },
+                Instr::Ret,
+            ],
+            members: vec![],
+        };
+        let errs = verify(&f).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.kind == VerifyErrorKind::MaybeUnassigned(Reg(1))));
+    }
+
+    #[test]
+    fn unknown_function_and_arity_rejected() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.const_str("s");
+        let _ = b.call("no.such", vec![x]);
+        let _ = b.call("str.len", vec![x, x]);
+        b.ret();
+        let errs = verify(&b.finish()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, VerifyErrorKind::UnknownFunction(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, VerifyErrorKind::BadArity { .. })));
+    }
+
+    #[test]
+    fn undeclared_member_rejected() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.get_member("counter");
+        b.emit(x, x);
+        b.ret();
+        let errs = verify(&b.finish()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e.kind, VerifyErrorKind::UndeclaredMember(_))));
+    }
+
+    #[test]
+    fn declared_member_accepted() {
+        let mut b = FunctionBuilder::new("f");
+        b.declare_member("counter", Value::Int(0));
+        let x = b.get_member("counter");
+        b.set_member("counter", x);
+        b.ret();
+        assert!(verify(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn unreachable_code_not_flagged() {
+        let f = Function {
+            name: "f".into(),
+            instrs: vec![
+                Instr::Ret,
+                // Unreachable: reads an unassigned register, but no path
+                // reaches it, so the verifier stays quiet.
+                Instr::Emit {
+                    key: Reg(0),
+                    value: Reg(0),
+                },
+            ],
+            members: vec![],
+        };
+        assert!(verify(&f).is_ok());
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for MR-IR: printer↔assembler round-trips over
+//! randomly generated (verified) functions, glob-matcher laws, and
+//! interpreter determinism.
+
+use proptest::prelude::*;
+
+use mr_ir::asm::parse_function;
+use mr_ir::builder::FunctionBuilder;
+use mr_ir::function::Function;
+use mr_ir::instr::{BinOp, CmpOp, ParamId};
+use mr_ir::interp::Interpreter;
+use mr_ir::printer::to_asm;
+use mr_ir::record::record;
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::stdlib::glob_match;
+use mr_ir::value::Value;
+use mr_ir::verify::verify;
+
+/// A random straight-line-with-diamonds function over a two-field
+/// schema, always verifiable.
+#[derive(Debug, Clone)]
+struct GenOp {
+    /// 0..3: which shape to append.
+    kind: u8,
+    cmp: u8,
+    constant: i64,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<GenOp>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..6, -50i64..50).prop_map(|(kind, cmp, constant)| GenOp {
+            kind,
+            cmp,
+            constant,
+        }),
+        1..8,
+    )
+}
+
+fn cmp_of(i: u8) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][i as usize % 6]
+}
+
+fn build(ops: &[GenOp]) -> Function {
+    let mut b = FunctionBuilder::new("gen");
+    let v = b.load_param(ParamId::Value);
+    let a = b.get_field(v, "a");
+    let s = b.get_field(v, "s");
+    let mut acc = a;
+    for op in ops {
+        match op.kind {
+            0 => {
+                let k = b.const_int(op.constant);
+                acc = b.bin(BinOp::Add, acc, k);
+            }
+            1 => {
+                let k = b.const_int(op.constant);
+                let c = b.cmp(cmp_of(op.cmp), acc, k);
+                let (t, e) = (b.fresh_label("t"), b.fresh_label("e"));
+                b.br(c, t, e);
+                b.bind(t);
+                b.emit(acc, k);
+                b.bind(e);
+            }
+            2 => {
+                let pat = b.const_str("http*");
+                let c = b.call("pattern.matches", vec![pat, s]);
+                let (t, e) = (b.fresh_label("t"), b.fresh_label("e"));
+                b.br(c, t, e);
+                b.bind(t);
+                b.emit(s, acc);
+                b.bind(e);
+            }
+            _ => {
+                let k = b.const_int(op.constant.max(1));
+                acc = b.bin(BinOp::Mul, acc, k);
+            }
+        }
+    }
+    b.emit(acc, acc);
+    b.ret();
+    b.finish()
+}
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::new("T", vec![("a", FieldType::Long), ("s", FieldType::Str)]).into_arc()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated functions verify, and printer output re-parses to the
+    /// identical instruction stream.
+    #[test]
+    fn printer_assembler_roundtrip(ops in ops_strategy()) {
+        let f1 = build(&ops);
+        prop_assert!(verify(&f1).is_ok(), "generated function must verify");
+        let text = to_asm(&f1);
+        let f2 = parse_function(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse: {e}\n{text}")))?;
+        prop_assert_eq!(&f1.instrs, &f2.instrs, "asm:\n{}", text);
+    }
+
+    /// Interpreting the original and the round-tripped function yields
+    /// identical emits for any record.
+    #[test]
+    fn roundtrip_preserves_semantics(
+        ops in ops_strategy(),
+        a in -100i64..100,
+        s in "[ht]{0,4}",
+    ) {
+        let f1 = build(&ops);
+        let f2 = parse_function(&to_asm(&f1)).expect("reparse");
+        let rec: Value = record(&schema(), vec![Value::Int(a), s.as_str().into()]).into();
+        let out1 = Interpreter::new(&f1)
+            .invoke_map(&f1, &Value::Int(0), &rec)
+            .expect("run f1");
+        let out2 = Interpreter::new(&f2)
+            .invoke_map(&f2, &Value::Int(0), &rec)
+            .expect("run f2");
+        prop_assert_eq!(out1.emits, out2.emits);
+    }
+
+    /// The interpreter is deterministic: same inputs, same outputs,
+    /// including across fresh interpreter instances.
+    #[test]
+    fn interpreter_deterministic(ops in ops_strategy(), a in -100i64..100) {
+        let f = build(&ops);
+        let rec: Value = record(&schema(), vec![Value::Int(a), "x".into()]).into();
+        let out1 = Interpreter::new(&f)
+            .invoke_map(&f, &Value::Int(0), &rec)
+            .expect("run");
+        let out2 = Interpreter::new(&f)
+            .invoke_map(&f, &Value::Int(0), &rec)
+            .expect("run");
+        prop_assert_eq!(out1.emits, out2.emits);
+        prop_assert_eq!(out1.instructions_executed, out2.instructions_executed);
+    }
+}
+
+proptest! {
+    /// Glob laws: a pattern with no wildcards matches only itself;
+    /// `*` matches everything; a concrete prefix pattern agrees with
+    /// `str::starts_with`.
+    #[test]
+    fn glob_laws(text in "[a-c]{0,8}", other in "[a-c]{0,8}", prefix in "[a-c]{0,4}") {
+        prop_assert!(glob_match(&text, &text));
+        prop_assert_eq!(glob_match(&text, &other), text == other);
+        prop_assert!(glob_match("*", &text));
+        let pat = format!("{prefix}*");
+        prop_assert_eq!(glob_match(&pat, &text), text.starts_with(&prefix));
+        let pat = format!("*{prefix}");
+        prop_assert_eq!(glob_match(&pat, &text), text.ends_with(&prefix));
+    }
+
+    /// Value total order is transitive-consistent with sorting and the
+    /// hash agrees with equality for mixed numerics.
+    #[test]
+    fn value_order_and_hash(mut xs in proptest::collection::vec(-50i64..50, 1..20)) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut values: Vec<Value> = xs.iter().map(|&i| {
+            if i % 3 == 0 { Value::Double(i as f64) } else { Value::Int(i) }
+        }).collect();
+        values.sort();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+            if w[0] == w[1] {
+                let h = |v: &Value| {
+                    let mut s = DefaultHasher::new();
+                    v.hash(&mut s);
+                    s.finish()
+                };
+                prop_assert_eq!(h(&w[0]), h(&w[1]), "equal values must hash equal");
+            }
+        }
+        xs.sort_unstable();
+        let ints: Vec<i64> = values.iter().map(|v| v.as_int().or_else(|| v.as_double().map(|d| d as i64)).unwrap()).collect();
+        prop_assert_eq!(ints, xs);
+    }
+}

@@ -1,0 +1,60 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use std::io;
+
+/// Any failure in the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// File is not in the expected format.
+    Corrupt {
+        /// What was being read.
+        context: String,
+        /// What is wrong.
+        detail: String,
+    },
+    /// Record does not match the file's schema.
+    Schema(String),
+}
+
+impl StorageError {
+    /// Build a corruption error.
+    pub fn corrupt(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt { context, detail } => {
+                write!(f, "corrupt {context}: {detail}")
+            }
+            StorageError::Schema(s) => write!(f, "schema error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Storage-layer result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,40 @@
+//! # mr-storage — physical layouts for Manimal
+//!
+//! Every on-disk format the optimizer can choose between:
+//!
+//! * [`seqfile`] — the baseline format "standard Hadoop" reads: a
+//!   schema-carrying header plus length-prefixed binary rows and a
+//!   sparse block index for input splits;
+//! * [`btree`] — clustered B+Tree indexes for the selection
+//!   optimization (paper §2.1): leaf entries hold full (or projected)
+//!   records, so a range scan replaces the original file;
+//! * [`colfile`] — projected copies storing only analyzer-proven-used
+//!   fields (§1, App. D Table 4);
+//! * [`colgroups`] — the §2.1 column-group extension: one file per
+//!   field group, so a single layout serves many projections;
+//! * [`delta`] — zig-zag varint delta encoding of integer fields
+//!   (App. C/D, Table 5);
+//! * [`dict`] — dictionary compression with direct operation on codes
+//!   (App. D Table 6);
+//! * [`rowcodec`] / [`varint`] — the shared codecs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod btree;
+pub mod colfile;
+pub mod colgroups;
+pub mod delta;
+pub mod dict;
+pub mod error;
+pub mod rowcodec;
+pub mod seqfile;
+pub mod varint;
+
+pub use btree::{BTreeIndex, BTreeScanner, BTreeStats, BTreeWriter, ScanBound};
+pub use colfile::{write_projected, ProjectedFile};
+pub use colgroups::{write_column_groups, ColumnGroupReader, ColumnGroups};
+pub use delta::{DeltaFileReader, DeltaFileWriter};
+pub use dict::{DictFileReader, DictFileWriter, Dictionary};
+pub use error::{Result, StorageError};
+pub use seqfile::{write_seqfile, SeqFileMeta, SeqFileReader, SeqFileWriter, Split};

@@ -1,0 +1,459 @@
+//! Sequence files: the baseline on-disk format.
+//!
+//! A sequence file is what "standard Hadoop" reads in every experiment:
+//! a header carrying the record schema ("the code that serializes and
+//! deserializes these classes effectively declares the file's schema"),
+//! followed by length-prefixed binary rows, followed by a sparse block
+//! footer that lets the execution fabric cut the file into input splits
+//! without scanning it.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "MRSQ1"
+//! varint header_len, header = encode_schema(schema)
+//! [varint row_len, row_bytes]*            ← the data
+//! footer: varint n_blocks, n_blocks × (varint offset, varint count)
+//!         varint record_count, varint footer_len, magic "MRSQF"
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mr_ir::record::Record;
+use mr_ir::schema::Schema;
+
+use crate::error::{Result, StorageError};
+use crate::rowcodec::{decode_row, decode_schema, encode_row, encode_schema};
+use crate::varint::{decode_u64, encode_u64};
+
+const MAGIC: &[u8; 5] = b"MRSQ1";
+const FOOTER_MAGIC: &[u8; 5] = b"MRSQF";
+
+/// Upper bound on a single serialized row; lengths beyond this are
+/// treated as corruption rather than allocated.
+const MAX_ROW_LEN: u64 = 1 << 30;
+
+/// Records per sparse-index block (a new split point every `BLOCK`
+/// records).
+const BLOCK: u64 = 4096;
+
+/// Writes a sequence file.
+pub struct SeqFileWriter {
+    out: BufWriter<File>,
+    schema: Arc<Schema>,
+    offset: u64,
+    count: u64,
+    blocks: Vec<(u64, u64)>, // (byte offset, records before block)
+    row_buf: Vec<u8>,
+    finished: bool,
+}
+
+impl SeqFileWriter {
+    /// Create (truncate) `path` and write the header.
+    pub fn create(path: impl AsRef<Path>, schema: Arc<Schema>) -> Result<SeqFileWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        let mut header = Vec::new();
+        encode_schema(&schema, &mut header);
+        let mut lenbuf = Vec::new();
+        encode_u64(header.len() as u64, &mut lenbuf);
+        out.write_all(&lenbuf)?;
+        out.write_all(&header)?;
+        let offset = (MAGIC.len() + lenbuf.len() + header.len()) as u64;
+        Ok(SeqFileWriter {
+            out,
+            schema,
+            offset,
+            count: 0,
+            blocks: Vec::new(),
+            row_buf: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// The schema being written.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, record: &Record) -> Result<()> {
+        debug_assert!(!self.finished);
+        if self.count.is_multiple_of(BLOCK) {
+            self.blocks.push((self.offset, self.count));
+        }
+        self.row_buf.clear();
+        encode_row(record, &mut self.row_buf)?;
+        let mut lenbuf = Vec::new();
+        encode_u64(self.row_buf.len() as u64, &mut lenbuf);
+        self.out.write_all(&lenbuf)?;
+        self.out.write_all(&self.row_buf)?;
+        self.offset += (lenbuf.len() + self.row_buf.len()) as u64;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Write the footer and flush. Returns the total record count.
+    pub fn finish(mut self) -> Result<u64> {
+        let mut footer = Vec::new();
+        encode_u64(self.blocks.len() as u64, &mut footer);
+        for (off, before) in &self.blocks {
+            encode_u64(*off, &mut footer);
+            encode_u64(*before, &mut footer);
+        }
+        encode_u64(self.count, &mut footer);
+        // footer_len counts everything before itself, fixed-width so the
+        // reader can find it from the end.
+        self.out.write_all(&footer)?;
+        self.out.write_all(&(footer.len() as u64).to_le_bytes())?;
+        self.out.write_all(FOOTER_MAGIC)?;
+        self.out.flush()?;
+        self.finished = true;
+        Ok(self.count)
+    }
+}
+
+/// Metadata of an open sequence file.
+#[derive(Debug, Clone)]
+pub struct SeqFileMeta {
+    /// The file path.
+    pub path: PathBuf,
+    /// The record schema.
+    pub schema: Arc<Schema>,
+    /// Total records.
+    pub record_count: u64,
+    /// Total file size in bytes.
+    pub file_size: u64,
+    /// Byte offset where rows start.
+    pub data_start: u64,
+    /// Sparse block index: (byte offset, records before).
+    pub blocks: Vec<(u64, u64)>,
+}
+
+/// One input split: a byte range plus how many records it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Byte offset of the first record.
+    pub offset: u64,
+    /// Number of records in the split.
+    pub records: u64,
+}
+
+impl SeqFileMeta {
+    /// Open and parse header + footer.
+    pub fn open(path: impl AsRef<Path>) -> Result<SeqFileMeta> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::open(&path)?;
+        let file_size = f.metadata()?.len();
+
+        let mut magic = [0u8; 5];
+        f.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StorageError::corrupt("seqfile", "bad magic"));
+        }
+        // Header length varint: read a small chunk.
+        let mut head = vec![0u8; 10.min((file_size - 5) as usize)];
+        f.read_exact(&mut head)?;
+        let (header_len, n) = decode_u64(&head)?;
+        if header_len > MAX_ROW_LEN {
+            return Err(StorageError::corrupt("seqfile", "header implausibly large"));
+        }
+        f.seek(SeekFrom::Start((5 + n) as u64))?;
+        let mut header = vec![0u8; header_len as usize];
+        f.read_exact(&mut header)?;
+        let (schema, _) = decode_schema(&header)?;
+        let data_start = (5 + n) as u64 + header_len;
+
+        // Footer: fixed 8-byte length + 5-byte magic at the very end.
+        if file_size < data_start + 13 {
+            return Err(StorageError::corrupt("seqfile", "missing footer"));
+        }
+        f.seek(SeekFrom::End(-13))?;
+        let mut tail = [0u8; 13];
+        f.read_exact(&mut tail)?;
+        if &tail[8..] != FOOTER_MAGIC {
+            return Err(StorageError::corrupt("seqfile", "bad footer magic"));
+        }
+        let footer_len = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+        f.seek(SeekFrom::End(-13 - footer_len as i64))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        f.read_exact(&mut footer)?;
+
+        let mut pos = 0usize;
+        let (n_blocks, n) = decode_u64(&footer[pos..])?;
+        pos += n;
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for _ in 0..n_blocks {
+            let (off, n) = decode_u64(&footer[pos..])?;
+            pos += n;
+            let (before, n) = decode_u64(&footer[pos..])?;
+            pos += n;
+            blocks.push((off, before));
+        }
+        let (record_count, _) = decode_u64(&footer[pos..])?;
+
+        Ok(SeqFileMeta {
+            path,
+            schema: Arc::new(schema),
+            record_count,
+            file_size,
+            data_start,
+            blocks,
+        })
+    }
+
+    /// Cut the file into at most `n` splits along block boundaries.
+    pub fn splits(&self, n: usize) -> Vec<Split> {
+        if self.record_count == 0 || n == 0 {
+            return vec![];
+        }
+        let per_split = self.record_count.div_ceil(n as u64).max(1);
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < self.blocks.len() {
+            let (offset, before) = self.blocks[i];
+            // Advance until this split holds >= per_split records.
+            let mut j = i + 1;
+            while j < self.blocks.len() && self.blocks[j].1 - before < per_split {
+                j += 1;
+            }
+            let end_records = if j < self.blocks.len() {
+                self.blocks[j].1
+            } else {
+                self.record_count
+            };
+            out.push(Split {
+                offset,
+                records: end_records - before,
+            });
+            i = j;
+        }
+        out
+    }
+
+    /// Read records starting at `split`.
+    pub fn read_split(&self, split: &Split) -> Result<SeqFileReader> {
+        let mut f = BufReader::new(File::open(&self.path)?);
+        f.seek(SeekFrom::Start(split.offset))?;
+        Ok(SeqFileReader {
+            input: f,
+            schema: Arc::clone(&self.schema),
+            remaining: split.records,
+            bytes_read: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Read the whole file.
+    pub fn read_all(&self) -> Result<SeqFileReader> {
+        self.read_split(&Split {
+            offset: self.data_start,
+            records: self.record_count,
+        })
+    }
+}
+
+/// Iterates the records of one split.
+pub struct SeqFileReader {
+    input: BufReader<File>,
+    schema: Arc<Schema>,
+    remaining: u64,
+    bytes_read: u64,
+    buf: Vec<u8>,
+}
+
+impl SeqFileReader {
+    /// Bytes consumed so far (row payloads + length prefixes).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// The schema of produced records.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn read_one(&mut self) -> Result<Option<Record>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // Row length varint, byte at a time.
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        let mut len_bytes = 0u64;
+        loop {
+            let mut b = [0u8; 1];
+            self.input.read_exact(&mut b)?;
+            len_bytes += 1;
+            len |= ((b[0] & 0x7f) as u64) << shift;
+            if b[0] & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(StorageError::corrupt("seqfile", "bad row length"));
+            }
+        }
+        if len > MAX_ROW_LEN {
+            return Err(StorageError::corrupt("seqfile", "row length implausibly large"));
+        }
+        self.buf.resize(len as usize, 0);
+        self.input.read_exact(&mut self.buf)?;
+        self.bytes_read += len_bytes + len;
+        self.remaining -= 1;
+        let (record, used) = decode_row(&self.schema, &self.buf)?;
+        if used != self.buf.len() {
+            return Err(StorageError::corrupt("seqfile", "row length mismatch"));
+        }
+        Ok(Some(record))
+    }
+}
+
+impl Iterator for SeqFileReader {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_one().transpose()
+    }
+}
+
+/// Convenience: write `records` to `path` and return the count.
+pub fn write_seqfile(
+    path: impl AsRef<Path>,
+    schema: Arc<Schema>,
+    records: impl IntoIterator<Item = Record>,
+) -> Result<u64> {
+    let mut w = SeqFileWriter::create(path, schema)?;
+    for r in records {
+        w.append(&r)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::record::record;
+    use mr_ir::schema::FieldType;
+    use mr_ir::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(
+            "WebPage",
+            vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+        )
+        .into_arc()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mr-storage-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn make_records(s: &Arc<Schema>, n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                record(
+                    s,
+                    vec![format!("http://site/{i}").into(), Value::Int(i as i64)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let s = schema();
+        let path = tmp("roundtrip");
+        let records = make_records(&s, 100);
+        let n = write_seqfile(&path, Arc::clone(&s), records.clone()).unwrap();
+        assert_eq!(n, 100);
+
+        let meta = SeqFileMeta::open(&path).unwrap();
+        assert_eq!(meta.record_count, 100);
+        assert_eq!(meta.schema.name(), "WebPage");
+        let back: Vec<Record> = meta.read_all().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let s = schema();
+        let path = tmp("empty");
+        write_seqfile(&path, Arc::clone(&s), vec![]).unwrap();
+        let meta = SeqFileMeta::open(&path).unwrap();
+        assert_eq!(meta.record_count, 0);
+        assert_eq!(meta.read_all().unwrap().count(), 0);
+        assert!(meta.splits(4).is_empty());
+    }
+
+    #[test]
+    fn splits_cover_all_records_exactly_once() {
+        let s = schema();
+        let path = tmp("splits");
+        // Enough records to span several sparse-index blocks.
+        let n = (super::BLOCK * 3 + 100) as usize;
+        write_seqfile(&path, Arc::clone(&s), make_records(&s, n)).unwrap();
+        let meta = SeqFileMeta::open(&path).unwrap();
+        for nsplits in [1usize, 2, 3, 7] {
+            let splits = meta.splits(nsplits);
+            let total: u64 = splits.iter().map(|sp| sp.records).sum();
+            assert_eq!(total, n as u64, "nsplits={nsplits}");
+            // Read each split and check global coverage.
+            let mut seen = Vec::new();
+            for sp in &splits {
+                for r in meta.read_split(sp).unwrap() {
+                    let r = r.unwrap();
+                    seen.push(r.get("rank").unwrap().as_int().unwrap());
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bytes_read_accounted() {
+        let s = schema();
+        let path = tmp("bytes");
+        write_seqfile(&path, Arc::clone(&s), make_records(&s, 50)).unwrap();
+        let meta = SeqFileMeta::open(&path).unwrap();
+        let mut rd = meta.read_all().unwrap();
+        while rd.next().is_some() {}
+        assert!(rd.bytes_read() > 0);
+        assert!(rd.bytes_read() < meta.file_size);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTAMAGICFILE____________").unwrap();
+        assert!(SeqFileMeta::open(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_footer_rejected() {
+        let s = schema();
+        let path = tmp("trunc");
+        write_seqfile(&path, Arc::clone(&s), make_records(&s, 10)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(SeqFileMeta::open(&path).is_err());
+    }
+
+    #[test]
+    fn opaque_schema_preserved() {
+        let s = Arc::new(
+            Schema::new("AbstractTuple", vec![("rank", FieldType::Int)]).opaque(),
+        );
+        let path = tmp("opaque");
+        let r = record(&s, vec![1.into()]);
+        write_seqfile(&path, Arc::clone(&s), vec![r]).unwrap();
+        let meta = SeqFileMeta::open(&path).unwrap();
+        assert!(meta.schema.is_opaque());
+    }
+}

@@ -1,0 +1,142 @@
+//! LEB128 variable-length integers with zig-zag signed encoding.
+//!
+//! The "size-sensitive representation" the paper's delta-compression
+//! relies on: "storing just small deltas, when combined with a
+//! size-sensitive representation, can yield large storage savings"
+//! (§2.1).
+
+use crate::error::{Result, StorageError};
+
+/// Append an unsigned varint.
+pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned varint from the front of `buf`; returns the value
+/// and the number of bytes consumed.
+pub fn decode_u64(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(StorageError::corrupt("varint", "overlong encoding"));
+        }
+        let low = (b & 0x7f) as u64;
+        // Check for bits shifted out of range on the final group.
+        if shift == 63 && low > 1 {
+            return Err(StorageError::corrupt("varint", "value exceeds u64"));
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(StorageError::corrupt("varint", "truncated"))
+}
+
+/// Zig-zag map a signed value to unsigned so small magnitudes stay
+/// small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed varint (zig-zag).
+pub fn encode_i64(v: i64, out: &mut Vec<u8>) {
+    encode_u64(zigzag(v), out);
+}
+
+/// Decode a signed varint.
+pub fn decode_i64(buf: &[u8]) -> Result<(i64, usize)> {
+    let (u, n) = decode_u64(buf)?;
+    Ok((unzigzag(u), n))
+}
+
+/// Number of bytes [`encode_u64`] would use.
+pub fn encoded_len_u64(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Number of bytes [`encode_i64`] would use.
+pub fn encoded_len_i64(v: i64) -> usize {
+    encoded_len_u64(zigzag(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unsigned_corners() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX, u64::MAX - 1] {
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            let (got, n) = decode_u64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, encoded_len_u64(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_signed_corners() {
+        for v in [0i64, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            encode_i64(v, &mut buf);
+            let (got, n) = decode_i64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, encoded_len_i64(v));
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert!(encoded_len_i64(-3) == 1);
+        assert!(encoded_len_i64(1000) == 2);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut buf = Vec::new();
+        encode_u64(300, &mut buf);
+        assert!(decode_u64(&buf[..1]).is_err());
+        assert!(decode_u64(&[]).is_err());
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        let buf = [0x80u8; 11];
+        assert!(decode_u64(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode_u64(5, &mut buf);
+        buf.extend_from_slice(&[0xde, 0xad]);
+        let (v, n) = decode_u64(&buf).unwrap();
+        assert_eq!((v, n), (5, 1));
+    }
+}

@@ -1,0 +1,176 @@
+//! Failure injection: every file reader must reject corrupted,
+//! truncated, bit-flipped or wholly random input with a clean error —
+//! never a panic, never an infinite loop, never garbage records
+//! accepted as valid row data beyond what the format cannot detect.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mr_ir::record::record;
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_storage::btree::{BTreeIndex, BTreeWriter, ScanBound};
+use mr_storage::delta::{DeltaFileMeta, DeltaFileWriter};
+use mr_storage::dict::{DictFileReader, DictFileWriter};
+use mr_storage::seqfile::{write_seqfile, SeqFileMeta};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mr-fault-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    dir.join(format!("{name}-{}-{n}", std::process::id()))
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::new(
+        "T",
+        vec![("s", FieldType::Str), ("n", FieldType::Int)],
+    )
+    .into_arc()
+}
+
+/// Build a valid sequence file and return its bytes.
+fn valid_seqfile_bytes() -> Vec<u8> {
+    let s = schema();
+    let path = tmp("valid-seq");
+    let records: Vec<_> = (0..50)
+        .map(|i| record(&s, vec![format!("row{i}").into(), Value::Int(i)]))
+        .collect();
+    write_seqfile(&path, s, records).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Open-and-drain helpers must return Result errors, not panic.
+fn try_read_seqfile(bytes: &[u8]) {
+    let path = tmp("fuzz-seq");
+    std::fs::write(&path, bytes).unwrap();
+    if let Ok(meta) = SeqFileMeta::open(&path) {
+        if let Ok(reader) = meta.read_all() {
+            // Take a bounded number of records; errors are fine.
+            for item in reader.take(1000) {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes never panic the sequence-file reader.
+    #[test]
+    fn seqfile_survives_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        try_read_seqfile(&bytes);
+    }
+
+    /// A valid file with one flipped bit never panics the reader.
+    #[test]
+    fn seqfile_survives_bit_flips(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = valid_seqfile_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        try_read_seqfile(&bytes);
+    }
+
+    /// A valid file truncated anywhere never panics the reader.
+    #[test]
+    fn seqfile_survives_truncation(keep_frac in 0.0f64..1.0) {
+        let bytes = valid_seqfile_bytes();
+        let keep = (bytes.len() as f64 * keep_frac) as usize;
+        try_read_seqfile(&bytes[..keep]);
+    }
+
+    /// Same discipline for the B+Tree.
+    #[test]
+    fn btree_survives_corruption(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let s = schema();
+        let path = tmp("fuzz-btree-src");
+        let mut w = BTreeWriter::with_page_size(&path, Arc::clone(&s), 512).unwrap();
+        for i in 0..200i64 {
+            let r = record(&s, vec![format!("k{i}").into(), Value::Int(i)]);
+            w.append(&Value::Int(i), &Value::Int(i), &r).unwrap();
+        }
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+
+        let corrupt = tmp("fuzz-btree");
+        std::fs::write(&corrupt, &bytes).unwrap();
+        if let Ok(idx) = BTreeIndex::open(&corrupt) {
+            if let Ok(scan) = idx.scan(ScanBound::Unbounded, ScanBound::Unbounded) {
+                for item in scan.take(1000) {
+                    if item.is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        std::fs::remove_file(&corrupt).ok();
+    }
+
+    /// Delta files reject corruption cleanly.
+    #[test]
+    fn delta_survives_corruption(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let s = schema();
+        let path = tmp("fuzz-delta-src");
+        let mut w = DeltaFileWriter::create(&path, Arc::clone(&s), &["n".into()]).unwrap();
+        for i in 0..100i64 {
+            w.append(&record(&s, vec![format!("k{i}").into(), Value::Int(i)])).unwrap();
+        }
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+
+        let corrupt = tmp("fuzz-delta");
+        std::fs::write(&corrupt, &bytes).unwrap();
+        if let Ok(meta) = DeltaFileMeta::open(&corrupt) {
+            if let Ok(reader) = meta.read_all() {
+                for item in reader.take(1000) {
+                    if item.is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        std::fs::remove_file(&corrupt).ok();
+    }
+
+    /// Dict files reject corruption cleanly.
+    #[test]
+    fn dict_survives_corruption(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let s = schema();
+        let path = tmp("fuzz-dict-src");
+        let mut w = DictFileWriter::create(&path, Arc::clone(&s), &["s".into()]).unwrap();
+        for i in 0..100i64 {
+            w.append(&record(&s, vec![format!("k{}", i % 7).into(), Value::Int(i)])).unwrap();
+        }
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+
+        let corrupt = tmp("fuzz-dict");
+        std::fs::write(&corrupt, &bytes).unwrap();
+        if let Ok(reader) = DictFileReader::open(&corrupt) {
+            for item in reader.take(1000) {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+        std::fs::remove_file(&corrupt).ok();
+    }
+}

@@ -1,0 +1,421 @@
+//! Test-data generators (paper Fig. 7 and App. D).
+//!
+//! ```text
+//! WebPages  (String url; int rank; String content);
+//! UserVisits(String sourceIP; String destURL; long visitDate;
+//!            int adRevenue; String userAgent; String countryCode;
+//!            String languageCode; String searchWord; int duration);
+//! ```
+//!
+//! WebPages are unique pages with Zipfian popularity; each page's
+//! content embeds links to other pages chosen Zipfianly, plus filler
+//! text up to the configured content size. UserVisits fields are uniform
+//! except `destURL`, which follows the pages' Zipfian popularity. Page
+//! rank is assigned so that the *selectivity of `rank > t` is
+//! predictable*: ranks are uniform in `0..100`, so `rank > t` keeps
+//! `(99 - t)%` of pages — the knob Tables 2–4 sweep.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use mr_ir::record::{record, Record};
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mr_storage::seqfile::SeqFileWriter;
+
+use crate::zipf::Zipf;
+
+/// The WebPages schema (paper Fig. 7).
+pub fn webpages_schema() -> Arc<Schema> {
+    Schema::new(
+        "WebPages",
+        vec![
+            ("url", FieldType::Str),
+            ("rank", FieldType::Int),
+            ("content", FieldType::Str),
+        ],
+    )
+    .into_arc()
+}
+
+/// The UserVisits schema (paper Fig. 7).
+pub fn uservisits_schema() -> Arc<Schema> {
+    Schema::new(
+        "UserVisits",
+        vec![
+            ("sourceIP", FieldType::Str),
+            ("destURL", FieldType::Str),
+            ("visitDate", FieldType::Long),
+            ("adRevenue", FieldType::Int),
+            ("userAgent", FieldType::Str),
+            ("countryCode", FieldType::Str),
+            ("languageCode", FieldType::Str),
+            ("searchWord", FieldType::Str),
+            ("duration", FieldType::Int),
+        ],
+    )
+    .into_arc()
+}
+
+/// The Rankings schema of the Pavlo benchmarks (Benchmark 1 wraps it in
+/// an analyzer-opaque `AbstractTuple` serialization; Benchmark 3 uses
+/// the ordinary transparent form).
+pub fn rankings_schema(opaque: bool) -> Arc<Schema> {
+    let schema = Schema::new(
+        if opaque { "AbstractTuple" } else { "Rankings" },
+        vec![
+            ("pageURL", FieldType::Str),
+            ("pageRank", FieldType::Int),
+            ("avgDuration", FieldType::Int),
+        ],
+    );
+    if opaque { schema.opaque() } else { schema }.into_arc()
+}
+
+/// The Documents schema for the UDF-aggregation benchmark.
+pub fn documents_schema() -> Arc<Schema> {
+    Schema::new(
+        "Document",
+        vec![("url", FieldType::Str), ("content", FieldType::Str)],
+    )
+    .into_arc()
+}
+
+/// WebPages generator configuration.
+#[derive(Debug, Clone)]
+pub struct WebPagesConfig {
+    /// Number of pages.
+    pub pages: usize,
+    /// Average content size in bytes (paper App. D: 510 B for Small,
+    /// 10 KB for Large).
+    pub content_size: usize,
+    /// Links embedded per page.
+    pub links_per_page: usize,
+    /// Zipf exponent for link-target popularity.
+    pub zipf_s: f64,
+    /// RNG seed, for reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for WebPagesConfig {
+    fn default() -> Self {
+        WebPagesConfig {
+            pages: 10_000,
+            content_size: 510,
+            links_per_page: 5,
+            zipf_s: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The URL of page `i`.
+pub fn page_url(i: usize) -> String {
+    format!("http://www.site{i:07}.example.com/index.html")
+}
+
+/// Deterministic filler words, so content compresses like text rather
+/// than noise.
+const FILLER: &[&str] = &[
+    "lorem", "ipsum", "data", "query", "page", "search", "click", "web", "index", "link",
+    "value", "result", "report", "visit", "user", "rank",
+];
+
+/// Generate one WebPages record.
+fn gen_page(i: usize, cfg: &WebPagesConfig, zipf: &Zipf, rng: &mut StdRng) -> Record {
+    let url = page_url(i);
+    let rank = rng.gen_range(0..100i64);
+    let mut content = String::with_capacity(cfg.content_size + 64);
+    for _ in 0..cfg.links_per_page {
+        let target = zipf.sample(rng);
+        content.push_str(&page_url(target));
+        content.push(' ');
+    }
+    while content.len() < cfg.content_size {
+        content.push_str(FILLER[rng.gen_range(0..FILLER.len())]);
+        content.push(' ');
+    }
+    record(
+        &webpages_schema(),
+        vec![url.into(), Value::Int(rank), content.into()],
+    )
+}
+
+/// Write a WebPages sequence file; returns the record count.
+pub fn generate_webpages(path: impl AsRef<Path>, cfg: &WebPagesConfig) -> mr_storage::Result<u64> {
+    let schema = webpages_schema();
+    let zipf = Zipf::new(cfg.pages.max(1), cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut w = SeqFileWriter::create(path, schema)?;
+    for i in 0..cfg.pages {
+        w.append(&gen_page(i, cfg, &zipf, &mut rng))?;
+    }
+    w.finish()
+}
+
+/// UserVisits generator configuration.
+#[derive(Debug, Clone)]
+pub struct UserVisitsConfig {
+    /// Number of visit records.
+    pub visits: usize,
+    /// Number of distinct pages the visits point at.
+    pub pages: usize,
+    /// Zipf exponent for destination popularity.
+    pub zipf_s: f64,
+    /// Half-open date range `[date_start, date_end)` as epoch seconds.
+    pub date_start: i64,
+    /// End of the date range.
+    pub date_end: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UserVisitsConfig {
+    fn default() -> Self {
+        UserVisitsConfig {
+            visits: 50_000,
+            pages: 10_000,
+            zipf_s: 1.0,
+            // The year 2000, like the Pavlo generator's visit dates.
+            date_start: 946_684_800,
+            date_end: 978_307_200,
+            seed: 43,
+        }
+    }
+}
+
+const USER_AGENTS: &[&str] = &["Mozilla/4.0", "Mozilla/5.0", "Opera/9.0", "Safari/3.0"];
+const COUNTRIES: &[&str] = &["USA", "DEU", "JPN", "BRA", "IND", "FRA", "GBR", "CHN"];
+const LANGUAGES: &[&str] = &["en", "de", "ja", "pt", "hi", "fr", "zh"];
+const SEARCH_WORDS: &[&str] = &[
+    "database", "mapreduce", "optimizer", "btree", "hadoop", "selection", "projection",
+];
+
+/// Generate one UserVisits record.
+fn gen_visit(cfg: &UserVisitsConfig, zipf: &Zipf, rng: &mut StdRng) -> Record {
+    let ip = format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(1..255),
+        rng.gen_range(0..256),
+        rng.gen_range(0..256),
+        rng.gen_range(1..255)
+    );
+    let dest = page_url(zipf.sample(rng));
+    let date = rng.gen_range(cfg.date_start..cfg.date_end);
+    let revenue = rng.gen_range(1..1000i64);
+    let duration = rng.gen_range(1..100i64);
+    record(
+        &uservisits_schema(),
+        vec![
+            ip.into(),
+            dest.into(),
+            Value::Int(date),
+            Value::Int(revenue),
+            USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())].into(),
+            COUNTRIES[rng.gen_range(0..COUNTRIES.len())].into(),
+            LANGUAGES[rng.gen_range(0..LANGUAGES.len())].into(),
+            SEARCH_WORDS[rng.gen_range(0..SEARCH_WORDS.len())].into(),
+            Value::Int(duration),
+        ],
+    )
+}
+
+/// Write a UserVisits sequence file; returns the record count.
+pub fn generate_uservisits(
+    path: impl AsRef<Path>,
+    cfg: &UserVisitsConfig,
+) -> mr_storage::Result<u64> {
+    let schema = uservisits_schema();
+    let zipf = Zipf::new(cfg.pages.max(1), cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut w = SeqFileWriter::create(path, schema)?;
+    for _ in 0..cfg.visits {
+        w.append(&gen_visit(cfg, &zipf, &mut rng))?;
+    }
+    w.finish()
+}
+
+/// Write a Rankings sequence file (optionally with the Benchmark-1
+/// opaque serialization); returns the record count.
+pub fn generate_rankings(
+    path: impl AsRef<Path>,
+    pages: usize,
+    opaque: bool,
+    seed: u64,
+) -> mr_storage::Result<u64> {
+    let schema = rankings_schema(opaque);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = SeqFileWriter::create(path, Arc::clone(&schema))?;
+    for i in 0..pages {
+        // pageRank in 0..10_000 so sub-percent selectivities are
+        // expressible (Benchmark 1 runs at 0.02%).
+        let rank = rng.gen_range(0..10_000i64);
+        let r = record(
+            &schema,
+            vec![
+                page_url(i).into(),
+                Value::Int(rank),
+                Value::Int(rng.gen_range(1..100i64)),
+            ],
+        );
+        w.append(&r)?;
+    }
+    w.finish()
+}
+
+/// Write a Documents sequence file for the UDF-aggregation benchmark;
+/// returns the record count.
+pub fn generate_documents(
+    path: impl AsRef<Path>,
+    cfg: &WebPagesConfig,
+) -> mr_storage::Result<u64> {
+    let schema = documents_schema();
+    let zipf = Zipf::new(cfg.pages.max(1), cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut w = SeqFileWriter::create(path, Arc::clone(&schema))?;
+    for i in 0..cfg.pages {
+        let page = gen_page(i, cfg, &zipf, &mut rng);
+        let r = record(
+            &schema,
+            vec![
+                page.get("url").expect("url").clone(),
+                page.get("content").expect("content").clone(),
+            ],
+        );
+        w.append(&r)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_storage::seqfile::SeqFileMeta;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mr-workloads-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn webpages_generation_is_deterministic() {
+        let cfg = WebPagesConfig {
+            pages: 200,
+            ..WebPagesConfig::default()
+        };
+        let p1 = tmp("wp1");
+        let p2 = tmp("wp2");
+        generate_webpages(&p1, &cfg).unwrap();
+        generate_webpages(&p2, &cfg).unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+
+        let meta = SeqFileMeta::open(&p1).unwrap();
+        assert_eq!(meta.record_count, 200);
+        let first = meta.read_all().unwrap().next().unwrap().unwrap();
+        assert!(first
+            .get("content")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("http://"));
+        let rank = first.get("rank").unwrap().as_int().unwrap();
+        assert!((0..100).contains(&rank));
+    }
+
+    #[test]
+    fn rank_selectivity_is_predictable() {
+        let cfg = WebPagesConfig {
+            pages: 5000,
+            content_size: 32,
+            ..WebPagesConfig::default()
+        };
+        let p = tmp("wp-sel");
+        generate_webpages(&p, &cfg).unwrap();
+        let meta = SeqFileMeta::open(&p).unwrap();
+        let above_39: usize = meta
+            .read_all()
+            .unwrap()
+            .filter(|r| {
+                r.as_ref().unwrap().get("rank").unwrap().as_int().unwrap() > 39
+            })
+            .count();
+        // rank > 39 keeps 60% of uniform 0..100.
+        let frac = above_39 as f64 / 5000.0;
+        assert!((frac - 0.6).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn uservisits_fields_in_range() {
+        let cfg = UserVisitsConfig {
+            visits: 500,
+            pages: 100,
+            ..UserVisitsConfig::default()
+        };
+        let p = tmp("uv");
+        generate_uservisits(&p, &cfg).unwrap();
+        let meta = SeqFileMeta::open(&p).unwrap();
+        assert_eq!(meta.record_count, 500);
+        for r in meta.read_all().unwrap() {
+            let r = r.unwrap();
+            let date = r.get("visitDate").unwrap().as_int().unwrap();
+            assert!((cfg.date_start..cfg.date_end).contains(&date));
+            assert!(r.get("destURL").unwrap().as_str().unwrap().starts_with("http://"));
+        }
+    }
+
+    #[test]
+    fn zipf_popularity_shows_in_visits() {
+        let cfg = UserVisitsConfig {
+            visits: 5000,
+            pages: 1000,
+            ..UserVisitsConfig::default()
+        };
+        let p = tmp("uv-zipf");
+        generate_uservisits(&p, &cfg).unwrap();
+        let meta = SeqFileMeta::open(&p).unwrap();
+        let top_url = page_url(0);
+        let hits = meta
+            .read_all()
+            .unwrap()
+            .filter(|r| {
+                r.as_ref().unwrap().get("destURL").unwrap().as_str().unwrap() == top_url
+            })
+            .count();
+        // Zipf(1.0) over 1000 items gives item 0 ~13% of mass; far more
+        // than the uniform 0.1%.
+        assert!(hits > 200, "top page got only {hits} of 5000 visits");
+    }
+
+    #[test]
+    fn rankings_opaque_flag() {
+        let p = tmp("rank-opq");
+        generate_rankings(&p, 50, true, 1).unwrap();
+        let meta = SeqFileMeta::open(&p).unwrap();
+        assert!(meta.schema.is_opaque());
+        assert_eq!(meta.schema.name(), "AbstractTuple");
+
+        let p2 = tmp("rank-clear");
+        generate_rankings(&p2, 50, false, 1).unwrap();
+        assert!(!SeqFileMeta::open(&p2).unwrap().schema.is_opaque());
+    }
+
+    #[test]
+    fn documents_carry_links() {
+        let cfg = WebPagesConfig {
+            pages: 100,
+            content_size: 200,
+            ..WebPagesConfig::default()
+        };
+        let p = tmp("docs");
+        generate_documents(&p, &cfg).unwrap();
+        let meta = SeqFileMeta::open(&p).unwrap();
+        let doc = meta.read_all().unwrap().next().unwrap().unwrap();
+        let urls = mr_ir::stdlib::extract_urls(doc.get("content").unwrap().as_str().unwrap());
+        assert!(!urls.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! # mr-workloads — benchmark data and programs
+//!
+//! Everything the paper's evaluation (§4, App. B/D) runs against:
+//!
+//! * [`data`] — generators for the Fig. 7 schemas (WebPages with
+//!   Zipfian link popularity, UserVisits, Rankings, Documents);
+//! * [`zipf`] — the Zipfian sampler behind them;
+//! * [`pavlo`] — the four Pavlo et al. benchmark programs in MR-IR,
+//!   with the serialization/Hashtable quirks that shaped Table 1 and
+//!   the human annotations to grade the analyzer against;
+//! * [`queries`] — the single-optimization programs of Tables 3–6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod pavlo;
+pub mod queries;
+pub mod zipf;

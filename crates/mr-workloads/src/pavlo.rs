@@ -1,0 +1,445 @@
+//! The Pavlo et al. benchmark programs, ported to MR-IR (paper §4.1).
+//!
+//! These are the four programs of Tables 1 and 2, including the exact
+//! quirks that shaped the paper's analyzer-recall results:
+//!
+//! * **Benchmark 1 (Selection)** reads Rankings through the authors'
+//!   `AbstractTuple` class — "an unusual custom class … that essentially
+//!   creates its own serialization format". Selection is detectable
+//!   (the accessors are pure), but projection and delta-compression are
+//!   not (field boundaries are invisible).
+//! * **Benchmark 2 (Aggregation)** sums `adRevenue` by `sourceIP` over
+//!   UserVisits: projection and delta-compression apply.
+//! * **Benchmark 3 (Join)** consumes two inputs with separate mappers;
+//!   the UserVisits mapper filters by a `visitDate` range (the selection
+//!   Manimal exploits for the 6.73x Table 2 speedup).
+//! * **Benchmark 4 (UDF Aggregation)** counts in-links by extracting
+//!   URLs from document content, deduplicating per document "using a
+//!   Java Hashtable as part of the filtering process" — the analyzer's
+//!   one serious miss.
+//!
+//! Each benchmark also carries the *human annotation* of which
+//! optimizations are actually present, so the Table 1 harness can grade
+//! the analyzer (Detected / Undetected / Not Present).
+
+use mr_ir::builder::FunctionBuilder;
+use mr_ir::function::Program;
+use mr_ir::instr::{BinOp, CmpOp, ParamId};
+use mr_ir::value::Value;
+use mr_engine::error::Result as EngineResult;
+use mr_engine::reducer::{Reducer, ReducerFactory};
+
+use crate::data::{documents_schema, rankings_schema, uservisits_schema};
+
+/// Ground truth for one optimization on one benchmark, as a human
+/// annotator judges it (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Presence {
+    /// The optimization opportunity exists in the code.
+    Present,
+    /// It does not.
+    NotPresent,
+}
+
+/// Human annotations for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct HumanAnnotation {
+    /// Is a selection present?
+    pub select: Presence,
+    /// Is a projection present?
+    pub project: Presence,
+    /// Is delta-compression applicable?
+    pub delta: Presence,
+    /// Is direct-operation applicable?
+    pub direct: Presence,
+}
+
+/// Benchmark 1 — Selection over Rankings via the opaque `AbstractTuple`:
+/// `SELECT pageURL, pageRank FROM Rankings WHERE pageRank > threshold`.
+///
+/// The map reads fields through `tuple.get_*` accessor calls, exactly
+/// what a custom serialization class forces.
+pub fn benchmark1(threshold: i64) -> Program {
+    let mut b = FunctionBuilder::new("bench1_map");
+    let v = b.load_param(ParamId::Value);
+    let rank_name = b.const_str("pageRank");
+    let rank = b.call("tuple.get_int", vec![v, rank_name]);
+    let t = b.const_int(threshold);
+    let cond = b.cmp(CmpOp::Gt, rank, t);
+    let (hit, exit) = (b.fresh_label("hit"), b.fresh_label("exit"));
+    b.br(cond, hit, exit);
+    b.bind(hit);
+    let url_name = b.const_str("pageURL");
+    let url = b.call("tuple.get_str", vec![v, url_name]);
+    b.emit(url, rank);
+    b.bind(exit);
+    b.ret();
+    Program::new("pavlo-bench1-selection", b.finish(), rankings_schema(true))
+}
+
+/// Benchmark 1 human annotation: all three of selection, projection
+/// (avgDuration is never read) and delta-compression (two integer
+/// fields) are present; the analyzer is expected to find only the
+/// selection.
+pub fn benchmark1_annotation() -> HumanAnnotation {
+    HumanAnnotation {
+        select: Presence::Present,
+        project: Presence::Present,
+        delta: Presence::Present,
+        direct: Presence::NotPresent,
+    }
+}
+
+/// Benchmark 2 — Aggregation:
+/// `SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP`.
+pub fn benchmark2() -> Program {
+    let mut b = FunctionBuilder::new("bench2_map");
+    let v = b.load_param(ParamId::Value);
+    let ip = b.get_field(v, "sourceIP");
+    let revenue = b.get_field(v, "adRevenue");
+    b.emit(ip, revenue);
+    b.ret();
+    Program::new("pavlo-bench2-aggregation", b.finish(), uservisits_schema())
+}
+
+/// Benchmark 2 human annotation: no selection (every record
+/// contributes), projection (7 of 9 fields unused) and delta (numeric
+/// fields) both present. Direct-operation is absent because the grouped
+/// `sourceIP` appears in the final output.
+pub fn benchmark2_annotation() -> HumanAnnotation {
+    HumanAnnotation {
+        select: Presence::NotPresent,
+        project: Presence::Present,
+        delta: Presence::Present,
+        direct: Presence::NotPresent,
+    }
+}
+
+/// Benchmark 3, Rankings-side mapper: emit the whole ranking record
+/// keyed by its URL (no filter — rankings are small).
+pub fn benchmark3_rankings_mapper() -> Program {
+    let mut b = FunctionBuilder::new("bench3_rankings_map");
+    let v = b.load_param(ParamId::Value);
+    let url = b.get_field(v, "pageURL");
+    b.emit(url, v);
+    b.ret();
+    Program::new("pavlo-bench3-rankings", b.finish(), rankings_schema(false))
+}
+
+/// Benchmark 3, UserVisits-side mapper: keep only visits inside the
+/// date window, emit the whole visit keyed by destination URL. The date
+/// filter "removes all but 0.095% of the UserVisits data" in the
+/// paper's configuration.
+pub fn benchmark3_visits_mapper(date_lo: i64, date_hi: i64) -> Program {
+    let mut b = FunctionBuilder::new("bench3_visits_map");
+    let v = b.load_param(ParamId::Value);
+    let date = b.get_field(v, "visitDate");
+    let lo = b.const_int(date_lo);
+    let c1 = b.cmp(CmpOp::Ge, date, lo);
+    let (next, exit) = (b.fresh_label("next"), b.fresh_label("exit"));
+    b.br(c1, next, exit);
+    b.bind(next);
+    let hi = b.const_int(date_hi);
+    let c2 = b.cmp(CmpOp::Lt, date, hi);
+    let (hit, exit2) = (b.fresh_label("hit"), b.fresh_label("exit2"));
+    b.br(c2, hit, exit2);
+    b.bind(hit);
+    let url = b.get_field(v, "destURL");
+    b.emit(url, v);
+    b.bind(exit2);
+    b.ret();
+    b.bind(exit);
+    b.ret();
+    Program::new("pavlo-bench3-visits", b.finish(), uservisits_schema())
+}
+
+/// Benchmark 3 human annotation (the visits side dominates): selection
+/// present (the date window); projection absent (whole records are
+/// emitted for the join); delta present (UserVisits numerics).
+pub fn benchmark3_annotation() -> HumanAnnotation {
+    HumanAnnotation {
+        select: Presence::Present,
+        project: Presence::NotPresent,
+        delta: Presence::Present,
+        direct: Presence::NotPresent,
+    }
+}
+
+/// The join reducer for Benchmark 3: for each URL group, pair the
+/// ranking's pageRank with every visit, emitting
+/// `(sourceIP, [pageRank, adRevenue])`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinReducer;
+
+impl Reducer for JoinReducer {
+    fn reduce(
+        &mut self,
+        _key: &Value,
+        values: &[Value],
+        out: &mut Vec<(Value, Value)>,
+    ) -> EngineResult<()> {
+        let mut page_rank: Option<Value> = None;
+        let mut visits: Vec<&mr_ir::record::Record> = Vec::new();
+        for v in values {
+            let Some(rec) = v.as_record() else { continue };
+            match rec.schema().name() {
+                "Rankings" => page_rank = rec.get("pageRank").ok().cloned(),
+                "UserVisits" => visits.push(rec),
+                _ => {}
+            }
+        }
+        let Some(rank) = page_rank else {
+            return Ok(()); // visit to a page without a ranking row
+        };
+        for visit in visits {
+            let ip = visit.get("sourceIP").map_err(|e| {
+                mr_engine::EngineError::Reduce(e.to_string())
+            })?;
+            let revenue = visit.get("adRevenue").map_err(|e| {
+                mr_engine::EngineError::Reduce(e.to_string())
+            })?;
+            out.push((
+                ip.clone(),
+                Value::list(vec![rank.clone(), revenue.clone()]),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ReducerFactory for JoinReducer {
+    fn create(&self) -> Box<dyn Reducer> {
+        Box::new(*self)
+    }
+}
+
+/// Benchmark 4 — UDF Aggregation: count in-links by scanning document
+/// content for URLs, skipping self-links, deduplicating per document
+/// with a `Hashtable`.
+pub fn benchmark4() -> Program {
+    let mut b = FunctionBuilder::new("bench4_map");
+    let v = b.load_param(ParamId::Value);
+    let content = b.get_field(v, "content");
+    let own_url = b.get_field(v, "url");
+    let urls = b.call("text.extract_urls", vec![content]);
+    let len = b.call("list.len", vec![urls]);
+    let one = b.const_int(1);
+    let i = b.const_int(0);
+    let seen = b.call("ht.new", vec![]);
+
+    let (head, body, check, fresh, next, exit) = (
+        b.fresh_label("head"),
+        b.fresh_label("body"),
+        b.fresh_label("check"),
+        b.fresh_label("fresh"),
+        b.fresh_label("next"),
+        b.fresh_label("exit"),
+    );
+    b.bind(head);
+    let more = b.cmp(CmpOp::Lt, i, len);
+    b.br(more, body, exit);
+    b.bind(body);
+    let target = b.call("list.get", vec![urls, i]);
+    let not_self = b.cmp(CmpOp::Ne, target, own_url);
+    b.br(not_self, check, next);
+    b.bind(check);
+    let dup = b.call("ht.contains", vec![seen, target]);
+    b.br(dup, next, fresh);
+    b.bind(fresh);
+    let seen2 = b.call("ht.put", vec![seen, target, one]);
+    b.mov_to(seen, seen2);
+    b.emit(target, one);
+    b.bind(next);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.mov_to(i, i2);
+    b.jmp(head);
+    b.bind(exit);
+    b.ret();
+    Program::new("pavlo-bench4-udf", b.finish(), documents_schema())
+}
+
+/// Benchmark 4 human annotation: the Hashtable-based dedup *is* a
+/// selection a human can see ("testing for a key in the Hashtable will
+/// only succeed if it had been inserted previously"); both fields are
+/// used, so no projection; no numeric fields, so no delta.
+pub fn benchmark4_annotation() -> HumanAnnotation {
+    HumanAnnotation {
+        select: Presence::Present,
+        project: Presence::NotPresent,
+        delta: Presence::NotPresent,
+        direct: Presence::NotPresent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::interp::Interpreter;
+    use mr_ir::record::record;
+    use mr_ir::verify::verify;
+
+    #[test]
+    fn all_benchmarks_verify() {
+        for p in [
+            benchmark1(9000),
+            benchmark2(),
+            benchmark3_rankings_mapper(),
+            benchmark3_visits_mapper(0, 100),
+            benchmark4(),
+        ] {
+            verify(&p.mapper).unwrap_or_else(|e| panic!("{}: {e:?}", p.name));
+        }
+    }
+
+    #[test]
+    fn bench1_filters_by_rank() {
+        let p = benchmark1(5000);
+        let s = rankings_schema(true);
+        let mut interp = Interpreter::new(&p.mapper);
+        let hi = record(&s, vec!["http://a".into(), 9000.into(), 10.into()]);
+        let lo = record(&s, vec!["http://b".into(), 10.into(), 10.into()]);
+        let out = interp
+            .invoke_map(&p.mapper, &Value::Int(0), &hi.into())
+            .unwrap();
+        assert_eq!(out.emits.len(), 1);
+        assert_eq!(out.emits[0].0, Value::str("http://a"));
+        let out = interp
+            .invoke_map(&p.mapper, &Value::Int(1), &lo.into())
+            .unwrap();
+        assert!(out.emits.is_empty());
+    }
+
+    #[test]
+    fn bench2_emits_every_record() {
+        let p = benchmark2();
+        let s = uservisits_schema();
+        let r = record(
+            &s,
+            vec![
+                "1.2.3.4".into(),
+                "http://x".into(),
+                Value::Int(1000),
+                Value::Int(55),
+                "ua".into(),
+                "USA".into(),
+                "en".into(),
+                "w".into(),
+                Value::Int(30),
+            ],
+        );
+        let mut interp = Interpreter::new(&p.mapper);
+        let out = interp
+            .invoke_map(&p.mapper, &Value::Int(0), &r.into())
+            .unwrap();
+        assert_eq!(
+            out.emits,
+            vec![(Value::str("1.2.3.4"), Value::Int(55))]
+        );
+    }
+
+    #[test]
+    fn bench3_visits_date_window() {
+        let p = benchmark3_visits_mapper(100, 200);
+        let s = uservisits_schema();
+        let mk = |date: i64| {
+            record(
+                &s,
+                vec![
+                    "ip".into(),
+                    "http://x".into(),
+                    Value::Int(date),
+                    Value::Int(1),
+                    "ua".into(),
+                    "USA".into(),
+                    "en".into(),
+                    "w".into(),
+                    Value::Int(1),
+                ],
+            )
+        };
+        let mut interp = Interpreter::new(&p.mapper);
+        for (date, expect) in [(99, 0usize), (100, 1), (150, 1), (199, 1), (200, 0)] {
+            let out = interp
+                .invoke_map(&p.mapper, &Value::Int(0), &mk(date).into())
+                .unwrap();
+            assert_eq!(out.emits.len(), expect, "date {date}");
+        }
+    }
+
+    #[test]
+    fn bench4_counts_links_with_dedup_and_self_skip() {
+        let p = benchmark4();
+        let s = documents_schema();
+        let content =
+            "see http://other.com/a and again http://other.com/a plus http://me.com/";
+        let doc = record(&s, vec!["http://me.com/".into(), content.into()]);
+        let mut interp = Interpreter::new(&p.mapper);
+        let out = interp
+            .invoke_map(&p.mapper, &Value::Int(0), &doc.into())
+            .unwrap();
+        // Duplicate suppressed, self-link skipped.
+        assert_eq!(out.emits.len(), 1);
+        assert_eq!(out.emits[0].0, Value::str("http://other.com/a"));
+    }
+
+    #[test]
+    fn join_reducer_pairs_rank_with_visits() {
+        let rs = rankings_schema(false);
+        let us = uservisits_schema();
+        let ranking: Value = record(&rs, vec!["http://x".into(), 77.into(), 1.into()]).into();
+        let visit: Value = record(
+            &us,
+            vec![
+                "9.9.9.9".into(),
+                "http://x".into(),
+                Value::Int(1),
+                Value::Int(5),
+                "ua".into(),
+                "USA".into(),
+                "en".into(),
+                "w".into(),
+                Value::Int(2),
+            ],
+        )
+        .into();
+        let mut out = Vec::new();
+        JoinReducer
+            .reduce(
+                &Value::str("http://x"),
+                &[ranking, visit],
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Value::str("9.9.9.9"));
+        assert_eq!(
+            out[0].1,
+            Value::list(vec![Value::Int(77), Value::Int(5)])
+        );
+    }
+
+    #[test]
+    fn join_reducer_orphan_visits_dropped() {
+        let us = uservisits_schema();
+        let visit: Value = record(
+            &us,
+            vec![
+                "9.9.9.9".into(),
+                "http://orphan".into(),
+                Value::Int(1),
+                Value::Int(5),
+                "ua".into(),
+                "USA".into(),
+                "en".into(),
+                "w".into(),
+                Value::Int(2),
+            ],
+        )
+        .into();
+        let mut out = Vec::new();
+        JoinReducer
+            .reduce(&Value::str("http://orphan"), &[visit], &mut out)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+}

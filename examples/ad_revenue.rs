@@ -1,0 +1,79 @@
+//! Ad-revenue rollup: the Pavlo aggregation benchmark on Manimal.
+//!
+//! `SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP`
+//! touches 2 of UserVisits' 9 fields, so the analyzer recommends a
+//! combined projection+delta artifact: the unused seven fields vanish
+//! from disk and `adRevenue` is stored as zig-zag varint deltas.
+//!
+//! ```sh
+//! cargo run --release --example ad_revenue
+//! ```
+
+use std::sync::Arc;
+
+use manimal::{Builtin, Manimal};
+use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
+use mr_workloads::pavlo;
+
+fn main() {
+    let dir = std::env::temp_dir().join("manimal-ad-revenue");
+    std::fs::create_dir_all(&dir).expect("workdir");
+
+    let input = dir.join("uservisits.seq");
+    generate_uservisits(
+        &input,
+        &UserVisitsConfig {
+            visits: 200_000,
+            pages: 10_000,
+            ..UserVisitsConfig::default()
+        },
+    )
+    .expect("generate visits");
+    let input_bytes = std::fs::metadata(&input).expect("meta").len();
+
+    let program = pavlo::benchmark2();
+    let manimal = Manimal::new(dir.join("work")).expect("manimal");
+    let submission = manimal.submit(&program, &input);
+    println!("--- analyzer report ---\n{}", submission.report);
+
+    let baseline = manimal
+        .execute_baseline(&submission, Arc::new(Builtin::Sum))
+        .expect("baseline");
+
+    let entries = manimal.build_indexes(&submission).expect("indexes");
+    for e in &entries {
+        println!(
+            "artifact: {:?} — {} of {} bytes ({:.1}%)",
+            e.kind,
+            e.index_bytes,
+            input_bytes,
+            e.space_overhead() * 100.0
+        );
+    }
+
+    let optimized = manimal
+        .execute(&submission, Arc::new(Builtin::Sum))
+        .expect("optimized");
+    assert_eq!(optimized.result.output, baseline.result.output);
+
+    // Top earners.
+    let mut rows: Vec<_> = optimized.result.output.clone();
+    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("\ntop 5 source IPs by ad revenue:");
+    for (ip, revenue) in rows.iter().take(5) {
+        println!("  {ip}  {revenue}");
+    }
+
+    println!(
+        "\nbytes read: {} -> {} ({:.1}x less)  [{}]",
+        baseline.result.counters.input_bytes,
+        optimized.result.counters.input_bytes,
+        baseline.result.counters.input_bytes as f64
+            / optimized.result.counters.input_bytes.max(1) as f64,
+        optimized.applied.join(" + ")
+    );
+    println!(
+        "wall clock: {:?} -> {:?}",
+        baseline.result.elapsed, optimized.result.elapsed
+    );
+}

@@ -1,0 +1,89 @@
+//! Inspect the analyzer: what Manimal sees in each benchmark program.
+//!
+//! Prints, for every Pavlo benchmark plus the paper's two didactic
+//! examples (§2's optimizable map and Fig. 2's unoptimizable one), the
+//! full analysis report — selection DNFs, index plans, projection
+//! field sets, compression candidates and the precise reason for every
+//! refusal.
+//!
+//! ```sh
+//! cargo run --release --example inspect_analyzer
+//! ```
+
+use manimal::analyze;
+use mr_ir::asm::parse_function;
+use mr_ir::Program;
+use mr_workloads::data::webpages_schema;
+use mr_workloads::pavlo;
+
+fn show(program: &Program) {
+    println!("================================================================");
+    println!("program: {}", program.name);
+    println!("value schema: {}", program.value_schema);
+    println!("\ncompiled map():\n{}", program.mapper);
+    println!("\n{}", analyze(program));
+}
+
+fn main() {
+    // The paper's §2 example.
+    let section2 = Program::new(
+        "paper-section2-example",
+        parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.rank
+              r2 = const 1
+              r3 = cmp gt r1, r2
+              br r3, then, exit
+            then:
+              r4 = param key
+              emit r4, r2
+            exit:
+              ret
+            }
+            "#,
+        )
+        .expect("parse"),
+        webpages_schema(),
+    );
+    show(&section2);
+
+    // The paper's Fig. 2: unsafe member-dependent control flow.
+    let fig2 = Program::new(
+        "paper-fig2-example",
+        parse_function(
+            r#"
+            func map(key, value) {
+              member numMapsRun = 0
+              r0 = member numMapsRun
+              r1 = const 1
+              r2 = add r0, r1
+              member numMapsRun = r2
+              r3 = param value
+              r4 = field r3.rank
+              r5 = cmp gt r4, r1
+              r6 = const 200
+              r7 = cmp gt r2, r6
+              r8 = or r5, r7
+              br r8, t, e
+            t:
+              r9 = param key
+              emit r9, r1
+            e:
+              ret
+            }
+            "#,
+        )
+        .expect("parse"),
+        webpages_schema(),
+    );
+    show(&fig2);
+
+    // The four Pavlo benchmarks.
+    show(&pavlo::benchmark1(9997));
+    show(&pavlo::benchmark2());
+    show(&pavlo::benchmark3_rankings_mapper());
+    show(&pavlo::benchmark3_visits_mapper(946_684_800, 946_771_200));
+    show(&pavlo::benchmark4());
+}

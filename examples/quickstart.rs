@@ -1,0 +1,115 @@
+//! Quickstart: the paper's §2 walkthrough, end to end.
+//!
+//! A user submits the compiled program
+//! `void map(String k, WebPage v) { if (v.rank > 1) emit(k, 1); }`
+//! plus an input file. Manimal analyzes it, the administrator approves
+//! the recommended B+Tree, and the job runs via an index scan that
+//! skips every non-emitting invocation — with output identical to the
+//! unoptimized run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use manimal::{Builtin, Manimal};
+use mr_ir::asm::parse_function;
+use mr_ir::Program;
+use mr_workloads::data::{generate_webpages, webpages_schema, WebPagesConfig};
+
+fn main() {
+    let dir = std::env::temp_dir().join("manimal-quickstart");
+    std::fs::create_dir_all(&dir).expect("workdir");
+
+    // 1. Some input data: 20k WebPages with uniform ranks in 0..100.
+    let input = dir.join("webpages.seq");
+    generate_webpages(
+        &input,
+        &WebPagesConfig {
+            pages: 20_000,
+            content_size: 400,
+            ..WebPagesConfig::default()
+        },
+    )
+    .expect("generate data");
+    println!(
+        "input: {} ({} bytes)",
+        input.display(),
+        std::fs::metadata(&input).expect("meta").len()
+    );
+
+    // 2. The user's compiled program (MR-IR assembly stands in for Java
+    //    bytecode). `rank > 90` keeps ~9% of records.
+    let mapper = parse_function(
+        r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.rank
+          r2 = const 90
+          r3 = cmp gt r1, r2
+          br r3, then, exit
+        then:
+          r4 = param key
+          emit r4, r2
+        exit:
+          ret
+        }
+        "#,
+    )
+    .expect("parse program");
+    let program = Program::new("quickstart", mapper, webpages_schema());
+
+    // 3. Submit: the analyzer inspects the compiled code.
+    let manimal = Manimal::new(dir.join("work")).expect("manimal");
+    let submission = manimal.submit(&program, &input);
+    println!("\n--- analyzer report ---\n{}", submission.report);
+    for p in &submission.index_programs {
+        println!("recommended index program: {p}");
+    }
+
+    // 4. Baseline run ("standard Hadoop"): full scan.
+    let baseline = manimal
+        .execute_baseline(&submission, Arc::new(Builtin::Count))
+        .expect("baseline");
+    println!(
+        "\nbaseline : {} map invocations, {} bytes read, {:?}",
+        baseline.result.counters.map_invocations,
+        baseline.result.counters.input_bytes,
+        baseline.result.elapsed
+    );
+
+    // 5. The administrator says yes; the index-generation MapReduce job
+    //    builds the B+Tree.
+    let entries = manimal.build_indexes(&submission).expect("build indexes");
+    for e in &entries {
+        println!(
+            "built index: {} ({} bytes, {:.1}% of input)",
+            e.index_path.display(),
+            e.index_bytes,
+            e.space_overhead() * 100.0
+        );
+    }
+
+    // 6. Optimized run: the optimizer picks the B+Tree range scan.
+    let optimized = manimal
+        .execute(&submission, Arc::new(Builtin::Count))
+        .expect("optimized");
+    println!(
+        "optimized: {} map invocations, {} bytes read, {:?}  [{}]",
+        optimized.result.counters.map_invocations,
+        optimized.result.counters.input_bytes,
+        optimized.result.elapsed,
+        optimized.applied.join(" + ")
+    );
+
+    // 7. The contract: identical output, much less work.
+    assert_eq!(optimized.result.output, baseline.result.output);
+    println!(
+        "\noutput identical ({} groups); speedup {:.2}x, {:.1}x fewer map invocations",
+        baseline.result.output.len(),
+        baseline.result.elapsed.as_secs_f64() / optimized.result.elapsed.as_secs_f64(),
+        baseline.result.counters.map_invocations as f64
+            / optimized.result.counters.map_invocations.max(1) as f64
+    );
+}
