@@ -110,7 +110,8 @@ fn bench_btree(c: &mut Criterion) {
     let mut w = BTreeWriter::create(&path, Arc::clone(&s)).expect("writer");
     for i in 0..50_000i64 {
         let r = sample_record(&s, i);
-        w.append(&Value::Int(i), &Value::Int(i), &r).expect("append");
+        w.append(&Value::Int(i), &Value::Int(i), &r)
+            .expect("append");
     }
     w.finish().expect("finish");
     let idx = BTreeIndex::open(&path).expect("open");

@@ -63,7 +63,10 @@ fn main() {
     let baseline_time = {
         // Re-time the baseline alongside each plan would double-count;
         // parse it back from the row instead.
-        rows[0][2].trim_end_matches('s').parse::<f64>().expect("secs")
+        rows[0][2]
+            .trim_end_matches('s')
+            .parse::<f64>()
+            .expect("secs")
     };
 
     // The three artifacts. The combined one is what submit() recommends;
@@ -116,8 +119,7 @@ fn main() {
     for variant in variants {
         // A fresh catalog per variant so the optimizer can only pick
         // this artifact.
-        let manimal = Manimal::new(dir.join(format!("work-{}", variant.suffix)))
-            .expect("manimal");
+        let manimal = Manimal::new(dir.join(format!("work-{}", variant.suffix))).expect("manimal");
         let submission = manimal.submit(&program, &input);
         let prog = manimal::IndexGenProgram {
             kind: variant.kind,
@@ -127,9 +129,8 @@ fn main() {
             view_ranges: combined_prog.view_ranges.clone(),
         };
         let entry = manimal.build_index(&prog).expect("build");
-        let (t, run) = bench::time_runs(|| {
-            manimal.execute(&submission, reducer()).expect("optimized")
-        });
+        let (t, run) =
+            bench::time_runs(|| manimal.execute(&submission, reducer()).expect("optimized"));
         assert_eq!(
             run.result.output, baseline_output,
             "{}: output must match baseline",

@@ -48,7 +48,10 @@ fn main() {
                 .iter()
                 .map(|&d| format!("{} @{d}", func.instrs[d]))
                 .collect();
-            println!("  use of {reg} at {pc} [{instr}] <- {}", defs_str.join(", "));
+            println!(
+                "  use of {reg} at {pc} [{instr}] <- {}",
+                defs_str.join(", ")
+            );
         }
     }
 

@@ -98,7 +98,13 @@ fn main() {
     ];
 
     bench::print_table(
-        &["Test", "Description", "Select", "Project", "Delta-Compression"],
+        &[
+            "Test",
+            "Description",
+            "Select",
+            "Project",
+            "Delta-Compression",
+        ],
         &rows,
     );
 

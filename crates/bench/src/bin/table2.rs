@@ -19,8 +19,7 @@ use std::sync::Arc;
 use manimal::{Builtin, Manimal};
 use mr_engine::{run_job, InputBinding, InputSpec, IrMapperFactory, JobConfig, OutputSpec};
 use mr_workloads::data::{
-    generate_documents, generate_rankings, generate_uservisits, UserVisitsConfig,
-    WebPagesConfig,
+    generate_documents, generate_rankings, generate_uservisits, UserVisitsConfig, WebPagesConfig,
 };
 use mr_workloads::pavlo;
 
@@ -64,8 +63,7 @@ fn main() {
             "B1 map invocations: {} -> {} (this fabric has no per-job startup\n\
              cost, so the speedup approaches 1/selectivity instead of the\n\
              paper's startup-bounded 11.2x)",
-            base.result.counters.map_invocations,
-            run.result.counters.map_invocations
+            base.result.counters.map_invocations, run.result.counters.map_invocations
         );
         rows.push(vec![
             "Benchmark-1".into(),
@@ -114,8 +112,7 @@ fn main() {
              this byte reduction on a disk-bound cluster)",
             bench::fmt_bytes(base.result.counters.input_bytes),
             bench::fmt_bytes(run.result.counters.input_bytes),
-            base.result.counters.input_bytes as f64
-                / run.result.counters.input_bytes.max(1) as f64
+            base.result.counters.input_bytes as f64 / run.result.counters.input_bytes.max(1) as f64
         );
         rows.push(vec![
             "Benchmark-2".into(),
@@ -234,7 +231,14 @@ fn main() {
     }
 
     bench::print_table(
-        &["Test", "Description", "Space Overhead", "Hadoop", "Manimal", "Speedup"],
+        &[
+            "Test",
+            "Description",
+            "Space Overhead",
+            "Hadoop",
+            "Manimal",
+            "Speedup",
+        ],
         &rows,
     );
     println!("\npaper: 0.1% / 11.21x; 20% / 2.96x; 11.7% / 6.73x; n/a");

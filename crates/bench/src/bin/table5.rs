@@ -106,7 +106,10 @@ fn main() {
         }))
         .expect("delta run")
     });
-    assert_eq!(proj_result.output, delta_result.output, "outputs must match");
+    assert_eq!(
+        proj_result.output, delta_result.output,
+        "outputs must match"
+    );
 
     let saving = 1.0 - delta_entry.index_bytes as f64 / proj_entry.index_bytes as f64;
     // The paper's 47% is measured on a numerics-only file; isolate the
@@ -116,8 +119,9 @@ fn main() {
         .expect("projected meta")
         .record_count;
     let numeric_fixed = 16 * records;
-    let numeric_saving = (proj_entry.index_bytes.saturating_sub(delta_entry.index_bytes))
-        as f64
+    let numeric_saving = (proj_entry
+        .index_bytes
+        .saturating_sub(delta_entry.index_bytes)) as f64
         / numeric_fixed.max(1) as f64;
     bench::print_table(
         &["", "Hadoop (projected)", "Manimal (proj+delta)"],

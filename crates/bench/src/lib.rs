@@ -9,15 +9,25 @@
 #![warn(rust_2018_idioms)]
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-/// Dataset scale factor from `MANIMAL_SCALE` (default 1.0).
+/// True when the binary was invoked with `--smoke`: shrink every
+/// dataset to the minimum scale and run each measurement once, so CI
+/// can prove the bench bins still work without paying for a real run.
+pub fn smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--smoke"))
+}
+
+/// Dataset scale factor from `MANIMAL_SCALE` (default 1.0, or the
+/// 0.1 floor under `--smoke`).
 pub fn scale() -> f64 {
     std::env::var("MANIMAL_SCALE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(|s| s.max(0.1))
-        .unwrap_or(1.0)
+        .unwrap_or(if smoke() { 0.1 } else { 1.0 })
 }
 
 /// Scaled element count.
@@ -31,7 +41,7 @@ pub fn runs() -> usize {
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .map(|n| n.max(1))
-        .unwrap_or(3)
+        .unwrap_or(if smoke() { 1 } else { 3 })
 }
 
 /// Working directory for generated data and indexes.

@@ -149,8 +149,7 @@ fn cat(rest: &[&String]) -> Result<(), String> {
 }
 
 fn load_program(prog_path: &str, input: &str) -> Result<Program, String> {
-    let src = std::fs::read_to_string(prog_path)
-        .map_err(|e| format!("read {prog_path}: {e}"))?;
+    let src = std::fs::read_to_string(prog_path).map_err(|e| format!("read {prog_path}: {e}"))?;
     let func = parse_function(&src).map_err(|e| format!("{prog_path}: {e}"))?;
     mr_ir::verify::verify(&func).map_err(|errs| {
         let lines: Vec<String> = errs.iter().map(|e| format!("  {e}")).collect();

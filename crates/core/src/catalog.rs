@@ -11,8 +11,8 @@
 
 use std::path::{Path, PathBuf};
 
+use mr_json::Json;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use mr_ir::value::Value;
 use mr_storage::btree::ScanBound;
@@ -22,7 +22,7 @@ use crate::error::{ManimalError, Result};
 
 /// A serializable scan bound: values are hex-encoded through the
 /// self-describing value codec so the catalog stays a plain JSON file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BoundRepr {
     /// Unbounded.
     Open,
@@ -33,7 +33,7 @@ pub enum BoundRepr {
 }
 
 /// A serializable key range covered by a selection index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeRepr {
     /// Lower bound.
     pub low: BoundRepr,
@@ -73,8 +73,8 @@ impl BoundRepr {
     /// Decode back to a scan bound.
     pub fn to_bound(&self) -> Result<ScanBound> {
         let dec = |s: &str| -> Result<Value> {
-            let bytes = hex_decode(s)
-                .ok_or_else(|| ManimalError::Catalog("bad hex in catalog".into()))?;
+            let bytes =
+                hex_decode(s).ok_or_else(|| ManimalError::Catalog("bad hex in catalog".into()))?;
             Ok(decode_value(&bytes)?.0)
         };
         Ok(match self {
@@ -101,7 +101,7 @@ impl RangeRepr {
 }
 
 /// What kind of physical artifact an index file is.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexKind {
     /// A clustered B+Tree on `key` (the display form of the index-key
     /// expression), materializing only the records whose key falls in
@@ -157,8 +157,7 @@ impl std::fmt::Display for IndexKind {
                         .iter()
                         .filter_map(|r| r.to_bounds().ok())
                         .map(|(lo, hi)| {
-                            let side = |b: &ScanBound, open: &str, incl: char, excl: char| match b
-                            {
+                            let side = |b: &ScanBound, open: &str, incl: char, excl: char| match b {
                                 ScanBound::Unbounded => open.to_string(),
                                 ScanBound::Incl(v) => format!("{incl}{v}"),
                                 ScanBound::Excl(v) => format!("{excl}{v}"),
@@ -196,7 +195,7 @@ impl std::fmt::Display for IndexKind {
 }
 
 /// One catalog entry: an index built over an input file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogEntry {
     /// The original input file.
     pub input_path: PathBuf,
@@ -221,9 +220,237 @@ impl CatalogEntry {
     }
 }
 
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 struct CatalogFile {
     entries: Vec<CatalogEntry>,
+}
+
+// ---------------------------------------------------------------------
+// JSON codecs. Hand-written against `mr_json` (the build environment
+// has no registry access for serde), but byte-compatible with serde's
+// externally-tagged representation of these types so existing catalog
+// files keep working if the workspace later moves to real serde.
+
+fn decode_err(what: &str) -> ManimalError {
+    ManimalError::Catalog(format!("catalog decode: {what}"))
+}
+
+fn field<'j>(j: &'j Json, key: &str) -> Result<&'j Json> {
+    j.get(key)
+        .ok_or_else(|| decode_err(&format!("missing field `{key}`")))
+}
+
+fn string_field(j: &Json, key: &str) -> Result<String> {
+    Ok(field(j, key)?
+        .as_str()
+        .ok_or_else(|| decode_err(&format!("field `{key}` is not a string")))?
+        .to_string())
+}
+
+fn string_array(j: &Json, what: &str) -> Result<Vec<String>> {
+    j.as_arr()
+        .ok_or_else(|| decode_err(&format!("{what} is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| decode_err(&format!("{what} element is not a string")))
+        })
+        .collect()
+}
+
+fn opt_string_array(j: &Json, key: &str) -> Result<Option<Vec<String>>> {
+    match field(j, key)? {
+        Json::Null => Ok(None),
+        v => Ok(Some(string_array(v, key)?)),
+    }
+}
+
+fn variant<'j>(j: &'j Json, what: &str) -> Result<(&'j str, &'j Json)> {
+    match j.as_obj() {
+        Some([(tag, payload)]) => Ok((tag.as_str(), payload)),
+        _ => Err(decode_err(&format!(
+            "{what} is not a single-variant object"
+        ))),
+    }
+}
+
+impl BoundRepr {
+    fn to_json(&self) -> Json {
+        match self {
+            BoundRepr::Open => Json::str("Open"),
+            BoundRepr::Incl(s) => Json::obj([("Incl", Json::str(s.clone()))]),
+            BoundRepr::Excl(s) => Json::obj([("Excl", Json::str(s.clone()))]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<BoundRepr> {
+        if j.as_str() == Some("Open") {
+            return Ok(BoundRepr::Open);
+        }
+        let (tag, payload) = variant(j, "bound")?;
+        let hex = payload
+            .as_str()
+            .ok_or_else(|| decode_err("bound payload is not a string"))?
+            .to_string();
+        match tag {
+            "Incl" => Ok(BoundRepr::Incl(hex)),
+            "Excl" => Ok(BoundRepr::Excl(hex)),
+            other => Err(decode_err(&format!("unknown bound variant `{other}`"))),
+        }
+    }
+}
+
+impl RangeRepr {
+    /// Encode as a JSON value (used by the catalog file).
+    pub fn to_json(&self) -> Json {
+        Json::obj([("low", self.low.to_json()), ("high", self.high.to_json())])
+    }
+
+    /// Decode from a JSON value.
+    pub fn from_json(j: &Json) -> Result<RangeRepr> {
+        Ok(RangeRepr {
+            low: BoundRepr::from_json(field(j, "low")?)?,
+            high: BoundRepr::from_json(field(j, "high")?)?,
+        })
+    }
+}
+
+fn fields_json(fields: &[String]) -> Json {
+    Json::Arr(fields.iter().map(Json::str).collect())
+}
+
+fn opt_fields_json(fields: &Option<Vec<String>>) -> Json {
+    match fields {
+        None => Json::Null,
+        Some(fs) => fields_json(fs),
+    }
+}
+
+fn path_json(path: &Path, what: &str) -> Result<Json> {
+    path.to_str()
+        .map(Json::str)
+        .ok_or_else(|| ManimalError::Catalog(format!("{what} contains invalid UTF-8: {path:?}")))
+}
+
+impl IndexKind {
+    fn to_json(&self) -> Json {
+        match self {
+            IndexKind::Selection {
+                key,
+                covered,
+                projected_fields,
+            } => Json::obj([(
+                "Selection",
+                Json::obj([
+                    ("key", Json::str(key.clone())),
+                    (
+                        "covered",
+                        Json::Arr(covered.iter().map(RangeRepr::to_json).collect()),
+                    ),
+                    ("projected_fields", opt_fields_json(projected_fields)),
+                ]),
+            )]),
+            IndexKind::Projection { fields } => {
+                Json::obj([("Projection", Json::obj([("fields", fields_json(fields))]))])
+            }
+            IndexKind::Delta { fields, projected } => Json::obj([(
+                "Delta",
+                Json::obj([
+                    ("fields", fields_json(fields)),
+                    ("projected", opt_fields_json(projected)),
+                ]),
+            )]),
+            IndexKind::Dict { fields } => {
+                Json::obj([("Dict", Json::obj([("fields", fields_json(fields))]))])
+            }
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<IndexKind> {
+        let (tag, payload) = variant(j, "index kind")?;
+        match tag {
+            "Selection" => Ok(IndexKind::Selection {
+                key: string_field(payload, "key")?,
+                covered: field(payload, "covered")?
+                    .as_arr()
+                    .ok_or_else(|| decode_err("`covered` is not an array"))?
+                    .iter()
+                    .map(RangeRepr::from_json)
+                    .collect::<Result<Vec<_>>>()?,
+                projected_fields: opt_string_array(payload, "projected_fields")?,
+            }),
+            "Projection" => Ok(IndexKind::Projection {
+                fields: string_array(field(payload, "fields")?, "fields")?,
+            }),
+            "Delta" => Ok(IndexKind::Delta {
+                fields: string_array(field(payload, "fields")?, "fields")?,
+                projected: opt_string_array(payload, "projected")?,
+            }),
+            "Dict" => Ok(IndexKind::Dict {
+                fields: string_array(field(payload, "fields")?, "fields")?,
+            }),
+            other => Err(decode_err(&format!("unknown index kind `{other}`"))),
+        }
+    }
+}
+
+impl CatalogEntry {
+    fn to_json(&self) -> Result<Json> {
+        Ok(Json::obj([
+            ("input_path", path_json(&self.input_path, "input path")?),
+            ("index_path", path_json(&self.index_path, "index path")?),
+            ("kind", self.kind.to_json()),
+            ("index_bytes", Json::Int(self.index_bytes as i64)),
+            ("input_bytes", Json::Int(self.input_bytes as i64)),
+        ]))
+    }
+
+    fn from_json(j: &Json) -> Result<CatalogEntry> {
+        let bytes = |key: &str| -> Result<u64> {
+            field(j, key)?
+                .as_u64()
+                .ok_or_else(|| decode_err(&format!("field `{key}` is not a byte count")))
+        };
+        Ok(CatalogEntry {
+            input_path: PathBuf::from(string_field(j, "input_path")?),
+            index_path: PathBuf::from(string_field(j, "index_path")?),
+            kind: IndexKind::from_json(field(j, "kind")?)?,
+            index_bytes: bytes("index_bytes")?,
+            input_bytes: bytes("input_bytes")?,
+        })
+    }
+}
+
+impl CatalogFile {
+    fn to_json(&self) -> Result<Json> {
+        Ok(Json::obj([(
+            "entries",
+            Json::Arr(
+                self.entries
+                    .iter()
+                    .map(CatalogEntry::to_json)
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+        )]))
+    }
+
+    fn from_json(j: &Json) -> Result<CatalogFile> {
+        Ok(CatalogFile {
+            entries: field(j, "entries")?
+                .as_arr()
+                .ok_or_else(|| decode_err("`entries` is not an array"))?
+                .iter()
+                .map(CatalogEntry::from_json)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    fn parse(text: &str) -> Result<CatalogFile> {
+        let value = mr_json::parse(text)
+            .map_err(|e| ManimalError::Catalog(format!("catalog parse: {e}")))?;
+        CatalogFile::from_json(&value)
+    }
 }
 
 /// The filesystem catalog.
@@ -239,7 +466,7 @@ impl Catalog {
         let path = path.as_ref().to_path_buf();
         let inner = if path.exists() {
             let text = std::fs::read_to_string(&path)?;
-            match serde_json::from_str(&text) {
+            match CatalogFile::parse(&text) {
                 Ok(parsed) => parsed,
                 Err(e) => {
                     // A stale or corrupt catalog (e.g. written by an
@@ -302,8 +529,7 @@ impl Catalog {
 
     fn save(&self) -> Result<()> {
         let inner = self.inner.lock();
-        let text = serde_json::to_string_pretty(&*inner)
-            .map_err(|e| ManimalError::Catalog(format!("serialize: {e}")))?;
+        let text = inner.to_json()?.to_string_pretty();
         if let Some(parent) = self.path.parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -419,7 +645,6 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod range_repr_tests {
     use super::*;
@@ -439,17 +664,32 @@ mod range_repr_tests {
 
     #[test]
     fn range_repr_json_roundtrip() {
-        let r = RangeRepr::from_bounds(
-            &ScanBound::Excl(Value::Int(1)),
-            &ScanBound::Unbounded,
-        )
-        .unwrap();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: RangeRepr = serde_json::from_str(&json).unwrap();
+        let r =
+            RangeRepr::from_bounds(&ScanBound::Excl(Value::Int(1)), &ScanBound::Unbounded).unwrap();
+        let json = r.to_json().to_string_compact();
+        let back = RangeRepr::from_json(&mr_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
         let (lo, hi) = back.to_bounds().unwrap();
         assert_eq!(lo, ScanBound::Excl(Value::Int(1)));
         assert_eq!(hi, ScanBound::Unbounded);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_path_rejected_not_corrupted() {
+        use std::os::unix::ffi::OsStrExt;
+        let bad = PathBuf::from(std::ffi::OsStr::from_bytes(b"/data/lo\xffgs.seq"));
+        let entry = CatalogEntry {
+            input_path: bad,
+            index_path: PathBuf::from("/data/logs.seq.idx"),
+            kind: IndexKind::Dict {
+                fields: vec!["u".into()],
+            },
+            index_bytes: 1,
+            input_bytes: 2,
+        };
+        let err = entry.to_json().unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"), "{err}");
     }
 
     #[test]
@@ -458,7 +698,6 @@ mod range_repr_tests {
         assert!(BoundRepr::Incl("abc".into()).to_bound().is_err());
     }
 }
-
 
 #[cfg(test)]
 mod display_tests {
@@ -481,7 +720,10 @@ mod display_tests {
         assert!(text.contains("(90, +inf)"), "{text}");
 
         assert_eq!(
-            IndexKind::Dict { fields: vec!["u".into()] }.to_string(),
+            IndexKind::Dict {
+                fields: vec!["u".into()]
+            }
+            .to_string(),
             "dictionary file on [u]"
         );
     }

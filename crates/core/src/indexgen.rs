@@ -20,10 +20,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mr_analysis::expr::Expr;
-use mr_analysis::{
-    AnalysisReport, SelectOutcome,
-};
-use mr_engine::mapper::{Mapper, MapperFactory, MapStats};
+use mr_analysis::{AnalysisReport, SelectOutcome};
+use mr_engine::mapper::{MapStats, Mapper, MapperFactory};
 use mr_engine::{run_job, InputBinding, InputSpec, JobConfig, OutputSpec};
 use mr_ir::record::Record;
 use mr_ir::value::Value;
@@ -297,7 +295,9 @@ impl IndexGenProgram {
 
     fn build_projection(&self, fields: &[String], input_bytes: u64) -> Result<CatalogEntry> {
         let meta = SeqFileMeta::open(&self.input)?;
-        let records = meta.read_all()?.collect::<mr_storage::Result<Vec<Record>>>()?;
+        let records = meta
+            .read_all()?
+            .collect::<mr_storage::Result<Vec<Record>>>()?;
         mr_storage::colfile::write_projected(&self.output, &meta.schema, fields, records)?;
         Ok(CatalogEntry {
             input_path: self.input.clone(),
@@ -319,8 +319,7 @@ impl IndexGenProgram {
             Some(kept) => Arc::new(meta.schema.project(kept)),
             None => Arc::clone(&meta.schema),
         };
-        let mut writer =
-            DeltaFileWriter::create(&self.output, Arc::clone(&schema), fields)?;
+        let mut writer = DeltaFileWriter::create(&self.output, Arc::clone(&schema), fields)?;
         for rec in meta.read_all()? {
             let rec = rec?;
             let stored = if projected.is_some() {
@@ -537,8 +536,7 @@ mod tests {
         )
         .with_key_dropped_from_output();
         let report = analyze(&program);
-        let programs =
-            plan_index_programs(&report, Path::new("/data/in.seq"), Path::new("/work"));
+        let programs = plan_index_programs(&report, Path::new("/data/in.seq"), Path::new("/work"));
         assert_eq!(programs.len(), 2, "main combo + dict");
         assert!(programs
             .iter()

@@ -100,9 +100,9 @@ pub fn choose_plan(
                 // Prefer the combined selection+projection entry.
                 let mut candidates: Vec<&CatalogEntry> = indexes
                     .iter()
-                    .filter(|e| {
-                        matches!(&e.kind, IndexKind::Selection { key, .. } if *key == key_str)
-                    })
+                    .filter(
+                        |e| matches!(&e.kind, IndexKind::Selection { key, .. } if *key == key_str),
+                    )
                     .collect();
                 candidates.sort_by_key(|e| {
                     // projected first
@@ -128,13 +128,11 @@ pub fn choose_plan(
                     // The index materializes a view; it is usable only
                     // when every range this program needs is contained
                     // in a range the view covers.
-                    let covered_bounds: Vec<(ScanBound, ScanBound)> = covered
+                    let covered_bounds: Vec<(ScanBound, ScanBound)> =
+                        covered.iter().filter_map(|r| r.to_bounds().ok()).collect();
+                    let all_covered = required
                         .iter()
-                        .filter_map(|r| r.to_bounds().ok())
-                        .collect();
-                    let all_covered = required.iter().all(|req| {
-                        covered_bounds.iter().any(|cov| range_covers(cov, req))
-                    });
+                        .all(|req| covered_bounds.iter().any(|cov| range_covers(cov, req)));
                     if !all_covered {
                         continue;
                     }
@@ -219,11 +217,8 @@ pub fn choose_plan(
                 if direct.fields.iter().all(|f| fields.contains(f))
                     && fields.iter().all(|f| direct.fields.contains(f))
                 {
-                    let mapper = rewrite_dict_constants(
-                        &program.mapper,
-                        fields,
-                        &entry.index_path,
-                    )?;
+                    let mapper =
+                        rewrite_dict_constants(&program.mapper, fields, &entry.index_path)?;
                     return Ok(ExecutionDescriptor {
                         input: InputSpec::Dict {
                             path: entry.index_path.clone(),
@@ -336,20 +331,19 @@ fn rewrite_dict_constants(
         }
         for (a, b) in [(lhs, rhs), (rhs, lhs)] {
             let a_defs = rd.reaching(func, &cfg, pc, *a);
-            let field = a_defs.iter().try_fold(None::<String>, |acc, &d| {
-                match &func.instrs[d] {
+            let field = a_defs
+                .iter()
+                .try_fold(None::<String>, |acc, &d| match &func.instrs[d] {
                     Instr::GetField { obj, field, .. } if dict_fields.contains(field) => {
-                        let from_value = rd.reaching(func, &cfg, d, *obj).into_iter().all(
-                            |od| {
-                                matches!(
-                                    func.instrs[od],
-                                    Instr::LoadParam {
-                                        param: ParamId::Value,
-                                        ..
-                                    }
-                                )
-                            },
-                        );
+                        let from_value = rd.reaching(func, &cfg, d, *obj).into_iter().all(|od| {
+                            matches!(
+                                func.instrs[od],
+                                Instr::LoadParam {
+                                    param: ParamId::Value,
+                                    ..
+                                }
+                            )
+                        });
                         if !from_value {
                             return Err(());
                         }
@@ -359,12 +353,10 @@ fn rewrite_dict_constants(
                         }
                     }
                     _ => Err(()),
-                }
-            });
+                });
             let Ok(Some(field)) = field else { continue };
             for d in rd.reaching(func, &cfg, pc, *b) {
-                if matches!(&func.instrs[d], Instr::Const { val, .. } if val.as_str().is_some())
-                {
+                if matches!(&func.instrs[d], Instr::Const { val, .. } if val.as_str().is_some()) {
                     rewrites.push((d, field.clone()));
                 }
             }
@@ -403,10 +395,7 @@ mod tests {
 
     #[test]
     fn coverage_logic() {
-        let cov = (
-            ScanBound::Excl(Value::Int(10)),
-            ScanBound::Unbounded,
-        );
+        let cov = (ScanBound::Excl(Value::Int(10)), ScanBound::Unbounded);
         // Narrower required range: covered.
         assert!(range_covers(
             &cov,
@@ -424,7 +413,10 @@ mod tests {
         ));
         assert!(range_covers(
             &cov,
-            &(ScanBound::Excl(Value::Int(10)), ScanBound::Incl(Value::Int(99)))
+            &(
+                ScanBound::Excl(Value::Int(10)),
+                ScanBound::Incl(Value::Int(99))
+            )
         ));
     }
 
@@ -451,7 +443,8 @@ mod tests {
         let mut w =
             DictFileWriter::create(&path, Arc::clone(&schema), &["destURL".into()]).unwrap();
         for u in ["http://a", "http://b"] {
-            w.append(&record(&schema, vec![u.into(), 1.into()])).unwrap();
+            w.append(&record(&schema, vec![u.into(), 1.into()]))
+                .unwrap();
         }
         w.finish().unwrap();
 
@@ -473,8 +466,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let rewritten =
-            rewrite_dict_constants(&func, &["destURL".to_string()], &path).unwrap();
+        let rewritten = rewrite_dict_constants(&func, &["destURL".to_string()], &path).unwrap();
         // The compared constant becomes its code (http://b inserted
         // second → code 1)…
         assert_eq!(

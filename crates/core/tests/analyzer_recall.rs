@@ -26,10 +26,7 @@ fn benchmark1_selection_detected_despite_opaque_tuple() {
     assert!(desc.index_useful());
     // The indexed value is the accessor expression, not a schema field.
     let plan = desc.plan.as_ref().unwrap();
-    assert_eq!(
-        plan.key.to_string(),
-        "tuple.get_int(value, \"pageRank\")"
-    );
+    assert_eq!(plan.key.to_string(), "tuple.get_int(value, \"pageRank\")");
     assert_eq!(plan.ranges[0].to_string(), "(9998, +inf)");
 }
 
@@ -91,7 +88,10 @@ fn benchmark4_selection_undetected_with_hashtable_witness() {
     }
     // A human DOES see the selection (paper: "the only serious
     // optimization overlooked by Manimal").
-    assert_eq!(pavlo::benchmark4_annotation().select, pavlo::Presence::Present);
+    assert_eq!(
+        pavlo::benchmark4_annotation().select,
+        pavlo::Presence::Present
+    );
     // Projection/delta genuinely absent.
     assert_eq!(report.projection, ProjectOutcome::AllFieldsNeeded);
     assert_eq!(report.delta, DeltaOutcome::NoNumericFields);

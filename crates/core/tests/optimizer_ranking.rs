@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use manimal::{Builtin, Manimal};
 use mr_engine::InputSpec;
-use mr_workloads::data::{generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig};
+use mr_workloads::data::{
+    generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig,
+};
 use mr_workloads::queries::{
     duration_sum_query, projection_query, selection_query, threshold_for_selectivity,
 };
@@ -207,8 +209,14 @@ fn deleted_artifact_falls_back_to_full_scan() {
     // Sabotage: remove the artifact but leave the catalog entry.
     std::fs::remove_file(&entries[0].index_path).unwrap();
     let plan = manimal.plan(&submission).unwrap();
-    assert!(plan.applied.is_empty(), "must fall back: {:?}", plan.applied);
+    assert!(
+        plan.applied.is_empty(),
+        "must fall back: {:?}",
+        plan.applied
+    );
     // And the job still runs correctly.
-    let run = manimal.execute(&submission, Arc::new(Builtin::Count)).unwrap();
+    let run = manimal
+        .execute(&submission, Arc::new(Builtin::Count))
+        .unwrap();
     assert!(!run.result.output.is_empty());
 }

@@ -85,10 +85,9 @@ impl Cfg {
                         leaders.insert(pc + 1);
                     }
                 }
-                Instr::Ret
-                    if pc + 1 < n => {
-                        leaders.insert(pc + 1);
-                    }
+                Instr::Ret if pc + 1 < n => {
+                    leaders.insert(pc + 1);
+                }
                 _ => {}
             }
         }
@@ -204,8 +203,7 @@ impl Cfg {
                                 break;
                             }
                         }
-                        let cyclic = comp.len() > 1
-                            || self.succs[comp[0]].contains(&comp[0]);
+                        let cyclic = comp.len() > 1 || self.succs[comp[0]].contains(&comp[0]);
                         if cyclic {
                             for w in comp {
                                 in_cycle[w] = true;

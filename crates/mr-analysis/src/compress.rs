@@ -155,18 +155,15 @@ pub fn find_direct(program: &Program) -> DirectOutcome {
                 Instr::GetField { dst, obj, field } if field == &fd.name => {
                     // Only loads off the value param count; loads off
                     // other records are a different class's field.
-                    let from_value = rd
-                        .reaching(func, &cfg, pc, *obj)
-                        .into_iter()
-                        .all(|d| {
-                            matches!(
-                                func.instrs[d],
-                                Instr::LoadParam {
-                                    param: ParamId::Value,
-                                    ..
-                                }
-                            )
-                        });
+                    let from_value = rd.reaching(func, &cfg, pc, *obj).into_iter().all(|d| {
+                        matches!(
+                            func.instrs[d],
+                            Instr::LoadParam {
+                                param: ParamId::Value,
+                                ..
+                            }
+                        )
+                    });
                     from_value.then_some((pc, *dst))
                 }
                 _ => None,
@@ -176,10 +173,9 @@ pub fn find_direct(program: &Program) -> DirectOutcome {
             continue; // unused → projection's business, not direct-op's
         }
         let mut constants: Vec<String> = Vec::new();
-        if loads
-            .iter()
-            .all(|&(pc, dst)| equality_only(program, func, &cfg, &rd, pc, dst, &fd.name, &mut constants))
-        {
+        if loads.iter().all(|&(pc, dst)| {
+            equality_only(program, func, &cfg, &rd, pc, dst, &fd.name, &mut constants)
+        }) {
             fields.push(fd.name.clone());
             constants.sort();
             constants.dedup();
@@ -255,8 +251,7 @@ fn equality_only(
                     if *value == r {
                         return false; // emitted as value: reduce sees it
                     }
-                    if *key == r
-                        && (program.requires_sorted_output || program.key_in_final_output)
+                    if *key == r && (program.requires_sorted_output || program.key_in_final_output)
                     {
                         // Sorted output needs the real ordering, and a
                         // key that reaches the final output would leak
@@ -306,9 +301,7 @@ mod tests {
 
     #[test]
     fn delta_opaque_refused() {
-        let schema = Arc::new(
-            Schema::new("T", vec![("n", FieldType::Int)]).opaque(),
-        );
+        let schema = Arc::new(Schema::new("T", vec![("n", FieldType::Int)]).opaque());
         let p = program_with("func map(key, value) {\n  ret\n}\n", schema);
         assert_eq!(find_delta(&p), DeltaOutcome::Opaque);
     }
@@ -491,9 +484,7 @@ mod tests {
 
     #[test]
     fn direct_opaque_refused() {
-        let schema = Arc::new(
-            Schema::new("T", vec![("s", FieldType::Str)]).opaque(),
-        );
+        let schema = Arc::new(Schema::new("T", vec![("s", FieldType::Str)]).opaque());
         let p = program_with("func map(key, value) {\n  ret\n}\n", schema);
         assert_eq!(find_direct(&p), DirectOutcome::Opaque);
     }

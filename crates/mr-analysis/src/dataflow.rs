@@ -243,11 +243,7 @@ mod tests {
             "#,
         );
         // The emit at pc 6 is reached by both defs of r2 (pcs 3 and 5).
-        let emit_pc = f
-            .instrs
-            .iter()
-            .position(|i| i.is_emit())
-            .unwrap();
+        let emit_pc = f.instrs.iter().position(|i| i.is_emit()).unwrap();
         let mut defs = rd.reaching(&f, &cfg, emit_pc, Reg(2));
         defs.sort_unstable();
         assert_eq!(defs, vec![3, 5]);

@@ -64,9 +64,7 @@ impl fmt::Display for AnalysisReport {
         match &self.direct {
             DirectOutcome::Direct(d) => writeln!(f, "  direct-op: {d}")?,
             DirectOutcome::NonePresent => writeln!(f, "  direct-op: none")?,
-            DirectOutcome::Opaque => {
-                writeln!(f, "  direct-op: undetected (opaque serialization)")?
-            }
+            DirectOutcome::Opaque => writeln!(f, "  direct-op: undetected (opaque serialization)")?,
         }
         if !self.side_effects.is_empty() {
             writeln!(f, "  side effects: {} detected", self.side_effects.len())?;

@@ -165,7 +165,8 @@ impl Expr {
                     expected: "record",
                     got: o.kind_name(),
                 })?;
-                rec.get(name).cloned()
+                rec.get(name)
+                    .cloned()
                     .map_err(|_| IrError::NoSuchField(name.clone()))
             }
             Expr::Bin(op, a, b) => {

@@ -108,7 +108,10 @@ pub fn conds_on_path(func: &Function, cfg: &Cfg, path: &[BlockId]) -> Vec<PathCo
                 continue;
             }
             let polarity = then_block == next;
-            debug_assert!(polarity || else_block == next, "path edge must match branch");
+            debug_assert!(
+                polarity || else_block == next,
+                "path edge must match branch"
+            );
             out.push(PathCond {
                 br_pc: last_pc,
                 cond: *cond,
@@ -287,9 +290,7 @@ mod tests {
             }
         "#;
         let (_f, cfg) = build(src);
-        let emit_block = cfg.block_of(
-            _f.instrs.iter().position(|i| i.is_emit()).unwrap(),
-        );
+        let emit_block = cfg.block_of(_f.instrs.iter().position(|i| i.is_emit()).unwrap());
         assert_eq!(paths_to(&cfg, emit_block, 64).unwrap().len(), 8);
         assert!(matches!(
             paths_to(&cfg, emit_block, 4),

@@ -241,11 +241,7 @@ mod tests {
     #[test]
     fn and_or_expansion() {
         // (a AND b) with polarity false → !a OR !b.
-        let e = Expr::Bin(
-            BinOp::And,
-            Box::new(rank_gt(1)),
-            Box::new(rank_gt(10)),
-        );
+        let e = Expr::Bin(BinOp::And, Box::new(rank_gt(1)), Box::new(rank_gt(10)));
         let d = normalize(&e, false).unwrap();
         assert_eq!(d.conjuncts.len(), 2);
         // With polarity true → one conjunct of two predicates.
@@ -314,11 +310,7 @@ mod tests {
     fn complexity_budget_enforced() {
         // Chain of ORs, each AND-composed: (a1 OR a2) AND (a1 OR a2) …
         // grows as 2^k conjuncts.
-        let pair = Expr::Bin(
-            BinOp::Or,
-            Box::new(rank_gt(1)),
-            Box::new(rank_gt(2)),
-        );
+        let pair = Expr::Bin(BinOp::Or, Box::new(rank_gt(1)), Box::new(rank_gt(2)));
         let mut acc = Dnf::always();
         let mut overflowed = false;
         for _ in 0..12 {
@@ -337,10 +329,7 @@ mod tests {
     fn non_comparison_condition_wraps_in_not() {
         let call = Expr::Call(
             "str.contains".into(),
-            vec![
-                Expr::value_field("url"),
-                Expr::Const(Value::str("x")),
-            ],
+            vec![Expr::value_field("url"), Expr::Const(Value::str("x"))],
         );
         let d = normalize(&call, false).unwrap();
         assert!(matches!(d.conjuncts[0][0], Expr::Not(_)));

@@ -115,10 +115,7 @@ mod tests {
     #[test]
     fn impure_call_fails() {
         let e = Expr::Call("time.now_millis".into(), vec![]);
-        assert!(matches!(
-            check_expr(&e),
-            Err(NonFunctional::UnknownCall(_))
-        ));
+        assert!(matches!(check_expr(&e), Err(NonFunctional::UnknownCall(_))));
     }
 
     #[test]

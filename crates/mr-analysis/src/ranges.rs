@@ -205,9 +205,8 @@ pub fn extract_index_plan(dnf: &Dnf) -> Option<IndexPlan> {
             })
             .count()
     };
-    let prefers_field = |e: &Expr| {
-        matches!(e, Expr::Field(obj, _) if matches!(**obj, Expr::Param(ParamId::Value)))
-    };
+    let prefers_field =
+        |e: &Expr| matches!(e, Expr::Field(obj, _) if matches!(**obj, Expr::Param(ParamId::Value)));
     let best = candidates
         .into_iter()
         .max_by(|a, b| {
@@ -311,9 +310,7 @@ fn cmp_low(a: &Endpoint, b: &Endpoint) -> Ordering {
         (Endpoint::Open, Endpoint::Open) => Ordering::Equal,
         (Endpoint::Open, _) => Ordering::Less,
         (_, Endpoint::Open) => Ordering::Greater,
-        (Endpoint::Incl(x), Endpoint::Incl(y)) | (Endpoint::Excl(x), Endpoint::Excl(y)) => {
-            x.cmp(y)
-        }
+        (Endpoint::Incl(x), Endpoint::Incl(y)) | (Endpoint::Excl(x), Endpoint::Excl(y)) => x.cmp(y),
         (Endpoint::Incl(x), Endpoint::Excl(y)) => x.cmp(y).then(Ordering::Less),
         (Endpoint::Excl(x), Endpoint::Incl(y)) => x.cmp(y).then(Ordering::Greater),
     }
@@ -324,9 +321,7 @@ fn cmp_high(a: &Endpoint, b: &Endpoint) -> Ordering {
         (Endpoint::Open, Endpoint::Open) => Ordering::Equal,
         (Endpoint::Open, _) => Ordering::Greater,
         (_, Endpoint::Open) => Ordering::Less,
-        (Endpoint::Incl(x), Endpoint::Incl(y)) | (Endpoint::Excl(x), Endpoint::Excl(y)) => {
-            x.cmp(y)
-        }
+        (Endpoint::Incl(x), Endpoint::Incl(y)) | (Endpoint::Excl(x), Endpoint::Excl(y)) => x.cmp(y),
         (Endpoint::Incl(x), Endpoint::Excl(y)) => x.cmp(y).then(Ordering::Greater),
         (Endpoint::Excl(x), Endpoint::Incl(y)) => x.cmp(y).then(Ordering::Less),
     }
@@ -482,10 +477,7 @@ mod tests {
         // tuple.get_int(value, "rank"), not a schema field.
         let key = Expr::Call(
             "tuple.get_int".into(),
-            vec![
-                Expr::Param(ParamId::Value),
-                Expr::Const(Value::str("rank")),
-            ],
+            vec![Expr::Param(ParamId::Value), Expr::Const(Value::str("rank"))],
         );
         let pred = Expr::Cmp(
             CmpOp::Gt,

@@ -26,8 +26,8 @@ use crate::expr::{Expr, PathResolver, ResolveError};
 use crate::paths::{conds_on_path, paths_to, PathError};
 use crate::predicate::{conjoin_path, Dnf, TooComplex};
 use crate::purity::{check_dag, check_expr, NonFunctional};
-use crate::usedef::{DagOptions, UseDef};
 use crate::ranges::{extract_index_plan, IndexPlan};
+use crate::usedef::{DagOptions, UseDef};
 
 /// Default cap on simple paths per emit site.
 pub const DEFAULT_PATH_CAP: usize = 512;
@@ -46,9 +46,7 @@ impl SelectionDescriptor {
     /// Whether an index would actually skip records (a key was found and
     /// at least one range is narrower than a full scan).
     pub fn index_useful(&self) -> bool {
-        self.plan
-            .as_ref()
-            .is_some_and(|p| !p.is_full_scan())
+        self.plan.as_ref().is_some_and(|p| !p.is_full_scan())
     }
 }
 
@@ -209,9 +207,7 @@ pub fn find_select_with_cap(program: &Program, path_cap: usize) -> SelectOutcome
                                     misses.push(SelectMiss::NotFunctional(nf));
                                 }
                             }
-                            Err(e) => {
-                                misses.push(miss_of(emit_pc, reg, resolve_miss(e)))
-                            }
+                            Err(e) => misses.push(miss_of(emit_pc, reg, resolve_miss(e))),
                         }
                     }
                 }
@@ -347,9 +343,9 @@ mod tests {
             "#,
         );
         match find_select(&p) {
-            SelectOutcome::Unknown(SelectMiss::NotFunctional(
-                NonFunctional::MemberDependence(m),
-            )) => assert_eq!(m, "numMapsRun"),
+            SelectOutcome::Unknown(SelectMiss::NotFunctional(NonFunctional::MemberDependence(
+                m,
+            ))) => assert_eq!(m, "numMapsRun"),
             other => panic!("expected member-dependence rejection, got {other:?}"),
         }
     }
@@ -422,7 +418,8 @@ mod tests {
         // rank > 100 OR (rank <= 100 AND rank < 2).
         assert_eq!(d.dnf.conjuncts.len(), 2);
         let s = webpage_schema();
-        let mk = |rank: i64| -> Value { record(&s, vec!["u".into(), rank.into(), "c".into()]).into() };
+        let mk =
+            |rank: i64| -> Value { record(&s, vec!["u".into(), rank.into(), "c".into()]).into() };
         assert!(d.dnf.eval(&Value::Null, &mk(200)).unwrap());
         assert!(d.dnf.eval(&Value::Null, &mk(1)).unwrap());
         assert!(!d.dnf.eval(&Value::Null, &mk(50)).unwrap());
@@ -451,9 +448,12 @@ mod tests {
             "#,
         );
         match find_select(&p) {
-            SelectOutcome::Unknown(SelectMiss::NotFunctional(NonFunctional::UnknownCall(
-                c,
-            ))) => assert!(c.starts_with("ht."), "witness should be the ht call, got {c}"),
+            SelectOutcome::Unknown(SelectMiss::NotFunctional(NonFunctional::UnknownCall(c))) => {
+                assert!(
+                    c.starts_with("ht."),
+                    "witness should be the ht call, got {c}"
+                )
+            }
             other => panic!("expected unknown-call rejection, got {other:?}"),
         }
     }
@@ -514,9 +514,9 @@ mod tests {
             "#,
         );
         match find_select(&p) {
-            SelectOutcome::Unknown(SelectMiss::NotFunctional(
-                NonFunctional::MemberDependence(_),
-            )) => {}
+            SelectOutcome::Unknown(SelectMiss::NotFunctional(NonFunctional::MemberDependence(
+                _,
+            ))) => {}
             other => panic!("expected rejection, got {other:?}"),
         }
     }
@@ -596,7 +596,10 @@ mod tests {
         let n = 12;
         for i in 0..n {
             src.push_str(&format!("  r{} = field r0.f{i}\n", i + 1));
-            src.push_str(&format!("  br r{}, a{i}, b{i}\na{i}:\n  jmp m{i}\nb{i}:\n  jmp m{i}\nm{i}:\n", i + 1));
+            src.push_str(&format!(
+                "  br r{}, a{i}, b{i}\na{i}:\n  jmp m{i}\nb{i}:\n  jmp m{i}\nm{i}:\n",
+                i + 1
+            ));
         }
         src.push_str("  r100 = const 1\n  emit r100, r100\n  ret\n}\n");
         let p = program(&src);

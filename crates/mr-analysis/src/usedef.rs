@@ -164,7 +164,9 @@ impl<'a> UseDef<'a> {
                             }
                         }
                     }
-                    Instr::Call { func: name, args, .. } => {
+                    Instr::Call {
+                        func: name, args, ..
+                    } => {
                         summary.calls.insert(name.clone());
                         for a in args {
                             if self.may_hold(def_pc, *a).value {

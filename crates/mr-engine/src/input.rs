@@ -146,9 +146,7 @@ impl InputSpec {
     pub fn observed_schema(&self) -> Result<Arc<Schema>> {
         match self {
             InputSpec::SeqFile { path } => Ok(Arc::clone(&SeqFileMeta::open(path)?.schema)),
-            InputSpec::BTreeRanges { path, .. } => {
-                Ok(Arc::clone(BTreeIndex::open(path)?.schema()))
-            }
+            InputSpec::BTreeRanges { path, .. } => Ok(Arc::clone(BTreeIndex::open(path)?.schema())),
             InputSpec::Projected { source_schema, .. } => Ok(Arc::clone(source_schema)),
             InputSpec::Delta { path, widen_to } => match widen_to {
                 Some(s) => Ok(Arc::clone(s)),
@@ -352,10 +350,7 @@ mod tests {
                     ScanBound::Incl(Value::Int(10)),
                     ScanBound::Excl(Value::Int(15)),
                 ),
-                (
-                    ScanBound::Incl(Value::Int(990)),
-                    ScanBound::Unbounded,
-                ),
+                (ScanBound::Incl(Value::Int(990)), ScanBound::Unbounded),
             ],
         };
         let readers = spec.open(4).unwrap();

@@ -174,11 +174,7 @@ mod tests {
         let s = Schema::new("W", vec![("rank", FieldType::Int)]).into_arc();
         let mut out = Vec::new();
         let stats = m
-            .map(
-                &Value::Int(0),
-                &record(&s, vec![7.into()]).into(),
-                &mut out,
-            )
+            .map(&Value::Int(0), &record(&s, vec![7.into()]).into(), &mut out)
             .unwrap();
         assert_eq!(stats.instructions, 4);
         assert_eq!(out, vec![(Value::Int(7), Value::Int(7))]);

@@ -150,11 +150,7 @@ pub struct FnReducerFactory<F>(pub F);
 
 impl<F> ReducerFactory for FnReducerFactory<F>
 where
-    F: Fn(&Value, &[Value], &mut Vec<(Value, Value)>) -> Result<()>
-        + Send
-        + Sync
-        + Clone
-        + 'static,
+    F: Fn(&Value, &[Value], &mut Vec<(Value, Value)>) -> Result<()> + Send + Sync + Clone + 'static,
 {
     fn create(&self) -> Box<dyn Reducer> {
         Box::new(FnReducer(self.0.clone()))
@@ -173,7 +169,11 @@ mod tests {
 
     #[test]
     fn sum_ints_and_floats() {
-        let out = run(Builtin::Sum, Value::str("k"), vec![1.into(), 2.into(), 3.into()]);
+        let out = run(
+            Builtin::Sum,
+            Value::str("k"),
+            vec![1.into(), 2.into(), 3.into()],
+        );
         assert_eq!(out, vec![(Value::str("k"), Value::Int(6))]);
         let out = run(
             Builtin::Sum,
@@ -229,6 +229,9 @@ mod tests {
     fn empty_groups_are_quiet() {
         assert!(run(Builtin::Max, Value::Int(0), vec![]).is_empty());
         assert!(run(Builtin::First, Value::Int(0), vec![]).is_empty());
-        assert_eq!(run(Builtin::Count, Value::Int(0), vec![])[0].1, Value::Int(0));
+        assert_eq!(
+            run(Builtin::Count, Value::Int(0), vec![])[0].1,
+            Value::Int(0)
+        );
     }
 }

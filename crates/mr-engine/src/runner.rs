@@ -61,8 +61,9 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     }
 
     // ---- map phase ------------------------------------------------------
-    let buckets: Vec<PlMutex<Vec<(Value, Value)>>> =
-        (0..num_reducers).map(|_| PlMutex::new(Vec::new())).collect();
+    let buckets: Vec<PlMutex<Vec<(Value, Value)>>> = (0..num_reducers)
+        .map(|_| PlMutex::new(Vec::new()))
+        .collect();
     let queue = Mutex::new(tasks);
     let failed: PlMutex<Option<EngineError>> = PlMutex::new(None);
     let abort = AtomicBool::new(false);
@@ -96,8 +97,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                             effects += stats.side_effects;
                             outputs += emit_buf.len() as u64;
                             for (ok, ov) in emit_buf.drain(..) {
-                                shuffle_bytes +=
-                                    (ok.payload_size() + ov.payload_size()) as u64 + 2;
+                                shuffle_bytes += (ok.payload_size() + ov.payload_size()) as u64 + 2;
                                 local[partition(&ok, num_reducers)].push((ok, ov));
                             }
                         }
@@ -131,8 +131,9 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     }
 
     // ---- sort + reduce phase ---------------------------------------------
-    let reduce_outputs: Vec<PlMutex<Vec<(Value, Value)>>> =
-        (0..num_reducers).map(|_| PlMutex::new(Vec::new())).collect();
+    let reduce_outputs: Vec<PlMutex<Vec<(Value, Value)>>> = (0..num_reducers)
+        .map(|_| PlMutex::new(Vec::new()))
+        .collect();
     let partitions: Mutex<VecDeque<usize>> = Mutex::new((0..num_reducers).collect());
 
     std::thread::scope(|scope| {
@@ -160,8 +161,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                         // Move the group's values out without cloning.
                         let values: Vec<Value> =
                             pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-                        reducer
-                            .reduce(&key, &values, &mut out)?;
+                        reducer.reduce(&key, &values, &mut out)?;
                         i = j;
                     }
                     Ok(())
@@ -360,11 +360,7 @@ mod tests {
         let result = run_job(&job).unwrap();
         assert_eq!(result.output.len(), 10, "ten distinct urls");
         assert_eq!(result.counters.map_input_records, 1000);
-        let total: i64 = result
-            .output
-            .iter()
-            .map(|(_, v)| v.as_int().unwrap())
-            .sum();
+        let total: i64 = result.output.iter().map(|(_, v)| v.as_int().unwrap()).sum();
         // Sum of (i % 100) over 0..500, twice.
         let expected: i64 = (0..500).map(|i| i % 100).sum::<i64>() * 2;
         assert_eq!(total, expected);

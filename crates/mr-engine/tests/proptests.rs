@@ -22,11 +22,7 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn schema() -> Arc<Schema> {
-    Schema::new(
-        "T",
-        vec![("k", FieldType::Str), ("v", FieldType::Int)],
-    )
-    .into_arc()
+    Schema::new("T", vec![("k", FieldType::Str), ("v", FieldType::Int)]).into_arc()
 }
 
 fn group_sum_mapper() -> mr_ir::function::Function {

@@ -102,10 +102,7 @@ pub fn parse_function(src: &str) -> Result<Function, AsmError> {
                         "member declarations must precede instructions",
                     ));
                 }
-                members.push((
-                    mname.trim().to_string(),
-                    parse_literal(rhs, line_no)?,
-                ));
+                members.push((mname.trim().to_string(), parse_literal(rhs, line_no)?));
                 continue;
             }
             // Fall through to instruction parsing below.
@@ -283,10 +280,7 @@ fn parse_call_args(argstr: &str, line: usize) -> Result<Vec<Reg>, AsmError> {
     if argstr.is_empty() {
         return Ok(vec![]);
     }
-    argstr
-        .split(',')
-        .map(|a| parse_reg(a, line))
-        .collect()
+    argstr.split(',').map(|a| parse_reg(a, line)).collect()
 }
 
 fn parse_instr_line(line: &str, ln: usize) -> Result<PendingInstr, AsmError> {
@@ -500,10 +494,7 @@ mod tests {
         assert_eq!(parse_literal("2.5", 1).unwrap(), Value::Double(2.5));
         assert_eq!(parse_literal("true", 1).unwrap(), Value::Bool(true));
         assert_eq!(parse_literal("null", 1).unwrap(), Value::Null);
-        assert_eq!(
-            parse_literal("\"a b\"", 1).unwrap(),
-            Value::str("a b")
-        );
+        assert_eq!(parse_literal("\"a b\"", 1).unwrap(), Value::str("a b"));
         assert_eq!(
             parse_literal(r#""tab\there""#, 1).unwrap(),
             Value::str("tab\there")

@@ -258,10 +258,7 @@ impl FunctionBuilder {
                 .bound
                 .get(label)
                 .unwrap_or_else(|| panic!("unbound label {label:?}"));
-            assert!(
-                target <= self.instrs.len(),
-                "label {label:?} out of range"
-            );
+            assert!(target <= self.instrs.len(), "label {label:?} out of range");
             match (&mut self.instrs[*at], slot) {
                 (Instr::Jmp { target: t }, _) => *t = target,
                 (Instr::Br { then_tgt, .. }, 0) => *then_tgt = target,

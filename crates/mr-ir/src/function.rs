@@ -49,10 +49,7 @@ impl Function {
 
     /// Initial value of the named member, if declared.
     pub fn member_initial(&self, name: &str) -> Option<&Value> {
-        self.members
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.members.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 }
 

@@ -114,13 +114,11 @@ impl Interpreter {
                 }
                 Instr::GetField { dst, obj, field } => {
                     let v = self.read(*obj)?;
-                    let rec = v
-                        .as_record()
-                        .ok_or_else(|| IrError::Type {
-                            context: format!("field .{field}"),
-                            expected: "record",
-                            got: v.kind_name(),
-                        })?;
+                    let rec = v.as_record().ok_or_else(|| IrError::Type {
+                        context: format!("field .{field}"),
+                        expected: "record",
+                        got: v.kind_name(),
+                    })?;
                     let fv = rec
                         .get(field)
                         .map_err(|_| IrError::NoSuchField(field.clone()))?
@@ -141,9 +139,15 @@ impl Interpreter {
                     let v = self.read(*src)?;
                     self.frame[dst.0 as usize] = Some(Value::Bool(!v.is_truthy()));
                 }
-                Instr::Call { dst, func: name, args } => {
-                    let argv: Vec<Value> =
-                        args.iter().map(|r| self.read(*r)).collect::<Result<_, _>>()?;
+                Instr::Call {
+                    dst,
+                    func: name,
+                    args,
+                } => {
+                    let argv: Vec<Value> = args
+                        .iter()
+                        .map(|r| self.read(*r))
+                        .collect::<Result<_, _>>()?;
                     let result = lib.eval(name, &argv)?;
                     if let Some(dst) = dst {
                         self.frame[dst.0 as usize] = Some(result);
@@ -187,8 +191,10 @@ impl Interpreter {
                     out.emits.push((kv, vv));
                 }
                 Instr::SideEffect { kind, args } => {
-                    let argv: Vec<Value> =
-                        args.iter().map(|r| self.read(*r)).collect::<Result<_, _>>()?;
+                    let argv: Vec<Value> = args
+                        .iter()
+                        .map(|r| self.read(*r))
+                        .collect::<Result<_, _>>()?;
                     out.effects.push((*kind, argv));
                 }
                 Instr::Ret => return Ok(out),
@@ -222,44 +228,42 @@ pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, IrError> {
         }
         BinOp::And => Ok(Value::Bool(l.is_truthy() && r.is_truthy())),
         BinOp::Or => Ok(Value::Bool(l.is_truthy() || r.is_truthy())),
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
-            match (l, r) {
-                (Value::Int(a), Value::Int(b)) => {
-                    let v = match op {
-                        BinOp::Add => a.wrapping_add(*b),
-                        BinOp::Sub => a.wrapping_sub(*b),
-                        BinOp::Mul => a.wrapping_mul(*b),
-                        BinOp::Div => {
-                            if *b == 0 {
-                                return Err(IrError::DivByZero);
-                            }
-                            a.wrapping_div(*b)
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(*b),
+                    BinOp::Sub => a.wrapping_sub(*b),
+                    BinOp::Mul => a.wrapping_mul(*b),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            return Err(IrError::DivByZero);
                         }
-                        BinOp::Rem => {
-                            if *b == 0 {
-                                return Err(IrError::DivByZero);
-                            }
-                            a.wrapping_rem(*b)
+                        a.wrapping_div(*b)
+                    }
+                    BinOp::Rem => {
+                        if *b == 0 {
+                            return Err(IrError::DivByZero);
                         }
-                        _ => unreachable!(),
-                    };
-                    Ok(Value::Int(v))
-                }
-                _ => {
-                    let a = l.as_double().ok_or_else(|| type_err("number", l))?;
-                    let b = r.as_double().ok_or_else(|| type_err("number", r))?;
-                    let v = match op {
-                        BinOp::Add => a + b,
-                        BinOp::Sub => a - b,
-                        BinOp::Mul => a * b,
-                        BinOp::Div => a / b,
-                        BinOp::Rem => a % b,
-                        _ => unreachable!(),
-                    };
-                    Ok(Value::Double(v))
-                }
+                        a.wrapping_rem(*b)
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(v))
             }
-        }
+            _ => {
+                let a = l.as_double().ok_or_else(|| type_err("number", l))?;
+                let b = r.as_double().ok_or_else(|| type_err("number", r))?;
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Double(v))
+            }
+        },
     }
 }
 
@@ -361,7 +365,9 @@ mod tests {
         b.jmp(head);
         let f = b.finish();
         let mut interp = Interpreter::with_config(&f, InterpConfig { fuel: 100 });
-        let err = interp.invoke_map(&f, &Value::Null, &Value::Null).unwrap_err();
+        let err = interp
+            .invoke_map(&f, &Value::Null, &Value::Null)
+            .unwrap_err();
         assert_eq!(err, IrError::FuelExhausted);
     }
 
@@ -381,7 +387,9 @@ mod tests {
         };
         let mut interp = Interpreter::new(&f);
         assert_eq!(
-            interp.invoke_map(&f, &Value::Null, &Value::Null).unwrap_err(),
+            interp
+                .invoke_map(&f, &Value::Null, &Value::Null)
+                .unwrap_err(),
             IrError::UnboundRegister(Reg(1))
         );
     }

@@ -81,9 +81,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let f1 = parse_function(src).unwrap();
         let text = to_asm(&f1);
-        let f2 = parse_function(&text).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\n--- emitted ---\n{text}")
-        });
+        let f2 = parse_function(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- emitted ---\n{text}"));
         assert_eq!(f1.instrs, f2.instrs, "emitted:\n{text}");
         assert_eq!(f1.members, f2.members);
     }

@@ -31,7 +31,10 @@ impl fmt::Display for RecordError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecordError::ArityMismatch { expected, got } => {
-                write!(f, "record arity mismatch: schema has {expected} fields, got {got} values")
+                write!(
+                    f,
+                    "record arity mismatch: schema has {expected} fields, got {got} values"
+                )
             }
             RecordError::NoSuchField(name) => write!(f, "no such field: {name}"),
         }
@@ -141,10 +144,7 @@ mod tests {
         let s = webpage();
         let r = record(&s, vec!["http://a".into(), 7.into(), "body".into()]);
         assert_eq!(r.get("rank").unwrap(), &Value::Int(7));
-        assert!(matches!(
-            r.get("nope"),
-            Err(RecordError::NoSuchField(_))
-        ));
+        assert!(matches!(r.get("nope"), Err(RecordError::NoSuchField(_))));
     }
 
     #[test]

@@ -240,9 +240,18 @@ fn build_registry() -> Stdlib {
     def!(m, "str.len", 1, Pure, "string length in bytes", |c, a| {
         Ok(Value::Int(want_str(c, &a[0])?.len() as i64))
     });
-    def!(m, "str.contains", 2, Pure, "substring containment", |c, a| {
-        Ok(Value::Bool(want_str(c, &a[0])?.contains(want_str(c, &a[1])?)))
-    });
+    def!(
+        m,
+        "str.contains",
+        2,
+        Pure,
+        "substring containment",
+        |c, a| {
+            Ok(Value::Bool(
+                want_str(c, &a[0])?.contains(want_str(c, &a[1])?),
+            ))
+        }
+    );
     def!(m, "str.starts_with", 2, Pure, "prefix test", |c, a| {
         Ok(Value::Bool(
             want_str(c, &a[0])?.starts_with(want_str(c, &a[1])?),
@@ -253,21 +262,39 @@ fn build_registry() -> Stdlib {
             want_str(c, &a[0])?.ends_with(want_str(c, &a[1])?),
         ))
     });
-    def!(m, "str.substring", 3, Pure, "substring [start, end)", |c, a| {
-        let s = want_str(c, &a[0])?;
-        let start = (want_int(c, &a[1])?.max(0) as usize).min(s.len());
-        let end = (want_int(c, &a[2])?.max(0) as usize).clamp(start, s.len());
-        // Clamp to char boundaries so malformed offsets degrade, not panic.
-        let start = (start..=s.len()).find(|&i| s.is_char_boundary(i)).unwrap_or(s.len());
-        let end = (end..=s.len()).find(|&i| s.is_char_boundary(i)).unwrap_or(s.len());
-        Ok(Value::str(&s[start.min(end)..end]))
-    });
-    def!(m, "str.index_of", 2, Pure, "index of substring or -1", |c, a| {
-        let s = want_str(c, &a[0])?;
-        Ok(Value::Int(
-            s.find(want_str(c, &a[1])?).map_or(-1, |i| i as i64),
-        ))
-    });
+    def!(
+        m,
+        "str.substring",
+        3,
+        Pure,
+        "substring [start, end)",
+        |c, a| {
+            let s = want_str(c, &a[0])?;
+            let start = (want_int(c, &a[1])?.max(0) as usize).min(s.len());
+            let end = (want_int(c, &a[2])?.max(0) as usize).clamp(start, s.len());
+            // Clamp to char boundaries so malformed offsets degrade, not panic.
+            let start = (start..=s.len())
+                .find(|&i| s.is_char_boundary(i))
+                .unwrap_or(s.len());
+            let end = (end..=s.len())
+                .find(|&i| s.is_char_boundary(i))
+                .unwrap_or(s.len());
+            Ok(Value::str(&s[start.min(end)..end]))
+        }
+    );
+    def!(
+        m,
+        "str.index_of",
+        2,
+        Pure,
+        "index of substring or -1",
+        |c, a| {
+            let s = want_str(c, &a[0])?;
+            Ok(Value::Int(
+                s.find(want_str(c, &a[1])?).map_or(-1, |i| i as i64),
+            ))
+        }
+    );
     def!(m, "str.concat", 2, Pure, "concatenation", |c, a| {
         let mut s = want_str(c, &a[0])?.to_string();
         s.push_str(want_str(c, &a[1])?);
@@ -279,47 +306,87 @@ fn build_registry() -> Stdlib {
     def!(m, "str.to_upper", 1, Pure, "ASCII uppercase", |c, a| {
         Ok(Value::from(want_str(c, &a[0])?.to_ascii_uppercase()))
     });
-    def!(m, "str.trim", 1, Pure, "strip surrounding whitespace", |c, a| {
-        Ok(Value::str(want_str(c, &a[0])?.trim()))
-    });
-    def!(m, "str.split_get", 3, Pure, "nth piece after splitting", |c, a| {
-        let s = want_str(c, &a[0])?;
-        let sep = want_str(c, &a[1])?;
-        let n = want_int(c, &a[2])?;
-        let piece = if n < 0 {
-            None
-        } else {
-            s.split(sep).nth(n as usize)
-        };
-        Ok(piece.map_or(Value::Null, Value::str))
-    });
-    def!(m, "str.eq_ignore_case", 2, Pure, "case-insensitive equality", |c, a| {
-        Ok(Value::Bool(
-            want_str(c, &a[0])?.eq_ignore_ascii_case(want_str(c, &a[1])?),
-        ))
-    });
+    def!(
+        m,
+        "str.trim",
+        1,
+        Pure,
+        "strip surrounding whitespace",
+        |c, a| { Ok(Value::str(want_str(c, &a[0])?.trim())) }
+    );
+    def!(
+        m,
+        "str.split_get",
+        3,
+        Pure,
+        "nth piece after splitting",
+        |c, a| {
+            let s = want_str(c, &a[0])?;
+            let sep = want_str(c, &a[1])?;
+            let n = want_int(c, &a[2])?;
+            let piece = if n < 0 {
+                None
+            } else {
+                s.split(sep).nth(n as usize)
+            };
+            Ok(piece.map_or(Value::Null, Value::str))
+        }
+    );
+    def!(
+        m,
+        "str.eq_ignore_case",
+        2,
+        Pure,
+        "case-insensitive equality",
+        |c, a| {
+            Ok(Value::Bool(
+                want_str(c, &a[0])?.eq_ignore_ascii_case(want_str(c, &a[1])?),
+            ))
+        }
+    );
 
     // --- Pattern (whitelisted) ---
-    def!(m, "pattern.matches", 2, Pure, "glob match: pattern, text", |c, a| {
-        Ok(Value::Bool(glob_match(
-            want_str(c, &a[0])?,
-            want_str(c, &a[1])?,
-        )))
-    });
+    def!(
+        m,
+        "pattern.matches",
+        2,
+        Pure,
+        "glob match: pattern, text",
+        |c, a| {
+            Ok(Value::Bool(glob_match(
+                want_str(c, &a[0])?,
+                want_str(c, &a[1])?,
+            )))
+        }
+    );
 
     // --- Parsing (whitelisted) ---
-    def!(m, "parse.int", 1, Pure, "parse int, null on failure", |c, a| {
-        Ok(want_str(c, &a[0])?
-            .trim()
-            .parse::<i64>()
-            .map_or(Value::Null, Value::Int))
-    });
-    def!(m, "parse.double", 1, Pure, "parse double, null on failure", |c, a| {
-        Ok(want_str(c, &a[0])?
-            .trim()
-            .parse::<f64>()
-            .map_or(Value::Null, Value::Double))
-    });
+    def!(
+        m,
+        "parse.int",
+        1,
+        Pure,
+        "parse int, null on failure",
+        |c, a| {
+            Ok(want_str(c, &a[0])?
+                .trim()
+                .parse::<i64>()
+                .map_or(Value::Null, Value::Int))
+        }
+    );
+    def!(
+        m,
+        "parse.double",
+        1,
+        Pure,
+        "parse double, null on failure",
+        |c, a| {
+            Ok(want_str(c, &a[0])?
+                .trim()
+                .parse::<f64>()
+                .map_or(Value::Null, Value::Double))
+        }
+    );
 
     // --- Math (whitelisted) ---
     def!(m, "math.abs", 1, Pure, "absolute value", |c, a| {
@@ -337,54 +404,91 @@ fn build_registry() -> Stdlib {
         let (x, y) = (want_num(c, &a[0])?, want_num(c, &a[1])?);
         Ok(if x >= y { a[0].clone() } else { a[1].clone() })
     });
-    def!(m, "math.floor_div", 2, Pure, "integer floor division", |c, a| {
-        let d = want_int(c, &a[1])?;
-        if d == 0 {
-            return Err(IrError::DivByZero);
+    def!(
+        m,
+        "math.floor_div",
+        2,
+        Pure,
+        "integer floor division",
+        |c, a| {
+            let d = want_int(c, &a[1])?;
+            if d == 0 {
+                return Err(IrError::DivByZero);
+            }
+            Ok(Value::Int(want_int(c, &a[0])?.div_euclid(d)))
         }
-        Ok(Value::Int(want_int(c, &a[0])?.div_euclid(d)))
-    });
+    );
 
     // --- Text utilities (whitelisted) ---
-    def!(m, "text.extract_urls", 1, Pure, "extract http(s) URLs from text", |c, a| {
-        Ok(Value::list(
-            extract_urls(want_str(c, &a[0])?)
-                .into_iter()
-                .map(Value::from)
-                .collect(),
-        ))
-    });
+    def!(
+        m,
+        "text.extract_urls",
+        1,
+        Pure,
+        "extract http(s) URLs from text",
+        |c, a| {
+            Ok(Value::list(
+                extract_urls(want_str(c, &a[0])?)
+                    .into_iter()
+                    .map(Value::from)
+                    .collect(),
+            ))
+        }
+    );
 
     // --- Lists (whitelisted) ---
     def!(m, "list.len", 1, Pure, "list length", |c, a| {
         Ok(Value::Int(want_list(c, &a[0])?.len() as i64))
     });
-    def!(m, "list.get", 2, Pure, "element by index, null if out of range", |c, a| {
-        let l = want_list(c, &a[0])?;
-        let i = want_int(c, &a[1])?;
-        Ok(if i < 0 {
-            Value::Null
-        } else {
-            l.get(i as usize).cloned().unwrap_or(Value::Null)
-        })
-    });
+    def!(
+        m,
+        "list.get",
+        2,
+        Pure,
+        "element by index, null if out of range",
+        |c, a| {
+            let l = want_list(c, &a[0])?;
+            let i = want_int(c, &a[1])?;
+            Ok(if i < 0 {
+                Value::Null
+            } else {
+                l.get(i as usize).cloned().unwrap_or(Value::Null)
+            })
+        }
+    );
 
     // --- Opaque-tuple accessors (the AbstractTuple of Pavlo B1). ---
     // Whitelisted as pure record accessors, but they convey *no*
     // information about serialized field boundaries, so projection and
     // delta-compression cannot use them (Table 1, Benchmark 1).
-    def!(m, "tuple.get_int", 2, Pure, "opaque-tuple int accessor", |c, a| {
-        let r = want_record(c, &a[0])?;
-        let name = want_str(c, &a[1])?;
-        r.get(name).cloned()
-            .map_err(|_| IrError::NoSuchField(name.to_string()))
-    });
-    def!(m, "tuple.get_str", 2, Pure, "opaque-tuple string accessor", |c, a| {
-        let r = want_record(c, &a[0])?;
-        let name = want_str(c, &a[1])?;
-        r.get(name).cloned()
-            .map_err(|_| IrError::NoSuchField(name.to_string()))
-    });
+    def!(
+        m,
+        "tuple.get_int",
+        2,
+        Pure,
+        "opaque-tuple int accessor",
+        |c, a| {
+            let r = want_record(c, &a[0])?;
+            let name = want_str(c, &a[1])?;
+            r.get(name)
+                .cloned()
+                .map_err(|_| IrError::NoSuchField(name.to_string()))
+        }
+    );
+    def!(
+        m,
+        "tuple.get_str",
+        2,
+        Pure,
+        "opaque-tuple string accessor",
+        |c, a| {
+            let r = want_record(c, &a[0])?;
+            let name = want_str(c, &a[1])?;
+            r.get(name)
+                .cloned()
+                .map_err(|_| IrError::NoSuchField(name.to_string()))
+        }
+    );
 
     // --- Hashtable (NOT whitelisted — the Benchmark-4 blind spot). ---
     // The implementation is functional (persistent maps), but the
@@ -393,40 +497,75 @@ fn build_registry() -> Stdlib {
     def!(m, "ht.new", 0, Unknown, "new empty hashtable", |_c, _a| {
         Ok(Value::empty_map())
     });
-    def!(m, "ht.put", 3, Unknown, "hashtable with (k, v) inserted", |c, a| {
-        let base = want_map(c, &a[0])?;
-        let mut next = base.clone();
-        next.insert(a[1].clone(), a[2].clone());
-        Ok(Value::Map(Arc::new(next)))
-    });
-    def!(m, "ht.contains", 2, Unknown, "key containment test", |c, a| {
-        Ok(Value::Bool(want_map(c, &a[0])?.contains_key(&a[1])))
-    });
-    def!(m, "ht.get", 2, Unknown, "lookup, null when absent", |c, a| {
-        Ok(want_map(c, &a[0])?
-            .get(&a[1])
-            .cloned()
-            .unwrap_or(Value::Null))
-    });
+    def!(
+        m,
+        "ht.put",
+        3,
+        Unknown,
+        "hashtable with (k, v) inserted",
+        |c, a| {
+            let base = want_map(c, &a[0])?;
+            let mut next = base.clone();
+            next.insert(a[1].clone(), a[2].clone());
+            Ok(Value::Map(Arc::new(next)))
+        }
+    );
+    def!(
+        m,
+        "ht.contains",
+        2,
+        Unknown,
+        "key containment test",
+        |c, a| { Ok(Value::Bool(want_map(c, &a[0])?.contains_key(&a[1]))) }
+    );
+    def!(
+        m,
+        "ht.get",
+        2,
+        Unknown,
+        "lookup, null when absent",
+        |c, a| {
+            Ok(want_map(c, &a[0])?
+                .get(&a[1])
+                .cloned()
+                .unwrap_or(Value::Null))
+        }
+    );
 
     // --- Known-impure sources (clock, randomness). ---
-    def!(m, "time.now_millis", 0, Impure, "wall-clock time", |_c, _a| {
-        let ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as i64)
-            .unwrap_or(0);
-        Ok(Value::Int(ms))
-    });
-    def!(m, "rng.next_int", 1, Impure, "pseudo-random int in [0, n)", |c, a| {
-        // A deliberately weak LCG seeded from the clock; the point is
-        // that the analyzer must refuse to reason about it.
-        let n = want_int(c, &a[0])?.max(1);
-        let seed = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.subsec_nanos() as i64)
-            .unwrap_or(12345);
-        Ok(Value::Int((seed.wrapping_mul(6364136223846793005) >> 16).rem_euclid(n)))
-    });
+    def!(
+        m,
+        "time.now_millis",
+        0,
+        Impure,
+        "wall-clock time",
+        |_c, _a| {
+            let ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as i64)
+                .unwrap_or(0);
+            Ok(Value::Int(ms))
+        }
+    );
+    def!(
+        m,
+        "rng.next_int",
+        1,
+        Impure,
+        "pseudo-random int in [0, n)",
+        |c, a| {
+            // A deliberately weak LCG seeded from the clock; the point is
+            // that the analyzer must refuse to reason about it.
+            let n = want_int(c, &a[0])?.max(1);
+            let seed = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as i64)
+                .unwrap_or(12345);
+            Ok(Value::Int(
+                (seed.wrapping_mul(6364136223846793005) >> 16).rem_euclid(n),
+            ))
+        }
+    );
 
     Stdlib { funcs: m }
 }
@@ -509,7 +648,8 @@ mod tests {
             .eval("ht.put", &[empty.clone(), Value::Int(1), Value::str("x")])
             .unwrap();
         assert_eq!(
-            lib.eval("ht.contains", &[with.clone(), Value::Int(1)]).unwrap(),
+            lib.eval("ht.contains", &[with.clone(), Value::Int(1)])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
@@ -525,7 +665,10 @@ mod tests {
     #[test]
     fn parse_failures_yield_null() {
         let lib = stdlib();
-        assert_eq!(lib.eval("parse.int", &[Value::str("zz")]).unwrap(), Value::Null);
+        assert_eq!(
+            lib.eval("parse.int", &[Value::str("zz")]).unwrap(),
+            Value::Null
+        );
         assert_eq!(
             lib.eval("parse.int", &[Value::str(" 42 ")]).unwrap(),
             Value::Int(42)

@@ -86,13 +86,12 @@ pub fn verify(func: &Function) -> Result<(), Vec<VerifyError>> {
     for (pc, instr) in func.instrs.iter().enumerate() {
         // Jump ranges.
         match instr {
-            Instr::Jmp { target }
-                if *target >= n => {
-                    errors.push(VerifyError {
-                        pc,
-                        kind: VerifyErrorKind::JumpOutOfRange(*target),
-                    });
-                }
+            Instr::Jmp { target } if *target >= n => {
+                errors.push(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::JumpOutOfRange(*target),
+                });
+            }
             Instr::Br {
                 then_tgt, else_tgt, ..
             } => {
@@ -115,7 +114,10 @@ pub fn verify(func: &Function) -> Result<(), Vec<VerifyError>> {
             });
         }
         // Calls resolvable with the right arity.
-        if let Instr::Call { func: name, args, .. } = instr {
+        if let Instr::Call {
+            func: name, args, ..
+        } = instr
+        {
             match lib.get(name) {
                 None => errors.push(VerifyError {
                     pc,
@@ -135,12 +137,13 @@ pub fn verify(func: &Function) -> Result<(), Vec<VerifyError>> {
         // Members declared.
         match instr {
             Instr::GetMember { name, .. } | Instr::SetMember { name, .. }
-                if func.member_initial(name).is_none() => {
-                    errors.push(VerifyError {
-                        pc,
-                        kind: VerifyErrorKind::UndeclaredMember(name.clone()),
-                    });
-                }
+                if func.member_initial(name).is_none() =>
+            {
+                errors.push(VerifyError {
+                    pc,
+                    kind: VerifyErrorKind::UndeclaredMember(name.clone()),
+                });
+            }
             _ => {}
         }
     }
@@ -285,9 +288,7 @@ mod tests {
             members: vec![],
         };
         let errs = verify(&f).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| e.kind == VerifyErrorKind::FallsOffEnd));
+        assert!(errs.iter().any(|e| e.kind == VerifyErrorKind::FallsOffEnd));
     }
 
     #[test]

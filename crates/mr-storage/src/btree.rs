@@ -252,35 +252,33 @@ impl BTreeWriter {
             let mut count = 0u64;
             let mut first_key: Option<Vec<u8>> = None;
 
-            let flush =
-                |buf: &mut Vec<u8>,
-                 count: &mut u64,
-                 first_key: &mut Option<Vec<u8>>,
-                 next_page_id: &mut u64,
-                 out: &mut BufWriter<File>,
-                 next_level: &mut Vec<(Vec<u8>, u64)>|
-                 -> Result<()> {
-                    if *count == 0 {
-                        return Ok(());
-                    }
-                    let id = *next_page_id;
-                    *next_page_id += 1;
-                    let mut page = Vec::with_capacity(self.page_size);
-                    page.push(1u8);
-                    encode_u64(*count, &mut page);
-                    page.extend_from_slice(buf);
-                    page.resize(self.page_size, 0);
-                    out.write_all(&page)?;
-                    next_level.push((first_key.take().expect("first key"), id));
-                    buf.clear();
-                    *count = 0;
-                    Ok(())
-                };
+            let flush = |buf: &mut Vec<u8>,
+                         count: &mut u64,
+                         first_key: &mut Option<Vec<u8>>,
+                         next_page_id: &mut u64,
+                         out: &mut BufWriter<File>,
+                         next_level: &mut Vec<(Vec<u8>, u64)>|
+             -> Result<()> {
+                if *count == 0 {
+                    return Ok(());
+                }
+                let id = *next_page_id;
+                *next_page_id += 1;
+                let mut page = Vec::with_capacity(self.page_size);
+                page.push(1u8);
+                encode_u64(*count, &mut page);
+                page.extend_from_slice(buf);
+                page.resize(self.page_size, 0);
+                out.write_all(&page)?;
+                next_level.push((first_key.take().expect("first key"), id));
+                buf.clear();
+                *count = 0;
+                Ok(())
+            };
 
             for (key, child) in level {
-                let entry_len = encoded_len_u64(child)
-                    + encoded_len_u64(key.len() as u64)
-                    + key.len();
+                let entry_len =
+                    encoded_len_u64(child) + encoded_len_u64(key.len() as u64) + key.len();
                 if buf.len() + entry_len > capacity {
                     flush(
                         &mut buf,
@@ -691,7 +689,10 @@ mod tests {
         build(1000, 4096, &path);
         let idx = BTreeIndex::open(&path).unwrap();
         let got: Vec<i64> = idx
-            .scan(ScanBound::Excl(Value::Int(500)), ScanBound::Incl(Value::Int(510)))
+            .scan(
+                ScanBound::Excl(Value::Int(500)),
+                ScanBound::Incl(Value::Int(510)),
+            )
             .unwrap()
             .map(|r| r.unwrap().0.as_int().unwrap())
             .collect();
@@ -777,7 +778,15 @@ mod tests {
                 ScanBound::Excl(Value::str("http://site/0105")),
             )
             .unwrap()
-            .map(|r| r.unwrap().1.get("url").unwrap().as_str().unwrap().to_string())
+            .map(|r| {
+                r.unwrap()
+                    .1
+                    .get("url")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         assert_eq!(
             got,
@@ -821,7 +830,10 @@ mod tests {
         build(5_000, 1024, &path);
         let idx = BTreeIndex::open(&path).unwrap();
         let got: Vec<i64> = idx
-            .scan(ScanBound::Incl(Value::Int(100)), ScanBound::Excl(Value::Int(4900)))
+            .scan(
+                ScanBound::Incl(Value::Int(100)),
+                ScanBound::Excl(Value::Int(4900)),
+            )
             .unwrap()
             .map(|r| r.unwrap().0.as_int().unwrap())
             .collect();

@@ -61,9 +61,10 @@ impl ProjectedFile {
     /// become type defaults).
     pub fn read_widened(&self) -> Result<impl Iterator<Item = Result<Record>> + '_> {
         let source = Arc::clone(&self.source_schema);
-        Ok(self.meta.read_all()?.map(move |r| {
-            r.map(|rec| rec.project_to(Arc::clone(&source)))
-        }))
+        Ok(self
+            .meta
+            .read_all()?
+            .map(move |r| r.map(|rec| rec.project_to(Arc::clone(&source)))))
     }
 }
 
@@ -110,8 +111,7 @@ mod tests {
             })
             .collect();
         let keep = vec!["url".to_string(), "rank".to_string()];
-        let (n, proj_schema) =
-            write_projected(&path, &s, &keep, records.clone()).unwrap();
+        let (n, proj_schema) = write_projected(&path, &s, &keep, records.clone()).unwrap();
         assert_eq!(n, 200);
         assert_eq!(proj_schema.field_names(), vec!["url", "rank"]);
 

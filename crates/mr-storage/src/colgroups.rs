@@ -72,10 +72,8 @@ pub fn write_column_groups(
         }
     }
 
-    let group_schemas: Vec<Arc<Schema>> = groups
-        .iter()
-        .map(|g| Arc::new(schema.project(g)))
-        .collect();
+    let group_schemas: Vec<Arc<Schema>> =
+        groups.iter().map(|g| Arc::new(schema.project(g))).collect();
     let mut writers: Vec<SeqFileWriter> = group_schemas
         .iter()
         .enumerate()
@@ -351,9 +349,7 @@ mod tests {
         }
         assert_eq!(count, 200);
 
-        let mut wide = cg
-            .read_fields(&["rank".into(), "content".into()])
-            .unwrap();
+        let mut wide = cg.read_fields(&["rank".into(), "content".into()]).unwrap();
         while wide.next().is_some() {}
         assert!(
             narrow.bytes_read() * 3 < wide.bytes_read(),
@@ -386,13 +382,9 @@ mod tests {
     fn validation_errors() {
         let s = schema();
         assert!(write_column_groups(tmp("e1"), &s, &[], pages(&s, 1)).is_err());
-        assert!(write_column_groups(
-            tmp("e2"),
-            &s,
-            &[vec!["nope".to_string()]],
-            pages(&s, 1)
-        )
-        .is_err());
+        assert!(
+            write_column_groups(tmp("e2"), &s, &[vec!["nope".to_string()]], pages(&s, 1)).is_err()
+        );
         assert!(write_column_groups(
             tmp("e3"),
             &s,
@@ -407,13 +399,7 @@ mod tests {
         // A field in no group is simply not stored.
         let s = schema();
         let base = tmp("dropped");
-        write_column_groups(
-            &base,
-            &s,
-            &[vec!["rank".to_string()]],
-            pages(&s, 5),
-        )
-        .unwrap();
+        write_column_groups(&base, &s, &[vec!["rank".to_string()]], pages(&s, 5)).unwrap();
         let cg = ColumnGroups::open(&base).unwrap();
         assert!(cg.read_fields(&["content".into()]).is_err());
     }

@@ -121,13 +121,7 @@ impl DeltaFileWriter {
             }
         }
         self.buf.clear();
-        for (i, (fd, v)) in self
-            .schema
-            .fields()
-            .iter()
-            .zip(record.values())
-            .enumerate()
-        {
+        for (i, (fd, v)) in self.schema.fields().iter().zip(record.values()).enumerate() {
             if self.is_delta[i] {
                 let cur = v.as_int().ok_or_else(|| {
                     StorageError::Schema(format!("field `{}` not an int", fd.name))
@@ -219,7 +213,10 @@ impl DeltaFileMeta {
         }
         let (header_len, _n) = read_varint(&mut input)?;
         if header_len > MAX_ROW_LEN {
-            return Err(StorageError::corrupt("deltafile", "header implausibly large"));
+            return Err(StorageError::corrupt(
+                "deltafile",
+                "header implausibly large",
+            ));
         }
         let mut header = vec![0u8; header_len as usize];
         input.read_exact(&mut header)?;
@@ -352,7 +349,10 @@ impl DeltaFileReader {
         }
         let (len, len_bytes) = read_varint(&mut self.input)?;
         if len > MAX_ROW_LEN {
-            return Err(StorageError::corrupt("deltafile", "row length implausibly large"));
+            return Err(StorageError::corrupt(
+                "deltafile",
+                "row length implausibly large",
+            ));
         }
         self.buf.resize(len as usize, 0);
         self.input.read_exact(&mut self.buf)?;
@@ -493,8 +493,7 @@ mod tests {
         let (_, plain_bytes) = w.finish().unwrap();
 
         let delta_path = tmp("delta");
-        let mut w =
-            DeltaFileWriter::create(&delta_path, Arc::clone(&s), &["ts".into()]).unwrap();
+        let mut w = DeltaFileWriter::create(&delta_path, Arc::clone(&s), &["ts".into()]).unwrap();
         for r in &records {
             w.append(r).unwrap();
         }
@@ -572,7 +571,8 @@ mod split_tests {
         let n = (BLOCK * 2 + 500) as i64;
         let mut w = DeltaFileWriter::create(&path, Arc::clone(&s), &["v".into()]).unwrap();
         for i in 0..n {
-            w.append(&record(&s, vec![Value::Int(1_000_000 + i)])).unwrap();
+            w.append(&record(&s, vec![Value::Int(1_000_000 + i)]))
+                .unwrap();
         }
         w.finish().unwrap();
 

@@ -116,13 +116,7 @@ impl DictFileWriter {
             self.blocks.push((self.bytes_written, self.count));
         }
         self.buf.clear();
-        for (i, (fd, v)) in self
-            .schema
-            .fields()
-            .iter()
-            .zip(record.values())
-            .enumerate()
-        {
+        for (i, (fd, v)) in self.schema.fields().iter().zip(record.values()).enumerate() {
             if self.is_dict[i] {
                 let s = v.as_str().ok_or_else(|| {
                     StorageError::Schema(format!("field `{}` not a string", fd.name))
@@ -286,7 +280,10 @@ impl DictFileReader {
         }
         let (header_len, _) = read_varint(&mut input)?;
         if header_len > MAX_ROW_LEN {
-            return Err(StorageError::corrupt("dictfile", "header implausibly large"));
+            return Err(StorageError::corrupt(
+                "dictfile",
+                "header implausibly large",
+            ));
         }
         let mut header = vec![0u8; header_len as usize];
         input.read_exact(&mut header)?;
@@ -416,7 +413,10 @@ impl DictFileReader {
         }
         let (len, len_bytes) = read_varint(&mut self.input)?;
         if len > MAX_ROW_LEN {
-            return Err(StorageError::corrupt("dictfile", "row length implausibly large"));
+            return Err(StorageError::corrupt(
+                "dictfile",
+                "row length implausibly large",
+            ));
         }
         self.buf.resize(len as usize, 0);
         self.input.read_exact(&mut self.buf)?;
@@ -498,8 +498,7 @@ mod tests {
         let s = uservisits();
         let path = tmp("equality");
         let urls = ["http://a", "http://b", "http://a", "http://c", "http://b"];
-        let mut w =
-            DictFileWriter::create(&path, Arc::clone(&s), &["destURL".into()]).unwrap();
+        let mut w = DictFileWriter::create(&path, Arc::clone(&s), &["destURL".into()]).unwrap();
         for (i, u) in urls.iter().enumerate() {
             w.append(&record(
                 &s,
@@ -529,8 +528,7 @@ mod tests {
     fn dictionary_persisted_and_invertible() {
         let s = uservisits();
         let path = tmp("persist");
-        let mut w =
-            DictFileWriter::create(&path, Arc::clone(&s), &["destURL".into()]).unwrap();
+        let mut w = DictFileWriter::create(&path, Arc::clone(&s), &["destURL".into()]).unwrap();
         for u in ["http://x", "http://y", "http://x"] {
             w.append(&record(&s, vec!["ip".into(), u.into(), 1.into()]))
                 .unwrap();
@@ -539,7 +537,10 @@ mod tests {
         let rd = DictFileReader::open(&path).unwrap();
         let dict = rd.dictionary("destURL").unwrap();
         assert_eq!(dict.strings.len(), 2);
-        assert_eq!(dict.decode(dict.code_of("http://y").unwrap()), Some("http://y"));
+        assert_eq!(
+            dict.decode(dict.code_of("http://y").unwrap()),
+            Some("http://y")
+        );
         assert_eq!(dict.code_of("http://nope"), None);
         assert!(rd.dictionary("sourceIP").is_none());
         assert!(rd.dictionary("duration").is_none());
@@ -556,8 +557,7 @@ mod tests {
                     &s,
                     vec![
                         format!("10.0.0.{}", i % 256).into(),
-                        format!("http://popular-site.example.com/very/long/path/{}", i % 10)
-                            .into(),
+                        format!("http://popular-site.example.com/very/long/path/{}", i % 10).into(),
                         Value::Int(i),
                     ],
                 )
@@ -597,10 +597,12 @@ mod tests {
     fn uncompressed_fields_intact() {
         let s = uservisits();
         let path = tmp("intact");
-        let mut w =
-            DictFileWriter::create(&path, Arc::clone(&s), &["destURL".into()]).unwrap();
-        w.append(&record(&s, vec!["1.2.3.4".into(), "http://u".into(), 42.into()]))
-            .unwrap();
+        let mut w = DictFileWriter::create(&path, Arc::clone(&s), &["destURL".into()]).unwrap();
+        w.append(&record(
+            &s,
+            vec!["1.2.3.4".into(), "http://u".into(), 42.into()],
+        ))
+        .unwrap();
         w.finish().unwrap();
         let recs: Vec<Record> = DictFileReader::open(&path)
             .unwrap()

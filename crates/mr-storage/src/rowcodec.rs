@@ -124,8 +124,8 @@ pub fn decode_row(schema: &Arc<Schema>, buf: &[u8]) -> Result<(Record, usize)> {
         values.push(v);
         pos += n;
     }
-    let record = Record::new(Arc::clone(schema), values)
-        .map_err(|e| StorageError::Schema(e.to_string()))?;
+    let record =
+        Record::new(Arc::clone(schema), values).map_err(|e| StorageError::Schema(e.to_string()))?;
     Ok((record, pos))
 }
 
@@ -280,11 +280,7 @@ pub fn decode_schema(buf: &[u8]) -> Result<(Schema, usize)> {
         fields.push(field_type_from_tag(tag)?);
         names.push(fname);
     }
-    let pairs: Vec<(&str, FieldType)> = names
-        .iter()
-        .map(String::as_str)
-        .zip(fields)
-        .collect();
+    let pairs: Vec<(&str, FieldType)> = names.iter().map(String::as_str).zip(fields).collect();
     let mut schema = Schema::new(name, pairs);
     if opaque {
         schema = schema.opaque();
@@ -377,11 +373,7 @@ mod tests {
     #[test]
     fn row_type_mismatch_rejected() {
         let s = Schema::new("T", vec![("n", FieldType::Int)]).into_arc();
-        let r = Record::new(
-            Arc::clone(&s),
-            vec![Value::str("not an int")],
-        )
-        .unwrap();
+        let r = Record::new(Arc::clone(&s), vec![Value::str("not an int")]).unwrap();
         assert!(matches!(
             encode_row(&r, &mut Vec::new()),
             Err(StorageError::Schema(_))

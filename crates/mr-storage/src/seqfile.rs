@@ -298,7 +298,10 @@ impl SeqFileReader {
             }
         }
         if len > MAX_ROW_LEN {
-            return Err(StorageError::corrupt("seqfile", "row length implausibly large"));
+            return Err(StorageError::corrupt(
+                "seqfile",
+                "row length implausibly large",
+            ));
         }
         self.buf.resize(len as usize, 0);
         self.input.read_exact(&mut self.buf)?;
@@ -447,9 +450,7 @@ mod tests {
 
     #[test]
     fn opaque_schema_preserved() {
-        let s = Arc::new(
-            Schema::new("AbstractTuple", vec![("rank", FieldType::Int)]).opaque(),
-        );
+        let s = Arc::new(Schema::new("AbstractTuple", vec![("rank", FieldType::Int)]).opaque());
         let path = tmp("opaque");
         let r = record(&s, vec![1.into()]);
         write_seqfile(&path, Arc::clone(&s), vec![r]).unwrap();

@@ -25,11 +25,7 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn schema() -> Arc<Schema> {
-    Schema::new(
-        "T",
-        vec![("s", FieldType::Str), ("n", FieldType::Int)],
-    )
-    .into_arc()
+    Schema::new("T", vec![("s", FieldType::Str), ("n", FieldType::Int)]).into_arc()
 }
 
 /// Build a valid sequence file and return its bytes.

@@ -120,8 +120,8 @@ pub fn page_url(i: usize) -> String {
 /// Deterministic filler words, so content compresses like text rather
 /// than noise.
 const FILLER: &[&str] = &[
-    "lorem", "ipsum", "data", "query", "page", "search", "click", "web", "index", "link",
-    "value", "result", "report", "visit", "user", "rank",
+    "lorem", "ipsum", "data", "query", "page", "search", "click", "web", "index", "link", "value",
+    "result", "report", "visit", "user", "rank",
 ];
 
 /// Generate one WebPages record.
@@ -191,7 +191,13 @@ const USER_AGENTS: &[&str] = &["Mozilla/4.0", "Mozilla/5.0", "Opera/9.0", "Safar
 const COUNTRIES: &[&str] = &["USA", "DEU", "JPN", "BRA", "IND", "FRA", "GBR", "CHN"];
 const LANGUAGES: &[&str] = &["en", "de", "ja", "pt", "hi", "fr", "zh"];
 const SEARCH_WORDS: &[&str] = &[
-    "database", "mapreduce", "optimizer", "btree", "hadoop", "selection", "projection",
+    "database",
+    "mapreduce",
+    "optimizer",
+    "btree",
+    "hadoop",
+    "selection",
+    "projection",
 ];
 
 /// Generate one UserVisits record.
@@ -268,10 +274,7 @@ pub fn generate_rankings(
 
 /// Write a Documents sequence file for the UDF-aggregation benchmark;
 /// returns the record count.
-pub fn generate_documents(
-    path: impl AsRef<Path>,
-    cfg: &WebPagesConfig,
-) -> mr_storage::Result<u64> {
+pub fn generate_documents(path: impl AsRef<Path>, cfg: &WebPagesConfig) -> mr_storage::Result<u64> {
     let schema = documents_schema();
     let zipf = Zipf::new(cfg.pages.max(1), cfg.zipf_s);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -340,9 +343,7 @@ mod tests {
         let above_39: usize = meta
             .read_all()
             .unwrap()
-            .filter(|r| {
-                r.as_ref().unwrap().get("rank").unwrap().as_int().unwrap() > 39
-            })
+            .filter(|r| r.as_ref().unwrap().get("rank").unwrap().as_int().unwrap() > 39)
             .count();
         // rank > 39 keeps 60% of uniform 0..100.
         let frac = above_39 as f64 / 5000.0;
@@ -364,7 +365,12 @@ mod tests {
             let r = r.unwrap();
             let date = r.get("visitDate").unwrap().as_int().unwrap();
             assert!((cfg.date_start..cfg.date_end).contains(&date));
-            assert!(r.get("destURL").unwrap().as_str().unwrap().starts_with("http://"));
+            assert!(r
+                .get("destURL")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("http://"));
         }
     }
 
@@ -383,7 +389,13 @@ mod tests {
             .read_all()
             .unwrap()
             .filter(|r| {
-                r.as_ref().unwrap().get("destURL").unwrap().as_str().unwrap() == top_url
+                r.as_ref()
+                    .unwrap()
+                    .get("destURL")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    == top_url
             })
             .count();
         // Zipf(1.0) over 1000 items gives item 0 ~13% of mass; far more

@@ -22,12 +22,12 @@
 //! optimizations are actually present, so the Table 1 harness can grade
 //! the analyzer (Detected / Undetected / Not Present).
 
+use mr_engine::error::Result as EngineResult;
+use mr_engine::reducer::{Reducer, ReducerFactory};
 use mr_ir::builder::FunctionBuilder;
 use mr_ir::function::Program;
 use mr_ir::instr::{BinOp, CmpOp, ParamId};
 use mr_ir::value::Value;
-use mr_engine::error::Result as EngineResult;
-use mr_engine::reducer::{Reducer, ReducerFactory};
 
 use crate::data::{documents_schema, rankings_schema, uservisits_schema};
 
@@ -192,16 +192,13 @@ impl Reducer for JoinReducer {
             return Ok(()); // visit to a page without a ranking row
         };
         for visit in visits {
-            let ip = visit.get("sourceIP").map_err(|e| {
-                mr_engine::EngineError::Reduce(e.to_string())
-            })?;
-            let revenue = visit.get("adRevenue").map_err(|e| {
-                mr_engine::EngineError::Reduce(e.to_string())
-            })?;
-            out.push((
-                ip.clone(),
-                Value::list(vec![rank.clone(), revenue.clone()]),
-            ));
+            let ip = visit
+                .get("sourceIP")
+                .map_err(|e| mr_engine::EngineError::Reduce(e.to_string()))?;
+            let revenue = visit
+                .get("adRevenue")
+                .map_err(|e| mr_engine::EngineError::Reduce(e.to_string()))?;
+            out.push((ip.clone(), Value::list(vec![rank.clone(), revenue.clone()])));
         }
         Ok(())
     }
@@ -331,10 +328,7 @@ mod tests {
         let out = interp
             .invoke_map(&p.mapper, &Value::Int(0), &r.into())
             .unwrap();
-        assert_eq!(
-            out.emits,
-            vec![(Value::str("1.2.3.4"), Value::Int(55))]
-        );
+        assert_eq!(out.emits, vec![(Value::str("1.2.3.4"), Value::Int(55))]);
     }
 
     #[test]
@@ -370,8 +364,7 @@ mod tests {
     fn bench4_counts_links_with_dedup_and_self_skip() {
         let p = benchmark4();
         let s = documents_schema();
-        let content =
-            "see http://other.com/a and again http://other.com/a plus http://me.com/";
+        let content = "see http://other.com/a and again http://other.com/a plus http://me.com/";
         let doc = record(&s, vec!["http://me.com/".into(), content.into()]);
         let mut interp = Interpreter::new(&p.mapper);
         let out = interp
@@ -404,18 +397,11 @@ mod tests {
         .into();
         let mut out = Vec::new();
         JoinReducer
-            .reduce(
-                &Value::str("http://x"),
-                &[ranking, visit],
-                &mut out,
-            )
+            .reduce(&Value::str("http://x"), &[ranking, visit], &mut out)
             .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, Value::str("9.9.9.9"));
-        assert_eq!(
-            out[0].1,
-            Value::list(vec![Value::Int(77), Value::Int(5)])
-        );
+        assert_eq!(out[0].1, Value::list(vec![Value::Int(77), Value::Int(5)]));
     }
 
     #[test]

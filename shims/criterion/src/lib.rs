@@ -1,0 +1,282 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! This workspace builds in an environment with no route to a crates
+//! registry, so the subset of criterion the bench targets use is
+//! vendored here: `Criterion::{bench_function, benchmark_group}`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs
+//! batches until a time budget is exhausted and reports the median
+//! batch's per-iteration time (plus derived throughput). There is no
+//! statistical analysis, HTML report, or baseline comparison. Passing
+//! `--quick` (or setting `CRITERION_SHIM_QUICK=1`) runs every routine
+//! once — that is what CI's smoke job uses.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup cost is amortized; accepted for API
+/// compatibility, the shim always re-runs setup per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-run for every iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed iterations per batch.
+    NumIterations(u64),
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units).
+    BytesDecimal(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick" || a == "--test")
+            || std::env::var("CRITERION_SHIM_QUICK").is_ok_and(|v| v == "1");
+        Criterion {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(300),
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            quick: self.quick,
+            result: None,
+        };
+        f(&mut b);
+        report(name, None, b.result);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group<'a>(&'a mut self, name: &str) -> BenchmarkGroup<'a> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            quick: self.criterion.quick,
+            result: None,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name),
+            self.throughput,
+            b.result,
+        );
+        self
+    }
+
+    /// Finish the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    quick: bool,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.quick {
+            std::hint::black_box(routine());
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Warm up and learn an iteration count that makes one batch
+        // last roughly a millisecond.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let s = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(s.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+
+    /// Time a routine whose input is rebuilt by `setup` outside the
+    /// measured region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            std::hint::black_box(routine(setup()));
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut samples = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure {
+            let input = setup();
+            let s = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(s.elapsed());
+        }
+        samples.sort();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, result: Option<Duration>) {
+    let Some(t) = result else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    if t.is_zero() {
+        println!("{name:<40} ok (quick)");
+        return;
+    }
+    let ns = t.as_nanos() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.2} MiB/s", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+        }
+        Some(Throughput::BytesDecimal(n)) => {
+            format!("  {:>12.2} MB/s", n as f64 * 1e9 / ns / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {:>12.1} ns/iter{rate}", ns);
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            quick: true,
+        };
+        let mut calls = 0;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_measure() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+            quick: false,
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,57 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_in_range() {
+        let mut rng = TestRng::deterministic("lengths_in_range");
+        let s = vec(0i64..10, 1..24);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((1..24).contains(&v.len()), "len={}", v.len());
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::deterministic("zero_length_allowed");
+        let s = vec(0i64..10, 0..3);
+        let mut seen_empty = false;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 3);
+            seen_empty |= v.is_empty();
+        }
+        assert!(seen_empty);
+    }
+}

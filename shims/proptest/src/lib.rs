@@ -1,0 +1,169 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! This workspace builds in an environment with no route to a crates
+//! registry, so the subset of `proptest` the test suites use is
+//! vendored here: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_recursive`, tuple/range/regex-literal strategies, the
+//! `proptest!`, `prop_oneof!`, and `prop_assert*` macros, plus
+//! `collection::vec` and `option::of`.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its generated inputs
+//!   verbatim instead of minimizing them.
+//! - **Deterministic seeding.** Each test function derives its RNG
+//!   seed from its own name, so failures reproduce across runs.
+//! - **Regex strategies** support the subset used in-tree: literal
+//!   characters, character classes with ranges, and the `{m,n}`,
+//!   `{n}`, `*`, `+`, `?` repetition operators.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+
+/// Declares property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose arguments use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: config resolved, expand each test fn.
+    (@expand ($cfg:expr)
+     $( $(#[$attr:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let strategies = ( $($strat,)+ );
+                for case in 0..config.cases {
+                    let values =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let values_dbg = format!("{:?}", values);
+                    let ( $($pat,)+ ) = values;
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n    inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            values_dbg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @expand (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current test case when the assumption does not hold.
+///
+/// The shim has no case-rejection accounting, so an assumption failure
+/// simply passes the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

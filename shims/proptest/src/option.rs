@@ -1,0 +1,48 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` three times out of four, `None` otherwise (matching real
+/// proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::deterministic("yields_both_variants");
+        let s = of(0i64..10);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+}

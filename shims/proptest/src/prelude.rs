@@ -1,0 +1,13 @@
+//! The usual imports, mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Namespace alias so `prop::collection::vec` etc. resolve.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}

@@ -1,0 +1,203 @@
+//! String generation from a regex subset.
+//!
+//! Supports what the in-tree tests use: literal characters, character
+//! classes with ranges (`[a-zA-Z0-9:/. -]`), and the repetition
+//! operators `{m,n}`, `{n}`, `*`, `+`, `?` (unbounded operators are
+//! capped at 8 repetitions).
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces =
+        parse(pattern).unwrap_or_else(|e| panic!("unsupported regex strategy {pattern:?}: {e}"));
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + (rng.below((piece.max - piece.min + 1) as usize) as u32)
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let width = *hi as u32 - *lo as u32 + 1;
+                if pick < width {
+                    return char::from_u32(*lo as u32 + pick).expect("valid char range");
+                }
+                pick -= width;
+            }
+            unreachable!("pick < total")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Result<Vec<Piece>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).ok_or("dangling escape")?;
+                i += 1;
+                Atom::Literal(c)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(vec![(' ', '~')])
+            }
+            c @ ('*' | '+' | '?' | '{' | '}' | ']' | '(' | ')' | '|') => {
+                return Err(format!("unsupported metacharacter {c:?}"));
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_repeat(&chars, i)?;
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(pieces)
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Atom, usize), String> {
+    let mut ranges = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        return Err("negated classes are unsupported".into());
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            *chars.get(i).ok_or("dangling escape in class")?
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // `a-z` is a range unless the '-' is the final class character.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|c| *c != ']') {
+            let hi = chars[i + 1];
+            if hi < lo {
+                return Err(format!("inverted range {lo}-{hi}"));
+            }
+            ranges.push((lo, hi));
+            i += 2;
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if i >= chars.len() {
+        return Err("unterminated character class".into());
+    }
+    Ok((Atom::Class(ranges), i + 1))
+}
+
+fn parse_repeat(chars: &[char], i: usize) -> Result<(u32, u32, usize), String> {
+    match chars.get(i) {
+        Some('*') => Ok((0, UNBOUNDED_CAP, i + 1)),
+        Some('+') => Ok((1, UNBOUNDED_CAP, i + 1)),
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .ok_or("unterminated {} repetition")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| "bad repetition bound")?,
+                    hi.trim().parse().map_err(|_| "bad repetition bound")?,
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().map_err(|_| "bad repetition count")?;
+                    (n, n)
+                }
+            };
+            if max < min {
+                return Err("inverted repetition bounds".into());
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_bounds() {
+        let mut rng = TestRng::deterministic("classes_and_bounds");
+        for _ in 0..300 {
+            let s = generate_from_regex("[a-c]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let one = generate_from_regex("[xy]", &mut rng);
+            assert!(one == "x" || one == "y");
+
+            let mixed = generate_from_regex("[a-zA-Z0-9:/. -]{0,40}", &mut rng);
+            assert!(mixed.len() <= 40);
+            assert!(
+                mixed
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || ":/. -".contains(c)),
+                "{mixed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        let mut rng = TestRng::deterministic("literals_and_operators");
+        assert_eq!(generate_from_regex("abc", &mut rng), "abc");
+        for _ in 0..100 {
+            let s = generate_from_regex("a[01]+b?", &mut rng);
+            assert!(s.starts_with('a'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::deterministic("exact_count");
+        assert_eq!(generate_from_regex("[z]{3}", &mut rng), "zzz");
+    }
+}

@@ -1,0 +1,125 @@
+//! Test configuration, errors, and the deterministic RNG.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (only `cases` is honoured by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`], mirroring proptest's `Reject`.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies.
+///
+/// Seeded from the test function's name (FNV-1a), so every run of a
+/// given test draws the same case sequence and failures reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform index in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Uniform f64 draw from the range.
+    pub fn range_f64(&mut self, r: Range<f64>) -> f64 {
+        self.inner.gen_range(r)
+    }
+}
+
+macro_rules! impl_rng_range {
+    ($($method:ident => $t:ty),*) => {
+        impl TestRng {
+            $(
+                /// Uniform draw from the range.
+                pub fn $method(&mut self, r: Range<$t>) -> $t {
+                    self.inner.gen_range(r)
+                }
+            )*
+        }
+    };
+}
+
+impl_rng_range!(
+    range_u8 => u8,
+    range_u16 => u16,
+    range_u32 => u32,
+    range_u64 => u64,
+    range_usize => usize,
+    range_i8 => i8,
+    range_i16 => i16,
+    range_i32 => i32,
+    range_i64 => i64,
+    range_isize => isize
+);
