@@ -1,0 +1,111 @@
+//! Scale table — the external shuffle under shrinking memory budgets.
+//!
+//! Not a paper table: this exercises the engine's spill-to-disk shuffle
+//! on the Pavlo et al. aggregation task (`SELECT sourceIP,
+//! SUM(adRevenue) FROM UserVisits GROUP BY sourceIP`), whose
+//! near-distinct keys defeat map-side combining — the intermediate data
+//! is as large as the projected input, so it is the workload where an
+//! in-memory shuffle hits the RAM wall first.
+//!
+//! The first row runs unbounded (the seed behaviour) to size the
+//! shuffle; the remaining rows cap `shuffle_buffer_bytes` at shrinking
+//! fractions of that size, forcing spills, and report the spill
+//! counters plus per-phase timings so the spill cost is attributable.
+//! Every capped run's output is asserted equal to the unbounded run's.
+
+use mr_engine::{run_job, Builtin, InputSpec, JobConfig, JobResult};
+use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
+use mr_workloads::pavlo::benchmark2;
+
+fn main() {
+    bench::banner(
+        "Scale — external shuffle vs. memory budget",
+        "SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP.\n\
+         Budget ∞ keeps the whole shuffle resident; capped rows spill\n\
+         sorted runs and k-way merge them at reduce time. Outputs are\n\
+         asserted identical across all rows.",
+    );
+    let dir = bench::bench_dir("scale-shuffle");
+    let input = dir.join("uservisits.seq");
+    let visits = bench::scaled(80_000);
+    generate_uservisits(
+        &input,
+        &UserVisitsConfig {
+            visits,
+            ..UserVisitsConfig::default()
+        },
+    )
+    .expect("generate uservisits");
+    let input_size = std::fs::metadata(&input).expect("meta").len();
+    println!("input: {visits} visits, {}\n", bench::fmt_bytes(input_size));
+
+    let program = benchmark2();
+    let job = |budget: Option<usize>| {
+        let mut j = JobConfig::ir_job(
+            "revenue-by-ip",
+            InputSpec::SeqFile {
+                path: input.clone(),
+            },
+            program.mapper.clone(),
+            Builtin::Sum,
+        )
+        .with_reducers(4)
+        .with_spill_dir(&dir);
+        j.shuffle_buffer_bytes = budget;
+        j
+    };
+
+    // Size the budgets off the real shuffle volume so the table forces
+    // spills at every scale, --smoke included.
+    let (unbounded_time, unbounded) = bench::time_runs(|| run_job(&job(None)).expect("unbounded"));
+    let shuffle_size = unbounded.counters.shuffle_bytes as usize;
+    let row = |label: &str, time: std::time::Duration, r: &JobResult| {
+        vec![
+            label.to_string(),
+            r.counters.spill_count.to_string(),
+            r.counters.spilled_records.to_string(),
+            bench::fmt_bytes(r.counters.spill_bytes),
+            bench::fmt_secs(r.phases.map),
+            bench::fmt_secs(r.phases.shuffle),
+            bench::fmt_secs(r.phases.reduce),
+            bench::fmt_secs(time),
+        ]
+    };
+
+    let mut rows = vec![row("∞ (resident)", unbounded_time, &unbounded)];
+    for (label, divisor) in [("shuffle/2", 2), ("shuffle/8", 8), ("shuffle/32", 32)] {
+        let budget = (shuffle_size / divisor).max(64);
+        let (time, result) = bench::time_runs(|| run_job(&job(Some(budget))).expect("capped run"));
+        assert_eq!(
+            result.output, unbounded.output,
+            "{label}: spilled output must equal the resident path"
+        );
+        assert!(
+            result.counters.spill_count > 0,
+            "{label}: a budget below the shuffle size must spill"
+        );
+        rows.push(row(
+            &format!("{label} ({})", bench::fmt_bytes(budget as u64)),
+            time,
+            &result,
+        ));
+    }
+
+    println!(
+        "shuffle volume: {} across 4 reducers\n",
+        bench::fmt_bytes(shuffle_size as u64)
+    );
+    bench::print_table(
+        &[
+            "Budget",
+            "Spills",
+            "Spilled recs",
+            "Spill bytes",
+            "Map",
+            "Shuffle (attr)",
+            "Reduce",
+            "Total",
+        ],
+        &rows,
+    );
+}

@@ -176,6 +176,8 @@ fn main() {
             output: OutputSpec::InMemory,
             map_parallelism: mr_engine::job::available_parallelism(),
             sort_output: true,
+            shuffle_buffer_bytes: None,
+            spill_dir: None,
         };
 
         let (hadoop, base_result) = bench::time_runs(|| {

@@ -90,6 +90,8 @@ fn main() {
         output: OutputSpec::InMemory,
         map_parallelism: mr_engine::job::available_parallelism(),
         sort_output: true,
+        shuffle_buffer_bytes: None,
+        spill_dir: None,
     };
 
     let (proj_time, proj_result) = bench::time_runs(|| {

@@ -8,6 +8,7 @@
 //! manimal build   PROG.mrasm DATA.seq [--work DIR]# run index-gen programs
 //! manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer sum|count|…]
 //!                 [--baseline] [--safe-mode]      # Steps 2+3
+//!                 [--shuffle-buffer BYTES]        # external shuffle budget
 //! ```
 //!
 //! The program file is MR-IR assembly (see `mr_ir::asm`); the input's
@@ -64,7 +65,7 @@ manimal — automatic optimization for MapReduce programs
   manimal analyze PROG.mrasm DATA.seq
   manimal build   PROG.mrasm DATA.seq [--work DIR]
   manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer R]
-                  [--baseline] [--safe-mode]
+                  [--baseline] [--safe-mode] [--shuffle-buffer BYTES]
 
 reducers: sum, count, max, min, identity, first, sum-drop-key
 ";
@@ -236,6 +237,13 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
     let reducer = reducer_of(flag_value(rest, "--reducer").unwrap_or("count"))?;
     let mut manimal = Manimal::new(workdir(rest, input)).map_err(|e| e.to_string())?;
     manimal.optimizer.safe_mode = flag_present(rest, "--safe-mode");
+    if let Some(bytes) = flag_value(rest, "--shuffle-buffer") {
+        manimal.shuffle_buffer_bytes = Some(
+            bytes
+                .parse::<usize>()
+                .map_err(|_| format!("--shuffle-buffer: `{bytes}` is not a byte count"))?,
+        );
+    }
     let submission = manimal.submit(&program, input);
 
     let execution = if flag_present(rest, "--baseline") {

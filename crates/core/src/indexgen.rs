@@ -192,12 +192,30 @@ pub fn plan_index_programs(
 
 impl IndexGenProgram {
     /// Execute the program, producing the artifact and a catalog entry.
+    /// Index-build jobs run with an unbounded shuffle; use
+    /// [`run_with_shuffle_budget`](Self::run_with_shuffle_budget) to
+    /// bound it.
     pub fn run(&self) -> Result<CatalogEntry> {
+        self.run_with_shuffle_budget(None)
+    }
+
+    /// Execute the program with the fabric's shuffle memory bounded by
+    /// `shuffle_buffer_bytes` — selection builds are a full-input
+    /// MapReduce job into a single reducer, exactly the shape that
+    /// outgrows RAM first.
+    pub fn run_with_shuffle_budget(
+        &self,
+        shuffle_buffer_bytes: Option<usize>,
+    ) -> Result<CatalogEntry> {
         let input_bytes = std::fs::metadata(&self.input)?.len();
         match &self.kind {
             IndexKind::Selection {
                 projected_fields, ..
-            } => self.build_selection(projected_fields.as_deref(), input_bytes),
+            } => self.build_selection(
+                projected_fields.as_deref(),
+                input_bytes,
+                shuffle_buffer_bytes,
+            ),
             IndexKind::Projection { fields } => self.build_projection(fields, input_bytes),
             IndexKind::Delta { fields, projected } => {
                 self.build_delta(fields, projected.as_deref(), input_bytes)
@@ -214,6 +232,7 @@ impl IndexGenProgram {
         &self,
         projected_fields: Option<&[String]>,
         input_bytes: u64,
+        shuffle_buffer_bytes: Option<usize>,
     ) -> Result<CatalogEntry> {
         let expr = self
             .key_expr
@@ -239,6 +258,8 @@ impl IndexGenProgram {
             output: OutputSpec::InMemory,
             map_parallelism: mr_engine::job::available_parallelism(),
             sort_output: true,
+            shuffle_buffer_bytes,
+            spill_dir: None,
         };
         let result = run_job(&job)?;
 

@@ -24,6 +24,16 @@ pub struct Counters {
     pub input_bytes: AtomicU64,
     /// Approximate bytes of shuffled intermediate data.
     pub shuffle_bytes: AtomicU64,
+    /// Sorted runs spilled to disk by the shuffle (0 when the whole
+    /// shuffle fit in [`JobConfig::shuffle_buffer_bytes`](crate::job::JobConfig::shuffle_buffer_bytes)).
+    pub spill_count: AtomicU64,
+    /// Pairs written to spill runs by map-side spills (a pair spilled
+    /// once counts once; merge-compaction rewrites are not re-counted).
+    pub spilled_records: AtomicU64,
+    /// Bytes written to spill run files, framing included — map-side
+    /// spills *plus* merge-compaction rewrites, i.e. total spill-disk
+    /// write traffic.
+    pub spill_bytes: AtomicU64,
     /// Distinct keys seen by reduce.
     pub reduce_input_groups: AtomicU64,
     /// Records produced by reduce.
@@ -53,6 +63,9 @@ impl Counters {
             map_output_records: self.map_output_records.load(Ordering::Relaxed),
             input_bytes: self.input_bytes.load(Ordering::Relaxed),
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            spill_count: self.spill_count.load(Ordering::Relaxed),
+            spilled_records: self.spilled_records.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
             reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
             instructions_executed: self.instructions_executed.load(Ordering::Relaxed),
@@ -74,6 +87,12 @@ pub struct CounterSnapshot {
     pub input_bytes: u64,
     /// Approximate shuffled bytes.
     pub shuffle_bytes: u64,
+    /// Sorted runs spilled to disk.
+    pub spill_count: u64,
+    /// Pairs written to spill runs (map-side spills).
+    pub spilled_records: u64,
+    /// Bytes written to spill run files (incl. compaction rewrites).
+    pub spill_bytes: u64,
     /// Distinct reduce keys.
     pub reduce_input_groups: u64,
     /// Reduce output records.
@@ -91,6 +110,9 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "map output records: {}", self.map_output_records)?;
         writeln!(f, "input bytes       : {}", self.input_bytes)?;
         writeln!(f, "shuffle bytes     : {}", self.shuffle_bytes)?;
+        writeln!(f, "spill runs        : {}", self.spill_count)?;
+        writeln!(f, "spilled records   : {}", self.spilled_records)?;
+        writeln!(f, "spill bytes       : {}", self.spill_bytes)?;
         writeln!(f, "reduce groups     : {}", self.reduce_input_groups)?;
         write!(f, "reduce output     : {}", self.reduce_output_records)
     }

@@ -58,6 +58,23 @@ pub struct JobConfig {
     /// Sort the final in-memory output by key (stable across plans, for
     /// equivalence checks).
     pub sort_output: bool,
+    /// Shuffle memory budget in bytes. `None` (the default) keeps every
+    /// emitted pair resident — the seed behaviour, fine for
+    /// laptop-scale jobs. With a budget set, half is split evenly
+    /// across the reducer buckets and half across the map workers'
+    /// staging buffers; a bucket that outgrows its share sorts its
+    /// buffer and spills it as a run file, and reduce k-way merges the
+    /// runs with the resident tail. Accounting uses each pair's
+    /// *serialized payload size* (the same estimate as the
+    /// `shuffle_bytes` counter), not its heap footprint — actual
+    /// resident memory runs a small constant factor above the budget
+    /// (enum + allocator overhead per `Value`), so size the knob with
+    /// headroom. Output is identical either way.
+    pub shuffle_buffer_bytes: Option<usize>,
+    /// Parent directory for spill runs. Each job spills into a private
+    /// subdirectory that is removed when the job finishes; `None` uses
+    /// [`std::env::temp_dir`].
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl JobConfig {
@@ -77,6 +94,8 @@ impl JobConfig {
             output: OutputSpec::InMemory,
             map_parallelism: available_parallelism(),
             sort_output: true,
+            shuffle_buffer_bytes: None,
+            spill_dir: None,
         }
     }
 
@@ -95,6 +114,20 @@ impl JobConfig {
     /// Send output to a text directory.
     pub fn with_text_output(mut self, dir: impl Into<PathBuf>) -> Self {
         self.output = OutputSpec::TextDir(dir.into());
+        self
+    }
+
+    /// Bound the shuffle's memory footprint: emitted pairs beyond
+    /// `bytes` (accounted across all reducer buckets) spill to sorted
+    /// run files and are merged back at reduce time.
+    pub fn with_shuffle_buffer(mut self, bytes: usize) -> Self {
+        self.shuffle_buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Put spill runs under `dir` instead of the system temp dir.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 }

@@ -12,6 +12,13 @@
 //! [`mapper::IrMapper`] per task, so member variables have the real Java
 //! `Mapper`-object lifetime); reducers are native Rust shared by every
 //! plan, baseline and optimized alike.
+//!
+//! The shuffle runs in one of two modes. By default every emitted pair
+//! stays resident and each partition is sorted in memory. With
+//! [`JobConfig::shuffle_buffer_bytes`](job::JobConfig::shuffle_buffer_bytes)
+//! set, the shuffle is *external*: overfull buckets spill sorted runs
+//! to disk ([`spill`]) and reduce streams a k-way merge over them
+//! ([`merge`]) — same output, memory bounded by the budget.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,14 +28,18 @@ pub mod error;
 pub mod input;
 pub mod job;
 pub mod mapper;
+pub mod merge;
 pub mod partition;
 pub mod reducer;
 pub mod runner;
+pub mod spill;
 
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{EngineError, Result};
 pub use input::{InputSpec, SplitReader};
 pub use job::{InputBinding, JobConfig, OutputSpec};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
+pub use merge::{KWayMerge, RunStream};
 pub use reducer::{Builtin, FnReducerFactory, Reducer, ReducerFactory};
-pub use runner::{run_job, JobResult};
+pub use runner::{run_job, JobResult, PhaseTimings};
+pub use spill::{ShuffleBucket, SpillDir, SpillRun};

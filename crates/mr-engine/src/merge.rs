@@ -1,0 +1,344 @@
+//! Streaming k-way merge of sorted shuffle runs.
+//!
+//! The reduce side of the external shuffle: instead of materializing a
+//! whole partition and sorting it, reduce merges the partition's
+//! spilled runs (see [`crate::spill`]) with the still-resident tail,
+//! one pair at a time, through a binary min-heap holding one head per
+//! run. Key ties break by run index — runs are numbered in spill
+//! (= emission) order and the resident tail is last — so the merged
+//! stream is exactly what a stable in-memory sort of the whole
+//! partition would have produced, and the grouping iterator downstream
+//! cannot tell the two paths apart.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::path::Path;
+
+use mr_ir::value::Value;
+use mr_storage::runfile::{RunFileReader, RunFileWriter};
+
+use crate::counters::Counters;
+use crate::error::{EngineError, Result};
+use crate::spill::SpillRun;
+
+/// The most runs one merge pass opens at once — Hadoop's
+/// `io.sort.factor`. A tiny budget over a large input can spill
+/// thousands of runs per partition; without this cap the final merge
+/// would hold one open file (and `BufReader`) per run and exhaust the
+/// process fd limit exactly in the large-data regime spilling exists
+/// for.
+pub const MERGE_FACTOR: usize = 64;
+
+/// Compact `runs` (in spill order) down to at most [`MERGE_FACTOR`] by
+/// merging batches of consecutive runs into intermediate runs under
+/// `dir`, deleting the sources. Batches are consecutive and each
+/// result takes its batch's position, so the `(key, run index)`
+/// tie-break — and therefore the final merged stream — is identical to
+/// a flat merge of the original runs. Rewritten bytes are charged to
+/// the `spill_bytes` counter (they are real spill-disk traffic);
+/// `spill_count`/`spilled_records` stay map-side only.
+pub fn compact_runs(
+    mut runs: Vec<SpillRun>,
+    dir: &Path,
+    partition: usize,
+    counters: &Counters,
+) -> Result<Vec<SpillRun>> {
+    let mut generation = 0usize;
+    while runs.len() > MERGE_FACTOR {
+        let mut next: Vec<SpillRun> = Vec::with_capacity(runs.len().div_ceil(MERGE_FACTOR));
+        let mut batch: Vec<SpillRun> = Vec::new();
+        for run in runs {
+            batch.push(run);
+            if batch.len() == MERGE_FACTOR {
+                let idx = next.len();
+                next.push(merge_batch(
+                    std::mem::take(&mut batch),
+                    dir,
+                    partition,
+                    generation,
+                    idx,
+                    counters,
+                )?);
+            }
+        }
+        match batch.len() {
+            0 => {}
+            1 => next.push(batch.pop().expect("len checked")),
+            _ => {
+                let idx = next.len();
+                next.push(merge_batch(
+                    batch, dir, partition, generation, idx, counters,
+                )?);
+            }
+        }
+        runs = next;
+        generation += 1;
+    }
+    Ok(runs)
+}
+
+/// Merge one batch of consecutive runs into a single intermediate run
+/// and delete the sources. The result inherits the batch's first spill
+/// sequence so relative order among surviving runs is preserved.
+fn merge_batch(
+    batch: Vec<SpillRun>,
+    dir: &Path,
+    partition: usize,
+    generation: usize,
+    index: usize,
+    counters: &Counters,
+) -> Result<SpillRun> {
+    let seq = batch[0].seq;
+    let mut streams = Vec::with_capacity(batch.len());
+    for r in &batch {
+        streams.push(RunStream::File(RunFileReader::open(&r.path)?));
+    }
+    let path = dir.join(format!("merge-{partition:05}-g{generation}-{index:04}"));
+    let mut w = RunFileWriter::create(&path)?;
+    for item in KWayMerge::new(streams)? {
+        let (k, v) = item?;
+        w.append(&k, &v)?;
+    }
+    let (pairs, bytes) = w.finish()?;
+    Counters::add(&counters.spill_bytes, bytes);
+    for r in &batch {
+        let _ = std::fs::remove_file(&r.path);
+    }
+    Ok(SpillRun {
+        seq,
+        path,
+        pairs,
+        bytes,
+    })
+}
+
+/// One sorted input to the merge.
+pub enum RunStream {
+    /// A spilled run streamed from disk.
+    File(RunFileReader),
+    /// The sorted resident tail.
+    Memory(std::vec::IntoIter<(Value, Value)>),
+}
+
+impl RunStream {
+    fn next_pair(&mut self) -> Option<Result<(Value, Value)>> {
+        match self {
+            RunStream::File(r) => r.next().map(|p| p.map_err(EngineError::from)),
+            RunStream::Memory(it) => it.next().map(Ok),
+        }
+    }
+}
+
+/// A heap entry: the next pair of run `run`.
+struct Head {
+    key: Value,
+    value: Value,
+    run: usize,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values never participate: within a run the file order is
+        // already the emission order, and across runs the run index is
+        // the stable-sort tiebreak.
+        self.key.cmp(&other.key).then(self.run.cmp(&other.run))
+    }
+}
+
+/// Merges `k` sorted streams into one sorted pair stream.
+pub struct KWayMerge {
+    streams: Vec<RunStream>,
+    heap: BinaryHeap<Reverse<Head>>,
+    pending_error: Option<EngineError>,
+}
+
+impl KWayMerge {
+    /// Prime the heap with the first pair of every stream.
+    pub fn new(streams: Vec<RunStream>) -> Result<KWayMerge> {
+        let mut merge = KWayMerge {
+            heap: BinaryHeap::with_capacity(streams.len()),
+            streams,
+            pending_error: None,
+        };
+        for run in 0..merge.streams.len() {
+            merge.refill(run)?;
+        }
+        Ok(merge)
+    }
+
+    /// Number of input streams.
+    pub fn width(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn refill(&mut self, run: usize) -> Result<()> {
+        match self.streams[run].next_pair() {
+            Some(Ok((key, value))) => {
+                self.heap.push(Reverse(Head { key, value, run }));
+                Ok(())
+            }
+            Some(Err(e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Iterator for KWayMerge {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.pending_error.take() {
+            return Some(Err(e));
+        }
+        let Reverse(head) = self.heap.pop()?;
+        // Refill before yielding; an error is held back one step so the
+        // popped pair is not lost.
+        if let Err(e) = self.refill(head.run) {
+            self.pending_error = Some(e);
+        }
+        Some(Ok((head.key, head.value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(pairs: Vec<(i64, &str)>) -> RunStream {
+        RunStream::Memory(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Value::Int(k), Value::str(v)))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        )
+    }
+
+    fn collect(m: KWayMerge) -> Vec<(i64, Value)> {
+        m.map(|p| p.unwrap())
+            .map(|(k, v)| (k.as_int().unwrap(), v))
+            .collect()
+    }
+
+    #[test]
+    fn merges_three_streams_in_order() {
+        let m = KWayMerge::new(vec![
+            mem(vec![(1, "a"), (4, "d"), (7, "g")]),
+            mem(vec![(2, "b"), (5, "e")]),
+            mem(vec![(3, "c"), (6, "f"), (8, "h"), (9, "i")]),
+        ])
+        .unwrap();
+        assert_eq!(m.width(), 3);
+        let out = collect(m);
+        let keys: Vec<i64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_ties_break_by_run_index() {
+        let m = KWayMerge::new(vec![
+            mem(vec![(1, "run0-a"), (1, "run0-b")]),
+            mem(vec![(1, "run1-a")]),
+            mem(vec![(0, "run2"), (1, "run2-a")]),
+        ])
+        .unwrap();
+        let out = collect(m);
+        assert_eq!(
+            out,
+            vec![
+                (0, Value::str("run2")),
+                (1, Value::str("run0-a")),
+                (1, Value::str("run0-b")),
+                (1, Value::str("run1-a")),
+                (1, Value::str("run2-a")),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_exhausted_streams_ok() {
+        let m = KWayMerge::new(vec![mem(vec![]), mem(vec![(1, "x")]), mem(vec![])]).unwrap();
+        assert_eq!(collect(m), vec![(1, Value::str("x"))]);
+        let m = KWayMerge::new(vec![]).unwrap();
+        assert_eq!(collect(m), vec![]);
+    }
+
+    #[test]
+    fn compact_runs_equals_flat_merge() {
+        let dir = crate::spill::SpillDir::create(None, "compact").unwrap();
+        // 150 runs of 4 pairs with heavily overlapping keys — enough to
+        // force two merge generations (150 → 3 → done).
+        let mut runs = Vec::new();
+        let mut concat: Vec<(Value, Value)> = Vec::new();
+        for seq in 0..150usize {
+            let mut pairs: Vec<(Value, Value)> = (0..4)
+                .map(|j| {
+                    (
+                        Value::Int(((seq * 7 + j * 3) % 10) as i64),
+                        Value::Int((seq * 10 + j) as i64),
+                    )
+                })
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            concat.extend(pairs.iter().cloned());
+            runs.push(crate::spill::write_sorted_run(dir.path(), 0, seq, pairs).unwrap());
+        }
+        // A flat merge with run-index tie-break is exactly a stable sort
+        // of the concatenated sorted runs.
+        concat.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let counters = Counters::new();
+        let compacted = compact_runs(runs, dir.path(), 0, &counters).unwrap();
+        assert!(
+            counters.snapshot().spill_bytes > 0,
+            "compaction rewrites are charged to spill_bytes"
+        );
+        assert!(compacted.len() <= MERGE_FACTOR);
+        assert!(compacted.len() >= 2, "150 runs batch into several");
+        let mut streams = Vec::new();
+        for r in &compacted {
+            streams.push(RunStream::File(RunFileReader::open(&r.path).unwrap()));
+        }
+        let merged: Vec<(Value, Value)> = KWayMerge::new(streams)
+            .unwrap()
+            .map(|p| p.unwrap())
+            .collect();
+        assert_eq!(merged, concat);
+        // Sources were deleted; only the intermediate runs remain.
+        let files = std::fs::read_dir(dir.path()).unwrap().count();
+        assert_eq!(files, compacted.len());
+    }
+
+    #[test]
+    fn file_stream_roundtrip() {
+        let dir = std::env::temp_dir().join("mr-merge-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("run-{}", std::process::id()));
+        let mut w = mr_storage::runfile::RunFileWriter::create(&path).unwrap();
+        for i in [0i64, 2, 4] {
+            w.append(&Value::Int(i), &Value::Null).unwrap();
+        }
+        w.finish().unwrap();
+        let m = KWayMerge::new(vec![
+            RunStream::File(RunFileReader::open(&path).unwrap()),
+            mem(vec![(1, "x"), (3, "y")]),
+        ])
+        .unwrap();
+        let keys: Vec<i64> = m.map(|p| p.unwrap().0.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -3,17 +3,25 @@
 //! "The execution fabric retains the standard map-shuffle-reduce
 //! sequence and is almost identical to standard MapReduce" (paper §2).
 //! Map tasks run on a worker pool consuming input splits from a queue;
-//! emitted pairs are hash-partitioned into per-reducer buckets; each
-//! reduce partition sorts by key, groups equal keys, and applies the
-//! reducer.
+//! emitted pairs are hash-partitioned into per-reducer buckets. With no
+//! shuffle budget the whole partition stays resident and is sorted in
+//! one pass; with [`JobConfig::shuffle_buffer_bytes`] set, overfull
+//! buckets spill sorted runs to disk ([`crate::spill`]) and each reduce
+//! partition streams a k-way merge of its runs plus the resident tail
+//! ([`crate::merge`]) through the grouping loop — same output, bounded
+//! memory.
+//!
+//! [`JobConfig::shuffle_buffer_bytes`]: crate::job::JobConfig::shuffle_buffer_bytes
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mr_ir::value::Value;
+use mr_storage::runfile::RunFileReader;
 use parking_lot::Mutex as PlMutex;
 
 use crate::counters::{CounterSnapshot, Counters};
@@ -21,7 +29,29 @@ use crate::error::{EngineError, Result};
 use crate::input::SplitReader;
 use crate::job::{JobConfig, OutputSpec};
 use crate::mapper::MapperFactory;
+use crate::merge::{compact_runs, KWayMerge, RunStream};
 use crate::partition::partition;
+use crate::reducer::Reducer;
+use crate::spill::{write_sorted_run, ShuffleBucket, SpillDir};
+
+/// Where a job's time went, for bench tables that need to attribute
+/// spill cost.
+///
+/// `map` and `reduce` are wall-clock spans of their phases (`map`
+/// includes map-side spill writes; `reduce` includes the merge).
+/// `shuffle` is *attributed* time — the total spent sorting buffers and
+/// writing spill runs, summed across worker threads — so it overlaps
+/// the other two and the three fields need not add up to
+/// [`JobResult::elapsed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Wall-clock span of the map phase.
+    pub map: Duration,
+    /// Cumulative cross-thread time sorting and writing shuffle runs.
+    pub shuffle: Duration,
+    /// Wall-clock span of the merge + reduce phase.
+    pub reduce: Duration,
+}
 
 /// What a finished job hands back.
 #[derive(Debug)]
@@ -34,9 +64,116 @@ pub struct JobResult {
     pub output_files: Vec<std::path::PathBuf>,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Per-phase breakdown of `elapsed`.
+    pub phases: PhaseTimings,
+}
+
+/// Spill one bucket: detach its buffer under the lock, but sort and
+/// write the run *outside* it, so other map workers flushing into the
+/// same partition are not serialized behind the disk write. The spill
+/// sequence number assigned at detach time keeps runs in emission
+/// order however the writes interleave.
+fn spill_bucket(
+    bucket: &PlMutex<ShuffleBucket>,
+    p: usize,
+    dir: &Path,
+    counters: &Counters,
+    shuffle_nanos: &AtomicU64,
+) -> Result<()> {
+    let Some((pairs, seq)) = bucket.lock().take_for_spill() else {
+        return Ok(());
+    };
+    let t = Instant::now();
+    let run = write_sorted_run(dir, p, seq, pairs)?;
+    shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    Counters::add(&counters.spill_count, 1);
+    Counters::add(&counters.spilled_records, run.pairs);
+    Counters::add(&counters.spill_bytes, run.bytes);
+    bucket.lock().record_run(run);
+    Ok(())
+}
+
+/// Stream sorted pairs through the grouping loop, reducing one key
+/// group at a time — only the current group's values are ever held, so
+/// the partition is never materialized. Returns the group count.
+fn reduce_groups(
+    pairs: impl Iterator<Item = Result<(Value, Value)>>,
+    reducer: &mut dyn Reducer,
+    out: &mut Vec<(Value, Value)>,
+) -> Result<u64> {
+    let mut groups = 0u64;
+    let mut cur_key: Option<Value> = None;
+    let mut values: Vec<Value> = Vec::new();
+    for item in pairs {
+        let (k, v) = item?;
+        match &cur_key {
+            Some(ck) if *ck == k => values.push(v),
+            Some(ck) => {
+                groups += 1;
+                reducer.reduce(ck, &values, out)?;
+                values.clear();
+                values.push(v);
+                cur_key = Some(k);
+            }
+            None => {
+                cur_key = Some(k);
+                values.push(v);
+            }
+        }
+    }
+    if let Some(ck) = &cur_key {
+        groups += 1;
+        reducer.reduce(ck, &values, out)?;
+    }
+    Ok(groups)
 }
 
 /// Run a job to completion.
+///
+/// # Example
+///
+/// Count words from a tiny sequence file with the shuffle capped at
+/// 1 KiB, so part of it spills to disk and is merged back — the output
+/// is identical to an uncapped run:
+///
+/// ```
+/// use std::sync::Arc;
+/// use mr_engine::{
+///     run_job, Builtin, FnMapperFactory, InputBinding, InputSpec, JobConfig, OutputSpec,
+/// };
+/// use mr_ir::record::record;
+/// use mr_ir::schema::{FieldType, Schema};
+/// use mr_ir::value::Value;
+///
+/// let schema = Schema::new("T", vec![("word", FieldType::Str)]).into_arc();
+/// let path = std::env::temp_dir().join(format!("run-job-doc-{}", std::process::id()));
+/// let rows = (0..100).map(|i| record(&schema, vec![format!("w{}", i % 7).into()]));
+/// mr_storage::write_seqfile(&path, Arc::clone(&schema), rows)?;
+///
+/// let mapper = FnMapperFactory(|_k: &Value, v: &Value, out: &mut Vec<(Value, Value)>| {
+///     let word = v.as_record().unwrap().get("word").unwrap().clone();
+///     out.push((word, Value::Int(1)));
+/// });
+/// let job = JobConfig {
+///     name: "wordcount".into(),
+///     inputs: vec![InputBinding {
+///         input: InputSpec::SeqFile { path },
+///         mapper: Arc::new(mapper),
+///     }],
+///     num_reducers: 2,
+///     reducer: Arc::new(Builtin::Count),
+///     output: OutputSpec::InMemory,
+///     map_parallelism: 2,
+///     sort_output: true,
+///     shuffle_buffer_bytes: Some(1024),
+///     spill_dir: None,
+/// };
+/// let result = run_job(&job)?;
+/// assert_eq!(result.output.len(), 7, "seven distinct words");
+/// let total: i64 = result.output.iter().map(|(_, v)| v.as_int().unwrap()).sum();
+/// assert_eq!(total, 100);
+/// # Ok::<(), mr_engine::EngineError>(())
+/// ```
 pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     let start = Instant::now();
     if job.inputs.is_empty() {
@@ -44,6 +181,18 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     }
     let num_reducers = job.num_reducers.max(1);
     let counters = Counters::new();
+    let shuffle_nanos = AtomicU64::new(0);
+
+    // One private, self-cleaning spill directory per job — only created
+    // when a shuffle budget makes spilling possible.
+    let spill_dir = match job.shuffle_buffer_bytes {
+        Some(_) => Some(SpillDir::create(job.spill_dir.as_deref(), &job.name)?),
+        None => None,
+    };
+    // Half the budget goes to the shared reducer buckets (split evenly) …
+    let bucket_cap = job
+        .shuffle_buffer_bytes
+        .map(|b| (b / 2 / num_reducers).max(1));
 
     // ---- plan map tasks ------------------------------------------------
     struct MapTask {
@@ -61,13 +210,18 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     }
 
     // ---- map phase ------------------------------------------------------
-    let buckets: Vec<PlMutex<Vec<(Value, Value)>>> = (0..num_reducers)
-        .map(|_| PlMutex::new(Vec::new()))
+    let map_start = Instant::now();
+    let buckets: Vec<PlMutex<ShuffleBucket>> = (0..num_reducers)
+        .map(|_| PlMutex::new(ShuffleBucket::new()))
         .collect();
     let queue = Mutex::new(tasks);
     let failed: PlMutex<Option<EngineError>> = PlMutex::new(None);
     let abort = AtomicBool::new(false);
     let workers = job.map_parallelism.max(1);
+    // … and the other half to the workers' task-local staging, flushed
+    // into the buckets once a worker's share fills — so total resident
+    // shuffle memory stays within the budget (plus one flush of slack).
+    let local_cap = job.shuffle_buffer_bytes.map(|b| (b / 2 / workers).max(1));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -82,11 +236,42 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                     let mut mapper = task.mapper.create();
                     let mut local: Vec<Vec<(Value, Value)>> =
                         (0..num_reducers).map(|_| Vec::new()).collect();
+                    let mut local_bytes = vec![0usize; num_reducers];
+                    let mut local_total = 0usize;
                     let mut records = 0u64;
                     let mut outputs = 0u64;
                     let mut instructions = 0u64;
                     let mut effects = 0u64;
                     let mut shuffle_bytes = 0u64;
+                    let flush = |local: &mut Vec<Vec<(Value, Value)>>,
+                                 local_bytes: &mut Vec<usize>,
+                                 local_total: &mut usize|
+                     -> Result<()> {
+                        for (p, pairs) in local.iter_mut().enumerate() {
+                            if pairs.is_empty() {
+                                continue;
+                            }
+                            let over_cap = {
+                                let mut bucket = buckets[p].lock();
+                                bucket.absorb(pairs, local_bytes[p]);
+                                bucket_cap.is_some_and(|cap| bucket.resident_bytes() > cap)
+                            };
+                            local_bytes[p] = 0;
+                            if over_cap {
+                                if let Some(dir) = &spill_dir {
+                                    spill_bucket(
+                                        &buckets[p],
+                                        p,
+                                        dir.path(),
+                                        &counters,
+                                        &shuffle_nanos,
+                                    )?;
+                                }
+                            }
+                        }
+                        *local_total = 0;
+                        Ok(())
+                    };
                     let run = (|| -> Result<()> {
                         for item in task.reader.by_ref() {
                             let (k, v) = item?;
@@ -97,11 +282,18 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                             effects += stats.side_effects;
                             outputs += emit_buf.len() as u64;
                             for (ok, ov) in emit_buf.drain(..) {
-                                shuffle_bytes += (ok.payload_size() + ov.payload_size()) as u64 + 2;
-                                local[partition(&ok, num_reducers)].push((ok, ov));
+                                let pair_bytes = ok.payload_size() + ov.payload_size() + 2;
+                                shuffle_bytes += pair_bytes as u64;
+                                let p = partition(&ok, num_reducers);
+                                local_bytes[p] += pair_bytes;
+                                local_total += pair_bytes;
+                                local[p].push((ok, ov));
+                            }
+                            if local_cap.is_some_and(|cap| local_total >= cap) {
+                                flush(&mut local, &mut local_bytes, &mut local_total)?;
                             }
                         }
-                        Ok(())
+                        flush(&mut local, &mut local_bytes, &mut local_total)
                     })();
                     match run {
                         Ok(()) => {
@@ -112,9 +304,6 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                             Counters::add(&counters.side_effects, effects);
                             Counters::add(&counters.shuffle_bytes, shuffle_bytes);
                             Counters::add(&counters.input_bytes, task.reader.bytes_read());
-                            for (p, mut pairs) in local.into_iter().enumerate() {
-                                buckets[p].lock().append(&mut pairs);
-                            }
                         }
                         Err(e) => {
                             *failed.lock() = Some(e);
@@ -129,8 +318,10 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     if let Some(e) = failed.lock().take() {
         return Err(e);
     }
+    let map_elapsed = map_start.elapsed();
 
-    // ---- sort + reduce phase ---------------------------------------------
+    // ---- sort/merge + reduce phase ---------------------------------------
+    let reduce_start = Instant::now();
     let reduce_outputs: Vec<PlMutex<Vec<(Value, Value)>>> = (0..num_reducers)
         .map(|_| PlMutex::new(Vec::new()))
         .collect();
@@ -144,26 +335,38 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                 }
                 let p = partitions.lock().expect("partition lock").pop_front();
                 let Some(p) = p else { return };
-                let mut pairs = std::mem::take(&mut *buckets[p].lock());
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                let bucket = std::mem::take(&mut *buckets[p].lock());
+                let (mut tail, runs) = bucket.into_parts();
                 let mut reducer = job.reducer.create();
                 let mut out: Vec<(Value, Value)> = Vec::new();
                 let mut groups = 0u64;
                 let run = (|| -> Result<()> {
-                    let mut i = 0usize;
-                    while i < pairs.len() {
-                        let mut j = i + 1;
-                        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-                            j += 1;
+                    // Sort the resident tail (stable, like every spilled
+                    // run); with no runs it is the whole partition and
+                    // feeds the grouping loop directly, heap-free.
+                    let t = Instant::now();
+                    tail.sort_by(|a, b| a.0.cmp(&b.0));
+                    shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    groups = if runs.is_empty() {
+                        reduce_groups(tail.into_iter().map(Ok), reducer.as_mut(), &mut out)?
+                    } else {
+                        // Bound the merge fan-in first (fd limit), then
+                        // merge: runs in spill order, tail last, key ties
+                        // by run index — byte-identical to sorting the
+                        // whole partition in memory.
+                        let dir = spill_dir.as_ref().expect("spilled runs imply a spill dir");
+                        let t = Instant::now();
+                        let runs = compact_runs(runs, dir.path(), p, &counters)?;
+                        shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let mut streams: Vec<RunStream> = Vec::with_capacity(runs.len() + 1);
+                        for r in &runs {
+                            streams.push(RunStream::File(RunFileReader::open(&r.path)?));
                         }
-                        groups += 1;
-                        let key = pairs[i].0.clone();
-                        // Move the group's values out without cloning.
-                        let values: Vec<Value> =
-                            pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-                        reducer.reduce(&key, &values, &mut out)?;
-                        i = j;
-                    }
+                        if !tail.is_empty() {
+                            streams.push(RunStream::Memory(tail.into_iter()));
+                        }
+                        reduce_groups(KWayMerge::new(streams)?, reducer.as_mut(), &mut out)?
+                    };
                     Ok(())
                 })();
                 match run {
@@ -184,6 +387,8 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     if let Some(e) = failed.lock().take() {
         return Err(e);
     }
+    let reduce_elapsed = reduce_start.elapsed();
+    drop(spill_dir); // remove run files before output is declared done
 
     // ---- output ----------------------------------------------------------
     let mut output_files = Vec::new();
@@ -220,6 +425,11 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         output,
         output_files,
         elapsed: start.elapsed(),
+        phases: PhaseTimings {
+            map: map_elapsed,
+            shuffle: Duration::from_nanos(shuffle_nanos.load(Ordering::Relaxed)),
+            reduce: reduce_elapsed,
+        },
     })
 }
 
@@ -306,6 +516,9 @@ mod tests {
         assert_eq!(result.counters.reduce_input_groups, 10);
         assert!(result.counters.input_bytes > 0);
         assert!(result.counters.shuffle_bytes > 0);
+        // No budget ⇒ no spills; phase spans are recorded.
+        assert_eq!(result.counters.spill_count, 0);
+        assert!(result.phases.map + result.phases.reduce <= result.elapsed);
     }
 
     #[test]
@@ -325,6 +538,36 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn tiny_shuffle_budget_matches_unbounded_output() {
+        let path = write_pages("spillsmall", 2000);
+        let base = JobConfig::ir_job(
+            "count-high",
+            InputSpec::SeqFile { path: path.clone() },
+            count_high_ranks(),
+            Builtin::Count,
+        );
+        let unbounded = run_job(&base).unwrap();
+        let capped = run_job(
+            &JobConfig::ir_job(
+                "count-high",
+                InputSpec::SeqFile { path },
+                count_high_ranks(),
+                Builtin::Count,
+            )
+            .with_shuffle_buffer(64),
+        )
+        .unwrap();
+        assert_eq!(capped.output, unbounded.output);
+        assert!(capped.counters.spill_count > 0);
+        assert_eq!(
+            capped.counters.spilled_records, capped.counters.map_output_records,
+            "a 64-byte budget spills every pair"
+        );
+        assert!(capped.counters.spill_bytes > 0);
+        assert!(capped.phases.shuffle > Duration::ZERO);
     }
 
     #[test]
@@ -356,6 +599,8 @@ mod tests {
             output: OutputSpec::InMemory,
             map_parallelism: 4,
             sort_output: true,
+            shuffle_buffer_bytes: None,
+            spill_dir: None,
         };
         let result = run_job(&job).unwrap();
         assert_eq!(result.output.len(), 10, "ten distinct urls");
@@ -417,10 +662,12 @@ mod tests {
             InputSpec::SeqFile { path },
             count_high_ranks(),
             Builtin::Count,
-        );
+        )
+        .with_shuffle_buffer(16);
         let result = run_job(&job).unwrap();
         assert!(result.output.is_empty());
         assert_eq!(result.counters.map_input_records, 0);
+        assert_eq!(result.counters.spill_count, 0);
     }
 
     #[test]
@@ -433,6 +680,8 @@ mod tests {
             output: OutputSpec::InMemory,
             map_parallelism: 1,
             sort_output: false,
+            shuffle_buffer_bytes: None,
+            spill_dir: None,
         };
         assert!(matches!(run_job(&job), Err(EngineError::Config(_))));
     }

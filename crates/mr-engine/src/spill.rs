@@ -1,0 +1,248 @@
+//! Map-side shuffle buckets with a bounded memory footprint.
+//!
+//! The paper's fabric "retains the standard map-shuffle-reduce
+//! sequence" (§2); Hadoop's version of that sequence scales past RAM by
+//! spilling sorted runs of map output and merging them at reduce time.
+//! This module is the spill half: each reduce partition owns a
+//! [`ShuffleBucket`] that accumulates emitted pairs, and when a bucket
+//! outgrows its share of [`JobConfig::shuffle_buffer_bytes`] the runner
+//! detaches the buffer ([`ShuffleBucket::take_for_spill`], under the
+//! bucket lock), sorts it by key (stably, preserving emission order
+//! within a key) and writes it to a [`mr_storage::runfile`] run
+//! ([`write_sorted_run`], *outside* the lock, so map workers are not
+//! serialized behind disk writes). Runs carry a sequence number
+//! assigned at detach time, which keeps them in emission order however
+//! the writes interleave. The merge half lives in [`crate::merge`].
+//!
+//! [`JobConfig::shuffle_buffer_bytes`]: crate::job::JobConfig::shuffle_buffer_bytes
+
+use std::path::{Path, PathBuf};
+
+use mr_ir::value::Value;
+use mr_storage::runfile::RunFileWriter;
+
+use crate::error::Result;
+
+/// One spilled sorted run.
+#[derive(Debug)]
+pub struct SpillRun {
+    /// Spill sequence within the bucket (buffer-detach = emission
+    /// order); the merge tie-breaks equal keys by it.
+    pub seq: usize,
+    /// The run file.
+    pub path: PathBuf,
+    /// Pairs in the run.
+    pub pairs: u64,
+    /// Run file size in bytes (framing included).
+    pub bytes: u64,
+}
+
+/// A per-job spill directory, created on demand and removed (with
+/// everything in it) when the job finishes.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Create a fresh private directory under `parent` (or the system
+    /// temp dir). The name embeds the pid and a process-wide sequence
+    /// number so concurrent jobs never collide.
+    pub fn create(parent: Option<&Path>, job_name: &str) -> Result<SpillDir> {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let sanitized: String = job_name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(32)
+            .collect();
+        let base = parent
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let path = base.join(format!("mr-spill-{sanitized}-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(SpillDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// One reduce partition's shuffle bucket: the resident pair buffer plus
+/// the runs already spilled for it.
+#[derive(Debug, Default)]
+pub struct ShuffleBucket {
+    resident: Vec<(Value, Value)>,
+    resident_bytes: usize,
+    next_seq: usize,
+    runs: Vec<SpillRun>,
+}
+
+impl ShuffleBucket {
+    /// An empty bucket.
+    pub fn new() -> ShuffleBucket {
+        ShuffleBucket::default()
+    }
+
+    /// Append a map task's pairs for this partition. `bytes` is the
+    /// same approximate pair size the `shuffle_bytes` counter uses, so
+    /// budget accounting and reporting agree.
+    pub fn absorb(&mut self, pairs: &mut Vec<(Value, Value)>, bytes: usize) {
+        self.resident.append(pairs);
+        self.resident_bytes += bytes;
+    }
+
+    /// Approximate bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Runs recorded so far (in record order, not spill order).
+    pub fn runs(&self) -> &[SpillRun] {
+        &self.runs
+    }
+
+    /// Detach the resident buffer for spilling and assign it the next
+    /// spill sequence number. The caller sorts and writes it outside
+    /// the bucket lock ([`write_sorted_run`]) and hands the result back
+    /// via [`record_run`](Self::record_run). `None` when there is
+    /// nothing to spill.
+    pub fn take_for_spill(&mut self) -> Option<(Vec<(Value, Value)>, usize)> {
+        if self.resident.is_empty() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.resident_bytes = 0;
+        Some((std::mem::take(&mut self.resident), seq))
+    }
+
+    /// Register a run written by [`write_sorted_run`].
+    pub fn record_run(&mut self, run: SpillRun) {
+        self.runs.push(run);
+    }
+
+    /// Tear down into `(resident tail, spilled runs)` for the merge.
+    /// The tail is returned unsorted; runs come back ordered by spill
+    /// sequence — emission order — and the merge breaks key ties by run
+    /// index, with the tail last, to reproduce the in-memory stable
+    /// sort exactly.
+    pub fn into_parts(mut self) -> (Vec<(Value, Value)>, Vec<SpillRun>) {
+        self.runs.sort_by_key(|r| r.seq);
+        (self.resident, self.runs)
+    }
+}
+
+/// Stably sort `pairs` by key (emission order survives within equal
+/// keys) and write them as run `seq` of `partition` under `dir`.
+pub fn write_sorted_run(
+    dir: &Path,
+    partition: usize,
+    seq: usize,
+    mut pairs: Vec<(Value, Value)>,
+) -> Result<SpillRun> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let path = dir.join(format!("run-{partition:05}-{seq:06}"));
+    let mut w = RunFileWriter::create(&path)?;
+    for (k, v) in &pairs {
+        w.append(k, v)?;
+    }
+    let (n, bytes) = w.finish()?;
+    Ok(SpillRun {
+        seq,
+        path,
+        pairs: n,
+        bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_storage::runfile::RunFileReader;
+
+    #[test]
+    fn spill_sorts_and_clears() {
+        let dir = SpillDir::create(None, "spill unit ☃ test").unwrap();
+        let mut b = ShuffleBucket::new();
+        let mut pairs = vec![
+            (Value::Int(3), Value::str("c")),
+            (Value::Int(1), Value::str("a")),
+            (Value::Int(3), Value::str("c2")),
+            (Value::Int(2), Value::str("b")),
+        ];
+        b.absorb(&mut pairs, 40);
+        assert_eq!(b.resident_bytes(), 40);
+        let (taken, seq) = b.take_for_spill().unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(b.resident_bytes(), 0);
+        let run = write_sorted_run(dir.path(), 7, seq, taken).unwrap();
+        assert_eq!(run.pairs, 4);
+        assert!(run
+            .path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("run-00007-"));
+        let back: Vec<(Value, Value)> = RunFileReader::open(&run.path)
+            .unwrap()
+            .map(|p| p.unwrap())
+            .collect();
+        // Sorted by key; emission order kept within the key-3 tie.
+        assert_eq!(
+            back,
+            vec![
+                (Value::Int(1), Value::str("a")),
+                (Value::Int(2), Value::str("b")),
+                (Value::Int(3), Value::str("c")),
+                (Value::Int(3), Value::str("c2")),
+            ]
+        );
+        b.record_run(run);
+        assert_eq!(b.runs().len(), 1);
+    }
+
+    #[test]
+    fn empty_take_is_none() {
+        let mut b = ShuffleBucket::new();
+        assert!(b.take_for_spill().is_none());
+        assert!(b.runs().is_empty());
+    }
+
+    #[test]
+    fn into_parts_orders_runs_by_seq() {
+        let dir = SpillDir::create(None, "seq-order").unwrap();
+        let mut b = ShuffleBucket::new();
+        let mut seqs = Vec::new();
+        for _ in 0..3 {
+            b.absorb(&mut vec![(Value::Int(1), Value::Null)], 10);
+            let (pairs, seq) = b.take_for_spill().unwrap();
+            seqs.push((pairs, seq));
+        }
+        // Record out of order, as concurrent writers might.
+        for (pairs, seq) in seqs.into_iter().rev() {
+            b.record_run(write_sorted_run(dir.path(), 0, seq, pairs).unwrap());
+        }
+        let (_, runs) = b.into_parts();
+        let got: Vec<usize> = runs.iter().map(|r| r.seq).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spill_dir_removed_on_drop() {
+        let dir = SpillDir::create(None, "dropme").unwrap();
+        let path = dir.path().to_path_buf();
+        std::fs::write(path.join("run-x"), b"leftover").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+}

@@ -16,6 +16,9 @@
 //!   (App. C/D, Table 5);
 //! * [`dict`] — dictionary compression with direct operation on codes
 //!   (App. D Table 6);
+//! * [`runfile`] — sorted-run files the execution fabric spills shuffle
+//!   buckets into and k-way merges at reduce time (the external-shuffle
+//!   path; Hadoop's `IFile` analog);
 //! * [`rowcodec`] / [`varint`] — the shared codecs.
 
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod rowcodec;
+pub mod runfile;
 pub mod seqfile;
 pub mod varint;
 
@@ -37,4 +41,5 @@ pub use colgroups::{write_column_groups, ColumnGroupReader, ColumnGroups};
 pub use delta::{DeltaFileReader, DeltaFileWriter};
 pub use dict::{DictFileReader, DictFileWriter, Dictionary};
 pub use error::{Result, StorageError};
+pub use runfile::{RunFileReader, RunFileWriter};
 pub use seqfile::{write_seqfile, SeqFileMeta, SeqFileReader, SeqFileWriter, Split};

@@ -1,0 +1,231 @@
+//! Sorted-run files for the external shuffle.
+//!
+//! When a shuffle bucket outgrows its memory budget, the engine sorts
+//! the buffered pairs and spills them here; at reduce time the runs are
+//! k-way merged back into one sorted stream. The format is the
+//! shuffle-side sibling of [`seqfile`](crate::seqfile): self-describing
+//! [`Value`] pairs (via
+//! [`rowcodec::encode_value`](crate::rowcodec::encode_value)) behind a
+//! varint length frame, so a reader can stream pairs without loading
+//! the run — Hadoop's `IFile`, minus the checksums.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "MRRN1"
+//! [varint pair_len, encode_value(key) ++ encode_value(value)]*
+//! ```
+//!
+//! Runs are process-local temp files with the lifetime of one job, so
+//! there is no footer: end-of-file at a frame boundary is end-of-run,
+//! end-of-file inside a frame is corruption.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use mr_ir::value::Value;
+
+use crate::error::{Result, StorageError};
+use crate::rowcodec::{decode_value, encode_value};
+use crate::varint::{encode_u64, read_u64_from};
+
+const MAGIC: &[u8; 5] = b"MRRN1";
+
+/// Upper bound on one framed pair; larger lengths are treated as
+/// corruption rather than allocated.
+const MAX_PAIR_LEN: u64 = 1 << 30;
+
+/// Writes one sorted run of `(key, value)` pairs.
+pub struct RunFileWriter {
+    out: BufWriter<File>,
+    pairs: u64,
+    bytes: u64,
+    frame: Vec<u8>,
+    lenbuf: Vec<u8>,
+}
+
+impl RunFileWriter {
+    /// Create (truncate) `path` and write the magic.
+    pub fn create(path: impl AsRef<Path>) -> Result<RunFileWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        Ok(RunFileWriter {
+            out,
+            pairs: 0,
+            bytes: MAGIC.len() as u64,
+            frame: Vec::new(),
+            lenbuf: Vec::new(),
+        })
+    }
+
+    /// Append one pair. Callers are responsible for feeding pairs in
+    /// sorted order — the file records whatever order it is given.
+    pub fn append(&mut self, key: &Value, value: &Value) -> Result<()> {
+        self.frame.clear();
+        encode_value(key, &mut self.frame)?;
+        encode_value(value, &mut self.frame)?;
+        self.lenbuf.clear();
+        encode_u64(self.frame.len() as u64, &mut self.lenbuf);
+        self.out.write_all(&self.lenbuf)?;
+        self.out.write_all(&self.frame)?;
+        self.pairs += 1;
+        self.bytes += (self.lenbuf.len() + self.frame.len()) as u64;
+        Ok(())
+    }
+
+    /// Flush and return `(pairs, file bytes)` written.
+    pub fn finish(mut self) -> Result<(u64, u64)> {
+        self.out.flush()?;
+        Ok((self.pairs, self.bytes))
+    }
+}
+
+/// Streams the pairs of one run back in file order.
+pub struct RunFileReader {
+    input: BufReader<File>,
+    path: PathBuf,
+    buf: Vec<u8>,
+    pairs_read: u64,
+}
+
+impl RunFileReader {
+    /// Open `path` and check the magic.
+    pub fn open(path: impl AsRef<Path>) -> Result<RunFileReader> {
+        let path = path.as_ref().to_path_buf();
+        let mut input = BufReader::new(File::open(&path)?);
+        let mut magic = [0u8; 5];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StorageError::corrupt("runfile", "bad magic"));
+        }
+        Ok(RunFileReader {
+            input,
+            path,
+            buf: Vec::new(),
+            pairs_read: 0,
+        })
+    }
+
+    /// The file being read.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Pairs decoded so far.
+    pub fn pairs_read(&self) -> u64 {
+        self.pairs_read
+    }
+
+    fn read_one(&mut self) -> Result<Option<(Value, Value)>> {
+        // Frame length varint; EOF before its first byte is a clean
+        // end-of-run.
+        let Some((len, _)) = read_u64_from(&mut self.input)? else {
+            return Ok(None);
+        };
+        if len > MAX_PAIR_LEN {
+            return Err(StorageError::corrupt(
+                "runfile",
+                "frame length implausibly large",
+            ));
+        }
+        self.buf.resize(len as usize, 0);
+        self.input.read_exact(&mut self.buf)?;
+        let (key, n) = decode_value(&self.buf)?;
+        let (value, m) = decode_value(&self.buf[n..])?;
+        if n + m != self.buf.len() {
+            return Err(StorageError::corrupt("runfile", "frame length mismatch"));
+        }
+        self.pairs_read += 1;
+        Ok(Some((key, value)))
+    }
+}
+
+impl Iterator for RunFileReader {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_one().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mr-runfile-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_mixed_values() {
+        let path = tmp("roundtrip");
+        let pairs = vec![
+            (Value::Int(-3), Value::str("neg")),
+            (Value::Int(0), Value::Null),
+            (Value::str("k"), Value::Double(2.5)),
+            (Value::bytes([1, 2, 3]), Value::list(vec![Value::Int(9)])),
+        ];
+        let mut w = RunFileWriter::create(&path).unwrap();
+        for (k, v) in &pairs {
+            w.append(k, v).unwrap();
+        }
+        let (n, bytes) = w.finish().unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+
+        let rd = RunFileReader::open(&path).unwrap();
+        let back: Vec<(Value, Value)> = rd.map(|p| p.unwrap()).collect();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn empty_run() {
+        let path = tmp("empty");
+        let (n, _) = RunFileWriter::create(&path).unwrap().finish().unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(RunFileReader::open(&path).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTARUNFILE").unwrap();
+        assert!(RunFileReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn truncation_inside_frame_detected() {
+        let path = tmp("trunc");
+        let mut w = RunFileWriter::create(&path).unwrap();
+        w.append(&Value::str("key"), &Value::str("a long enough value"))
+            .unwrap();
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let mut rd = RunFileReader::open(&path).unwrap();
+        assert!(rd.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn large_run_streams() {
+        let path = tmp("large");
+        let mut w = RunFileWriter::create(&path).unwrap();
+        for i in 0..10_000i64 {
+            w.append(&Value::Int(i), &Value::str(format!("v{i}")))
+                .unwrap();
+        }
+        w.finish().unwrap();
+        let mut rd = RunFileReader::open(&path).unwrap();
+        let mut count = 0i64;
+        for item in &mut rd {
+            let (k, _) = item.unwrap();
+            assert_eq!(k, Value::Int(count));
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+        assert_eq!(rd.pairs_read(), 10_000);
+    }
+}

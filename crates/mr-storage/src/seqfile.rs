@@ -27,7 +27,7 @@ use mr_ir::schema::Schema;
 
 use crate::error::{Result, StorageError};
 use crate::rowcodec::{decode_row, decode_schema, encode_row, encode_schema};
-use crate::varint::{decode_u64, encode_u64};
+use crate::varint::{decode_u64, encode_u64, read_u64_from};
 
 const MAGIC: &[u8; 5] = b"MRSQ1";
 const FOOTER_MAGIC: &[u8; 5] = b"MRSQF";
@@ -280,23 +280,10 @@ impl SeqFileReader {
         if self.remaining == 0 {
             return Ok(None);
         }
-        // Row length varint, byte at a time.
-        let mut len: u64 = 0;
-        let mut shift = 0u32;
-        let mut len_bytes = 0u64;
-        loop {
-            let mut b = [0u8; 1];
-            self.input.read_exact(&mut b)?;
-            len_bytes += 1;
-            len |= ((b[0] & 0x7f) as u64) << shift;
-            if b[0] & 0x80 == 0 {
-                break;
-            }
-            shift += 7;
-            if shift >= 64 {
-                return Err(StorageError::corrupt("seqfile", "bad row length"));
-            }
-        }
+        // Row length varint, byte at a time. `remaining > 0` promises a
+        // row, so a clean EOF here is truncation.
+        let (len, len_bytes) = read_u64_from(&mut self.input)?
+            .ok_or_else(|| StorageError::corrupt("seqfile", "split ends mid-stream"))?;
         if len > MAX_ROW_LEN {
             return Err(StorageError::corrupt(
                 "seqfile",

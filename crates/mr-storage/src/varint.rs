@@ -43,6 +43,41 @@ pub fn decode_u64(buf: &[u8]) -> Result<(u64, usize)> {
     Err(StorageError::corrupt("varint", "truncated"))
 }
 
+/// Read one unsigned varint from `input`, byte at a time — the
+/// streaming sibling of [`decode_u64`] for readers that cannot see a
+/// slice (seqfile rows, runfile frames). Returns the value and the
+/// bytes consumed, or `None` on a clean end-of-stream before the first
+/// byte; end-of-stream mid-varint and overlong encodings are
+/// corruption.
+pub fn read_u64_from(input: &mut impl std::io::Read) -> Result<Option<(u64, u64)>> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    let mut nbytes = 0u64;
+    loop {
+        let mut b = [0u8; 1];
+        match input.read_exact(&mut b) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof && nbytes == 0 => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        }
+        nbytes += 1;
+        if shift >= 64 {
+            return Err(StorageError::corrupt("varint", "overlong encoding"));
+        }
+        let low = (b[0] & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(StorageError::corrupt("varint", "value exceeds u64"));
+        }
+        v |= low << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(Some((v, nbytes)));
+        }
+        shift += 7;
+    }
+}
+
 /// Zig-zag map a signed value to unsigned so small magnitudes stay
 /// small.
 pub fn zigzag(v: i64) -> u64 {
@@ -129,6 +164,26 @@ mod tests {
     fn overlong_rejected() {
         let buf = [0x80u8; 11];
         assert!(decode_u64(&buf).is_err());
+    }
+
+    #[test]
+    fn streaming_read_matches_slice_decode() {
+        let mut buf = Vec::new();
+        for v in [0u64, 127, 128, 16384, u64::MAX] {
+            encode_u64(v, &mut buf);
+        }
+        let mut cursor = std::io::Cursor::new(&buf);
+        let mut got = Vec::new();
+        while let Some((v, _)) = read_u64_from(&mut cursor).unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 127, 128, 16384, u64::MAX]);
+        // Clean EOF at a boundary is None; EOF mid-varint is an error.
+        assert!(read_u64_from(&mut std::io::Cursor::new(&[] as &[u8]))
+            .unwrap()
+            .is_none());
+        assert!(read_u64_from(&mut std::io::Cursor::new(&[0x80u8][..])).is_err());
+        assert!(read_u64_from(&mut std::io::Cursor::new(&[0x80u8; 11][..])).is_err());
     }
 
     #[test]
