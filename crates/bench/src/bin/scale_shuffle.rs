@@ -14,6 +14,7 @@
 //! Every capped run's output is asserted equal to the unbounded run's.
 
 use mr_engine::{run_job, Builtin, InputSpec, JobConfig, JobResult};
+use mr_json::Json;
 use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
 use mr_workloads::pavlo::benchmark2;
 
@@ -71,8 +72,29 @@ fn main() {
             bench::fmt_secs(time),
         ]
     };
+    let json_row =
+        |label: &str, budget: Option<usize>, time: std::time::Duration, r: &JobResult| {
+            Json::obj([
+                ("budget", Json::str(label)),
+                (
+                    "budget_bytes",
+                    budget.map_or(Json::Null, |b| Json::Int(b as i64)),
+                ),
+                ("spill_count", Json::Int(r.counters.spill_count as i64)),
+                (
+                    "spilled_records",
+                    Json::Int(r.counters.spilled_records as i64),
+                ),
+                ("spill_bytes", Json::Int(r.counters.spill_bytes as i64)),
+                ("map_secs", bench::json_secs(r.phases.map)),
+                ("shuffle_secs", bench::json_secs(r.phases.shuffle)),
+                ("reduce_secs", bench::json_secs(r.phases.reduce)),
+                ("total_secs", bench::json_secs(time)),
+            ])
+        };
 
     let mut rows = vec![row("∞ (resident)", unbounded_time, &unbounded)];
+    let mut json_rows = vec![json_row("resident", None, unbounded_time, &unbounded)];
     for (label, divisor) in [("shuffle/2", 2), ("shuffle/8", 8), ("shuffle/32", 32)] {
         let budget = (shuffle_size / divisor).max(64);
         let (time, result) = bench::time_runs(|| run_job(&job(Some(budget))).expect("capped run"));
@@ -89,6 +111,7 @@ fn main() {
             time,
             &result,
         ));
+        json_rows.push(json_row(label, Some(budget), time, &result));
     }
 
     println!(
@@ -107,5 +130,14 @@ fn main() {
             "Total",
         ],
         &rows,
+    );
+    bench::write_bench_json(
+        "shuffle",
+        Json::obj([
+            ("visits", Json::Int(visits as i64)),
+            ("input_bytes", Json::Int(input_size as i64)),
+            ("shuffle_bytes", Json::Int(shuffle_size as i64)),
+            ("rows", Json::Arr(json_rows)),
+        ]),
     );
 }

@@ -178,6 +178,7 @@ fn main() {
             sort_output: true,
             shuffle_buffer_bytes: None,
             spill_dir: None,
+            combiner: None,
         };
 
         let (hadoop, base_result) = bench::time_runs(|| {

@@ -92,6 +92,7 @@ fn main() {
         sort_output: true,
         shuffle_buffer_bytes: None,
         spill_dir: None,
+        combiner: None,
     };
 
     let (proj_time, proj_result) = bench::time_runs(|| {

@@ -110,6 +110,30 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Write a bench bin's machine-readable results next to the human
+/// table: `BENCH_<name>.json` in the working directory (CI uploads
+/// these as artifacts, so the perf trajectory is tracked run over run
+/// instead of scrolling away in logs). The document always carries the
+/// active scale/runs settings so runs are comparable.
+pub fn write_bench_json(name: &str, mut doc: mr_json::Json) {
+    if let mr_json::Json::Obj(members) = &mut doc {
+        members.insert(0, ("bench".into(), mr_json::Json::str(name)));
+        members.insert(1, ("scale".into(), mr_json::Json::Float(scale())));
+        members.insert(2, ("runs".into(), mr_json::Json::Int(runs() as i64)));
+        members.insert(3, ("smoke".into(), mr_json::Json::Bool(smoke())));
+    }
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, doc.to_string_pretty() + "\n") {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// A duration in fractional seconds for JSON output.
+pub fn json_secs(d: Duration) -> mr_json::Json {
+    mr_json::Json::Float(d.as_secs_f64())
+}
+
 /// A banner naming the table being reproduced.
 pub fn banner(title: &str, detail: &str) {
     println!("\n=== {title} ===");

@@ -7,8 +7,10 @@
 //! manimal analyze PROG.mrasm DATA.seq             # Step 1: the analyzer
 //! manimal build   PROG.mrasm DATA.seq [--work DIR]# run index-gen programs
 //! manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer sum|count|…]
+//!                 [--reduce-ir REDUCE.mrasm]      # IR reduce (combine pass runs)
 //!                 [--baseline] [--safe-mode]      # Steps 2+3
 //!                 [--shuffle-buffer BYTES]        # external shuffle budget
+//!                 [--no-combine]                  # disable map-side combining
 //! ```
 //!
 //! The program file is MR-IR assembly (see `mr_ir::asm`); the input's
@@ -65,9 +67,15 @@ manimal — automatic optimization for MapReduce programs
   manimal analyze PROG.mrasm DATA.seq
   manimal build   PROG.mrasm DATA.seq [--work DIR]
   manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer R]
+                  [--reduce-ir REDUCE.mrasm]
                   [--baseline] [--safe-mode] [--shuffle-buffer BYTES]
+                  [--no-combine]
 
 reducers: sum, count, max, min, identity, first, sum-drop-key
+(sum/count/max/min/sum-drop-key declare map-side combiners, engaged
+automatically; --reduce-ir runs a compiled IR reduce(key, values)
+instead, with the analyzer proving — or declining — its combiner;
+--no-combine keeps the shuffle pipeline plain)
 ";
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
@@ -234,9 +242,28 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
     let prog_path = positional(rest, 0)?;
     let input = positional(rest, 1)?;
     let program = load_program(prog_path, input)?;
-    let reducer = reducer_of(flag_value(rest, "--reducer").unwrap_or("count"))?;
+    // The reduce side: a builtin by name, or a compiled IR reduce whose
+    // combiner-safety the analyzer proves (Step 1 for reduce()).
+    let reducer: Arc<dyn mr_engine::ReducerFactory> =
+        if let Some(reduce_path) = flag_value(rest, "--reduce-ir") {
+            let src = std::fs::read_to_string(reduce_path)
+                .map_err(|e| format!("read {reduce_path}: {e}"))?;
+            let func = parse_function(&src).map_err(|e| format!("{reduce_path}: {e}"))?;
+            mr_ir::verify::verify(&func).map_err(|errs| {
+                let lines: Vec<String> = errs.iter().map(|e| format!("  {e}")).collect();
+                format!("{reduce_path} failed verification:\n{}", lines.join("\n"))
+            })?;
+            let (factory, outcome) = manimal::ir_reducer(func, &program);
+            eprintln!("reduce analysis: {outcome}");
+            factory
+        } else {
+            Arc::new(reducer_of(
+                flag_value(rest, "--reducer").unwrap_or("count"),
+            )?)
+        };
     let mut manimal = Manimal::new(workdir(rest, input)).map_err(|e| e.to_string())?;
     manimal.optimizer.safe_mode = flag_present(rest, "--safe-mode");
+    manimal.optimizer.no_combine = flag_present(rest, "--no-combine");
     if let Some(bytes) = flag_value(rest, "--shuffle-buffer") {
         manimal.shuffle_buffer_bytes = Some(
             bytes
@@ -248,14 +275,17 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
 
     let execution = if flag_present(rest, "--baseline") {
         manimal
-            .execute_baseline(&submission, Arc::new(reducer))
+            .execute_baseline(&submission, reducer)
             .map_err(|e| e.to_string())?
     } else {
         manimal
-            .execute(&submission, Arc::new(reducer))
+            .execute(&submission, reducer)
             .map_err(|e| e.to_string())?
     };
     eprintln!("plan: {}", execution.descriptor_summary);
+    if let Some(name) = execution.combiner {
+        eprintln!("combiner: {name} (map-side)");
+    }
     eprintln!(
         "elapsed: {:?}; {}",
         execution.result.elapsed, execution.result.counters

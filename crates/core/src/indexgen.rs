@@ -202,10 +202,23 @@ impl IndexGenProgram {
     /// Execute the program with the fabric's shuffle memory bounded by
     /// `shuffle_buffer_bytes` — selection builds are a full-input
     /// MapReduce job into a single reducer, exactly the shape that
-    /// outgrows RAM first.
+    /// outgrows RAM first. Map-side combining stays on (a no-op for the
+    /// order-preserving `Identity` reducer these jobs use today).
     pub fn run_with_shuffle_budget(
         &self,
         shuffle_buffer_bytes: Option<usize>,
+    ) -> Result<CatalogEntry> {
+        self.run_tuned(shuffle_buffer_bytes, true)
+    }
+
+    /// [`run_with_shuffle_budget`](Self::run_with_shuffle_budget) with
+    /// the optimizer's combiner decision plumbed through: `combine:
+    /// false` (the `--no-combine` escape hatch) keeps the build job's
+    /// pipeline plain even if its reducer declares a combiner.
+    pub fn run_tuned(
+        &self,
+        shuffle_buffer_bytes: Option<usize>,
+        combine: bool,
     ) -> Result<CatalogEntry> {
         let input_bytes = std::fs::metadata(&self.input)?.len();
         match &self.kind {
@@ -215,6 +228,7 @@ impl IndexGenProgram {
                 projected_fields.as_deref(),
                 input_bytes,
                 shuffle_buffer_bytes,
+                combine,
             ),
             IndexKind::Projection { fields } => self.build_projection(fields, input_bytes),
             IndexKind::Delta { fields, projected } => {
@@ -233,6 +247,7 @@ impl IndexGenProgram {
         projected_fields: Option<&[String]>,
         input_bytes: u64,
         shuffle_buffer_bytes: Option<usize>,
+        combine: bool,
     ) -> Result<CatalogEntry> {
         let expr = self
             .key_expr
@@ -245,7 +260,7 @@ impl IndexGenProgram {
             None => Arc::clone(&source_schema),
         };
 
-        let job = JobConfig {
+        let mut job = JobConfig {
             name: format!("index-gen {}", self.output.display()),
             inputs: vec![InputBinding {
                 input: InputSpec::SeqFile {
@@ -260,7 +275,11 @@ impl IndexGenProgram {
             sort_output: true,
             shuffle_buffer_bytes,
             spill_dir: None,
+            combiner: None,
         };
+        if combine {
+            job = job.with_declared_combiner();
+        }
         let result = run_job(&job)?;
 
         let in_view = |key: &Value| -> bool {

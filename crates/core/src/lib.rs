@@ -66,7 +66,7 @@ pub mod submit;
 pub use catalog::{Catalog, CatalogEntry, IndexKind};
 pub use error::{ManimalError, Result};
 pub use indexgen::{plan_index_programs, IndexGenProgram};
-pub use mr_analysis::{analyze, AnalysisReport};
+pub use mr_analysis::{analyze, find_combine, AnalysisReport, CombineOutcome};
 pub use mr_engine::{Builtin, JobResult};
-pub use optimizer::{choose_plan, ExecutionDescriptor, OptimizerConfig};
+pub use optimizer::{choose_plan, combiner_for, ir_reducer, ExecutionDescriptor, OptimizerConfig};
 pub use submit::{Execution, Manimal, Submission};

@@ -42,6 +42,9 @@ pub struct OptimizerConfig {
     /// change how often side-effecting code runs (i.e. selection indexes
     /// over programs with detected side effects).
     pub safe_mode: bool,
+    /// Escape hatch: never engage map-side combining, even for reducers
+    /// with a declared or proven combiner (`manimal run --no-combine`).
+    pub no_combine: bool,
 }
 
 /// The plan handed to the execution fabric (paper Fig. 1's "execution
@@ -55,6 +58,12 @@ pub struct ExecutionDescriptor {
     pub applied: Vec<String>,
     /// The catalog entry backing the plan, if any.
     pub index: Option<CatalogEntry>,
+    /// The optimizer's combiner decision: whether the fabric may engage
+    /// the map-side combiner the job's reducer declares (or the
+    /// `mr_analysis::combine` pass proved). `false` under
+    /// [`OptimizerConfig::no_combine`]; for reducers without a
+    /// combiner, `true` simply engages nothing.
+    pub combine: bool,
 }
 
 impl std::fmt::Display for ExecutionDescriptor {
@@ -89,6 +98,7 @@ pub fn choose_plan(
         mapper: program.mapper.clone(),
         applied: vec![],
         index: None,
+        combine: !config.no_combine,
     };
 
     // 1. Selection B+Tree (optionally combined with projection).
@@ -162,6 +172,7 @@ pub fn choose_plan(
                         mapper: program.mapper.clone(),
                         applied,
                         index: Some(entry.clone()),
+                        combine: !config.no_combine,
                     });
                 }
             }
@@ -189,6 +200,7 @@ pub fn choose_plan(
                             format!("delta-compression([{}])", fields.join(", ")),
                         ],
                         index: Some(entry.clone()),
+                        combine: !config.no_combine,
                     });
                 }
             }
@@ -204,6 +216,7 @@ pub fn choose_plan(
                         mapper: program.mapper.clone(),
                         applied: vec![format!("projection(keep [{}])", fields.join(", "))],
                         index: Some(entry.clone()),
+                        combine: !config.no_combine,
                     });
                 }
             }
@@ -229,6 +242,7 @@ pub fn choose_plan(
                             fields.join(", ")
                         )],
                         index: Some(entry.clone()),
+                        combine: !config.no_combine,
                     });
                 }
             }
@@ -251,12 +265,68 @@ pub fn choose_plan(
                     mapper: program.mapper.clone(),
                     applied: vec![format!("delta-compression([{}])", fields.join(", "))],
                     index: Some(entry.clone()),
+                    combine: !config.no_combine,
                 });
             }
         }
     }
 
     Ok(full_scan())
+}
+
+/// Map a proven combiner descriptor (`mr_analysis::combine`) onto the
+/// engine combiner that implements it. `Product` folds are proven
+/// combinable but have no builtin implementation yet, so they fall back
+/// to the plain pipeline — the optimizer's "decline cleanly" posture.
+pub fn combiner_for(
+    descriptor: &mr_analysis::CombinerDescriptor,
+) -> Option<Arc<dyn mr_engine::Combiner>> {
+    use mr_analysis::CombineKind;
+    match descriptor.kind {
+        CombineKind::Sum => mr_engine::Builtin::Sum.combiner(),
+        CombineKind::Count => mr_engine::Builtin::Count.combiner(),
+        CombineKind::Product => None,
+    }
+}
+
+/// Turn a user-submitted IR `reduce(key, values)` into an executable
+/// reducer factory, running the `mr-analysis` combine pass on the way:
+/// when the function is proven to be an algebraic fold, the factory
+/// declares the matching engine combiner, so
+/// [`Manimal::execute_plan`](crate::Manimal::execute_plan) engages
+/// map-side combining exactly as it does for builtin reducers — the
+/// analysis-selected plan property, end to end. Returns the pass
+/// outcome alongside so callers can report what was proven (or why
+/// combining was declined).
+///
+/// `program` is the submitted *map* program: Sum/Product folds combine
+/// only when the map's emitted values are proven integer-only
+/// ([`mr_analysis::int_only_emit_values`]) — IR `add` promotes
+/// `Int + Double` to `Double`, so a sequential fold over a mixed
+/// numeric domain is not associative and combining it could change
+/// output. Count folds ignore the values entirely and are exempt.
+pub fn ir_reducer(
+    reduce: Function,
+    program: &Program,
+) -> (
+    Arc<dyn mr_engine::ReducerFactory>,
+    mr_analysis::CombineOutcome,
+) {
+    use mr_analysis::{CombineKind, CombineMiss, CombineOutcome};
+    let mut outcome = mr_analysis::find_combine(&reduce);
+    let needs_int_domain = matches!(
+        outcome.descriptor().map(|d| d.kind),
+        Some(CombineKind::Sum | CombineKind::Product)
+    );
+    if needs_int_domain && !mr_analysis::int_only_emit_values(program) {
+        outcome = CombineOutcome::NotCombinable(CombineMiss::UnprovenValueDomain(
+            "map emit values are not proven integer-only".into(),
+        ));
+    }
+    let combiner = outcome.descriptor().and_then(combiner_for);
+    let factory: Arc<dyn mr_engine::ReducerFactory> =
+        mr_engine::IrReducerFactory::with_combiner(reduce, combiner);
+    (factory, outcome)
 }
 
 /// `cov` admits every key that `req` admits.

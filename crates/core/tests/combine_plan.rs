@@ -1,0 +1,259 @@
+//! The optimizer's combiner decision, end to end: plans engage the
+//! combiner a reducer declares (or the `mr_analysis::combine` pass
+//! proves), the output stays byte-identical to the combiner-free
+//! baseline, and `--no-combine` / non-algebraic reducers fall back to
+//! the plain pipeline.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use manimal::{combiner_for, find_combine, Builtin, CombineOutcome, Manimal};
+use mr_ir::asm::parse_function;
+use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
+use mr_workloads::pavlo::benchmark2;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("manimal-combine-plan")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn visits(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("uservisits.seq");
+    generate_uservisits(
+        &path,
+        &UserVisitsConfig {
+            visits: 3000,
+            pages: 300,
+            // 20 distinct sourceIPs: the low-cardinality group-by
+            // regime combiners pay off in.
+            source_ips: 20,
+            ..UserVisitsConfig::default()
+        },
+    )
+    .unwrap();
+    path
+}
+
+/// The Pavlo aggregation under a spilling shuffle: the planned run
+/// engages Sum's declared combiner, folds pairs, and still matches the
+/// combiner-free baseline exactly.
+#[test]
+fn planned_execution_engages_declared_combiner() {
+    let dir = tmpdir("engage");
+    let input = visits(&dir);
+    let manimal = Manimal::new(dir.join("work"))
+        .unwrap()
+        .with_shuffle_buffer(4096);
+    let submission = manimal.submit(&benchmark2(), &input);
+
+    let combined = manimal
+        .execute(&submission, Arc::new(Builtin::Sum))
+        .unwrap();
+    assert_eq!(combined.combiner, Some("sum"));
+    assert!(
+        combined.result.counters.combine_in > combined.result.counters.combine_out,
+        "combine {} -> {}",
+        combined.result.counters.combine_in,
+        combined.result.counters.combine_out
+    );
+
+    // The baseline never combines; outputs must agree byte for byte.
+    let baseline = manimal
+        .execute_baseline(&submission, Arc::new(Builtin::Sum))
+        .unwrap();
+    assert_eq!(baseline.combiner, None);
+    assert_eq!(baseline.result.counters.combine_in, 0);
+    assert_eq!(baseline.result.output, combined.result.output);
+    // And the combiner kept spill traffic below the baseline's.
+    assert!(combined.result.counters.spilled_records <= baseline.result.counters.spilled_records);
+}
+
+/// The `--no-combine` escape hatch turns the decision off at plan time.
+#[test]
+fn no_combine_escape_hatch_disables_combining() {
+    let dir = tmpdir("escape");
+    let input = visits(&dir);
+    let mut manimal = Manimal::new(dir.join("work"))
+        .unwrap()
+        .with_shuffle_buffer(4096);
+    manimal.optimizer.no_combine = true;
+
+    let submission = manimal.submit(&benchmark2(), &input);
+    let plan = manimal.plan(&submission).unwrap();
+    assert!(!plan.combine, "no_combine must veto the plan decision");
+
+    let run = manimal
+        .execute(&submission, Arc::new(Builtin::Sum))
+        .unwrap();
+    assert_eq!(run.combiner, None);
+    assert_eq!(run.result.counters.combine_in, 0);
+}
+
+/// Non-algebraic reducers fall back cleanly: the plan allows combining
+/// but nothing is declared, so the pipeline stays plain.
+#[test]
+fn non_algebraic_reducer_falls_back() {
+    let dir = tmpdir("fallback");
+    let input = visits(&dir);
+    let manimal = Manimal::new(dir.join("work")).unwrap();
+    let submission = manimal.submit(&benchmark2(), &input);
+    let plan = manimal.plan(&submission).unwrap();
+    assert!(plan.combine, "combining is allowed by default");
+    let run = manimal
+        .execute(&submission, Arc::new(Builtin::Identity))
+        .unwrap();
+    assert_eq!(run.combiner, None);
+    assert_eq!(run.result.counters.combine_in, 0);
+}
+
+/// A user-submitted IR reduce program flows through the analysis pass
+/// into an engine combiner and through `Manimal` execution: the proven
+/// Sum-shape engages `Builtin::Sum`'s combiner and produces the exact
+/// output of the builtin Sum reducer; rejected shapes engage nothing.
+#[test]
+fn proven_ir_reducer_maps_to_engine_combiner() {
+    let sum_reduce = parse_function(
+        r#"
+        func reduce(key, values) {
+          r0 = param value
+          r1 = call list.len(r0)
+          r2 = const 0
+          r3 = const 0
+          r4 = const 1
+        head:
+          r5 = cmp lt r3, r1
+          br r5, body, done
+        body:
+          r6 = call list.get(r0, r3)
+          r7 = add r2, r6
+          r2 = r7
+          r8 = add r3, r4
+          r3 = r8
+          jmp head
+        done:
+          r9 = param key
+          emit r9, r2
+          ret
+        }
+        "#,
+    )
+    .unwrap();
+    let CombineOutcome::Combinable(descriptor) = find_combine(&sum_reduce) else {
+        panic!("canonical sum fold must be proven combinable");
+    };
+    let combiner = combiner_for(&descriptor).expect("sum maps to a builtin combiner");
+    assert_eq!(combiner.name(), "sum");
+
+    // The production path: `ir_reducer` packages the proof into a
+    // factory that Manimal execution engages like any declared combiner
+    // — and the interpreted reduce matches the builtin Sum exactly.
+    let dir = tmpdir("ir-reduce");
+    let input = visits(&dir);
+    let manimal = Manimal::new(dir.join("work"))
+        .unwrap()
+        .with_shuffle_buffer(4096);
+    // benchmark2's map emits the Int-typed adRevenue field, so the Sum
+    // fold's value-domain gate passes.
+    let program = benchmark2();
+    let submission = manimal.submit(&program, &input);
+    let (factory, outcome) = manimal::ir_reducer(sum_reduce, &program);
+    assert!(matches!(outcome, CombineOutcome::Combinable(_)));
+    let ir_run = manimal.execute(&submission, factory).unwrap();
+    assert_eq!(ir_run.combiner, Some("sum"));
+    assert!(ir_run.result.counters.combine_in > ir_run.result.counters.combine_out);
+    let builtin_run = manimal
+        .execute_baseline(&submission, Arc::new(Builtin::Sum))
+        .unwrap();
+    assert_eq!(ir_run.result.output, builtin_run.result.output);
+
+    // `First` in IR: emit the 0th element — analysis rejects it, so
+    // `ir_reducer` declares no combiner and the pipeline stays plain.
+    let first_reduce = parse_function(
+        r#"
+        func reduce(key, values) {
+          r0 = param value
+          r1 = const 0
+          r2 = call list.get(r0, r1)
+          r3 = param key
+          emit r3, r2
+          ret
+        }
+        "#,
+    )
+    .unwrap();
+    let (first_factory, first_outcome) = manimal::ir_reducer(first_reduce.clone(), &program);
+    assert!(matches!(first_outcome, CombineOutcome::NotCombinable(_)));
+    assert!(matches!(
+        find_combine(&first_reduce),
+        CombineOutcome::NotCombinable(_)
+    ));
+    let first_run = manimal.execute(&submission, first_factory).unwrap();
+    assert_eq!(first_run.combiner, None);
+    assert_eq!(first_run.result.counters.combine_in, 0);
+}
+
+/// A proven Sum fold over a map whose emitted values are *not* proven
+/// integer-only must not combine: IR `add` promotes `Int + Double`, so
+/// a mixed-domain sequential fold is not associative and the combined
+/// result could differ beyond float reassociation.
+#[test]
+fn sum_fold_over_unproven_value_domain_declines() {
+    use manimal::CombineOutcome;
+    use mr_ir::builder::FunctionBuilder;
+    use mr_ir::instr::ParamId;
+    use mr_ir::schema::{FieldType, Schema};
+    use mr_ir::Program;
+
+    let schema = Schema::new(
+        "Reading",
+        vec![("sensor", FieldType::Str), ("temp", FieldType::Double)],
+    )
+    .into_arc();
+    let mut b = FunctionBuilder::new("double_map");
+    let v = b.load_param(ParamId::Value);
+    let sensor = b.get_field(v, "sensor");
+    let temp = b.get_field(v, "temp");
+    b.emit(sensor, temp);
+    b.ret();
+    let program = Program::new("double-emit", b.finish(), schema);
+
+    let sum_reduce = parse_function(
+        r#"
+        func reduce(key, values) {
+          r0 = param value
+          r1 = call list.len(r0)
+          r2 = const 0
+          r3 = const 0
+          r4 = const 1
+        head:
+          r5 = cmp lt r3, r1
+          br r5, body, done
+        body:
+          r6 = call list.get(r0, r3)
+          r7 = add r2, r6
+          r2 = r7
+          r8 = add r3, r4
+          r3 = r8
+          jmp head
+        done:
+          r9 = param key
+          emit r9, r2
+          ret
+        }
+        "#,
+    )
+    .unwrap();
+    let (factory, outcome) = manimal::ir_reducer(sum_reduce, &program);
+    assert!(
+        matches!(&outcome, CombineOutcome::NotCombinable(_)),
+        "{outcome}"
+    );
+    assert!(
+        outcome.to_string().contains("value domain"),
+        "witness names the domain gate: {outcome}"
+    );
+    assert!(factory.combiner().is_none(), "no combiner may engage");
+}

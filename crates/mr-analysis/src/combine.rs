@@ -1,0 +1,1023 @@
+//! Combiner-safety detection for reduce programs.
+//!
+//! The paper analyzes only `map()` ("we plan to examine reduce() in
+//! future work", §3.2); this pass is that future work for one specific
+//! question: **may the fabric fold a key's values at the map side
+//! without changing the output?** The answer is yes exactly when the
+//! reduce program is an algebraic aggregate — a fold of the group's
+//! values with an associative, commutative operator and a unit — the
+//! same way `select`/`project` answer "is this map a selection /
+//! projection" by recognizing the relational shape in free-form code.
+//!
+//! The detector is deliberately conservative, in the analyzer's house
+//! style ("missing an optimization is regrettable, but finding a false
+//! one is catastrophic"): it accepts only the *canonical fold loop*
+//!
+//! ```text
+//! func reduce(key, values) {
+//!   acc = unit                      ; Const 0 (sum/count) or 1 (product)
+//!   i   = 0
+//!   while i < list.len(values):     ; the single branch in the cycle
+//!     acc = acc ⊕ list.get(values, i)   ; or acc ⊕ 1 for count
+//!     i   = i + 1
+//!   emit key, acc                   ; after the loop, key unchanged
+//! }
+//! ```
+//!
+//! proven structurally from the CFG and reaching definitions, and
+//! declines everything else with a witness: an emit inside the loop
+//! (the `Identity` shape) is order-preserving pass-through, `⊕ = sub` /
+//! `div` is non-associative, `emit list.get(values, 0)` (the `First`
+//! shape) is order-dependent, a second in-loop branch makes the fold
+//! conditional, and member state or side effects make invocation counts
+//! observable. The engine's builtin reducers do not pass through here —
+//! they declare their combiners directly
+//! (`mr_engine::Builtin::combiner`); this pass exists for user-submitted
+//! IR reduce programs, and its descriptor names the builtin combiner the
+//! optimizer should plug in.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mr_ir::function::{Function, Program};
+use mr_ir::instr::{BinOp, CmpOp, Instr, ParamId, Reg};
+use mr_ir::schema::FieldType;
+use mr_ir::value::Value;
+
+use crate::cfg::Cfg;
+use crate::dataflow::ReachingDefs;
+
+/// The algebraic shape a combinable reduce program folds with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineKind {
+    /// `acc = acc + values[i]`, unit 0 — the `Builtin::Sum` shape.
+    Sum,
+    /// `acc = acc + 1` per element, unit 0 — the `Builtin::Count` shape.
+    Count,
+    /// `acc = acc * values[i]`, unit 1. Associative and commutative,
+    /// but no builtin reducer maps to it — the optimizer falls back to
+    /// the plain pipeline.
+    Product,
+}
+
+impl fmt::Display for CombineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineKind::Sum => f.write_str("sum"),
+            CombineKind::Count => f.write_str("count"),
+            CombineKind::Product => f.write_str("product"),
+        }
+    }
+}
+
+/// The combiner descriptor: which algebraic fold the reduce program is,
+/// proven from its IR (the combine analog of the paper's Fig. 1
+/// optimization descriptors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinerDescriptor {
+    /// The proven fold shape.
+    pub kind: CombineKind,
+}
+
+impl fmt::Display for CombinerDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COMBINE {}(values) per key", self.kind)
+    }
+}
+
+/// Why combine analysis declined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineMiss {
+    /// The program never emits — nothing to combine.
+    NoEmit,
+    /// More than one emit site; not a single-aggregate shape.
+    MultipleEmits,
+    /// The emit sits inside a loop (the `Identity` shape): one output
+    /// per value, so map-side folding would drop records.
+    EmitInLoop,
+    /// The emitted value is a single group element (the `First` shape):
+    /// order-dependent, so commutative folding would change it.
+    OrderDependent(String),
+    /// Reads or writes reducer member state — invocation counts are
+    /// observable, folding changes them.
+    Stateful(String),
+    /// Performs side effects the fold would re-time or duplicate.
+    SideEffecting,
+    /// Calls something other than `list.len` / `list.get` on the group.
+    UnknownCall(String),
+    /// The fold operator is not associative + commutative.
+    NonAssociativeOp(String),
+    /// The accumulator's initial value is not the operator's unit.
+    NotUnit(String),
+    /// The loop is not the canonical `for i in 0..len(values)` walk
+    /// (e.g. a conditional fold), so per-element coverage is unproven.
+    NonCanonicalLoop(String),
+    /// The emitted key is not the group key, so finishing at the map
+    /// side could change it.
+    KeyNotPreserved,
+    /// The values the fold would combine are not proven to stay in one
+    /// numeric domain. IR `add` promotes `Int + Double` to `Double`, so
+    /// a sequential int/double fold is *not* associative (a wrapped
+    /// `i64` prefix depends on where the first double sits) — combining
+    /// is safe only when the summed values are proven integer-only.
+    UnprovenValueDomain(String),
+    /// Anything else that breaks the fold shape.
+    NotAFold(String),
+}
+
+impl fmt::Display for CombineMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineMiss::NoEmit => f.write_str("no emit site"),
+            CombineMiss::MultipleEmits => f.write_str("multiple emit sites"),
+            CombineMiss::EmitInLoop => f.write_str("emits inside the loop (one output per value)"),
+            CombineMiss::OrderDependent(d) => write!(f, "order-dependent: {d}"),
+            CombineMiss::Stateful(m) => write!(f, "member state: {m}"),
+            CombineMiss::SideEffecting => f.write_str("side effects present"),
+            CombineMiss::UnknownCall(c) => write!(f, "unknown call: {c}"),
+            CombineMiss::NonAssociativeOp(op) => {
+                write!(f, "operator `{op}` is not associative+commutative")
+            }
+            CombineMiss::NotUnit(d) => write!(f, "initial accumulator is not the unit: {d}"),
+            CombineMiss::NonCanonicalLoop(d) => write!(f, "non-canonical loop: {d}"),
+            CombineMiss::KeyNotPreserved => f.write_str("emitted key is not the group key"),
+            CombineMiss::UnprovenValueDomain(d) => {
+                write!(f, "value domain unproven: {d}")
+            }
+            CombineMiss::NotAFold(d) => write!(f, "not a fold: {d}"),
+        }
+    }
+}
+
+/// Outcome of [`find_combine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineOutcome {
+    /// The reduce program is a proven algebraic fold.
+    Combinable(CombinerDescriptor),
+    /// Analysis declined, with the witness.
+    NotCombinable(CombineMiss),
+}
+
+impl CombineOutcome {
+    /// Convenience: the descriptor if combining is safe.
+    pub fn descriptor(&self) -> Option<&CombinerDescriptor> {
+        match self {
+            CombineOutcome::Combinable(d) => Some(d),
+            CombineOutcome::NotCombinable(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CombineOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineOutcome::Combinable(d) => write!(f, "{d}"),
+            CombineOutcome::NotCombinable(m) => write!(f, "not combinable ({m})"),
+        }
+    }
+}
+
+fn miss(m: CombineMiss) -> CombineOutcome {
+    CombineOutcome::NotCombinable(m)
+}
+
+/// Decide whether `reduce` — an IR function over `(key, values)` where
+/// the `value` parameter is the group's value list — is combiner-safe,
+/// and which algebraic fold it is.
+pub fn find_combine(reduce: &Function) -> CombineOutcome {
+    // Member state or side effects anywhere disqualify immediately:
+    // folding changes how often reduce-side code observes them.
+    if let Some((name, _)) = reduce.members.first() {
+        return miss(CombineMiss::Stateful(name.clone()));
+    }
+    for instr in &reduce.instrs {
+        match instr {
+            Instr::GetMember { name, .. } | Instr::SetMember { name, .. } => {
+                return miss(CombineMiss::Stateful(name.clone()))
+            }
+            Instr::SideEffect { .. } => return miss(CombineMiss::SideEffecting),
+            Instr::Call { func, .. } if func != "list.len" && func != "list.get" => {
+                return miss(CombineMiss::UnknownCall(func.clone()))
+            }
+            Instr::GetField { field, .. } => {
+                return miss(CombineMiss::NotAFold(format!(
+                    "field access `.{field}` on a group value"
+                )))
+            }
+            _ => {}
+        }
+    }
+
+    let emits = reduce.emit_sites();
+    let emit_pc = match emits.as_slice() {
+        [] => return miss(CombineMiss::NoEmit),
+        [pc] => *pc,
+        _ => return miss(CombineMiss::MultipleEmits),
+    };
+
+    let cfg = Cfg::build(reduce);
+    let in_cycle = cfg.blocks_in_cycles();
+    if in_cycle[cfg.block_of(emit_pc)] {
+        return miss(CombineMiss::EmitInLoop);
+    }
+    let rd = ReachingDefs::compute(reduce, &cfg);
+
+    let Instr::Emit { key, value } = &reduce.instrs[emit_pc] else {
+        unreachable!("emit_sites returns Emit pcs");
+    };
+
+    // The emitted key must be exactly the group key.
+    let key_roots = root_defs(reduce, &cfg, &rd, emit_pc, *key);
+    let key_ok = !key_roots.is_empty()
+        && key_roots.iter().all(|&d| {
+            matches!(
+                reduce.instrs[d],
+                Instr::LoadParam {
+                    param: ParamId::Key,
+                    ..
+                }
+            )
+        });
+    if !key_ok {
+        return miss(CombineMiss::KeyNotPreserved);
+    }
+
+    // The emitted value must be the accumulator of a fold: its root
+    // definitions are exactly one unit constant plus one in-loop binop.
+    let value_roots = root_defs(reduce, &cfg, &rd, emit_pc, *value);
+    if value_roots.len() == 1 {
+        let d = *value_roots.iter().next().expect("len checked");
+        if let Instr::Call { func, .. } = &reduce.instrs[d] {
+            if func == "list.get" {
+                // `emit key, values[const]` — the First shape.
+                return miss(CombineMiss::OrderDependent(
+                    "emits a single group element".into(),
+                ));
+            }
+        }
+        return miss(CombineMiss::NotAFold(format!(
+            "emitted value has a single non-fold definition: {}",
+            reduce.instrs[d]
+        )));
+    }
+    let mut unit_pc = None;
+    let mut fold_pc = None;
+    for &d in &value_roots {
+        match &reduce.instrs[d] {
+            Instr::Const { .. } if unit_pc.is_none() => unit_pc = Some(d),
+            Instr::BinOp { .. } if fold_pc.is_none() => fold_pc = Some(d),
+            other => {
+                return miss(CombineMiss::NotAFold(format!(
+                    "unexpected accumulator definition: {other}"
+                )))
+            }
+        }
+    }
+    let (Some(unit_pc), Some(fold_pc)) = (unit_pc, fold_pc) else {
+        return miss(CombineMiss::NotAFold(
+            "accumulator needs one unit and one fold op".into(),
+        ));
+    };
+    if !in_cycle[cfg.block_of(fold_pc)] {
+        return miss(CombineMiss::NotAFold("fold op is not in a loop".into()));
+    }
+
+    // Associativity + commutativity of the operator.
+    let Instr::BinOp { op, lhs, rhs, .. } = &reduce.instrs[fold_pc] else {
+        unreachable!("matched BinOp above");
+    };
+    match op {
+        BinOp::Add | BinOp::Mul => {}
+        other => return miss(CombineMiss::NonAssociativeOp(other.to_string())),
+    }
+
+    // One operand is the accumulator φ (reaching defs = {unit, fold});
+    // the other is the per-element contribution.
+    let lhs_roots = root_defs(reduce, &cfg, &rd, fold_pc, *lhs);
+    let rhs_roots = root_defs(reduce, &cfg, &rd, fold_pc, *rhs);
+    let acc_roots: BTreeSet<usize> = [unit_pc, fold_pc].into_iter().collect();
+    let elem = if lhs_roots == acc_roots {
+        rhs_roots
+    } else if rhs_roots == acc_roots {
+        lhs_roots
+    } else {
+        return miss(CombineMiss::NotAFold(
+            "neither fold operand is the accumulator".into(),
+        ));
+    };
+
+    // Classify the element: `values[i]` (sum/product) or `1` (count).
+    let [elem_pc] = elem.iter().copied().collect::<Vec<_>>()[..] else {
+        return miss(CombineMiss::NotAFold(
+            "fold element has multiple definitions".into(),
+        ));
+    };
+    let unit_val = match &reduce.instrs[unit_pc] {
+        Instr::Const { val, .. } => val.clone(),
+        _ => unreachable!("matched Const above"),
+    };
+    let kind = match &reduce.instrs[elem_pc] {
+        Instr::Call { func, args, .. } if func == "list.get" => {
+            let [list, idx] = args[..] else {
+                return miss(CombineMiss::NotAFold("malformed list.get".into()));
+            };
+            if !roots_are_values_param(reduce, &cfg, &rd, elem_pc, list) {
+                return miss(CombineMiss::NotAFold(
+                    "list.get target is not the values parameter".into(),
+                ));
+            }
+            if let Err(m) = check_canonical_loop(reduce, &cfg, &rd, &in_cycle, elem_pc, idx) {
+                return miss(m);
+            }
+            match op {
+                BinOp::Add => CombineKind::Sum,
+                BinOp::Mul => CombineKind::Product,
+                _ => unreachable!("op checked above"),
+            }
+        }
+        Instr::Const {
+            val: Value::Int(1), ..
+        } if *op == BinOp::Add => {
+            // acc = acc + 1 — count, provided the loop walks the list.
+            if let Err(m) = check_count_loop(reduce, &cfg, &rd, &in_cycle, fold_pc) {
+                return miss(m);
+            }
+            CombineKind::Count
+        }
+        other => {
+            return miss(CombineMiss::NotAFold(format!(
+                "fold element is not values[i] or 1: {other}"
+            )))
+        }
+    };
+
+    // The unit must be the operator's identity, or partial folds would
+    // re-apply it once per partial.
+    let unit_ok = match kind {
+        CombineKind::Sum | CombineKind::Count => unit_val == Value::Int(0),
+        CombineKind::Product => unit_val == Value::Int(1),
+    };
+    if !unit_ok {
+        return miss(CombineMiss::NotUnit(unit_val.to_string()));
+    }
+
+    CombineOutcome::Combinable(CombinerDescriptor { kind })
+}
+
+/// Whether every emit in `program`'s map function emits a *value*
+/// proven integer: an `Int` constant, or an `Int`/`Long`-typed field
+/// read off the value record. Sum/Product combiners are gated on this:
+/// IR `add` promotes `Int + Double` to `Double`, so a sequential fold
+/// over a mixed domain is not associative (the wrapped `i64` prefix
+/// depends on where the first double sits in the sequence), and a
+/// combiner could change output beyond float reassociation. Integer
+/// addition — wrapping included — is fully associative, so an
+/// int-proven domain is safe. Conservative on anything it cannot
+/// prove.
+pub fn int_only_emit_values(program: &Program) -> bool {
+    let func = &program.mapper;
+    let emits = func.emit_sites();
+    if emits.is_empty() {
+        return false;
+    }
+    let cfg = Cfg::build(func);
+    let rd = ReachingDefs::compute(func, &cfg);
+    emits.iter().all(|&pc| {
+        let Instr::Emit { value, .. } = &func.instrs[pc] else {
+            return false;
+        };
+        let roots = root_defs(func, &cfg, &rd, pc, *value);
+        !roots.is_empty()
+            && roots.iter().all(|&d| match &func.instrs[d] {
+                Instr::Const {
+                    val: Value::Int(_), ..
+                } => true,
+                Instr::GetField { obj, field, .. } => {
+                    let obj_roots = root_defs(func, &cfg, &rd, d, *obj);
+                    let from_value = !obj_roots.is_empty()
+                        && obj_roots.iter().all(|&o| {
+                            matches!(
+                                func.instrs[o],
+                                Instr::LoadParam {
+                                    param: ParamId::Value,
+                                    ..
+                                }
+                            )
+                        });
+                    from_value
+                        && matches!(
+                            program.value_schema.field(field).map(|f| f.ty),
+                            Some(FieldType::Int | FieldType::Long)
+                        )
+                }
+                _ => false,
+            })
+    })
+}
+
+/// Root (non-`Move`) definitions reaching `reg` at `pc`, following
+/// `Move` chains transitively.
+fn root_defs(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    pc: usize,
+    reg: Reg,
+) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    let mut seen = BTreeSet::new();
+    let mut work = vec![(pc, reg)];
+    while let Some((upc, ureg)) = work.pop() {
+        for d in rd.reaching(func, cfg, upc, ureg) {
+            if let Instr::Move { src, .. } = &func.instrs[d] {
+                if seen.insert((d, *src)) {
+                    work.push((d, *src));
+                }
+            } else {
+                out.insert(d);
+            }
+        }
+    }
+    out
+}
+
+/// All root definitions of `reg` at `pc` load the `values` parameter.
+fn roots_are_values_param(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    pc: usize,
+    reg: Reg,
+) -> bool {
+    let roots = root_defs(func, cfg, rd, pc, reg);
+    !roots.is_empty()
+        && roots.iter().all(|&d| {
+            matches!(
+                func.instrs[d],
+                Instr::LoadParam {
+                    param: ParamId::Value,
+                    ..
+                }
+            )
+        })
+}
+
+/// Prove the loop around the fold is the canonical `for i in
+/// 0..list.len(values)` walk driven by induction register family of
+/// `idx` (used by `list.get(values, idx)` at `get_pc`): `idx`'s roots
+/// are exactly `{Const 0, i + 1}`, the single in-cycle branch is
+/// guarded by `i < list.len(values)`, and nothing else branches inside
+/// the cycle (a second branch would make the fold conditional).
+fn check_canonical_loop(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    in_cycle: &[bool],
+    get_pc: usize,
+    idx: Reg,
+) -> Result<(), CombineMiss> {
+    // Induction shape: i defined by {Const 0, Add(i, Const 1)}.
+    let idx_roots = root_defs(func, cfg, rd, get_pc, idx);
+    let mut init_ok = false;
+    let mut step_ok = false;
+    for &d in &idx_roots {
+        match &func.instrs[d] {
+            Instr::Const {
+                val: Value::Int(0), ..
+            } => init_ok = true,
+            Instr::BinOp {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let l = root_defs(func, cfg, rd, d, *lhs);
+                let r = root_defs(func, cfg, rd, d, *rhs);
+                let one = |s: &BTreeSet<usize>| {
+                    s.len() == 1
+                        && s.iter().all(|&c| {
+                            matches!(
+                                func.instrs[c],
+                                Instr::Const {
+                                    val: Value::Int(1),
+                                    ..
+                                }
+                            )
+                        })
+                };
+                if (l == idx_roots && one(&r)) || (r == idx_roots && one(&l)) {
+                    step_ok = true;
+                } else {
+                    return Err(CombineMiss::NonCanonicalLoop(
+                        "induction step is not i + 1".into(),
+                    ));
+                }
+            }
+            other => {
+                return Err(CombineMiss::NonCanonicalLoop(format!(
+                    "index defined by {other}"
+                )))
+            }
+        }
+    }
+    if !(init_ok && step_ok && idx_roots.len() == 2) {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "index is not a 0-initialized unit-step induction variable".into(),
+        ));
+    }
+    check_single_guard(func, cfg, rd, in_cycle, &idx_roots)
+}
+
+/// The loop guard, proven: the *single* in-cycle branch (a second one
+/// would make the fold conditional) tests `i < list.len(values)` where
+/// `i` is exactly the induction family in `idx_roots`. Returns
+/// [`CombineMiss::NonCanonicalLoop`] witnesses otherwise.
+fn check_single_guard(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    in_cycle: &[bool],
+    idx_roots: &BTreeSet<usize>,
+) -> Result<(), CombineMiss> {
+    let guard_pc = single_cycle_branch(func, cfg, in_cycle)?;
+    let Instr::Br {
+        cond,
+        then_tgt,
+        else_tgt,
+    } = &func.instrs[guard_pc]
+    else {
+        unreachable!("single_cycle_branch returns Br pcs");
+    };
+    // Target roles matter, not just the cycle's shape: `i < len` must
+    // *continue* into the loop and exit otherwise. With the targets
+    // swapped the static cycle is identical but the program emits the
+    // unit immediately — a false positive this check forbids.
+    if !in_cycle[cfg.block_of(*then_tgt)] || in_cycle[cfg.block_of(*else_tgt)] {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "guard must enter the loop while `i < len` and exit otherwise".into(),
+        ));
+    }
+    let cond_roots = root_defs(func, cfg, rd, guard_pc, *cond);
+    let [cmp_pc] = cond_roots.iter().copied().collect::<Vec<_>>()[..] else {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "loop guard has multiple definitions".into(),
+        ));
+    };
+    let Instr::Cmp {
+        op: CmpOp::Lt,
+        lhs,
+        rhs,
+        ..
+    } = &func.instrs[cmp_pc]
+    else {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "loop guard is not `i < len`".into(),
+        ));
+    };
+    if root_defs(func, cfg, rd, cmp_pc, *lhs) != *idx_roots {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "loop guard does not test the induction variable".into(),
+        ));
+    }
+    let len_roots = root_defs(func, cfg, rd, cmp_pc, *rhs);
+    let len_ok = len_roots.len() == 1
+        && len_roots.iter().all(|&d| match &func.instrs[d] {
+            Instr::Call { func: f, args, .. } if f == "list.len" && args.len() == 1 => {
+                roots_are_values_param(func, cfg, rd, d, args[0])
+            }
+            _ => false,
+        });
+    if !len_ok {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "loop bound is not list.len(values)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The count shape has no `list.get` to anchor the induction variable,
+/// so recover it from the loop guard instead and run the same canonical
+/// walk check anchored at the guard's comparison.
+fn check_count_loop(
+    func: &Function,
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    in_cycle: &[bool],
+    fold_pc: usize,
+) -> Result<(), CombineMiss> {
+    if !in_cycle[cfg.block_of(fold_pc)] {
+        return Err(CombineMiss::NotAFold("fold op is not in the loop".into()));
+    }
+    let guard_pc = single_cycle_branch(func, cfg, in_cycle)?;
+    let Instr::Br { cond, .. } = &func.instrs[guard_pc] else {
+        unreachable!("single_cycle_branch returns Br pcs");
+    };
+    let cond_roots = root_defs(func, cfg, rd, guard_pc, *cond);
+    let [cmp_pc] = cond_roots.iter().copied().collect::<Vec<_>>()[..] else {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "loop guard has multiple definitions".into(),
+        ));
+    };
+    let Instr::Cmp {
+        op: CmpOp::Lt, lhs, ..
+    } = &func.instrs[cmp_pc]
+    else {
+        return Err(CombineMiss::NonCanonicalLoop(
+            "loop guard is not `i < len`".into(),
+        ));
+    };
+    check_canonical_loop(func, cfg, rd, in_cycle, cmp_pc, *lhs)
+}
+
+/// The pc of the single `Br` inside the cycle region; more than one
+/// means the fold is conditional and coverage is unproven.
+fn single_cycle_branch(
+    func: &Function,
+    cfg: &Cfg,
+    in_cycle: &[bool],
+) -> Result<usize, CombineMiss> {
+    let mut branches = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !in_cycle[b] {
+            continue;
+        }
+        for pc in block.range() {
+            if matches!(func.instrs[pc], Instr::Br { .. }) {
+                branches.push(pc);
+            }
+        }
+    }
+    match branches.as_slice() {
+        [pc] => Ok(*pc),
+        [] => Err(CombineMiss::NonCanonicalLoop("loop has no guard".into())),
+        _ => Err(CombineMiss::NonCanonicalLoop(
+            "extra branch inside the loop (conditional fold)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+
+    fn reduce(src: &str) -> Function {
+        parse_function(src).unwrap()
+    }
+
+    /// The canonical sum fold — `Builtin::Sum` written in IR.
+    fn sum_src() -> &'static str {
+        r#"
+        func reduce(key, values) {
+          r0 = param value
+          r1 = call list.len(r0)
+          r2 = const 0        ; acc = unit
+          r3 = const 0        ; i
+          r4 = const 1
+        head:
+          r5 = cmp lt r3, r1
+          br r5, body, done
+        body:
+          r6 = call list.get(r0, r3)
+          r7 = add r2, r6
+          r2 = r7
+          r8 = add r3, r4
+          r3 = r8
+          jmp head
+        done:
+          r9 = param key
+          emit r9, r2
+          ret
+        }
+        "#
+    }
+
+    #[test]
+    fn sum_fold_accepted() {
+        let out = find_combine(&reduce(sum_src()));
+        assert_eq!(
+            out,
+            CombineOutcome::Combinable(CombinerDescriptor {
+                kind: CombineKind::Sum
+            })
+        );
+        assert_eq!(out.to_string(), "COMBINE sum(values) per key");
+    }
+
+    #[test]
+    fn count_fold_accepted() {
+        let out = find_combine(&reduce(
+            r#"
+            func reduce(key, values) {
+              r0 = param value
+              r1 = call list.len(r0)
+              r2 = const 0
+              r3 = const 0
+              r4 = const 1
+            head:
+              r5 = cmp lt r3, r1
+              br r5, body, done
+            body:
+              r7 = add r2, r4
+              r2 = r7
+              r8 = add r3, r4
+              r3 = r8
+              jmp head
+            done:
+              r9 = param key
+              emit r9, r2
+              ret
+            }
+            "#,
+        ));
+        assert_eq!(
+            out.descriptor().map(|d| d.kind),
+            Some(CombineKind::Count),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn product_fold_accepted_as_product() {
+        let src = sum_src()
+            .replace("r2 = const 0        ; acc = unit", "r2 = const 1")
+            .replace("r7 = add r2, r6", "r7 = mul r2, r6");
+        let out = find_combine(&reduce(&src));
+        assert_eq!(out.descriptor().map(|d| d.kind), Some(CombineKind::Product));
+    }
+
+    /// `First` — emit a single element: order-dependent, rejected.
+    #[test]
+    fn first_shape_rejected() {
+        let out = find_combine(&reduce(
+            r#"
+            func reduce(key, values) {
+              r0 = param value
+              r1 = const 0
+              r2 = call list.get(r0, r1)
+              r3 = param key
+              emit r3, r2
+              ret
+            }
+            "#,
+        ));
+        assert!(
+            matches!(
+                out,
+                CombineOutcome::NotCombinable(CombineMiss::OrderDependent(_))
+            ),
+            "{out}"
+        );
+    }
+
+    /// `Identity` — one emit per value inside the loop: rejected.
+    #[test]
+    fn identity_shape_rejected() {
+        let out = find_combine(&reduce(
+            r#"
+            func reduce(key, values) {
+              r0 = param value
+              r1 = call list.len(r0)
+              r3 = const 0
+              r4 = const 1
+              r9 = param key
+            head:
+              r5 = cmp lt r3, r1
+              br r5, body, done
+            body:
+              r6 = call list.get(r0, r3)
+              emit r9, r6
+              r8 = add r3, r4
+              r3 = r8
+              jmp head
+            done:
+              ret
+            }
+            "#,
+        ));
+        assert_eq!(out, CombineOutcome::NotCombinable(CombineMiss::EmitInLoop));
+    }
+
+    /// Subtraction folds are order-dependent: rejected as
+    /// non-associative.
+    #[test]
+    fn sub_fold_rejected_as_non_associative() {
+        let src = sum_src().replace("r7 = add r2, r6", "r7 = sub r2, r6");
+        let out = find_combine(&reduce(&src));
+        assert_eq!(
+            out,
+            CombineOutcome::NotCombinable(CombineMiss::NonAssociativeOp("sub".into()))
+        );
+    }
+
+    /// A non-unit initial accumulator would be re-applied once per
+    /// partial: rejected.
+    #[test]
+    fn nonzero_unit_rejected() {
+        let src = sum_src().replace("r2 = const 0        ; acc = unit", "r2 = const 5");
+        let out = find_combine(&reduce(&src));
+        assert!(
+            matches!(out, CombineOutcome::NotCombinable(CombineMiss::NotUnit(_))),
+            "{out}"
+        );
+    }
+
+    /// A conditional fold (extra branch in the loop) is a *filtered*
+    /// aggregate — per-element coverage unproven, rejected.
+    #[test]
+    fn conditional_fold_rejected() {
+        let out = find_combine(&reduce(
+            r#"
+            func reduce(key, values) {
+              r0 = param value
+              r1 = call list.len(r0)
+              r2 = const 0
+              r3 = const 0
+              r4 = const 1
+            head:
+              r5 = cmp lt r3, r1
+              br r5, body, done
+            body:
+              r6 = call list.get(r0, r3)
+              r10 = cmp gt r6, r2
+              br r10, fold, next
+            fold:
+              r7 = add r2, r6
+              r2 = r7
+            next:
+              r8 = add r3, r4
+              r3 = r8
+              jmp head
+            done:
+              r9 = param key
+              emit r9, r2
+              ret
+            }
+            "#,
+        ));
+        assert!(
+            matches!(
+                out,
+                CombineOutcome::NotCombinable(
+                    CombineMiss::NonCanonicalLoop(_) | CombineMiss::NotAFold(_)
+                )
+            ),
+            "{out}"
+        );
+    }
+
+    /// Member state makes invocation counts observable: rejected.
+    #[test]
+    fn stateful_reduce_rejected() {
+        let out = find_combine(&reduce(
+            r#"
+            func reduce(key, values) {
+              member calls = 0
+              r0 = member calls
+              r1 = const 1
+              r2 = add r0, r1
+              member calls = r2
+              r3 = param key
+              emit r3, r2
+              ret
+            }
+            "#,
+        ));
+        assert!(
+            matches!(out, CombineOutcome::NotCombinable(CombineMiss::Stateful(_))),
+            "{out}"
+        );
+    }
+
+    /// Foreign calls are opaque: rejected with the call as witness.
+    #[test]
+    fn unknown_call_rejected() {
+        let src = sum_src().replace("call list.get(r0, r3)", "call ht.get(r0, r3)");
+        let out = find_combine(&reduce(&src));
+        assert_eq!(
+            out,
+            CombineOutcome::NotCombinable(CombineMiss::UnknownCall("ht.get".into()))
+        );
+    }
+
+    /// Emitting a different key would let map-side finishing change it:
+    /// rejected.
+    #[test]
+    fn rekeyed_emit_rejected() {
+        let src = sum_src().replace("r9 = param key", "r9 = const 7");
+        let out = find_combine(&reduce(&src));
+        assert_eq!(
+            out,
+            CombineOutcome::NotCombinable(CombineMiss::KeyNotPreserved)
+        );
+    }
+
+    /// The value-domain gate: Int fields and Int constants prove an
+    /// integer-only emit domain; a Double field, a non-value source, or
+    /// an unknown field do not.
+    #[test]
+    fn int_only_emit_values_checks_field_types() {
+        use mr_ir::schema::{FieldType, Schema};
+        let schema = Schema::new(
+            "T",
+            vec![
+                ("name", FieldType::Str),
+                ("n", FieldType::Int),
+                ("big", FieldType::Long),
+                ("x", FieldType::Double),
+            ],
+        )
+        .into_arc();
+        let program = |body: &str| {
+            Program::new(
+                "t",
+                parse_function(&format!(
+                    "func map(key, value) {{\n  r0 = param value\n{body}  ret\n}}\n"
+                ))
+                .unwrap(),
+                std::sync::Arc::clone(&schema),
+            )
+        };
+        // Int field, Long field, and Int const all prove the domain.
+        for body in [
+            "  r1 = field r0.name\n  r2 = field r0.n\n  emit r1, r2\n",
+            "  r1 = field r0.name\n  r2 = field r0.big\n  emit r1, r2\n",
+            "  r1 = field r0.name\n  r2 = const 1\n  emit r1, r2\n",
+        ] {
+            assert!(int_only_emit_values(&program(body)), "{body}");
+        }
+        // Double field, string const, computed value: unproven.
+        for body in [
+            "  r1 = field r0.name\n  r2 = field r0.x\n  emit r1, r2\n",
+            "  r1 = field r0.name\n  r2 = const \"s\"\n  emit r1, r2\n",
+            "  r1 = field r0.n\n  r2 = const 1\n  r3 = add r1, r2\n  emit r1, r3\n",
+        ] {
+            assert!(!int_only_emit_values(&program(body)), "{body}");
+        }
+        // No emits at all: nothing proven.
+        assert!(!int_only_emit_values(&program("")));
+    }
+
+    /// A no-op reduce has nothing to combine.
+    #[test]
+    fn no_emit_rejected() {
+        let out = find_combine(&reduce("func reduce(key, values) {\n  ret\n}\n"));
+        assert_eq!(out, CombineOutcome::NotCombinable(CombineMiss::NoEmit));
+    }
+
+    /// Swapped guard targets leave the static cycle identical but make
+    /// the program emit the unit immediately — the target-role check
+    /// must reject it (a false positive here would change output).
+    #[test]
+    fn swapped_guard_targets_rejected() {
+        let src = sum_src().replace("br r5, body, done", "br r5, done, body");
+        let out = find_combine(&reduce(&src));
+        assert!(
+            matches!(
+                out,
+                CombineOutcome::NotCombinable(CombineMiss::NonCanonicalLoop(_))
+            ),
+            "{out}"
+        );
+    }
+
+    /// Walking the list backwards (or any non-canonical induction) is
+    /// declined, not guessed about.
+    #[test]
+    fn backwards_walk_rejected() {
+        let out = find_combine(&reduce(
+            r#"
+            func reduce(key, values) {
+              r0 = param value
+              r1 = call list.len(r0)
+              r2 = const 0
+              r4 = const 1
+              r3 = sub r1, r4
+            head:
+              r5 = cmp lt r2, r3
+              br r5, body, done
+            body:
+              r6 = call list.get(r0, r3)
+              r7 = add r2, r6
+              r2 = r7
+              r8 = sub r3, r4
+              r3 = r8
+              jmp head
+            done:
+              r9 = param key
+              emit r9, r2
+              ret
+            }
+            "#,
+        ));
+        assert!(
+            matches!(
+                out,
+                CombineOutcome::NotCombinable(
+                    CombineMiss::NonCanonicalLoop(_) | CombineMiss::NotAFold(_)
+                )
+            ),
+            "{out}"
+        );
+    }
+}

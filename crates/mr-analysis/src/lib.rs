@@ -15,7 +15,9 @@
 //! * [`ranges`] — index-key choice and B+Tree scan ranges;
 //! * [`purity`] — the `isFunc` safety test;
 //! * detectors: [`select`] (Fig. 3), [`project`] (Fig. 6),
-//!   [`compress`] (delta + direct-operation), [`sideeffect`];
+//!   [`compress`] (delta + direct-operation), [`sideeffect`], and —
+//!   beyond the paper, which defers `reduce()` analysis to future work —
+//!   [`combine`], which proves reduce programs combiner-safe;
 //! * [`descriptor`] — the [`analyze`] façade producing the
 //!   optimization-descriptor list of Fig. 1.
 //!
@@ -28,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cfg;
+pub mod combine;
 pub mod compress;
 pub mod dataflow;
 pub mod descriptor;
@@ -41,6 +44,10 @@ pub mod select;
 pub mod sideeffect;
 pub mod usedef;
 
+pub use combine::{
+    find_combine, int_only_emit_values, CombineKind, CombineMiss, CombineOutcome,
+    CombinerDescriptor,
+};
 pub use compress::{DeltaDescriptor, DeltaOutcome, DirectDescriptor, DirectOutcome};
 pub use descriptor::{analyze, AnalysisReport};
 pub use expr::Expr;

@@ -34,6 +34,13 @@ pub struct Counters {
     /// spills *plus* merge-compaction rewrites, i.e. total spill-disk
     /// write traffic.
     pub spill_bytes: AtomicU64,
+    /// Pairs that entered a shuffle-side combine site (staging flush,
+    /// spill write, compaction rewrite — the reduce-side fold is not
+    /// counted). Zero when no combiner is plugged in.
+    pub combine_in: AtomicU64,
+    /// Pairs those combine sites emitted; `combine_in - combine_out` is
+    /// exactly the shuffle traffic the combiner removed.
+    pub combine_out: AtomicU64,
     /// Distinct keys seen by reduce.
     pub reduce_input_groups: AtomicU64,
     /// Records produced by reduce.
@@ -66,6 +73,8 @@ impl Counters {
             spill_count: self.spill_count.load(Ordering::Relaxed),
             spilled_records: self.spilled_records.load(Ordering::Relaxed),
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            combine_in: self.combine_in.load(Ordering::Relaxed),
+            combine_out: self.combine_out.load(Ordering::Relaxed),
             reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
             reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
             instructions_executed: self.instructions_executed.load(Ordering::Relaxed),
@@ -93,6 +102,10 @@ pub struct CounterSnapshot {
     pub spilled_records: u64,
     /// Bytes written to spill run files (incl. compaction rewrites).
     pub spill_bytes: u64,
+    /// Pairs entering combine sites (0 without a combiner).
+    pub combine_in: u64,
+    /// Pairs leaving combine sites.
+    pub combine_out: u64,
     /// Distinct reduce keys.
     pub reduce_input_groups: u64,
     /// Reduce output records.
@@ -113,6 +126,8 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "spill runs        : {}", self.spill_count)?;
         writeln!(f, "spilled records   : {}", self.spilled_records)?;
         writeln!(f, "spill bytes       : {}", self.spill_bytes)?;
+        writeln!(f, "combine in        : {}", self.combine_in)?;
+        writeln!(f, "combine out       : {}", self.combine_out)?;
         writeln!(f, "reduce groups     : {}", self.reduce_input_groups)?;
         write!(f, "reduce output     : {}", self.reduce_output_records)
     }

@@ -9,6 +9,8 @@ pub enum EngineError {
     Map(mr_ir::IrError),
     /// Failure in a reducer.
     Reduce(String),
+    /// Failure in a map-side combiner.
+    Combine(String),
     /// Storage-layer failure.
     Storage(mr_storage::StorageError),
     /// Job misconfiguration.
@@ -22,6 +24,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Map(e) => write!(f, "map task failed: {e}"),
             EngineError::Reduce(e) => write!(f, "reduce task failed: {e}"),
+            EngineError::Combine(e) => write!(f, "combiner failed: {e}"),
             EngineError::Storage(e) => write!(f, "storage: {e}"),
             EngineError::Config(e) => write!(f, "bad job config: {e}"),
             EngineError::Io(e) => write!(f, "i/o: {e}"),

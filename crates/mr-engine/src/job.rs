@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use mr_ir::function::Function;
 
+use crate::combine::Combiner;
 use crate::input::InputSpec;
 use crate::mapper::{IrMapperFactory, MapperFactory};
 use crate::reducer::{Builtin, ReducerFactory};
@@ -75,6 +76,15 @@ pub struct JobConfig {
     /// subdirectory that is removed when the job finishes; `None` uses
     /// [`std::env::temp_dir`].
     pub spill_dir: Option<PathBuf>,
+    /// Map-side combiner. `None` (the default) runs the plain
+    /// emit→spill→merge pipeline; with a combiner, emitted pairs are
+    /// folded at the staging flush, at spill time, and in the merge
+    /// grouping loop — output stays identical to the combiner-free run
+    /// (see [`crate::combine`]). The builtin reducers declare safe
+    /// combiners via [`Builtin::combiner`];
+    /// [`with_declared_combiner`](Self::with_declared_combiner) engages
+    /// whatever the job's reducer declares.
+    pub combiner: Option<Arc<dyn Combiner>>,
 }
 
 impl JobConfig {
@@ -96,6 +106,7 @@ impl JobConfig {
             sort_output: true,
             shuffle_buffer_bytes: None,
             spill_dir: None,
+            combiner: None,
         }
     }
 
@@ -128,6 +139,20 @@ impl JobConfig {
     /// Put spill runs under `dir` instead of the system temp dir.
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Plug in an explicit map-side combiner.
+    pub fn with_combiner(mut self, combiner: Arc<dyn Combiner>) -> Self {
+        self.combiner = Some(combiner);
+        self
+    }
+
+    /// Engage the combiner the job's reducer declares for itself, if
+    /// any ([`ReducerFactory::combiner`]) — the way analysis-approved
+    /// plans switch combining on without naming a combiner themselves.
+    pub fn with_declared_combiner(mut self) -> Self {
+        self.combiner = self.reducer.combiner();
         self
     }
 }

@@ -19,10 +19,18 @@
 //! set, the shuffle is *external*: overfull buckets spill sorted runs
 //! to disk ([`spill`]) and reduce streams a k-way merge over them
 //! ([`merge`]) — same output, memory bounded by the budget.
+//!
+//! Orthogonally, [`JobConfig::combiner`](job::JobConfig::combiner)
+//! plugs a map-side combiner into every stage of that pipeline
+//! ([`combine`]): emitted pairs fold at the staging flush, at spill
+//! time, and in the merge grouping loop — same output again, with the
+//! shuffle traffic of an algebraic aggregate collapsed near the key
+//! cardinality.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod combine;
 pub mod counters;
 pub mod error;
 pub mod input;
@@ -34,12 +42,15 @@ pub mod reducer;
 pub mod runner;
 pub mod spill;
 
+pub use combine::{CombineStrategy, Combiner};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{EngineError, Result};
 pub use input::{InputSpec, SplitReader};
 pub use job::{InputBinding, JobConfig, OutputSpec};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
 pub use merge::{KWayMerge, RunStream};
-pub use reducer::{Builtin, FnReducerFactory, Reducer, ReducerFactory};
+pub use reducer::{
+    Builtin, FnReducerFactory, IrReducer, IrReducerFactory, Reducer, ReducerFactory,
+};
 pub use runner::{run_job, JobResult, PhaseTimings};
 pub use spill::{ShuffleBucket, SpillDir, SpillRun};

@@ -17,6 +17,7 @@ use std::path::Path;
 use mr_ir::value::Value;
 use mr_storage::runfile::{RunFileReader, RunFileWriter};
 
+use crate::combine::CombineStrategy;
 use crate::counters::Counters;
 use crate::error::{EngineError, Result};
 use crate::spill::SpillRun;
@@ -36,12 +37,15 @@ pub const MERGE_FACTOR: usize = 64;
 /// tie-break — and therefore the final merged stream — is identical to
 /// a flat merge of the original runs. Rewritten bytes are charged to
 /// the `spill_bytes` counter (they are real spill-disk traffic);
-/// `spill_count`/`spilled_records` stay map-side only.
+/// `spill_count`/`spilled_records` stay map-side only. An active
+/// `combine` strategy folds duplicate keys while rewriting, so
+/// compacted runs shrink like spill-time runs do.
 pub fn compact_runs(
     mut runs: Vec<SpillRun>,
     dir: &Path,
     partition: usize,
     counters: &Counters,
+    combine: &CombineStrategy,
 ) -> Result<Vec<SpillRun>> {
     let mut generation = 0usize;
     while runs.len() > MERGE_FACTOR {
@@ -58,6 +62,7 @@ pub fn compact_runs(
                     generation,
                     idx,
                     counters,
+                    combine,
                 )?);
             }
         }
@@ -67,7 +72,7 @@ pub fn compact_runs(
             _ => {
                 let idx = next.len();
                 next.push(merge_batch(
-                    batch, dir, partition, generation, idx, counters,
+                    batch, dir, partition, generation, idx, counters, combine,
                 )?);
             }
         }
@@ -79,7 +84,9 @@ pub fn compact_runs(
 
 /// Merge one batch of consecutive runs into a single intermediate run
 /// and delete the sources. The result inherits the batch's first spill
-/// sequence so relative order among surviving runs is preserved.
+/// sequence so relative order among surviving runs is preserved. With
+/// an active combiner the merged stream is folded on the fly — one
+/// pair per key survives the rewrite.
 fn merge_batch(
     batch: Vec<SpillRun>,
     dir: &Path,
@@ -87,6 +94,7 @@ fn merge_batch(
     generation: usize,
     index: usize,
     counters: &Counters,
+    combine: &CombineStrategy,
 ) -> Result<SpillRun> {
     let seq = batch[0].seq;
     let mut streams = Vec::with_capacity(batch.len());
@@ -95,9 +103,37 @@ fn merge_batch(
     }
     let path = dir.join(format!("merge-{partition:05}-g{generation}-{index:04}"));
     let mut w = RunFileWriter::create(&path)?;
-    for item in KWayMerge::new(streams)? {
-        let (k, v) = item?;
-        w.append(&k, &v)?;
+    match combine.active() {
+        None => {
+            for item in KWayMerge::new(streams)? {
+                let (k, v) = item?;
+                w.append(&k, &v)?;
+            }
+        }
+        Some(combiner) => {
+            let mut seen = 0u64;
+            let mut kept = 0u64;
+            let mut cur: Option<(Value, Value)> = None;
+            for item in KWayMerge::new(streams)? {
+                let (k, v) = item?;
+                seen += 1;
+                cur = Some(match cur {
+                    Some((ck, acc)) if ck == k => (ck, combiner.merge(&k, acc, &v)?),
+                    Some((ck, acc)) => {
+                        w.append(&ck, &acc)?;
+                        kept += 1;
+                        (k, v)
+                    }
+                    None => (k, v),
+                });
+            }
+            if let Some((ck, acc)) = cur {
+                w.append(&ck, &acc)?;
+                kept += 1;
+            }
+            Counters::add(&counters.combine_in, seen);
+            Counters::add(&counters.combine_out, kept);
+        }
     }
     let (pairs, bytes) = w.finish()?;
     Counters::add(&counters.spill_bytes, bytes);
@@ -234,6 +270,108 @@ mod tests {
             .collect()
     }
 
+    fn write_run(dir: &std::path::Path, seq: usize, pairs: Vec<(Value, Value)>) -> SpillRun {
+        crate::spill::write_sorted_run(
+            dir,
+            0,
+            seq,
+            pairs,
+            &CombineStrategy::passthrough(),
+            &Counters::new(),
+        )
+        .unwrap()
+    }
+
+    /// Build `n` sorted runs with overlapping keys plus the flat-merge
+    /// expectation (a stable sort of the concatenated runs).
+    fn overlapping_runs(dir: &std::path::Path, n: usize) -> (Vec<SpillRun>, Vec<(Value, Value)>) {
+        let mut runs = Vec::new();
+        let mut concat: Vec<(Value, Value)> = Vec::new();
+        for seq in 0..n {
+            let mut pairs: Vec<(Value, Value)> = (0..3)
+                .map(|j| {
+                    (
+                        Value::Int(((seq * 5 + j * 2) % 8) as i64),
+                        Value::Int((seq * 10 + j) as i64),
+                    )
+                })
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            concat.extend(pairs.iter().cloned());
+            runs.push(write_run(dir, seq, pairs));
+        }
+        concat.sort_by(|a, b| a.0.cmp(&b.0));
+        (runs, concat)
+    }
+
+    fn merge_all(runs: &[SpillRun]) -> Vec<(Value, Value)> {
+        let streams = runs
+            .iter()
+            .map(|r| RunStream::File(RunFileReader::open(&r.path).unwrap()))
+            .collect();
+        KWayMerge::new(streams)
+            .unwrap()
+            .map(|p| p.unwrap())
+            .collect()
+    }
+
+    /// Exactly `MERGE_FACTOR` runs fit one merge pass: compaction must
+    /// not rewrite anything.
+    #[test]
+    fn compaction_noop_at_exactly_merge_factor() {
+        let dir = crate::spill::SpillDir::create(None, "factor-exact").unwrap();
+        let (runs, expect) = overlapping_runs(dir.path(), MERGE_FACTOR);
+        let paths: Vec<_> = runs.iter().map(|r| r.path.clone()).collect();
+        let counters = Counters::new();
+        let compacted = compact_runs(
+            runs,
+            dir.path(),
+            0,
+            &counters,
+            &CombineStrategy::passthrough(),
+        )
+        .unwrap();
+        assert_eq!(compacted.len(), MERGE_FACTOR, "no compaction round");
+        let kept: Vec<_> = compacted.iter().map(|r| r.path.clone()).collect();
+        assert_eq!(kept, paths, "original run files untouched");
+        assert_eq!(counters.snapshot().spill_bytes, 0, "nothing rewritten");
+        assert_eq!(merge_all(&compacted), expect);
+    }
+
+    /// One run past the boundary forces exactly one compaction round,
+    /// the merged stream stays byte-identical, and the surviving fan-in
+    /// is bounded by `MERGE_FACTOR` (the fd guarantee).
+    #[test]
+    fn compaction_one_round_at_merge_factor_plus_one() {
+        let dir = crate::spill::SpillDir::create(None, "factor-plus1").unwrap();
+        let (runs, expect) = overlapping_runs(dir.path(), MERGE_FACTOR + 1);
+        let counters = Counters::new();
+        let compacted = compact_runs(
+            runs,
+            dir.path(),
+            0,
+            &counters,
+            &CombineStrategy::passthrough(),
+        )
+        .unwrap();
+        // 65 runs → one merged batch of 64 plus the leftover run.
+        assert_eq!(compacted.len(), 2, "one merge batch + one leftover");
+        assert!(compacted.len() <= MERGE_FACTOR, "fan-in bounded");
+        assert!(
+            counters.snapshot().spill_bytes > 0,
+            "one round rewrote bytes"
+        );
+        // Exactly one generation ran: one intermediate file, generation 0.
+        let intermediates: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("merge-"))
+            .collect();
+        assert_eq!(intermediates.len(), 1);
+        assert!(intermediates[0].contains("-g0-"), "{intermediates:?}");
+        assert_eq!(merge_all(&compacted), expect);
+    }
+
     #[test]
     fn merges_three_streams_in_order() {
         let m = KWayMerge::new(vec![
@@ -295,14 +433,21 @@ mod tests {
                 .collect();
             pairs.sort_by(|a, b| a.0.cmp(&b.0));
             concat.extend(pairs.iter().cloned());
-            runs.push(crate::spill::write_sorted_run(dir.path(), 0, seq, pairs).unwrap());
+            runs.push(write_run(dir.path(), seq, pairs));
         }
         // A flat merge with run-index tie-break is exactly a stable sort
         // of the concatenated sorted runs.
         concat.sort_by(|a, b| a.0.cmp(&b.0));
 
         let counters = Counters::new();
-        let compacted = compact_runs(runs, dir.path(), 0, &counters).unwrap();
+        let compacted = compact_runs(
+            runs,
+            dir.path(),
+            0,
+            &counters,
+            &CombineStrategy::passthrough(),
+        )
+        .unwrap();
         assert!(
             counters.snapshot().spill_bytes > 0,
             "compaction rewrites are charged to spill_bytes"

@@ -1,10 +1,18 @@
 //! Reduce tasks and the builtin reducer library.
 //!
-//! Manimal analyzes only `map()` ("we plan to examine reduce() in future
-//! work", paper §3.2), so reducers here are native Rust — the same
-//! reducers run under the baseline plan and every optimized plan, which
-//! is what makes output-equivalence checks between plans meaningful.
+//! The paper analyzes only `map()` ("we plan to examine reduce() in
+//! future work", §3.2), so the builtin reducers are native Rust — the
+//! same reducers run under the baseline plan and every optimized plan,
+//! which is what makes output-equivalence checks between plans
+//! meaningful. [`IrReducer`] goes one step further: a user-submitted IR
+//! `reduce(key, values)` run through the interpreter, which is what
+//! gives the `mr-analysis` combine pass something to prove things
+//! about (see [`crate::combine`]).
 
+use std::sync::Arc;
+
+use mr_ir::function::Function;
+use mr_ir::interp::Interpreter;
 use mr_ir::value::Value;
 
 use crate::error::{EngineError, Result};
@@ -24,6 +32,15 @@ pub trait Reducer: Send {
 pub trait ReducerFactory: Send + Sync {
     /// New reducer.
     fn create(&self) -> Box<dyn Reducer>;
+
+    /// The map-side combiner this reducer declares for itself, when it
+    /// is an associative, commutative aggregate (see
+    /// [`crate::combine`]). The default is `None` — combining never
+    /// engages for a reducer that has not declared (or been proven) an
+    /// algebraic decomposition.
+    fn combiner(&self) -> Option<std::sync::Arc<dyn crate::combine::Combiner>> {
+        None
+    }
 }
 
 /// The builtin reducers.
@@ -126,6 +143,85 @@ impl ReducerFactory for Builtin {
     fn create(&self) -> Box<dyn Reducer> {
         Box::new(*self)
     }
+
+    fn combiner(&self) -> Option<std::sync::Arc<dyn crate::combine::Combiner>> {
+        Builtin::combiner(self)
+    }
+}
+
+/// Runs a compiled MR-IR `reduce(key, values)` through the interpreter:
+/// the group's values are passed as the `values` list parameter and the
+/// function's emits become the group's output pairs. Per-task member
+/// state gets the same Java `Reducer`-object lifetime as [`IrMapper`].
+///
+/// [`IrMapper`]: crate::mapper::IrMapper
+pub struct IrReducer {
+    func: Arc<Function>,
+    interp: Interpreter,
+}
+
+impl IrReducer {
+    /// Build a reducer instance for one task.
+    pub fn new(func: Arc<Function>) -> IrReducer {
+        let interp = Interpreter::new(&func);
+        IrReducer { func, interp }
+    }
+}
+
+impl Reducer for IrReducer {
+    fn reduce(
+        &mut self,
+        key: &Value,
+        values: &[Value],
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<()> {
+        let list = Value::list(values.to_vec());
+        let output = self
+            .interp
+            .invoke_map(&self.func, key, &list)
+            .map_err(|e| EngineError::Reduce(e.to_string()))?;
+        out.extend(output.emits);
+        Ok(())
+    }
+}
+
+/// Factory for [`IrReducer`]s, optionally carrying a map-side combiner
+/// a caller has *proven* safe for the function (the engine trusts the
+/// proof — `manimal`'s `ir_reducer` runs the `mr-analysis` combine pass
+/// to produce it).
+pub struct IrReducerFactory {
+    /// The compiled reduce function.
+    pub func: Arc<Function>,
+    combiner: Option<Arc<dyn crate::combine::Combiner>>,
+}
+
+impl IrReducerFactory {
+    /// Wrap a compiled reduce function with no combiner.
+    pub fn new(func: Function) -> Arc<IrReducerFactory> {
+        IrReducerFactory::with_combiner(func, None)
+    }
+
+    /// Wrap a compiled reduce function together with the combiner
+    /// proven equivalent to it.
+    pub fn with_combiner(
+        func: Function,
+        combiner: Option<Arc<dyn crate::combine::Combiner>>,
+    ) -> Arc<IrReducerFactory> {
+        Arc::new(IrReducerFactory {
+            func: Arc::new(func),
+            combiner,
+        })
+    }
+}
+
+impl ReducerFactory for IrReducerFactory {
+    fn create(&self) -> Box<dyn Reducer> {
+        Box::new(IrReducer::new(Arc::clone(&self.func)))
+    }
+
+    fn combiner(&self) -> Option<Arc<dyn crate::combine::Combiner>> {
+        self.combiner.clone()
+    }
 }
 
 /// A native closure reducer.
@@ -223,6 +319,40 @@ mod tests {
             vec![3.into(), 4.into()],
         );
         assert_eq!(out, vec![(Value::Null, Value::Int(7))]);
+    }
+
+    #[test]
+    fn ir_reducer_runs_reduce_function_per_group() {
+        let f = mr_ir::asm::parse_function(
+            r#"
+            func reduce(key, values) {
+              r0 = param value
+              r1 = call list.len(r0)
+              r2 = param key
+              emit r2, r1
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let factory = IrReducerFactory::new(f);
+        assert!(factory.combiner().is_none(), "no combiner unless proven");
+        let mut r = factory.create();
+        let mut out = Vec::new();
+        r.reduce(
+            &Value::str("k"),
+            &[Value::Int(9), Value::Int(9), Value::Int(9)],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(Value::str("k"), Value::Int(3))]);
+    }
+
+    #[test]
+    fn ir_reducer_factory_carries_proven_combiner() {
+        let f = mr_ir::asm::parse_function("func reduce(key, values) {\n  ret\n}\n").unwrap();
+        let factory = IrReducerFactory::with_combiner(f, Builtin::Sum.combiner());
+        assert_eq!(factory.combiner().unwrap().name(), "sum");
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //! buckets spill sorted runs to disk ([`crate::spill`]) and each reduce
 //! partition streams a k-way merge of its runs plus the resident tail
 //! ([`crate::merge`]) through the grouping loop — same output, bounded
-//! memory.
+//! memory. Every stage additionally runs through the pluggable
+//! [`CombineStrategy`]: with [`JobConfig::combiner`] set, pairs fold at
+//! the staging flush, at spill time, and in the merge grouping loop
+//! (see [`crate::combine`]).
 //!
 //! [`JobConfig::shuffle_buffer_bytes`]: crate::job::JobConfig::shuffle_buffer_bytes
+//! [`JobConfig::combiner`]: crate::job::JobConfig::combiner
 
 use std::collections::VecDeque;
 use std::io::Write;
@@ -24,6 +28,7 @@ use mr_ir::value::Value;
 use mr_storage::runfile::RunFileReader;
 use parking_lot::Mutex as PlMutex;
 
+use crate::combine::{pair_bytes, CombineStrategy};
 use crate::counters::{CounterSnapshot, Counters};
 use crate::error::{EngineError, Result};
 use crate::input::SplitReader;
@@ -79,17 +84,37 @@ fn spill_bucket(
     dir: &Path,
     counters: &Counters,
     shuffle_nanos: &AtomicU64,
+    combine: &CombineStrategy,
 ) -> Result<()> {
     let Some((pairs, seq)) = bucket.lock().take_for_spill() else {
         return Ok(());
     };
     let t = Instant::now();
-    let run = write_sorted_run(dir, p, seq, pairs)?;
+    let run = write_sorted_run(dir, p, seq, pairs, combine, counters)?;
     shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Counters::add(&counters.spill_count, 1);
     Counters::add(&counters.spilled_records, run.pairs);
     Counters::add(&counters.spill_bytes, run.bytes);
     bucket.lock().record_run(run);
+    Ok(())
+}
+
+/// Reduce one completed key group and reset the value buffer — the
+/// single flush block both the grouping-loop body and the trailing
+/// flush of [`reduce_groups`] share. The combining merge loop reuses it
+/// too: with a combiner active the "reducer" here is the
+/// [`CombineStrategy::make_reducer`] wrapper that merges the group's
+/// partials and finishes them.
+fn flush_group(
+    reducer: &mut dyn Reducer,
+    key: &Value,
+    values: &mut Vec<Value>,
+    out: &mut Vec<(Value, Value)>,
+    groups: &mut u64,
+) -> Result<()> {
+    *groups += 1;
+    reducer.reduce(key, values, out)?;
+    values.clear();
     Ok(())
 }
 
@@ -109,9 +134,7 @@ fn reduce_groups(
         match &cur_key {
             Some(ck) if *ck == k => values.push(v),
             Some(ck) => {
-                groups += 1;
-                reducer.reduce(ck, &values, out)?;
-                values.clear();
+                flush_group(reducer, ck, &mut values, out, &mut groups)?;
                 values.push(v);
                 cur_key = Some(k);
             }
@@ -122,8 +145,7 @@ fn reduce_groups(
         }
     }
     if let Some(ck) = &cur_key {
-        groups += 1;
-        reducer.reduce(ck, &values, out)?;
+        flush_group(reducer, ck, &mut values, out, &mut groups)?;
     }
     Ok(groups)
 }
@@ -167,6 +189,7 @@ fn reduce_groups(
 ///     sort_output: true,
 ///     shuffle_buffer_bytes: Some(1024),
 ///     spill_dir: None,
+///     combiner: None,
 /// };
 /// let result = run_job(&job)?;
 /// assert_eq!(result.output.len(), 7, "seven distinct words");
@@ -182,6 +205,9 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     let num_reducers = job.num_reducers.max(1);
     let counters = Counters::new();
     let shuffle_nanos = AtomicU64::new(0);
+    // The pluggable aggregation pipeline: pass-through without a
+    // combiner, folding at every shuffle stage with one.
+    let combine = CombineStrategy::new(job.combiner.clone());
 
     // One private, self-cleaning spill directory per job — only created
     // when a shuffle budget makes spilling possible.
@@ -251,9 +277,14 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                             if pairs.is_empty() {
                                 continue;
                             }
+                            // Combine site 1: fold the staged pairs to
+                            // one partial per key before they enter the
+                            // shared bucket.
+                            let staged_bytes =
+                                combine.combine_staged(pairs, local_bytes[p], &counters)?;
                             let over_cap = {
                                 let mut bucket = buckets[p].lock();
-                                bucket.absorb(pairs, local_bytes[p]);
+                                bucket.absorb(pairs, staged_bytes);
                                 bucket_cap.is_some_and(|cap| bucket.resident_bytes() > cap)
                             };
                             local_bytes[p] = 0;
@@ -265,6 +296,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                                         dir.path(),
                                         &counters,
                                         &shuffle_nanos,
+                                        &combine,
                                     )?;
                                 }
                             }
@@ -282,11 +314,11 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                             effects += stats.side_effects;
                             outputs += emit_buf.len() as u64;
                             for (ok, ov) in emit_buf.drain(..) {
-                                let pair_bytes = ok.payload_size() + ov.payload_size() + 2;
-                                shuffle_bytes += pair_bytes as u64;
+                                let bytes = pair_bytes(&ok, &ov);
+                                shuffle_bytes += bytes as u64;
                                 let p = partition(&ok, num_reducers);
-                                local_bytes[p] += pair_bytes;
-                                local_total += pair_bytes;
+                                local_bytes[p] += bytes;
+                                local_total += bytes;
                                 local[p].push((ok, ov));
                             }
                             if local_cap.is_some_and(|cap| local_total >= cap) {
@@ -337,7 +369,10 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                 let Some(p) = p else { return };
                 let bucket = std::mem::take(&mut *buckets[p].lock());
                 let (mut tail, runs) = bucket.into_parts();
-                let mut reducer = job.reducer.create();
+                // Combine site 3: with a combiner, the grouping loop
+                // runs the merging/finishing wrapper instead of the raw
+                // reducer — the loop itself is shared.
+                let mut reducer = combine.make_reducer(&job.reducer);
                 let mut out: Vec<(Value, Value)> = Vec::new();
                 let mut groups = 0u64;
                 let run = (|| -> Result<()> {
@@ -356,7 +391,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                         // whole partition in memory.
                         let dir = spill_dir.as_ref().expect("spilled runs imply a spill dir");
                         let t = Instant::now();
-                        let runs = compact_runs(runs, dir.path(), p, &counters)?;
+                        let runs = compact_runs(runs, dir.path(), p, &counters, &combine)?;
                         shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         let mut streams: Vec<RunStream> = Vec::with_capacity(runs.len() + 1);
                         for r in &runs {
@@ -601,6 +636,7 @@ mod tests {
             sort_output: true,
             shuffle_buffer_bytes: None,
             spill_dir: None,
+            combiner: None,
         };
         let result = run_job(&job).unwrap();
         assert_eq!(result.output.len(), 10, "ten distinct urls");
@@ -682,6 +718,7 @@ mod tests {
             sort_output: false,
             shuffle_buffer_bytes: None,
             spill_dir: None,
+            combiner: None,
         };
         assert!(matches!(run_job(&job), Err(EngineError::Config(_))));
     }

@@ -21,6 +21,8 @@ use std::path::{Path, PathBuf};
 use mr_ir::value::Value;
 use mr_storage::runfile::RunFileWriter;
 
+use crate::combine::CombineStrategy;
+use crate::counters::Counters;
 use crate::error::Result;
 
 /// One spilled sorted run.
@@ -142,14 +144,19 @@ impl ShuffleBucket {
 }
 
 /// Stably sort `pairs` by key (emission order survives within equal
-/// keys) and write them as run `seq` of `partition` under `dir`.
+/// keys), fold duplicate keys when `combine` carries a combiner — the
+/// spill-time combine site, shrinking the run before it hits disk —
+/// and write the result as run `seq` of `partition` under `dir`.
 pub fn write_sorted_run(
     dir: &Path,
     partition: usize,
     seq: usize,
     mut pairs: Vec<(Value, Value)>,
+    combine: &CombineStrategy,
+    counters: &Counters,
 ) -> Result<SpillRun> {
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    combine.combine_sorted(&mut pairs, counters)?;
     let path = dir.join(format!("run-{partition:05}-{seq:06}"));
     let mut w = RunFileWriter::create(&path)?;
     for (k, v) in &pairs {
@@ -167,7 +174,24 @@ pub fn write_sorted_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reducer::Builtin;
     use mr_storage::runfile::RunFileReader;
+
+    fn plain_run(
+        dir: &Path,
+        partition: usize,
+        seq: usize,
+        pairs: Vec<(Value, Value)>,
+    ) -> Result<SpillRun> {
+        write_sorted_run(
+            dir,
+            partition,
+            seq,
+            pairs,
+            &CombineStrategy::passthrough(),
+            &Counters::new(),
+        )
+    }
 
     #[test]
     fn spill_sorts_and_clears() {
@@ -184,7 +208,7 @@ mod tests {
         let (taken, seq) = b.take_for_spill().unwrap();
         assert_eq!(seq, 0);
         assert_eq!(b.resident_bytes(), 0);
-        let run = write_sorted_run(dir.path(), 7, seq, taken).unwrap();
+        let run = plain_run(dir.path(), 7, seq, taken).unwrap();
         assert_eq!(run.pairs, 4);
         assert!(run
             .path
@@ -230,11 +254,40 @@ mod tests {
         }
         // Record out of order, as concurrent writers might.
         for (pairs, seq) in seqs.into_iter().rev() {
-            b.record_run(write_sorted_run(dir.path(), 0, seq, pairs).unwrap());
+            b.record_run(plain_run(dir.path(), 0, seq, pairs).unwrap());
         }
         let (_, runs) = b.into_parts();
         let got: Vec<usize> = runs.iter().map(|r| r.seq).collect();
         assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn combining_spill_folds_duplicate_keys() {
+        let dir = SpillDir::create(None, "combine-spill").unwrap();
+        let counters = Counters::new();
+        let combine = CombineStrategy::new(Builtin::Sum.combiner());
+        // Partials, as the staging flush would have produced them.
+        let pairs = vec![
+            (Value::Int(2), Value::Int(10)),
+            (Value::Int(1), Value::Int(1)),
+            (Value::Int(2), Value::Int(5)),
+            (Value::Int(1), Value::Int(2)),
+        ];
+        let run = write_sorted_run(dir.path(), 0, 0, pairs, &combine, &counters).unwrap();
+        assert_eq!(run.pairs, 2, "four pairs fold to one per key");
+        let back: Vec<(Value, Value)> = RunFileReader::open(&run.path)
+            .unwrap()
+            .map(|p| p.unwrap())
+            .collect();
+        assert_eq!(
+            back,
+            vec![
+                (Value::Int(1), Value::Int(3)),
+                (Value::Int(2), Value::Int(15)),
+            ]
+        );
+        let snap = counters.snapshot();
+        assert_eq!((snap.combine_in, snap.combine_out), (4, 2));
     }
 
     #[test]

@@ -171,6 +171,12 @@ pub struct UserVisitsConfig {
     pub date_end: i64,
     /// RNG seed.
     pub seed: u64,
+    /// Number of distinct `sourceIP` values, the group-by cardinality
+    /// of the Pavlo aggregation task. `0` (the default) draws fully
+    /// random IPs — near-distinct keys, the regime where map-side
+    /// combining cannot help; a small value produces the
+    /// low-cardinality group-bys where it collapses the shuffle.
+    pub source_ips: usize,
 }
 
 impl Default for UserVisitsConfig {
@@ -183,6 +189,7 @@ impl Default for UserVisitsConfig {
             date_start: 946_684_800,
             date_end: 978_307_200,
             seed: 43,
+            source_ips: 0,
         }
     }
 }
@@ -202,13 +209,18 @@ const SEARCH_WORDS: &[&str] = &[
 
 /// Generate one UserVisits record.
 fn gen_visit(cfg: &UserVisitsConfig, zipf: &Zipf, rng: &mut StdRng) -> Record {
-    let ip = format!(
-        "{}.{}.{}.{}",
-        rng.gen_range(1..255),
-        rng.gen_range(0..256),
-        rng.gen_range(0..256),
-        rng.gen_range(1..255)
-    );
+    let ip = if cfg.source_ips > 0 {
+        let id = rng.gen_range(0..cfg.source_ips);
+        format!("10.{}.{}.{}", id / 65536, (id / 256) % 256, id % 256)
+    } else {
+        format!(
+            "{}.{}.{}.{}",
+            rng.gen_range(1..255),
+            rng.gen_range(0..256),
+            rng.gen_range(0..256),
+            rng.gen_range(1..255)
+        )
+    };
     let dest = page_url(zipf.sample(rng));
     let date = rng.gen_range(cfg.date_start..cfg.date_end);
     let revenue = rng.gen_range(1..1000i64);
