@@ -28,6 +28,9 @@ fn main() {
     let dir = bench::bench_dir("scale-combine");
     let visits = bench::scaled(60_000);
     let program = benchmark2();
+    if let (Some(plan), attempts) = bench::fault_env() {
+        println!("fault drill: {plan} (max {attempts} attempts per task)\n");
+    }
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_rows: Vec<Json> = Vec::new();
@@ -60,6 +63,7 @@ fn main() {
             if combining {
                 j = j.with_declared_combiner();
             }
+            bench::apply_fault_env(&mut j);
             j
         };
 

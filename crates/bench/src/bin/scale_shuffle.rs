@@ -53,8 +53,12 @@ fn main() {
         .with_reducers(4)
         .with_spill_dir(&dir);
         j.shuffle_buffer_bytes = budget;
+        bench::apply_fault_env(&mut j);
         j
     };
+    if let (Some(plan), attempts) = bench::fault_env() {
+        println!("fault drill: {plan} (max {attempts} attempts per task)\n");
+    }
 
     // Size the budgets off the real shuffle volume so the table forces
     // spills at every scale, --smoke included.

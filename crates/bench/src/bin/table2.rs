@@ -179,6 +179,8 @@ fn main() {
             shuffle_buffer_bytes: None,
             spill_dir: None,
             combiner: None,
+            max_task_attempts: 1,
+            fault_plan: None,
         };
 
         let (hadoop, base_result) = bench::time_runs(|| {

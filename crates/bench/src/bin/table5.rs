@@ -93,6 +93,8 @@ fn main() {
         shuffle_buffer_bytes: None,
         spill_dir: None,
         combiner: None,
+        max_task_attempts: 1,
+        fault_plan: None,
     };
 
     let (proj_time, proj_result) = bench::time_runs(|| {

@@ -35,6 +35,35 @@ pub fn scaled(base: usize) -> usize {
     ((base as f64) * scale()).round().max(1.0) as usize
 }
 
+/// The fault-drill environment: `MANIMAL_FAULT_SPEC` (a
+/// [`mr_engine::FaultPlan`] spec like `map:0:0:0,reduce:0:0:0`) and
+/// `MANIMAL_TASK_ATTEMPTS` (attempts per task, default 1). CI's
+/// `fault-smoke` step runs the scale bins under an injected schedule
+/// this way, proving the bench surface — byte-identity assertions
+/// included — survives task retries.
+pub fn fault_env() -> (Option<std::sync::Arc<mr_engine::FaultPlan>>, usize) {
+    let plan = std::env::var("MANIMAL_FAULT_SPEC").ok().map(|spec| {
+        std::sync::Arc::new(
+            mr_engine::FaultPlan::from_spec(&spec)
+                .unwrap_or_else(|e| panic!("MANIMAL_FAULT_SPEC: {e}")),
+        )
+    });
+    let attempts = std::env::var("MANIMAL_TASK_ATTEMPTS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    (plan, attempts)
+}
+
+/// Apply [`fault_env`] to a job — every bench job opts in, so one
+/// environment variable fault-drills a whole table run.
+pub fn apply_fault_env(job: &mut mr_engine::JobConfig) {
+    let (plan, attempts) = fault_env();
+    job.max_task_attempts = attempts;
+    job.fault_plan = plan;
+}
+
 /// Timed repetitions from `MANIMAL_RUNS` (default 3, like the paper).
 pub fn runs() -> usize {
     std::env::var("MANIMAL_RUNS")

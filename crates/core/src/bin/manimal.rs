@@ -11,6 +11,8 @@
 //!                 [--baseline] [--safe-mode]      # Steps 2+3
 //!                 [--shuffle-buffer BYTES]        # external shuffle budget
 //!                 [--no-combine]                  # disable map-side combining
+//!                 [--max-task-attempts N]         # task-level retries
+//!                 [--fault-spec SPEC]             # deterministic fault drill
 //! ```
 //!
 //! The program file is MR-IR assembly (see `mr_ir::asm`); the input's
@@ -69,13 +71,21 @@ manimal — automatic optimization for MapReduce programs
   manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer R]
                   [--reduce-ir REDUCE.mrasm]
                   [--baseline] [--safe-mode] [--shuffle-buffer BYTES]
-                  [--no-combine]
+                  [--no-combine] [--max-task-attempts N]
+                  [--fault-spec SPEC]
 
 reducers: sum, count, max, min, identity, first, sum-drop-key
 (sum/count/max/min/sum-drop-key declare map-side combiners, engaged
 automatically; --reduce-ir runs a compiled IR reduce(key, values)
 instead, with the analyzer proving — or declining — its combiner;
 --no-combine keeps the shuffle pipeline plain)
+
+fault drills: --max-task-attempts N lets each map/reduce task run up
+to N times before the job fails; --fault-spec injects a deterministic
+failure schedule, e.g. `map:0:0:5,reduce:1:0:0,io:run-read:3`
+(fail map task 0 attempt 0 at record 5, reduce partition 1 attempt 0
+immediately, and the 3rd run-file read; IO sites: run-read, run-write,
+seq-read, seq-write)
 ";
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
@@ -270,6 +280,15 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
                 .parse::<usize>()
                 .map_err(|_| format!("--shuffle-buffer: `{bytes}` is not a byte count"))?,
         );
+    }
+    manimal.max_task_attempts = parse_num(rest, "--max-task-attempts", 1)?.max(1);
+    if let Some(spec) = flag_value(rest, "--fault-spec") {
+        let plan = manimal::FaultPlan::from_spec(spec).map_err(|e| format!("--fault-spec: {e}"))?;
+        eprintln!(
+            "fault plan: {plan} (tasks may run up to {} attempts)",
+            manimal.max_task_attempts
+        );
+        manimal.fault_plan = Some(Arc::new(plan));
     }
     let submission = manimal.submit(&program, input);
 

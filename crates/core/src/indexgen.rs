@@ -276,6 +276,8 @@ impl IndexGenProgram {
             shuffle_buffer_bytes,
             spill_dir: None,
             combiner: None,
+            max_task_attempts: 1,
+            fault_plan: None,
         };
         if combine {
             job = job.with_declared_combiner();

@@ -76,7 +76,8 @@ impl std::fmt::Display for ExecutionDescriptor {
     }
 }
 
-/// Choose the best plan for `program` over `input` given the catalog.
+/// Choose the best plan for `program` over `input` given the catalog:
+/// the head of [`enumerate_plans`]'s ranking.
 pub fn choose_plan(
     program: &Program,
     report: &AnalysisReport,
@@ -84,6 +85,23 @@ pub fn choose_plan(
     input: &Path,
     config: OptimizerConfig,
 ) -> Result<ExecutionDescriptor> {
+    let mut plans = enumerate_plans(program, report, catalog, input, config)?;
+    Ok(plans.remove(0))
+}
+
+/// Every candidate plan for `program` over `input`, in ranking order
+/// (most preferred first). The last element is always the unoptimized
+/// full scan, so the list is never empty and
+/// [`choose_plan`] is exactly its head. The full candidate set is what
+/// the plan-equivalence harness executes: *each* of these descriptors
+/// must produce output byte-identical to the full scan.
+pub fn enumerate_plans(
+    program: &Program,
+    report: &AnalysisReport,
+    catalog: &Catalog,
+    input: &Path,
+    config: OptimizerConfig,
+) -> Result<Vec<ExecutionDescriptor>> {
     // Stale catalog entries (artifact deleted from disk) are skipped
     // rather than crashing the job.
     let indexes: Vec<CatalogEntry> = catalog
@@ -91,15 +109,7 @@ pub fn choose_plan(
         .into_iter()
         .filter(|e| e.index_path.exists())
         .collect();
-    let full_scan = || ExecutionDescriptor {
-        input: InputSpec::SeqFile {
-            path: input.to_path_buf(),
-        },
-        mapper: program.mapper.clone(),
-        applied: vec![],
-        index: None,
-        combine: !config.no_combine,
-    };
+    let mut plans: Vec<ExecutionDescriptor> = Vec::new();
 
     // 1. Selection B+Tree (optionally combined with projection).
     if let SelectOutcome::Selection(sel) = &report.selection {
@@ -164,7 +174,7 @@ pub fn choose_plan(
                     if projected_fields.is_some() {
                         applied.push("projection(clustered)".to_string());
                     }
-                    return Ok(ExecutionDescriptor {
+                    plans.push(ExecutionDescriptor {
                         input: InputSpec::BTreeRanges {
                             path: entry.index_path.clone(),
                             ranges,
@@ -189,7 +199,7 @@ pub fn choose_plan(
             } = &entry.kind
             {
                 if proj.used_fields.iter().all(|f| kept.contains(f)) {
-                    return Ok(ExecutionDescriptor {
+                    plans.push(ExecutionDescriptor {
                         input: InputSpec::Delta {
                             path: entry.index_path.clone(),
                             widen_to: Some(Arc::clone(&program.value_schema)),
@@ -208,7 +218,7 @@ pub fn choose_plan(
         for entry in &indexes {
             if let IndexKind::Projection { fields } = &entry.kind {
                 if proj.used_fields.iter().all(|f| fields.contains(f)) {
-                    return Ok(ExecutionDescriptor {
+                    plans.push(ExecutionDescriptor {
                         input: InputSpec::Projected {
                             path: entry.index_path.clone(),
                             source_schema: Arc::clone(&program.value_schema),
@@ -230,9 +240,17 @@ pub fn choose_plan(
                 if direct.fields.iter().all(|f| fields.contains(f))
                     && fields.iter().all(|f| direct.fields.contains(f))
                 {
-                    let mapper =
-                        rewrite_dict_constants(&program.mapper, fields, &entry.index_path)?;
-                    return Ok(ExecutionDescriptor {
+                    // An unreadable/corrupt dictionary artifact makes
+                    // this candidate unusable, not the whole planning
+                    // pass — skip it like a stale entry (the
+                    // early-return choose_plan never even opened it
+                    // when a better plan existed).
+                    let Ok(mapper) =
+                        rewrite_dict_constants(&program.mapper, fields, &entry.index_path)
+                    else {
+                        continue;
+                    };
+                    plans.push(ExecutionDescriptor {
                         input: InputSpec::Dict {
                             path: entry.index_path.clone(),
                         },
@@ -257,7 +275,7 @@ pub fn choose_plan(
                 fields,
             } = &entry.kind
             {
-                return Ok(ExecutionDescriptor {
+                plans.push(ExecutionDescriptor {
                     input: InputSpec::Delta {
                         path: entry.index_path.clone(),
                         widen_to: None,
@@ -271,7 +289,18 @@ pub fn choose_plan(
         }
     }
 
-    Ok(full_scan())
+    // The unoptimized full scan is always a candidate — and the
+    // reference every other candidate must match byte for byte.
+    plans.push(ExecutionDescriptor {
+        input: InputSpec::SeqFile {
+            path: input.to_path_buf(),
+        },
+        mapper: program.mapper.clone(),
+        applied: vec![],
+        index: None,
+        combine: !config.no_combine,
+    });
+    Ok(plans)
 }
 
 /// Map a proven combiner descriptor (`mr_analysis::combine`) onto the

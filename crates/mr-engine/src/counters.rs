@@ -49,6 +49,15 @@ pub struct Counters {
     pub instructions_executed: AtomicU64,
     /// Side effects recorded by map tasks.
     pub side_effects: AtomicU64,
+    /// Map task attempts that failed (each failed attempt counts once,
+    /// including the final one of a task that exhausts
+    /// [`JobConfig::max_task_attempts`](crate::job::JobConfig::max_task_attempts)).
+    pub map_task_failures: AtomicU64,
+    /// Reduce task attempts that failed.
+    pub reduce_task_failures: AtomicU64,
+    /// Task attempts started after a failure (map + reduce). A job with
+    /// no faults reports 0.
+    pub task_retries: AtomicU64,
 }
 
 impl Counters {
@@ -79,7 +88,35 @@ impl Counters {
             reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
             instructions_executed: self.instructions_executed.load(Ordering::Relaxed),
             side_effects: self.side_effects.load(Ordering::Relaxed),
+            map_task_failures: self.map_task_failures.load(Ordering::Relaxed),
+            reduce_task_failures: self.reduce_task_failures.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold a snapshot of attempt-local counters into these shared job
+    /// counters — the commit half of the task-attempt protocol: a task
+    /// attempt accumulates into its own private [`Counters`] and only a
+    /// *successful* attempt is absorbed, so the work of failed,
+    /// retried attempts never double-counts.
+    pub fn absorb(&self, s: &CounterSnapshot) {
+        Counters::add(&self.map_input_records, s.map_input_records);
+        Counters::add(&self.map_invocations, s.map_invocations);
+        Counters::add(&self.map_output_records, s.map_output_records);
+        Counters::add(&self.input_bytes, s.input_bytes);
+        Counters::add(&self.shuffle_bytes, s.shuffle_bytes);
+        Counters::add(&self.spill_count, s.spill_count);
+        Counters::add(&self.spilled_records, s.spilled_records);
+        Counters::add(&self.spill_bytes, s.spill_bytes);
+        Counters::add(&self.combine_in, s.combine_in);
+        Counters::add(&self.combine_out, s.combine_out);
+        Counters::add(&self.reduce_input_groups, s.reduce_input_groups);
+        Counters::add(&self.reduce_output_records, s.reduce_output_records);
+        Counters::add(&self.instructions_executed, s.instructions_executed);
+        Counters::add(&self.side_effects, s.side_effects);
+        Counters::add(&self.map_task_failures, s.map_task_failures);
+        Counters::add(&self.reduce_task_failures, s.reduce_task_failures);
+        Counters::add(&self.task_retries, s.task_retries);
     }
 }
 
@@ -114,6 +151,12 @@ pub struct CounterSnapshot {
     pub instructions_executed: u64,
     /// Side effects recorded.
     pub side_effects: u64,
+    /// Failed map task attempts.
+    pub map_task_failures: u64,
+    /// Failed reduce task attempts.
+    pub reduce_task_failures: u64,
+    /// Attempts started after a failure.
+    pub task_retries: u64,
 }
 
 impl std::fmt::Display for CounterSnapshot {
@@ -129,7 +172,10 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "combine in        : {}", self.combine_in)?;
         writeln!(f, "combine out       : {}", self.combine_out)?;
         writeln!(f, "reduce groups     : {}", self.reduce_input_groups)?;
-        write!(f, "reduce output     : {}", self.reduce_output_records)
+        writeln!(f, "reduce output     : {}", self.reduce_output_records)?;
+        writeln!(f, "map task failures : {}", self.map_task_failures)?;
+        writeln!(f, "red. task failures: {}", self.reduce_task_failures)?;
+        write!(f, "task retries      : {}", self.task_retries)
     }
 }
 
@@ -147,6 +193,22 @@ mod tests {
         assert_eq!(s.map_input_records, 15);
         assert_eq!(s.input_bytes, 1024);
         assert_eq!(s.reduce_output_records, 0);
+    }
+
+    #[test]
+    fn absorb_adds_every_field() {
+        let attempt = Counters::new();
+        Counters::add(&attempt.map_input_records, 7);
+        Counters::add(&attempt.spilled_records, 3);
+        Counters::add(&attempt.combine_in, 2);
+        let job = Counters::new();
+        Counters::add(&job.map_input_records, 1);
+        job.absorb(&attempt.snapshot());
+        let s = job.snapshot();
+        assert_eq!(s.map_input_records, 8);
+        assert_eq!(s.spilled_records, 3);
+        assert_eq!(s.combine_in, 2);
+        assert_eq!(s.task_retries, 0);
     }
 
     #[test]

@@ -17,6 +17,21 @@ pub enum EngineError {
     Config(String),
     /// Output-sink failure.
     Io(std::io::Error),
+    /// A fault injected by the job's
+    /// [`FaultPlan`](crate::fault::FaultPlan) (tests and drills only;
+    /// retried like any other task failure).
+    Injected(String),
+    /// A task failed on every allowed attempt
+    /// ([`JobConfig::max_task_attempts`](crate::job::JobConfig::max_task_attempts));
+    /// `cause` is the last attempt's error.
+    TaskFailed {
+        /// Which task exhausted its attempts (e.g. `map task 3`).
+        task: String,
+        /// How many attempts were made.
+        attempts: usize,
+        /// The error the final attempt died with.
+        cause: Box<EngineError>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -28,11 +43,24 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage: {e}"),
             EngineError::Config(e) => write!(f, "bad job config: {e}"),
             EngineError::Io(e) => write!(f, "i/o: {e}"),
+            EngineError::Injected(e) => write!(f, "injected fault: {e}"),
+            EngineError::TaskFailed {
+                task,
+                attempts,
+                cause,
+            } => write!(f, "{task} failed after {attempts} attempt(s): {cause}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::TaskFailed { cause, .. } => Some(cause.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<mr_ir::IrError> for EngineError {
     fn from(e: mr_ir::IrError) -> Self {

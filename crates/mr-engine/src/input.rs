@@ -14,6 +14,7 @@ use mr_ir::value::Value;
 use mr_storage::btree::{BTreeIndex, BTreeScanner, ScanBound};
 use mr_storage::delta::{DeltaFileMeta, DeltaFileReader};
 use mr_storage::dict::DictFileReader;
+use mr_storage::fault::IoFaults;
 use mr_storage::seqfile::{SeqFileMeta, SeqFileReader};
 
 use crate::error::{EngineError, Result};
@@ -64,6 +65,20 @@ impl InputSpec {
     /// Open the input as a set of independent split readers; `hint` is
     /// the desired parallelism.
     pub fn open(&self, hint: usize) -> Result<Vec<SplitReader>> {
+        self.open_with_faults(hint, None)
+    }
+
+    /// [`open`](Self::open) with an IO fault injector threaded into
+    /// the sequence-file readers (`SeqFile` and `Projected`; the
+    /// other formats have no injection hooks). Split boundaries depend
+    /// only on `hint`, so re-opening the same input with the same hint
+    /// — how a retried map task re-reads its split — always yields the
+    /// same splits.
+    pub fn open_with_faults(
+        &self,
+        hint: usize,
+        io: Option<&Arc<IoFaults>>,
+    ) -> Result<Vec<SplitReader>> {
         match self {
             InputSpec::SeqFile { path } => {
                 let meta = SeqFileMeta::open(path)?;
@@ -73,7 +88,7 @@ impl InputSpec {
                 for sp in splits {
                     let records = sp.records;
                     out.push(SplitReader::Seq {
-                        reader: meta.read_split(&sp)?,
+                        reader: meta.read_split_with_faults(&sp, io.cloned())?,
                         next_key: first_record,
                     });
                     first_record += records;
@@ -101,7 +116,7 @@ impl InputSpec {
                 for sp in splits {
                     let records = sp.records;
                     out.push(SplitReader::Widened {
-                        reader: meta.read_split(&sp)?,
+                        reader: meta.read_split_with_faults(&sp, io.cloned())?,
                         next_key: first_record,
                         target: Arc::clone(source_schema),
                     });

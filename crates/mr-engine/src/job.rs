@@ -6,6 +6,7 @@ use std::sync::Arc;
 use mr_ir::function::Function;
 
 use crate::combine::Combiner;
+use crate::fault::FaultPlan;
 use crate::input::InputSpec;
 use crate::mapper::{IrMapperFactory, MapperFactory};
 use crate::reducer::{Builtin, ReducerFactory};
@@ -85,6 +86,29 @@ pub struct JobConfig {
     /// [`with_declared_combiner`](Self::with_declared_combiner) engages
     /// whatever the job's reducer declares.
     pub combiner: Option<Arc<dyn Combiner>>,
+    /// How many times each map/reduce task may run before the job
+    /// fails — Hadoop's `mapreduce.map.maxattempts`. `1` (the default)
+    /// is the seed behaviour: the first task failure aborts the job.
+    /// With more attempts a failed task is transparently re-executed
+    /// from its input split: a task attempt's side effects (staged
+    /// pairs, attempt-scoped spill runs) are only *committed* into
+    /// shared shuffle state on success, so retries never duplicate or
+    /// lose pairs and the output is byte-identical to a fault-free
+    /// run. A task that fails `max_task_attempts` times surfaces
+    /// [`EngineError::TaskFailed`](crate::error::EngineError::TaskFailed).
+    ///
+    /// Retry insurance has a cost on the reduce side: every attempt
+    /// before the last streams the partition's resident tail by
+    /// *cloning* pairs (the tail must survive for a potential retry);
+    /// only the final allowed attempt — and therefore every attempt
+    /// when this is 1 — takes the zero-copy move path. With a shuffle
+    /// budget the tail is small and the cost negligible; for large
+    /// fully-resident partitions, weigh retries against the extra
+    /// allocation traffic.
+    pub max_task_attempts: usize,
+    /// A deterministic failure schedule for tests and fault drills
+    /// ([`FaultPlan`]); `None` injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl JobConfig {
@@ -107,6 +131,8 @@ impl JobConfig {
             shuffle_buffer_bytes: None,
             spill_dir: None,
             combiner: None,
+            max_task_attempts: 1,
+            fault_plan: None,
         }
     }
 
@@ -153,6 +179,18 @@ impl JobConfig {
     /// plans switch combining on without naming a combiner themselves.
     pub fn with_declared_combiner(mut self) -> Self {
         self.combiner = self.reducer.combiner();
+        self
+    }
+
+    /// Allow each task up to `n` attempts before the job fails.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_task_attempts = n.max(1);
+        self
+    }
+
+    /// Inject the given failure schedule.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

@@ -26,6 +26,13 @@
 //! time, and in the merge grouping loop — same output again, with the
 //! shuffle traffic of an algebraic aggregate collapsed near the key
 //! cardinality.
+//!
+//! Tasks are retryable units
+//! ([`JobConfig::max_task_attempts`](job::JobConfig::max_task_attempts)):
+//! a failed map/reduce task is transparently re-executed with
+//! idempotent side effects (attempt-scoped spill paths, commit on
+//! success — see [`runner`]), and the whole machinery is driven
+//! deterministically in tests by a seedable [`fault::FaultPlan`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +40,7 @@
 pub mod combine;
 pub mod counters;
 pub mod error;
+pub mod fault;
 pub mod input;
 pub mod job;
 pub mod mapper;
@@ -45,6 +53,7 @@ pub mod spill;
 pub use combine::{CombineStrategy, Combiner};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{EngineError, Result};
+pub use fault::{FaultPlan, TaskFault};
 pub use input::{InputSpec, SplitReader};
 pub use job::{InputBinding, JobConfig, OutputSpec};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
@@ -53,4 +62,4 @@ pub use reducer::{
     Builtin, FnReducerFactory, IrReducer, IrReducerFactory, Reducer, ReducerFactory,
 };
 pub use runner::{run_job, JobResult, PhaseTimings};
-pub use spill::{ShuffleBucket, SpillDir, SpillRun};
+pub use spill::{AttemptDir, ShuffleBucket, SpillDir, SpillRun};

@@ -13,8 +13,11 @@
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::path::Path;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 use mr_ir::value::Value;
+use mr_storage::fault::IoFaults;
 use mr_storage::runfile::{RunFileReader, RunFileWriter};
 
 use crate::combine::CombineStrategy;
@@ -30,79 +33,91 @@ use crate::spill::SpillRun;
 /// for.
 pub const MERGE_FACTOR: usize = 64;
 
-/// Compact `runs` (in spill order) down to at most [`MERGE_FACTOR`] by
-/// merging batches of consecutive runs into intermediate runs under
-/// `dir`, deleting the sources. Batches are consecutive and each
-/// result takes its batch's position, so the `(key, run index)`
-/// tie-break — and therefore the final merged stream — is identical to
-/// a flat merge of the original runs. Rewritten bytes are charged to
-/// the `spill_bytes` counter (they are real spill-disk traffic);
-/// `spill_count`/`spilled_records` stay map-side only. An active
-/// `combine` strategy folds duplicate keys while rewriting, so
-/// compacted runs shrink like spill-time runs do.
+/// Compact `runs` (in spill order, updated in place) down to at most
+/// [`MERGE_FACTOR`] by merging batches of consecutive runs into
+/// intermediate runs under `dir`, deleting the sources. Batches are
+/// consecutive and each result takes its batch's position, so the
+/// `(key, run index)` tie-break — and therefore the final merged
+/// stream — is identical to a flat merge of the original runs.
+/// Rewritten bytes are charged to the `spill_bytes` counter (they are
+/// real spill-disk traffic); `spill_count`/`spilled_records` stay
+/// map-side only. An active `combine` strategy folds duplicate keys
+/// while rewriting, so compacted runs shrink like spill-time runs do.
+///
+/// Compaction is **resumable**: on error, `runs` is left describing
+/// exactly the still-valid run files — batches already merged plus the
+/// untouched remainder (sources are deleted only after their batch
+/// succeeds) — so a retried reduce attempt picks up where the failed
+/// one stopped instead of re-reading deleted files. Intermediate file
+/// names are process-unique, never reusing the name of a live run.
 pub fn compact_runs(
-    mut runs: Vec<SpillRun>,
+    runs: &mut Vec<SpillRun>,
     dir: &Path,
     partition: usize,
     counters: &Counters,
     combine: &CombineStrategy,
-) -> Result<Vec<SpillRun>> {
-    let mut generation = 0usize;
+    io: Option<&Arc<IoFaults>>,
+) -> Result<()> {
     while runs.len() > MERGE_FACTOR {
-        let mut next: Vec<SpillRun> = Vec::with_capacity(runs.len().div_ceil(MERGE_FACTOR));
-        let mut batch: Vec<SpillRun> = Vec::new();
-        for run in runs {
-            batch.push(run);
-            if batch.len() == MERGE_FACTOR {
-                let idx = next.len();
-                next.push(merge_batch(
-                    std::mem::take(&mut batch),
-                    dir,
-                    partition,
-                    generation,
-                    idx,
-                    counters,
-                    combine,
-                )?);
+        let source = std::mem::take(runs);
+        let mut next: Vec<SpillRun> = Vec::with_capacity(source.len().div_ceil(MERGE_FACTOR));
+        let mut idx = 0;
+        while idx < source.len() {
+            let end = (idx + MERGE_FACTOR).min(source.len());
+            if end - idx == 1 {
+                next.push(source[idx].clone());
+                idx = end;
+                continue;
+            }
+            match merge_batch(&source[idx..end], dir, partition, counters, combine, io) {
+                Ok(run) => {
+                    next.push(run);
+                    idx = end;
+                }
+                Err(e) => {
+                    next.extend(source[idx..].iter().cloned());
+                    *runs = next;
+                    return Err(e);
+                }
             }
         }
-        match batch.len() {
-            0 => {}
-            1 => next.push(batch.pop().expect("len checked")),
-            _ => {
-                let idx = next.len();
-                next.push(merge_batch(
-                    batch, dir, partition, generation, idx, counters, combine,
-                )?);
-            }
-        }
-        runs = next;
-        generation += 1;
+        *runs = next;
     }
-    Ok(runs)
+    Ok(())
 }
 
 /// Merge one batch of consecutive runs into a single intermediate run
-/// and delete the sources. The result inherits the batch's first spill
-/// sequence so relative order among surviving runs is preserved. With
-/// an active combiner the merged stream is folded on the fly — one
-/// pair per key survives the rewrite.
+/// and delete the sources (only after the merged run is durable — a
+/// failed batch leaves its sources intact for the retry). The result
+/// inherits the batch's first spill sequence so relative order among
+/// surviving runs is preserved. With an active combiner the merged
+/// stream is folded on the fly — one pair per key survives the
+/// rewrite.
 fn merge_batch(
-    batch: Vec<SpillRun>,
+    batch: &[SpillRun],
     dir: &Path,
     partition: usize,
-    generation: usize,
-    index: usize,
     counters: &Counters,
     combine: &CombineStrategy,
+    io: Option<&Arc<IoFaults>>,
 ) -> Result<SpillRun> {
+    // Process-unique intermediate names: a retried compaction must
+    // never truncate a merged run an earlier pass already produced.
+    static NEXT_MERGE_FILE: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT_MERGE_FILE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
     let seq = batch[0].seq;
     let mut streams = Vec::with_capacity(batch.len());
-    for r in &batch {
-        streams.push(RunStream::File(RunFileReader::open(&r.path)?));
+    for r in batch {
+        streams.push(RunStream::File(RunFileReader::open_with_faults(
+            &r.path,
+            io.cloned(),
+        )?));
     }
-    let path = dir.join(format!("merge-{partition:05}-g{generation}-{index:04}"));
-    let mut w = RunFileWriter::create(&path)?;
+    let path = dir.join(format!("merge-{partition:05}-{unique:08}"));
+    let mut w = RunFileWriter::create_with_faults(&path, io.cloned())?;
+    let mut seen = 0u64;
+    let mut kept = 0u64;
     match combine.active() {
         None => {
             for item in KWayMerge::new(streams)? {
@@ -111,8 +126,6 @@ fn merge_batch(
             }
         }
         Some(combiner) => {
-            let mut seen = 0u64;
-            let mut kept = 0u64;
             let mut cur: Option<(Value, Value)> = None;
             for item in KWayMerge::new(streams)? {
                 let (k, v) = item?;
@@ -131,13 +144,17 @@ fn merge_batch(
                 w.append(&ck, &acc)?;
                 kept += 1;
             }
-            Counters::add(&counters.combine_in, seen);
-            Counters::add(&counters.combine_out, kept);
         }
     }
     let (pairs, bytes) = w.finish()?;
+    // Charge counters only after the batch is durable, so a failed
+    // batch that is retried cannot double-count.
+    if seen > 0 || kept > 0 {
+        Counters::add(&counters.combine_in, seen);
+        Counters::add(&counters.combine_out, kept);
+    }
     Counters::add(&counters.spill_bytes, bytes);
-    for r in &batch {
+    for r in batch {
         let _ = std::fs::remove_file(&r.path);
     }
     Ok(SpillRun {
@@ -152,15 +169,35 @@ fn merge_batch(
 pub enum RunStream {
     /// A spilled run streamed from disk.
     File(RunFileReader),
-    /// The sorted resident tail.
+    /// The sorted resident tail, consumed by this merge.
     Memory(std::vec::IntoIter<(Value, Value)>),
+    /// The sorted resident tail, shared: pairs are cloned out so the
+    /// vector survives for another reduce attempt. Used only when task
+    /// retries are possible — the final (or sole) attempt takes the
+    /// move-semantics [`Memory`](RunStream::Memory) path.
+    Shared {
+        /// The shared tail.
+        pairs: Arc<Vec<(Value, Value)>>,
+        /// Next pair to yield.
+        pos: usize,
+    },
 }
 
 impl RunStream {
-    fn next_pair(&mut self) -> Option<Result<(Value, Value)>> {
+    /// A shared stream over `pairs`, starting at the beginning.
+    pub fn shared(pairs: Arc<Vec<(Value, Value)>>) -> RunStream {
+        RunStream::Shared { pairs, pos: 0 }
+    }
+
+    pub(crate) fn next_pair(&mut self) -> Option<Result<(Value, Value)>> {
         match self {
             RunStream::File(r) => r.next().map(|p| p.map_err(EngineError::from)),
             RunStream::Memory(it) => it.next().map(Ok),
+            RunStream::Shared { pairs, pos } => {
+                let pair = pairs.get(*pos)?.clone();
+                *pos += 1;
+                Some(Ok(pair))
+            }
         }
     }
 }
@@ -278,6 +315,7 @@ mod tests {
             pairs,
             &CombineStrategy::passthrough(),
             &Counters::new(),
+            None,
         )
         .unwrap()
     }
@@ -320,15 +358,16 @@ mod tests {
     #[test]
     fn compaction_noop_at_exactly_merge_factor() {
         let dir = crate::spill::SpillDir::create(None, "factor-exact").unwrap();
-        let (runs, expect) = overlapping_runs(dir.path(), MERGE_FACTOR);
-        let paths: Vec<_> = runs.iter().map(|r| r.path.clone()).collect();
+        let (mut compacted, expect) = overlapping_runs(dir.path(), MERGE_FACTOR);
+        let paths: Vec<_> = compacted.iter().map(|r| r.path.clone()).collect();
         let counters = Counters::new();
-        let compacted = compact_runs(
-            runs,
+        compact_runs(
+            &mut compacted,
             dir.path(),
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            None,
         )
         .unwrap();
         assert_eq!(compacted.len(), MERGE_FACTOR, "no compaction round");
@@ -344,14 +383,15 @@ mod tests {
     #[test]
     fn compaction_one_round_at_merge_factor_plus_one() {
         let dir = crate::spill::SpillDir::create(None, "factor-plus1").unwrap();
-        let (runs, expect) = overlapping_runs(dir.path(), MERGE_FACTOR + 1);
+        let (mut compacted, expect) = overlapping_runs(dir.path(), MERGE_FACTOR + 1);
         let counters = Counters::new();
-        let compacted = compact_runs(
-            runs,
+        compact_runs(
+            &mut compacted,
             dir.path(),
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            None,
         )
         .unwrap();
         // 65 runs → one merged batch of 64 plus the leftover run.
@@ -361,15 +401,53 @@ mod tests {
             counters.snapshot().spill_bytes > 0,
             "one round rewrote bytes"
         );
-        // Exactly one generation ran: one intermediate file, generation 0.
+        // Exactly one batch merged: one intermediate file.
         let intermediates: Vec<String> = std::fs::read_dir(dir.path())
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .filter(|n| n.starts_with("merge-"))
             .collect();
         assert_eq!(intermediates.len(), 1);
-        assert!(intermediates[0].contains("-g0-"), "{intermediates:?}");
         assert_eq!(merge_all(&compacted), expect);
+    }
+
+    /// An IO fault mid-compaction leaves `runs` describing exactly the
+    /// files still on disk, and a retry completes with the same merged
+    /// stream as a fault-free pass — the resumability the reduce
+    /// attempt loop depends on.
+    #[test]
+    fn compaction_resumes_after_io_fault() {
+        let dir = crate::spill::SpillDir::create(None, "factor-resume").unwrap();
+        let (mut runs, expect) = overlapping_runs(dir.path(), MERGE_FACTOR + 2);
+        let counters = Counters::new();
+        // Fail the very first run-file read of the first batch.
+        let io = Arc::new(IoFaults::new().with_fault(mr_storage::fault::IoSite::RunRead, 0));
+        let err = compact_runs(
+            &mut runs,
+            dir.path(),
+            0,
+            &counters,
+            &CombineStrategy::passthrough(),
+            Some(&io),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Storage(_)), "{err}");
+        assert_eq!(runs.len(), MERGE_FACTOR + 2, "nothing merged yet");
+        for r in &runs {
+            assert!(r.path.exists(), "sources intact after failed batch");
+        }
+        // Retry with the (now disarmed) injector: completes normally.
+        compact_runs(
+            &mut runs,
+            dir.path(),
+            0,
+            &counters,
+            &CombineStrategy::passthrough(),
+            Some(&io),
+        )
+        .unwrap();
+        assert!(runs.len() <= MERGE_FACTOR);
+        assert_eq!(merge_all(&runs), expect);
     }
 
     #[test]
@@ -415,6 +493,27 @@ mod tests {
         assert_eq!(collect(m), vec![]);
     }
 
+    /// A shared tail yields the same stream as a consuming one — and
+    /// can be merged again from the same vector.
+    #[test]
+    fn shared_stream_is_replayable() {
+        let tail: Arc<Vec<(Value, Value)>> = Arc::new(
+            vec![(1i64, "a"), (3, "c")]
+                .into_iter()
+                .map(|(k, v)| (Value::Int(k), Value::str(v)))
+                .collect(),
+        );
+        for _ in 0..2 {
+            let m = KWayMerge::new(vec![
+                RunStream::shared(Arc::clone(&tail)),
+                mem(vec![(2, "b")]),
+            ])
+            .unwrap();
+            let keys: Vec<i64> = m.map(|p| p.unwrap().0.as_int().unwrap()).collect();
+            assert_eq!(keys, vec![1, 2, 3]);
+        }
+    }
+
     #[test]
     fn compact_runs_equals_flat_merge() {
         let dir = crate::spill::SpillDir::create(None, "compact").unwrap();
@@ -440,12 +539,14 @@ mod tests {
         concat.sort_by(|a, b| a.0.cmp(&b.0));
 
         let counters = Counters::new();
-        let compacted = compact_runs(
-            runs,
+        let mut compacted = runs;
+        compact_runs(
+            &mut compacted,
             dir.path(),
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            None,
         )
         .unwrap();
         assert!(

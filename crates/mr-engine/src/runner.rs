@@ -6,38 +6,77 @@
 //! emitted pairs are hash-partitioned into per-reducer buckets. With no
 //! shuffle budget the whole partition stays resident and is sorted in
 //! one pass; with [`JobConfig::shuffle_buffer_bytes`] set, overfull
-//! buckets spill sorted runs to disk ([`crate::spill`]) and each reduce
-//! partition streams a k-way merge of its runs plus the resident tail
-//! ([`crate::merge`]) through the grouping loop — same output, bounded
-//! memory. Every stage additionally runs through the pluggable
-//! [`CombineStrategy`]: with [`JobConfig::combiner`] set, pairs fold at
-//! the staging flush, at spill time, and in the merge grouping loop
-//! (see [`crate::combine`]).
+//! staging buffers spill sorted runs to disk ([`crate::spill`]) and
+//! each reduce partition streams a k-way merge of its runs plus the
+//! resident tail ([`crate::merge`]) through the grouping loop — same
+//! output, bounded memory. Every stage additionally runs through the
+//! pluggable [`CombineStrategy`]: with [`JobConfig::combiner`] set,
+//! pairs fold at the staging flush, at spill time, and in the merge
+//! grouping loop (see [`crate::combine`]).
+//!
+//! # Task attempts and the commit protocol
+//!
+//! Map and reduce tasks are *retryable units*
+//! ([`JobConfig::max_task_attempts`]), inheriting MapReduce's core
+//! production guarantee: individual tasks fail and are transparently
+//! re-executed. Idempotency comes from keeping every attempt's side
+//! effects private until the attempt succeeds:
+//!
+//! * a **map attempt** stages emitted pairs task-locally and spills
+//!   overfull staging into runs under an attempt-scoped directory
+//!   ([`crate::spill::AttemptDir`], an RAII guard that deletes
+//!   everything uncommitted on drop). On success the attempt
+//!   **commits**: run files are renamed into the job spill directory
+//!   under bucket-assigned sequence numbers, resident pairs are
+//!   absorbed into the shared buckets (spilling buckets that outgrow
+//!   their cap), and the attempt's privately-accumulated counters are
+//!   folded into the job counters — so a failed attempt contributes
+//!   nothing: no pairs, no files, no counts;
+//! * a **reduce attempt** reads committed state only (run files plus a
+//!   shared sorted tail) and publishes its output and counters on
+//!   success. Run compaction is resumable across attempts
+//!   ([`crate::merge::compact_runs`]).
+//!
+//! A task that fails every allowed attempt surfaces
+//! [`EngineError::TaskFailed`] and aborts the job; each failed attempt
+//! bumps `map_task_failures`/`reduce_task_failures` and each
+//! re-execution bumps `task_retries`. Failures are driven
+//! deterministically in tests by [`JobConfig::fault_plan`]
+//! ([`crate::fault::FaultPlan`]).
+//!
+//! Within a reduce group, values arrive in a deterministic order for a
+//! fixed schedule, but it is *commit order* across tasks (emission
+//! order within a task) — the same contract real MapReduce offers.
+//! Order-insensitive reducers (every builtin aggregate) produce
+//! byte-identical output under any schedule, retries included.
 //!
 //! [`JobConfig::shuffle_buffer_bytes`]: crate::job::JobConfig::shuffle_buffer_bytes
 //! [`JobConfig::combiner`]: crate::job::JobConfig::combiner
+//! [`JobConfig::max_task_attempts`]: crate::job::JobConfig::max_task_attempts
+//! [`JobConfig::fault_plan`]: crate::job::JobConfig::fault_plan
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mr_ir::value::Value;
+use mr_storage::fault::IoFaults;
 use mr_storage::runfile::RunFileReader;
 use parking_lot::Mutex as PlMutex;
 
 use crate::combine::{pair_bytes, CombineStrategy};
-use crate::counters::{CounterSnapshot, Counters};
+use crate::counters::Counters;
 use crate::error::{EngineError, Result};
+use crate::fault::FaultPlan;
 use crate::input::SplitReader;
 use crate::job::{JobConfig, OutputSpec};
 use crate::mapper::MapperFactory;
 use crate::merge::{compact_runs, KWayMerge, RunStream};
 use crate::partition::partition;
 use crate::reducer::Reducer;
-use crate::spill::{write_sorted_run, ShuffleBucket, SpillDir};
+use crate::spill::{write_sorted_run, AttemptDir, ShuffleBucket, SpillDir, SpillRun};
 
 /// Where a job's time went, for bench tables that need to attribute
 /// spill cost.
@@ -62,7 +101,7 @@ pub struct PhaseTimings {
 #[derive(Debug)]
 pub struct JobResult {
     /// Counter snapshot.
-    pub counters: CounterSnapshot,
+    pub counters: crate::counters::CounterSnapshot,
     /// Output pairs (empty when writing to files).
     pub output: Vec<(Value, Value)>,
     /// Output files written (empty for in-memory output).
@@ -73,29 +112,359 @@ pub struct JobResult {
     pub phases: PhaseTimings,
 }
 
+/// Everything the map phase threads through task attempts.
+struct MapCtx<'a> {
+    job: &'a JobConfig,
+    num_reducers: usize,
+    /// Per-worker staging budget (half the shuffle budget split across
+    /// workers); `None` keeps staging unbounded (no attempt spills).
+    local_cap: Option<usize>,
+    /// Per-bucket resident budget for committed pairs.
+    bucket_cap: Option<usize>,
+    spill_dir: Option<&'a SpillDir>,
+    combine: &'a CombineStrategy,
+    fault: Option<&'a FaultPlan>,
+    io: Option<&'a Arc<IoFaults>>,
+    shuffle_nanos: &'a AtomicU64,
+    counters: &'a Arc<Counters>,
+    buckets: &'a [PlMutex<ShuffleBucket>],
+}
+
+/// One planned map task. `first_reader` is the split reader opened at
+/// planning time, consumed by attempt 0; retries re-open the split
+/// (same input, same hint ⇒ same boundaries).
+struct MapTask {
+    id: usize,
+    binding: usize,
+    split: usize,
+    mapper: Arc<dyn MapperFactory>,
+    first_reader: Option<SplitReader>,
+}
+
+/// A successful map attempt's uncommitted side effects.
+struct MapAttemptOutput {
+    /// Resident staged pairs per partition (partial domain when a
+    /// combiner is active).
+    staged: Vec<Vec<(Value, Value)>>,
+    /// Byte accounting for `staged`, per partition.
+    staged_bytes: Vec<usize>,
+    /// Attempt-scoped spill runs, in write order.
+    runs: Vec<(usize, SpillRun)>,
+    /// Attempt-local counters, folded into the job counters on commit.
+    acc: Arc<Counters>,
+    /// Keeps the attempt directory (and its files) alive until the
+    /// commit renames them out; dropping it uncommitted deletes them.
+    _dir: Option<AttemptDir>,
+}
+
 /// Spill one bucket: detach its buffer under the lock, but sort and
-/// write the run *outside* it, so other map workers flushing into the
+/// write the run *outside* it, so other committers flushing into the
 /// same partition are not serialized behind the disk write. The spill
-/// sequence number assigned at detach time keeps runs in emission
-/// order however the writes interleave.
+/// sequence number assigned at detach time keeps runs in commit order
+/// however the writes interleave.
 fn spill_bucket(
     bucket: &PlMutex<ShuffleBucket>,
     p: usize,
-    dir: &Path,
+    dir: &SpillDir,
     counters: &Counters,
     shuffle_nanos: &AtomicU64,
     combine: &CombineStrategy,
+    io: Option<&Arc<IoFaults>>,
 ) -> Result<()> {
     let Some((pairs, seq)) = bucket.lock().take_for_spill() else {
         return Ok(());
     };
     let t = Instant::now();
-    let run = write_sorted_run(dir, p, seq, pairs, combine, counters)?;
+    let run = write_sorted_run(dir.path(), p, seq, pairs, combine, counters, io)?;
     shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Counters::add(&counters.spill_count, 1);
     Counters::add(&counters.spilled_records, run.pairs);
     Counters::add(&counters.spill_bytes, run.bytes);
     bucket.lock().record_run(run);
+    Ok(())
+}
+
+/// Run one map attempt: read the split, map, stage, and (with a
+/// budget) spill overfull staging into attempt-scoped runs. Nothing
+/// here touches shared state — all side effects live in the returned
+/// [`MapAttemptOutput`] until [`commit_map_attempt`] publishes them.
+fn run_map_attempt(
+    ctx: &MapCtx<'_>,
+    task: &mut MapTask,
+    attempt: usize,
+) -> Result<MapAttemptOutput> {
+    let acc = Counters::new();
+    let mut reader = match task.first_reader.take() {
+        Some(r) => r,
+        None => reopen_split(ctx, task)?,
+    };
+    let mut mapper = task.mapper.create();
+    let fire_at = ctx.fault.and_then(|f| f.map_fault(task.id, attempt));
+
+    let mut staging = Staging::new(ctx.num_reducers);
+    let mut attempt_dir: Option<AttemptDir> = None;
+    let mut runs: Vec<(usize, SpillRun)> = Vec::new();
+
+    let mut emit_buf: Vec<(Value, Value)> = Vec::new();
+    let mut records = 0u64;
+    let mut outputs = 0u64;
+    let mut instructions = 0u64;
+    let mut effects = 0u64;
+    let mut shuffle_bytes = 0u64;
+
+    loop {
+        if fire_at == Some(records) {
+            return Err(EngineError::Injected(format!(
+                "map task {} attempt {attempt} at record {records}",
+                task.id
+            )));
+        }
+        let Some(item) = reader.next() else { break };
+        let (k, v) = item?;
+        records += 1;
+        emit_buf.clear();
+        let stats = mapper.map(&k, &v, &mut emit_buf)?;
+        instructions += stats.instructions;
+        effects += stats.side_effects;
+        outputs += emit_buf.len() as u64;
+        for (ok, ov) in emit_buf.drain(..) {
+            let bytes = pair_bytes(&ok, &ov);
+            shuffle_bytes += bytes as u64;
+            let p = partition(&ok, ctx.num_reducers);
+            staging.push(p, (ok, ov), bytes);
+        }
+        if let Some(cap) = ctx.local_cap.filter(|cap| staging.total_bytes >= *cap) {
+            // Fold first (combine site 1): with an active combiner a
+            // low-cardinality staging buffer collapses to one partial
+            // per key and often drops back under the cap without
+            // touching disk — the cross-flush folding the shared
+            // buckets used to provide. Only what folding cannot shrink
+            // spills to attempt-scoped runs.
+            staging.fold(ctx.combine, &acc)?;
+            if staging.total_bytes >= cap {
+                spill_staging(
+                    ctx,
+                    &acc,
+                    task.id,
+                    attempt,
+                    &mut staging,
+                    &mut attempt_dir,
+                    &mut runs,
+                )?;
+            }
+        }
+    }
+    // Final fold: everything left resident enters commit in partial
+    // domain, exactly as the old staging flush guaranteed.
+    staging.fold(ctx.combine, &acc)?;
+
+    Counters::add(&acc.map_input_records, records);
+    Counters::add(&acc.map_invocations, records);
+    Counters::add(&acc.map_output_records, outputs);
+    Counters::add(&acc.instructions_executed, instructions);
+    Counters::add(&acc.side_effects, effects);
+    Counters::add(&acc.shuffle_bytes, shuffle_bytes);
+    Counters::add(&acc.input_bytes, reader.bytes_read());
+
+    let (staged, staged_bytes) = staging.into_parts();
+    Ok(MapAttemptOutput {
+        staged,
+        staged_bytes,
+        runs,
+        acc,
+        _dir: attempt_dir,
+    })
+}
+
+/// A map attempt's task-local staging, partitioned by reducer. Raw
+/// emissions and already-folded partials are kept apart because
+/// [`CombineStrategy::combine_staged`] *injects* raw values into the
+/// partial domain — running it twice over the same pair would corrupt
+/// aggregates whose inject is not idempotent (Count lifts any value to
+/// 1). [`fold`](Staging::fold) injects only the raw tail, then
+/// merge-folds it into the partials.
+struct Staging {
+    /// Unfolded emissions since the last fold, per partition.
+    raw: Vec<Vec<(Value, Value)>>,
+    raw_bytes: Vec<usize>,
+    /// Folded partials (combiner active only), per partition, sorted.
+    partials: Vec<Vec<(Value, Value)>>,
+    partial_bytes: Vec<usize>,
+    /// Total staged bytes across both buffers and all partitions.
+    total_bytes: usize,
+}
+
+impl Staging {
+    fn new(num_reducers: usize) -> Staging {
+        Staging {
+            raw: (0..num_reducers).map(|_| Vec::new()).collect(),
+            raw_bytes: vec![0; num_reducers],
+            partials: (0..num_reducers).map(|_| Vec::new()).collect(),
+            partial_bytes: vec![0; num_reducers],
+            total_bytes: 0,
+        }
+    }
+
+    fn push(&mut self, p: usize, pair: (Value, Value), bytes: usize) {
+        self.raw[p].push(pair);
+        self.raw_bytes[p] += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Combine site 1: inject-fold each partition's raw tail and merge
+    /// it into the partials. A pass-through without a combiner.
+    fn fold(&mut self, combine: &CombineStrategy, acc: &Counters) -> Result<()> {
+        if !combine.is_active() {
+            return Ok(());
+        }
+        for p in 0..self.raw.len() {
+            if self.raw[p].is_empty() {
+                continue;
+            }
+            let mut chunk = std::mem::take(&mut self.raw[p]);
+            combine.combine_staged(&mut chunk, self.raw_bytes[p], acc)?;
+            self.raw_bytes[p] = 0;
+            self.partials[p].append(&mut chunk);
+            // Both halves are sorted partials now; a stable sort plus a
+            // merge-only fold collapses them to one partial per key.
+            self.partials[p].sort_by(|a, b| a.0.cmp(&b.0));
+            combine.combine_sorted(&mut self.partials[p], acc)?;
+            self.partial_bytes[p] = self.partials[p].iter().map(|(k, v)| pair_bytes(k, v)).sum();
+        }
+        self.total_bytes = self.partial_bytes.iter().sum();
+        Ok(())
+    }
+
+    /// Detach partition `p`'s staged pairs for a spill. With a combiner
+    /// the raw tail must already be folded in (the spill path folds
+    /// before writing).
+    fn take(&mut self, p: usize) -> Vec<(Value, Value)> {
+        debug_assert!(self.raw[p].is_empty() || self.partials[p].is_empty());
+        self.total_bytes -= self.raw_bytes[p] + self.partial_bytes[p];
+        self.raw_bytes[p] = 0;
+        self.partial_bytes[p] = 0;
+        let mut out = std::mem::take(&mut self.partials[p]);
+        out.append(&mut self.raw[p]);
+        out
+    }
+
+    fn is_empty(&self, p: usize) -> bool {
+        self.raw[p].is_empty() && self.partials[p].is_empty()
+    }
+
+    /// Tear down into `(pairs, bytes)` per partition for the commit.
+    fn into_parts(mut self) -> (Vec<Vec<(Value, Value)>>, Vec<usize>) {
+        let mut staged = Vec::with_capacity(self.raw.len());
+        let mut bytes = Vec::with_capacity(self.raw.len());
+        for p in 0..self.raw.len() {
+            bytes.push(self.raw_bytes[p] + self.partial_bytes[p]);
+            let mut pairs = std::mem::take(&mut self.partials[p]);
+            pairs.append(&mut self.raw[p]);
+            staged.push(pairs);
+        }
+        (staged, bytes)
+    }
+}
+
+/// Re-open one map task's split for a retry attempt.
+fn reopen_split(ctx: &MapCtx<'_>, task: &MapTask) -> Result<SplitReader> {
+    let readers = ctx.job.inputs[task.binding]
+        .input
+        .open_with_faults(ctx.job.map_parallelism.max(1), ctx.io)?;
+    readers
+        .into_iter()
+        .nth(task.split)
+        .ok_or_else(|| EngineError::Config(format!("split {} vanished on retry", task.split)))
+}
+
+/// Spill every nonempty (already-folded) staged partition of a map
+/// attempt into attempt-scoped runs. Spill counters go to the
+/// attempt-local accumulator: only a committed attempt's spills count.
+fn spill_staging(
+    ctx: &MapCtx<'_>,
+    acc: &Arc<Counters>,
+    task: usize,
+    attempt: usize,
+    staging: &mut Staging,
+    attempt_dir: &mut Option<AttemptDir>,
+    runs: &mut Vec<(usize, SpillRun)>,
+) -> Result<()> {
+    for p in 0..ctx.num_reducers {
+        if staging.is_empty(p) {
+            continue;
+        }
+        let pairs = staging.take(p);
+        let dir = match attempt_dir {
+            Some(d) => d,
+            None => {
+                let parent = ctx
+                    .spill_dir
+                    .expect("staging cap implies a shuffle budget and spill dir")
+                    .path();
+                attempt_dir.insert(AttemptDir::create(parent, "map", task, attempt)?)
+            }
+        };
+        let t = Instant::now();
+        let seq = runs.len(); // unique within the attempt directory
+        let run = write_sorted_run(dir.path(), p, seq, pairs, ctx.combine, acc, ctx.io)?;
+        ctx.shuffle_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Counters::add(&acc.spill_count, 1);
+        Counters::add(&acc.spilled_records, run.pairs);
+        Counters::add(&acc.spill_bytes, run.bytes);
+        runs.push((p, run));
+    }
+    Ok(())
+}
+
+/// Publish a successful map attempt: promote its runs into the job
+/// spill directory under bucket-assigned sequence numbers, absorb the
+/// resident pairs (spilling buckets past their cap), and fold the
+/// attempt counters into the job counters. Commit errors are not
+/// retryable — a failure mid-commit may have published part of the
+/// attempt, so the caller aborts the job instead of re-running the
+/// task.
+fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
+    for (p, run) in &out.runs {
+        let dir = ctx
+            .spill_dir
+            .expect("attempt runs imply a spill dir")
+            .path();
+        let seq = ctx.buckets[*p].lock().alloc_seq();
+        let dest = dir.join(format!("run-{p:05}-{seq:06}"));
+        std::fs::rename(&run.path, &dest)?;
+        ctx.buckets[*p].lock().record_run(SpillRun {
+            seq,
+            path: dest,
+            pairs: run.pairs,
+            bytes: run.bytes,
+        });
+    }
+    for (p, mut pairs) in out.staged.into_iter().enumerate() {
+        if pairs.is_empty() {
+            continue;
+        }
+        let over_cap = {
+            let mut bucket = ctx.buckets[p].lock();
+            bucket.absorb(&mut pairs, out.staged_bytes[p]);
+            ctx.bucket_cap
+                .is_some_and(|cap| bucket.resident_bytes() > cap)
+        };
+        if over_cap {
+            if let Some(dir) = ctx.spill_dir {
+                spill_bucket(
+                    &ctx.buckets[p],
+                    p,
+                    dir,
+                    ctx.counters,
+                    ctx.shuffle_nanos,
+                    ctx.combine,
+                    ctx.io,
+                )?;
+            }
+        }
+    }
+    ctx.counters.absorb(&out.acc.snapshot());
     Ok(())
 }
 
@@ -150,6 +519,120 @@ fn reduce_groups(
     Ok(groups)
 }
 
+/// Injects a scheduled failure into a reduce attempt's merged pair
+/// stream: fails when about to yield pair `fire_at` (0 fires before
+/// anything, even on an empty partition).
+struct FaultGate<I> {
+    inner: I,
+    fire_at: Option<u64>,
+    seen: u64,
+    partition: usize,
+    attempt: usize,
+}
+
+impl<I: Iterator<Item = Result<(Value, Value)>>> Iterator for FaultGate<I> {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fire_at == Some(self.seen) {
+            self.fire_at = None;
+            return Some(Err(EngineError::Injected(format!(
+                "reduce task {} attempt {} at record {}",
+                self.partition, self.attempt, self.seen
+            ))));
+        }
+        let item = self.inner.next()?;
+        self.seen += 1;
+        Some(item)
+    }
+}
+
+/// The pairs of a single [`RunStream`] (or nothing), for the heap-free
+/// one-stream reduce path.
+struct StreamPairs(Option<RunStream>);
+
+impl Iterator for StreamPairs {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.as_mut()?.next_pair()
+    }
+}
+
+/// Everything the reduce phase threads through task attempts.
+struct ReduceCtx<'a> {
+    spill_dir: Option<&'a SpillDir>,
+    combine: &'a CombineStrategy,
+    fault: Option<&'a FaultPlan>,
+    io: Option<&'a Arc<IoFaults>>,
+    shuffle_nanos: &'a AtomicU64,
+    counters: &'a Arc<Counters>,
+}
+
+/// Run one reduce attempt over committed state: compact the runs
+/// (resumable), merge them with the shared tail, and stream the result
+/// through the grouping loop. The final allowed attempt takes the tail
+/// by move (the seed's zero-copy path); earlier attempts share it so a
+/// retry can replay it.
+#[allow(clippy::too_many_arguments)]
+fn run_reduce_attempt(
+    ctx: &ReduceCtx<'_>,
+    p: usize,
+    attempt: usize,
+    is_last: bool,
+    runs: &mut Vec<SpillRun>,
+    tail: &mut Option<Arc<Vec<(Value, Value)>>>,
+    reducer: &mut dyn Reducer,
+    out: &mut Vec<(Value, Value)>,
+) -> Result<u64> {
+    let fire_at = ctx.fault.and_then(|f| f.reduce_fault(p, attempt));
+    let mut streams: Vec<RunStream> = Vec::new();
+    if !runs.is_empty() {
+        let dir = ctx.spill_dir.expect("spilled runs imply a spill dir");
+        let t = Instant::now();
+        compact_runs(runs, dir.path(), p, ctx.counters, ctx.combine, ctx.io)?;
+        ctx.shuffle_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        for r in runs.iter() {
+            streams.push(RunStream::File(RunFileReader::open_with_faults(
+                &r.path,
+                ctx.io.cloned(),
+            )?));
+        }
+    }
+    let tail_has_pairs = tail.as_ref().is_some_and(|t| !t.is_empty());
+    if tail_has_pairs {
+        if is_last {
+            let arc = tail.take().expect("tail present until the last attempt");
+            let owned = Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone());
+            streams.push(RunStream::Memory(owned.into_iter()));
+        } else {
+            let arc = tail.as_ref().expect("tail present");
+            streams.push(RunStream::shared(Arc::clone(arc)));
+        }
+    }
+    if streams.len() <= 1 {
+        // One stream (or an empty partition): no heap needed.
+        let gate = FaultGate {
+            inner: StreamPairs(streams.pop()),
+            fire_at,
+            seen: 0,
+            partition: p,
+            attempt,
+        };
+        reduce_groups(gate, reducer, out)
+    } else {
+        let gate = FaultGate {
+            inner: KWayMerge::new(streams)?,
+            fire_at,
+            seen: 0,
+            partition: p,
+            attempt,
+        };
+        reduce_groups(gate, reducer, out)
+    }
+}
+
 /// Run a job to completion.
 ///
 /// # Example
@@ -190,6 +673,8 @@ fn reduce_groups(
 ///     shuffle_buffer_bytes: Some(1024),
 ///     spill_dir: None,
 ///     combiner: None,
+///     max_task_attempts: 1,
+///     fault_plan: None,
 /// };
 /// let result = run_job(&job)?;
 /// assert_eq!(result.output.len(), 7, "seven distinct words");
@@ -203,11 +688,16 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         return Err(EngineError::Config("job has no inputs".into()));
     }
     let num_reducers = job.num_reducers.max(1);
+    let max_attempts = job.max_task_attempts.max(1);
     let counters = Counters::new();
     let shuffle_nanos = AtomicU64::new(0);
     // The pluggable aggregation pipeline: pass-through without a
     // combiner, folding at every shuffle stage with one.
     let combine = CombineStrategy::new(job.combiner.clone());
+    let fault: Option<&FaultPlan> = job.fault_plan.as_deref();
+    // Fresh per run, so the same schedule fails the same operation on
+    // every execution.
+    let io: Option<Arc<IoFaults>> = fault.and_then(FaultPlan::io_faults);
 
     // One private, self-cleaning spill directory per job — only created
     // when a shuffle budget makes spilling possible.
@@ -221,16 +711,27 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         .map(|b| (b / 2 / num_reducers).max(1));
 
     // ---- plan map tasks ------------------------------------------------
-    struct MapTask {
-        reader: SplitReader,
-        mapper: Arc<dyn MapperFactory>,
-    }
+    let workers = job.map_parallelism.max(1);
+    // … and the other half to the workers' task-local staging, spilled
+    // into attempt-scoped runs once a worker's share fills — so total
+    // resident shuffle memory stays within the budget (plus one flush
+    // of slack).
+    let local_cap = job.shuffle_buffer_bytes.map(|b| (b / 2 / workers).max(1));
+
     let mut tasks: VecDeque<MapTask> = VecDeque::new();
-    for binding in &job.inputs {
-        for reader in binding.input.open(job.map_parallelism)? {
+    for (binding_idx, binding) in job.inputs.iter().enumerate() {
+        for (split_idx, reader) in binding
+            .input
+            .open_with_faults(workers, io.as_ref())?
+            .into_iter()
+            .enumerate()
+        {
             tasks.push_back(MapTask {
-                reader,
+                id: tasks.len(),
+                binding: binding_idx,
+                split: split_idx,
                 mapper: Arc::clone(&binding.mapper),
+                first_reader: Some(reader),
             });
         }
     }
@@ -243,106 +744,62 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     let queue = Mutex::new(tasks);
     let failed: PlMutex<Option<EngineError>> = PlMutex::new(None);
     let abort = AtomicBool::new(false);
-    let workers = job.map_parallelism.max(1);
-    // … and the other half to the workers' task-local staging, flushed
-    // into the buckets once a worker's share fills — so total resident
-    // shuffle memory stays within the budget (plus one flush of slack).
-    let local_cap = job.shuffle_buffer_bytes.map(|b| (b / 2 / workers).max(1));
+    let ctx = MapCtx {
+        job,
+        num_reducers,
+        local_cap,
+        bucket_cap,
+        spill_dir: spill_dir.as_ref(),
+        combine: &combine,
+        fault,
+        io: io.as_ref(),
+        shuffle_nanos: &shuffle_nanos,
+        counters: &counters,
+        buckets: &buckets,
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                let mut emit_buf: Vec<(Value, Value)> = Vec::new();
-                loop {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let task = queue.lock().expect("queue lock").pop_front();
+                let Some(mut task) = task else { return };
+                let mut last_err: Option<EngineError> = None;
+                let mut committed = false;
+                for attempt in 0..max_attempts {
                     if abort.load(Ordering::Relaxed) {
                         return;
                     }
-                    let task = queue.lock().expect("queue lock").pop_front();
-                    let Some(mut task) = task else { return };
-                    let mut mapper = task.mapper.create();
-                    let mut local: Vec<Vec<(Value, Value)>> =
-                        (0..num_reducers).map(|_| Vec::new()).collect();
-                    let mut local_bytes = vec![0usize; num_reducers];
-                    let mut local_total = 0usize;
-                    let mut records = 0u64;
-                    let mut outputs = 0u64;
-                    let mut instructions = 0u64;
-                    let mut effects = 0u64;
-                    let mut shuffle_bytes = 0u64;
-                    let flush = |local: &mut Vec<Vec<(Value, Value)>>,
-                                 local_bytes: &mut Vec<usize>,
-                                 local_total: &mut usize|
-                     -> Result<()> {
-                        for (p, pairs) in local.iter_mut().enumerate() {
-                            if pairs.is_empty() {
-                                continue;
+                    if attempt > 0 {
+                        Counters::add(&counters.task_retries, 1);
+                    }
+                    match run_map_attempt(&ctx, &mut task, attempt) {
+                        Ok(out) => {
+                            if let Err(e) = commit_map_attempt(&ctx, out) {
+                                *failed.lock() = Some(e);
+                                abort.store(true, Ordering::Relaxed);
+                                return;
                             }
-                            // Combine site 1: fold the staged pairs to
-                            // one partial per key before they enter the
-                            // shared bucket.
-                            let staged_bytes =
-                                combine.combine_staged(pairs, local_bytes[p], &counters)?;
-                            let over_cap = {
-                                let mut bucket = buckets[p].lock();
-                                bucket.absorb(pairs, staged_bytes);
-                                bucket_cap.is_some_and(|cap| bucket.resident_bytes() > cap)
-                            };
-                            local_bytes[p] = 0;
-                            if over_cap {
-                                if let Some(dir) = &spill_dir {
-                                    spill_bucket(
-                                        &buckets[p],
-                                        p,
-                                        dir.path(),
-                                        &counters,
-                                        &shuffle_nanos,
-                                        &combine,
-                                    )?;
-                                }
-                            }
-                        }
-                        *local_total = 0;
-                        Ok(())
-                    };
-                    let run = (|| -> Result<()> {
-                        for item in task.reader.by_ref() {
-                            let (k, v) = item?;
-                            records += 1;
-                            emit_buf.clear();
-                            let stats = mapper.map(&k, &v, &mut emit_buf)?;
-                            instructions += stats.instructions;
-                            effects += stats.side_effects;
-                            outputs += emit_buf.len() as u64;
-                            for (ok, ov) in emit_buf.drain(..) {
-                                let bytes = pair_bytes(&ok, &ov);
-                                shuffle_bytes += bytes as u64;
-                                let p = partition(&ok, num_reducers);
-                                local_bytes[p] += bytes;
-                                local_total += bytes;
-                                local[p].push((ok, ov));
-                            }
-                            if local_cap.is_some_and(|cap| local_total >= cap) {
-                                flush(&mut local, &mut local_bytes, &mut local_total)?;
-                            }
-                        }
-                        flush(&mut local, &mut local_bytes, &mut local_total)
-                    })();
-                    match run {
-                        Ok(()) => {
-                            Counters::add(&counters.map_input_records, records);
-                            Counters::add(&counters.map_invocations, records);
-                            Counters::add(&counters.map_output_records, outputs);
-                            Counters::add(&counters.instructions_executed, instructions);
-                            Counters::add(&counters.side_effects, effects);
-                            Counters::add(&counters.shuffle_bytes, shuffle_bytes);
-                            Counters::add(&counters.input_bytes, task.reader.bytes_read());
+                            committed = true;
+                            break;
                         }
                         Err(e) => {
-                            *failed.lock() = Some(e);
-                            abort.store(true, Ordering::Relaxed);
-                            return;
+                            Counters::add(&counters.map_task_failures, 1);
+                            last_err = Some(e);
                         }
                     }
+                }
+                if !committed {
+                    let cause = last_err.expect("a failed task records its last error");
+                    *failed.lock() = Some(EngineError::TaskFailed {
+                        task: format!("map task {}", task.id),
+                        attempts: max_attempts,
+                        cause: Box::new(cause),
+                    });
+                    abort.store(true, Ordering::Relaxed);
+                    return;
                 }
             });
         }
@@ -358,6 +815,14 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         .map(|_| PlMutex::new(Vec::new()))
         .collect();
     let partitions: Mutex<VecDeque<usize>> = Mutex::new((0..num_reducers).collect());
+    let rctx = ReduceCtx {
+        spill_dir: spill_dir.as_ref(),
+        combine: &combine,
+        fault,
+        io: io.as_ref(),
+        shuffle_nanos: &shuffle_nanos,
+        counters: &counters,
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(num_reducers) {
@@ -368,53 +833,61 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                 let p = partitions.lock().expect("partition lock").pop_front();
                 let Some(p) = p else { return };
                 let bucket = std::mem::take(&mut *buckets[p].lock());
-                let (mut tail, runs) = bucket.into_parts();
-                // Combine site 3: with a combiner, the grouping loop
-                // runs the merging/finishing wrapper instead of the raw
-                // reducer — the loop itself is shared.
-                let mut reducer = combine.make_reducer(&job.reducer);
-                let mut out: Vec<(Value, Value)> = Vec::new();
-                let mut groups = 0u64;
-                let run = (|| -> Result<()> {
-                    // Sort the resident tail (stable, like every spilled
-                    // run); with no runs it is the whole partition and
-                    // feeds the grouping loop directly, heap-free.
-                    let t = Instant::now();
-                    tail.sort_by(|a, b| a.0.cmp(&b.0));
-                    shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    groups = if runs.is_empty() {
-                        reduce_groups(tail.into_iter().map(Ok), reducer.as_mut(), &mut out)?
-                    } else {
-                        // Bound the merge fan-in first (fd limit), then
-                        // merge: runs in spill order, tail last, key ties
-                        // by run index — byte-identical to sorting the
-                        // whole partition in memory.
-                        let dir = spill_dir.as_ref().expect("spilled runs imply a spill dir");
-                        let t = Instant::now();
-                        let runs = compact_runs(runs, dir.path(), p, &counters, &combine)?;
-                        shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        let mut streams: Vec<RunStream> = Vec::with_capacity(runs.len() + 1);
-                        for r in &runs {
-                            streams.push(RunStream::File(RunFileReader::open(&r.path)?));
-                        }
-                        if !tail.is_empty() {
-                            streams.push(RunStream::Memory(tail.into_iter()));
-                        }
-                        reduce_groups(KWayMerge::new(streams)?, reducer.as_mut(), &mut out)?
-                    };
-                    Ok(())
-                })();
-                match run {
-                    Ok(()) => {
-                        Counters::add(&counters.reduce_input_groups, groups);
-                        Counters::add(&counters.reduce_output_records, out.len() as u64);
-                        *reduce_outputs[p].lock() = out;
-                    }
-                    Err(e) => {
-                        *failed.lock() = Some(e);
-                        abort.store(true, Ordering::Relaxed);
+                let (mut tail_vec, mut runs) = bucket.into_parts();
+                // Sort the resident tail once (stable, like every
+                // spilled run); every attempt reads the same sorted
+                // state.
+                let t = Instant::now();
+                tail_vec.sort_by(|a, b| a.0.cmp(&b.0));
+                shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let mut tail = Some(Arc::new(tail_vec));
+
+                let mut last_err: Option<EngineError> = None;
+                let mut committed = false;
+                for attempt in 0..max_attempts {
+                    if abort.load(Ordering::Relaxed) {
                         return;
                     }
+                    if attempt > 0 {
+                        Counters::add(&counters.task_retries, 1);
+                    }
+                    // Combine site 3: with a combiner, the grouping
+                    // loop runs the merging/finishing wrapper instead
+                    // of the raw reducer — the loop itself is shared.
+                    let mut reducer = combine.make_reducer(&job.reducer);
+                    let mut out: Vec<(Value, Value)> = Vec::new();
+                    match run_reduce_attempt(
+                        &rctx,
+                        p,
+                        attempt,
+                        attempt + 1 == max_attempts,
+                        &mut runs,
+                        &mut tail,
+                        reducer.as_mut(),
+                        &mut out,
+                    ) {
+                        Ok(groups) => {
+                            Counters::add(&counters.reduce_input_groups, groups);
+                            Counters::add(&counters.reduce_output_records, out.len() as u64);
+                            *reduce_outputs[p].lock() = out;
+                            committed = true;
+                            break;
+                        }
+                        Err(e) => {
+                            Counters::add(&counters.reduce_task_failures, 1);
+                            last_err = Some(e);
+                        }
+                    }
+                }
+                if !committed {
+                    let cause = last_err.expect("a failed task records its last error");
+                    *failed.lock() = Some(EngineError::TaskFailed {
+                        task: format!("reduce task {p}"),
+                        attempts: max_attempts,
+                        cause: Box::new(cause),
+                    });
+                    abort.store(true, Ordering::Relaxed);
+                    return;
                 }
             });
         }
@@ -551,8 +1024,11 @@ mod tests {
         assert_eq!(result.counters.reduce_input_groups, 10);
         assert!(result.counters.input_bytes > 0);
         assert!(result.counters.shuffle_bytes > 0);
-        // No budget ⇒ no spills; phase spans are recorded.
+        // No budget ⇒ no spills; no faults ⇒ no retries; phase spans
+        // are recorded.
         assert_eq!(result.counters.spill_count, 0);
+        assert_eq!(result.counters.task_retries, 0);
+        assert_eq!(result.counters.map_task_failures, 0);
         assert!(result.phases.map + result.phases.reduce <= result.elapsed);
     }
 
@@ -637,6 +1113,8 @@ mod tests {
             shuffle_buffer_bytes: None,
             spill_dir: None,
             combiner: None,
+            max_task_attempts: 1,
+            fault_plan: None,
         };
         let result = run_job(&job).unwrap();
         assert_eq!(result.output.len(), 10, "ten distinct urls");
@@ -648,7 +1126,7 @@ mod tests {
     }
 
     #[test]
-    fn map_error_propagates() {
+    fn map_error_propagates_as_task_failure() {
         let path = write_pages("maperr", 10);
         // Mapper reads a nonexistent field.
         let bad = parse_function(
@@ -663,7 +1141,38 @@ mod tests {
         )
         .unwrap();
         let job = JobConfig::ir_job("bad", InputSpec::SeqFile { path }, bad, Builtin::Count);
-        assert!(matches!(run_job(&job), Err(EngineError::Map(_))));
+        match run_job(&job) {
+            Err(EngineError::TaskFailed {
+                attempts, cause, ..
+            }) => {
+                assert_eq!(attempts, 1, "default is the seed's fail-fast behaviour");
+                assert!(matches!(*cause, EngineError::Map(_)), "{cause}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_map_error_exhausts_retries() {
+        let path = write_pages("maperr-retry", 10);
+        let bad = parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.nope
+              emit r1, r1
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let job = JobConfig::ir_job("bad", InputSpec::SeqFile { path }, bad, Builtin::Count)
+            .with_parallelism(1)
+            .with_max_attempts(3);
+        match run_job(&job) {
+            Err(EngineError::TaskFailed { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
     }
 
     #[test]
@@ -719,6 +1228,8 @@ mod tests {
             shuffle_buffer_bytes: None,
             spill_dir: None,
             combiner: None,
+            max_task_attempts: 1,
+            fault_plan: None,
         };
         assert!(matches!(run_job(&job), Err(EngineError::Config(_))));
     }

@@ -17,8 +17,10 @@
 //! [`JobConfig::shuffle_buffer_bytes`]: crate::job::JobConfig::shuffle_buffer_bytes
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use mr_ir::value::Value;
+use mr_storage::fault::IoFaults;
 use mr_storage::runfile::RunFileWriter;
 
 use crate::combine::CombineStrategy;
@@ -26,7 +28,7 @@ use crate::counters::Counters;
 use crate::error::Result;
 
 /// One spilled sorted run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SpillRun {
     /// Spill sequence within the bucket (buffer-detach = emission
     /// order); the merge tie-breaks equal keys by it.
@@ -78,6 +80,41 @@ impl Drop for SpillDir {
     }
 }
 
+/// RAII scope for one task attempt's spill runs: a private
+/// subdirectory of the job's [`SpillDir`] that is removed — with any
+/// partial run files still inside — when the guard drops. A successful
+/// attempt *commits* by renaming its run files out into the job
+/// directory before the guard goes; a failed attempt just drops the
+/// guard and every side effect of the attempt vanishes. This is what
+/// keeps retried attempts idempotent on disk: between a spill and the
+/// merge, every uncommitted run file is owned by exactly one live
+/// guard.
+#[derive(Debug)]
+pub struct AttemptDir {
+    path: PathBuf,
+}
+
+impl AttemptDir {
+    /// Create the scope for `kind` (`map`/`reduce`) task `task`,
+    /// attempt `attempt` under the job spill dir.
+    pub fn create(parent: &Path, kind: &str, task: usize, attempt: usize) -> Result<AttemptDir> {
+        let path = parent.join(format!("attempt-{kind}-{task:05}-{attempt:03}"));
+        std::fs::create_dir_all(&path)?;
+        Ok(AttemptDir { path })
+    }
+
+    /// The attempt directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for AttemptDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
 /// One reduce partition's shuffle bucket: the resident pair buffer plus
 /// the runs already spilled for it.
 #[derive(Debug, Default)]
@@ -110,6 +147,15 @@ impl ShuffleBucket {
     /// Runs recorded so far (in record order, not spill order).
     pub fn runs(&self) -> &[SpillRun] {
         &self.runs
+    }
+
+    /// Claim the next spill sequence number without detaching the
+    /// buffer — how a committing map attempt assigns its
+    /// attempt-scoped runs a place in the bucket's emission order.
+    pub fn alloc_seq(&mut self) -> usize {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Detach the resident buffer for spilling and assign it the next
@@ -154,11 +200,12 @@ pub fn write_sorted_run(
     mut pairs: Vec<(Value, Value)>,
     combine: &CombineStrategy,
     counters: &Counters,
+    io: Option<&Arc<IoFaults>>,
 ) -> Result<SpillRun> {
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     combine.combine_sorted(&mut pairs, counters)?;
     let path = dir.join(format!("run-{partition:05}-{seq:06}"));
-    let mut w = RunFileWriter::create(&path)?;
+    let mut w = RunFileWriter::create_with_faults(&path, io.cloned())?;
     for (k, v) in &pairs {
         w.append(k, v)?;
     }
@@ -190,6 +237,7 @@ mod tests {
             pairs,
             &CombineStrategy::passthrough(),
             &Counters::new(),
+            None,
         )
     }
 
@@ -273,7 +321,7 @@ mod tests {
             (Value::Int(2), Value::Int(5)),
             (Value::Int(1), Value::Int(2)),
         ];
-        let run = write_sorted_run(dir.path(), 0, 0, pairs, &combine, &counters).unwrap();
+        let run = write_sorted_run(dir.path(), 0, 0, pairs, &combine, &counters, None).unwrap();
         assert_eq!(run.pairs, 2, "four pairs fold to one per key");
         let back: Vec<(Value, Value)> = RunFileReader::open(&run.path)
             .unwrap()
@@ -288,6 +336,33 @@ mod tests {
         );
         let snap = counters.snapshot();
         assert_eq!((snap.combine_in, snap.combine_out), (4, 2));
+    }
+
+    #[test]
+    fn attempt_dir_discards_uncommitted_runs_on_drop() {
+        let job_dir = SpillDir::create(None, "attempt-scope").unwrap();
+        let attempt = AttemptDir::create(job_dir.path(), "map", 3, 1).unwrap();
+        let run = plain_run(attempt.path(), 0, 0, vec![(Value::Int(1), Value::Null)]).unwrap();
+        assert!(run.path.exists());
+        // Commit one file out, leave another behind.
+        let committed = job_dir.path().join("run-00000-000000");
+        std::fs::rename(&run.path, &committed).unwrap();
+        let leftover = plain_run(attempt.path(), 1, 0, vec![(Value::Int(2), Value::Null)]).unwrap();
+        let (attempt_path, leftover_path) = (attempt.path().to_path_buf(), leftover.path.clone());
+        drop(attempt);
+        assert!(!attempt_path.exists(), "attempt dir removed");
+        assert!(!leftover_path.exists(), "uncommitted run discarded");
+        assert!(committed.exists(), "committed run survives the guard");
+    }
+
+    #[test]
+    fn alloc_seq_interleaves_with_spill_seqs() {
+        let mut b = ShuffleBucket::new();
+        assert_eq!(b.alloc_seq(), 0);
+        b.absorb(&mut vec![(Value::Int(1), Value::Null)], 8);
+        let (_, seq) = b.take_for_spill().unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(b.alloc_seq(), 2);
     }
 
     #[test]

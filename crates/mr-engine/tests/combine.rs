@@ -229,10 +229,17 @@ fn combiner_error_propagates() {
         Builtin::Sum,
     )
     .with_declared_combiner();
-    assert!(matches!(
-        run_job(&j),
-        Err(mr_engine::EngineError::Combine(_))
-    ));
+    // The combiner fails inside a map attempt, so the job surfaces an
+    // exhausted task whose cause is the combiner error.
+    match run_job(&j) {
+        Err(mr_engine::EngineError::TaskFailed { cause, .. }) => {
+            assert!(
+                matches!(*cause, mr_engine::EngineError::Combine(_)),
+                "{cause}"
+            );
+        }
+        other => panic!("expected TaskFailed(Combine), got {other:?}"),
+    }
 }
 
 proptest! {

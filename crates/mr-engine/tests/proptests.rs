@@ -1,12 +1,13 @@
 //! Property-based tests for the execution fabric: determinism across
-//! parallelism levels and reducer counts, for arbitrary inputs.
+//! parallelism levels and reducer counts, for arbitrary inputs — and
+//! under arbitrary deterministic fault schedules.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use mr_engine::{run_job, Builtin, InputSpec, JobConfig};
+use mr_engine::{run_job, Builtin, FaultPlan, InputSpec, JobConfig};
 use mr_ir::asm::parse_function;
 use mr_ir::record::{record, Record};
 use mr_ir::schema::{FieldType, Schema};
@@ -122,6 +123,70 @@ proptest! {
         let total: i64 = result.output.iter().map(|(_, v)| v.as_int().unwrap()).sum();
         prop_assert_eq!(total as usize, pairs.len());
         prop_assert_eq!(c.reduce_output_records, c.reduce_input_groups);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The fault-tolerance contract, property-tested: for random fault
+    /// schedules × shuffle budgets × map parallelism × builtin
+    /// reducers, output is byte-identical to the fault-free in-memory
+    /// run and `task_retries` matches the schedule exactly.
+    #[test]
+    fn fault_schedules_preserve_output_and_retry_counts(
+        pairs in proptest::collection::vec(("[a-e]", -100i64..100), 1..160),
+        seed in 0u64..10_000,
+        budget in prop_oneof![Just(None), (96usize..1024).prop_map(Some)],
+        parallelism in 1usize..4,
+        reducer_pick in 0usize..4,
+    ) {
+        let reducer = [Builtin::Sum, Builtin::Count, Builtin::Max, Builtin::Min][reducer_pick];
+        let s = schema();
+        let records: Vec<Record> = pairs
+            .iter()
+            .map(|(k, v)| record(&s, vec![k.as_str().into(), Value::Int(*v)]))
+            .collect();
+        let path = tmp("fault");
+        write_seqfile(&path, Arc::clone(&s), records).unwrap();
+
+        let num_reducers = 3usize;
+        let base = || JobConfig::ir_job(
+                "fault-prop",
+                InputSpec::SeqFile { path: path.clone() },
+                group_sum_mapper(),
+                reducer,
+            )
+            .with_parallelism(parallelism)
+            .with_reducers(num_reducers);
+
+        // Fault-free, fully-resident reference.
+        let reference = run_job(&base()).unwrap();
+
+        // A seeded schedule: each task gets 0..=2 immediately-failing
+        // attempts; 3 allowed attempts means every task eventually
+        // commits and the retry count is exactly predictable.
+        let map_tasks = InputSpec::SeqFile { path: path.clone() }
+            .open(parallelism)
+            .unwrap()
+            .len();
+        let max_attempts = 3;
+        let plan = FaultPlan::scattered(seed, map_tasks, num_reducers, max_attempts - 1);
+        prop_assert!(!plan.exhausts(map_tasks, num_reducers, max_attempts));
+        let expected_retries = plan.expected_retries(map_tasks, num_reducers, max_attempts);
+
+        let mut job = base().with_max_attempts(max_attempts).with_fault_plan(Arc::new(plan));
+        job.shuffle_buffer_bytes = budget;
+        let faulted = run_job(&job).unwrap();
+
+        prop_assert_eq!(
+            &faulted.output, &reference.output,
+            "seed {} budget {:?} par {} {:?}", seed, budget, parallelism, reducer
+        );
+        prop_assert_eq!(faulted.counters.task_retries, expected_retries);
+        prop_assert_eq!(
+            faulted.counters.map_task_failures + faulted.counters.reduce_task_failures,
+            expected_retries,
+            "every scheduled failure was retried exactly once"
+        );
+        prop_assert_eq!(faulted.counters.map_input_records as usize, pairs.len());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,165 @@
+//! Deterministic IO fault injection for the run/seq readers and
+//! writers.
+//!
+//! The execution fabric's fault-tolerance tests need storage failures
+//! that are *exactly reproducible*: "the 3rd run-file read fails" must
+//! mean the same thing on every execution of the same schedule. An
+//! [`IoFaults`] handle carries, per [`IoSite`], the set of operation
+//! ordinals that must fail; readers and writers constructed with the
+//! handle call [`IoFaults::check`] once per operation (one record read,
+//! one pair appended), which counts the operation and returns an
+//! injected [`std::io::Error`] when its ordinal is armed. Ordinals are
+//! counted per site across every reader/writer sharing the handle, and
+//! each armed ordinal fires exactly once — the counter passes it once —
+//! so a retry of the failed work proceeds past the fault, which is what
+//! makes injected faults *transient* the way real-world IO hiccups are.
+//!
+//! Determinism caveat: with several threads driving the same site
+//! concurrently, which thread draws the armed ordinal depends on
+//! scheduling. Schedules meant to be bit-reproducible should either
+//! run single-threaded or arm ordinal 0 (whoever is first, the same
+//! amount of total work fails).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where an IO fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoSite {
+    /// Reading one pair from a shuffle run file.
+    RunRead,
+    /// Appending one pair to a shuffle run file.
+    RunWrite,
+    /// Reading one record from a sequence file.
+    SeqRead,
+    /// Appending one record to a sequence file.
+    SeqWrite,
+}
+
+impl IoSite {
+    fn index(self) -> usize {
+        match self {
+            IoSite::RunRead => 0,
+            IoSite::RunWrite => 1,
+            IoSite::SeqRead => 2,
+            IoSite::SeqWrite => 3,
+        }
+    }
+
+    /// The site's spec name (`run-read`, `run-write`, `seq-read`,
+    /// `seq-write`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoSite::RunRead => "run-read",
+            IoSite::RunWrite => "run-write",
+            IoSite::SeqRead => "seq-read",
+            IoSite::SeqWrite => "seq-write",
+        }
+    }
+
+    /// Parse a spec name back into a site.
+    pub fn parse(name: &str) -> Option<IoSite> {
+        match name {
+            "run-read" => Some(IoSite::RunRead),
+            "run-write" => Some(IoSite::RunWrite),
+            "seq-read" => Some(IoSite::SeqRead),
+            "seq-write" => Some(IoSite::SeqWrite),
+            _ => None,
+        }
+    }
+}
+
+/// A shared, deterministic IO fault injector.
+///
+/// Construct one per job run ([`IoFaults::from_triggers`]) so the
+/// operation counters start from zero and the same schedule describes
+/// the same failure every run.
+#[derive(Debug, Default)]
+pub struct IoFaults {
+    ops: [AtomicU64; 4],
+    triggers: [Vec<u64>; 4],
+}
+
+impl IoFaults {
+    /// An injector with nothing armed.
+    pub fn new() -> IoFaults {
+        IoFaults::default()
+    }
+
+    /// Build an injector from `(site, ordinal)` triggers, counters at
+    /// zero.
+    pub fn from_triggers(triggers: &[(IoSite, u64)]) -> IoFaults {
+        let mut faults = IoFaults::new();
+        for &(site, op) in triggers {
+            faults.arm(site, op);
+        }
+        faults
+    }
+
+    /// Arm operation `op` (0-based, per site) to fail.
+    pub fn arm(&mut self, site: IoSite, op: u64) {
+        self.triggers[site.index()].push(op);
+    }
+
+    /// Builder form of [`arm`](Self::arm).
+    pub fn with_fault(mut self, site: IoSite, op: u64) -> IoFaults {
+        self.arm(site, op);
+        self
+    }
+
+    /// Operations seen at `site` so far.
+    pub fn ops_seen(&self, site: IoSite) -> u64 {
+        self.ops[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Count one operation at `site`; return the injected error when
+    /// this ordinal is armed. Each armed ordinal fires exactly once.
+    pub fn check(&self, site: IoSite) -> io::Result<()> {
+        let i = site.index();
+        let op = self.ops[i].fetch_add(1, Ordering::Relaxed);
+        if self.triggers[i].contains(&op) {
+            return Err(io::Error::other(format!(
+                "injected {} fault at op {op}",
+                site.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_ordinal_fires_exactly_once() {
+        let faults = IoFaults::new().with_fault(IoSite::RunRead, 2);
+        assert!(faults.check(IoSite::RunRead).is_ok()); // op 0
+        assert!(faults.check(IoSite::RunRead).is_ok()); // op 1
+        assert!(faults.check(IoSite::RunRead).is_err()); // op 2 fires
+        assert!(faults.check(IoSite::RunRead).is_ok()); // op 3: disarmed
+        assert_eq!(faults.ops_seen(IoSite::RunRead), 4);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let faults = IoFaults::from_triggers(&[(IoSite::SeqRead, 0), (IoSite::RunWrite, 1)]);
+        assert!(faults.check(IoSite::RunWrite).is_ok());
+        assert!(faults.check(IoSite::SeqRead).is_err());
+        assert!(faults.check(IoSite::RunWrite).is_err());
+        assert_eq!(faults.ops_seen(IoSite::SeqWrite), 0);
+    }
+
+    #[test]
+    fn site_names_round_trip() {
+        for site in [
+            IoSite::RunRead,
+            IoSite::RunWrite,
+            IoSite::SeqRead,
+            IoSite::SeqWrite,
+        ] {
+            assert_eq!(IoSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(IoSite::parse("disk-on-fire"), None);
+    }
+}

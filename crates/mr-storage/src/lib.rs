@@ -19,7 +19,9 @@
 //! * [`runfile`] — sorted-run files the execution fabric spills shuffle
 //!   buckets into and k-way merges at reduce time (the external-shuffle
 //!   path; Hadoop's `IFile` analog);
-//! * [`rowcodec`] / [`varint`] — the shared codecs.
+//! * [`rowcodec`] / [`varint`] — the shared codecs;
+//! * [`fault`] — deterministic IO fault injection for the run/seq
+//!   readers and writers, driving the engine's task-retry tests.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +32,7 @@ pub mod colgroups;
 pub mod delta;
 pub mod dict;
 pub mod error;
+pub mod fault;
 pub mod rowcodec;
 pub mod runfile;
 pub mod seqfile;
@@ -41,5 +44,6 @@ pub use colgroups::{write_column_groups, ColumnGroupReader, ColumnGroups};
 pub use delta::{DeltaFileReader, DeltaFileWriter};
 pub use dict::{DictFileReader, DictFileWriter, Dictionary};
 pub use error::{Result, StorageError};
+pub use fault::{IoFaults, IoSite};
 pub use runfile::{RunFileReader, RunFileWriter};
 pub use seqfile::{write_seqfile, SeqFileMeta, SeqFileReader, SeqFileWriter, Split};

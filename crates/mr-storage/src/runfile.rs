@@ -23,10 +23,12 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use mr_ir::value::Value;
 
 use crate::error::{Result, StorageError};
+use crate::fault::{IoFaults, IoSite};
 use crate::rowcodec::{decode_value, encode_value};
 use crate::varint::{encode_u64, read_u64_from};
 
@@ -43,11 +45,21 @@ pub struct RunFileWriter {
     bytes: u64,
     frame: Vec<u8>,
     lenbuf: Vec<u8>,
+    faults: Option<Arc<IoFaults>>,
 }
 
 impl RunFileWriter {
     /// Create (truncate) `path` and write the magic.
     pub fn create(path: impl AsRef<Path>) -> Result<RunFileWriter> {
+        RunFileWriter::create_with_faults(path, None)
+    }
+
+    /// [`create`](Self::create), with each appended pair counted
+    /// against `faults` ([`IoSite::RunWrite`]).
+    pub fn create_with_faults(
+        path: impl AsRef<Path>,
+        faults: Option<Arc<IoFaults>>,
+    ) -> Result<RunFileWriter> {
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(MAGIC)?;
         Ok(RunFileWriter {
@@ -56,12 +68,16 @@ impl RunFileWriter {
             bytes: MAGIC.len() as u64,
             frame: Vec::new(),
             lenbuf: Vec::new(),
+            faults,
         })
     }
 
     /// Append one pair. Callers are responsible for feeding pairs in
     /// sorted order — the file records whatever order it is given.
     pub fn append(&mut self, key: &Value, value: &Value) -> Result<()> {
+        if let Some(f) = &self.faults {
+            f.check(IoSite::RunWrite)?;
+        }
         self.frame.clear();
         encode_value(key, &mut self.frame)?;
         encode_value(value, &mut self.frame)?;
@@ -87,11 +103,21 @@ pub struct RunFileReader {
     path: PathBuf,
     buf: Vec<u8>,
     pairs_read: u64,
+    faults: Option<Arc<IoFaults>>,
 }
 
 impl RunFileReader {
     /// Open `path` and check the magic.
     pub fn open(path: impl AsRef<Path>) -> Result<RunFileReader> {
+        RunFileReader::open_with_faults(path, None)
+    }
+
+    /// [`open`](Self::open), with each pair read counted against
+    /// `faults` ([`IoSite::RunRead`]).
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        faults: Option<Arc<IoFaults>>,
+    ) -> Result<RunFileReader> {
         let path = path.as_ref().to_path_buf();
         let mut input = BufReader::new(File::open(&path)?);
         let mut magic = [0u8; 5];
@@ -104,6 +130,7 @@ impl RunFileReader {
             path,
             buf: Vec::new(),
             pairs_read: 0,
+            faults,
         })
     }
 
@@ -118,6 +145,9 @@ impl RunFileReader {
     }
 
     fn read_one(&mut self) -> Result<Option<(Value, Value)>> {
+        if let Some(f) = &self.faults {
+            f.check(IoSite::RunRead)?;
+        }
         // Frame length varint; EOF before its first byte is a clean
         // end-of-run.
         let Some((len, _)) = read_u64_from(&mut self.input)? else {

@@ -26,6 +26,7 @@ use mr_ir::record::Record;
 use mr_ir::schema::Schema;
 
 use crate::error::{Result, StorageError};
+use crate::fault::{IoFaults, IoSite};
 use crate::rowcodec::{decode_row, decode_schema, encode_row, encode_schema};
 use crate::varint::{decode_u64, encode_u64, read_u64_from};
 
@@ -49,11 +50,22 @@ pub struct SeqFileWriter {
     blocks: Vec<(u64, u64)>, // (byte offset, records before block)
     row_buf: Vec<u8>,
     finished: bool,
+    faults: Option<Arc<IoFaults>>,
 }
 
 impl SeqFileWriter {
     /// Create (truncate) `path` and write the header.
     pub fn create(path: impl AsRef<Path>, schema: Arc<Schema>) -> Result<SeqFileWriter> {
+        SeqFileWriter::create_with_faults(path, schema, None)
+    }
+
+    /// [`create`](Self::create), with each appended record counted
+    /// against `faults` ([`IoSite::SeqWrite`]).
+    pub fn create_with_faults(
+        path: impl AsRef<Path>,
+        schema: Arc<Schema>,
+        faults: Option<Arc<IoFaults>>,
+    ) -> Result<SeqFileWriter> {
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(MAGIC)?;
         let mut header = Vec::new();
@@ -71,6 +83,7 @@ impl SeqFileWriter {
             blocks: Vec::new(),
             row_buf: Vec::new(),
             finished: false,
+            faults,
         })
     }
 
@@ -82,6 +95,9 @@ impl SeqFileWriter {
     /// Append one record.
     pub fn append(&mut self, record: &Record) -> Result<()> {
         debug_assert!(!self.finished);
+        if let Some(f) = &self.faults {
+            f.check(IoSite::SeqWrite)?;
+        }
         if self.count.is_multiple_of(BLOCK) {
             self.blocks.push((self.offset, self.count));
         }
@@ -236,6 +252,16 @@ impl SeqFileMeta {
 
     /// Read records starting at `split`.
     pub fn read_split(&self, split: &Split) -> Result<SeqFileReader> {
+        self.read_split_with_faults(split, None)
+    }
+
+    /// [`read_split`](Self::read_split), with each record read counted
+    /// against `faults` ([`IoSite::SeqRead`]).
+    pub fn read_split_with_faults(
+        &self,
+        split: &Split,
+        faults: Option<Arc<IoFaults>>,
+    ) -> Result<SeqFileReader> {
         let mut f = BufReader::new(File::open(&self.path)?);
         f.seek(SeekFrom::Start(split.offset))?;
         Ok(SeqFileReader {
@@ -244,6 +270,7 @@ impl SeqFileMeta {
             remaining: split.records,
             bytes_read: 0,
             buf: Vec::new(),
+            faults,
         })
     }
 
@@ -263,6 +290,7 @@ pub struct SeqFileReader {
     remaining: u64,
     bytes_read: u64,
     buf: Vec<u8>,
+    faults: Option<Arc<IoFaults>>,
 }
 
 impl SeqFileReader {
@@ -279,6 +307,9 @@ impl SeqFileReader {
     fn read_one(&mut self) -> Result<Option<Record>> {
         if self.remaining == 0 {
             return Ok(None);
+        }
+        if let Some(f) = &self.faults {
+            f.check(IoSite::SeqRead)?;
         }
         // Row length varint, byte at a time. `remaining > 0` promises a
         // row, so a clean EOF here is truncation.

@@ -2,6 +2,10 @@
 //! truncated, bit-flipped or wholly random input with a clean error —
 //! never a panic, never an infinite loop, never garbage records
 //! accepted as valid row data beyond what the format cannot detect.
+//! The deterministic [`IoFaults`] layer additionally proves that the
+//! run/seq readers and writers fail *exactly* the scheduled operation,
+//! once, and then proceed — the contract the engine's task retries are
+//! built on.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -14,7 +18,10 @@ use mr_ir::value::Value;
 use mr_storage::btree::{BTreeIndex, BTreeWriter, ScanBound};
 use mr_storage::delta::{DeltaFileMeta, DeltaFileWriter};
 use mr_storage::dict::{DictFileReader, DictFileWriter};
-use mr_storage::seqfile::{write_seqfile, SeqFileMeta};
+use mr_storage::fault::{IoFaults, IoSite};
+use mr_storage::runfile::{RunFileReader, RunFileWriter};
+use mr_storage::seqfile::{write_seqfile, SeqFileMeta, SeqFileWriter};
+use mr_storage::StorageError;
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("mr-fault-tests");
@@ -56,6 +63,83 @@ fn try_read_seqfile(bytes: &[u8]) {
         }
     }
     std::fs::remove_file(&path).ok();
+}
+
+/// The scheduled run-file read fails — exactly that one, exactly once.
+#[test]
+fn run_reader_fails_scheduled_op_then_recovers() {
+    let path = tmp("io-run");
+    let mut w = RunFileWriter::create(&path).unwrap();
+    for i in 0..10i64 {
+        w.append(&Value::Int(i), &Value::Null).unwrap();
+    }
+    w.finish().unwrap();
+
+    let faults = Arc::new(IoFaults::new().with_fault(IoSite::RunRead, 4));
+    let mut rd = RunFileReader::open_with_faults(&path, Some(Arc::clone(&faults))).unwrap();
+    for i in 0..4i64 {
+        assert_eq!(rd.next().unwrap().unwrap().0, Value::Int(i));
+    }
+    let err = rd.next().unwrap().unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "{err}");
+    // A fresh reader sharing the (now-disarmed) injector reads clean —
+    // the transient-fault model a task retry relies on.
+    let rd = RunFileReader::open_with_faults(&path, Some(faults)).unwrap();
+    let pairs: Vec<_> = rd.map(|p| p.unwrap()).collect();
+    assert_eq!(pairs.len(), 10);
+}
+
+/// The scheduled run-file append fails without corrupting the pairs
+/// already written.
+#[test]
+fn run_writer_fails_scheduled_append() {
+    let path = tmp("io-runw");
+    let faults = Arc::new(IoFaults::new().with_fault(IoSite::RunWrite, 2));
+    let mut w = RunFileWriter::create_with_faults(&path, Some(faults)).unwrap();
+    w.append(&Value::Int(0), &Value::Null).unwrap();
+    w.append(&Value::Int(1), &Value::Null).unwrap();
+    assert!(w.append(&Value::Int(2), &Value::Null).is_err());
+    // The failed append wrote nothing; the file holds the first two.
+    let (pairs, _) = w.finish().unwrap();
+    assert_eq!(pairs, 2);
+    let back: Vec<_> = RunFileReader::open(&path)
+        .unwrap()
+        .map(|p| p.unwrap())
+        .collect();
+    assert_eq!(back.len(), 2);
+}
+
+/// Sequence-file reads and writes honor their scheduled faults too,
+/// with operation counters shared across readers of the same handle.
+#[test]
+fn seq_reader_and_writer_fail_scheduled_ops() {
+    let s = schema();
+    let path = tmp("io-seq");
+    let faults = Arc::new(IoFaults::new().with_fault(IoSite::SeqWrite, 1));
+    let mut w = SeqFileWriter::create_with_faults(&path, Arc::clone(&s), Some(faults)).unwrap();
+    w.append(&record(&s, vec!["a".into(), Value::Int(0)]))
+        .unwrap();
+    assert!(w
+        .append(&record(&s, vec!["b".into(), Value::Int(1)]))
+        .is_err());
+    w.append(&record(&s, vec!["c".into(), Value::Int(2)]))
+        .unwrap();
+    w.finish().unwrap();
+
+    let meta = SeqFileMeta::open(&path).unwrap();
+    assert_eq!(meta.record_count, 2);
+    let read_faults = Arc::new(IoFaults::new().with_fault(IoSite::SeqRead, 1));
+    let mut rd = meta
+        .read_split_with_faults(
+            &mr_storage::Split {
+                offset: meta.data_start,
+                records: meta.record_count,
+            },
+            Some(read_faults),
+        )
+        .unwrap();
+    assert!(rd.next().unwrap().is_ok());
+    assert!(rd.next().unwrap().is_err());
 }
 
 proptest! {
