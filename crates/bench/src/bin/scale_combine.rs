@@ -92,20 +92,21 @@ fn main() {
             );
 
             let ratio = |r: &JobResult| {
-                if combined.counters.spill_bytes == 0 {
+                if combined.counters.spill_bytes_written == 0 {
                     "∞".to_string()
                 } else {
                     format!(
                         "{:.1}x",
-                        r.counters.spill_bytes as f64 / combined.counters.spill_bytes as f64
+                        r.counters.spill_bytes_written as f64
+                            / combined.counters.spill_bytes_written as f64
                     )
                 }
             };
             rows.push(vec![
                 card_label.clone(),
                 format!("{budget_label} ({})", bench::fmt_bytes(budget as u64)),
-                bench::fmt_bytes(plain.counters.spill_bytes),
-                bench::fmt_bytes(combined.counters.spill_bytes),
+                bench::fmt_bytes(plain.counters.spill_bytes_written),
+                bench::fmt_bytes(combined.counters.spill_bytes_written),
                 ratio(&plain),
                 format!(
                     "{}→{}",
@@ -128,11 +129,11 @@ fn main() {
                 ("shuffle_bytes", Json::Int(shuffle_size as i64)),
                 (
                     "plain_spill_bytes",
-                    Json::Int(plain.counters.spill_bytes as i64),
+                    Json::Int(plain.counters.spill_bytes_written as i64),
                 ),
                 (
                     "combined_spill_bytes",
-                    Json::Int(combined.counters.spill_bytes as i64),
+                    Json::Int(combined.counters.spill_bytes_written as i64),
                 ),
                 (
                     "plain_spilled_records",

@@ -1,0 +1,176 @@
+//! Scale table — block-compressed shuffle I/O across codecs.
+//!
+//! Not a paper table (the paper's App. C compression numbers are the
+//! *index* formats — `table5`/`table6`): this prices the block-codec
+//! layer under the spill path on the Pavlo aggregation task run at two
+//! key cardinalities. Low cardinality (64 source IPs) makes every
+//! spilled run a stretch of repeated keys — the redundancy the `dict`
+//! codec collapses; near-distinct keys are the adversarial case where
+//! codecs must at least not hurt correctness or blow up the file size.
+//!
+//! Every row caps the shuffle budget at an eighth of the measured
+//! shuffle volume, so spills are guaranteed, and asserts its output
+//! byte-identical to the uncompressed run. The `spill_bytes_raw` /
+//! `spill_bytes_written` counters price the codec: their ratio is the
+//! spill-disk I/O saved.
+
+use mr_engine::{run_job, Builtin, InputSpec, JobConfig, JobResult, ShuffleCompression};
+use mr_json::Json;
+use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
+use mr_workloads::pavlo::benchmark2;
+
+fn main() {
+    bench::banner(
+        "Scale — block-compressed shuffle I/O",
+        "SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP\n\
+         with the shuffle budget capped at shuffle/8, swept across\n\
+         ShuffleCompression codecs × key cardinality. Outputs are\n\
+         asserted identical to the uncompressed run in every cell.",
+    );
+    let dir = bench::bench_dir("scale-compress");
+    let visits = bench::scaled(60_000);
+    let program = benchmark2();
+    if let (Some(plan), attempts) = bench::fault_env() {
+        println!("fault drill: {plan} (max {attempts} attempts per task)\n");
+    }
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut low_card_checked = false;
+    for (card_label, source_ips) in [("64 ips", 64usize), ("random ips", 0)] {
+        let input = dir.join(format!("uservisits-{source_ips}.seq"));
+        generate_uservisits(
+            &input,
+            &UserVisitsConfig {
+                visits,
+                source_ips,
+                ..UserVisitsConfig::default()
+            },
+        )
+        .expect("generate uservisits");
+
+        let job = |codec: ShuffleCompression, budget: Option<usize>| {
+            let mut j = JobConfig::ir_job(
+                "revenue-by-ip",
+                InputSpec::SeqFile {
+                    path: input.clone(),
+                },
+                program.mapper.clone(),
+                Builtin::Sum,
+            )
+            .with_reducers(4)
+            .with_spill_dir(&dir);
+            j.shuffle_buffer_bytes = budget;
+            bench::apply_fault_env(&mut j);
+            // The codec is this bin's sweep axis: explicit per row,
+            // overriding any MANIMAL_SHUFFLE_CODEC ambient setting.
+            j.shuffle_compression = codec;
+            j
+        };
+
+        // Size the budget off the real shuffle volume, then sweep.
+        let baseline = run_job(&job(ShuffleCompression::None, None)).expect("unbounded");
+        let budget = (baseline.counters.shuffle_bytes as usize / 8).max(64);
+        for codec in ShuffleCompression::ALL {
+            let (time, result) =
+                bench::time_runs(|| run_job(&job(codec, Some(budget))).expect("capped run"));
+            assert_eq!(
+                result.output, baseline.output,
+                "{card_label}/{codec}: compressed output must equal the uncompressed path"
+            );
+            assert!(
+                result.counters.spill_count > 0,
+                "{card_label}/{codec}: a budget below the shuffle size must spill"
+            );
+            let c = &result.counters;
+            if codec == ShuffleCompression::Dict && source_ips > 0 {
+                assert!(
+                    c.spill_bytes_written < c.spill_bytes_raw,
+                    "low-cardinality dict must shrink spills: {} written vs {} raw",
+                    c.spill_bytes_written,
+                    c.spill_bytes_raw
+                );
+                low_card_checked = true;
+            }
+            rows.push(codec_row(card_label, codec, time, &result));
+            json_rows.push(codec_json(card_label, codec, budget, time, &result));
+        }
+    }
+    assert!(low_card_checked, "the low-cardinality dict cell must run");
+
+    bench::print_table(
+        &[
+            "Keys",
+            "Codec",
+            "Spills",
+            "Raw bytes",
+            "Written",
+            "Ratio",
+            "Map",
+            "Shuffle (attr)",
+            "Reduce",
+            "Total",
+        ],
+        &rows,
+    );
+    bench::write_bench_json(
+        "compress",
+        Json::obj([
+            ("visits", Json::Int(visits as i64)),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}
+
+fn ratio(r: &JobResult) -> f64 {
+    let raw = r.counters.spill_bytes_raw.max(1) as f64;
+    r.counters.spill_bytes_written as f64 / raw
+}
+
+fn codec_row(
+    card: &str,
+    codec: ShuffleCompression,
+    time: std::time::Duration,
+    r: &JobResult,
+) -> Vec<String> {
+    vec![
+        card.to_string(),
+        codec.to_string(),
+        r.counters.spill_count.to_string(),
+        bench::fmt_bytes(r.counters.spill_bytes_raw),
+        bench::fmt_bytes(r.counters.spill_bytes_written),
+        format!("{:.2}x", ratio(r)),
+        bench::fmt_secs(r.phases.map),
+        bench::fmt_secs(r.phases.shuffle),
+        bench::fmt_secs(r.phases.reduce),
+        bench::fmt_secs(time),
+    ]
+}
+
+fn codec_json(
+    card: &str,
+    codec: ShuffleCompression,
+    budget: usize,
+    time: std::time::Duration,
+    r: &JobResult,
+) -> Json {
+    Json::obj([
+        ("keys", Json::str(card)),
+        ("codec", Json::str(codec.name())),
+        ("budget_bytes", Json::Int(budget as i64)),
+        ("spill_count", Json::Int(r.counters.spill_count as i64)),
+        (
+            "spill_bytes_raw",
+            Json::Int(r.counters.spill_bytes_raw as i64),
+        ),
+        (
+            "spill_bytes_written",
+            Json::Int(r.counters.spill_bytes_written as i64),
+        ),
+        ("ratio", Json::Float(ratio(r))),
+        ("map_secs", bench::json_secs(r.phases.map)),
+        ("shuffle_secs", bench::json_secs(r.phases.shuffle)),
+        ("reduce_secs", bench::json_secs(r.phases.reduce)),
+        ("total_secs", bench::json_secs(time)),
+    ])
+}

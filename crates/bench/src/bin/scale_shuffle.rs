@@ -69,7 +69,7 @@ fn main() {
             label.to_string(),
             r.counters.spill_count.to_string(),
             r.counters.spilled_records.to_string(),
-            bench::fmt_bytes(r.counters.spill_bytes),
+            bench::fmt_bytes(r.counters.spill_bytes_written),
             bench::fmt_secs(r.phases.map),
             bench::fmt_secs(r.phases.shuffle),
             bench::fmt_secs(r.phases.reduce),
@@ -89,7 +89,10 @@ fn main() {
                     "spilled_records",
                     Json::Int(r.counters.spilled_records as i64),
                 ),
-                ("spill_bytes", Json::Int(r.counters.spill_bytes as i64)),
+                (
+                    "spill_bytes",
+                    Json::Int(r.counters.spill_bytes_written as i64),
+                ),
                 ("map_secs", bench::json_secs(r.phases.map)),
                 ("shuffle_secs", bench::json_secs(r.phases.shuffle)),
                 ("reduce_secs", bench::json_secs(r.phases.reduce)),

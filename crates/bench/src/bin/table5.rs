@@ -91,6 +91,7 @@ fn main() {
         map_parallelism: mr_engine::job::available_parallelism(),
         sort_output: true,
         shuffle_buffer_bytes: None,
+        shuffle_compression: Default::default(),
         spill_dir: None,
         combiner: None,
         max_task_attempts: 1,

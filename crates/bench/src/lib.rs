@@ -56,12 +56,27 @@ pub fn fault_env() -> (Option<std::sync::Arc<mr_engine::FaultPlan>>, usize) {
     (plan, attempts)
 }
 
-/// Apply [`fault_env`] to a job — every bench job opts in, so one
-/// environment variable fault-drills a whole table run.
+/// The shuffle codec from `MANIMAL_SHUFFLE_CODEC` (`none` | `raw` |
+/// `dict` | `delta`), or `None` when unset — CI's `fault-smoke` step
+/// sets it so the compressed spill path runs under injected failures
+/// on every push.
+pub fn shuffle_codec_env() -> Option<mr_engine::ShuffleCompression> {
+    std::env::var("MANIMAL_SHUFFLE_CODEC").ok().map(|name| {
+        mr_engine::ShuffleCompression::parse(&name)
+            .unwrap_or_else(|| panic!("MANIMAL_SHUFFLE_CODEC: unknown codec `{name}`"))
+    })
+}
+
+/// Apply [`fault_env`] and [`shuffle_codec_env`] to a job — every
+/// bench job opts in, so one environment variable fault-drills (or
+/// compresses) a whole table run.
 pub fn apply_fault_env(job: &mut mr_engine::JobConfig) {
     let (plan, attempts) = fault_env();
     job.max_task_attempts = attempts;
     job.fault_plan = plan;
+    if let Some(codec) = shuffle_codec_env() {
+        job.shuffle_compression = codec;
+    }
 }
 
 /// Timed repetitions from `MANIMAL_RUNS` (default 3, like the paper).

@@ -10,6 +10,7 @@
 //!                 [--reduce-ir REDUCE.mrasm]      # IR reduce (combine pass runs)
 //!                 [--baseline] [--safe-mode]      # Steps 2+3
 //!                 [--shuffle-buffer BYTES]        # external shuffle budget
+//!                 [--shuffle-codec CODEC]         # compress spill runs
 //!                 [--no-combine]                  # disable map-side combining
 //!                 [--max-task-attempts N]         # task-level retries
 //!                 [--fault-spec SPEC]             # deterministic fault drill
@@ -23,7 +24,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use manimal::{Builtin, Manimal};
+use manimal::{Builtin, Manimal, ShuffleCompression};
 use mr_ir::asm::parse_function;
 use mr_ir::Program;
 use mr_storage::seqfile::SeqFileMeta;
@@ -63,16 +64,22 @@ fn run(args: &[String]) -> Result<(), String> {
 const HELP: &str = "\
 manimal — automatic optimization for MapReduce programs
 
-  manimal generate webpages   OUT.seq [--pages N] [--content BYTES]
-  manimal generate uservisits OUT.seq [--visits N] [--pages N]
+  manimal generate webpages   OUT.seq [--pages N] [--content BYTES] [--codec C]
+  manimal generate uservisits OUT.seq [--visits N] [--pages N] [--codec C]
   manimal cat     DATA.seq  [--limit N]
   manimal analyze PROG.mrasm DATA.seq
   manimal build   PROG.mrasm DATA.seq [--work DIR]
   manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer R]
                   [--reduce-ir REDUCE.mrasm]
                   [--baseline] [--safe-mode] [--shuffle-buffer BYTES]
+                  [--shuffle-codec none|raw|dict|delta]
                   [--no-combine] [--max-task-attempts N]
                   [--fault-spec SPEC]
+
+codecs: --shuffle-codec block-compresses spill runs (dict = LZW
+dictionary frames, delta = stride-delta frames, raw = CRC framing
+only); --codec on generate writes the block-compressed seqfile
+variant. Output is byte-identical under every codec.
 
 reducers: sum, count, max, min, identity, first, sum-drop-key
 (sum/count/max/min/sum-drop-key declare map-side combiners, engaged
@@ -85,7 +92,7 @@ to N times before the job fails; --fault-spec injects a deterministic
 failure schedule, e.g. `map:0:0:5,reduce:1:0:0,io:run-read:3`
 (fail map task 0 attempt 0 at record 5, reduce partition 1 attempt 0
 immediately, and the 3rd run-file read; IO sites: run-read, run-write,
-seq-read, seq-write)
+seq-read, seq-write, block-read, block-write)
 ";
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
@@ -121,14 +128,24 @@ fn parse_num(rest: &[&String], name: &str, default: usize) -> Result<usize, Stri
     }
 }
 
+fn parse_codec(rest: &[&String], name: &str) -> Result<ShuffleCompression, String> {
+    match flag_value(rest, name) {
+        None => Ok(ShuffleCompression::None),
+        Some(v) => ShuffleCompression::parse(v)
+            .ok_or_else(|| format!("{name}: unknown codec `{v}` (none|raw|dict|delta)")),
+    }
+}
+
 fn generate(rest: &[&String]) -> Result<(), String> {
     let kind = positional(rest, 0)?;
     let out = positional(rest, 1)?;
+    let codec = parse_codec(rest, "--codec")?;
     match kind {
         "webpages" => {
             let cfg = WebPagesConfig {
                 pages: parse_num(rest, "--pages", 10_000)?,
                 content_size: parse_num(rest, "--content", 510)?,
+                codec,
                 ..WebPagesConfig::default()
             };
             let n = generate_webpages(out, &cfg).map_err(|e| e.to_string())?;
@@ -138,6 +155,7 @@ fn generate(rest: &[&String]) -> Result<(), String> {
             let cfg = UserVisitsConfig {
                 visits: parse_num(rest, "--visits", 50_000)?,
                 pages: parse_num(rest, "--pages", 10_000)?,
+                codec,
                 ..UserVisitsConfig::default()
             };
             let n = generate_uservisits(out, &cfg).map_err(|e| e.to_string())?;
@@ -281,6 +299,7 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
                 .map_err(|_| format!("--shuffle-buffer: `{bytes}` is not a byte count"))?,
         );
     }
+    manimal.shuffle_compression = parse_codec(rest, "--shuffle-codec")?;
     manimal.max_task_attempts = parse_num(rest, "--max-task-attempts", 1)?.max(1);
     if let Some(spec) = flag_value(rest, "--fault-spec") {
         let plan = manimal::FaultPlan::from_spec(spec).map_err(|e| format!("--fault-spec: {e}"))?;

@@ -208,17 +208,20 @@ impl IndexGenProgram {
         &self,
         shuffle_buffer_bytes: Option<usize>,
     ) -> Result<CatalogEntry> {
-        self.run_tuned(shuffle_buffer_bytes, true)
+        self.run_tuned(shuffle_buffer_bytes, true, Default::default())
     }
 
     /// [`run_with_shuffle_budget`](Self::run_with_shuffle_budget) with
-    /// the optimizer's combiner decision plumbed through: `combine:
-    /// false` (the `--no-combine` escape hatch) keeps the build job's
-    /// pipeline plain even if its reducer declares a combiner.
+    /// the optimizer's combiner decision plumbed through (`combine:
+    /// false` — the `--no-combine` escape hatch — keeps the build
+    /// job's pipeline plain even if its reducer declares a combiner)
+    /// and the instance's spill codec
+    /// ([`mr_engine::JobConfig::shuffle_compression`]).
     pub fn run_tuned(
         &self,
         shuffle_buffer_bytes: Option<usize>,
         combine: bool,
+        shuffle_compression: mr_engine::ShuffleCompression,
     ) -> Result<CatalogEntry> {
         let input_bytes = std::fs::metadata(&self.input)?.len();
         match &self.kind {
@@ -229,6 +232,7 @@ impl IndexGenProgram {
                 input_bytes,
                 shuffle_buffer_bytes,
                 combine,
+                shuffle_compression,
             ),
             IndexKind::Projection { fields } => self.build_projection(fields, input_bytes),
             IndexKind::Delta { fields, projected } => {
@@ -248,6 +252,7 @@ impl IndexGenProgram {
         input_bytes: u64,
         shuffle_buffer_bytes: Option<usize>,
         combine: bool,
+        shuffle_compression: mr_engine::ShuffleCompression,
     ) -> Result<CatalogEntry> {
         let expr = self
             .key_expr
@@ -274,6 +279,7 @@ impl IndexGenProgram {
             map_parallelism: mr_engine::job::available_parallelism(),
             sort_output: true,
             shuffle_buffer_bytes,
+            shuffle_compression,
             spill_dir: None,
             combiner: None,
             max_task_attempts: 1,

@@ -67,7 +67,7 @@ pub use catalog::{Catalog, CatalogEntry, IndexKind};
 pub use error::{ManimalError, Result};
 pub use indexgen::{plan_index_programs, IndexGenProgram};
 pub use mr_analysis::{analyze, find_combine, AnalysisReport, CombineOutcome};
-pub use mr_engine::{Builtin, FaultPlan, JobResult};
+pub use mr_engine::{Builtin, FaultPlan, JobResult, ShuffleCompression};
 pub use optimizer::{
     choose_plan, combiner_for, enumerate_plans, ir_reducer, ExecutionDescriptor, OptimizerConfig,
 };

@@ -30,10 +30,17 @@ pub struct Counters {
     /// Pairs written to spill runs by map-side spills (a pair spilled
     /// once counts once; merge-compaction rewrites are not re-counted).
     pub spilled_records: AtomicU64,
-    /// Bytes written to spill run files, framing included — map-side
-    /// spills *plus* merge-compaction rewrites, i.e. total spill-disk
-    /// write traffic.
-    pub spill_bytes: AtomicU64,
+    /// Bytes the record layer handed to spill run files *before* the
+    /// shuffle codec (header + varint pair frames) — what
+    /// `spill_bytes_written` would be with compression off. Map-side
+    /// spills plus merge-compaction rewrites.
+    pub spill_bytes_raw: AtomicU64,
+    /// Physical bytes written to spill run files, after the shuffle
+    /// codec ([`JobConfig::shuffle_compression`](crate::job::JobConfig::shuffle_compression))
+    /// — map-side spills *plus* merge-compaction rewrites, i.e. total
+    /// spill-disk write traffic. Equals `spill_bytes_raw` without a
+    /// codec; the gap is exactly the I/O compression saved.
+    pub spill_bytes_written: AtomicU64,
     /// Pairs that entered a shuffle-side combine site (staging flush,
     /// spill write, compaction rewrite — the reduce-side fold is not
     /// counted). Zero when no combiner is plugged in.
@@ -81,7 +88,8 @@ impl Counters {
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
             spill_count: self.spill_count.load(Ordering::Relaxed),
             spilled_records: self.spilled_records.load(Ordering::Relaxed),
-            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_bytes_raw: self.spill_bytes_raw.load(Ordering::Relaxed),
+            spill_bytes_written: self.spill_bytes_written.load(Ordering::Relaxed),
             combine_in: self.combine_in.load(Ordering::Relaxed),
             combine_out: self.combine_out.load(Ordering::Relaxed),
             reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
@@ -107,7 +115,8 @@ impl Counters {
         Counters::add(&self.shuffle_bytes, s.shuffle_bytes);
         Counters::add(&self.spill_count, s.spill_count);
         Counters::add(&self.spilled_records, s.spilled_records);
-        Counters::add(&self.spill_bytes, s.spill_bytes);
+        Counters::add(&self.spill_bytes_raw, s.spill_bytes_raw);
+        Counters::add(&self.spill_bytes_written, s.spill_bytes_written);
         Counters::add(&self.combine_in, s.combine_in);
         Counters::add(&self.combine_out, s.combine_out);
         Counters::add(&self.reduce_input_groups, s.reduce_input_groups);
@@ -137,8 +146,11 @@ pub struct CounterSnapshot {
     pub spill_count: u64,
     /// Pairs written to spill runs (map-side spills).
     pub spilled_records: u64,
-    /// Bytes written to spill run files (incl. compaction rewrites).
-    pub spill_bytes: u64,
+    /// Record-layer bytes sent to spill runs before the codec.
+    pub spill_bytes_raw: u64,
+    /// Physical bytes written to spill runs (incl. compaction
+    /// rewrites), after the codec.
+    pub spill_bytes_written: u64,
     /// Pairs entering combine sites (0 without a combiner).
     pub combine_in: u64,
     /// Pairs leaving combine sites.
@@ -168,7 +180,8 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "shuffle bytes     : {}", self.shuffle_bytes)?;
         writeln!(f, "spill runs        : {}", self.spill_count)?;
         writeln!(f, "spilled records   : {}", self.spilled_records)?;
-        writeln!(f, "spill bytes       : {}", self.spill_bytes)?;
+        writeln!(f, "spill bytes raw   : {}", self.spill_bytes_raw)?;
+        writeln!(f, "spill bytes writtn: {}", self.spill_bytes_written)?;
         writeln!(f, "combine in        : {}", self.combine_in)?;
         writeln!(f, "combine out       : {}", self.combine_out)?;
         writeln!(f, "reduce groups     : {}", self.reduce_input_groups)?;

@@ -4,6 +4,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use mr_ir::function::Function;
+use mr_storage::blockcodec::ShuffleCompression;
 
 use crate::combine::Combiner;
 use crate::fault::FaultPlan;
@@ -73,6 +74,18 @@ pub struct JobConfig {
     /// (enum + allocator overhead per `Value`), so size the knob with
     /// headroom. Output is identical either way.
     pub shuffle_buffer_bytes: Option<usize>,
+    /// Block codec for spill-run I/O
+    /// ([`mr_storage::blockcodec::ShuffleCompression`]). The default
+    /// [`ShuffleCompression::None`] streams raw pairs — the seed
+    /// behaviour; `Dict`/`Delta` compress each spilled run (and every
+    /// compaction rewrite) below the record layer, cutting spill-disk
+    /// traffic when the shuffle is redundant, and `Raw` frames without
+    /// compressing (CRC detection only). Output is byte-identical
+    /// under every variant, retries included: frames live inside run
+    /// files, and run files commit/retry by whole-file rename. Only
+    /// meaningful when [`shuffle_buffer_bytes`](Self::shuffle_buffer_bytes)
+    /// makes spilling possible.
+    pub shuffle_compression: ShuffleCompression,
     /// Parent directory for spill runs. Each job spills into a private
     /// subdirectory that is removed when the job finishes; `None` uses
     /// [`std::env::temp_dir`].
@@ -129,6 +142,7 @@ impl JobConfig {
             map_parallelism: available_parallelism(),
             sort_output: true,
             shuffle_buffer_bytes: None,
+            shuffle_compression: ShuffleCompression::None,
             spill_dir: None,
             combiner: None,
             max_task_attempts: 1,
@@ -159,6 +173,13 @@ impl JobConfig {
     /// run files and are merged back at reduce time.
     pub fn with_shuffle_buffer(mut self, bytes: usize) -> Self {
         self.shuffle_buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Compress spill-run I/O with `codec`
+    /// ([`JobConfig::shuffle_compression`]).
+    pub fn with_shuffle_codec(mut self, codec: ShuffleCompression) -> Self {
+        self.shuffle_compression = codec;
         self
     }
 

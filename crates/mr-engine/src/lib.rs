@@ -18,7 +18,11 @@
 //! [`JobConfig::shuffle_buffer_bytes`](job::JobConfig::shuffle_buffer_bytes)
 //! set, the shuffle is *external*: overfull buckets spill sorted runs
 //! to disk ([`spill`]) and reduce streams a k-way merge over them
-//! ([`merge`]) — same output, memory bounded by the budget.
+//! ([`merge`]) — same output, memory bounded by the budget. Spill-run
+//! I/O can additionally be block-compressed
+//! ([`JobConfig::shuffle_compression`](job::JobConfig::shuffle_compression),
+//! re-exported [`ShuffleCompression`]) — same output again, with
+//! spill-disk traffic cut whenever the shuffle is redundant.
 //!
 //! Orthogonally, [`JobConfig::combiner`](job::JobConfig::combiner)
 //! plugs a map-side combiner into every stage of that pipeline
@@ -58,6 +62,7 @@ pub use input::{InputSpec, SplitReader};
 pub use job::{InputBinding, JobConfig, OutputSpec};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
 pub use merge::{KWayMerge, RunStream};
+pub use mr_storage::blockcodec::ShuffleCompression;
 pub use reducer::{
     Builtin, FnReducerFactory, IrReducer, IrReducerFactory, Reducer, ReducerFactory,
 };

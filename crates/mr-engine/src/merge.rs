@@ -17,6 +17,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use mr_ir::value::Value;
+use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
 use mr_storage::runfile::{RunFileReader, RunFileWriter};
 
@@ -39,9 +40,10 @@ pub const MERGE_FACTOR: usize = 64;
 /// consecutive and each result takes its batch's position, so the
 /// `(key, run index)` tie-break — and therefore the final merged
 /// stream — is identical to a flat merge of the original runs.
-/// Rewritten bytes are charged to the `spill_bytes` counter (they are
-/// real spill-disk traffic); `spill_count`/`spilled_records` stay
-/// map-side only. An active `combine` strategy folds duplicate keys
+/// Rewritten bytes are charged to the `spill_bytes_raw` /
+/// `spill_bytes_written` counters (they are real spill-disk traffic,
+/// compressed through the same `compression` codec as map-side
+/// spills); `spill_count`/`spilled_records` stay map-side only. An active `combine` strategy folds duplicate keys
 /// while rewriting, so compacted runs shrink like spill-time runs do.
 ///
 /// Compaction is **resumable**: on error, `runs` is left describing
@@ -56,6 +58,7 @@ pub fn compact_runs(
     partition: usize,
     counters: &Counters,
     combine: &CombineStrategy,
+    compression: ShuffleCompression,
     io: Option<&Arc<IoFaults>>,
 ) -> Result<()> {
     while runs.len() > MERGE_FACTOR {
@@ -69,7 +72,15 @@ pub fn compact_runs(
                 idx = end;
                 continue;
             }
-            match merge_batch(&source[idx..end], dir, partition, counters, combine, io) {
+            match merge_batch(
+                &source[idx..end],
+                dir,
+                partition,
+                counters,
+                combine,
+                compression,
+                io,
+            ) {
                 Ok(run) => {
                     next.push(run);
                     idx = end;
@@ -93,12 +104,14 @@ pub fn compact_runs(
 /// surviving runs is preserved. With an active combiner the merged
 /// stream is folded on the fly — one pair per key survives the
 /// rewrite.
+#[allow(clippy::too_many_arguments)]
 fn merge_batch(
     batch: &[SpillRun],
     dir: &Path,
     partition: usize,
     counters: &Counters,
     combine: &CombineStrategy,
+    compression: ShuffleCompression,
     io: Option<&Arc<IoFaults>>,
 ) -> Result<SpillRun> {
     // Process-unique intermediate names: a retried compaction must
@@ -115,7 +128,7 @@ fn merge_batch(
         )?));
     }
     let path = dir.join(format!("merge-{partition:05}-{unique:08}"));
-    let mut w = RunFileWriter::create_with_faults(&path, io.cloned())?;
+    let mut w = RunFileWriter::create_with(&path, compression, io.cloned())?;
     let mut seen = 0u64;
     let mut kept = 0u64;
     match combine.active() {
@@ -146,22 +159,24 @@ fn merge_batch(
             }
         }
     }
-    let (pairs, bytes) = w.finish()?;
+    let stats = w.finish()?;
     // Charge counters only after the batch is durable, so a failed
     // batch that is retried cannot double-count.
     if seen > 0 || kept > 0 {
         Counters::add(&counters.combine_in, seen);
         Counters::add(&counters.combine_out, kept);
     }
-    Counters::add(&counters.spill_bytes, bytes);
+    Counters::add(&counters.spill_bytes_raw, stats.raw_bytes);
+    Counters::add(&counters.spill_bytes_written, stats.file_bytes);
     for r in batch {
         let _ = std::fs::remove_file(&r.path);
     }
     Ok(SpillRun {
         seq,
         path,
-        pairs,
-        bytes,
+        pairs: stats.pairs,
+        raw_bytes: stats.raw_bytes,
+        bytes: stats.file_bytes,
     })
 }
 
@@ -314,6 +329,7 @@ mod tests {
             seq,
             pairs,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             &Counters::new(),
             None,
         )
@@ -367,13 +383,18 @@ mod tests {
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             None,
         )
         .unwrap();
         assert_eq!(compacted.len(), MERGE_FACTOR, "no compaction round");
         let kept: Vec<_> = compacted.iter().map(|r| r.path.clone()).collect();
         assert_eq!(kept, paths, "original run files untouched");
-        assert_eq!(counters.snapshot().spill_bytes, 0, "nothing rewritten");
+        assert_eq!(
+            counters.snapshot().spill_bytes_written,
+            0,
+            "nothing rewritten"
+        );
         assert_eq!(merge_all(&compacted), expect);
     }
 
@@ -391,6 +412,7 @@ mod tests {
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             None,
         )
         .unwrap();
@@ -398,7 +420,7 @@ mod tests {
         assert_eq!(compacted.len(), 2, "one merge batch + one leftover");
         assert!(compacted.len() <= MERGE_FACTOR, "fan-in bounded");
         assert!(
-            counters.snapshot().spill_bytes > 0,
+            counters.snapshot().spill_bytes_written > 0,
             "one round rewrote bytes"
         );
         // Exactly one batch merged: one intermediate file.
@@ -428,6 +450,7 @@ mod tests {
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             Some(&io),
         )
         .unwrap_err();
@@ -443,6 +466,7 @@ mod tests {
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             Some(&io),
         )
         .unwrap();
@@ -546,12 +570,13 @@ mod tests {
             0,
             &counters,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             None,
         )
         .unwrap();
         assert!(
-            counters.snapshot().spill_bytes > 0,
-            "compaction rewrites are charged to spill_bytes"
+            counters.snapshot().spill_bytes_written > 0,
+            "compaction rewrites are charged to spill_bytes_written"
         );
         assert!(compacted.len() <= MERGE_FACTOR);
         assert!(compacted.len() >= 2, "150 runs batch into several");

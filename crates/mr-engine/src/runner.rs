@@ -62,6 +62,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mr_ir::value::Value;
+use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
 use mr_storage::runfile::RunFileReader;
 use parking_lot::Mutex as PlMutex;
@@ -123,6 +124,7 @@ struct MapCtx<'a> {
     bucket_cap: Option<usize>,
     spill_dir: Option<&'a SpillDir>,
     combine: &'a CombineStrategy,
+    compression: ShuffleCompression,
     fault: Option<&'a FaultPlan>,
     io: Option<&'a Arc<IoFaults>>,
     shuffle_nanos: &'a AtomicU64,
@@ -162,6 +164,7 @@ struct MapAttemptOutput {
 /// same partition are not serialized behind the disk write. The spill
 /// sequence number assigned at detach time keeps runs in commit order
 /// however the writes interleave.
+#[allow(clippy::too_many_arguments)]
 fn spill_bucket(
     bucket: &PlMutex<ShuffleBucket>,
     p: usize,
@@ -169,17 +172,28 @@ fn spill_bucket(
     counters: &Counters,
     shuffle_nanos: &AtomicU64,
     combine: &CombineStrategy,
+    compression: ShuffleCompression,
     io: Option<&Arc<IoFaults>>,
 ) -> Result<()> {
     let Some((pairs, seq)) = bucket.lock().take_for_spill() else {
         return Ok(());
     };
     let t = Instant::now();
-    let run = write_sorted_run(dir.path(), p, seq, pairs, combine, counters, io)?;
+    let run = write_sorted_run(
+        dir.path(),
+        p,
+        seq,
+        pairs,
+        combine,
+        compression,
+        counters,
+        io,
+    )?;
     shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Counters::add(&counters.spill_count, 1);
     Counters::add(&counters.spilled_records, run.pairs);
-    Counters::add(&counters.spill_bytes, run.bytes);
+    Counters::add(&counters.spill_bytes_raw, run.raw_bytes);
+    Counters::add(&counters.spill_bytes_written, run.bytes);
     bucket.lock().record_run(run);
     Ok(())
 }
@@ -406,12 +420,22 @@ fn spill_staging(
         };
         let t = Instant::now();
         let seq = runs.len(); // unique within the attempt directory
-        let run = write_sorted_run(dir.path(), p, seq, pairs, ctx.combine, acc, ctx.io)?;
+        let run = write_sorted_run(
+            dir.path(),
+            p,
+            seq,
+            pairs,
+            ctx.combine,
+            ctx.compression,
+            acc,
+            ctx.io,
+        )?;
         ctx.shuffle_nanos
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Counters::add(&acc.spill_count, 1);
         Counters::add(&acc.spilled_records, run.pairs);
-        Counters::add(&acc.spill_bytes, run.bytes);
+        Counters::add(&acc.spill_bytes_raw, run.raw_bytes);
+        Counters::add(&acc.spill_bytes_written, run.bytes);
         runs.push((p, run));
     }
     Ok(())
@@ -437,6 +461,7 @@ fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
             seq,
             path: dest,
             pairs: run.pairs,
+            raw_bytes: run.raw_bytes,
             bytes: run.bytes,
         });
     }
@@ -459,6 +484,7 @@ fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
                     ctx.counters,
                     ctx.shuffle_nanos,
                     ctx.combine,
+                    ctx.compression,
                     ctx.io,
                 )?;
             }
@@ -563,6 +589,7 @@ impl Iterator for StreamPairs {
 struct ReduceCtx<'a> {
     spill_dir: Option<&'a SpillDir>,
     combine: &'a CombineStrategy,
+    compression: ShuffleCompression,
     fault: Option<&'a FaultPlan>,
     io: Option<&'a Arc<IoFaults>>,
     shuffle_nanos: &'a AtomicU64,
@@ -590,7 +617,15 @@ fn run_reduce_attempt(
     if !runs.is_empty() {
         let dir = ctx.spill_dir.expect("spilled runs imply a spill dir");
         let t = Instant::now();
-        compact_runs(runs, dir.path(), p, ctx.counters, ctx.combine, ctx.io)?;
+        compact_runs(
+            runs,
+            dir.path(),
+            p,
+            ctx.counters,
+            ctx.combine,
+            ctx.compression,
+            ctx.io,
+        )?;
         ctx.shuffle_nanos
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         for r in runs.iter() {
@@ -671,6 +706,7 @@ fn run_reduce_attempt(
 ///     map_parallelism: 2,
 ///     sort_output: true,
 ///     shuffle_buffer_bytes: Some(1024),
+///     shuffle_compression: Default::default(),
 ///     spill_dir: None,
 ///     combiner: None,
 ///     max_task_attempts: 1,
@@ -751,6 +787,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         bucket_cap,
         spill_dir: spill_dir.as_ref(),
         combine: &combine,
+        compression: job.shuffle_compression,
         fault,
         io: io.as_ref(),
         shuffle_nanos: &shuffle_nanos,
@@ -818,6 +855,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     let rctx = ReduceCtx {
         spill_dir: spill_dir.as_ref(),
         combine: &combine,
+        compression: job.shuffle_compression,
         fault,
         io: io.as_ref(),
         shuffle_nanos: &shuffle_nanos,
@@ -1077,7 +1115,7 @@ mod tests {
             capped.counters.spilled_records, capped.counters.map_output_records,
             "a 64-byte budget spills every pair"
         );
-        assert!(capped.counters.spill_bytes > 0);
+        assert!(capped.counters.spill_bytes_written > 0);
         assert!(capped.phases.shuffle > Duration::ZERO);
     }
 
@@ -1111,6 +1149,7 @@ mod tests {
             map_parallelism: 4,
             sort_output: true,
             shuffle_buffer_bytes: None,
+            shuffle_compression: Default::default(),
             spill_dir: None,
             combiner: None,
             max_task_attempts: 1,
@@ -1226,6 +1265,7 @@ mod tests {
             map_parallelism: 1,
             sort_output: false,
             shuffle_buffer_bytes: None,
+            shuffle_compression: Default::default(),
             spill_dir: None,
             combiner: None,
             max_task_attempts: 1,

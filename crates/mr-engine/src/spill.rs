@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mr_ir::value::Value;
+use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
 use mr_storage::runfile::RunFileWriter;
 
@@ -37,7 +38,10 @@ pub struct SpillRun {
     pub path: PathBuf,
     /// Pairs in the run.
     pub pairs: u64,
-    /// Run file size in bytes (framing included).
+    /// Record-layer bytes before the shuffle codec (what `bytes` would
+    /// be uncompressed).
+    pub raw_bytes: u64,
+    /// Run file size in bytes (codec framing included).
     pub bytes: u64,
 }
 
@@ -192,29 +196,33 @@ impl ShuffleBucket {
 /// Stably sort `pairs` by key (emission order survives within equal
 /// keys), fold duplicate keys when `combine` carries a combiner — the
 /// spill-time combine site, shrinking the run before it hits disk —
-/// and write the result as run `seq` of `partition` under `dir`.
+/// and write the result as run `seq` of `partition` under `dir`,
+/// compressed through `compression`'s block codec.
+#[allow(clippy::too_many_arguments)]
 pub fn write_sorted_run(
     dir: &Path,
     partition: usize,
     seq: usize,
     mut pairs: Vec<(Value, Value)>,
     combine: &CombineStrategy,
+    compression: ShuffleCompression,
     counters: &Counters,
     io: Option<&Arc<IoFaults>>,
 ) -> Result<SpillRun> {
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     combine.combine_sorted(&mut pairs, counters)?;
     let path = dir.join(format!("run-{partition:05}-{seq:06}"));
-    let mut w = RunFileWriter::create_with_faults(&path, io.cloned())?;
+    let mut w = RunFileWriter::create_with(&path, compression, io.cloned())?;
     for (k, v) in &pairs {
         w.append(k, v)?;
     }
-    let (n, bytes) = w.finish()?;
+    let stats = w.finish()?;
     Ok(SpillRun {
         seq,
         path,
-        pairs: n,
-        bytes,
+        pairs: stats.pairs,
+        raw_bytes: stats.raw_bytes,
+        bytes: stats.file_bytes,
     })
 }
 
@@ -236,6 +244,7 @@ mod tests {
             seq,
             pairs,
             &CombineStrategy::passthrough(),
+            ShuffleCompression::None,
             &Counters::new(),
             None,
         )
@@ -321,7 +330,17 @@ mod tests {
             (Value::Int(2), Value::Int(5)),
             (Value::Int(1), Value::Int(2)),
         ];
-        let run = write_sorted_run(dir.path(), 0, 0, pairs, &combine, &counters, None).unwrap();
+        let run = write_sorted_run(
+            dir.path(),
+            0,
+            0,
+            pairs,
+            &combine,
+            ShuffleCompression::None,
+            &counters,
+            None,
+        )
+        .unwrap();
         assert_eq!(run.pairs, 2, "four pairs fold to one per key");
         let back: Vec<(Value, Value)> = RunFileReader::open(&run.path)
             .unwrap()

@@ -110,10 +110,10 @@ fn spilling_combined_sum_is_byte_identical_and_5x_smaller() {
         combined.counters.spilled_records
     );
     assert!(
-        plain.counters.spill_bytes >= 5 * combined.counters.spill_bytes.max(1),
+        plain.counters.spill_bytes_written >= 5 * combined.counters.spill_bytes_written.max(1),
         "spill bytes {} vs {}",
-        plain.counters.spill_bytes,
-        combined.counters.spill_bytes
+        plain.counters.spill_bytes_written,
+        combined.counters.spill_bytes_written
     );
 
     // Counter hygiene: folding happened, and only on the combining run.

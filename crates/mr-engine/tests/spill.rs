@@ -91,7 +91,7 @@ fn forced_spills_output_byte_identical() {
         capped.counters.spill_count
     );
     assert!(capped.counters.spilled_records > 0);
-    assert!(capped.counters.spill_bytes > 0);
+    assert!(capped.counters.spill_bytes_written > 0);
 
     assert_eq!(unbounded.output_files.len(), capped.output_files.len());
     for (a, b) in unbounded.output_files.iter().zip(&capped.output_files) {

@@ -16,6 +16,33 @@
 //! footer carries a block index — so delta files support input splits
 //! just like sequence files, at the cost of one absolute value per
 //! block per field.
+//!
+//! # Example
+//!
+//! Monotone timestamps shrink to one-byte deltas and read back
+//! exactly:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mr_ir::record::record;
+//! use mr_ir::schema::{FieldType, Schema};
+//! use mr_storage::delta::{DeltaFileReader, DeltaFileWriter};
+//!
+//! let schema = Schema::new("T", vec![("ts", FieldType::Long)]).into_arc();
+//! let path = std::env::temp_dir().join(format!("delta-doc-{}", std::process::id()));
+//! let mut w = DeltaFileWriter::create(&path, Arc::clone(&schema), &["ts".into()])?;
+//! for i in 0..1000i64 {
+//!     w.append(&record(&schema, vec![(1_600_000_000 + i).into()]))?;
+//! }
+//! let (records, bytes) = w.finish()?;
+//! assert_eq!(records, 1000);
+//! assert!(bytes < 1000 * 8, "well under the fixed-width encoding");
+//!
+//! let first = DeltaFileReader::open(&path)?.next().unwrap()?;
+//! assert_eq!(first.get("ts").unwrap().as_int(), Some(1_600_000_000));
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), mr_storage::StorageError>(())
+//! ```
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};

@@ -16,6 +16,39 @@
 //!
 //! The reader's record schema rewrites each compressed `Str` field to
 //! `Long` — the type the map function actually observes.
+//!
+//! # Example
+//!
+//! Codes preserve equality without decompression, and the persisted
+//! dictionary decodes them for humans:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mr_ir::record::record;
+//! use mr_ir::schema::{FieldType, Schema};
+//! use mr_storage::dict::{DictFileReader, DictFileWriter};
+//!
+//! let schema = Schema::new("V", vec![("url", FieldType::Str)]).into_arc();
+//! let path = std::env::temp_dir().join(format!("dict-doc-{}", std::process::id()));
+//! let mut w = DictFileWriter::create(&path, Arc::clone(&schema), &["url".into()])?;
+//! for url in ["http://a", "http://b", "http://a"] {
+//!     w.append(&record(&schema, vec![url.into()]))?;
+//! }
+//! let (records, _bytes, distinct) = w.finish()?;
+//! assert_eq!((records, distinct), (3, 2));
+//!
+//! let reader = DictFileReader::open(&path)?;
+//! assert_eq!(reader.schema().field("url").unwrap().ty, FieldType::Long);
+//! let dict = reader.dictionary("url").unwrap();
+//! assert_eq!(dict.decode(dict.code_of("http://b").unwrap()), Some("http://b"));
+//! let codes: Vec<i64> = reader
+//!     .map(|r| r.unwrap().get("url").unwrap().as_int().unwrap())
+//!     .collect();
+//! assert_eq!(codes[0], codes[2], "same url, same code");
+//! assert_ne!(codes[0], codes[1]);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), mr_storage::StorageError>(())
+//! ```
 
 use std::collections::HashMap;
 use std::fs::File;

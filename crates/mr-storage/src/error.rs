@@ -27,6 +27,16 @@ impl StorageError {
             detail: detail.into(),
         }
     }
+
+    /// Wrap this error in an [`io::Error`] so it can cross a
+    /// [`std::io::Read`]/[`std::io::Write`] boundary (the block-codec
+    /// adapters implement those traits) without losing its type: the
+    /// [`From<io::Error>`] conversion below unwraps it back, so a CRC
+    /// mismatch inside a compressed stream still surfaces as
+    /// [`StorageError::Corrupt`], not a generic I/O failure.
+    pub fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, self)
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -52,6 +62,12 @@ impl std::error::Error for StorageError {
 
 impl From<io::Error> for StorageError {
     fn from(e: io::Error) -> Self {
+        // Unwrap a StorageError smuggled through `into_io` — keeps
+        // corruption typed across the block-codec Read/Write adapters.
+        if e.get_ref().is_some_and(|r| r.is::<StorageError>()) {
+            let inner = e.into_inner().expect("checked by get_ref");
+            return *inner.downcast::<StorageError>().expect("checked by is");
+        }
         StorageError::Io(e)
     }
 }

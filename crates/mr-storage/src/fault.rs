@@ -34,6 +34,11 @@ pub enum IoSite {
     SeqRead,
     /// Appending one record to a sequence file.
     SeqWrite,
+    /// Decoding one compressed block frame from a block-framed stream
+    /// (fires only when a shuffle codec is active).
+    BlockRead,
+    /// Emitting one compressed block frame into a block-framed stream.
+    BlockWrite,
 }
 
 impl IoSite {
@@ -43,17 +48,21 @@ impl IoSite {
             IoSite::RunWrite => 1,
             IoSite::SeqRead => 2,
             IoSite::SeqWrite => 3,
+            IoSite::BlockRead => 4,
+            IoSite::BlockWrite => 5,
         }
     }
 
     /// The site's spec name (`run-read`, `run-write`, `seq-read`,
-    /// `seq-write`).
+    /// `seq-write`, `block-read`, `block-write`).
     pub fn name(self) -> &'static str {
         match self {
             IoSite::RunRead => "run-read",
             IoSite::RunWrite => "run-write",
             IoSite::SeqRead => "seq-read",
             IoSite::SeqWrite => "seq-write",
+            IoSite::BlockRead => "block-read",
+            IoSite::BlockWrite => "block-write",
         }
     }
 
@@ -64,6 +73,8 @@ impl IoSite {
             "run-write" => Some(IoSite::RunWrite),
             "seq-read" => Some(IoSite::SeqRead),
             "seq-write" => Some(IoSite::SeqWrite),
+            "block-read" => Some(IoSite::BlockRead),
+            "block-write" => Some(IoSite::BlockWrite),
             _ => None,
         }
     }
@@ -76,8 +87,8 @@ impl IoSite {
 /// the same failure every run.
 #[derive(Debug, Default)]
 pub struct IoFaults {
-    ops: [AtomicU64; 4],
-    triggers: [Vec<u64>; 4],
+    ops: [AtomicU64; 6],
+    triggers: [Vec<u64>; 6],
 }
 
 impl IoFaults {
@@ -157,6 +168,8 @@ mod tests {
             IoSite::RunWrite,
             IoSite::SeqRead,
             IoSite::SeqWrite,
+            IoSite::BlockRead,
+            IoSite::BlockWrite,
         ] {
             assert_eq!(IoSite::parse(site.name()), Some(site));
         }

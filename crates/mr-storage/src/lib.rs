@@ -19,13 +19,21 @@
 //! * [`runfile`] — sorted-run files the execution fabric spills shuffle
 //!   buckets into and k-way merges at reduce time (the external-shuffle
 //!   path; Hadoop's `IFile` analog);
+//! * [`blockcodec`] — the pluggable block-compression layer under the
+//!   streaming formats (runfile, seqfile): CRC'd, length-prefixed
+//!   codec frames with raw / dictionary / delta implementations;
 //! * [`rowcodec`] / [`varint`] — the shared codecs;
 //! * [`fault`] — deterministic IO fault injection for the run/seq
-//!   readers and writers, driving the engine's task-retry tests.
+//!   readers and writers (and the block-frame layer), driving the
+//!   engine's task-retry tests.
+//!
+//! Every layout is specified byte-by-byte in `docs/FORMATS.md` at the
+//! repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blockcodec;
 pub mod btree;
 pub mod colfile;
 pub mod colgroups;
@@ -38,6 +46,7 @@ pub mod runfile;
 pub mod seqfile;
 pub mod varint;
 
+pub use blockcodec::{BlockCodec, BlockReader, BlockWriter, ShuffleCompression};
 pub use btree::{BTreeIndex, BTreeScanner, BTreeStats, BTreeWriter, ScanBound};
 pub use colfile::{write_projected, ProjectedFile};
 pub use colgroups::{write_column_groups, ColumnGroupReader, ColumnGroups};
@@ -45,5 +54,5 @@ pub use delta::{DeltaFileReader, DeltaFileWriter};
 pub use dict::{DictFileReader, DictFileWriter, Dictionary};
 pub use error::{Result, StorageError};
 pub use fault::{IoFaults, IoSite};
-pub use runfile::{RunFileReader, RunFileWriter};
+pub use runfile::{RunFileReader, RunFileStats, RunFileWriter};
 pub use seqfile::{write_seqfile, SeqFileMeta, SeqFileReader, SeqFileWriter, Split};

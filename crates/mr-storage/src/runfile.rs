@@ -7,14 +7,24 @@
 //! [`Value`] pairs (via
 //! [`rowcodec::encode_value`](crate::rowcodec::encode_value)) behind a
 //! varint length frame, so a reader can stream pairs without loading
-//! the run — Hadoop's `IFile`, minus the checksums.
+//! the run — Hadoop's `IFile`, with its block compression provided by
+//! the [`blockcodec`](crate::blockcodec) layer.
 //!
 //! Layout:
 //!
 //! ```text
 //! magic "MRRN1"
-//! [varint pair_len, encode_value(key) ++ encode_value(value)]*
+//! codec u8                                ← 0 = raw stream, else the
+//!                                           block-frame codec tag
+//! pair stream:
+//!   [varint pair_len, encode_value(key) ++ encode_value(value)]*
 //! ```
+//!
+//! With codec 0 the pair stream follows the header directly; otherwise
+//! it is cut into CRC'd block frames (see `docs/FORMATS.md`). The
+//! record layer is identical either way — compression happens strictly
+//! below it, and a reader discovers the codec from the header, so
+//! merge and compaction never need the writing job's configuration.
 //!
 //! Runs are process-local temp files with the lifetime of one job, so
 //! there is no footer: end-of-file at a frame boundary is end-of-run,
@@ -27,6 +37,7 @@ use std::sync::Arc;
 
 use mr_ir::value::Value;
 
+use crate::blockcodec::{BlockReader, BlockWriter, ShuffleCompression};
 use crate::error::{Result, StorageError};
 use crate::fault::{IoFaults, IoSite};
 use crate::rowcodec::{decode_value, encode_value};
@@ -34,24 +45,40 @@ use crate::varint::{encode_u64, read_u64_from};
 
 const MAGIC: &[u8; 5] = b"MRRN1";
 
+/// Header bytes before the pair stream: magic + codec tag.
+const HEADER_LEN: u64 = 6;
+
 /// Upper bound on one framed pair; larger lengths are treated as
 /// corruption rather than allocated.
 const MAX_PAIR_LEN: u64 = 1 << 30;
 
+/// What [`RunFileWriter::finish`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFileStats {
+    /// Pairs written.
+    pub pairs: u64,
+    /// Logical bytes the record layer produced (header + varint pair
+    /// frames) — the file size a codec-free run would have.
+    pub raw_bytes: u64,
+    /// Physical bytes on disk. Equal to `raw_bytes` without a codec;
+    /// smaller when compression worked.
+    pub file_bytes: u64,
+}
+
 /// Writes one sorted run of `(key, value)` pairs.
 pub struct RunFileWriter {
-    out: BufWriter<File>,
+    out: BlockWriter<BufWriter<File>>,
     pairs: u64,
-    bytes: u64,
     frame: Vec<u8>,
     lenbuf: Vec<u8>,
     faults: Option<Arc<IoFaults>>,
 }
 
 impl RunFileWriter {
-    /// Create (truncate) `path` and write the magic.
+    /// Create (truncate) `path` and write the header (uncompressed
+    /// stream).
     pub fn create(path: impl AsRef<Path>) -> Result<RunFileWriter> {
-        RunFileWriter::create_with_faults(path, None)
+        RunFileWriter::create_with(path, ShuffleCompression::None, None)
     }
 
     /// [`create`](Self::create), with each appended pair counted
@@ -60,12 +87,24 @@ impl RunFileWriter {
         path: impl AsRef<Path>,
         faults: Option<Arc<IoFaults>>,
     ) -> Result<RunFileWriter> {
-        let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(MAGIC)?;
+        RunFileWriter::create_with(path, ShuffleCompression::None, faults)
+    }
+
+    /// Create `path` with the pair stream framed through `compression`
+    /// (and fault counting at [`IoSite::RunWrite`] per pair plus
+    /// [`IoSite::BlockWrite`] per emitted frame).
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        compression: ShuffleCompression,
+        faults: Option<Arc<IoFaults>>,
+    ) -> Result<RunFileWriter> {
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(MAGIC)?;
+        file.write_all(&[compression.stream_tag()])?;
+        let out = BlockWriter::new(file, compression.codec(), faults.clone());
         Ok(RunFileWriter {
             out,
             pairs: 0,
-            bytes: MAGIC.len() as u64,
             frame: Vec::new(),
             lenbuf: Vec::new(),
             faults,
@@ -86,20 +125,26 @@ impl RunFileWriter {
         self.out.write_all(&self.lenbuf)?;
         self.out.write_all(&self.frame)?;
         self.pairs += 1;
-        self.bytes += (self.lenbuf.len() + self.frame.len()) as u64;
         Ok(())
     }
 
-    /// Flush and return `(pairs, file bytes)` written.
-    pub fn finish(mut self) -> Result<(u64, u64)> {
-        self.out.flush()?;
-        Ok((self.pairs, self.bytes))
+    /// Flush and return the pair/byte accounting.
+    pub fn finish(mut self) -> Result<RunFileStats> {
+        self.out.flush_block()?;
+        let raw_bytes = HEADER_LEN + self.out.raw_bytes();
+        let file_bytes = HEADER_LEN + self.out.written_bytes();
+        self.out.get_mut().flush()?;
+        Ok(RunFileStats {
+            pairs: self.pairs,
+            raw_bytes,
+            file_bytes,
+        })
     }
 }
 
 /// Streams the pairs of one run back in file order.
 pub struct RunFileReader {
-    input: BufReader<File>,
+    input: BlockReader<BufReader<File>>,
     path: PathBuf,
     buf: Vec<u8>,
     pairs_read: u64,
@@ -107,26 +152,29 @@ pub struct RunFileReader {
 }
 
 impl RunFileReader {
-    /// Open `path` and check the magic.
+    /// Open `path` and check the magic; the codec comes from the
+    /// header, so compressed and raw runs open the same way.
     pub fn open(path: impl AsRef<Path>) -> Result<RunFileReader> {
         RunFileReader::open_with_faults(path, None)
     }
 
     /// [`open`](Self::open), with each pair read counted against
-    /// `faults` ([`IoSite::RunRead`]).
+    /// `faults` ([`IoSite::RunRead`]; compressed runs also count
+    /// [`IoSite::BlockRead`] per frame).
     pub fn open_with_faults(
         path: impl AsRef<Path>,
         faults: Option<Arc<IoFaults>>,
     ) -> Result<RunFileReader> {
         let path = path.as_ref().to_path_buf();
-        let mut input = BufReader::new(File::open(&path)?);
-        let mut magic = [0u8; 5];
-        input.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        let mut file = BufReader::new(File::open(&path)?);
+        let mut header = [0u8; 6];
+        file.read_exact(&mut header)?;
+        if &header[..5] != MAGIC {
             return Err(StorageError::corrupt("runfile", "bad magic"));
         }
+        let framed = header[5] != 0;
         Ok(RunFileReader {
-            input,
+            input: BlockReader::new(file, framed, faults.clone()),
             path,
             buf: Vec::new(),
             pairs_read: 0,
@@ -189,22 +237,27 @@ mod tests {
         dir.join(format!("{name}-{}", std::process::id()))
     }
 
-    #[test]
-    fn roundtrip_mixed_values() {
-        let path = tmp("roundtrip");
-        let pairs = vec![
+    fn mixed_pairs() -> Vec<(Value, Value)> {
+        vec![
             (Value::Int(-3), Value::str("neg")),
             (Value::Int(0), Value::Null),
             (Value::str("k"), Value::Double(2.5)),
             (Value::bytes([1, 2, 3]), Value::list(vec![Value::Int(9)])),
-        ];
+        ]
+    }
+
+    #[test]
+    fn roundtrip_mixed_values() {
+        let path = tmp("roundtrip");
+        let pairs = mixed_pairs();
         let mut w = RunFileWriter::create(&path).unwrap();
         for (k, v) in &pairs {
             w.append(k, v).unwrap();
         }
-        let (n, bytes) = w.finish().unwrap();
-        assert_eq!(n, 4);
-        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.pairs, 4);
+        assert_eq!(stats.file_bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(stats.raw_bytes, stats.file_bytes, "no codec, no shrink");
 
         let rd = RunFileReader::open(&path).unwrap();
         let back: Vec<(Value, Value)> = rd.map(|p| p.unwrap()).collect();
@@ -212,11 +265,74 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_every_codec() {
+        for codec in ShuffleCompression::ALL {
+            let path = tmp(&format!("codec-{codec}"));
+            let pairs = mixed_pairs();
+            let mut w = RunFileWriter::create_with(&path, codec, None).unwrap();
+            for (k, v) in &pairs {
+                w.append(k, v).unwrap();
+            }
+            let stats = w.finish().unwrap();
+            assert_eq!(stats.pairs, 4, "{codec}");
+            assert_eq!(
+                stats.file_bytes,
+                std::fs::metadata(&path).unwrap().len(),
+                "{codec}"
+            );
+            let back: Vec<(Value, Value)> = RunFileReader::open(&path)
+                .unwrap()
+                .map(|p| p.unwrap())
+                .collect();
+            assert_eq!(back, pairs, "{codec}");
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_keys() {
+        // A sorted low-cardinality run: the shape spills actually have.
+        let pairs: Vec<(Value, Value)> = (0..4000)
+            .map(|i| {
+                (
+                    Value::str(format!("http://site/{:02}", i / 500)),
+                    Value::Int(i % 7),
+                )
+            })
+            .collect();
+        let mut sizes = std::collections::HashMap::new();
+        for codec in ShuffleCompression::ALL {
+            let path = tmp(&format!("shrink-{codec}"));
+            let mut w = RunFileWriter::create_with(&path, codec, None).unwrap();
+            for (k, v) in &pairs {
+                w.append(k, v).unwrap();
+            }
+            let stats = w.finish().unwrap();
+            let back: Vec<(Value, Value)> = RunFileReader::open(&path)
+                .unwrap()
+                .map(|p| p.unwrap())
+                .collect();
+            assert_eq!(back, pairs, "{codec}");
+            sizes.insert(codec, (stats.raw_bytes, stats.file_bytes));
+        }
+        let (raw, none_file) = sizes[&ShuffleCompression::None];
+        assert_eq!(raw, none_file);
+        let (_, dict_file) = sizes[&ShuffleCompression::Dict];
+        let (_, delta_file) = sizes[&ShuffleCompression::Delta];
+        assert!(dict_file * 3 < raw, "dict {dict_file} vs raw {raw}");
+        assert!(delta_file * 2 < raw, "delta {delta_file} vs raw {raw}");
+    }
+
+    #[test]
     fn empty_run() {
-        let path = tmp("empty");
-        let (n, _) = RunFileWriter::create(&path).unwrap().finish().unwrap();
-        assert_eq!(n, 0);
-        assert_eq!(RunFileReader::open(&path).unwrap().count(), 0);
+        for codec in ShuffleCompression::ALL {
+            let path = tmp(&format!("empty-{codec}"));
+            let stats = RunFileWriter::create_with(&path, codec, None)
+                .unwrap()
+                .finish()
+                .unwrap();
+            assert_eq!(stats.pairs, 0);
+            assert_eq!(RunFileReader::open(&path).unwrap().count(), 0);
+        }
     }
 
     #[test]
@@ -228,34 +344,68 @@ mod tests {
 
     #[test]
     fn truncation_inside_frame_detected() {
-        let path = tmp("trunc");
-        let mut w = RunFileWriter::create(&path).unwrap();
-        w.append(&Value::str("key"), &Value::str("a long enough value"))
-            .unwrap();
+        for codec in [ShuffleCompression::None, ShuffleCompression::Dict] {
+            let path = tmp(&format!("trunc-{codec}"));
+            let mut w = RunFileWriter::create_with(&path, codec, None).unwrap();
+            w.append(&Value::str("key"), &Value::str("a long enough value"))
+                .unwrap();
+            w.finish().unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+            let mut rd = RunFileReader::open(&path).unwrap();
+            assert!(rd.next().unwrap().is_err(), "{codec}");
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_frame_is_typed_not_garbage() {
+        let path = tmp("corrupt-frame");
+        let mut w = RunFileWriter::create_with(&path, ShuffleCompression::Dict, None).unwrap();
+        for i in 0..2000i64 {
+            w.append(&Value::Int(i / 100), &Value::str("vvvvvvvv"))
+                .unwrap();
+        }
         w.finish().unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        let mut rd = RunFileReader::open(&path).unwrap();
-        assert!(rd.next().unwrap().is_err());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut saw_error = false;
+        for item in RunFileReader::open(&path).unwrap() {
+            match item {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(matches!(e, StorageError::Corrupt { .. }), "{e}");
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            saw_error,
+            "a flipped bit must fail the CRC, not pass through"
+        );
     }
 
     #[test]
     fn large_run_streams() {
-        let path = tmp("large");
-        let mut w = RunFileWriter::create(&path).unwrap();
-        for i in 0..10_000i64 {
-            w.append(&Value::Int(i), &Value::str(format!("v{i}")))
-                .unwrap();
+        for codec in [ShuffleCompression::None, ShuffleCompression::Delta] {
+            let path = tmp(&format!("large-{codec}"));
+            let mut w = RunFileWriter::create_with(&path, codec, None).unwrap();
+            for i in 0..10_000i64 {
+                w.append(&Value::Int(i), &Value::str(format!("v{i}")))
+                    .unwrap();
+            }
+            w.finish().unwrap();
+            let mut rd = RunFileReader::open(&path).unwrap();
+            let mut count = 0i64;
+            for item in &mut rd {
+                let (k, _) = item.unwrap();
+                assert_eq!(k, Value::Int(count));
+                count += 1;
+            }
+            assert_eq!(count, 10_000);
+            assert_eq!(rd.pairs_read(), 10_000);
         }
-        w.finish().unwrap();
-        let mut rd = RunFileReader::open(&path).unwrap();
-        let mut count = 0i64;
-        for item in &mut rd {
-            let (k, _) = item.unwrap();
-            assert_eq!(k, Value::Int(count));
-            count += 1;
-        }
-        assert_eq!(count, 10_000);
-        assert_eq!(rd.pairs_read(), 10_000);
     }
 }

@@ -7,15 +7,24 @@
 //! footer that lets the execution fabric cut the file into input splits
 //! without scanning it.
 //!
-//! Layout:
+//! Layout (uncompressed, magic `MRSQ1`):
 //!
 //! ```text
 //! magic "MRSQ1"
 //! varint header_len, header = encode_schema(schema)
 //! [varint row_len, row_bytes]*            ← the data
 //! footer: varint n_blocks, n_blocks × (varint offset, varint count)
-//!         varint record_count, varint footer_len, magic "MRSQF"
+//!         varint record_count, footer_len u64 LE, magic "MRSQF"
 //! ```
+//!
+//! The block-compressed variant (magic `MRSQ2`) inserts a codec byte
+//! after the magic and routes the row stream — only the row stream;
+//! header and footer stay raw — through the
+//! [`blockcodec`](crate::blockcodec) frame layer. The writer forces a
+//! frame boundary at every sparse-index block, so the footer's byte
+//! offsets land on frame starts and input splits seek exactly as they
+//! do in the uncompressed format. Readers pick the variant from the
+//! magic; callers never declare it.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -25,12 +34,14 @@ use std::sync::Arc;
 use mr_ir::record::Record;
 use mr_ir::schema::Schema;
 
+use crate::blockcodec::{BlockReader, BlockWriter, ShuffleCompression};
 use crate::error::{Result, StorageError};
 use crate::fault::{IoFaults, IoSite};
 use crate::rowcodec::{decode_row, decode_schema, encode_row, encode_schema};
 use crate::varint::{decode_u64, encode_u64, read_u64_from};
 
 const MAGIC: &[u8; 5] = b"MRSQ1";
+const MAGIC_COMPRESSED: &[u8; 5] = b"MRSQ2";
 const FOOTER_MAGIC: &[u8; 5] = b"MRSQF";
 
 /// Upper bound on a single serialized row; lengths beyond this are
@@ -43,9 +54,10 @@ const BLOCK: u64 = 4096;
 
 /// Writes a sequence file.
 pub struct SeqFileWriter {
-    out: BufWriter<File>,
+    out: BlockWriter<BufWriter<File>>,
     schema: Arc<Schema>,
-    offset: u64,
+    /// Physical offset where the row region starts.
+    data_start: u64,
     count: u64,
     blocks: Vec<(u64, u64)>, // (byte offset, records before block)
     row_buf: Vec<u8>,
@@ -56,7 +68,7 @@ pub struct SeqFileWriter {
 impl SeqFileWriter {
     /// Create (truncate) `path` and write the header.
     pub fn create(path: impl AsRef<Path>, schema: Arc<Schema>) -> Result<SeqFileWriter> {
-        SeqFileWriter::create_with_faults(path, schema, None)
+        SeqFileWriter::create_with(path, schema, ShuffleCompression::None, None)
     }
 
     /// [`create`](Self::create), with each appended record counted
@@ -66,19 +78,50 @@ impl SeqFileWriter {
         schema: Arc<Schema>,
         faults: Option<Arc<IoFaults>>,
     ) -> Result<SeqFileWriter> {
-        let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(MAGIC)?;
+        SeqFileWriter::create_with(path, schema, ShuffleCompression::None, faults)
+    }
+
+    /// Create `path` with the row stream block-compressed by `codec`
+    /// (the `MRSQ2` variant; [`ShuffleCompression::None`] writes the
+    /// plain format byte-for-byte).
+    pub fn create_with_codec(
+        path: impl AsRef<Path>,
+        schema: Arc<Schema>,
+        codec: ShuffleCompression,
+    ) -> Result<SeqFileWriter> {
+        SeqFileWriter::create_with(path, schema, codec, None)
+    }
+
+    /// The general constructor: codec plus fault counting
+    /// ([`IoSite::SeqWrite`] per record, [`IoSite::BlockWrite`] per
+    /// compressed frame).
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        schema: Arc<Schema>,
+        codec: ShuffleCompression,
+        faults: Option<Arc<IoFaults>>,
+    ) -> Result<SeqFileWriter> {
+        let mut file = BufWriter::new(File::create(path)?);
+        let compressed = codec != ShuffleCompression::None;
+        let mut data_start = MAGIC.len() as u64;
+        if compressed {
+            file.write_all(MAGIC_COMPRESSED)?;
+            file.write_all(&[codec.stream_tag()])?;
+            data_start += 1;
+        } else {
+            file.write_all(MAGIC)?;
+        }
         let mut header = Vec::new();
         encode_schema(&schema, &mut header);
         let mut lenbuf = Vec::new();
         encode_u64(header.len() as u64, &mut lenbuf);
-        out.write_all(&lenbuf)?;
-        out.write_all(&header)?;
-        let offset = (MAGIC.len() + lenbuf.len() + header.len()) as u64;
+        file.write_all(&lenbuf)?;
+        file.write_all(&header)?;
+        data_start += (lenbuf.len() + header.len()) as u64;
         Ok(SeqFileWriter {
-            out,
+            out: BlockWriter::new(file, codec.codec(), faults.clone()),
             schema,
-            offset,
+            data_start,
             count: 0,
             blocks: Vec::new(),
             row_buf: Vec::new(),
@@ -99,7 +142,12 @@ impl SeqFileWriter {
             f.check(IoSite::SeqWrite)?;
         }
         if self.count.is_multiple_of(BLOCK) {
-            self.blocks.push((self.offset, self.count));
+            // A split point: force a frame boundary so the recorded
+            // byte offset is seekable in the compressed variant too
+            // (no-op without a codec).
+            self.out.flush_block()?;
+            self.blocks
+                .push((self.data_start + self.out.written_bytes(), self.count));
         }
         self.row_buf.clear();
         encode_row(record, &mut self.row_buf)?;
@@ -107,7 +155,6 @@ impl SeqFileWriter {
         encode_u64(self.row_buf.len() as u64, &mut lenbuf);
         self.out.write_all(&lenbuf)?;
         self.out.write_all(&self.row_buf)?;
-        self.offset += (lenbuf.len() + self.row_buf.len()) as u64;
         self.count += 1;
         Ok(())
     }
@@ -121,12 +168,16 @@ impl SeqFileWriter {
             encode_u64(*before, &mut footer);
         }
         encode_u64(self.count, &mut footer);
+        // Close the framed row region; the footer is raw so the reader
+        // can find it from the end without decoding anything.
+        self.out.flush_block()?;
+        let inner = self.out.get_mut();
         // footer_len counts everything before itself, fixed-width so the
         // reader can find it from the end.
-        self.out.write_all(&footer)?;
-        self.out.write_all(&(footer.len() as u64).to_le_bytes())?;
-        self.out.write_all(FOOTER_MAGIC)?;
-        self.out.flush()?;
+        inner.write_all(&footer)?;
+        inner.write_all(&(footer.len() as u64).to_le_bytes())?;
+        inner.write_all(FOOTER_MAGIC)?;
+        inner.flush()?;
         self.finished = true;
         Ok(self.count)
     }
@@ -147,6 +198,9 @@ pub struct SeqFileMeta {
     pub data_start: u64,
     /// Sparse block index: (byte offset, records before).
     pub blocks: Vec<(u64, u64)>,
+    /// Whether the row region is block-compressed (the `MRSQ2`
+    /// variant) — split offsets then point at frame starts.
+    pub framed: bool,
 }
 
 /// One input split: a byte range plus how many records it holds.
@@ -167,21 +221,30 @@ impl SeqFileMeta {
 
         let mut magic = [0u8; 5];
         f.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(StorageError::corrupt("seqfile", "bad magic"));
+        let framed = match &magic {
+            m if m == MAGIC => false,
+            m if m == MAGIC_COMPRESSED => true,
+            _ => return Err(StorageError::corrupt("seqfile", "bad magic")),
+        };
+        let mut header_at = 5u64;
+        if framed {
+            // Codec byte (informational: each frame names its own).
+            let mut codec = [0u8; 1];
+            f.read_exact(&mut codec)?;
+            header_at += 1;
         }
         // Header length varint: read a small chunk.
-        let mut head = vec![0u8; 10.min((file_size - 5) as usize)];
+        let mut head = vec![0u8; 10.min((file_size - header_at) as usize)];
         f.read_exact(&mut head)?;
         let (header_len, n) = decode_u64(&head)?;
         if header_len > MAX_ROW_LEN {
             return Err(StorageError::corrupt("seqfile", "header implausibly large"));
         }
-        f.seek(SeekFrom::Start((5 + n) as u64))?;
+        f.seek(SeekFrom::Start(header_at + n as u64))?;
         let mut header = vec![0u8; header_len as usize];
         f.read_exact(&mut header)?;
         let (schema, _) = decode_schema(&header)?;
-        let data_start = (5 + n) as u64 + header_len;
+        let data_start = header_at + n as u64 + header_len;
 
         // Footer: fixed 8-byte length + 5-byte magic at the very end.
         if file_size < data_start + 13 {
@@ -218,6 +281,7 @@ impl SeqFileMeta {
             file_size,
             data_start,
             blocks,
+            framed,
         })
     }
 
@@ -265,7 +329,7 @@ impl SeqFileMeta {
         let mut f = BufReader::new(File::open(&self.path)?);
         f.seek(SeekFrom::Start(split.offset))?;
         Ok(SeqFileReader {
-            input: f,
+            input: BlockReader::new(f, self.framed, faults.clone()),
             schema: Arc::clone(&self.schema),
             remaining: split.records,
             bytes_read: 0,
@@ -285,7 +349,7 @@ impl SeqFileMeta {
 
 /// Iterates the records of one split.
 pub struct SeqFileReader {
-    input: BufReader<File>,
+    input: BlockReader<BufReader<File>>,
     schema: Arc<Schema>,
     remaining: u64,
     bytes_read: u64,
@@ -347,7 +411,17 @@ pub fn write_seqfile(
     schema: Arc<Schema>,
     records: impl IntoIterator<Item = Record>,
 ) -> Result<u64> {
-    let mut w = SeqFileWriter::create(path, schema)?;
+    write_seqfile_with(path, schema, ShuffleCompression::None, records)
+}
+
+/// [`write_seqfile`] with the row stream block-compressed by `codec`.
+pub fn write_seqfile_with(
+    path: impl AsRef<Path>,
+    schema: Arc<Schema>,
+    codec: ShuffleCompression,
+    records: impl IntoIterator<Item = Record>,
+) -> Result<u64> {
+    let mut w = SeqFileWriter::create_with_codec(path, schema, codec)?;
     for r in records {
         w.append(&r)?;
     }
@@ -435,6 +509,80 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn compressed_roundtrip_every_codec() {
+        let s = schema();
+        let records = make_records(&s, 500);
+        for codec in ShuffleCompression::ALL {
+            let path = tmp(&format!("comp-roundtrip-{codec}"));
+            let n = write_seqfile_with(&path, Arc::clone(&s), codec, records.clone()).unwrap();
+            assert_eq!(n, 500);
+            let meta = SeqFileMeta::open(&path).unwrap();
+            assert_eq!(meta.framed, codec != ShuffleCompression::None, "{codec}");
+            assert_eq!(meta.record_count, 500);
+            let back: Vec<Record> = meta.read_all().unwrap().map(|r| r.unwrap()).collect();
+            assert_eq!(back, records, "{codec}");
+        }
+    }
+
+    #[test]
+    fn compressed_splits_seek_to_frame_boundaries() {
+        let s = schema();
+        let n = (super::BLOCK * 3 + 77) as usize;
+        let records = make_records(&s, n);
+        for codec in [ShuffleCompression::Dict, ShuffleCompression::Delta] {
+            let path = tmp(&format!("comp-splits-{codec}"));
+            write_seqfile_with(&path, Arc::clone(&s), codec, records.clone()).unwrap();
+            let meta = SeqFileMeta::open(&path).unwrap();
+            assert_eq!(meta.blocks.len(), 4, "{codec}");
+            for nsplits in [1usize, 2, 4, 7] {
+                let splits = meta.splits(nsplits);
+                let mut seen = Vec::new();
+                for sp in &splits {
+                    for r in meta.read_split(sp).unwrap() {
+                        seen.push(r.unwrap().get("rank").unwrap().as_int().unwrap());
+                    }
+                }
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    (0..n as i64).collect::<Vec<_>>(),
+                    "{codec} nsplits={nsplits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_repetitive_rows() {
+        let s = schema();
+        // Low-cardinality URLs: exactly the redundancy dict exploits.
+        let records: Vec<Record> = (0..5000)
+            .map(|i| {
+                record(
+                    &s,
+                    vec![
+                        format!("http://popular.example.com/{}", i % 8).into(),
+                        Value::Int(i % 16),
+                    ],
+                )
+            })
+            .collect();
+        let plain_path = tmp("comp-shrink-plain");
+        let dict_path = tmp("comp-shrink-dict");
+        write_seqfile(&plain_path, Arc::clone(&s), records.clone()).unwrap();
+        write_seqfile_with(
+            &dict_path,
+            Arc::clone(&s),
+            ShuffleCompression::Dict,
+            records,
+        )
+        .unwrap();
+        let plain = std::fs::metadata(&plain_path).unwrap().len();
+        let dict = std::fs::metadata(&dict_path).unwrap().len();
+        assert!(dict * 3 < plain, "dict {dict} vs plain {plain}");
     }
 
     #[test]

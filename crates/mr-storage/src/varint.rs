@@ -4,6 +4,23 @@
 //! relies on: "storing just small deltas, when combined with a
 //! size-sensitive representation, can yield large storage savings"
 //! (§2.1).
+//!
+//! # Example
+//!
+//! Small magnitudes — either sign — stay small on disk:
+//!
+//! ```
+//! use mr_storage::varint::{decode_i64, encode_i64, encoded_len_i64};
+//!
+//! let mut buf = Vec::new();
+//! encode_i64(-2, &mut buf);
+//! assert_eq!(buf.len(), 1, "zig-zag keeps -2 to one byte");
+//! assert_eq!(encoded_len_i64(i64::MAX), 10);
+//!
+//! let (value, used) = decode_i64(&buf)?;
+//! assert_eq!((value, used), (-2, 1));
+//! # Ok::<(), mr_storage::StorageError>(())
+//! ```
 
 use crate::error::{Result, StorageError};
 

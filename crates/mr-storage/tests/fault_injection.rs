@@ -100,8 +100,8 @@ fn run_writer_fails_scheduled_append() {
     w.append(&Value::Int(1), &Value::Null).unwrap();
     assert!(w.append(&Value::Int(2), &Value::Null).is_err());
     // The failed append wrote nothing; the file holds the first two.
-    let (pairs, _) = w.finish().unwrap();
-    assert_eq!(pairs, 2);
+    let stats = w.finish().unwrap();
+    assert_eq!(stats.pairs, 2);
     let back: Vec<_> = RunFileReader::open(&path)
         .unwrap()
         .map(|p| p.unwrap())
@@ -252,5 +252,123 @@ proptest! {
             }
         }
         std::fs::remove_file(&corrupt).ok();
+    }
+}
+
+// ---- the block-compressed variants -------------------------------------
+
+use mr_storage::blockcodec::ShuffleCompression;
+use mr_storage::seqfile::write_seqfile_with;
+
+/// The block layer has its own injection sites: a scheduled
+/// `block-read` fault fires inside a *compressed* run stream (where
+/// the record-level `run-read` site alone could never model a frame
+/// decode failure), once, and a retry proceeds past it.
+#[test]
+fn block_read_fault_fires_inside_compressed_run() {
+    let path = tmp("io-block-read");
+    let mut w = RunFileWriter::create_with(&path, ShuffleCompression::Dict, None).unwrap();
+    for i in 0..50i64 {
+        w.append(&Value::Int(i / 10), &Value::str("payload"))
+            .unwrap();
+    }
+    w.finish().unwrap();
+
+    let faults = Arc::new(IoFaults::new().with_fault(IoSite::BlockRead, 0));
+    let mut rd = RunFileReader::open_with_faults(&path, Some(Arc::clone(&faults))).unwrap();
+    let err = rd.next().unwrap().unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "{err}");
+    assert!(err.to_string().contains("block-read"), "{err}");
+
+    // Disarmed on retry: the same handle now reads the run end-to-end.
+    let rd = RunFileReader::open_with_faults(&path, Some(faults)).unwrap();
+    let pairs: Vec<_> = rd.collect::<Result<_, _>>().unwrap();
+    assert_eq!(pairs.len(), 50);
+}
+
+/// A scheduled `block-write` fault fails a compressed spill write; the
+/// record-layer writer surfaces it as a storage error, not a panic.
+#[test]
+fn block_write_fault_fails_compressed_run_write() {
+    let path = tmp("io-block-write");
+    let faults = Arc::new(IoFaults::new().with_fault(IoSite::BlockWrite, 0));
+    let mut w = RunFileWriter::create_with(&path, ShuffleCompression::Delta, Some(faults)).unwrap();
+    // Fill past one block so a frame must be emitted mid-append.
+    let big = "x".repeat(4096);
+    let mut failed = false;
+    for i in 0..64i64 {
+        if w.append(&Value::Int(i), &Value::str(&big)).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "the armed frame write must fail an append");
+}
+
+/// A corrupted frame inside a compressed sequence file is a typed
+/// `Corrupt` error at read time — never silently-truncated records.
+#[test]
+fn corrupt_compressed_seqfile_frame_is_typed() {
+    let s = schema();
+    let path = tmp("corrupt-seq-frame");
+    let records: Vec<_> = (0..2000)
+        .map(|i| record(&s, vec![format!("row{}", i % 5).into(), Value::Int(i)]))
+        .collect();
+    write_seqfile_with(&path, Arc::clone(&s), ShuffleCompression::Dict, records).unwrap();
+
+    let meta = SeqFileMeta::open(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip a byte in the middle of the first data frame.
+    let at = meta.data_start as usize + 200;
+    bytes[at] ^= 0x08;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let meta = SeqFileMeta::open(&path).unwrap();
+    let mut clean = 0u64;
+    let mut typed_corruption = false;
+    for item in meta.read_all().unwrap() {
+        match item {
+            Ok(_) => clean += 1,
+            Err(e) => {
+                assert!(matches!(e, StorageError::Corrupt { .. }), "{e}");
+                typed_corruption = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        typed_corruption,
+        "flip must be detected (read {clean} rows first)"
+    );
+    assert!(
+        clean < meta.record_count,
+        "corruption cannot read as complete data"
+    );
+}
+
+/// Random bytes never panic the compressed-seqfile reader either.
+#[test]
+fn compressed_seqfile_survives_random_prefix_corruption() {
+    let s = schema();
+    let path = tmp("fuzz-comp-seq");
+    let records: Vec<_> = (0..300)
+        .map(|i| record(&s, vec![format!("r{i}").into(), Value::Int(i)]))
+        .collect();
+    write_seqfile_with(&path, Arc::clone(&s), ShuffleCompression::Delta, records).unwrap();
+    let valid = std::fs::read(&path).unwrap();
+    for cut in [7usize, 9, 30, valid.len() / 2, valid.len() - 5] {
+        let mut mangled = valid.clone();
+        mangled.truncate(cut);
+        mangled.extend_from_slice(&valid[..(valid.len() - cut).min(64)]);
+        std::fs::write(&path, &mangled).unwrap();
+        if let Ok(meta) = SeqFileMeta::open(&path) {
+            if let Ok(reader) = meta.read_all() {
+                for item in reader.take(1000) {
+                    if item.is_err() {
+                        break;
+                    }
+                }
+            }
+        }
     }
 }

@@ -98,6 +98,10 @@ pub struct WebPagesConfig {
     pub zipf_s: f64,
     /// RNG seed, for reproducible experiments.
     pub seed: u64,
+    /// Block codec for the written file
+    /// ([`mr_storage::ShuffleCompression`]); the default writes the
+    /// plain seqfile format.
+    pub codec: mr_storage::ShuffleCompression,
 }
 
 impl Default for WebPagesConfig {
@@ -108,6 +112,7 @@ impl Default for WebPagesConfig {
             links_per_page: 5,
             zipf_s: 1.0,
             seed: 42,
+            codec: Default::default(),
         }
     }
 }
@@ -149,7 +154,7 @@ pub fn generate_webpages(path: impl AsRef<Path>, cfg: &WebPagesConfig) -> mr_sto
     let schema = webpages_schema();
     let zipf = Zipf::new(cfg.pages.max(1), cfg.zipf_s);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut w = SeqFileWriter::create(path, schema)?;
+    let mut w = SeqFileWriter::create_with_codec(path, schema, cfg.codec)?;
     for i in 0..cfg.pages {
         w.append(&gen_page(i, cfg, &zipf, &mut rng))?;
     }
@@ -177,6 +182,10 @@ pub struct UserVisitsConfig {
     /// combining cannot help; a small value produces the
     /// low-cardinality group-bys where it collapses the shuffle.
     pub source_ips: usize,
+    /// Block codec for the written file
+    /// ([`mr_storage::ShuffleCompression`]); the default writes the
+    /// plain seqfile format.
+    pub codec: mr_storage::ShuffleCompression,
 }
 
 impl Default for UserVisitsConfig {
@@ -190,6 +199,7 @@ impl Default for UserVisitsConfig {
             date_end: 978_307_200,
             seed: 43,
             source_ips: 0,
+            codec: Default::default(),
         }
     }
 }
@@ -249,7 +259,7 @@ pub fn generate_uservisits(
     let schema = uservisits_schema();
     let zipf = Zipf::new(cfg.pages.max(1), cfg.zipf_s);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut w = SeqFileWriter::create(path, schema)?;
+    let mut w = SeqFileWriter::create_with_codec(path, schema, cfg.codec)?;
     for _ in 0..cfg.visits {
         w.append(&gen_visit(cfg, &zipf, &mut rng))?;
     }
