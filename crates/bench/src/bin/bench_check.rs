@@ -1,0 +1,274 @@
+//! The bench-regression gate: compare freshly generated
+//! `BENCH_<name>.json` documents against the baselines committed at the
+//! repo root and fail on a regression.
+//!
+//! Two field families gate, matched anywhere in the document tree so
+//! every bench's schema participates without registration:
+//!
+//! * `records_per_sec` — throughput; the current value must not fall
+//!   more than 25% below baseline;
+//! * `alloc_count` / `alloc_bytes` — the counting-allocator totals;
+//!   machine-independent, so growth beyond 25% fails even when timing
+//!   noise would hide it. Zero baselines (bench built without
+//!   `bench-alloc`) never gate.
+//!
+//! Timing fields (`*_secs`) are machine-dependent and are reported for
+//! context only — they never fail the gate.
+//!
+//! Usage: `bench_check --baseline <dir> --current <dir> [names…]`
+//! (default names: shuffle combine compress hotpath). To accept a new
+//! performance floor, rerun with `MANIMAL_BENCH_REBASELINE=1`: the gate
+//! copies the current documents over the baselines and exits green —
+//! commit the updated `BENCH_*.json` files with the change that
+//! justified them. `scripts/bench.sh` reproduces the whole CI gate
+//! locally.
+
+use std::path::{Path, PathBuf};
+
+use mr_json::Json;
+
+/// How far a gated metric may move against us: 25%.
+const TOLERANCE: f64 = 0.25;
+
+const DEFAULT_NAMES: &[&str] = &["shuffle", "combine", "compress", "hotpath"];
+
+/// One gated numeric field extracted from a document, with the JSON
+/// path that locates it (for error messages).
+#[derive(Debug, PartialEq)]
+struct Metric {
+    path: String,
+    value: f64,
+}
+
+/// Walk a document collecting every numeric field with the given name.
+/// Arrays extend the path with the row's `cell`/`budget` label when one
+/// exists, so violations name the row a human can find.
+fn collect_metrics(doc: &Json, field: &str, prefix: &str, out: &mut Vec<Metric>) {
+    match doc {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                if k == field {
+                    if let Some(x) = v.as_f64() {
+                        out.push(Metric {
+                            path: format!("{prefix}.{k}"),
+                            value: x,
+                        });
+                    }
+                } else {
+                    collect_metrics(v, field, &format!("{prefix}.{k}"), out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = item
+                    .get("cell")
+                    .or_else(|| item.get("budget"))
+                    .or_else(|| item.get("label"))
+                    .and_then(Json::as_str)
+                    .map(|s| format!("[{s}]"))
+                    .unwrap_or_else(|| format!("[{i}]"));
+                collect_metrics(item, field, &format!("{prefix}{label}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare one baseline/current document pair; returns human-readable
+/// violations (empty = pass).
+fn check_doc(name: &str, baseline: &Json, current: &Json) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Throughput: current must reach at least (1 - TOLERANCE) × baseline.
+    let mut base_rps = Vec::new();
+    let mut cur_rps = Vec::new();
+    collect_metrics(baseline, "records_per_sec", name, &mut base_rps);
+    collect_metrics(current, "records_per_sec", name, &mut cur_rps);
+    for b in &base_rps {
+        let Some(c) = cur_rps.iter().find(|c| c.path == b.path) else {
+            violations.push(format!("{}: metric missing from current run", b.path));
+            continue;
+        };
+        if b.value > 0.0 && c.value < b.value * (1.0 - TOLERANCE) {
+            violations.push(format!(
+                "{}: throughput regressed {:.0} -> {:.0} records/sec ({:+.1}%)",
+                b.path,
+                b.value,
+                c.value,
+                (c.value / b.value - 1.0) * 100.0
+            ));
+        }
+    }
+    // Allocation counters: current must stay within (1 + TOLERANCE) ×
+    // baseline. Zero baselines (feature off) don't gate.
+    for field in ["alloc_count", "alloc_bytes"] {
+        let mut base = Vec::new();
+        let mut cur = Vec::new();
+        collect_metrics(baseline, field, name, &mut base);
+        collect_metrics(current, field, name, &mut cur);
+        for b in &base {
+            let Some(c) = cur.iter().find(|c| c.path == b.path) else {
+                violations.push(format!("{}: metric missing from current run", b.path));
+                continue;
+            };
+            if b.value > 0.0 && c.value > b.value * (1.0 + TOLERANCE) {
+                violations.push(format!(
+                    "{}: allocations grew {:.0} -> {:.0} ({:+.1}%)",
+                    b.path,
+                    b.value,
+                    c.value,
+                    (c.value / b.value - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn load(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    mr_json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_dir = PathBuf::from(".");
+    let mut current_dir = PathBuf::from(".");
+    let mut names: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_dir = PathBuf::from(args.next().expect("--baseline DIR")),
+            "--current" => current_dir = PathBuf::from(args.next().expect("--current DIR")),
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = DEFAULT_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+
+    let rebaseline = std::env::var("MANIMAL_BENCH_REBASELINE").is_ok_and(|v| v == "1");
+    let mut all_violations = Vec::new();
+    for name in &names {
+        let base_path = baseline_dir.join(format!("BENCH_{name}.json"));
+        let cur_path = current_dir.join(format!("BENCH_{name}.json"));
+        if rebaseline {
+            std::fs::copy(&cur_path, &base_path).unwrap_or_else(|e| {
+                panic!(
+                    "rebaseline {} -> {}: {e}",
+                    cur_path.display(),
+                    base_path.display()
+                )
+            });
+            println!("rebaselined {}", base_path.display());
+            continue;
+        }
+        let violations = check_doc(name, &load(&base_path), &load(&cur_path));
+        if violations.is_empty() {
+            println!("OK   {name}");
+        } else {
+            println!("FAIL {name}");
+        }
+        all_violations.extend(violations);
+    }
+    if !all_violations.is_empty() {
+        eprintln!("\nbench gate failed:");
+        for v in &all_violations {
+            eprintln!("  {v}");
+        }
+        eprintln!(
+            "\nIf this change intentionally moves the floor, regenerate the\n\
+             baselines with MANIMAL_BENCH_REBASELINE=1 scripts/bench.sh and\n\
+             commit the updated BENCH_*.json files."
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rps: f64, allocs: i64) -> Json {
+        Json::obj([
+            ("bench", Json::str("hotpath")),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj([
+                    ("cell", Json::str("shuffle/32 pooled")),
+                    ("records_per_sec", Json::Float(rps)),
+                    ("alloc_count", Json::Int(allocs)),
+                    ("total_secs", Json::Float(1.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        assert!(check_doc("hotpath", &doc(1000.0, 500), &doc(1000.0, 500)).is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        assert!(check_doc("hotpath", &doc(1000.0, 500), &doc(800.0, 600)).is_empty());
+    }
+
+    #[test]
+    fn synthetic_throughput_regression_fails() {
+        let violations = check_doc("hotpath", &doc(1000.0, 500), &doc(700.0, 500));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("throughput regressed"),
+            "{violations:?}"
+        );
+        assert!(
+            violations[0].contains("shuffle/32 pooled"),
+            "violation names the row: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn alloc_counter_growth_fails() {
+        let violations = check_doc("hotpath", &doc(1000.0, 500), &doc(1000.0, 700));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("allocations grew"), "{violations:?}");
+    }
+
+    #[test]
+    fn zero_alloc_baseline_never_gates() {
+        // Baseline built without bench-alloc: counters are 0 and must
+        // not gate whatever the current run reports.
+        assert!(check_doc("hotpath", &doc(1000.0, 0), &doc(1000.0, 9999)).is_empty());
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let empty = Json::obj([("bench", Json::str("hotpath"))]);
+        let violations = check_doc("hotpath", &doc(1000.0, 500), &empty);
+        assert!(
+            violations.iter().any(|v| v.contains("missing")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn timing_fields_do_not_gate() {
+        let slow = {
+            let mut d = doc(1000.0, 500);
+            if let Json::Obj(members) = &mut d {
+                if let Some((_, Json::Arr(rows))) = members.iter_mut().find(|(k, _)| k == "rows") {
+                    if let Json::Obj(row) = &mut rows[0] {
+                        for (k, v) in row.iter_mut() {
+                            if k == "total_secs" {
+                                *v = Json::Float(100.0);
+                            }
+                        }
+                    }
+                }
+            }
+            d
+        };
+        assert!(check_doc("hotpath", &doc(1000.0, 500), &slow).is_empty());
+    }
+}

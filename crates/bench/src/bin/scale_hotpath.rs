@@ -1,0 +1,246 @@
+//! Scale table — the spill/merge hot path's allocation tax and reduce
+//! penalty.
+//!
+//! Not a paper table: this measures what the allocation-free pipeline
+//! buys on the Pavlo aggregation task (`SELECT sourceIP,
+//! SUM(adRevenue) FROM UserVisits GROUP BY sourceIP`), the workload
+//! whose near-distinct keys defeat combining and stress the external
+//! shuffle hardest.
+//!
+//! Cells cross the shuffle mode (fully resident vs a budget of
+//! shuffle/32, which forces deep spilling and a wide merge) with the
+//! buffer-pool configuration (a warm shared pool vs a disabled pool
+//! that re-allocates every loan — the A/B control for the allocation
+//! tax). One extra cell runs the spilling mode with the background
+//! spill writer off (`spill_writer_threads = 0`), attributing the
+//! double-buffering win separately from the pooling win. Every cell's
+//! output is asserted identical.
+//!
+//! Build with `--features bench-alloc` to populate the `alloc_count` /
+//! `alloc_bytes` columns from the counting global allocator; without
+//! the feature they read 0. The derived `reduce_penalty` field —
+//! reduce-phase time at shuffle/32 over reduce-phase time resident,
+//! both on the warm pool — is the headline number the bench gate
+//! tracks.
+
+use std::sync::Arc;
+
+use mr_engine::{run_job, BufferPool, Builtin, InputSpec, JobConfig, JobResult};
+use mr_json::Json;
+use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
+use mr_workloads::pavlo::benchmark2;
+
+struct Cell {
+    label: &'static str,
+    budget_div: Option<usize>,
+    pooled: bool,
+    writer_threads: usize,
+}
+
+fn main() {
+    bench::banner(
+        "Scale — spill/merge hot path: allocation tax and reduce penalty",
+        "SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP.\n\
+         Resident vs shuffle/32 budget, warm buffer pool vs disabled\n\
+         pool, background vs synchronous spill writer. Outputs are\n\
+         asserted identical across all cells; build with\n\
+         --features bench-alloc for live allocation counters.",
+    );
+    let dir = bench::bench_dir("scale-hotpath");
+    let input = dir.join("uservisits.seq");
+    // Floor the workload: below ~80k visits the resident reduce phase
+    // is a few milliseconds and the penalty ratio measures per-run
+    // fixed costs (file opens, thread spawns) instead of pipeline
+    // throughput. The floored smoke run still finishes in seconds.
+    let visits = bench::scaled(80_000).max(80_000);
+    generate_uservisits(
+        &input,
+        &UserVisitsConfig {
+            visits,
+            ..UserVisitsConfig::default()
+        },
+    )
+    .expect("generate uservisits");
+
+    let program = benchmark2();
+    let job = |budget: Option<usize>, pool: &Arc<BufferPool>, writer_threads: usize| {
+        let mut j = JobConfig::ir_job(
+            "revenue-by-ip",
+            InputSpec::SeqFile {
+                path: input.clone(),
+            },
+            program.mapper.clone(),
+            Builtin::Sum,
+        )
+        .with_reducers(4)
+        .with_spill_dir(&dir)
+        .with_buffer_pool(Arc::clone(pool))
+        .with_spill_writer_threads(writer_threads);
+        j.shuffle_buffer_bytes = budget;
+        bench::apply_fault_env(&mut j);
+        j
+    };
+    if let (Some(plan), attempts) = bench::fault_env() {
+        println!("fault drill: {plan} (max {attempts} attempts per task)\n");
+    }
+
+    // Size the spilling budget off the real shuffle volume.
+    let sizing_pool = BufferPool::new();
+    let sizing = run_job(&job(None, &sizing_pool, 1)).expect("sizing run");
+    let shuffle_size = sizing.counters.shuffle_bytes as usize;
+    let budget32 = (shuffle_size / 32).max(64);
+    println!(
+        "shuffle volume: {}; shuffle/32 budget: {}\n",
+        bench::fmt_bytes(shuffle_size as u64),
+        bench::fmt_bytes(budget32 as u64)
+    );
+
+    let cells = [
+        Cell {
+            label: "resident pooled",
+            budget_div: None,
+            pooled: true,
+            writer_threads: 1,
+        },
+        Cell {
+            label: "resident no-pool",
+            budget_div: None,
+            pooled: false,
+            writer_threads: 1,
+        },
+        Cell {
+            label: "shuffle/32 pooled",
+            budget_div: Some(32),
+            pooled: true,
+            writer_threads: 1,
+        },
+        Cell {
+            label: "shuffle/32 no-pool",
+            budget_div: Some(32),
+            pooled: false,
+            writer_threads: 1,
+        },
+        Cell {
+            label: "shuffle/32 sync-writer",
+            budget_div: Some(32),
+            pooled: true,
+            writer_threads: 0,
+        },
+    ];
+
+    // One warm pool shared by every pooled cell, so steady state is
+    // what gets measured; disabled pools are fresh per cell by design.
+    let warm = BufferPool::new();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut measured: Vec<(String, std::time::Duration, JobResult)> = Vec::new();
+    for cell in &cells {
+        let pool = if cell.pooled {
+            Arc::clone(&warm)
+        } else {
+            BufferPool::disabled()
+        };
+        let budget = cell.budget_div.map(|d| (shuffle_size / d).max(64));
+        let (time, result) =
+            bench::time_runs(|| run_job(&job(budget, &pool, cell.writer_threads)).expect("cell"));
+        assert_eq!(
+            result.output, sizing.output,
+            "{}: hot-path cell must match the reference output",
+            cell.label
+        );
+        assert_eq!(pool.outstanding(), 0, "{}: pool leak", cell.label);
+        if budget.is_some() {
+            assert!(
+                result.counters.spill_count > 0,
+                "{}: must spill",
+                cell.label
+            );
+        }
+        let rps = result.counters.map_output_records as f64 / time.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            cell.label.to_string(),
+            format!("{rps:.0}"),
+            result.counters.spill_count.to_string(),
+            result.counters.alloc_count.to_string(),
+            bench::fmt_bytes(result.counters.alloc_bytes),
+            bench::fmt_secs(result.phases.map),
+            bench::fmt_secs(result.phases.reduce),
+            bench::fmt_secs(time),
+        ]);
+        json_rows.push(Json::obj([
+            ("cell", Json::str(cell.label)),
+            (
+                "budget_bytes",
+                budget.map_or(Json::Null, |b| Json::Int(b as i64)),
+            ),
+            ("pooled", Json::Bool(cell.pooled)),
+            ("writer_threads", Json::Int(cell.writer_threads as i64)),
+            ("records_per_sec", Json::Float(rps)),
+            ("spill_count", Json::Int(result.counters.spill_count as i64)),
+            ("alloc_count", Json::Int(result.counters.alloc_count as i64)),
+            ("alloc_bytes", Json::Int(result.counters.alloc_bytes as i64)),
+            ("map_secs", bench::json_secs(result.phases.map)),
+            ("shuffle_secs", bench::json_secs(result.phases.shuffle)),
+            ("reduce_secs", bench::json_secs(result.phases.reduce)),
+            ("total_secs", bench::json_secs(time)),
+        ]));
+        measured.push((cell.label.to_string(), time, result));
+    }
+
+    bench::print_table(
+        &[
+            "Cell",
+            "Recs/sec",
+            "Spills",
+            "Allocs",
+            "Alloc bytes",
+            "Map",
+            "Reduce",
+            "Total",
+        ],
+        &rows,
+    );
+
+    let reduce_secs = |label: &str| {
+        measured
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, _, r)| r.phases.reduce.as_secs_f64())
+            .expect("cell measured")
+    };
+    let alloc_count = |label: &str| {
+        measured
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, _, r)| r.counters.alloc_count)
+            .expect("cell measured")
+    };
+    // The headline: how much slower the spilling reduce is than the
+    // resident reduce, steady state (warm pool, background writer).
+    let reduce_penalty =
+        reduce_secs("shuffle/32 pooled") / reduce_secs("resident pooled").max(1e-9);
+    // The allocation tax the pool removes, measurable only under
+    // bench-alloc (0/0 otherwise, reported as null).
+    let alloc_tax = match (
+        alloc_count("shuffle/32 no-pool"),
+        alloc_count("shuffle/32 pooled"),
+    ) {
+        (taxed, pooled) if pooled > 0 => Some(taxed as f64 / pooled as f64),
+        _ => None,
+    };
+    println!("\nreduce penalty (shuffle/32 vs resident, warm pool): {reduce_penalty:.2}x");
+    if let Some(tax) = alloc_tax {
+        println!("allocation tax removed by pooling (shuffle/32): {tax:.2}x");
+    }
+
+    bench::write_bench_json(
+        "hotpath",
+        Json::obj([
+            ("visits", Json::Int(visits as i64)),
+            ("shuffle_bytes", Json::Int(shuffle_size as i64)),
+            ("reduce_penalty", Json::Float(reduce_penalty)),
+            ("alloc_tax", alloc_tax.map_or(Json::Null, Json::Float)),
+            ("rows", Json::Arr(json_rows)),
+        ]),
+    );
+}

@@ -96,6 +96,8 @@ fn main() {
         combiner: None,
         max_task_attempts: 1,
         fault_plan: None,
+        spill_writer_threads: 1,
+        buffer_pool: None,
     };
 
     let (proj_time, proj_result) = bench::time_runs(|| {

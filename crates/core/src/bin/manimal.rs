@@ -11,6 +11,7 @@
 //!                 [--baseline] [--safe-mode]      # Steps 2+3
 //!                 [--shuffle-buffer BYTES]        # external shuffle budget
 //!                 [--shuffle-codec CODEC]         # compress spill runs
+//!                 [--spill-writer-threads N]      # background spill writers (0 = inline)
 //!                 [--no-combine]                  # disable map-side combining
 //!                 [--max-task-attempts N]         # task-level retries
 //!                 [--fault-spec SPEC]             # deterministic fault drill
@@ -73,6 +74,7 @@ manimal — automatic optimization for MapReduce programs
                   [--reduce-ir REDUCE.mrasm]
                   [--baseline] [--safe-mode] [--shuffle-buffer BYTES]
                   [--shuffle-codec none|raw|dict|delta]
+                  [--spill-writer-threads N]
                   [--no-combine] [--max-task-attempts N]
                   [--fault-spec SPEC]
 
@@ -80,6 +82,11 @@ codecs: --shuffle-codec block-compresses spill runs (dict = LZW
 dictionary frames, delta = stride-delta frames, raw = CRC framing
 only); --codec on generate writes the block-compressed seqfile
 variant. Output is byte-identical under every codec.
+
+shuffle: --shuffle-buffer caps the resident shuffle and spills the
+excess to sorted runs; --spill-writer-threads N overlaps run writing
+with mapping (default 1 = double-buffered, 0 = write inline on the
+map thread). Output is identical for every thread count.
 
 reducers: sum, count, max, min, identity, first, sum-drop-key
 (sum/count/max/min/sum-drop-key declare map-side combiners, engaged
@@ -300,6 +307,7 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
         );
     }
     manimal.shuffle_compression = parse_codec(rest, "--shuffle-codec")?;
+    manimal.spill_writer_threads = parse_num(rest, "--spill-writer-threads", 1)?;
     manimal.max_task_attempts = parse_num(rest, "--max-task-attempts", 1)?.max(1);
     if let Some(spec) = flag_value(rest, "--fault-spec") {
         let plan = manimal::FaultPlan::from_spec(spec).map_err(|e| format!("--fault-spec: {e}"))?;

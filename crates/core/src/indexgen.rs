@@ -284,6 +284,8 @@ impl IndexGenProgram {
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,
+            spill_writer_threads: 1,
+            buffer_pool: None,
         };
         if combine {
             job = job.with_declared_combiner();

@@ -65,6 +65,13 @@ pub struct Counters {
     /// Task attempts started after a failure (map + reduce). A job with
     /// no faults reports 0.
     pub task_retries: AtomicU64,
+    /// Heap allocations performed while the job ran. Populated only
+    /// when the `bench-alloc` feature instruments the global allocator
+    /// (see [`crate::allocstats`]); 0 otherwise. Process-wide, so only
+    /// meaningful for serially-run jobs (the bench harness).
+    pub alloc_count: AtomicU64,
+    /// Heap bytes requested while the job ran (`bench-alloc` only).
+    pub alloc_bytes: AtomicU64,
 }
 
 impl Counters {
@@ -99,6 +106,8 @@ impl Counters {
             map_task_failures: self.map_task_failures.load(Ordering::Relaxed),
             reduce_task_failures: self.reduce_task_failures.load(Ordering::Relaxed),
             task_retries: self.task_retries.load(Ordering::Relaxed),
+            alloc_count: self.alloc_count.load(Ordering::Relaxed),
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -126,6 +135,8 @@ impl Counters {
         Counters::add(&self.map_task_failures, s.map_task_failures);
         Counters::add(&self.reduce_task_failures, s.reduce_task_failures);
         Counters::add(&self.task_retries, s.task_retries);
+        Counters::add(&self.alloc_count, s.alloc_count);
+        Counters::add(&self.alloc_bytes, s.alloc_bytes);
     }
 }
 
@@ -169,6 +180,10 @@ pub struct CounterSnapshot {
     pub reduce_task_failures: u64,
     /// Attempts started after a failure.
     pub task_retries: u64,
+    /// Heap allocations during the job (`bench-alloc` feature only).
+    pub alloc_count: u64,
+    /// Heap bytes requested during the job (`bench-alloc` only).
+    pub alloc_bytes: u64,
 }
 
 impl std::fmt::Display for CounterSnapshot {
@@ -188,7 +203,15 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "reduce output     : {}", self.reduce_output_records)?;
         writeln!(f, "map task failures : {}", self.map_task_failures)?;
         writeln!(f, "red. task failures: {}", self.reduce_task_failures)?;
-        write!(f, "task retries      : {}", self.task_retries)
+        write!(f, "task retries      : {}", self.task_retries)?;
+        if self.alloc_count > 0 {
+            write!(
+                f,
+                "\nheap allocations  : {}\nheap alloc bytes  : {}",
+                self.alloc_count, self.alloc_bytes
+            )?;
+        }
+        Ok(())
     }
 }
 

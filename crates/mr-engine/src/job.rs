@@ -10,6 +10,7 @@ use crate::combine::Combiner;
 use crate::fault::FaultPlan;
 use crate::input::InputSpec;
 use crate::mapper::{IrMapperFactory, MapperFactory};
+use crate::pool::BufferPool;
 use crate::reducer::{Builtin, ReducerFactory};
 
 /// One input plus the mapper that processes it. A job may carry several
@@ -122,6 +123,24 @@ pub struct JobConfig {
     /// A deterministic failure schedule for tests and fault drills
     /// ([`FaultPlan`]); `None` injects nothing.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Background spill-writer threads per map attempt. `1` (the
+    /// default) double-buffers the spill pipeline: a mapper detaches
+    /// its full staging buffer, hands it to the writer thread and keeps
+    /// mapping into a recycled buffer while the spill sorts,
+    /// compresses and flushes in the background. More threads deepen
+    /// the pipeline (useful when compression dominates); `0` restores
+    /// fully synchronous spilling — the pre-pipeline behaviour, and
+    /// the byte-identity reference in the differential tests. Output
+    /// is identical at every setting.
+    pub spill_writer_threads: usize,
+    /// The [`BufferPool`] staging buffers and run-writer scratch
+    /// recycle through. `None` (the default) gives the job a private
+    /// pool; pass a shared pool to keep buffers warm across a sequence
+    /// of jobs (the tuned-vs-baseline bench pairs do). A
+    /// [`BufferPool::disabled`] pool re-allocates on every loan — the
+    /// A/B control the hot-path bench measures the allocation tax
+    /// with.
+    pub buffer_pool: Option<Arc<BufferPool>>,
 }
 
 impl JobConfig {
@@ -147,6 +166,8 @@ impl JobConfig {
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,
+            spill_writer_threads: 1,
+            buffer_pool: None,
         }
     }
 
@@ -212,6 +233,19 @@ impl JobConfig {
     /// Inject the given failure schedule.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the background spill-writer thread count (`0` = spill
+    /// synchronously inside the map loop).
+    pub fn with_spill_writer_threads(mut self, n: usize) -> Self {
+        self.spill_writer_threads = n;
+        self
+    }
+
+    /// Recycle buffers through `pool` instead of a job-private one.
+    pub fn with_buffer_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.buffer_pool = Some(pool);
         self
     }
 }

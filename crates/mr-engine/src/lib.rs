@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod allocstats;
 pub mod combine;
 pub mod counters;
 pub mod error;
@@ -50,9 +51,11 @@ pub mod job;
 pub mod mapper;
 pub mod merge;
 pub mod partition;
+pub mod pool;
 pub mod reducer;
 pub mod runner;
 pub mod spill;
+pub mod spillwriter;
 
 pub use combine::{CombineStrategy, Combiner};
 pub use counters::{CounterSnapshot, Counters};
@@ -61,10 +64,12 @@ pub use fault::{FaultPlan, TaskFault};
 pub use input::{InputSpec, SplitReader};
 pub use job::{InputBinding, JobConfig, OutputSpec};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
-pub use merge::{KWayMerge, RunStream};
+pub use merge::{KWayMerge, LoserTree, RunStream};
 pub use mr_storage::blockcodec::ShuffleCompression;
+pub use pool::{BufferPool, PoolStats};
 pub use reducer::{
     Builtin, FnReducerFactory, IrReducer, IrReducerFactory, Reducer, ReducerFactory,
 };
 pub use runner::{run_job, JobResult, PhaseTimings};
 pub use spill::{AttemptDir, ShuffleBucket, SpillDir, SpillRun};
+pub use spillwriter::{SpillWriter, SpillWriterCfg};

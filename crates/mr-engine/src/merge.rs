@@ -3,12 +3,19 @@
 //! The reduce side of the external shuffle: instead of materializing a
 //! whole partition and sorting it, reduce merges the partition's
 //! spilled runs (see [`crate::spill`]) with the still-resident tail,
-//! one pair at a time, through a binary min-heap holding one head per
-//! run. Key ties break by run index — runs are numbered in spill
-//! (= emission) order and the resident tail is last — so the merged
-//! stream is exactly what a stable in-memory sort of the whole
-//! partition would have produced, and the grouping iterator downstream
-//! cannot tell the two paths apart.
+//! one pair at a time, holding one head per run. Key ties break by run
+//! index — runs are numbered in spill (= emission) order and the
+//! resident tail is last — so the merged stream is exactly what a
+//! stable in-memory sort of the whole partition would have produced,
+//! and the grouping iterator downstream cannot tell the two paths
+//! apart.
+//!
+//! Two interchangeable merge engines implement that contract:
+//! [`LoserTree`] — a tournament tree doing exactly ⌈log₂ k⌉ comparisons
+//! per pair, what the hot path uses — and the original binary-heap
+//! [`KWayMerge`], kept as the executable specification the loser tree
+//! is property-tested against (`tests/loser_tree.rs` asserts the two
+//! produce identical streams on random runs).
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -19,11 +26,12 @@ use std::sync::Arc;
 use mr_ir::value::Value;
 use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
-use mr_storage::runfile::{RunFileReader, RunFileWriter};
+use mr_storage::runfile::{RunFileReader, RunFileStats, RunFileWriter, RunScratch};
 
 use crate::combine::CombineStrategy;
 use crate::counters::Counters;
 use crate::error::{EngineError, Result};
+use crate::pool::BufferPool;
 use crate::spill::SpillRun;
 
 /// The most runs one merge pass opens at once — Hadoop's
@@ -52,6 +60,7 @@ pub const MERGE_FACTOR: usize = 64;
 /// succeeds) — so a retried reduce attempt picks up where the failed
 /// one stopped instead of re-reading deleted files. Intermediate file
 /// names are process-unique, never reusing the name of a live run.
+#[allow(clippy::too_many_arguments)]
 pub fn compact_runs(
     runs: &mut Vec<SpillRun>,
     dir: &Path,
@@ -60,6 +69,7 @@ pub fn compact_runs(
     combine: &CombineStrategy,
     compression: ShuffleCompression,
     io: Option<&Arc<IoFaults>>,
+    pool: &BufferPool,
 ) -> Result<()> {
     while runs.len() > MERGE_FACTOR {
         let source = std::mem::take(runs);
@@ -80,6 +90,7 @@ pub fn compact_runs(
                 combine,
                 compression,
                 io,
+                pool,
             ) {
                 Ok(run) => {
                     next.push(run);
@@ -113,6 +124,7 @@ fn merge_batch(
     combine: &CombineStrategy,
     compression: ShuffleCompression,
     io: Option<&Arc<IoFaults>>,
+    pool: &BufferPool,
 ) -> Result<SpillRun> {
     // Process-unique intermediate names: a retried compaction must
     // never truncate a merged run an earlier pass already produced.
@@ -128,38 +140,20 @@ fn merge_batch(
         )?));
     }
     let path = dir.join(format!("merge-{partition:05}-{unique:08}"));
-    let mut w = RunFileWriter::create_with(&path, compression, io.cloned())?;
-    let mut seen = 0u64;
-    let mut kept = 0u64;
-    match combine.active() {
-        None => {
-            for item in KWayMerge::new(streams)? {
-                let (k, v) = item?;
-                w.append(&k, &v)?;
-            }
+    let scratch = pool.get_scratch();
+    let (stats, seen, kept) = match write_merged(&path, streams, combine, compression, io, scratch)
+    {
+        Ok((stats, scratch, seen, kept)) => {
+            pool.put_scratch(scratch);
+            (stats, seen, kept)
         }
-        Some(combiner) => {
-            let mut cur: Option<(Value, Value)> = None;
-            for item in KWayMerge::new(streams)? {
-                let (k, v) = item?;
-                seen += 1;
-                cur = Some(match cur {
-                    Some((ck, acc)) if ck == k => (ck, combiner.merge(&k, acc, &v)?),
-                    Some((ck, acc)) => {
-                        w.append(&ck, &acc)?;
-                        kept += 1;
-                        (k, v)
-                    }
-                    None => (k, v),
-                });
-            }
-            if let Some((ck, acc)) = cur {
-                w.append(&ck, &acc)?;
-                kept += 1;
-            }
+        Err(e) => {
+            // The dead writer kept the loaned buffers; balance the
+            // loan so pool accounting stays exact on fault paths.
+            pool.put_scratch(RunScratch::new());
+            return Err(e);
         }
-    }
-    let stats = w.finish()?;
+    };
     // Charge counters only after the batch is durable, so a failed
     // batch that is retried cannot double-count.
     if seen > 0 || kept > 0 {
@@ -178,6 +172,53 @@ fn merge_batch(
         raw_bytes: stats.raw_bytes,
         bytes: stats.file_bytes,
     })
+}
+
+/// The fallible core of [`merge_batch`]: merge `streams` through the
+/// loser tree into a new run at `path`, folding on the fly with an
+/// active combiner. Returns the run stats, the reclaimed scratch and
+/// the `(combine_in, combine_out)` pair counts.
+fn write_merged(
+    path: &Path,
+    streams: Vec<RunStream>,
+    combine: &CombineStrategy,
+    compression: ShuffleCompression,
+    io: Option<&Arc<IoFaults>>,
+    scratch: RunScratch,
+) -> Result<(RunFileStats, RunScratch, u64, u64)> {
+    let mut w = RunFileWriter::create_pooled(path, compression, io.cloned(), scratch)?;
+    let mut seen = 0u64;
+    let mut kept = 0u64;
+    match combine.active() {
+        None => {
+            for item in LoserTree::new(streams)? {
+                let (k, v) = item?;
+                w.append(&k, &v)?;
+            }
+        }
+        Some(combiner) => {
+            let mut cur: Option<(Value, Value)> = None;
+            for item in LoserTree::new(streams)? {
+                let (k, v) = item?;
+                seen += 1;
+                cur = Some(match cur {
+                    Some((ck, acc)) if ck == k => (ck, combiner.merge(&k, acc, &v)?),
+                    Some((ck, acc)) => {
+                        w.append(&ck, &acc)?;
+                        kept += 1;
+                        (k, v)
+                    }
+                    None => (k, v),
+                });
+            }
+            if let Some((ck, acc)) = cur {
+                w.append(&ck, &acc)?;
+                kept += 1;
+            }
+        }
+    }
+    let (stats, scratch) = w.finish_reclaim()?;
+    Ok((stats, scratch, seen, kept))
 }
 
 /// One sorted input to the merge.
@@ -302,6 +343,125 @@ impl Iterator for KWayMerge {
     }
 }
 
+/// Sentinel for a tournament node not yet contested during the build.
+const NO_LEAF: usize = usize::MAX;
+
+/// Merges `k` sorted streams through a tournament (loser) tree.
+///
+/// The heap pays up to `2·log₂ k` comparisons per pair (sift-down
+/// compares both children at every level); a loser tree replays only
+/// the popped stream's path — each internal node on it holds the loser
+/// of its subtree's last tournament, so one comparison per level,
+/// `⌈log₂ k⌉` total, decides the next winner. Stream `j` is leaf
+/// `k + j` in the implicit array; `tree[i]` (for `i ≥ 1`) is the leaf
+/// index parked at internal node `i` and `tree[0]` the tournament
+/// winner.
+///
+/// Ordering is *identical* to [`KWayMerge`]: `(key, stream index)`
+/// ascending, an exhausted stream ranking above every live one — the
+/// tie-break that makes external and in-memory shuffles byte-identical.
+pub struct LoserTree {
+    streams: Vec<RunStream>,
+    heads: Vec<Option<(Value, Value)>>,
+    /// `tree[0]`: winner leaf; `tree[1..k]`: parked losers.
+    tree: Vec<usize>,
+    pending_error: Option<EngineError>,
+}
+
+impl LoserTree {
+    /// Prime every stream's head and play the initial tournament.
+    pub fn new(streams: Vec<RunStream>) -> Result<LoserTree> {
+        let k = streams.len();
+        let mut merge = LoserTree {
+            streams,
+            heads: Vec::with_capacity(k),
+            tree: vec![NO_LEAF; k.max(1)],
+            pending_error: None,
+        };
+        for run in 0..k {
+            let head = match merge.streams[run].next_pair() {
+                Some(Ok(pair)) => Some(pair),
+                Some(Err(e)) => return Err(e),
+                None => None,
+            };
+            merge.heads.push(head);
+        }
+        for run in (0..k).rev() {
+            merge.replay(run);
+        }
+        Ok(merge)
+    }
+
+    /// Number of input streams.
+    pub fn width(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Does leaf `a`'s head beat leaf `b`'s? Exhausted heads are
+    /// +infinity; every tie breaks toward the lower stream index, which
+    /// is exactly the [`Head`] ordering of the heap merge.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (Some(x), Some(y)) => match x.0.cmp(&y.0) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Replay leaf `run`'s path to the root: at each node the winner
+    /// advances and the loser stays parked. During the initial build a
+    /// first-visited (empty) node parks the contender and stops — the
+    /// rest of the path is contested by later replays.
+    fn replay(&mut self, run: usize) {
+        let k = self.streams.len();
+        let mut winner = run;
+        let mut node = (k + run) / 2;
+        while node > 0 {
+            match self.tree[node] {
+                NO_LEAF => {
+                    self.tree[node] = winner;
+                    return;
+                }
+                parked if self.beats(parked, winner) => {
+                    self.tree[node] = winner;
+                    winner = parked;
+                }
+                _ => {}
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+}
+
+impl Iterator for LoserTree {
+    type Item = Result<(Value, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.pending_error.take() {
+            return Some(Err(e));
+        }
+        if self.streams.is_empty() {
+            return None;
+        }
+        let winner = self.tree[0];
+        // The winner is the minimum; it is exhausted only when every
+        // stream is.
+        let pair = self.heads[winner].take()?;
+        match self.streams[winner].next_pair() {
+            Some(Ok(next)) => self.heads[winner] = Some(next),
+            Some(Err(e)) => self.pending_error = Some(e),
+            None => {}
+        }
+        self.replay(winner);
+        Some(Ok(pair))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,16 +482,17 @@ mod tests {
             .collect()
     }
 
-    fn write_run(dir: &std::path::Path, seq: usize, pairs: Vec<(Value, Value)>) -> SpillRun {
+    fn write_run(dir: &std::path::Path, seq: usize, mut pairs: Vec<(Value, Value)>) -> SpillRun {
         crate::spill::write_sorted_run(
             dir,
             0,
             seq,
-            pairs,
+            &mut pairs,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             &Counters::new(),
             None,
+            &BufferPool::new(),
         )
         .unwrap()
     }
@@ -385,6 +546,7 @@ mod tests {
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             None,
+            &BufferPool::new(),
         )
         .unwrap();
         assert_eq!(compacted.len(), MERGE_FACTOR, "no compaction round");
@@ -414,6 +576,7 @@ mod tests {
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             None,
+            &BufferPool::new(),
         )
         .unwrap();
         // 65 runs → one merged batch of 64 plus the leftover run.
@@ -452,6 +615,7 @@ mod tests {
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             Some(&io),
+            &BufferPool::new(),
         )
         .unwrap_err();
         assert!(matches!(err, EngineError::Storage(_)), "{err}");
@@ -468,6 +632,7 @@ mod tests {
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             Some(&io),
+            &BufferPool::new(),
         )
         .unwrap();
         assert!(runs.len() <= MERGE_FACTOR);
@@ -572,6 +737,7 @@ mod tests {
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             None,
+            &BufferPool::new(),
         )
         .unwrap();
         assert!(
@@ -592,6 +758,105 @@ mod tests {
         // Sources were deleted; only the intermediate runs remain.
         let files = std::fs::read_dir(dir.path()).unwrap().count();
         assert_eq!(files, compacted.len());
+    }
+
+    fn collect_lt(m: LoserTree) -> Vec<(i64, Value)> {
+        m.map(|p| p.unwrap())
+            .map(|(k, v)| (k.as_int().unwrap(), v))
+            .collect()
+    }
+
+    // The loser-tree suite mirrors the heap tests above: same inputs,
+    // same expectations — the two merge engines are interchangeable.
+
+    #[test]
+    fn loser_tree_merges_three_streams_in_order() {
+        let m = LoserTree::new(vec![
+            mem(vec![(1, "a"), (4, "d"), (7, "g")]),
+            mem(vec![(2, "b"), (5, "e")]),
+            mem(vec![(3, "c"), (6, "f"), (8, "h"), (9, "i")]),
+        ])
+        .unwrap();
+        assert_eq!(m.width(), 3);
+        let out = collect_lt(m);
+        let keys: Vec<i64> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loser_tree_key_ties_break_by_run_index() {
+        let m = LoserTree::new(vec![
+            mem(vec![(1, "run0-a"), (1, "run0-b")]),
+            mem(vec![(1, "run1-a")]),
+            mem(vec![(0, "run2"), (1, "run2-a")]),
+        ])
+        .unwrap();
+        let out = collect_lt(m);
+        assert_eq!(
+            out,
+            vec![
+                (0, Value::str("run2")),
+                (1, Value::str("run0-a")),
+                (1, Value::str("run0-b")),
+                (1, Value::str("run1-a")),
+                (1, Value::str("run2-a")),
+            ]
+        );
+    }
+
+    #[test]
+    fn loser_tree_empty_and_exhausted_streams_ok() {
+        let m = LoserTree::new(vec![mem(vec![]), mem(vec![(1, "x")]), mem(vec![])]).unwrap();
+        assert_eq!(collect_lt(m), vec![(1, Value::str("x"))]);
+        let m = LoserTree::new(vec![]).unwrap();
+        assert_eq!(collect_lt(m), vec![]);
+        let m = LoserTree::new(vec![mem(vec![(2, "only")])]).unwrap();
+        assert_eq!(collect_lt(m), vec![(2, Value::str("only"))]);
+    }
+
+    #[test]
+    fn loser_tree_shared_stream_is_replayable() {
+        let tail: Arc<Vec<(Value, Value)>> = Arc::new(
+            vec![(1i64, "a"), (3, "c")]
+                .into_iter()
+                .map(|(k, v)| (Value::Int(k), Value::str(v)))
+                .collect(),
+        );
+        for _ in 0..2 {
+            let m = LoserTree::new(vec![
+                RunStream::shared(Arc::clone(&tail)),
+                mem(vec![(2, "b")]),
+            ])
+            .unwrap();
+            let keys: Vec<i64> = m.map(|p| p.unwrap().0.as_int().unwrap()).collect();
+            assert_eq!(keys, vec![1, 2, 3]);
+        }
+    }
+
+    /// The executable-spec check at every width that exercises a
+    /// distinct tree shape near powers of two: loser tree ≡ heap on
+    /// file-backed runs with heavy key overlap.
+    #[test]
+    fn loser_tree_matches_heap_at_every_width() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 17] {
+            let dir = crate::spill::SpillDir::create(None, &format!("lt-width-{n}")).unwrap();
+            let (runs, expect) = overlapping_runs(dir.path(), n);
+            let open = |runs: &[SpillRun]| -> Vec<RunStream> {
+                runs.iter()
+                    .map(|r| RunStream::File(RunFileReader::open(&r.path).unwrap()))
+                    .collect()
+            };
+            let tree: Vec<(Value, Value)> = LoserTree::new(open(&runs))
+                .unwrap()
+                .map(|p| p.unwrap())
+                .collect();
+            let heap: Vec<(Value, Value)> = KWayMerge::new(open(&runs))
+                .unwrap()
+                .map(|p| p.unwrap())
+                .collect();
+            assert_eq!(tree, heap, "width {n}");
+            assert_eq!(tree, expect, "width {n} vs stable sort");
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -67,6 +68,7 @@ use mr_storage::fault::IoFaults;
 use mr_storage::runfile::RunFileReader;
 use parking_lot::Mutex as PlMutex;
 
+use crate::allocstats;
 use crate::combine::{pair_bytes, CombineStrategy};
 use crate::counters::Counters;
 use crate::error::{EngineError, Result};
@@ -74,10 +76,12 @@ use crate::fault::FaultPlan;
 use crate::input::SplitReader;
 use crate::job::{JobConfig, OutputSpec};
 use crate::mapper::MapperFactory;
-use crate::merge::{compact_runs, KWayMerge, RunStream};
+use crate::merge::{compact_runs, LoserTree, RunStream};
 use crate::partition::partition;
+use crate::pool::BufferPool;
 use crate::reducer::Reducer;
 use crate::spill::{write_sorted_run, AttemptDir, ShuffleBucket, SpillDir, SpillRun};
+use crate::spillwriter::{SpillWriter, SpillWriterCfg};
 
 /// Where a job's time went, for bench tables that need to attribute
 /// spill cost.
@@ -127,9 +131,11 @@ struct MapCtx<'a> {
     compression: ShuffleCompression,
     fault: Option<&'a FaultPlan>,
     io: Option<&'a Arc<IoFaults>>,
-    shuffle_nanos: &'a AtomicU64,
+    shuffle_nanos: &'a Arc<AtomicU64>,
     counters: &'a Arc<Counters>,
     buckets: &'a [PlMutex<ShuffleBucket>],
+    pool: &'a Arc<BufferPool>,
+    writer_threads: usize,
 }
 
 /// One planned map task. `first_reader` is the split reader opened at
@@ -174,8 +180,9 @@ fn spill_bucket(
     combine: &CombineStrategy,
     compression: ShuffleCompression,
     io: Option<&Arc<IoFaults>>,
+    pool: &BufferPool,
 ) -> Result<()> {
-    let Some((pairs, seq)) = bucket.lock().take_for_spill() else {
+    let Some((mut pairs, seq)) = bucket.lock().take_for_spill() else {
         return Ok(());
     };
     let t = Instant::now();
@@ -183,41 +190,98 @@ fn spill_bucket(
         dir.path(),
         p,
         seq,
-        pairs,
+        &mut pairs,
         combine,
         compression,
         counters,
         io,
+        pool,
     )?;
     shuffle_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
     Counters::add(&counters.spill_count, 1);
     Counters::add(&counters.spilled_records, run.pairs);
     Counters::add(&counters.spill_bytes_raw, run.raw_bytes);
     Counters::add(&counters.spill_bytes_written, run.bytes);
-    bucket.lock().record_run(run);
+    let mut b = bucket.lock();
+    b.record_run(run);
+    // Hand the detached buffer's capacity back to the bucket so the
+    // next absorb starts warm (bucket residents never enter the pool —
+    // their lifecycle is per-bucket, not per-attempt).
+    b.reclaim_resident(pairs);
     Ok(())
 }
 
 /// Run one map attempt: read the split, map, stage, and (with a
-/// budget) spill overfull staging into attempt-scoped runs. Nothing
-/// here touches shared state — all side effects live in the returned
-/// [`MapAttemptOutput`] until [`commit_map_attempt`] publishes them.
+/// budget) spill overfull staging into attempt-scoped runs through the
+/// background [`SpillWriter`]. Nothing here touches shared state — all
+/// side effects live in the returned [`MapAttemptOutput`] until
+/// [`commit_map_attempt`] publishes them.
+///
+/// This wrapper owns the attempt's resource discipline: whatever the
+/// map loop does, the spill writer is joined *before* the attempt
+/// directory can drop (a failing attempt must not delete run files
+/// under an in-flight write) and every pooled buffer is either handed
+/// to the commit or recycled.
 fn run_map_attempt(
     ctx: &MapCtx<'_>,
     task: &mut MapTask,
     attempt: usize,
 ) -> Result<MapAttemptOutput> {
     let acc = Counters::new();
+    let mut staging = Staging::new(ctx.num_reducers, ctx.pool);
+    let mut attempt_dir: Option<AttemptDir> = None;
+    let mut writer: Option<SpillWriter> = None;
+
+    let body = map_attempt_loop(
+        ctx,
+        task,
+        attempt,
+        &acc,
+        &mut staging,
+        &mut attempt_dir,
+        &mut writer,
+    );
+    let runs = match writer {
+        Some(w) => w.finish(),
+        None => Ok(Vec::new()),
+    };
+    let runs = match (body, runs) {
+        (Ok(()), Ok(runs)) => runs,
+        // A writer-side error is the root cause — the loop only saw
+        // the placeholder from a failed submit.
+        (_, Err(e)) | (Err(e), Ok(_)) => {
+            staging.recycle(ctx.pool);
+            return Err(e);
+        }
+    };
+    let (staged, staged_bytes) = staging.into_parts(ctx.pool);
+    Ok(MapAttemptOutput {
+        staged,
+        staged_bytes,
+        runs,
+        acc,
+        _dir: attempt_dir,
+    })
+}
+
+/// The fallible body of a map attempt: the record loop plus the final
+/// fold and counter rollup. Separated from [`run_map_attempt`] so its
+/// `?`-returns cannot skip the writer join / buffer recycling.
+fn map_attempt_loop(
+    ctx: &MapCtx<'_>,
+    task: &mut MapTask,
+    attempt: usize,
+    acc: &Arc<Counters>,
+    staging: &mut Staging,
+    attempt_dir: &mut Option<AttemptDir>,
+    writer: &mut Option<SpillWriter>,
+) -> Result<()> {
     let mut reader = match task.first_reader.take() {
         Some(r) => r,
         None => reopen_split(ctx, task)?,
     };
     let mut mapper = task.mapper.create();
     let fire_at = ctx.fault.and_then(|f| f.map_fault(task.id, attempt));
-
-    let mut staging = Staging::new(ctx.num_reducers);
-    let mut attempt_dir: Option<AttemptDir> = None;
-    let mut runs: Vec<(usize, SpillRun)> = Vec::new();
 
     let mut emit_buf: Vec<(Value, Value)> = Vec::new();
     let mut records = 0u64;
@@ -254,23 +318,15 @@ fn run_map_attempt(
             // touching disk — the cross-flush folding the shared
             // buckets used to provide. Only what folding cannot shrink
             // spills to attempt-scoped runs.
-            staging.fold(ctx.combine, &acc)?;
+            staging.fold(ctx.combine, acc)?;
             if staging.total_bytes >= cap {
-                spill_staging(
-                    ctx,
-                    &acc,
-                    task.id,
-                    attempt,
-                    &mut staging,
-                    &mut attempt_dir,
-                    &mut runs,
-                )?;
+                spill_staging(ctx, acc, task.id, attempt, staging, attempt_dir, writer)?;
             }
         }
     }
     // Final fold: everything left resident enters commit in partial
     // domain, exactly as the old staging flush guaranteed.
-    staging.fold(ctx.combine, &acc)?;
+    staging.fold(ctx.combine, acc)?;
 
     Counters::add(&acc.map_input_records, records);
     Counters::add(&acc.map_invocations, records);
@@ -279,15 +335,7 @@ fn run_map_attempt(
     Counters::add(&acc.side_effects, effects);
     Counters::add(&acc.shuffle_bytes, shuffle_bytes);
     Counters::add(&acc.input_bytes, reader.bytes_read());
-
-    let (staged, staged_bytes) = staging.into_parts();
-    Ok(MapAttemptOutput {
-        staged,
-        staged_bytes,
-        runs,
-        acc,
-        _dir: attempt_dir,
-    })
+    Ok(())
 }
 
 /// A map attempt's task-local staging, partitioned by reducer. Raw
@@ -309,11 +357,16 @@ struct Staging {
 }
 
 impl Staging {
-    fn new(num_reducers: usize) -> Staging {
+    /// Every slot is a pooled loan: `2 × num_reducers` buffers come out
+    /// of the pool here and every one goes back via
+    /// [`into_parts`](Staging::into_parts) (commit puts the staged
+    /// halves after absorbing them) or [`recycle`](Staging::recycle) on
+    /// the error path.
+    fn new(num_reducers: usize, pool: &BufferPool) -> Staging {
         Staging {
-            raw: (0..num_reducers).map(|_| Vec::new()).collect(),
+            raw: (0..num_reducers).map(|_| pool.get_pairs()).collect(),
             raw_bytes: vec![0; num_reducers],
-            partials: (0..num_reducers).map(|_| Vec::new()).collect(),
+            partials: (0..num_reducers).map(|_| pool.get_pairs()).collect(),
             partial_bytes: vec![0; num_reducers],
             total_bytes: 0,
         }
@@ -339,6 +392,9 @@ impl Staging {
             combine.combine_staged(&mut chunk, self.raw_bytes[p], acc)?;
             self.raw_bytes[p] = 0;
             self.partials[p].append(&mut chunk);
+            // Restore the drained (pooled) buffer so the slot keeps its
+            // warmed-up capacity instead of reallocating from zero.
+            self.raw[p] = chunk;
             // Both halves are sorted partials now; a stable sort plus a
             // merge-only fold collapses them to one partial per key.
             self.partials[p].sort_by(|a, b| a.0.cmp(&b.0));
@@ -349,15 +405,17 @@ impl Staging {
         Ok(())
     }
 
-    /// Detach partition `p`'s staged pairs for a spill. With a combiner
+    /// Detach partition `p`'s staged pairs for a spill, replacing the
+    /// slot with a fresh pooled loan so the mapper keeps staging while
+    /// the detached buffer rides the background writer. With a combiner
     /// the raw tail must already be folded in (the spill path folds
     /// before writing).
-    fn take(&mut self, p: usize) -> Vec<(Value, Value)> {
+    fn take(&mut self, p: usize, pool: &BufferPool) -> Vec<(Value, Value)> {
         debug_assert!(self.raw[p].is_empty() || self.partials[p].is_empty());
         self.total_bytes -= self.raw_bytes[p] + self.partial_bytes[p];
         self.raw_bytes[p] = 0;
         self.partial_bytes[p] = 0;
-        let mut out = std::mem::take(&mut self.partials[p]);
+        let mut out = std::mem::replace(&mut self.partials[p], pool.get_pairs());
         out.append(&mut self.raw[p]);
         out
     }
@@ -367,16 +425,28 @@ impl Staging {
     }
 
     /// Tear down into `(pairs, bytes)` per partition for the commit.
-    fn into_parts(mut self) -> (Vec<Vec<(Value, Value)>>, Vec<usize>) {
+    /// The merged buffer per partition stays on loan (the commit
+    /// recycles it after absorbing); the emptied other half of each
+    /// slot goes straight back to the pool here.
+    fn into_parts(mut self, pool: &BufferPool) -> (Vec<Vec<(Value, Value)>>, Vec<usize>) {
         let mut staged = Vec::with_capacity(self.raw.len());
         let mut bytes = Vec::with_capacity(self.raw.len());
         for p in 0..self.raw.len() {
             bytes.push(self.raw_bytes[p] + self.partial_bytes[p]);
             let mut pairs = std::mem::take(&mut self.partials[p]);
             pairs.append(&mut self.raw[p]);
+            pool.put_pairs(std::mem::take(&mut self.raw[p]));
             staged.push(pairs);
         }
         (staged, bytes)
+    }
+
+    /// Return every loaned buffer to the pool — the failed-attempt
+    /// teardown.
+    fn recycle(mut self, pool: &BufferPool) {
+        for buf in self.raw.drain(..).chain(self.partials.drain(..)) {
+            pool.put_pairs(buf);
+        }
     }
 }
 
@@ -392,8 +462,12 @@ fn reopen_split(ctx: &MapCtx<'_>, task: &MapTask) -> Result<SplitReader> {
 }
 
 /// Spill every nonempty (already-folded) staged partition of a map
-/// attempt into attempt-scoped runs. Spill counters go to the
-/// attempt-local accumulator: only a committed attempt's spills count.
+/// attempt into attempt-scoped runs via the background
+/// [`SpillWriter`]: detach the buffer, hand it to the writer, and keep
+/// mapping — sort/compress/flush happen off the map loop (synchronously
+/// when [`JobConfig::spill_writer_threads`] is 0). Spill counters go to
+/// the attempt-local accumulator: only a committed attempt's spills
+/// count.
 fn spill_staging(
     ctx: &MapCtx<'_>,
     acc: &Arc<Counters>,
@@ -401,42 +475,36 @@ fn spill_staging(
     attempt: usize,
     staging: &mut Staging,
     attempt_dir: &mut Option<AttemptDir>,
-    runs: &mut Vec<(usize, SpillRun)>,
+    writer: &mut Option<SpillWriter>,
 ) -> Result<()> {
     for p in 0..ctx.num_reducers {
         if staging.is_empty(p) {
             continue;
         }
-        let pairs = staging.take(p);
-        let dir = match attempt_dir {
-            Some(d) => d,
-            None => {
-                let parent = ctx
-                    .spill_dir
-                    .expect("staging cap implies a shuffle budget and spill dir")
-                    .path();
-                attempt_dir.insert(AttemptDir::create(parent, "map", task, attempt)?)
-            }
-        };
-        let t = Instant::now();
-        let seq = runs.len(); // unique within the attempt directory
-        let run = write_sorted_run(
-            dir.path(),
-            p,
-            seq,
-            pairs,
-            ctx.combine,
-            ctx.compression,
-            acc,
-            ctx.io,
-        )?;
-        ctx.shuffle_nanos
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        Counters::add(&acc.spill_count, 1);
-        Counters::add(&acc.spilled_records, run.pairs);
-        Counters::add(&acc.spill_bytes_raw, run.raw_bytes);
-        Counters::add(&acc.spill_bytes_written, run.bytes);
-        runs.push((p, run));
+        let pairs = staging.take(p, ctx.pool);
+        if writer.is_none() {
+            let parent = ctx
+                .spill_dir
+                .expect("staging cap implies a shuffle budget and spill dir")
+                .path();
+            let dir = attempt_dir.insert(AttemptDir::create(parent, "map", task, attempt)?);
+            *writer = Some(SpillWriter::new(
+                SpillWriterCfg {
+                    dir: dir.path().to_path_buf(),
+                    combine: ctx.combine.clone(),
+                    compression: ctx.compression,
+                    counters: Arc::clone(acc),
+                    io: ctx.io.map(Arc::clone),
+                    pool: Arc::clone(ctx.pool),
+                    shuffle_nanos: Arc::clone(ctx.shuffle_nanos),
+                },
+                ctx.writer_threads,
+            ));
+        }
+        writer
+            .as_mut()
+            .expect("writer installed above")
+            .submit(p, pairs)?;
     }
     Ok(())
 }
@@ -467,6 +535,7 @@ fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
     }
     for (p, mut pairs) in out.staged.into_iter().enumerate() {
         if pairs.is_empty() {
+            ctx.pool.put_pairs(pairs);
             continue;
         }
         let over_cap = {
@@ -475,6 +544,9 @@ fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
             ctx.bucket_cap
                 .is_some_and(|cap| bucket.resident_bytes() > cap)
         };
+        // `absorb` drained the staged buffer; its capacity goes back to
+        // the pool for the next attempt's staging slots.
+        ctx.pool.put_pairs(pairs);
         if over_cap {
             if let Some(dir) = ctx.spill_dir {
                 spill_bucket(
@@ -486,6 +558,7 @@ fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
                     ctx.combine,
                     ctx.compression,
                     ctx.io,
+                    ctx.pool,
                 )?;
             }
         }
@@ -585,6 +658,10 @@ impl Iterator for StreamPairs {
     }
 }
 
+/// What one reduce attempt yields: input groups, records written, and
+/// the collected output pairs (empty when streamed to a part file).
+type ReduceAttemptOutput = (u64, u64, Vec<(Value, Value)>);
+
 /// Everything the reduce phase threads through task attempts.
 struct ReduceCtx<'a> {
     spill_dir: Option<&'a SpillDir>,
@@ -594,6 +671,7 @@ struct ReduceCtx<'a> {
     io: Option<&'a Arc<IoFaults>>,
     shuffle_nanos: &'a AtomicU64,
     counters: &'a Arc<Counters>,
+    pool: &'a Arc<BufferPool>,
 }
 
 /// Run one reduce attempt over committed state: compact the runs
@@ -625,6 +703,7 @@ fn run_reduce_attempt(
             ctx.combine,
             ctx.compression,
             ctx.io,
+            ctx.pool,
         )?;
         ctx.shuffle_nanos
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -647,7 +726,7 @@ fn run_reduce_attempt(
         }
     }
     if streams.len() <= 1 {
-        // One stream (or an empty partition): no heap needed.
+        // One stream (or an empty partition): no merge state needed.
         let gate = FaultGate {
             inner: StreamPairs(streams.pop()),
             fire_at,
@@ -658,13 +737,91 @@ fn run_reduce_attempt(
         reduce_groups(gate, reducer, out)
     } else {
         let gate = FaultGate {
-            inner: KWayMerge::new(streams)?,
+            inner: LoserTree::new(streams)?,
             fire_at,
             seen: 0,
             partition: p,
             attempt,
         };
         reduce_groups(gate, reducer, out)
+    }
+}
+
+/// Pipelined text output for one reduce partition: reduced pairs
+/// stream to a hidden temp file as each key group completes, and the
+/// file reaches its final `part-NNNNN` name by atomic rename only when
+/// the attempt succeeds. A failed attempt's sink removes its temp file
+/// on drop, so retries start clean and the output directory only ever
+/// holds committed part files — the same write-then-rename idempotency
+/// the spill commit uses.
+struct TextSink {
+    tmp: PathBuf,
+    dest: PathBuf,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    pairs_written: u64,
+}
+
+impl TextSink {
+    fn create(dir: &Path, p: usize, attempt: usize) -> Result<TextSink> {
+        let dest = dir.join(format!("part-{p:05}"));
+        let tmp = dir.join(format!(".part-{p:05}.attempt-{attempt}.tmp"));
+        let file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        Ok(TextSink {
+            tmp,
+            dest,
+            file: Some(file),
+            pairs_written: 0,
+        })
+    }
+
+    /// Drain `pairs` to the file as `key\tvalue` lines.
+    fn write_pairs(&mut self, pairs: &mut Vec<(Value, Value)>) -> Result<()> {
+        let f = self.file.as_mut().expect("sink written after finish");
+        for (k, v) in pairs.drain(..) {
+            writeln!(f, "{k}\t{v}")?;
+            self.pairs_written += 1;
+        }
+        Ok(())
+    }
+
+    /// Flush and publish the part file; returns its final path and the
+    /// pair count it carries.
+    fn finish(mut self) -> Result<(PathBuf, u64)> {
+        let mut f = self.file.take().expect("sink finished twice");
+        f.flush()?;
+        drop(f);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        Ok((self.dest.clone(), self.pairs_written))
+    }
+}
+
+impl Drop for TextSink {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Wraps an attempt's reducer so each finished group's output drains
+/// straight to the [`TextSink`] instead of accumulating in memory —
+/// the output end of the pipeline: merge, group, reduce and write
+/// proceed in lockstep with bounded buffering, and a partition's
+/// output never has to fit in memory.
+struct StreamingReducer {
+    inner: Box<dyn Reducer>,
+    sink: TextSink,
+}
+
+impl Reducer for StreamingReducer {
+    fn reduce(
+        &mut self,
+        key: &Value,
+        values: &[Value],
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<()> {
+        self.inner.reduce(key, values, out)?;
+        self.sink.write_pairs(out)
     }
 }
 
@@ -711,6 +868,8 @@ fn run_reduce_attempt(
 ///     combiner: None,
 ///     max_task_attempts: 1,
 ///     fault_plan: None,
+///     spill_writer_threads: 1,
+///     buffer_pool: None,
 /// };
 /// let result = run_job(&job)?;
 /// assert_eq!(result.output.len(), 7, "seven distinct words");
@@ -726,7 +885,15 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     let num_reducers = job.num_reducers.max(1);
     let max_attempts = job.max_task_attempts.max(1);
     let counters = Counters::new();
-    let shuffle_nanos = AtomicU64::new(0);
+    let shuffle_nanos = Arc::new(AtomicU64::new(0));
+    // Steady-state allocation accounting: snapshot the (feature-gated)
+    // global-allocator counters around the job and report the delta.
+    // Process-wide, so it attributes cleanly only when one job runs at
+    // a time — exactly how the hot-path bench uses it.
+    let (alloc_count0, alloc_bytes0) = allocstats::totals();
+    // Staging buffers and run-writer scratch recycle through this pool;
+    // a job-private pool unless the caller shares one across jobs.
+    let pool: Arc<BufferPool> = job.buffer_pool.clone().unwrap_or_else(BufferPool::new);
     // The pluggable aggregation pipeline: pass-through without a
     // combiner, folding at every shuffle stage with one.
     let combine = CombineStrategy::new(job.combiner.clone());
@@ -793,6 +960,8 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         shuffle_nanos: &shuffle_nanos,
         counters: &counters,
         buckets: &buckets,
+        pool: &pool,
+        writer_threads: job.spill_writer_threads,
     };
 
     std::thread::scope(|scope| {
@@ -851,6 +1020,20 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
     let reduce_outputs: Vec<PlMutex<Vec<(Value, Value)>>> = (0..num_reducers)
         .map(|_| PlMutex::new(Vec::new()))
         .collect();
+    // Pipelined text output: with an unsorted TextDir destination each
+    // partition's pairs stream to their part file as groups complete
+    // (merge → reduce → write in lockstep) instead of buffering the
+    // whole partition and writing it after the phase. Sorted output
+    // still buffers — the final sort needs the full partition anyway.
+    let streaming_dir: Option<PathBuf> = match &job.output {
+        OutputSpec::TextDir(dir) if !job.sort_output => {
+            std::fs::create_dir_all(dir)?;
+            Some(dir.clone())
+        }
+        _ => None,
+    };
+    let part_paths: Vec<PlMutex<Option<PathBuf>>> =
+        (0..num_reducers).map(|_| PlMutex::new(None)).collect();
     let partitions: Mutex<VecDeque<usize>> = Mutex::new((0..num_reducers).collect());
     let rctx = ReduceCtx {
         spill_dir: spill_dir.as_ref(),
@@ -860,6 +1043,7 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
         io: io.as_ref(),
         shuffle_nanos: &shuffle_nanos,
         counters: &counters,
+        pool: &pool,
     };
 
     std::thread::scope(|scope| {
@@ -892,21 +1076,52 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                     // Combine site 3: with a combiner, the grouping
                     // loop runs the merging/finishing wrapper instead
                     // of the raw reducer — the loop itself is shared.
-                    let mut reducer = combine.make_reducer(&job.reducer);
-                    let mut out: Vec<(Value, Value)> = Vec::new();
-                    match run_reduce_attempt(
-                        &rctx,
-                        p,
-                        attempt,
-                        attempt + 1 == max_attempts,
-                        &mut runs,
-                        &mut tail,
-                        reducer.as_mut(),
-                        &mut out,
-                    ) {
-                        Ok(groups) => {
+                    // With a streaming destination the reducer is
+                    // additionally wrapped in the [`TextSink`] drain.
+                    let is_last = attempt + 1 == max_attempts;
+                    let attempt_result = (|| -> Result<ReduceAttemptOutput> {
+                        let mut out: Vec<(Value, Value)> = Vec::new();
+                        match &streaming_dir {
+                            Some(dir) => {
+                                let mut reducer = StreamingReducer {
+                                    inner: combine.make_reducer(&job.reducer),
+                                    sink: TextSink::create(dir, p, attempt)?,
+                                };
+                                let groups = run_reduce_attempt(
+                                    &rctx,
+                                    p,
+                                    attempt,
+                                    is_last,
+                                    &mut runs,
+                                    &mut tail,
+                                    &mut reducer,
+                                    &mut out,
+                                )?;
+                                let (path, written) = reducer.sink.finish()?;
+                                *part_paths[p].lock() = Some(path);
+                                Ok((groups, written, out))
+                            }
+                            None => {
+                                let mut reducer = combine.make_reducer(&job.reducer);
+                                let groups = run_reduce_attempt(
+                                    &rctx,
+                                    p,
+                                    attempt,
+                                    is_last,
+                                    &mut runs,
+                                    &mut tail,
+                                    reducer.as_mut(),
+                                    &mut out,
+                                )?;
+                                let written = out.len() as u64;
+                                Ok((groups, written, out))
+                            }
+                        }
+                    })();
+                    match attempt_result {
+                        Ok((groups, written, out)) => {
                             Counters::add(&counters.reduce_input_groups, groups);
-                            Counters::add(&counters.reduce_output_records, out.len() as u64);
+                            Counters::add(&counters.reduce_output_records, written);
                             *reduce_outputs[p].lock() = out;
                             committed = true;
                             break;
@@ -948,6 +1163,17 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
                 output.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
             }
         }
+        OutputSpec::TextDir(_) if streaming_dir.is_some() => {
+            // Part files were streamed and committed during the reduce
+            // phase; just collect their paths in partition order.
+            for slot in &part_paths {
+                let path = slot
+                    .lock()
+                    .take()
+                    .expect("every committed partition published a part file");
+                output_files.push(path);
+            }
+        }
         OutputSpec::TextDir(dir) => {
             std::fs::create_dir_all(dir)?;
             for (p, bucket) in reduce_outputs.iter().enumerate() {
@@ -965,6 +1191,16 @@ pub fn run_job(job: &JobConfig) -> Result<JobResult> {
             }
         }
     }
+
+    let (alloc_count1, alloc_bytes1) = allocstats::totals();
+    Counters::add(
+        &counters.alloc_count,
+        alloc_count1.saturating_sub(alloc_count0),
+    );
+    Counters::add(
+        &counters.alloc_bytes,
+        alloc_bytes1.saturating_sub(alloc_bytes0),
+    );
 
     Ok(JobResult {
         counters: counters.snapshot(),
@@ -1154,6 +1390,8 @@ mod tests {
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,
+            spill_writer_threads: 1,
+            buffer_pool: None,
         };
         let result = run_job(&job).unwrap();
         assert_eq!(result.output.len(), 10, "ten distinct urls");
@@ -1270,6 +1508,8 @@ mod tests {
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,
+            spill_writer_threads: 1,
+            buffer_pool: None,
         };
         assert!(matches!(run_job(&job), Err(EngineError::Config(_))));
     }

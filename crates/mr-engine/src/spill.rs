@@ -22,11 +22,12 @@ use std::sync::Arc;
 use mr_ir::value::Value;
 use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
-use mr_storage::runfile::RunFileWriter;
+use mr_storage::runfile::{RunFileWriter, RunScratch};
 
 use crate::combine::CombineStrategy;
 use crate::counters::Counters;
 use crate::error::Result;
+use crate::pool::BufferPool;
 
 /// One spilled sorted run.
 #[derive(Debug, Clone)]
@@ -182,6 +183,17 @@ impl ShuffleBucket {
         self.runs.push(run);
     }
 
+    /// Give a spilled buffer's capacity back to the bucket. Adopted
+    /// (cleared) only when the resident buffer is still empty and the
+    /// donation is bigger — a committer may have refilled the bucket
+    /// while the spill wrote.
+    pub fn reclaim_resident(&mut self, mut buf: Vec<(Value, Value)>) {
+        if self.resident.is_empty() && buf.capacity() > self.resident.capacity() {
+            buf.clear();
+            self.resident = buf;
+        }
+    }
+
     /// Tear down into `(resident tail, spilled runs)` for the merge.
     /// The tail is returned unsorted; runs come back ordered by spill
     /// sequence — emission order — and the merge breaks key ties by run
@@ -198,32 +210,62 @@ impl ShuffleBucket {
 /// spill-time combine site, shrinking the run before it hits disk —
 /// and write the result as run `seq` of `partition` under `dir`,
 /// compressed through `compression`'s block codec.
+///
+/// The pair buffer is borrowed, not consumed: on return it holds the
+/// sorted (and possibly combined) pairs and the caller recycles it
+/// through the pool. Writer scratch ([`RunScratch`]) is loaned from
+/// `pool` for the duration of the write, so in steady state this
+/// function touches the allocator only when a pair outgrows every
+/// recycled buffer.
 #[allow(clippy::too_many_arguments)]
 pub fn write_sorted_run(
     dir: &Path,
     partition: usize,
     seq: usize,
-    mut pairs: Vec<(Value, Value)>,
+    pairs: &mut Vec<(Value, Value)>,
     combine: &CombineStrategy,
     compression: ShuffleCompression,
     counters: &Counters,
     io: Option<&Arc<IoFaults>>,
+    pool: &BufferPool,
 ) -> Result<SpillRun> {
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
-    combine.combine_sorted(&mut pairs, counters)?;
+    combine.combine_sorted(pairs, counters)?;
     let path = dir.join(format!("run-{partition:05}-{seq:06}"));
-    let mut w = RunFileWriter::create_with(&path, compression, io.cloned())?;
-    for (k, v) in &pairs {
+    let scratch = pool.get_scratch();
+    match write_run_file(&path, pairs, compression, io, scratch) {
+        Ok((stats, scratch)) => {
+            pool.put_scratch(scratch);
+            Ok(SpillRun {
+                seq,
+                path,
+                pairs: stats.pairs,
+                raw_bytes: stats.raw_bytes,
+                bytes: stats.file_bytes,
+            })
+        }
+        Err(e) => {
+            // The failed writer still owns the loaned buffers; balance
+            // the loan with fresh scratch so pool accounting stays
+            // exact on fault paths (capacity is lost, correctness not).
+            pool.put_scratch(RunScratch::new());
+            Err(e)
+        }
+    }
+}
+
+fn write_run_file(
+    path: &Path,
+    pairs: &[(Value, Value)],
+    compression: ShuffleCompression,
+    io: Option<&Arc<IoFaults>>,
+    scratch: RunScratch,
+) -> Result<(mr_storage::runfile::RunFileStats, RunScratch)> {
+    let mut w = RunFileWriter::create_pooled(path, compression, io.cloned(), scratch)?;
+    for (k, v) in pairs {
         w.append(k, v)?;
     }
-    let stats = w.finish()?;
-    Ok(SpillRun {
-        seq,
-        path,
-        pairs: stats.pairs,
-        raw_bytes: stats.raw_bytes,
-        bytes: stats.file_bytes,
-    })
+    Ok(w.finish_reclaim()?)
 }
 
 #[cfg(test)]
@@ -236,17 +278,19 @@ mod tests {
         dir: &Path,
         partition: usize,
         seq: usize,
-        pairs: Vec<(Value, Value)>,
+        mut pairs: Vec<(Value, Value)>,
     ) -> Result<SpillRun> {
+        let pool = BufferPool::new();
         write_sorted_run(
             dir,
             partition,
             seq,
-            pairs,
+            &mut pairs,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             &Counters::new(),
             None,
+            &pool,
         )
     }
 
@@ -324,23 +368,26 @@ mod tests {
         let counters = Counters::new();
         let combine = CombineStrategy::new(Builtin::Sum.combiner());
         // Partials, as the staging flush would have produced them.
-        let pairs = vec![
+        let mut pairs = vec![
             (Value::Int(2), Value::Int(10)),
             (Value::Int(1), Value::Int(1)),
             (Value::Int(2), Value::Int(5)),
             (Value::Int(1), Value::Int(2)),
         ];
+        let pool = BufferPool::new();
         let run = write_sorted_run(
             dir.path(),
             0,
             0,
-            pairs,
+            &mut pairs,
             &combine,
             ShuffleCompression::None,
             &counters,
             None,
+            &pool,
         )
         .unwrap();
+        assert_eq!(pool.outstanding(), 0, "scratch loan returned");
         assert_eq!(run.pairs, 2, "four pairs fold to one per key");
         let back: Vec<(Value, Value)> = RunFileReader::open(&run.path)
             .unwrap()

@@ -1,0 +1,76 @@
+//! Allocation-counter integration test, compiled only under the
+//! `bench-alloc` feature (the counting global allocator is
+//! process-wide, so it lives in its own test binary). Run with
+//! `cargo test -p mr-engine --features bench-alloc --test allocgate`.
+#![cfg(feature = "bench-alloc")]
+
+use std::sync::Arc;
+
+use mr_engine::{allocstats, run_job, BufferPool, Builtin, InputSpec, JobConfig};
+use mr_ir::asm::parse_function;
+use mr_ir::record::record;
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_storage::seqfile::write_seqfile;
+
+#[test]
+fn jobs_report_alloc_deltas_and_pooling_reduces_them() {
+    assert!(allocstats::enabled());
+
+    let schema = Schema::new("T", vec![("k", FieldType::Str), ("v", FieldType::Int)]).into_arc();
+    let path = std::env::temp_dir().join(format!("allocgate-{}", std::process::id()));
+    let records: Vec<_> = (0..4000)
+        .map(|i| {
+            record(
+                &schema,
+                vec![format!("key-{}", i % 13).into(), Value::Int(i % 50)],
+            )
+        })
+        .collect();
+    write_seqfile(&path, schema, records).unwrap();
+
+    let job = |pool: Arc<BufferPool>| {
+        JobConfig::ir_job(
+            "allocgate",
+            InputSpec::SeqFile { path: path.clone() },
+            parse_function(
+                r#"
+                func map(key, value) {
+                  r0 = param value
+                  r1 = field r0.k
+                  r2 = field r0.v
+                  emit r1, r2
+                  ret
+                }
+                "#,
+            )
+            .unwrap(),
+            Builtin::Sum,
+        )
+        .with_shuffle_buffer(1024)
+        .with_parallelism(1)
+        .with_buffer_pool(pool)
+    };
+
+    // Warm a shared pool, then measure a pooled run against a
+    // disabled-pool run of the same job. Serial (parallelism 1), so
+    // the process-wide counters attribute cleanly.
+    let warm = BufferPool::new();
+    run_job(&job(Arc::clone(&warm))).unwrap();
+
+    let pooled = run_job(&job(Arc::clone(&warm))).unwrap();
+    let unpooled = run_job(&job(BufferPool::disabled())).unwrap();
+
+    assert!(
+        pooled.counters.alloc_count > 0,
+        "allocator counting is live"
+    );
+    assert!(unpooled.counters.alloc_count > 0);
+    assert!(
+        pooled.counters.alloc_count < unpooled.counters.alloc_count,
+        "warm pool must allocate less: pooled {} vs disabled {}",
+        pooled.counters.alloc_count,
+        unpooled.counters.alloc_count
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,168 @@
+//! Hot-path integration tests: buffer-pool loan accounting across
+//! whole jobs (success, retries, injected I/O errors, exhausted
+//! attempts) and byte-identity of the spill/merge pipeline across
+//! writer-thread counts and pool configurations.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mr_engine::{
+    run_job, BufferPool, Builtin, FaultPlan, InputSpec, JobConfig, ShuffleCompression,
+};
+use mr_ir::asm::parse_function;
+use mr_ir::record::record;
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_storage::seqfile::write_seqfile;
+use mr_storage::IoSite;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mr-engine-hotpath");
+    std::fs::create_dir_all(&dir).unwrap();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    dir.join(format!("{name}-{}-{n}", std::process::id()))
+}
+
+fn write_input(name: &str, n: i64) -> PathBuf {
+    let schema = Schema::new("T", vec![("k", FieldType::Str), ("v", FieldType::Int)]).into_arc();
+    let path = tmp(name);
+    let records: Vec<_> = (0..n)
+        .map(|i| {
+            record(
+                &schema,
+                vec![format!("key-{}", i % 17).into(), Value::Int(i % 50)],
+            )
+        })
+        .collect();
+    write_seqfile(&path, schema, records).unwrap();
+    path
+}
+
+fn sum_mapper() -> mr_ir::function::Function {
+    parse_function(
+        r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.k
+          r2 = field r0.v
+          emit r1, r2
+          ret
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+fn spilling_job(path: &Path, pool: &Arc<BufferPool>) -> JobConfig {
+    JobConfig::ir_job(
+        "hotpath",
+        InputSpec::SeqFile {
+            path: path.to_path_buf(),
+        },
+        sum_mapper(),
+        Builtin::Sum,
+    )
+    .with_shuffle_buffer(512)
+    .with_buffer_pool(Arc::clone(pool))
+}
+
+#[test]
+fn pool_balances_after_clean_spilling_job() {
+    let path = write_input("clean", 2000);
+    let pool = BufferPool::new();
+    let result = run_job(&spilling_job(&path, &pool)).unwrap();
+    assert!(result.counters.spill_count > 0, "budget forces spills");
+    assert_eq!(pool.outstanding(), 0, "every pooled loan returned");
+    let stats = pool.stats();
+    assert!(stats.hits > 0, "steady state reuses buffers: {stats:?}");
+}
+
+#[test]
+fn pool_stays_warm_across_jobs() {
+    let path = write_input("warm", 1500);
+    let pool = BufferPool::new();
+    run_job(&spilling_job(&path, &pool)).unwrap();
+    let after_first = pool.stats();
+    run_job(&spilling_job(&path, &pool)).unwrap();
+    let after_second = pool.stats();
+    assert_eq!(pool.outstanding(), 0);
+    // The second job starts against a populated pool, so its share of
+    // hits only grows.
+    assert!(after_second.hits > after_first.hits);
+}
+
+#[test]
+fn pool_balances_through_retried_failures() {
+    let path = write_input("retry", 2000);
+    let pool = BufferPool::new();
+    // A map attempt dies mid-split (staging part-full), a reduce
+    // attempt dies at its first record, and one run-file write fails —
+    // all retried to success.
+    let plan = FaultPlan::new()
+        .fail_map(0, 0, 150)
+        .fail_reduce(1, 0, 0)
+        .fail_io(IoSite::RunWrite, 2);
+    let job = spilling_job(&path, &pool)
+        .with_max_attempts(3)
+        .with_fault_plan(Arc::new(plan));
+    let faulted = run_job(&job).unwrap();
+    assert!(faulted.counters.task_retries > 0, "faults actually fired");
+    assert_eq!(pool.outstanding(), 0, "failed attempts recycle their loans");
+
+    // Same output as the fault-free run off a fresh pool.
+    let clean = run_job(&spilling_job(&path, &BufferPool::new())).unwrap();
+    assert_eq!(faulted.output, clean.output);
+}
+
+#[test]
+fn pool_balances_when_the_job_fails() {
+    let path = write_input("fatal", 1000);
+    let pool = BufferPool::new();
+    // Every attempt of map task 0 dies after spill-worthy staging.
+    let plan = FaultPlan::new().fail_map_attempts(0, 2);
+    let job = spilling_job(&path, &pool)
+        .with_parallelism(2)
+        .with_max_attempts(2)
+        .with_fault_plan(Arc::new(plan));
+    run_job(&job).unwrap_err();
+    assert_eq!(
+        pool.outstanding(),
+        0,
+        "even an aborted job returns every loan"
+    );
+}
+
+#[test]
+fn output_identical_across_writer_threads_and_pools() {
+    let path = write_input("ident", 2500);
+    let reference = {
+        let job = JobConfig::ir_job(
+            "hotpath-ref",
+            InputSpec::SeqFile { path: path.clone() },
+            sum_mapper(),
+            Builtin::Sum,
+        );
+        run_job(&job).unwrap().output
+    };
+    for codec in ShuffleCompression::ALL {
+        for threads in [0usize, 1, 2, 4] {
+            for pool in [
+                BufferPool::new(),
+                BufferPool::disabled(),
+                BufferPool::with_capacity(1),
+            ] {
+                let job = spilling_job(&path, &pool)
+                    .with_shuffle_codec(codec)
+                    .with_spill_writer_threads(threads);
+                let result = run_job(&job).unwrap();
+                assert_eq!(
+                    result.output, reference,
+                    "codec {codec:?}, {threads} writer threads"
+                );
+                assert!(result.counters.spill_count > 0);
+                assert_eq!(pool.outstanding(), 0);
+            }
+        }
+    }
+}

@@ -579,16 +579,44 @@ impl<W: Write> BlockWriter<W> {
         codec: Option<&'static dyn BlockCodec>,
         faults: Option<Arc<IoFaults>>,
     ) -> BlockWriter<W> {
+        BlockWriter::with_buffers(inner, codec, faults, Vec::new(), Vec::new())
+    }
+
+    /// [`new`](Self::new), staging blocks in caller-provided scratch
+    /// buffers (`buf` for the open block, `comp` for the compressed
+    /// frame) instead of allocating fresh ones — the hot-path spill
+    /// writers recycle these across run files via a buffer pool.
+    /// Reclaim them with [`take_buffers`](Self::take_buffers) after the
+    /// final flush.
+    pub fn with_buffers(
+        inner: W,
+        codec: Option<&'static dyn BlockCodec>,
+        faults: Option<Arc<IoFaults>>,
+        mut buf: Vec<u8>,
+        mut comp: Vec<u8>,
+    ) -> BlockWriter<W> {
+        buf.clear();
+        comp.clear();
         BlockWriter {
             inner,
             codec,
             block_size: DEFAULT_BLOCK_SIZE,
-            buf: Vec::new(),
-            comp: Vec::new(),
+            buf,
+            comp,
             raw_bytes: 0,
             written_bytes: 0,
             faults,
         }
+    }
+
+    /// Detach the scratch buffers for reuse (capacity preserved). Only
+    /// meaningful after [`flush_block`](Self::flush_block) — an open
+    /// block's bytes go with the buffer.
+    pub fn take_buffers(&mut self) -> (Vec<u8>, Vec<u8>) {
+        (
+            std::mem::take(&mut self.buf),
+            std::mem::take(&mut self.comp),
+        )
     }
 
     /// Logical bytes accepted so far.

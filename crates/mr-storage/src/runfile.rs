@@ -52,6 +52,43 @@ const HEADER_LEN: u64 = 6;
 /// corruption rather than allocated.
 const MAX_PAIR_LEN: u64 = 1 << 30;
 
+/// Buffer capacity for run-file readers. Merges hold up to one open
+/// reader per surviving run; a generous buffer keeps the k-way merge
+/// from paying one syscall per small pair.
+const READ_BUF: usize = 64 * 1024;
+
+/// The reusable scratch a [`RunFileWriter`] stages pairs and block
+/// frames in. Writing a run allocates nothing in steady state when the
+/// scratch is recycled: create the writer with
+/// [`RunFileWriter::create_pooled`], reclaim the scratch from
+/// [`RunFileWriter::finish_reclaim`], and hand it to the next run.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    /// Encoded pair staging ([`RunFileWriter::append`]).
+    frame: Vec<u8>,
+    /// Varint length staging.
+    lenbuf: Vec<u8>,
+    /// The block writer's open-block buffer.
+    block: Vec<u8>,
+    /// The block writer's compressed-frame buffer.
+    comp: Vec<u8>,
+}
+
+impl RunScratch {
+    /// Fresh (empty) scratch; capacity grows with first use.
+    pub fn new() -> RunScratch {
+        RunScratch::default()
+    }
+
+    /// Total heap capacity currently held, for pool sizing diagnostics.
+    pub fn capacity_bytes(&self) -> usize {
+        self.frame.capacity()
+            + self.lenbuf.capacity()
+            + self.block.capacity()
+            + self.comp.capacity()
+    }
+}
+
 /// What [`RunFileWriter::finish`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunFileStats {
@@ -98,15 +135,36 @@ impl RunFileWriter {
         compression: ShuffleCompression,
         faults: Option<Arc<IoFaults>>,
     ) -> Result<RunFileWriter> {
+        RunFileWriter::create_pooled(path, compression, faults, RunScratch::new())
+    }
+
+    /// [`create_with`](Self::create_with), staging everything in a
+    /// recycled [`RunScratch`] so writing the run allocates no fresh
+    /// buffers. Pair with [`finish_reclaim`](Self::finish_reclaim) to
+    /// get the scratch back.
+    pub fn create_pooled(
+        path: impl AsRef<Path>,
+        compression: ShuffleCompression,
+        faults: Option<Arc<IoFaults>>,
+        mut scratch: RunScratch,
+    ) -> Result<RunFileWriter> {
         let mut file = BufWriter::new(File::create(path)?);
         file.write_all(MAGIC)?;
         file.write_all(&[compression.stream_tag()])?;
-        let out = BlockWriter::new(file, compression.codec(), faults.clone());
+        scratch.frame.clear();
+        scratch.lenbuf.clear();
+        let out = BlockWriter::with_buffers(
+            file,
+            compression.codec(),
+            faults.clone(),
+            scratch.block,
+            scratch.comp,
+        );
         Ok(RunFileWriter {
             out,
             pairs: 0,
-            frame: Vec::new(),
-            lenbuf: Vec::new(),
+            frame: scratch.frame,
+            lenbuf: scratch.lenbuf,
             faults,
         })
     }
@@ -129,16 +187,31 @@ impl RunFileWriter {
     }
 
     /// Flush and return the pair/byte accounting.
-    pub fn finish(mut self) -> Result<RunFileStats> {
+    pub fn finish(self) -> Result<RunFileStats> {
+        Ok(self.finish_reclaim()?.0)
+    }
+
+    /// [`finish`](Self::finish), additionally handing back the scratch
+    /// buffers (capacity intact) for the next run.
+    pub fn finish_reclaim(mut self) -> Result<(RunFileStats, RunScratch)> {
         self.out.flush_block()?;
         let raw_bytes = HEADER_LEN + self.out.raw_bytes();
         let file_bytes = HEADER_LEN + self.out.written_bytes();
         self.out.get_mut().flush()?;
-        Ok(RunFileStats {
-            pairs: self.pairs,
-            raw_bytes,
-            file_bytes,
-        })
+        let (block, comp) = self.out.take_buffers();
+        Ok((
+            RunFileStats {
+                pairs: self.pairs,
+                raw_bytes,
+                file_bytes,
+            },
+            RunScratch {
+                frame: self.frame,
+                lenbuf: self.lenbuf,
+                block,
+                comp,
+            },
+        ))
     }
 }
 
@@ -166,7 +239,7 @@ impl RunFileReader {
         faults: Option<Arc<IoFaults>>,
     ) -> Result<RunFileReader> {
         let path = path.as_ref().to_path_buf();
-        let mut file = BufReader::new(File::open(&path)?);
+        let mut file = BufReader::with_capacity(READ_BUF, File::open(&path)?);
         let mut header = [0u8; 6];
         file.read_exact(&mut header)?;
         if &header[..5] != MAGIC {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reproduce the CI bench-regression gate locally.
+#
+# Runs the gated scale bins in --smoke mode (same flags as CI), drops
+# their BENCH_*.json documents in a scratch directory, and compares
+# them against the baselines committed at the repo root with the
+# `bench_check` binary. Exits non-zero on a regression (throughput
+# down >25%, or allocation counters up >25%, per row).
+#
+#   scripts/bench.sh                      # run the gate
+#   MANIMAL_BENCH_REBASELINE=1 scripts/bench.sh
+#                                         # accept current numbers as the
+#                                         # new committed baselines
+#
+# The hotpath bin needs the counting allocator (--features bench-alloc)
+# so its alloc_count / alloc_bytes columns are live; the other bins
+# run without it. Extra smoke knobs (MANIMAL_RUNS, MANIMAL_SCALE)
+# pass through.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="$(mktemp -d "${TMPDIR:-/tmp}/manimal-bench.XXXXXX")"
+trap 'rm -rf "$out"' EXIT
+cd "$repo"
+
+echo "== building bench bins =="
+cargo build --release -p bench \
+    --bin scale_shuffle --bin scale_combine --bin scale_compress
+cargo build --release -p bench --features bench-alloc \
+    --bin scale_hotpath --bin bench_check
+
+echo "== running gated scale bins (--smoke) =="
+cd "$out"
+for bin in scale_shuffle scale_combine scale_compress scale_hotpath; do
+    echo "-- $bin"
+    "$repo/target/release/$bin" --smoke
+done
+cd "$repo"
+
+echo "== bench gate =="
+"$repo/target/release/bench_check" --baseline "$repo" --current "$out"
