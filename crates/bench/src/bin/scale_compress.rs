@@ -20,6 +20,7 @@ use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
 use mr_workloads::pavlo::benchmark2;
 
 fn main() {
+    bench::worker_guard();
     bench::banner(
         "Scale — block-compressed shuffle I/O",
         "SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP\n\

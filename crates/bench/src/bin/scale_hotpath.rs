@@ -38,6 +38,7 @@ struct Cell {
 }
 
 fn main() {
+    bench::worker_guard();
     bench::banner(
         "Scale — spill/merge hot path: allocation tax and reduce penalty",
         "SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP.\n\

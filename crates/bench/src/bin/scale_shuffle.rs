@@ -19,6 +19,7 @@ use mr_workloads::data::{generate_uservisits, UserVisitsConfig};
 use mr_workloads::pavlo::benchmark2;
 
 fn main() {
+    bench::worker_guard();
     bench::banner(
         "Scale — external shuffle vs. memory budget",
         "SELECT sourceIP, SUM(adRevenue) FROM UserVisits GROUP BY sourceIP.\n\

@@ -184,6 +184,7 @@ fn main() {
             fault_plan: None,
             spill_writer_threads: 1,
             buffer_pool: None,
+            backend: Default::default(),
         };
 
         let (hadoop, base_result) = bench::time_runs(|| {

@@ -98,6 +98,7 @@ fn main() {
         fault_plan: None,
         spill_writer_threads: 1,
         buffer_pool: None,
+        backend: Default::default(),
     };
 
     let (proj_time, proj_result) = bench::time_runs(|| {

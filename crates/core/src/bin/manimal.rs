@@ -25,15 +25,21 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use manimal::{Builtin, Manimal, ShuffleCompression};
+use manimal::{Builtin, FaultPlan, Manimal, ShuffleCompression};
+use mr_engine::BackendSpec;
 use mr_ir::asm::parse_function;
 use mr_ir::Program;
+use mr_storage::fault::IoSite;
 use mr_storage::seqfile::SeqFileMeta;
 use mr_workloads::data::{
     generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig,
 };
 
 fn main() -> ExitCode {
+    // The process backend re-execs this binary as a task-protocol
+    // worker (`manimal __mr-worker <socket> <id>`); never returns in
+    // that role.
+    mr_engine::maybe_worker_entry();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -77,6 +83,7 @@ manimal — automatic optimization for MapReduce programs
                   [--spill-writer-threads N]
                   [--no-combine] [--max-task-attempts N]
                   [--fault-spec SPEC]
+                  [--backend local|process|process:N]
 
 codecs: --shuffle-codec block-compresses spill runs (dict = LZW
 dictionary frames, delta = stride-delta frames, raw = CRC framing
@@ -99,8 +106,140 @@ to N times before the job fails; --fault-spec injects a deterministic
 failure schedule, e.g. `map:0:0:5,reduce:1:0:0,io:run-read:3`
 (fail map task 0 attempt 0 at record 5, reduce partition 1 attempt 0
 immediately, and the 3rd run-file read; IO sites: run-read, run-write,
-seq-read, seq-write, block-read, block-write)
+seq-read, seq-write, block-read, block-write; process sites: kill:W:N
+SIGKILLs worker W at its N-th assignment, slow:W:MS makes worker W a
+deterministic straggler — both need --backend process)
+
+backends: --backend local (default) runs the job in-process on scoped
+threads; --backend process[:N] forks N worker processes (default 2)
+driven over a Unix-socket task protocol, with byte-identical output.
+Contradictory knob combinations (a fault site the other knobs make
+unreachable, process faults on the local backend, a worker id past the
+worker count) are rejected before anything runs.
 ";
+
+/// A knob combination `manimal run` rejects before running anything —
+/// typed so the rejection table is testable, rendered for the user via
+/// `Display`.
+#[derive(Debug, PartialEq, Eq)]
+enum CliError {
+    /// Two flags contradict each other: honoring both is impossible,
+    /// and silently ignoring one would make a drill pass vacuously.
+    Conflict {
+        /// The flag (with its value) being rejected.
+        flag: String,
+        /// The flag it collides with.
+        against: String,
+        /// Why the combination cannot work.
+        why: String,
+    },
+    /// A malformed flag value.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Conflict { flag, against, why } => {
+                write!(f, "`{flag}` contradicts `{against}`: {why}")
+            }
+            CliError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+fn conflict(flag: &str, against: &str, why: &str) -> CliError {
+    CliError::Conflict {
+        flag: flag.into(),
+        against: against.into(),
+        why: why.into(),
+    }
+}
+
+/// The `manimal run` knobs that can contradict each other.
+struct RunKnobs<'a> {
+    shuffle_buffer: Option<usize>,
+    codec: ShuffleCompression,
+    spill_writer_threads: usize,
+    backend: &'a BackendSpec,
+    fault: Option<&'a FaultPlan>,
+}
+
+/// The rejection table: every fault site named by `--fault-spec` must
+/// be reachable under the other knobs, or the drill would "pass" while
+/// injecting nothing. Checked before any work runs.
+fn validate_run_knobs(knobs: &RunKnobs<'_>) -> Result<(), CliError> {
+    let Some(fault) = knobs.fault else {
+        return Ok(());
+    };
+    for site in fault.io_sites() {
+        let spilling = matches!(
+            site,
+            IoSite::RunRead | IoSite::RunWrite | IoSite::BlockRead | IoSite::BlockWrite
+        );
+        if spilling && knobs.shuffle_buffer.is_none() {
+            return Err(conflict(
+                &format!("--fault-spec io:{}:…", site.name()),
+                "(no --shuffle-buffer)",
+                "run and block sites only exist on the spill path; set a shuffle budget",
+            ));
+        }
+        if matches!(site, IoSite::BlockRead | IoSite::BlockWrite)
+            && knobs.codec == ShuffleCompression::None
+        {
+            return Err(conflict(
+                &format!("--fault-spec io:{}:…", site.name()),
+                "--shuffle-codec none",
+                "block sites fire per compressed frame; pick a codec",
+            ));
+        }
+        if matches!(site, IoSite::RunWrite | IoSite::BlockWrite) && knobs.spill_writer_threads == 0
+        {
+            return Err(conflict(
+                &format!("--fault-spec io:{}:…", site.name()),
+                "--spill-writer-threads 0",
+                "writer sites target the background spill writers; inline spilling has none",
+            ));
+        }
+    }
+    match knobs.backend {
+        BackendSpec::Local => {
+            if fault.has_process_faults() {
+                return Err(conflict(
+                    "--fault-spec kill:/slow:",
+                    "--backend local",
+                    "process faults kill or slow worker processes; the local backend has none",
+                ));
+            }
+        }
+        BackendSpec::Process(cfg) => {
+            // Worker ids are 0-based and monotonic: the initial fleet is
+            // 0..workers, and each kill respawns at most one replacement
+            // with the next fresh id — anything past that bound can
+            // never exist.
+            let reachable = cfg.workers as u64 + fault.kill_count();
+            if let Some(max) = fault.max_process_worker() {
+                if (max as u64) >= reachable {
+                    return Err(conflict(
+                        &format!("--fault-spec naming worker {max}"),
+                        &format!("--backend process:{}", cfg.workers),
+                        &format!(
+                            "only worker ids below {reachable} (workers + kills) can ever exist"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_backend(rest: &[&String]) -> Result<BackendSpec, CliError> {
+    match flag_value(rest, "--backend") {
+        None => Ok(BackendSpec::Local),
+        Some(v) => BackendSpec::parse(v).map_err(|e| CliError::Usage(format!("--backend: {e}"))),
+    }
+}
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
     rest.iter()
@@ -309,6 +448,7 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
     manimal.shuffle_compression = parse_codec(rest, "--shuffle-codec")?;
     manimal.spill_writer_threads = parse_num(rest, "--spill-writer-threads", 1)?;
     manimal.max_task_attempts = parse_num(rest, "--max-task-attempts", 1)?.max(1);
+    manimal.backend = parse_backend(rest).map_err(|e| e.to_string())?;
     if let Some(spec) = flag_value(rest, "--fault-spec") {
         let plan = manimal::FaultPlan::from_spec(spec).map_err(|e| format!("--fault-spec: {e}"))?;
         eprintln!(
@@ -317,6 +457,14 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
         );
         manimal.fault_plan = Some(Arc::new(plan));
     }
+    validate_run_knobs(&RunKnobs {
+        shuffle_buffer: manimal.shuffle_buffer_bytes,
+        codec: manimal.shuffle_compression,
+        spill_writer_threads: manimal.spill_writer_threads,
+        backend: &manimal.backend,
+        fault: manimal.fault_plan.as_deref(),
+    })
+    .map_err(|e| e.to_string())?;
     let submission = manimal.submit(&program, input);
 
     let execution = if flag_present(rest, "--baseline") {
@@ -344,4 +492,164 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
         println!("… {extra} more rows");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_engine::ProcessCfg;
+
+    fn knobs<'a>(fault: Option<&'a FaultPlan>, backend: &'a BackendSpec) -> RunKnobs<'a> {
+        RunKnobs {
+            shuffle_buffer: Some(1024),
+            codec: ShuffleCompression::None,
+            spill_writer_threads: 1,
+            backend,
+            fault,
+        }
+    }
+
+    fn process(workers: usize) -> BackendSpec {
+        BackendSpec::Process(ProcessCfg {
+            workers,
+            worker_cmd: None,
+            speculate: false,
+        })
+    }
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::from_spec(spec).unwrap()
+    }
+
+    #[test]
+    fn fault_free_knobs_always_validate() {
+        let backend = BackendSpec::Local;
+        let mut k = knobs(None, &backend);
+        k.shuffle_buffer = None;
+        k.spill_writer_threads = 0;
+        assert_eq!(validate_run_knobs(&k), Ok(()));
+    }
+
+    #[test]
+    fn writer_site_faults_reject_inline_spilling() {
+        let backend = BackendSpec::Local;
+        for spec in ["io:run-write:0", "io:block-write:2"] {
+            let fault = plan(spec);
+            let mut k = knobs(Some(&fault), &backend);
+            k.spill_writer_threads = 0;
+            k.codec = ShuffleCompression::Raw;
+            let err = validate_run_knobs(&k).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Conflict { against, .. }
+                    if against == "--spill-writer-threads 0"),
+                "{spec}: {err}"
+            );
+        }
+        // Read-side sites are fine without writer threads.
+        let fault = plan("io:run-read:0");
+        let mut k = knobs(Some(&fault), &backend);
+        k.spill_writer_threads = 0;
+        assert_eq!(validate_run_knobs(&k), Ok(()));
+    }
+
+    #[test]
+    fn spill_path_sites_require_a_shuffle_budget() {
+        let backend = BackendSpec::Local;
+        for spec in [
+            "io:run-read:0",
+            "io:run-write:0",
+            "io:block-read:0",
+            "io:block-write:0",
+        ] {
+            let fault = plan(spec);
+            let mut k = knobs(Some(&fault), &backend);
+            k.shuffle_buffer = None;
+            k.codec = ShuffleCompression::Raw;
+            let err = validate_run_knobs(&k).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Conflict { against, .. }
+                    if against == "(no --shuffle-buffer)"),
+                "{spec}: {err}"
+            );
+        }
+        // Seq sites live on the map-input path; no budget needed.
+        let fault = plan("io:seq-read:5");
+        let mut k = knobs(Some(&fault), &backend);
+        k.shuffle_buffer = None;
+        assert_eq!(validate_run_knobs(&k), Ok(()));
+    }
+
+    #[test]
+    fn block_sites_require_a_codec() {
+        let backend = BackendSpec::Local;
+        for spec in ["io:block-read:0", "io:block-write:0"] {
+            let fault = plan(spec);
+            let k = knobs(Some(&fault), &backend);
+            let err = validate_run_knobs(&k).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Conflict { against, .. }
+                    if against == "--shuffle-codec none"),
+                "{spec}: {err}"
+            );
+        }
+        let fault = plan("io:block-read:0");
+        let mut k = knobs(Some(&fault), &backend);
+        k.codec = ShuffleCompression::Dict;
+        assert_eq!(validate_run_knobs(&k), Ok(()));
+    }
+
+    #[test]
+    fn process_faults_reject_the_local_backend() {
+        let backend = BackendSpec::Local;
+        for spec in ["kill:0:0", "slow:1:50", "map:0:0:5,kill:0:1"] {
+            let fault = plan(spec);
+            let err = validate_run_knobs(&knobs(Some(&fault), &backend)).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Conflict { against, .. }
+                    if against == "--backend local"),
+                "{spec}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_worker_ids_are_rejected() {
+        // process:2 with no kills: ids 0 and 1 exist, 2 never will.
+        let backend = process(2);
+        let fault = plan("slow:2:50");
+        let err = validate_run_knobs(&knobs(Some(&fault), &backend)).unwrap_err();
+        assert!(matches!(&err, CliError::Conflict { .. }), "{err}");
+        // One kill makes the respawned id 2 reachable.
+        let fault = plan("kill:0:0,slow:2:50");
+        assert_eq!(validate_run_knobs(&knobs(Some(&fault), &backend)), Ok(()));
+        // …but id 3 still is not.
+        let fault = plan("kill:0:0,slow:3:50");
+        let err = validate_run_knobs(&knobs(Some(&fault), &backend)).unwrap_err();
+        assert!(matches!(&err, CliError::Conflict { .. }), "{err}");
+    }
+
+    #[test]
+    fn record_level_faults_validate_on_both_backends() {
+        let fault = plan("map:0:0:5,reduce:1:0:0");
+        for backend in [BackendSpec::Local, process(2)] {
+            assert_eq!(validate_run_knobs(&knobs(Some(&fault), &backend)), Ok(()));
+        }
+    }
+
+    #[test]
+    fn backend_flag_parses_and_rejects() {
+        fn args(v: &[String]) -> Vec<&String> {
+            v.iter().collect()
+        }
+        let none: Vec<String> = vec![];
+        assert_eq!(parse_backend(&args(&none)).unwrap(), BackendSpec::Local);
+        let flag = vec!["--backend".to_string(), "process:3".to_string()];
+        match parse_backend(&args(&flag)).unwrap() {
+            BackendSpec::Process(cfg) => assert_eq!(cfg.workers, 3),
+            other => panic!("expected process backend, got {other:?}"),
+        }
+        let bad = vec!["--backend".to_string(), "cluster".to_string()];
+        let err = parse_backend(&args(&bad)).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
 }

@@ -286,6 +286,7 @@ impl IndexGenProgram {
             fault_plan: None,
             spill_writer_threads: 1,
             buffer_pool: None,
+            backend: Default::default(),
         };
         if combine {
             job = job.with_declared_combiner();

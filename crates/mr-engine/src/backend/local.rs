@@ -1,0 +1,23 @@
+//! The in-process reference backend.
+
+use crate::error::Result;
+use crate::job::JobConfig;
+use crate::runner::JobResult;
+
+use super::ExecBackend;
+
+/// Runs the whole job inside the calling process on scoped threads —
+/// the original runner, unchanged, now behind the [`ExecBackend`]
+/// seam. Every other backend is judged against this one: same inputs,
+/// same bytes out.
+pub struct LocalBackend;
+
+impl ExecBackend for LocalBackend {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn run(&self, job: &JobConfig) -> Result<JobResult> {
+        crate::runner::run_job_local(job)
+    }
+}

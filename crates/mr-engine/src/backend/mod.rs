@@ -1,0 +1,92 @@
+//! Pluggable execution backends.
+//!
+//! [`ExecBackend`] is the seam between *what* a job is (inputs,
+//! mappers, reducers, knobs — [`JobConfig`]) and *how* its tasks get
+//! scheduled, attempted, committed, and counted:
+//!
+//! * [`LocalBackend`] — the original in-process scoped-thread runner,
+//!   and the reference semantics every other backend must match
+//!   byte-for-byte.
+//! * [`ProcessBackend`] — a coordinator that fork/execs worker
+//!   processes and drives them over a length-prefixed Unix-socket task
+//!   protocol ([`protocol`], `wire`); shuffle data travels through a
+//!   shared job spill directory and attempts commit by rename.
+//!
+//! Jobs pick a backend with
+//! [`JobConfig::backend`](crate::job::JobConfig::backend); [`run_job`]
+//! dispatches. Binaries that want to double as workers (so tests and
+//! the CLI need no separate worker executable) call
+//! [`maybe_worker_entry`] first thing in `main`.
+//!
+//! [`run_job`]: crate::runner::run_job
+
+pub mod local;
+pub mod process;
+pub mod protocol;
+pub(crate) mod wire;
+pub mod worker;
+
+pub use local::LocalBackend;
+pub use process::ProcessBackend;
+pub use worker::worker_main;
+
+use crate::error::Result;
+use crate::job::{BackendSpec, JobConfig};
+use crate::runner::JobResult;
+
+/// The hidden `argv[1]` sentinel that flips a coordinator binary into
+/// worker mode (see [`maybe_worker_entry`]). Deliberately not a valid
+/// CLI flag or subcommand name.
+pub const WORKER_ARG: &str = "__mr-worker";
+
+/// An execution strategy for MapReduce jobs.
+///
+/// Implementations own the full task lifecycle: scheduling map/reduce
+/// attempts, the attempt/commit protocol (staged side effects,
+/// first-commit-wins), absorbing counters from committed attempts
+/// only, and honoring the job's [`FaultPlan`](crate::fault::FaultPlan)
+/// hooks. A backend must produce the same committed output as
+/// [`LocalBackend`] for the same job.
+pub trait ExecBackend: Send + Sync {
+    /// Short human-readable name (`"local"`, `"process"`).
+    fn name(&self) -> &'static str;
+    /// Execute the job to completion and return its result.
+    fn run(&self, job: &JobConfig) -> Result<JobResult>;
+}
+
+/// Route a job to the backend its config names.
+pub(crate) fn dispatch(job: &JobConfig) -> Result<JobResult> {
+    match &job.backend {
+        BackendSpec::Local => LocalBackend.run(job),
+        BackendSpec::Process(cfg) => ProcessBackend::new(cfg.clone()).run(job),
+    }
+}
+
+/// Turn the current process into a task-protocol worker if it was
+/// invoked as one, never returning in that case.
+///
+/// The process backend re-execs its own coordinator binary with
+/// `argv = [exe, "__mr-worker", socket, worker_id]` when no explicit
+/// `worker_cmd` is configured. Call this as the first line of `main`
+/// in any binary that may coordinate a process-backend job; it is a
+/// no-op (returns immediately) under any other argv.
+pub fn maybe_worker_entry() {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some(WORKER_ARG) {
+        return;
+    }
+    let (socket, id) = match (args.next(), args.next().and_then(|s| s.parse().ok())) {
+        (Some(socket), Some(id)) => (socket, id),
+        _ => {
+            eprintln!("usage: <exe> {WORKER_ARG} <socket> <worker-id>");
+            std::process::exit(2);
+        }
+    };
+    match worker_main(&socket, id) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("mr-worker {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

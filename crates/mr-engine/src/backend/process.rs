@@ -1,0 +1,803 @@
+//! The process backend coordinator: fork worker processes and drive
+//! the job over the Unix-socket task protocol.
+//!
+//! The coordinator owns everything the local runner's shared state
+//! owned, but across a process boundary:
+//!
+//! * **Task scheduling** — a queue of `(kind, task)` work items behind
+//!   a mutex + condvar; one handler thread per worker slot pops work,
+//!   ships it as a task frame, and blocks on the response.
+//! * **Attempt/commit** — workers stage all side effects in attempt
+//!   directories under the shared job spill dir; the *coordinator*
+//!   commits a finished attempt by renaming its run files to their
+//!   job-level names (`run-{p:05}-{seq:06}`, `out-{p:05}`) under the
+//!   scheduler lock. First commit wins; a second finisher of the same
+//!   task gets `DISCARD` and its attempt dir cleans up by RAII. This
+//!   is the whole speculative-execution story: duplicate attempts race
+//!   on rename-into-place, exactly like Hadoop's output committer.
+//! * **Counter absorption** — each attempt carries its own counter
+//!   snapshot; only a committed attempt's counters are absorbed.
+//! * **Fault hooks** — `kill:W:N` sites SIGKILL worker `W`'s process
+//!   right after its `N`-th task frame is sent (the attempt is failed
+//!   and the slot respawns a fresh worker with a new id); `slow:W:MS`
+//!   sites are folded into the worker's job frame as a per-task delay,
+//!   which is what makes a deterministic straggler for speculation
+//!   drills. Record-level `map:`/`reduce:` faults travel to workers
+//!   and keep their exact local semantics.
+//!
+//! Killing a worker races its own progress: the SIGKILL may land
+//! before, during, or after the worker finishes the task. All three
+//! interleavings converge — the handler never reads the worker's
+//! result frame, so the attempt is failed and requeued either way, and
+//! the dead attempt's directory (which SIGKILL prevented the worker
+//! from dropping) is removed coordinator-side. Respawned workers get
+//! fresh monotonically-increasing ids, so each `kill:`/`slow:` site is
+//! naturally one-shot.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mr_ir::value::Value;
+
+use crate::allocstats;
+use crate::counters::Counters;
+use crate::error::{EngineError, Result};
+use crate::fault::FaultPlan;
+use crate::job::{JobConfig, OutputSpec, ProcessCfg};
+use crate::runner::{JobResult, PhaseTimings};
+use crate::spill::SpillDir;
+
+use super::protocol::*;
+use super::wire::{self, MapAssign, MapDone, ReduceAssign, ReduceDone, TaskErr};
+use super::ExecBackend;
+
+/// How long a handler waits for its freshly-forked worker to connect
+/// and say hello before declaring the spawn failed.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Coordinator-side executor forking worker processes (see the module
+/// docs). Construct with the job's [`ProcessCfg`]; [`run`] drives one
+/// job end to end and reaps every child before returning.
+///
+/// [`run`]: ExecBackend::run
+pub struct ProcessBackend {
+    cfg: ProcessCfg,
+}
+
+impl ProcessBackend {
+    /// Backend for the given worker configuration.
+    pub fn new(cfg: ProcessCfg) -> ProcessBackend {
+        ProcessBackend { cfg }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Map,
+    Reduce,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Map => "map",
+            Kind::Reduce => "reduce",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TaskState {
+    /// Attempts launched (retries and speculative duplicates included);
+    /// the next attempt number — attempt directories never collide.
+    launches: usize,
+    failures: usize,
+    running: usize,
+    committed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Map,
+    Reduce,
+    Done,
+}
+
+struct SchedState {
+    phase: Phase,
+    queue: VecDeque<(Kind, usize)>,
+    maps: Vec<TaskState>,
+    /// `(binding, split)` per map task.
+    map_meta: Vec<(usize, usize)>,
+    reduces: Vec<TaskState>,
+    committed_maps: usize,
+    committed_reduces: usize,
+    /// Committed run paths per partition, in sequence order.
+    partition_runs: Vec<Vec<PathBuf>>,
+    partition_seq: Vec<usize>,
+    out_paths: Vec<Option<PathBuf>>,
+    error: Option<EngineError>,
+    map_done_at: Option<Instant>,
+    reduce_done_at: Option<Instant>,
+}
+
+/// What a handler does next.
+enum Next {
+    Map(MapAssign),
+    Reduce(ReduceAssign),
+    Shutdown,
+}
+
+struct Sched {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    max_attempts: usize,
+    speculate: bool,
+    counters: Arc<Counters>,
+}
+
+impl Sched {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().expect("scheduler lock poisoned")
+    }
+
+    /// Block until there is work for an idle worker — or, with
+    /// speculation on and the queue dry, duplicate the first in-flight
+    /// singleton attempt so the two race.
+    fn next(&self) -> Next {
+        let mut st = self.lock();
+        loop {
+            if st.error.is_some() || st.phase == Phase::Done {
+                return Next::Shutdown;
+            }
+            if let Some((kind, task)) = st.queue.pop_front() {
+                return self.launch(&mut st, kind, task);
+            }
+            if self.speculate {
+                if let Some((kind, task)) = Self::straggler(&st) {
+                    Counters::add(&self.counters.speculative_tasks, 1);
+                    return self.launch(&mut st, kind, task);
+                }
+            }
+            st = self.cv.wait(st).expect("scheduler lock poisoned");
+        }
+    }
+
+    /// The lowest-numbered uncommitted task of the current phase with
+    /// exactly one attempt in flight (bounding every task to two
+    /// concurrent attempts).
+    fn straggler(st: &SchedState) -> Option<(Kind, usize)> {
+        let (kind, tasks) = match st.phase {
+            Phase::Map => (Kind::Map, &st.maps),
+            Phase::Reduce => (Kind::Reduce, &st.reduces),
+            Phase::Done => return None,
+        };
+        tasks
+            .iter()
+            .position(|t| t.running == 1 && !t.committed)
+            .map(|task| (kind, task))
+    }
+
+    fn launch(&self, st: &mut SchedState, kind: Kind, task: usize) -> Next {
+        let t = match kind {
+            Kind::Map => &mut st.maps[task],
+            Kind::Reduce => &mut st.reduces[task],
+        };
+        let attempt = t.launches;
+        t.launches += 1;
+        t.running += 1;
+        match kind {
+            Kind::Map => {
+                let (binding, split) = st.map_meta[task];
+                Next::Map(MapAssign {
+                    task,
+                    binding,
+                    split,
+                    attempt,
+                })
+            }
+            Kind::Reduce => Next::Reduce(ReduceAssign {
+                partition: task,
+                attempt,
+                runs: st.partition_runs[task].clone(),
+            }),
+        }
+    }
+
+    /// Commit a finished map attempt (rename its runs into the job
+    /// directory under fresh sequence numbers) unless another attempt
+    /// of the task got there first. Returns whether the attempt won.
+    /// A rename failure mid-commit is not retryable — part of the
+    /// attempt may already be published — so it aborts the job.
+    fn commit_map(&self, done: &MapDone, job_dir: &Path) -> Result<bool> {
+        let mut st = self.lock();
+        st.maps[done.task].running -= 1;
+        if st.maps[done.task].committed {
+            self.cv.notify_all();
+            return Ok(false);
+        }
+        for r in &done.runs {
+            let seq = st.partition_seq[r.partition];
+            let dest = job_dir.join(format!("run-{:05}-{seq:06}", r.partition));
+            std::fs::rename(&r.path, &dest).map_err(|e| {
+                let err: EngineError = e.into();
+                st.error = Some(EngineError::TaskFailed {
+                    task: format!("map task {} commit", done.task),
+                    attempts: 1,
+                    cause: Box::new(err),
+                });
+                self.cv.notify_all();
+                EngineError::Config("commit failed".into())
+            })?;
+            st.partition_seq[r.partition] = seq + 1;
+            st.partition_runs[r.partition].push(dest);
+        }
+        st.maps[done.task].committed = true;
+        st.committed_maps += 1;
+        self.counters.absorb(&done.counters);
+        if st.committed_maps == st.maps.len() {
+            st.phase = Phase::Reduce;
+            st.map_done_at = Some(Instant::now());
+            let reduces = st.reduces.len();
+            st.queue = (0..reduces).map(|p| (Kind::Reduce, p)).collect();
+        }
+        self.cv.notify_all();
+        Ok(true)
+    }
+
+    /// Commit a finished reduce attempt by renaming its output run to
+    /// `out-{p:05}`, first-wins like the map commit.
+    fn commit_reduce(&self, done: &ReduceDone, job_dir: &Path) -> Result<bool> {
+        let mut st = self.lock();
+        st.reduces[done.partition].running -= 1;
+        if st.reduces[done.partition].committed {
+            self.cv.notify_all();
+            return Ok(false);
+        }
+        let dest = job_dir.join(format!("out-{:05}", done.partition));
+        if let Err(e) = std::fs::rename(&done.out, &dest) {
+            let err: EngineError = e.into();
+            st.error = Some(EngineError::TaskFailed {
+                task: format!("reduce task {} commit", done.partition),
+                attempts: 1,
+                cause: Box::new(err),
+            });
+            self.cv.notify_all();
+            return Err(EngineError::Config("commit failed".into()));
+        }
+        st.out_paths[done.partition] = Some(dest);
+        st.reduces[done.partition].committed = true;
+        st.committed_reduces += 1;
+        self.counters.absorb(&done.counters);
+        if st.committed_reduces == st.reduces.len() {
+            st.phase = Phase::Done;
+            st.reduce_done_at = Some(Instant::now());
+        }
+        self.cv.notify_all();
+        Ok(true)
+    }
+
+    /// Record a failed attempt: count it, requeue the task when no
+    /// sibling attempt is still in flight, fail the job when the task
+    /// is out of attempts. Failures of attempts whose task already
+    /// committed (a speculative loser dying late) are ignored entirely.
+    fn fail(&self, kind: Kind, task: usize, cause: EngineError) {
+        let mut st = self.lock();
+        let t = match kind {
+            Kind::Map => &mut st.maps[task],
+            Kind::Reduce => &mut st.reduces[task],
+        };
+        t.running -= 1;
+        if t.committed {
+            self.cv.notify_all();
+            return;
+        }
+        t.failures += 1;
+        let exhausted = t.failures >= self.max_attempts;
+        let requeue = !exhausted && t.running == 0;
+        match kind {
+            Kind::Map => Counters::add(&self.counters.map_task_failures, 1),
+            Kind::Reduce => Counters::add(&self.counters.reduce_task_failures, 1),
+        }
+        if exhausted {
+            if st.error.is_none() {
+                st.error = Some(EngineError::TaskFailed {
+                    task: format!("{} task {task}", kind.label()),
+                    attempts: self.max_attempts,
+                    cause: Box::new(cause),
+                });
+            }
+        } else if requeue {
+            st.queue.push_back((kind, task));
+            Counters::add(&self.counters.task_retries, 1);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Abort the job with an infrastructure error (spawn failure,
+    /// connect timeout, protocol violation).
+    fn abort(&self, e: EngineError) {
+        let mut st = self.lock();
+        if st.error.is_none() {
+            st.error = Some(e);
+        }
+        self.cv.notify_all();
+    }
+
+    fn finished(&self) -> bool {
+        let st = self.lock();
+        st.error.is_some() || st.phase == Phase::Done
+    }
+}
+
+/// Routes incoming worker connections to the handler that spawned the
+/// worker, keyed by the id in the hello frame.
+struct Broker {
+    conns: Mutex<HashMap<usize, UnixStream>>,
+    cv: Condvar,
+}
+
+impl Broker {
+    fn new() -> Broker {
+        Broker {
+            conns: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn accept_loop(&self, listener: &UnixListener, stop: &AtomicBool) {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // The hello is tiny and workers send it immediately
+                    // after connecting; a short read timeout keeps a
+                    // wedged connection from blocking the broker.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let hello = {
+                        let mut r = &stream;
+                        read_frame(&mut r)
+                    };
+                    if let Ok(Some((TAG_HELLO, payload))) = hello {
+                        if let Ok(id) = wire::decode_hello(&payload) {
+                            let _ = stream.set_read_timeout(None);
+                            self.conns
+                                .lock()
+                                .expect("broker lock poisoned")
+                                .insert(id, stream);
+                            self.cv.notify_all();
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Wait for worker `id`'s routed connection.
+    fn wait_for(&self, id: usize, timeout: Duration) -> Result<UnixStream> {
+        let deadline = Instant::now() + timeout;
+        let mut conns = self.conns.lock().expect("broker lock poisoned");
+        loop {
+            if let Some(s) = conns.remove(&id) {
+                return Ok(s);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(EngineError::Remote(format!(
+                    "worker {id} did not connect within {timeout:?}"
+                )));
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(conns, deadline - now)
+                .expect("broker lock poisoned");
+            conns = guard;
+        }
+    }
+}
+
+/// Everything one worker-slot handler thread needs.
+struct HandlerCtx<'a> {
+    job: &'a JobConfig,
+    cfg: &'a ProcessCfg,
+    sched: &'a Sched,
+    broker: &'a Broker,
+    job_dir: &'a Path,
+    socket: &'a Path,
+    fault: Option<&'a FaultPlan>,
+    next_id: &'a AtomicUsize,
+    shuffle_nanos: &'a AtomicU64,
+}
+
+fn spawn_worker(ctx: &HandlerCtx<'_>, id: usize) -> Result<Child> {
+    let (program, mut args) = match &ctx.cfg.worker_cmd {
+        Some(cmd) if !cmd.is_empty() => (PathBuf::from(&cmd[0]), cmd[1..].to_vec()),
+        _ => (
+            std::env::current_exe()?,
+            vec![super::WORKER_ARG.to_string()],
+        ),
+    };
+    args.push(ctx.socket.to_string_lossy().into_owned());
+    args.push(id.to_string());
+    Command::new(&program)
+        .args(&args)
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(|e| EngineError::Remote(format!("spawning worker {program:?}: {e}")))
+}
+
+/// Drive one worker slot: spawn a worker, feed it tasks, commit or
+/// fail its results; on worker death (fault-plan kill or otherwise),
+/// respawn under a fresh id until the job finishes.
+fn worker_slot(ctx: &HandlerCtx<'_>) {
+    'respawn: loop {
+        if ctx.sched.finished() {
+            return;
+        }
+        let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut child = match spawn_worker(ctx, id) {
+            Ok(c) => c,
+            Err(e) => {
+                ctx.sched.abort(e);
+                return;
+            }
+        };
+        let stream = match ctx.broker.wait_for(id, CONNECT_TIMEOUT) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                ctx.sched.abort(e);
+                return;
+            }
+        };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                ctx.sched.abort(e.into());
+                return;
+            }
+        });
+        let mut writer = BufWriter::new(stream);
+        let slow_ms = ctx.fault.and_then(|f| f.worker_slow(id)).unwrap_or(0);
+        let payload = match wire::encode_job(ctx.job, ctx.job_dir, slow_ms) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                ctx.sched.abort(e);
+                return;
+            }
+        };
+        if write_frame(&mut writer, TAG_JOB, &payload).is_err() {
+            let _ = child.wait();
+            continue 'respawn; // worker died before the job frame; try again
+        }
+
+        let mut ordinal = 0u64;
+        loop {
+            let next = ctx.sched.next();
+            let (kind, task, attempt, frame) = match &next {
+                Next::Shutdown => {
+                    let _ = write_frame(&mut writer, TAG_SHUTDOWN, b"");
+                    let _ = child.wait();
+                    return;
+                }
+                Next::Map(a) => (Kind::Map, a.task, a.attempt, (TAG_MAP_TASK, a.encode())),
+                Next::Reduce(a) => match a.encode() {
+                    Ok(p) => (Kind::Reduce, a.partition, a.attempt, (TAG_REDUCE_TASK, p)),
+                    Err(e) => {
+                        ctx.sched.fail(Kind::Reduce, a.partition, e);
+                        continue;
+                    }
+                },
+            };
+            if write_frame(&mut writer, frame.0, &frame.1).is_err() {
+                // Worker died between tasks: fail this attempt, respawn.
+                let _ = child.wait();
+                ctx.sched.fail(
+                    kind,
+                    task,
+                    EngineError::Remote("worker connection lost".into()),
+                );
+                continue 'respawn;
+            }
+            let this_ordinal = ordinal;
+            ordinal += 1;
+            if ctx.fault.is_some_and(|f| f.worker_kill(id, this_ordinal)) {
+                // Whole-worker fault injection: SIGKILL, no cleanup on
+                // the worker side — remove its dead attempt dir here,
+                // fail the attempt, and respawn under a fresh id.
+                let _ = child.kill();
+                let _ = child.wait();
+                Counters::add(&ctx.sched.counters.workers_killed, 1);
+                let dead = ctx
+                    .job_dir
+                    .join(format!("attempt-{}-{task:05}-{attempt:03}", kind.label()));
+                let _ = std::fs::remove_dir_all(&dead);
+                ctx.sched.fail(
+                    kind,
+                    task,
+                    EngineError::Remote(format!("worker {id} killed by fault plan")),
+                );
+                continue 'respawn;
+            }
+            match read_frame(&mut reader) {
+                Ok(Some((TAG_MAP_DONE, p))) => match MapDone::decode(&p) {
+                    Ok(done) => {
+                        ctx.shuffle_nanos
+                            .fetch_add(done.shuffle_nanos, Ordering::Relaxed);
+                        match ctx.sched.commit_map(&done, ctx.job_dir) {
+                            Ok(true) => {
+                                if write_frame(&mut writer, TAG_COMMIT_ACK, b"").is_err() {
+                                    // Committed but the worker is gone;
+                                    // its attempt dir (already drained
+                                    // of runs) will not self-clean.
+                                    let dead = ctx
+                                        .job_dir
+                                        .join(format!("attempt-map-{task:05}-{attempt:03}"));
+                                    let _ = std::fs::remove_dir_all(&dead);
+                                    let _ = child.wait();
+                                    continue 'respawn;
+                                }
+                            }
+                            Ok(false) => {
+                                let _ = write_frame(&mut writer, TAG_DISCARD, b"");
+                            }
+                            Err(_) => {
+                                let _ = write_frame(&mut writer, TAG_DISCARD, b"");
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        ctx.sched.fail(kind, task, e);
+                    }
+                },
+                Ok(Some((TAG_REDUCE_DONE, p))) => match ReduceDone::decode(&p) {
+                    Ok(done) => {
+                        ctx.shuffle_nanos
+                            .fetch_add(done.shuffle_nanos, Ordering::Relaxed);
+                        match ctx.sched.commit_reduce(&done, ctx.job_dir) {
+                            Ok(true) => {
+                                if write_frame(&mut writer, TAG_COMMIT_ACK, b"").is_err() {
+                                    let dead = ctx
+                                        .job_dir
+                                        .join(format!("attempt-reduce-{task:05}-{attempt:03}"));
+                                    let _ = std::fs::remove_dir_all(&dead);
+                                    let _ = child.wait();
+                                    continue 'respawn;
+                                }
+                            }
+                            Ok(false) => {
+                                let _ = write_frame(&mut writer, TAG_DISCARD, b"");
+                            }
+                            Err(_) => {
+                                let _ = write_frame(&mut writer, TAG_DISCARD, b"");
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        ctx.sched.fail(kind, task, e);
+                    }
+                },
+                Ok(Some((TAG_TASK_ERR, p))) => {
+                    let cause = match TaskErr::decode(&p) {
+                        Ok(err) if err.injected => EngineError::Injected(err.msg),
+                        Ok(err) => EngineError::Remote(err.msg),
+                        Err(e) => e,
+                    };
+                    ctx.sched.fail(kind, task, cause);
+                }
+                Ok(Some((tag, _))) => {
+                    ctx.sched.abort(EngineError::Remote(format!(
+                        "unexpected frame tag {tag} from worker {id}"
+                    )));
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return;
+                }
+                Ok(None) | Err(_) => {
+                    // The worker died mid-task (crash, or a kill racing
+                    // a previous slot's shutdown): fail the attempt and
+                    // respawn. Its attempt dir may survive the SIGKILL;
+                    // remove it like the kill path does.
+                    let _ = child.wait();
+                    let dead = ctx
+                        .job_dir
+                        .join(format!("attempt-{}-{task:05}-{attempt:03}", kind.label()));
+                    let _ = std::fs::remove_dir_all(&dead);
+                    ctx.sched.fail(
+                        kind,
+                        task,
+                        EngineError::Remote(format!("worker {id} died mid-task")),
+                    );
+                    continue 'respawn;
+                }
+            }
+        }
+    }
+}
+
+impl ExecBackend for ProcessBackend {
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn run(&self, job: &JobConfig) -> Result<JobResult> {
+        let start = Instant::now();
+        if job.inputs.is_empty() {
+            return Err(EngineError::Config("job has no inputs".into()));
+        }
+        let num_reducers = job.num_reducers.max(1);
+        let max_attempts = job.max_task_attempts.max(1);
+        let workers = self.cfg.workers.max(1);
+        let (alloc_count0, alloc_bytes0) = allocstats::totals();
+
+        // The job directory is the shared commit space: attempt dirs,
+        // committed runs, reduce outputs, and the control socket all
+        // live here and vanish together when the SpillDir drops.
+        let spill_dir = SpillDir::create(job.spill_dir.as_deref(), &job.name)?;
+        let job_dir = spill_dir.path().to_path_buf();
+        // Reject non-serializable jobs before any fork.
+        wire::encode_job(job, &job_dir, 0)?;
+
+        // Plan map tasks exactly like the local runner: one task per
+        // split at the job's parallelism hint. Workers re-open splits
+        // with the same hint, so boundaries agree.
+        let hint = job.map_parallelism.max(1);
+        let mut map_meta: Vec<(usize, usize)> = Vec::new();
+        for (bi, binding) in job.inputs.iter().enumerate() {
+            let splits = binding.input.open(hint)?.len();
+            for s in 0..splits {
+                map_meta.push((bi, s));
+            }
+        }
+
+        let socket = job_dir.join("ctl.sock");
+        let listener = UnixListener::bind(&socket)?;
+        listener.set_nonblocking(true)?;
+
+        let counters = Counters::new();
+        let shuffle_nanos = AtomicU64::new(0);
+        let map_count = map_meta.len();
+        let mut state = SchedState {
+            phase: Phase::Map,
+            queue: (0..map_count).map(|t| (Kind::Map, t)).collect(),
+            maps: (0..map_count).map(|_| TaskState::default()).collect(),
+            map_meta,
+            reduces: (0..num_reducers).map(|_| TaskState::default()).collect(),
+            committed_maps: 0,
+            committed_reduces: 0,
+            partition_runs: vec![Vec::new(); num_reducers],
+            partition_seq: vec![0; num_reducers],
+            out_paths: vec![None; num_reducers],
+            error: None,
+            map_done_at: None,
+            reduce_done_at: None,
+        };
+        if map_count == 0 {
+            // Degenerate but legal: no splits at all — straight to
+            // reduce over empty partitions.
+            state.phase = Phase::Reduce;
+            state.map_done_at = Some(Instant::now());
+            state.queue = (0..num_reducers).map(|p| (Kind::Reduce, p)).collect();
+        }
+        let sched = Sched {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            max_attempts,
+            speculate: self.cfg.speculate,
+            counters: Arc::clone(&counters),
+        };
+
+        let broker = Broker::new();
+        let stop_broker = AtomicBool::new(false);
+        let next_id = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| broker.accept_loop(&listener, &stop_broker));
+            let mut handlers = Vec::new();
+            for _ in 0..workers {
+                let ctx = HandlerCtx {
+                    job,
+                    cfg: &self.cfg,
+                    sched: &sched,
+                    broker: &broker,
+                    job_dir: &job_dir,
+                    socket: &socket,
+                    fault: job.fault_plan.as_deref(),
+                    next_id: &next_id,
+                    shuffle_nanos: &shuffle_nanos,
+                };
+                handlers.push(scope.spawn(move || worker_slot(&ctx)));
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+            stop_broker.store(true, Ordering::Relaxed);
+        });
+
+        let st = sched.state.into_inner().expect("scheduler lock poisoned");
+        if let Some(e) = st.error {
+            return Err(e);
+        }
+
+        // ---- assemble output (coordinator-side, like the local
+        // runner's output stage) --------------------------------------
+        let mut output: Vec<(Value, Value)> = Vec::new();
+        let mut output_files: Vec<PathBuf> = Vec::new();
+        let read_partition = |p: usize| -> Result<Vec<(Value, Value)>> {
+            let path = st.out_paths[p]
+                .as_ref()
+                .expect("every partition commits before Done");
+            let mut pairs = Vec::new();
+            for item in mr_storage::RunFileReader::open(path)? {
+                pairs.push(item?);
+            }
+            Ok(pairs)
+        };
+        match &job.output {
+            OutputSpec::InMemory => {
+                for p in 0..num_reducers {
+                    output.extend(read_partition(p)?);
+                }
+                if job.sort_output {
+                    output.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                }
+            }
+            OutputSpec::TextDir(dir) => {
+                std::fs::create_dir_all(dir)?;
+                for p in 0..num_reducers {
+                    let mut pairs = read_partition(p)?;
+                    if job.sort_output {
+                        pairs.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                    }
+                    let path = dir.join(format!("part-{p:05}"));
+                    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                    for (k, v) in pairs {
+                        writeln!(f, "{k}\t{v}")?;
+                    }
+                    f.flush()?;
+                    output_files.push(path);
+                }
+            }
+        }
+        drop(spill_dir); // runs, outs, attempt dirs, socket — all gone
+
+        let (alloc_count1, alloc_bytes1) = allocstats::totals();
+        Counters::add(
+            &counters.alloc_count,
+            alloc_count1.saturating_sub(alloc_count0),
+        );
+        Counters::add(
+            &counters.alloc_bytes,
+            alloc_bytes1.saturating_sub(alloc_bytes0),
+        );
+
+        let map_done = st.map_done_at.unwrap_or_else(Instant::now);
+        let reduce_done = st.reduce_done_at.unwrap_or_else(Instant::now);
+        Ok(JobResult {
+            counters: counters.snapshot(),
+            output,
+            output_files,
+            elapsed: start.elapsed(),
+            phases: PhaseTimings {
+                map: map_done.duration_since(start),
+                shuffle: Duration::from_nanos(shuffle_nanos.load(Ordering::Relaxed)),
+                reduce: reduce_done.duration_since(map_done),
+            },
+        })
+    }
+}

@@ -1,0 +1,176 @@
+//! The length-prefixed task protocol the process backend speaks over
+//! its Unix control socket.
+//!
+//! Every message is one *frame* reusing the blockcodec stream framing
+//! discipline (docs/FORMATS.md):
+//!
+//! ```text
+//! [tag u8][payload_len varint][payload bytes][crc32(payload) u32 LE]
+//! ```
+//!
+//! The checksum covers the payload only — the tag and length are
+//! structural, and a mismatch anywhere (short read, oversized length,
+//! bad crc) surfaces as a typed
+//! [`StorageError::Corrupt`](mr_storage::StorageError) wrapped in
+//! [`EngineError::Storage`], never as garbage data. A clean EOF at a
+//! frame boundary reads as `Ok(None)`: that is how a worker sees the
+//! coordinator hang up.
+//!
+//! Payloads are compact JSON (see `backend/wire.rs`) except where a
+//! message is a bare number; the protocol layer does not care.
+
+use std::io::{Read, Write};
+
+use mr_storage::blockcodec::crc32;
+use mr_storage::varint::encode_u64;
+use mr_storage::StorageError;
+
+use crate::error::{EngineError, Result};
+
+/// Worker → coordinator: first frame on a fresh connection; the payload
+/// is the worker id in decimal, so the broker can route the socket to
+/// the handler that spawned this worker.
+pub const TAG_HELLO: u8 = 1;
+/// Coordinator → worker: the serialized job (`backend/wire.rs`), sent
+/// once after the hello.
+pub const TAG_JOB: u8 = 2;
+/// Coordinator → worker: run one map task attempt.
+pub const TAG_MAP_TASK: u8 = 3;
+/// Coordinator → worker: run one reduce task attempt.
+pub const TAG_REDUCE_TASK: u8 = 4;
+/// Worker → coordinator: a map attempt succeeded; runs are staged in
+/// the attempt directory awaiting commit.
+pub const TAG_MAP_DONE: u8 = 5;
+/// Worker → coordinator: a reduce attempt succeeded.
+pub const TAG_REDUCE_DONE: u8 = 6;
+/// Worker → coordinator: a task attempt failed (the job-level retry
+/// logic decides what happens next).
+pub const TAG_TASK_ERR: u8 = 7;
+/// Coordinator → worker: the attempt was committed; drop the attempt
+/// directory (its run files were renamed out already).
+pub const TAG_COMMIT_ACK: u8 = 8;
+/// Coordinator → worker: the attempt lost (another attempt committed
+/// first); drop the attempt directory with everything in it.
+pub const TAG_DISCARD: u8 = 9;
+/// Coordinator → worker: no more tasks; exit cleanly.
+pub const TAG_SHUTDOWN: u8 = 10;
+
+/// Frames larger than this are rejected as corrupt before any
+/// allocation — a defense against reading a garbage length from a
+/// torn stream, not a real limit (payloads are control messages, not
+/// data; shuffle bytes travel through the filesystem).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+fn corrupt(detail: impl Into<String>) -> EngineError {
+    EngineError::Storage(StorageError::corrupt("task-protocol frame", detail))
+}
+
+/// Write one frame and flush it (frames are request/response turns;
+/// buffering across them would deadlock both ends).
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<()> {
+    let mut head = Vec::with_capacity(11);
+    head.push(tag);
+    encode_u64(payload.len() as u64, &mut head);
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the stream cleanly
+/// at a frame boundary; EOF anywhere *inside* a frame, a length past
+/// [`MAX_PAYLOAD`], or a checksum mismatch is a typed `Corrupt` error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>> {
+    let mut tag = [0u8; 1];
+    loop {
+        match r.read(&mut tag) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = match mr_storage::varint::read_u64_from(r) {
+        Ok(Some((len, _))) => len,
+        Ok(None) => return Err(corrupt("eof in frame length")),
+        Err(e) => return Err(EngineError::Storage(e)),
+    };
+    if len as usize > MAX_PAYLOAD {
+        return Err(corrupt(format!("frame length {len} exceeds {MAX_PAYLOAD}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| corrupt(format!("eof in frame payload: {e}")))?;
+    let mut crc = [0u8; 4];
+    r.read_exact(&mut crc)
+        .map_err(|e| corrupt(format!("eof in frame checksum: {e}")))?;
+    let want = u32::from_le_bytes(crc);
+    let got = crc32(&payload);
+    if want != got {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok(Some((tag[0], payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_corrupt(e: &EngineError) -> bool {
+        matches!(
+            e,
+            EngineError::Storage(StorageError::Corrupt { context, .. })
+                if context == "task-protocol frame"
+        )
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_JOB, b"hello world").unwrap();
+        write_frame(&mut buf, TAG_SHUTDOWN, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((TAG_JOB, b"hello world".to_vec()))
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some((TAG_SHUTDOWN, Vec::new()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean eof");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_corrupt_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_MAP_DONE, b"payload bytes").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            let err = read_frame(&mut r).unwrap_err();
+            assert!(is_corrupt(&err), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_corrupt() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_MAP_DONE, b"some payload").unwrap();
+        // Flip one bit inside the payload region (tag + 1-byte varint
+        // length precede it for a payload this small).
+        buf[4] ^= 0x10;
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(is_corrupt(&err), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = vec![TAG_JOB];
+        encode_u64((MAX_PAYLOAD as u64) + 1, &mut buf);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(is_corrupt(&err), "{err}");
+    }
+}

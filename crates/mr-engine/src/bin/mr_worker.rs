@@ -1,0 +1,33 @@
+//! Standalone task-protocol worker.
+//!
+//! The process backend normally re-execs its coordinator binary in
+//! worker mode, but test harnesses (whose "current exe" is the test
+//! runner itself) and external drivers need a dedicated worker
+//! executable. Usage, matching the hidden worker entrypoint:
+//!
+//! ```text
+//! mr_worker <socket-path> <worker-id>
+//! ```
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    // Accept (and skip) the sentinel so the same argv works whether a
+    // caller passes `worker_cmd = ["mr_worker"]` or re-uses the
+    // coordinator convention `[exe, "__mr-worker"]`.
+    let first = args.next();
+    let socket = match first.as_deref() {
+        Some(s) if s == mr_engine::backend::WORKER_ARG => args.next(),
+        other => other.map(str::to_string),
+    };
+    let (socket, id) = match (socket, args.next().and_then(|s| s.parse().ok())) {
+        (Some(socket), Some(id)) => (socket, id),
+        _ => {
+            eprintln!("usage: mr_worker <socket-path> <worker-id>");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = mr_engine::worker_main(&socket, id) {
+        eprintln!("mr_worker {id}: {e}");
+        std::process::exit(1);
+    }
+}

@@ -261,6 +261,16 @@ impl Builtin {
     }
 }
 
+/// Look a builtin combiner up by its [`Combiner::name`]. The process
+/// backend ships combiners to worker processes by name; only the
+/// builtin library is addressable this way.
+pub fn combiner_by_name(name: &str) -> Option<Arc<dyn Combiner>> {
+    Builtin::ALL
+        .into_iter()
+        .filter_map(|b| b.combiner())
+        .find(|c| c.name() == name)
+}
+
 /// The declared combiners of the builtin reducer library.
 struct BuiltinCombiner {
     kind: Builtin,

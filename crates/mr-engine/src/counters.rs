@@ -65,6 +65,13 @@ pub struct Counters {
     /// Task attempts started after a failure (map + reduce). A job with
     /// no faults reports 0.
     pub task_retries: AtomicU64,
+    /// Speculative (duplicate) attempts launched against straggling
+    /// tasks — process backend only. Not counted as retries: the
+    /// original attempt has not failed, it is merely being raced.
+    pub speculative_tasks: AtomicU64,
+    /// Worker processes killed by the fault plan's `kill:` sites —
+    /// process backend only.
+    pub workers_killed: AtomicU64,
     /// Heap allocations performed while the job ran. Populated only
     /// when the `bench-alloc` feature instruments the global allocator
     /// (see [`crate::allocstats`]); 0 otherwise. Process-wide, so only
@@ -106,6 +113,8 @@ impl Counters {
             map_task_failures: self.map_task_failures.load(Ordering::Relaxed),
             reduce_task_failures: self.reduce_task_failures.load(Ordering::Relaxed),
             task_retries: self.task_retries.load(Ordering::Relaxed),
+            speculative_tasks: self.speculative_tasks.load(Ordering::Relaxed),
+            workers_killed: self.workers_killed.load(Ordering::Relaxed),
             alloc_count: self.alloc_count.load(Ordering::Relaxed),
             alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
         }
@@ -135,6 +144,8 @@ impl Counters {
         Counters::add(&self.map_task_failures, s.map_task_failures);
         Counters::add(&self.reduce_task_failures, s.reduce_task_failures);
         Counters::add(&self.task_retries, s.task_retries);
+        Counters::add(&self.speculative_tasks, s.speculative_tasks);
+        Counters::add(&self.workers_killed, s.workers_killed);
         Counters::add(&self.alloc_count, s.alloc_count);
         Counters::add(&self.alloc_bytes, s.alloc_bytes);
     }
@@ -180,6 +191,11 @@ pub struct CounterSnapshot {
     pub reduce_task_failures: u64,
     /// Attempts started after a failure.
     pub task_retries: u64,
+    /// Speculative duplicate attempts launched (process backend only).
+    pub speculative_tasks: u64,
+    /// Worker processes killed by `kill:` fault sites (process backend
+    /// only).
+    pub workers_killed: u64,
     /// Heap allocations during the job (`bench-alloc` feature only).
     pub alloc_count: u64,
     /// Heap bytes requested during the job (`bench-alloc` only).
@@ -204,6 +220,13 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "map task failures : {}", self.map_task_failures)?;
         writeln!(f, "red. task failures: {}", self.reduce_task_failures)?;
         write!(f, "task retries      : {}", self.task_retries)?;
+        if self.speculative_tasks > 0 || self.workers_killed > 0 {
+            write!(
+                f,
+                "\nspeculative tasks : {}\nworkers killed    : {}",
+                self.speculative_tasks, self.workers_killed
+            )?;
+        }
         if self.alloc_count > 0 {
             write!(
                 f,

@@ -21,6 +21,12 @@ pub enum EngineError {
     /// [`FaultPlan`](crate::fault::FaultPlan) (tests and drills only;
     /// retried like any other task failure).
     Injected(String),
+    /// A failure that happened inside (or to) a worker process of the
+    /// process backend — the original error does not travel across the
+    /// socket as a typed value, only its rendering (except injected
+    /// faults, which stay [`EngineError::Injected`] so drills can match
+    /// on them).
+    Remote(String),
     /// A task failed on every allowed attempt
     /// ([`JobConfig::max_task_attempts`](crate::job::JobConfig::max_task_attempts));
     /// `cause` is the last attempt's error.
@@ -44,6 +50,7 @@ impl fmt::Display for EngineError {
             EngineError::Config(e) => write!(f, "bad job config: {e}"),
             EngineError::Io(e) => write!(f, "i/o: {e}"),
             EngineError::Injected(e) => write!(f, "injected fault: {e}"),
+            EngineError::Remote(e) => write!(f, "worker: {e}"),
             EngineError::TaskFailed {
                 task,
                 attempts,

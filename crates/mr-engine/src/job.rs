@@ -34,6 +34,89 @@ impl InputBinding {
     }
 }
 
+/// How many worker processes the process backend forks, and how they
+/// are launched ([`BackendSpec::Process`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessCfg {
+    /// Worker processes to fork. The coordinator respawns workers the
+    /// fault plan kills, so this is the *concurrent* worker count, not
+    /// a lifetime total.
+    pub workers: usize,
+    /// Command line that starts a worker (program + leading args); the
+    /// coordinator appends the control-socket path and the worker id.
+    /// `None` re-executes [`std::env::current_exe`] with the hidden
+    /// `__mr-worker` argument — right for binaries that install the
+    /// worker entrypoint (the `manimal` CLI, the bench bins); tests
+    /// spawning a *different* binary set this explicitly.
+    pub worker_cmd: Option<Vec<String>>,
+    /// Launch speculative duplicate attempts for straggling tasks: when
+    /// the task queue is empty and a worker sits idle, the
+    /// longest-running in-flight task is duplicated onto it and the two
+    /// attempts race — the first to finish commits by rename, the loser
+    /// is discarded (its attempt dir cleans up by RAII). Byte-identical
+    /// output either way.
+    pub speculate: bool,
+}
+
+impl Default for ProcessCfg {
+    fn default() -> ProcessCfg {
+        ProcessCfg {
+            workers: 2,
+            worker_cmd: None,
+            speculate: false,
+        }
+    }
+}
+
+/// Which execution backend runs the job (see [`crate::backend`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// In-process scoped-thread runner — the reference implementation.
+    #[default]
+    Local,
+    /// Coordinator + forked worker processes over a Unix-socket task
+    /// protocol. Requires a wire-serializable job: IR mappers/reducers
+    /// and builtin reducers travel; native `Fn` factories do not and
+    /// are rejected with a config error.
+    Process(ProcessCfg),
+}
+
+impl BackendSpec {
+    /// Parse a CLI/env spec: `local`, `process`, or `process:N` for N
+    /// workers.
+    pub fn parse(spec: &str) -> Result<BackendSpec, String> {
+        match spec {
+            "local" => Ok(BackendSpec::Local),
+            "process" => Ok(BackendSpec::Process(ProcessCfg::default())),
+            _ => match spec.strip_prefix("process:") {
+                Some(n) => {
+                    let workers: usize = n
+                        .parse()
+                        .map_err(|_| format!("`{spec}`: worker count `{n}` is not a number"))?;
+                    if workers == 0 {
+                        return Err(format!("`{spec}`: worker count must be at least 1"));
+                    }
+                    Ok(BackendSpec::Process(ProcessCfg {
+                        workers,
+                        ..ProcessCfg::default()
+                    }))
+                }
+                None => Err(format!("`{spec}`: expected local, process or process:N")),
+            },
+        }
+    }
+
+    /// The spec name (`local` or `process`/`process:N`), parseable by
+    /// [`parse`](Self::parse) — worker_cmd/speculate are runtime
+    /// wiring, not part of the spec.
+    pub fn name(&self) -> String {
+        match self {
+            BackendSpec::Local => "local".into(),
+            BackendSpec::Process(cfg) => format!("process:{}", cfg.workers),
+        }
+    }
+}
+
 /// Where reduce output goes.
 #[derive(Debug, Clone)]
 pub enum OutputSpec {
@@ -141,6 +224,11 @@ pub struct JobConfig {
     /// A/B control the hot-path bench measures the allocation tax
     /// with.
     pub buffer_pool: Option<Arc<BufferPool>>,
+    /// Which execution backend runs the job
+    /// ([`BackendSpec::Local`] by default — the in-process reference;
+    /// [`BackendSpec::Process`] shards tasks across forked worker
+    /// processes). Output is byte-identical across backends.
+    pub backend: BackendSpec,
 }
 
 impl JobConfig {
@@ -168,6 +256,7 @@ impl JobConfig {
             fault_plan: None,
             spill_writer_threads: 1,
             buffer_pool: None,
+            backend: BackendSpec::Local,
         }
     }
 
@@ -246,6 +335,12 @@ impl JobConfig {
     /// Recycle buffers through `pool` instead of a job-private one.
     pub fn with_buffer_pool(mut self, pool: Arc<BufferPool>) -> Self {
         self.buffer_pool = Some(pool);
+        self
+    }
+
+    /// Run the job on the given execution backend.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 }

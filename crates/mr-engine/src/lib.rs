@@ -37,11 +37,19 @@
 //! idempotent side effects (attempt-scoped spill paths, commit on
 //! success — see [`runner`]), and the whole machinery is driven
 //! deterministically in tests by a seedable [`fault::FaultPlan`].
+//!
+//! Execution is pluggable behind [`backend::ExecBackend`]: the
+//! scoped-thread runner above is the reference [`LocalBackend`], and
+//! [`ProcessBackend`] drives the same job over forked worker processes
+//! and a Unix-socket task protocol — surviving whole-worker `SIGKILL`
+//! and racing speculative attempts, with byte-identical output
+//! (selected per job via [`job::BackendSpec`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allocstats;
+pub mod backend;
 pub mod combine;
 pub mod counters;
 pub mod error;
@@ -57,12 +65,13 @@ pub mod runner;
 pub mod spill;
 pub mod spillwriter;
 
+pub use backend::{maybe_worker_entry, worker_main, ExecBackend, LocalBackend, ProcessBackend};
 pub use combine::{CombineStrategy, Combiner};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::{EngineError, Result};
 pub use fault::{FaultPlan, TaskFault};
 pub use input::{InputSpec, SplitReader};
-pub use job::{InputBinding, JobConfig, OutputSpec};
+pub use job::{BackendSpec, InputBinding, JobConfig, OutputSpec, ProcessCfg};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
 pub use merge::{KWayMerge, LoserTree, RunStream};
 pub use mr_storage::blockcodec::ShuffleCompression;

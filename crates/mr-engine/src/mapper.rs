@@ -37,6 +37,15 @@ pub trait Mapper: Send {
 pub trait MapperFactory: Send + Sync {
     /// New mapper with fresh task-local state.
     fn create(&self) -> Box<dyn Mapper>;
+
+    /// The compiled IR function behind this factory, when there is one.
+    /// The process backend ships mappers to worker processes as IR
+    /// assembly, so only factories that expose their function here are
+    /// wire-serializable; native factories (closures) return `None` and
+    /// are rejected with a config error.
+    fn ir_function(&self) -> Option<&Function> {
+        None
+    }
 }
 
 /// Runs a compiled MR-IR `map()` through the interpreter.
@@ -88,6 +97,10 @@ impl IrMapperFactory {
 impl MapperFactory for IrMapperFactory {
     fn create(&self) -> Box<dyn Mapper> {
         Box::new(IrMapper::new(Arc::clone(&self.func)))
+    }
+
+    fn ir_function(&self) -> Option<&Function> {
+        Some(&self.func)
     }
 }
 

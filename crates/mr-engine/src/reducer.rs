@@ -41,6 +41,22 @@ pub trait ReducerFactory: Send + Sync {
     fn combiner(&self) -> Option<std::sync::Arc<dyn crate::combine::Combiner>> {
         None
     }
+
+    /// The builtin reducer behind this factory, when there is one. The
+    /// process backend ships builtin reducers to worker processes by
+    /// name; the default is `None`.
+    fn as_builtin(&self) -> Option<Builtin> {
+        None
+    }
+
+    /// The compiled IR reduce function behind this factory, when there
+    /// is one. The process backend ships IR reducers to worker
+    /// processes as IR assembly; factories that return `None` here and
+    /// from [`ReducerFactory::as_builtin`] (native closures) are not
+    /// wire-serializable and are rejected with a config error.
+    fn ir_function(&self) -> Option<&Function> {
+        None
+    }
 }
 
 /// The builtin reducers.
@@ -62,6 +78,38 @@ pub enum Builtin {
     /// (the paper's Table 6 program: "groups these sums by destURL, but
     /// does not in the end emit the URL").
     SumDropKey,
+}
+
+impl Builtin {
+    /// Every builtin reducer, in declaration order.
+    pub const ALL: [Builtin; 7] = [
+        Builtin::Sum,
+        Builtin::Count,
+        Builtin::Max,
+        Builtin::Min,
+        Builtin::Identity,
+        Builtin::First,
+        Builtin::SumDropKey,
+    ];
+
+    /// Stable wire name of this builtin (round-trips through
+    /// [`Builtin::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Sum => "sum",
+            Builtin::Count => "count",
+            Builtin::Max => "max",
+            Builtin::Min => "min",
+            Builtin::Identity => "identity",
+            Builtin::First => "first",
+            Builtin::SumDropKey => "sum-drop-key",
+        }
+    }
+
+    /// Look a builtin up by its wire name.
+    pub fn parse(name: &str) -> Option<Builtin> {
+        Builtin::ALL.into_iter().find(|b| b.name() == name)
+    }
 }
 
 impl Reducer for Builtin {
@@ -147,6 +195,10 @@ impl ReducerFactory for Builtin {
     fn combiner(&self) -> Option<std::sync::Arc<dyn crate::combine::Combiner>> {
         Builtin::combiner(self)
     }
+
+    fn as_builtin(&self) -> Option<Builtin> {
+        Some(*self)
+    }
 }
 
 /// Runs a compiled MR-IR `reduce(key, values)` through the interpreter:
@@ -221,6 +273,10 @@ impl ReducerFactory for IrReducerFactory {
 
     fn combiner(&self) -> Option<Arc<dyn crate::combine::Combiner>> {
         self.combiner.clone()
+    }
+
+    fn ir_function(&self) -> Option<&Function> {
+        Some(&self.func)
     }
 }
 

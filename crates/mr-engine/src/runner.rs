@@ -345,7 +345,7 @@ fn map_attempt_loop(
 /// aggregates whose inject is not idempotent (Count lifts any value to
 /// 1). [`fold`](Staging::fold) injects only the raw tail, then
 /// merge-folds it into the partials.
-struct Staging {
+pub(crate) struct Staging {
     /// Unfolded emissions since the last fold, per partition.
     raw: Vec<Vec<(Value, Value)>>,
     raw_bytes: Vec<usize>,
@@ -353,7 +353,7 @@ struct Staging {
     partials: Vec<Vec<(Value, Value)>>,
     partial_bytes: Vec<usize>,
     /// Total staged bytes across both buffers and all partitions.
-    total_bytes: usize,
+    pub(crate) total_bytes: usize,
 }
 
 impl Staging {
@@ -362,7 +362,7 @@ impl Staging {
     /// [`into_parts`](Staging::into_parts) (commit puts the staged
     /// halves after absorbing them) or [`recycle`](Staging::recycle) on
     /// the error path.
-    fn new(num_reducers: usize, pool: &BufferPool) -> Staging {
+    pub(crate) fn new(num_reducers: usize, pool: &BufferPool) -> Staging {
         Staging {
             raw: (0..num_reducers).map(|_| pool.get_pairs()).collect(),
             raw_bytes: vec![0; num_reducers],
@@ -372,7 +372,7 @@ impl Staging {
         }
     }
 
-    fn push(&mut self, p: usize, pair: (Value, Value), bytes: usize) {
+    pub(crate) fn push(&mut self, p: usize, pair: (Value, Value), bytes: usize) {
         self.raw[p].push(pair);
         self.raw_bytes[p] += bytes;
         self.total_bytes += bytes;
@@ -380,7 +380,7 @@ impl Staging {
 
     /// Combine site 1: inject-fold each partition's raw tail and merge
     /// it into the partials. A pass-through without a combiner.
-    fn fold(&mut self, combine: &CombineStrategy, acc: &Counters) -> Result<()> {
+    pub(crate) fn fold(&mut self, combine: &CombineStrategy, acc: &Counters) -> Result<()> {
         if !combine.is_active() {
             return Ok(());
         }
@@ -410,7 +410,7 @@ impl Staging {
     /// the detached buffer rides the background writer. With a combiner
     /// the raw tail must already be folded in (the spill path folds
     /// before writing).
-    fn take(&mut self, p: usize, pool: &BufferPool) -> Vec<(Value, Value)> {
+    pub(crate) fn take(&mut self, p: usize, pool: &BufferPool) -> Vec<(Value, Value)> {
         debug_assert!(self.raw[p].is_empty() || self.partials[p].is_empty());
         self.total_bytes -= self.raw_bytes[p] + self.partial_bytes[p];
         self.raw_bytes[p] = 0;
@@ -420,7 +420,7 @@ impl Staging {
         out
     }
 
-    fn is_empty(&self, p: usize) -> bool {
+    pub(crate) fn is_empty(&self, p: usize) -> bool {
         self.raw[p].is_empty() && self.partials[p].is_empty()
     }
 
@@ -443,7 +443,7 @@ impl Staging {
 
     /// Return every loaned buffer to the pool — the failed-attempt
     /// teardown.
-    fn recycle(mut self, pool: &BufferPool) {
+    pub(crate) fn recycle(mut self, pool: &BufferPool) {
         for buf in self.raw.drain(..).chain(self.partials.drain(..)) {
             pool.put_pairs(buf);
         }
@@ -589,7 +589,7 @@ fn flush_group(
 /// Stream sorted pairs through the grouping loop, reducing one key
 /// group at a time — only the current group's values are ever held, so
 /// the partition is never materialized. Returns the group count.
-fn reduce_groups(
+pub(crate) fn reduce_groups(
     pairs: impl Iterator<Item = Result<(Value, Value)>>,
     reducer: &mut dyn Reducer,
     out: &mut Vec<(Value, Value)>,
@@ -621,12 +621,26 @@ fn reduce_groups(
 /// Injects a scheduled failure into a reduce attempt's merged pair
 /// stream: fails when about to yield pair `fire_at` (0 fires before
 /// anything, even on an empty partition).
-struct FaultGate<I> {
+pub(crate) struct FaultGate<I> {
     inner: I,
     fire_at: Option<u64>,
     seen: u64,
     partition: usize,
     attempt: usize,
+}
+
+impl<I> FaultGate<I> {
+    /// Gate `inner`, failing when pair `fire_at` is about to be
+    /// yielded for reduce `partition`, `attempt`.
+    pub(crate) fn new(inner: I, fire_at: Option<u64>, partition: usize, attempt: usize) -> Self {
+        FaultGate {
+            inner,
+            fire_at,
+            seen: 0,
+            partition,
+            attempt,
+        }
+    }
 }
 
 impl<I: Iterator<Item = Result<(Value, Value)>>> Iterator for FaultGate<I> {
@@ -648,7 +662,7 @@ impl<I: Iterator<Item = Result<(Value, Value)>>> Iterator for FaultGate<I> {
 
 /// The pairs of a single [`RunStream`] (or nothing), for the heap-free
 /// one-stream reduce path.
-struct StreamPairs(Option<RunStream>);
+pub(crate) struct StreamPairs(pub(crate) Option<RunStream>);
 
 impl Iterator for StreamPairs {
     type Item = Result<(Value, Value)>;
@@ -870,6 +884,7 @@ impl Reducer for StreamingReducer {
 ///     fault_plan: None,
 ///     spill_writer_threads: 1,
 ///     buffer_pool: None,
+///     backend: Default::default(),
 /// };
 /// let result = run_job(&job)?;
 /// assert_eq!(result.output.len(), 7, "seven distinct words");
@@ -878,6 +893,13 @@ impl Reducer for StreamingReducer {
 /// # Ok::<(), mr_engine::EngineError>(())
 /// ```
 pub fn run_job(job: &JobConfig) -> Result<JobResult> {
+    crate::backend::dispatch(job)
+}
+
+/// The in-process scoped-thread execution path — the reference
+/// implementation behind [`crate::backend::LocalBackend`], and the
+/// behaviour every other backend must match byte for byte.
+pub(crate) fn run_job_local(job: &JobConfig) -> Result<JobResult> {
     let start = Instant::now();
     if job.inputs.is_empty() {
         return Err(EngineError::Config("job has no inputs".into()));
@@ -1392,6 +1414,7 @@ mod tests {
             fault_plan: None,
             spill_writer_threads: 1,
             buffer_pool: None,
+            backend: Default::default(),
         };
         let result = run_job(&job).unwrap();
         assert_eq!(result.output.len(), 10, "ten distinct urls");
@@ -1510,6 +1533,7 @@ mod tests {
             fault_plan: None,
             spill_writer_threads: 1,
             buffer_pool: None,
+            backend: Default::default(),
         };
         assert!(matches!(run_job(&job), Err(EngineError::Config(_))));
     }
