@@ -11,6 +11,10 @@
 //!   machine-independent, so growth beyond 25% fails even when timing
 //!   noise would hide it. Zero baselines (bench built without
 //!   `bench-alloc`) never gate.
+//! * `ratio` — spill compression ratios (written/raw byte counts, so
+//!   machine-independent like the allocator totals); a ratio growing
+//!   more than 25% over baseline means a codec got materially worse at
+//!   its one job and fails the gate. Zero baselines never gate.
 //!
 //! Timing fields (`*_secs`) are machine-dependent and are reported for
 //! context only — they never fail the gate.
@@ -67,6 +71,15 @@ fn collect_metrics(doc: &Json, field: &str, prefix: &str, out: &mut Vec<Metric>)
                     .or_else(|| item.get("label"))
                     .and_then(Json::as_str)
                     .map(|s| format!("[{s}]"))
+                    // Compression rows are keyed by cardinality × codec.
+                    .or_else(|| match (item.get("keys"), item.get("codec")) {
+                        (Some(k), Some(c)) => Some(format!(
+                            "[{}/{}]",
+                            k.as_str().unwrap_or("?"),
+                            c.as_str().unwrap_or("?")
+                        )),
+                        _ => None,
+                    })
                     .unwrap_or_else(|| format!("[{i}]"));
                 collect_metrics(item, field, &format!("{prefix}{label}"), out);
             }
@@ -99,9 +112,10 @@ fn check_doc(name: &str, baseline: &Json, current: &Json) -> Vec<String> {
             ));
         }
     }
-    // Allocation counters: current must stay within (1 + TOLERANCE) ×
-    // baseline. Zero baselines (feature off) don't gate.
-    for field in ["alloc_count", "alloc_bytes"] {
+    // Up-is-bad machine-independent metrics: allocation counters and
+    // compression ratios must stay within (1 + TOLERANCE) × baseline.
+    // Zero baselines (feature off / metric absent) don't gate.
+    for field in ["alloc_count", "alloc_bytes", "ratio"] {
         let mut base = Vec::new();
         let mut cur = Vec::new();
         collect_metrics(baseline, field, name, &mut base);
@@ -112,8 +126,13 @@ fn check_doc(name: &str, baseline: &Json, current: &Json) -> Vec<String> {
                 continue;
             };
             if b.value > 0.0 && c.value > b.value * (1.0 + TOLERANCE) {
+                let what = if field == "ratio" {
+                    "compression ratio"
+                } else {
+                    "allocations"
+                };
                 violations.push(format!(
-                    "{}: allocations grew {:.0} -> {:.0} ({:+.1}%)",
+                    "{}: {what} grew {:.4} -> {:.4} ({:+.1}%)",
                     b.path,
                     b.value,
                     c.value,
@@ -233,6 +252,40 @@ mod tests {
         let violations = check_doc("hotpath", &doc(1000.0, 500), &doc(1000.0, 700));
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("allocations grew"), "{violations:?}");
+    }
+
+    fn compress_doc(ratio: f64) -> Json {
+        Json::obj([(
+            "rows",
+            Json::Arr(vec![Json::obj([
+                ("keys", Json::str("64 ips")),
+                ("codec", Json::str("dict-trained")),
+                ("ratio", Json::Float(ratio)),
+                ("total_secs", Json::Float(1.0)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn ratio_regression_fails_and_names_the_cell() {
+        // 0.40 -> 0.55 is a 37% worse ratio: gate.
+        let violations = check_doc("compress", &compress_doc(0.40), &compress_doc(0.55));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("compression ratio grew"),
+            "{violations:?}"
+        );
+        assert!(
+            violations[0].contains("64 ips/dict-trained"),
+            "violation names the cardinality × codec cell: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn ratio_drift_within_tolerance_passes() {
+        assert!(check_doc("compress", &compress_doc(0.40), &compress_doc(0.48)).is_empty());
+        // Improvement is always fine.
+        assert!(check_doc("compress", &compress_doc(0.40), &compress_doc(0.20)).is_empty());
     }
 
     #[test]

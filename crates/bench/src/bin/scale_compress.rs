@@ -93,6 +93,18 @@ fn main() {
                 );
                 low_card_checked = true;
             }
+            if codec == ShuffleCompression::DictTrained {
+                // The trained codec must actually train, and must beat
+                // the raw framing on *both* cardinalities — the whole
+                // point of paying the training pass.
+                assert!(c.dict_trained >= 1, "{card_label}: no dictionary trained");
+                assert!(
+                    c.spill_bytes_written < c.spill_bytes_raw,
+                    "{card_label}/dict-trained must shrink spills: {} written vs {} raw",
+                    c.spill_bytes_written,
+                    c.spill_bytes_raw
+                );
+            }
             rows.push(codec_row(card_label, codec, time, &result));
             json_rows.push(codec_json(card_label, codec, budget, time, &result));
         }

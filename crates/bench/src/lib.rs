@@ -90,9 +90,9 @@ pub fn backend_env() -> Option<mr_engine::BackendSpec> {
 }
 
 /// The shuffle codec from `MANIMAL_SHUFFLE_CODEC` (`none` | `raw` |
-/// `dict` | `delta`), or `None` when unset — CI's `fault-smoke` step
-/// sets it so the compressed spill path runs under injected failures
-/// on every push.
+/// `dict` | `delta` | `dict-trained`), or `None` when unset — CI's
+/// `fault-smoke` step sets it so the compressed spill path runs under
+/// injected failures on every push.
 pub fn shuffle_codec_env() -> Option<mr_engine::ShuffleCompression> {
     std::env::var("MANIMAL_SHUFFLE_CODEC").ok().map(|name| {
         mr_engine::ShuffleCompression::parse(&name)

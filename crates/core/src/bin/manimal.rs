@@ -79,15 +79,19 @@ manimal — automatic optimization for MapReduce programs
   manimal run     PROG.mrasm DATA.seq [--work DIR] [--reducer R]
                   [--reduce-ir REDUCE.mrasm]
                   [--baseline] [--safe-mode] [--shuffle-buffer BYTES]
-                  [--shuffle-codec none|raw|dict|delta]
+                  [--shuffle-codec none|raw|dict|delta|dict-trained]
                   [--spill-writer-threads N]
-                  [--no-combine] [--max-task-attempts N]
+                  [--no-combine] [--no-dict-train] [--max-task-attempts N]
                   [--fault-spec SPEC]
                   [--backend local|process|process:N]
 
 codecs: --shuffle-codec block-compresses spill runs (dict = LZW
 dictionary frames, delta = stride-delta frames, raw = CRC framing
-only); --codec on generate writes the block-compressed seqfile
+only, dict-trained = LZW seeded from a dictionary trained on the
+job's own map output and stored content-addressed under
+WORK/dicts for cross-job reuse); --no-dict-train downgrades
+dict-trained to the static dict codec (no training pass, no
+artifacts); --codec on generate writes the block-compressed seqfile
 variant. Output is byte-identical under every codec.
 
 shuffle: --shuffle-buffer caps the resident shuffle and spills the
@@ -277,8 +281,9 @@ fn parse_num(rest: &[&String], name: &str, default: usize) -> Result<usize, Stri
 fn parse_codec(rest: &[&String], name: &str) -> Result<ShuffleCompression, String> {
     match flag_value(rest, name) {
         None => Ok(ShuffleCompression::None),
-        Some(v) => ShuffleCompression::parse(v)
-            .ok_or_else(|| format!("{name}: unknown codec `{v}` (none|raw|dict|delta)")),
+        Some(v) => ShuffleCompression::parse(v).ok_or_else(|| {
+            format!("{name}: unknown codec `{v}` (none|raw|dict|delta|dict-trained)")
+        }),
     }
 }
 
@@ -438,6 +443,7 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
     let mut manimal = Manimal::new(workdir(rest, input)).map_err(|e| e.to_string())?;
     manimal.optimizer.safe_mode = flag_present(rest, "--safe-mode");
     manimal.optimizer.no_combine = flag_present(rest, "--no-combine");
+    manimal.optimizer.no_dict_train = flag_present(rest, "--no-dict-train");
     if let Some(bytes) = flag_value(rest, "--shuffle-buffer") {
         manimal.shuffle_buffer_bytes = Some(
             bytes
@@ -484,6 +490,13 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
         "elapsed: {:?}; {}",
         execution.result.elapsed, execution.result.counters
     );
+    if let Some(ratio) = execution.result.compression_ratio() {
+        eprintln!(
+            "spill compression: {ratio:.4}x ({} of {} raw bytes written)",
+            execution.result.counters.spill_bytes_written,
+            execution.result.counters.spill_bytes_raw,
+        );
+    }
     for (k, v) in execution.result.output.iter().take(50) {
         println!("{k}\t{v}");
     }

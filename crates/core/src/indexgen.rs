@@ -281,6 +281,7 @@ impl IndexGenProgram {
             shuffle_buffer_bytes,
             shuffle_compression,
             spill_dir: None,
+            dict_store: None,
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,

@@ -143,6 +143,8 @@ macro_rules! counter_fields {
             spilled_records,
             spill_bytes_raw,
             spill_bytes_written,
+            dict_trained,
+            dict_reused,
             combine_in,
             combine_out,
             reduce_input_groups,
@@ -298,6 +300,9 @@ pub(crate) struct WireJob {
     pub shuffle_buffer_bytes: Option<usize>,
     /// Spill-run codec.
     pub compression: ShuffleCompression,
+    /// Persistent trained-dictionary store for the dict-trained codec
+    /// ([`JobConfig::dict_store`]), if any.
+    pub dict_store: Option<PathBuf>,
     /// Map-side combiner (by-name builtin), if any.
     pub combiner: Option<Arc<dyn Combiner>>,
     /// Record-level fault schedule (the worker consults map/reduce
@@ -367,6 +372,13 @@ pub(crate) fn encode_job(job: &JobConfig, job_dir: &Path, slow_ms: u64) -> Resul
             },
         ),
         ("compression", Json::str(job.shuffle_compression.name())),
+        (
+            "dict_store",
+            match &job.dict_store {
+                Some(p) => path_json(p)?,
+                None => Json::Null,
+            },
+        ),
         ("combiner", combiner),
         (
             "fault",
@@ -440,6 +452,10 @@ pub(crate) fn decode_job(payload: &[u8]) -> Result<WireJob> {
             let name = str_field(&j, "compression")?;
             ShuffleCompression::parse(name)
                 .ok_or_else(|| bad(format!("unknown shuffle codec `{name}`")))?
+        },
+        dict_store: match j.get("dict_store") {
+            Some(Json::Null) | None => None,
+            Some(_) => Some(path_field(&j, "dict_store")?),
         },
         combiner,
         fault,
@@ -770,6 +786,7 @@ mod tests {
             shuffle_buffer_bytes: Some(4096),
             shuffle_compression: ShuffleCompression::Dict,
             spill_dir: None,
+            dict_store: Some("/tmp/dict-store".into()),
             combiner: Builtin::Sum.combiner(),
             max_task_attempts: 2,
             fault_plan: Some(Arc::new(
@@ -791,6 +808,7 @@ mod tests {
         assert_eq!(wire.map_parallelism, 2);
         assert_eq!(wire.shuffle_buffer_bytes, Some(4096));
         assert_eq!(wire.compression, ShuffleCompression::Dict);
+        assert_eq!(wire.dict_store, Some(PathBuf::from("/tmp/dict-store")));
         assert_eq!(wire.combiner.as_deref().map(Combiner::name), Some("sum"));
         assert_eq!(wire.slow_ms, 7);
         assert_eq!(wire.inputs.len(), 2);

@@ -35,8 +35,11 @@ use std::time::Instant;
 
 use mr_ir::value::Value;
 
+use mr_storage::blockcodec::ShuffleCompression;
+
 use crate::combine::{pair_bytes, CombineStrategy};
 use crate::counters::Counters;
+use crate::dictctx::DictContext;
 use crate::error::{EngineError, Result};
 use crate::merge::{LoserTree, RunStream};
 use crate::partition::partition;
@@ -72,6 +75,11 @@ pub fn worker_main(socket: &str, worker_id: usize) -> Result<()> {
     };
     let combine = CombineStrategy::new(job.combiner.clone());
     let pool = BufferPool::new();
+    // The dict-trained codec's dictionary authority. Committing into
+    // the *shared* job directory (hard-link, first trainer wins) keeps
+    // concurrent workers and speculative attempts on one dictionary.
+    let dict = (job.compression == ShuffleCompression::DictTrained)
+        .then(|| DictContext::new(&job.job_dir, job.dict_store.clone()));
 
     loop {
         let (tag, payload) = match read_frame(&mut reader)? {
@@ -83,7 +91,7 @@ pub fn worker_main(socket: &str, worker_id: usize) -> Result<()> {
             TAG_MAP_TASK => {
                 let assign = MapAssign::decode(&payload)?;
                 straggle(&job);
-                match run_map_attempt(&job, &combine, &pool, &assign) {
+                match run_map_attempt(&job, &combine, &pool, dict.as_ref(), &assign) {
                     Ok((done, dir)) => {
                         write_frame(&mut writer, TAG_MAP_DONE, &done.encode()?)?;
                         await_verdict(&mut reader, dir)?;
@@ -169,6 +177,7 @@ fn run_map_attempt(
     job: &WireJob,
     combine: &CombineStrategy,
     pool: &Arc<BufferPool>,
+    dict: Option<&DictContext>,
     assign: &MapAssign,
 ) -> Result<(MapDone, AttemptDir)> {
     let acc = Counters::new();
@@ -182,6 +191,7 @@ fn run_map_attempt(
         job,
         combine,
         pool,
+        dict,
         assign,
         &acc,
         &dir,
@@ -222,6 +232,7 @@ fn map_attempt_loop(
     job: &WireJob,
     combine: &CombineStrategy,
     pool: &Arc<BufferPool>,
+    dict: Option<&DictContext>,
     assign: &MapAssign,
     acc: &Arc<Counters>,
     dir: &AttemptDir,
@@ -286,6 +297,7 @@ fn map_attempt_loop(
                     job,
                     combine,
                     pool,
+                    dict,
                     acc,
                     dir,
                     staging,
@@ -303,6 +315,7 @@ fn map_attempt_loop(
         job,
         combine,
         pool,
+        dict,
         acc,
         dir,
         staging,
@@ -329,6 +342,7 @@ fn spill_all(
     job: &WireJob,
     combine: &CombineStrategy,
     pool: &Arc<BufferPool>,
+    dict: Option<&DictContext>,
     acc: &Arc<Counters>,
     dir: &AttemptDir,
     staging: &mut Staging,
@@ -349,6 +363,7 @@ fn spill_all(
             &mut pairs,
             combine,
             job.compression,
+            dict,
             acc,
             None,
             pool,

@@ -41,6 +41,14 @@ pub struct Counters {
     /// spill-disk write traffic. Equals `spill_bytes_raw` without a
     /// codec; the gap is exactly the I/O compression saved.
     pub spill_bytes_written: AtomicU64,
+    /// Shared shuffle dictionaries trained by this job (dict-trained
+    /// codec only). One map task trains per job; everything else
+    /// reuses, so a healthy job reports at most 1.
+    pub dict_trained: AtomicU64,
+    /// Times a committed (or store-cached) trained dictionary was
+    /// reused instead of retrained — retries, sibling map tasks,
+    /// compaction, and repeat jobs over the same data all count here.
+    pub dict_reused: AtomicU64,
     /// Pairs that entered a shuffle-side combine site (staging flush,
     /// spill write, compaction rewrite — the reduce-side fold is not
     /// counted). Zero when no combiner is plugged in.
@@ -104,6 +112,8 @@ impl Counters {
             spilled_records: self.spilled_records.load(Ordering::Relaxed),
             spill_bytes_raw: self.spill_bytes_raw.load(Ordering::Relaxed),
             spill_bytes_written: self.spill_bytes_written.load(Ordering::Relaxed),
+            dict_trained: self.dict_trained.load(Ordering::Relaxed),
+            dict_reused: self.dict_reused.load(Ordering::Relaxed),
             combine_in: self.combine_in.load(Ordering::Relaxed),
             combine_out: self.combine_out.load(Ordering::Relaxed),
             reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
@@ -135,6 +145,8 @@ impl Counters {
         Counters::add(&self.spilled_records, s.spilled_records);
         Counters::add(&self.spill_bytes_raw, s.spill_bytes_raw);
         Counters::add(&self.spill_bytes_written, s.spill_bytes_written);
+        Counters::add(&self.dict_trained, s.dict_trained);
+        Counters::add(&self.dict_reused, s.dict_reused);
         Counters::add(&self.combine_in, s.combine_in);
         Counters::add(&self.combine_out, s.combine_out);
         Counters::add(&self.reduce_input_groups, s.reduce_input_groups);
@@ -148,6 +160,19 @@ impl Counters {
         Counters::add(&self.workers_killed, s.workers_killed);
         Counters::add(&self.alloc_count, s.alloc_count);
         Counters::add(&self.alloc_bytes, s.alloc_bytes);
+    }
+}
+
+impl CounterSnapshot {
+    /// Shuffle compression ratio: physical spill bytes over pre-codec
+    /// spill bytes (`< 1.0` means the codec saved disk I/O). `None`
+    /// when nothing spilled.
+    pub fn spill_ratio(&self) -> Option<f64> {
+        if self.spill_bytes_raw == 0 {
+            None
+        } else {
+            Some(self.spill_bytes_written as f64 / self.spill_bytes_raw as f64)
+        }
     }
 }
 
@@ -173,6 +198,10 @@ pub struct CounterSnapshot {
     /// Physical bytes written to spill runs (incl. compaction
     /// rewrites), after the codec.
     pub spill_bytes_written: u64,
+    /// Shared shuffle dictionaries trained (dict-trained codec only).
+    pub dict_trained: u64,
+    /// Committed trained dictionaries reused instead of retrained.
+    pub dict_reused: u64,
     /// Pairs entering combine sites (0 without a combiner).
     pub combine_in: u64,
     /// Pairs leaving combine sites.
@@ -220,6 +249,16 @@ impl std::fmt::Display for CounterSnapshot {
         writeln!(f, "map task failures : {}", self.map_task_failures)?;
         writeln!(f, "red. task failures: {}", self.reduce_task_failures)?;
         write!(f, "task retries      : {}", self.task_retries)?;
+        if let Some(ratio) = self.spill_ratio() {
+            write!(f, "\nspill ratio       : {ratio:.4}")?;
+        }
+        if self.dict_trained > 0 || self.dict_reused > 0 {
+            write!(
+                f,
+                "\ndicts trained     : {}\ndicts reused      : {}",
+                self.dict_trained, self.dict_reused
+            )?;
+        }
         if self.speculative_tasks > 0 || self.workers_killed > 0 {
             write!(
                 f,

@@ -1,0 +1,267 @@
+//! Train-once / reuse-everywhere shared shuffle dictionaries.
+//!
+//! The dict-trained shuffle codec
+//! ([`ShuffleCompression::DictTrained`](mr_storage::blockcodec::ShuffleCompression))
+//! needs a [`TrainedDict`] before the first run file can be written.
+//! A [`DictContext`] is the job-scoped authority that produces it,
+//! exactly once per job:
+//!
+//! 1. the first spill trains on its own (sorted, combined, encoded)
+//!    pairs — the very bytes the columnar writer is about to frame;
+//! 2. the artifact is committed to the job spill directory
+//!    first-trainer-wins ([`mr_storage::trained::commit_dict`]), so
+//!    concurrent map tasks, retried attempts and speculative duplicates
+//!    all converge on one dictionary;
+//! 3. everyone after that — later spills, compaction rewrites, retried
+//!    attempts, process-backend workers — *reuses* the committed
+//!    artifact instead of retraining.
+//!
+//! With a persistent store directory configured
+//! ([`JobConfig::dict_store`](crate::job::JobConfig::dict_store)), the
+//! trainer first looks the corpus hash up in the store: a second job
+//! over identical data finds the artifact and trains nothing. Freshly
+//! trained dictionaries are saved back, content-addressed by corpus
+//! hash, so the store deduplicates by construction.
+//!
+//! Every resolution increments exactly one of the `dict_trained` /
+//! `dict_reused` counters (attempt-local, absorbed only on commit like
+//! every other counter), so `dict_trained == 0 && dict_reused > 0` is
+//! the observable signature of a retry or repeat job reusing a
+//! committed dictionary.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mr_ir::value::Value;
+use mr_storage::rowcodec::encode_value;
+use mr_storage::trained::{self, DictTrainer, TrainedDict, DICT_FILE_NAME};
+use mr_storage::varint::encode_u64;
+
+use crate::counters::Counters;
+use crate::error::Result;
+
+/// Job-scoped trained-dictionary authority; see the module docs.
+#[derive(Debug)]
+pub struct DictContext {
+    job_dir: PathBuf,
+    store: Option<PathBuf>,
+    cached: Mutex<Option<Arc<TrainedDict>>>,
+}
+
+impl DictContext {
+    /// A context committing into `job_dir` (the job's spill
+    /// directory), optionally backed by a persistent cross-job store.
+    pub fn new(job_dir: impl Into<PathBuf>, store: Option<PathBuf>) -> DictContext {
+        DictContext {
+            job_dir: job_dir.into(),
+            store,
+            cached: Mutex::new(None),
+        }
+    }
+
+    /// The directory `shuffle.dict` commits into.
+    pub fn job_dir(&self) -> &Path {
+        &self.job_dir
+    }
+
+    /// The persistent store directory, if configured.
+    pub fn store(&self) -> Option<&Path> {
+        self.store.as_deref()
+    }
+
+    /// The job's shared dictionary: the cached copy, the committed
+    /// `shuffle.dict`, a store hit on the corpus hash — or, when all
+    /// three miss, a fresh dictionary trained on `pairs` and committed
+    /// first-trainer-wins. Merge-side callers that never see raw pairs
+    /// pass `&[]`; by the time they run, a spill has already committed
+    /// the artifact (or there were no pairs at all and the empty
+    /// dictionary is correct).
+    pub fn resolve_or_train(
+        &self,
+        pairs: &[(Value, Value)],
+        counters: &Counters,
+    ) -> Result<Arc<TrainedDict>> {
+        let mut cached = self.cached.lock().expect("dict cache poisoned");
+        if let Some(dict) = cached.as_ref() {
+            Counters::add(&counters.dict_reused, 1);
+            return Ok(Arc::clone(dict));
+        }
+        let committed = self.job_dir.join(DICT_FILE_NAME);
+        if committed.exists() {
+            let dict = Arc::new(TrainedDict::load(&committed)?);
+            trained::register(&dict);
+            Counters::add(&counters.dict_reused, 1);
+            *cached = Some(Arc::clone(&dict));
+            return Ok(dict);
+        }
+        // Observe the pairs exactly as the columnar writer frames them:
+        // keys front-coded against their predecessor (shared-prefix
+        // varint, suffix-length varint, suffix bytes), values as plain
+        // varint-length-prefixed entries — so the seed learns the byte
+        // patterns the key and value streams actually contain.
+        let mut trainer = DictTrainer::new();
+        let mut enc = Vec::new();
+        let mut prev = Vec::new();
+        let mut len = Vec::new();
+        for (k, v) in pairs {
+            enc.clear();
+            encode_value(k, &mut enc)?;
+            let shared = prev
+                .iter()
+                .zip(enc.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            len.clear();
+            encode_u64(shared as u64, &mut len);
+            encode_u64((enc.len() - shared) as u64, &mut len);
+            trainer.observe(&len);
+            trainer.observe(&enc[shared..]);
+            std::mem::swap(&mut prev, &mut enc);
+
+            enc.clear();
+            encode_value(v, &mut enc)?;
+            len.clear();
+            encode_u64(enc.len() as u64, &mut len);
+            trainer.observe(&len);
+            trainer.observe(&enc);
+        }
+        let corpus_hash = trainer.corpus_hash();
+        let (dict, trained_here) = match self.store_lookup(corpus_hash) {
+            Some(dict) => (dict, false),
+            None => {
+                let dict = trainer.train();
+                self.store_save(&dict)?;
+                (dict, true)
+            }
+        };
+        let dict = trained::commit_dict(&self.job_dir, dict)?;
+        let counter = match trained_here {
+            true => &counters.dict_trained,
+            false => &counters.dict_reused,
+        };
+        Counters::add(counter, 1);
+        *cached = Some(Arc::clone(&dict));
+        Ok(dict)
+    }
+
+    /// A store artifact for `corpus_hash`, or `None` on miss. A
+    /// damaged or mismatched store entry is treated as a miss — the
+    /// trainer retrains and overwrites it.
+    fn store_lookup(&self, corpus_hash: u64) -> Option<TrainedDict> {
+        let store = self.store.as_deref()?;
+        let path = trained::store_path(store, corpus_hash);
+        if !path.exists() {
+            return None;
+        }
+        match TrainedDict::load(&path) {
+            Ok(dict) if dict.corpus_hash() == corpus_hash => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Persist a freshly trained dictionary into the store,
+    /// content-addressed by corpus hash. Staged to a unique temp name
+    /// and renamed into place: concurrent savers of the same corpus
+    /// write identical bytes, so last-wins is safe.
+    fn store_save(&self, dict: &TrainedDict) -> Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let Some(store) = self.store.as_deref() else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(store)?;
+        let tmp = store.join(format!(
+            ".store-tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        dict.save(&tmp)?;
+        match std::fs::rename(&tmp, trained::store_path(store, dict.corpus_hash())) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mr-dictctx-{name}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn pairs() -> Vec<(Value, Value)> {
+        (0..200)
+            .map(|i| (Value::str(format!("10.0.0.{}", i % 16)), Value::Int(1)))
+            .collect()
+    }
+
+    #[test]
+    fn first_resolve_trains_then_everyone_reuses() {
+        let dir = tmp_dir("train-once");
+        let ctx = DictContext::new(&dir, None);
+        let counters = Counters::new();
+        let d1 = ctx.resolve_or_train(&pairs(), &counters).unwrap();
+        assert!(!d1.is_empty(), "repetitive pairs train a non-empty seed");
+        assert!(dir.join(DICT_FILE_NAME).exists(), "artifact committed");
+        let d2 = ctx.resolve_or_train(&[], &counters).unwrap();
+        assert_eq!(d1.dict_hash(), d2.dict_hash());
+        let s = counters.snapshot();
+        assert_eq!((s.dict_trained, s.dict_reused), (1, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_context_reuses_the_committed_artifact() {
+        let dir = tmp_dir("retry-reuse");
+        let counters = Counters::new();
+        let trained_hash = DictContext::new(&dir, None)
+            .resolve_or_train(&pairs(), &counters)
+            .unwrap()
+            .dict_hash();
+        // A retried attempt (or another worker process) starts cold.
+        let retry = Counters::new();
+        let again = DictContext::new(&dir, None)
+            .resolve_or_train(&pairs(), &retry)
+            .unwrap();
+        assert_eq!(again.dict_hash(), trained_hash);
+        let s = retry.snapshot();
+        assert_eq!((s.dict_trained, s.dict_reused), (0, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_deduplicates_identical_corpora_across_jobs() {
+        let store = tmp_dir("store");
+        let job1 = tmp_dir("job1");
+        let job2 = tmp_dir("job2");
+        let c1 = Counters::new();
+        DictContext::new(&job1, Some(store.clone()))
+            .resolve_or_train(&pairs(), &c1)
+            .unwrap();
+        assert_eq!(c1.snapshot().dict_trained, 1);
+        let count = || std::fs::read_dir(&store).unwrap().count();
+        assert_eq!(count(), 1, "one content-addressed artifact");
+        let c2 = Counters::new();
+        DictContext::new(&job2, Some(store.clone()))
+            .resolve_or_train(&pairs(), &c2)
+            .unwrap();
+        let s = c2.snapshot();
+        assert_eq!((s.dict_trained, s.dict_reused), (0, 1), "store hit");
+        assert_eq!(count(), 1, "identical data trains nothing new");
+        for d in [&store, &job1, &job2] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}

@@ -174,6 +174,14 @@ pub struct JobConfig {
     /// subdirectory that is removed when the job finishes; `None` uses
     /// [`std::env::temp_dir`].
     pub spill_dir: Option<PathBuf>,
+    /// Persistent trained-dictionary store for the
+    /// [`ShuffleCompression::DictTrained`] codec. When set, a job whose
+    /// training corpus hashes to an already-stored dictionary *reuses*
+    /// it instead of training a new one, and freshly trained
+    /// dictionaries are saved back (content-addressed, so identical
+    /// corpora across jobs share one artifact). `None` trains per job
+    /// with no cross-job reuse. Ignored by the other codecs.
+    pub dict_store: Option<PathBuf>,
     /// Map-side combiner. `None` (the default) runs the plain
     /// emit→spill→merge pipeline; with a combiner, emitted pairs are
     /// folded at the staging flush, at spill time, and in the merge
@@ -251,6 +259,7 @@ impl JobConfig {
             shuffle_buffer_bytes: None,
             shuffle_compression: ShuffleCompression::None,
             spill_dir: None,
+            dict_store: None,
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,
@@ -296,6 +305,13 @@ impl JobConfig {
     /// Put spill runs under `dir` instead of the system temp dir.
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Deduplicate trained dictionaries through a persistent store
+    /// ([`JobConfig::dict_store`]).
+    pub fn with_dict_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dict_store = Some(dir.into());
         self
     }
 

@@ -52,6 +52,7 @@ pub mod allocstats;
 pub mod backend;
 pub mod combine;
 pub mod counters;
+pub mod dictctx;
 pub mod error;
 pub mod fault;
 pub mod input;
@@ -68,6 +69,7 @@ pub mod spillwriter;
 pub use backend::{maybe_worker_entry, worker_main, ExecBackend, LocalBackend, ProcessBackend};
 pub use combine::{CombineStrategy, Combiner};
 pub use counters::{CounterSnapshot, Counters};
+pub use dictctx::DictContext;
 pub use error::{EngineError, Result};
 pub use fault::{FaultPlan, TaskFault};
 pub use input::{InputSpec, SplitReader};

@@ -27,9 +27,11 @@ use mr_ir::value::Value;
 use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
 use mr_storage::runfile::{RunFileReader, RunFileStats, RunFileWriter, RunScratch};
+use mr_storage::trained::TrainedDict;
 
 use crate::combine::CombineStrategy;
 use crate::counters::Counters;
+use crate::dictctx::DictContext;
 use crate::error::{EngineError, Result};
 use crate::pool::BufferPool;
 use crate::spill::SpillRun;
@@ -68,9 +70,24 @@ pub fn compact_runs(
     counters: &Counters,
     combine: &CombineStrategy,
     compression: ShuffleCompression,
+    dict: Option<&DictContext>,
     io: Option<&Arc<IoFaults>>,
     pool: &BufferPool,
 ) -> Result<()> {
+    // Resolve the shared dictionary once per compaction, not per
+    // batch: by compaction time the map side has committed it, so this
+    // is a cache or file load — never a retrain.
+    let trained = match (compression, dict, runs.len() > MERGE_FACTOR) {
+        (ShuffleCompression::DictTrained, Some(ctx), true) => {
+            Some(ctx.resolve_or_train(&[], counters)?)
+        }
+        (ShuffleCompression::DictTrained, None, true) => {
+            return Err(EngineError::Config(
+                "dict-trained shuffle codec needs a dictionary context".into(),
+            ));
+        }
+        _ => None,
+    };
     while runs.len() > MERGE_FACTOR {
         let source = std::mem::take(runs);
         let mut next: Vec<SpillRun> = Vec::with_capacity(source.len().div_ceil(MERGE_FACTOR));
@@ -89,6 +106,7 @@ pub fn compact_runs(
                 counters,
                 combine,
                 compression,
+                trained.clone(),
                 io,
                 pool,
             ) {
@@ -123,6 +141,7 @@ fn merge_batch(
     counters: &Counters,
     combine: &CombineStrategy,
     compression: ShuffleCompression,
+    trained: Option<Arc<TrainedDict>>,
     io: Option<&Arc<IoFaults>>,
     pool: &BufferPool,
 ) -> Result<SpillRun> {
@@ -141,19 +160,19 @@ fn merge_batch(
     }
     let path = dir.join(format!("merge-{partition:05}-{unique:08}"));
     let scratch = pool.get_scratch();
-    let (stats, seen, kept) = match write_merged(&path, streams, combine, compression, io, scratch)
-    {
-        Ok((stats, scratch, seen, kept)) => {
-            pool.put_scratch(scratch);
-            (stats, seen, kept)
-        }
-        Err(e) => {
-            // The dead writer kept the loaned buffers; balance the
-            // loan so pool accounting stays exact on fault paths.
-            pool.put_scratch(RunScratch::new());
-            return Err(e);
-        }
-    };
+    let (stats, seen, kept) =
+        match write_merged(&path, streams, combine, compression, trained, io, scratch) {
+            Ok((stats, scratch, seen, kept)) => {
+                pool.put_scratch(scratch);
+                (stats, seen, kept)
+            }
+            Err(e) => {
+                // The dead writer kept the loaned buffers; balance the
+                // loan so pool accounting stays exact on fault paths.
+                pool.put_scratch(RunScratch::new());
+                return Err(e);
+            }
+        };
     // Charge counters only after the batch is durable, so a failed
     // batch that is retried cannot double-count.
     if seen > 0 || kept > 0 {
@@ -183,10 +202,14 @@ fn write_merged(
     streams: Vec<RunStream>,
     combine: &CombineStrategy,
     compression: ShuffleCompression,
+    trained: Option<Arc<TrainedDict>>,
     io: Option<&Arc<IoFaults>>,
     scratch: RunScratch,
 ) -> Result<(RunFileStats, RunScratch, u64, u64)> {
-    let mut w = RunFileWriter::create_pooled(path, compression, io.cloned(), scratch)?;
+    let mut w = match trained {
+        Some(dict) => RunFileWriter::create_trained_pooled(path, dict, io.cloned(), scratch)?,
+        None => RunFileWriter::create_pooled(path, compression, io.cloned(), scratch)?,
+    };
     let mut seen = 0u64;
     let mut kept = 0u64;
     match combine.active() {
@@ -490,6 +513,7 @@ mod tests {
             &mut pairs,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
+            None,
             &Counters::new(),
             None,
             &BufferPool::new(),
@@ -546,6 +570,7 @@ mod tests {
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
             None,
+            None,
             &BufferPool::new(),
         )
         .unwrap();
@@ -575,6 +600,7 @@ mod tests {
             &counters,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
+            None,
             None,
             &BufferPool::new(),
         )
@@ -614,6 +640,7 @@ mod tests {
             &counters,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
+            None,
             Some(&io),
             &BufferPool::new(),
         )
@@ -631,6 +658,7 @@ mod tests {
             &counters,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
+            None,
             Some(&io),
             &BufferPool::new(),
         )
@@ -736,6 +764,7 @@ mod tests {
             &counters,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
+            None,
             None,
             &BufferPool::new(),
         )

@@ -71,6 +71,7 @@ use parking_lot::Mutex as PlMutex;
 use crate::allocstats;
 use crate::combine::{pair_bytes, CombineStrategy};
 use crate::counters::Counters;
+use crate::dictctx::DictContext;
 use crate::error::{EngineError, Result};
 use crate::fault::FaultPlan;
 use crate::input::SplitReader;
@@ -117,6 +118,17 @@ pub struct JobResult {
     pub phases: PhaseTimings,
 }
 
+impl JobResult {
+    /// Spill compression ratio — bytes written to spill disk over the
+    /// record-layer bytes they encode (`spill_bytes_written /
+    /// spill_bytes_raw`). Below 1.0 the codec saved disk traffic; the
+    /// stored-frame fallback bounds `raw` a few header bytes above 1.0.
+    /// `None` when the job never spilled.
+    pub fn compression_ratio(&self) -> Option<f64> {
+        self.counters.spill_ratio()
+    }
+}
+
 /// Everything the map phase threads through task attempts.
 struct MapCtx<'a> {
     job: &'a JobConfig,
@@ -129,6 +141,8 @@ struct MapCtx<'a> {
     spill_dir: Option<&'a SpillDir>,
     combine: &'a CombineStrategy,
     compression: ShuffleCompression,
+    /// Shared-dictionary authority (dict-trained codec only).
+    dict: Option<&'a Arc<DictContext>>,
     fault: Option<&'a FaultPlan>,
     io: Option<&'a Arc<IoFaults>>,
     shuffle_nanos: &'a Arc<AtomicU64>,
@@ -179,6 +193,7 @@ fn spill_bucket(
     shuffle_nanos: &AtomicU64,
     combine: &CombineStrategy,
     compression: ShuffleCompression,
+    dict: Option<&DictContext>,
     io: Option<&Arc<IoFaults>>,
     pool: &BufferPool,
 ) -> Result<()> {
@@ -193,6 +208,7 @@ fn spill_bucket(
         &mut pairs,
         combine,
         compression,
+        dict,
         counters,
         io,
         pool,
@@ -493,6 +509,7 @@ fn spill_staging(
                     dir: dir.path().to_path_buf(),
                     combine: ctx.combine.clone(),
                     compression: ctx.compression,
+                    dict: ctx.dict.map(Arc::clone),
                     counters: Arc::clone(acc),
                     io: ctx.io.map(Arc::clone),
                     pool: Arc::clone(ctx.pool),
@@ -557,6 +574,7 @@ fn commit_map_attempt(ctx: &MapCtx<'_>, out: MapAttemptOutput) -> Result<()> {
                     ctx.shuffle_nanos,
                     ctx.combine,
                     ctx.compression,
+                    ctx.dict.map(Arc::as_ref),
                     ctx.io,
                     ctx.pool,
                 )?;
@@ -681,6 +699,8 @@ struct ReduceCtx<'a> {
     spill_dir: Option<&'a SpillDir>,
     combine: &'a CombineStrategy,
     compression: ShuffleCompression,
+    /// Shared-dictionary authority (dict-trained codec only).
+    dict: Option<&'a Arc<DictContext>>,
     fault: Option<&'a FaultPlan>,
     io: Option<&'a Arc<IoFaults>>,
     shuffle_nanos: &'a AtomicU64,
@@ -716,6 +736,7 @@ fn run_reduce_attempt(
             ctx.counters,
             ctx.combine,
             ctx.compression,
+            ctx.dict.map(Arc::as_ref),
             ctx.io,
             ctx.pool,
         )?;
@@ -879,6 +900,7 @@ impl Reducer for StreamingReducer {
 ///     shuffle_buffer_bytes: Some(1024),
 ///     shuffle_compression: Default::default(),
 ///     spill_dir: None,
+///     dict_store: None,
 ///     combiner: None,
 ///     max_task_attempts: 1,
 ///     fault_plan: None,
@@ -934,6 +956,16 @@ pub(crate) fn run_job_local(job: &JobConfig) -> Result<JobResult> {
     let bucket_cap = job
         .shuffle_buffer_bytes
         .map(|b| (b / 2 / num_reducers).max(1));
+    // The dict-trained codec's job-scoped dictionary authority: commits
+    // `shuffle.dict` into the job spill directory (first trainer wins),
+    // optionally deduplicating through a persistent store.
+    let dict_ctx: Option<Arc<DictContext>> = match (&spill_dir, job.shuffle_compression) {
+        (Some(dir), ShuffleCompression::DictTrained) => Some(Arc::new(DictContext::new(
+            dir.path(),
+            job.dict_store.clone(),
+        ))),
+        _ => None,
+    };
 
     // ---- plan map tasks ------------------------------------------------
     let workers = job.map_parallelism.max(1);
@@ -977,6 +1009,7 @@ pub(crate) fn run_job_local(job: &JobConfig) -> Result<JobResult> {
         spill_dir: spill_dir.as_ref(),
         combine: &combine,
         compression: job.shuffle_compression,
+        dict: dict_ctx.as_ref(),
         fault,
         io: io.as_ref(),
         shuffle_nanos: &shuffle_nanos,
@@ -1061,6 +1094,7 @@ pub(crate) fn run_job_local(job: &JobConfig) -> Result<JobResult> {
         spill_dir: spill_dir.as_ref(),
         combine: &combine,
         compression: job.shuffle_compression,
+        dict: dict_ctx.as_ref(),
         fault,
         io: io.as_ref(),
         shuffle_nanos: &shuffle_nanos,
@@ -1409,6 +1443,7 @@ mod tests {
             shuffle_buffer_bytes: None,
             shuffle_compression: Default::default(),
             spill_dir: None,
+            dict_store: None,
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,
@@ -1528,6 +1563,7 @@ mod tests {
             shuffle_buffer_bytes: None,
             shuffle_compression: Default::default(),
             spill_dir: None,
+            dict_store: None,
             combiner: None,
             max_task_attempts: 1,
             fault_plan: None,

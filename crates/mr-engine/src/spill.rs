@@ -23,10 +23,12 @@ use mr_ir::value::Value;
 use mr_storage::blockcodec::ShuffleCompression;
 use mr_storage::fault::IoFaults;
 use mr_storage::runfile::{RunFileWriter, RunScratch};
+use mr_storage::trained::TrainedDict;
 
 use crate::combine::CombineStrategy;
 use crate::counters::Counters;
-use crate::error::Result;
+use crate::dictctx::DictContext;
+use crate::error::{EngineError, Result};
 use crate::pool::BufferPool;
 
 /// One spilled sorted run.
@@ -225,15 +227,30 @@ pub fn write_sorted_run(
     pairs: &mut Vec<(Value, Value)>,
     combine: &CombineStrategy,
     compression: ShuffleCompression,
+    dict: Option<&DictContext>,
     counters: &Counters,
     io: Option<&Arc<IoFaults>>,
     pool: &BufferPool,
 ) -> Result<SpillRun> {
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     combine.combine_sorted(pairs, counters)?;
+    // The dict-trained codec resolves its shared dictionary here —
+    // after sort + combine, so the first spill trains on exactly the
+    // pair stream it is about to write.
+    let trained = match (compression, dict) {
+        (ShuffleCompression::DictTrained, Some(ctx)) => {
+            Some(ctx.resolve_or_train(pairs, counters)?)
+        }
+        (ShuffleCompression::DictTrained, None) => {
+            return Err(EngineError::Config(
+                "dict-trained shuffle codec needs a dictionary context".into(),
+            ));
+        }
+        _ => None,
+    };
     let path = dir.join(format!("run-{partition:05}-{seq:06}"));
     let scratch = pool.get_scratch();
-    match write_run_file(&path, pairs, compression, io, scratch) {
+    match write_run_file(&path, pairs, compression, trained, io, scratch) {
         Ok((stats, scratch)) => {
             pool.put_scratch(scratch);
             Ok(SpillRun {
@@ -258,10 +275,14 @@ fn write_run_file(
     path: &Path,
     pairs: &[(Value, Value)],
     compression: ShuffleCompression,
+    trained: Option<Arc<TrainedDict>>,
     io: Option<&Arc<IoFaults>>,
     scratch: RunScratch,
 ) -> Result<(mr_storage::runfile::RunFileStats, RunScratch)> {
-    let mut w = RunFileWriter::create_pooled(path, compression, io.cloned(), scratch)?;
+    let mut w = match trained {
+        Some(dict) => RunFileWriter::create_trained_pooled(path, dict, io.cloned(), scratch)?,
+        None => RunFileWriter::create_pooled(path, compression, io.cloned(), scratch)?,
+    };
     for (k, v) in pairs {
         w.append(k, v)?;
     }
@@ -288,6 +309,7 @@ mod tests {
             &mut pairs,
             &CombineStrategy::passthrough(),
             ShuffleCompression::None,
+            None,
             &Counters::new(),
             None,
             &pool,
@@ -382,6 +404,7 @@ mod tests {
             &mut pairs,
             &combine,
             ShuffleCompression::None,
+            None,
             &counters,
             None,
             &pool,

@@ -40,6 +40,7 @@ use parking_lot::Mutex as PlMutex;
 
 use crate::combine::CombineStrategy;
 use crate::counters::Counters;
+use crate::dictctx::DictContext;
 use crate::error::{EngineError, Result};
 use crate::pool::BufferPool;
 use crate::spill::{write_sorted_run, SpillRun};
@@ -54,6 +55,9 @@ pub struct SpillWriterCfg {
     pub combine: CombineStrategy,
     /// Shuffle codec for the run files.
     pub compression: ShuffleCompression,
+    /// Shared-dictionary authority, required when `compression` is the
+    /// dict-trained codec (the first written spill trains it).
+    pub dict: Option<Arc<DictContext>>,
     /// Attempt-local counters (spill traffic is only published if the
     /// attempt commits).
     pub counters: Arc<Counters>,
@@ -96,6 +100,7 @@ fn write_one(cfg: &SpillWriterCfg, job: SpillJob, shared: &WriterShared) {
             &mut pairs,
             &cfg.combine,
             cfg.compression,
+            cfg.dict.as_deref(),
             &cfg.counters,
             cfg.io.as_ref(),
             &cfg.pool,
@@ -254,6 +259,7 @@ mod tests {
             dir: dir.path().to_path_buf(),
             combine: CombineStrategy::passthrough(),
             compression: ShuffleCompression::None,
+            dict: None,
             counters: Counters::new(),
             io,
             pool: Arc::clone(pool),

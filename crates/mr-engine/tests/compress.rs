@@ -100,13 +100,24 @@ fn every_codec_matches_uncompressed_output() {
                 c.spill_bytes_written >= c.spill_bytes_raw,
                 "{codec}"
             ),
-            ShuffleCompression::Dict | ShuffleCompression::Delta => assert!(
+            ShuffleCompression::Dict
+            | ShuffleCompression::Delta
+            | ShuffleCompression::DictTrained => assert!(
                 c.spill_bytes_written < c.spill_bytes_raw,
                 "{codec}: {} written vs {} raw",
                 c.spill_bytes_written,
                 c.spill_bytes_raw
             ),
         }
+        if codec == ShuffleCompression::DictTrained {
+            assert!(c.dict_trained >= 1, "the job must train a dictionary");
+        } else {
+            assert_eq!(c.dict_trained + c.dict_reused, 0, "{codec}");
+        }
+        assert!(
+            capped.compression_ratio().is_some(),
+            "{codec}: spilled jobs report a ratio"
+        );
     }
 }
 
@@ -130,7 +141,11 @@ fn compressed_frames_commit_and_retry_idempotently() {
             .fail_io(IoSite::RunRead, 2)
             .fail_io(IoSite::BlockRead, 0),
     ];
-    for codec in [ShuffleCompression::Dict, ShuffleCompression::Delta] {
+    for codec in [
+        ShuffleCompression::Dict,
+        ShuffleCompression::Delta,
+        ShuffleCompression::DictTrained,
+    ] {
         for (i, plan) in schedules.iter().enumerate() {
             let mut j = job(&input, Some(400), codec);
             j.max_task_attempts = 3;
@@ -168,7 +183,11 @@ fn unretried_block_fault_fails_the_job() {
 fn compaction_rewrites_stay_compressed_and_identical() {
     let input = low_cardinality_input("compact", 1500, 6);
     let baseline = run_job(&job(&input, None, ShuffleCompression::None)).unwrap();
-    for codec in [ShuffleCompression::None, ShuffleCompression::Dict] {
+    for codec in [
+        ShuffleCompression::None,
+        ShuffleCompression::Dict,
+        ShuffleCompression::DictTrained,
+    ] {
         // One worker + one reducer + a starvation budget: every few
         // records spill, so the single partition collects far more
         // than MERGE_FACTOR runs and must compact.
@@ -187,6 +206,79 @@ fn compaction_rewrites_stay_compressed_and_identical() {
     }
 }
 
+/// The cross-job dedup acceptance: with a persistent dictionary store,
+/// a second job over identical data hashes to the same training corpus,
+/// finds the stored artifact, and trains zero new dictionaries — the
+/// store holds exactly one content-addressed file after both jobs.
+/// (Corpus identity is deterministic at `map_parallelism = 1`; under
+/// parallel schedules the store is a best-effort cache.)
+#[test]
+fn second_job_over_identical_data_trains_nothing() {
+    let input = low_cardinality_input("dict-store", 2000, 8);
+    let store = tmp("dict-store-dir");
+    let run = || {
+        let mut j = job(&input, Some(400), ShuffleCompression::DictTrained).with_parallelism(1);
+        j.dict_store = Some(store.clone());
+        run_job(&j).unwrap()
+    };
+
+    let first = run();
+    assert_eq!(first.counters.dict_trained, 1, "first job trains");
+    let count_store = || std::fs::read_dir(&store).unwrap().count();
+    assert_eq!(count_store(), 1, "one content-addressed artifact saved");
+
+    let second = run();
+    assert_eq!(
+        second.counters.dict_trained, 0,
+        "identical corpus must hit the store, not retrain"
+    );
+    assert!(second.counters.dict_reused >= 1);
+    assert_eq!(count_store(), 1, "no new artifact appears");
+    assert_eq!(second.output, first.output);
+}
+
+/// Train-once discipline under retries: a map task that fails *after*
+/// its first spill trained and committed the job dictionary must, on
+/// retry, *reuse* the committed artifact — never train a second one.
+/// The committed counters absorb successful attempts only, so a clean
+/// retry signature is `dict_trained == 0 && dict_reused >= 1`.
+#[test]
+fn retried_map_task_reuses_the_committed_dictionary() {
+    let input = low_cardinality_input("dict-retry", 2500, 9);
+    let baseline = run_job(&job(&input, None, ShuffleCompression::None)).unwrap();
+
+    // Fault-free reference first: one map slot trains exactly once.
+    let clean =
+        run_job(&job(&input, Some(400), ShuffleCompression::DictTrained).with_parallelism(1))
+            .unwrap();
+    assert_eq!(clean.counters.dict_trained, 1, "one slot, one training");
+    assert_eq!(clean.output, baseline.output);
+
+    let schedules: Vec<FaultPlan> = vec![
+        // Record-level failure far past the first spill.
+        FaultPlan::new().fail_map(0, 0, 2000),
+        // IO faults inside the compressed block streams.
+        FaultPlan::new()
+            .fail_io(IoSite::BlockWrite, 6)
+            .fail_io(IoSite::BlockRead, 1),
+    ];
+    for (i, plan) in schedules.iter().enumerate() {
+        let mut j = job(&input, Some(400), ShuffleCompression::DictTrained).with_parallelism(1);
+        j.max_task_attempts = 3;
+        j.fault_plan = Some(Arc::new(plan.clone()));
+        let result = run_job(&j).unwrap_or_else(|e| panic!("schedule {i}: {e}"));
+        assert_eq!(result.output, baseline.output, "schedule {i} diverged");
+        assert!(result.counters.task_retries > 0, "schedule {i} must bite");
+        let c = &result.counters;
+        assert_eq!(
+            c.dict_trained, 0,
+            "schedule {i}: the committed (successful) attempts must reuse \
+             the dictionary the failed first attempt committed, not retrain"
+        );
+        assert!(c.dict_reused >= 1, "schedule {i}: reuse must be recorded");
+    }
+}
+
 /// The codec composes with map-side combining: folding happens above
 /// the block layer, so the combined + compressed pipeline still
 /// matches the plain baseline byte for byte.
@@ -194,7 +286,11 @@ fn compaction_rewrites_stay_compressed_and_identical() {
 fn codec_composes_with_combiners() {
     let input = low_cardinality_input("combine", 4000, 5);
     let baseline = run_job(&job(&input, None, ShuffleCompression::None)).unwrap();
-    for codec in [ShuffleCompression::Dict, ShuffleCompression::Delta] {
+    for codec in [
+        ShuffleCompression::Dict,
+        ShuffleCompression::Delta,
+        ShuffleCompression::DictTrained,
+    ] {
         let j = job(&input, Some(512), codec).with_declared_combiner();
         let result = run_job(&j).unwrap();
         assert_eq!(result.output, baseline.output, "{codec}");

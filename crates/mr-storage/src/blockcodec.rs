@@ -16,8 +16,10 @@
 //! Frame layout (one frame per block):
 //!
 //! ```text
-//! [codec tag u8][varint raw_len][varint comp_len]
-//! [comp_len compressed bytes][crc32(comp bytes) u32 LE]
+//! compressed: [codec tag u8][varint raw_len][varint comp_len]
+//!             [comp_len compressed bytes][crc32(comp bytes) u32 LE]
+//! stored:     [tag 5][varint raw_len]
+//!             [raw_len stored bytes][crc32(stored bytes) u32 LE]
 //! ```
 //!
 //! Invariants the rest of the system leans on:
@@ -25,8 +27,10 @@
 //! * **Self-describing frames.** Every frame names its codec, so
 //!   readers never need the writer's configuration — a compacted run
 //!   can even mix frames from different codecs. A codec that fails to
-//!   shrink a block falls back to a [`Raw`] frame, so compressed files
-//!   are never more than a frame header worse than raw.
+//!   shrink a block falls back to a *stored* frame (which omits the
+//!   redundant compressed-length field), so a framed file costs at
+//!   most [`MAX_FRAME_OVERHEAD`] bytes per block over the raw stream —
+//!   it never meaningfully inflates.
 //! * **Typed corruption.** A bad CRC, a truncated frame, or an
 //!   impossible code surfaces as [`StorageError::Corrupt`] — never a
 //!   panic, never silently-truncated data ([`StorageError::into_io`]
@@ -75,12 +79,29 @@ pub const DEFAULT_BLOCK_SIZE: usize = 32 * 1024;
 /// this is corruption, not an allocation request.
 const MAX_FRAME_LEN: u64 = 1 << 26;
 
-/// Codec tag of raw (stored) frames.
+/// Codec tag of raw frames (legacy layout: carries a redundant
+/// compressed-length field). Still read; no longer written — the
+/// stored fallback emits [`TAG_STORED`] frames instead.
 const TAG_RAW: u8 = 1;
 /// Codec tag of LZW dictionary frames.
 const TAG_DICT: u8 = 2;
 /// Codec tag of stride-delta + zero-run frames.
-const TAG_DELTA: u8 = 3;
+pub(crate) const TAG_DELTA: u8 = 3;
+/// Codec tag of trained-dictionary LZW frames. Only valid inside the
+/// columnar (`MRRN2`) run layout, where the file header names the
+/// shared dictionary by hash; in a v1 stream it is corruption.
+pub(crate) const TAG_TRAINED: u8 = 4;
+/// Codec tag of stored frames: `[tag][varint raw_len][payload][crc]`,
+/// with no compressed-length field (it equals `raw_len`). This is
+/// what the can't-shrink fallback emits, so a framed stream never
+/// costs more than [`MAX_FRAME_OVERHEAD`] bytes per block over raw.
+pub(crate) const TAG_STORED: u8 = 5;
+
+/// Worst-case frame bytes beyond the payload for a stored frame cut
+/// at [`DEFAULT_BLOCK_SIZE`]: 1 tag byte, ≤3 varint length bytes, 4
+/// CRC bytes. The invariant the spill accounting leans on:
+/// `written <= raw + frames * MAX_FRAME_OVERHEAD`.
+pub const MAX_FRAME_OVERHEAD: usize = 8;
 
 /// One block compression algorithm: a pure, deterministic transform of
 /// a block of bytes. Implementations are stateless across blocks —
@@ -453,25 +474,34 @@ pub enum ShuffleCompression {
     Dict,
     /// Stride-delta + zero-run frames ([`DeltaVarint`]).
     Delta,
+    /// Trained shared-dictionary frames in the columnar (v2) run
+    /// layout: sorted keys and values travel as separate block
+    /// streams, values seeded from a per-corpus dictionary
+    /// ([`trained`](crate::trained)). Handled by the run-file layer,
+    /// not a plain per-frame [`BlockCodec`], so
+    /// [`codec`](Self::codec) returns `None` for this variant.
+    DictTrained,
 }
 
 impl ShuffleCompression {
     /// Every variant, in the order benches and the differential
     /// harness sweep them.
-    pub const ALL: [ShuffleCompression; 4] = [
+    pub const ALL: [ShuffleCompression; 5] = [
         ShuffleCompression::None,
         ShuffleCompression::Raw,
         ShuffleCompression::Dict,
         ShuffleCompression::Delta,
+        ShuffleCompression::DictTrained,
     ];
 
-    /// The spec name (`none`, `raw`, `dict`, `delta`).
+    /// The spec name (`none`, `raw`, `dict`, `delta`, `dict-trained`).
     pub fn name(self) -> &'static str {
         match self {
             ShuffleCompression::None => "none",
             ShuffleCompression::Raw => "raw",
             ShuffleCompression::Dict => "dict",
             ShuffleCompression::Delta => "delta",
+            ShuffleCompression::DictTrained => "dict-trained",
         }
     }
 
@@ -483,11 +513,14 @@ impl ShuffleCompression {
     }
 
     /// The codec to frame streams with; `None` for the passthrough
-    /// variant. The codecs are stateless unit types, so these are
-    /// static borrows — no allocation per stream or per frame.
+    /// variant *and* for [`DictTrained`](Self::DictTrained), whose
+    /// framing lives in the columnar run-file layer (it needs the
+    /// shared dictionary, which a stateless unit codec cannot carry).
+    /// The codecs are stateless unit types, so these are static
+    /// borrows — no allocation per stream or per frame.
     pub fn codec(self) -> Option<&'static dyn BlockCodec> {
         match self {
-            ShuffleCompression::None => None,
+            ShuffleCompression::None | ShuffleCompression::DictTrained => None,
             ShuffleCompression::Raw => Some(&Raw),
             ShuffleCompression::Dict => Some(&DictBlock),
             ShuffleCompression::Delta => Some(&DeltaVarint),
@@ -497,7 +530,10 @@ impl ShuffleCompression {
     /// The stream-header tag the file formats record (0 = no block
     /// layer, otherwise the codec's frame tag).
     pub fn stream_tag(self) -> u8 {
-        self.codec().map_or(0, |c| c.tag())
+        match self {
+            ShuffleCompression::DictTrained => TAG_TRAINED,
+            other => other.codec().map_or(0, |c| c.tag()),
+        }
     }
 }
 
@@ -507,17 +543,109 @@ impl std::fmt::Display for ShuffleCompression {
     }
 }
 
-/// The codec a frame tag names.
+/// The codec a frame tag names. [`TAG_STORED`] is handled before this
+/// dispatch (it has no codec); [`TAG_TRAINED`] is only legal where a
+/// shared dictionary is in scope (the columnar run layout), so here it
+/// is corruption with a pointed message.
 fn codec_for_tag(tag: u8) -> Result<&'static dyn BlockCodec> {
     match tag {
         TAG_RAW => Ok(&Raw),
         TAG_DICT => Ok(&DictBlock),
         TAG_DELTA => Ok(&DeltaVarint),
+        TAG_TRAINED => Err(StorageError::corrupt(
+            "block frame",
+            "trained-dictionary frame outside a columnar run",
+        )),
         other => Err(StorageError::corrupt(
             "block frame",
             format!("unknown codec tag {other}"),
         )),
     }
+}
+
+/// Emit one frame: header, payload, CRC. Stored frames ([`TAG_STORED`])
+/// omit the compressed-length field — it equals `raw_len`. Returns the
+/// bytes written. Shared between [`BlockWriter`] and the columnar
+/// run-file layer so both speak byte-identical frames.
+pub(crate) fn write_frame<W: Write>(
+    inner: &mut W,
+    tag: u8,
+    raw_len: usize,
+    payload: &[u8],
+) -> io::Result<u64> {
+    let mut header = Vec::with_capacity(11);
+    header.push(tag);
+    encode_u64(raw_len as u64, &mut header);
+    if tag != TAG_STORED {
+        encode_u64(payload.len() as u64, &mut header);
+    }
+    inner.write_all(&header)?;
+    inner.write_all(payload)?;
+    inner.write_all(&crc32(payload).to_le_bytes())?;
+    Ok((header.len() + payload.len() + 4) as u64)
+}
+
+/// Read one frame: `Ok(None)` on a clean end-of-stream before the tag
+/// byte; otherwise the (still compressed) payload replaces `comp`'s
+/// contents, the CRC is verified, and `(tag, raw_len)` comes back.
+/// Truncation inside the frame and CRC mismatches surface as typed
+/// corruption. Shared with the columnar run-file reader.
+pub(crate) fn read_frame_into<R: Read>(
+    inner: &mut R,
+    comp: &mut Vec<u8>,
+) -> io::Result<Option<(u8, u64)>> {
+    let mut tag = [0u8; 1];
+    loop {
+        match inner.read(&mut tag) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if !(TAG_RAW..=TAG_STORED).contains(&tag[0]) {
+        return Err(
+            StorageError::corrupt("block frame", format!("unknown codec tag {}", tag[0])).into_io(),
+        );
+    }
+    let header = |inner: &mut R, what: &str| -> io::Result<u64> {
+        let len = read_u64_from(inner)
+            .map_err(StorageError::into_io)?
+            .ok_or_else(|| {
+                StorageError::corrupt("block frame", format!("truncated {what}")).into_io()
+            })?
+            .0;
+        if len > MAX_FRAME_LEN {
+            return Err(
+                StorageError::corrupt("block frame", format!("{what} implausibly large")).into_io(),
+            );
+        }
+        Ok(len)
+    };
+    let raw_len = header(inner, "raw length")?;
+    let comp_len = if tag[0] == TAG_STORED {
+        raw_len
+    } else {
+        header(inner, "compressed length")?
+    };
+    // Past the tag, EOF is *inside* a frame: that must surface as
+    // corruption, not as the clean end-of-stream the record layer's
+    // varint reader would silently accept.
+    let truncated = |e: io::Error| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StorageError::corrupt("block frame", "truncated frame").into_io()
+        } else {
+            e
+        }
+    };
+    comp.resize(comp_len as usize, 0);
+    inner.read_exact(comp).map_err(truncated)?;
+    let mut crc_bytes = [0u8; 4];
+    inner.read_exact(&mut crc_bytes).map_err(truncated)?;
+    if crc32(comp) != u32::from_le_bytes(crc_bytes) {
+        return Err(StorageError::corrupt("block frame", "crc mismatch").into_io());
+    }
+    Ok(Some((tag[0], raw_len)))
 }
 
 /// CRC32 (IEEE, reflected — the zlib/Hadoop polynomial) over `bytes`.
@@ -663,16 +791,11 @@ impl<W: Write> BlockWriter<W> {
         let (tag, payload): (u8, &[u8]) = if self.comp.len() < raw.len() {
             (codec.tag(), &self.comp)
         } else {
-            (TAG_RAW, raw)
+            // Can't shrink (the Raw codec never can): a stored frame,
+            // whose overhead is bounded by MAX_FRAME_OVERHEAD.
+            (TAG_STORED, raw)
         };
-        let mut header = Vec::with_capacity(11);
-        header.push(tag);
-        encode_u64(raw.len() as u64, &mut header);
-        encode_u64(payload.len() as u64, &mut header);
-        self.inner.write_all(&header)?;
-        self.inner.write_all(payload)?;
-        self.inner.write_all(&crc32(payload).to_le_bytes())?;
-        self.written_bytes += (header.len() + payload.len() + 4) as u64;
+        self.written_bytes += write_frame(&mut self.inner, tag, raw.len(), payload)?;
         self.buf.drain(..n);
         Ok(())
     }
@@ -734,56 +857,18 @@ impl<R: Read> BlockReader<R> {
         if let Some(f) = &self.faults {
             f.check(IoSite::BlockRead)?;
         }
-        // Frame tag; EOF before it is the end of the framed region.
-        let mut tag = [0u8; 1];
-        loop {
-            match self.inner.read(&mut tag) {
-                Ok(0) => return Ok(false),
-                Ok(_) => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        let codec = codec_for_tag(tag[0]).map_err(StorageError::into_io)?;
-        let header = |me: &mut Self, what: &str| -> io::Result<u64> {
-            let len = read_u64_from(&mut me.inner)
-                .map_err(StorageError::into_io)?
-                .ok_or_else(|| {
-                    StorageError::corrupt("block frame", format!("truncated {what}")).into_io()
-                })?
-                .0;
-            if len > MAX_FRAME_LEN {
-                return Err(StorageError::corrupt(
-                    "block frame",
-                    format!("{what} implausibly large"),
-                )
-                .into_io());
-            }
-            Ok(len)
+        let Some((tag, raw_len)) = read_frame_into(&mut self.inner, &mut self.comp)? else {
+            return Ok(false);
         };
-        let raw_len = header(self, "raw length")?;
-        let comp_len = header(self, "compressed length")?;
-        // Past the tag, EOF is *inside* a frame: that must surface as
-        // corruption, not as the clean end-of-stream the record
-        // layer's varint reader would silently accept.
-        let truncated = |e: io::Error| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                StorageError::corrupt("block frame", "truncated frame").into_io()
-            } else {
-                e
-            }
-        };
-        self.comp.resize(comp_len as usize, 0);
-        self.inner.read_exact(&mut self.comp).map_err(truncated)?;
-        let mut crc_bytes = [0u8; 4];
-        self.inner.read_exact(&mut crc_bytes).map_err(truncated)?;
-        if crc32(&self.comp) != u32::from_le_bytes(crc_bytes) {
-            return Err(StorageError::corrupt("block frame", "crc mismatch").into_io());
-        }
         self.buf.clear();
-        codec
-            .decompress(&self.comp, raw_len as usize, &mut self.buf)
-            .map_err(StorageError::into_io)?;
+        if tag == TAG_STORED {
+            self.buf.extend_from_slice(&self.comp);
+        } else {
+            let codec = codec_for_tag(tag).map_err(StorageError::into_io)?;
+            codec
+                .decompress(&self.comp, raw_len as usize, &mut self.buf)
+                .map_err(StorageError::into_io)?;
+        }
         self.pos = 0;
         Ok(true)
     }
@@ -894,6 +979,78 @@ mod tests {
             let (raw, written) = roundtrip_through(codec, &noise);
             assert!(written < raw + 64, "{codec}: fallback overhead bounded");
         }
+    }
+
+    #[test]
+    fn framed_streams_never_inflate_past_per_frame_overhead() {
+        // The stored-frame guarantee behind the spill accounting:
+        // written <= raw + frames * MAX_FRAME_OVERHEAD, for every
+        // codec, even on incompressible input. (The raw codec used to
+        // violate this by a redundant compressed-length varint per
+        // frame — the 1.006× inflation in BENCH_compress.json.)
+        let mut x = 0x243F6A8885A308D3u64;
+        let noise: Vec<u8> = (0..DEFAULT_BLOCK_SIZE * 4 + 123)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        for codec in [
+            ShuffleCompression::Raw,
+            ShuffleCompression::Dict,
+            ShuffleCompression::Delta,
+        ] {
+            let (raw, written) = roundtrip_through(codec, &noise);
+            let frames = (noise.len() as u64).div_ceil(DEFAULT_BLOCK_SIZE as u64);
+            assert!(
+                written <= raw + frames * MAX_FRAME_OVERHEAD as u64,
+                "{codec}: {written} written vs {raw} raw over {frames} frames"
+            );
+        }
+    }
+
+    #[test]
+    fn stored_frames_replace_legacy_raw_frames() {
+        // The raw codec can never shrink a block, so every frame it
+        // emits is a stored frame; legacy TAG_RAW frames still decode.
+        let payload = vec![0xA5u8; 100];
+        let mut w = BlockWriter::new(Vec::new(), ShuffleCompression::Raw.codec(), None);
+        w.write_all(&payload).unwrap();
+        w.flush().unwrap();
+        let framed = w.into_inner().unwrap();
+        assert_eq!(framed[0], TAG_STORED);
+        // [tag][varint 100][payload][crc]
+        assert_eq!(framed.len(), 1 + 1 + payload.len() + 4);
+
+        // Hand-build the legacy TAG_RAW equivalent and read it back.
+        let mut legacy = vec![TAG_RAW];
+        encode_u64(payload.len() as u64, &mut legacy);
+        encode_u64(payload.len() as u64, &mut legacy);
+        legacy.extend_from_slice(&payload);
+        legacy.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let mut back = Vec::new();
+        BlockReader::new(legacy.as_slice(), true, None)
+            .read_to_end(&mut back)
+            .unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn trained_tag_in_v1_stream_is_typed_corruption() {
+        // A trained-dict frame is only meaningful where a file header
+        // names the dictionary; in a plain framed stream it must be a
+        // typed error, not a decode attempt with an empty seed.
+        let mut bogus = vec![TAG_TRAINED];
+        encode_u64(4, &mut bogus); // raw_len
+        encode_u64(1, &mut bogus); // comp_len
+        bogus.push(0x61);
+        bogus.extend_from_slice(&crc32(&[0x61]).to_le_bytes());
+        let mut r = BlockReader::new(bogus.as_slice(), true, None);
+        let err = r.read_to_end(&mut Vec::new()).unwrap_err();
+        let storage: StorageError = err.into();
+        assert!(matches!(storage, StorageError::Corrupt { .. }), "{storage}");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`blockcodec`] — the pluggable block-compression layer under the
 //!   streaming formats (runfile, seqfile): CRC'd, length-prefixed
 //!   codec frames with raw / dictionary / delta implementations;
+//! * [`trained`] — per-corpus trained LZW seed dictionaries: train
+//!   once on the first spill's bytes, commit first-trainer-wins,
+//!   reference by content hash from the columnar (v2) run layout;
 //! * [`rowcodec`] / [`varint`] — the shared codecs;
 //! * [`fault`] — deterministic IO fault injection for the run/seq
 //!   readers and writers (and the block-frame layer), driving the
@@ -44,6 +47,7 @@ pub mod fault;
 pub mod rowcodec;
 pub mod runfile;
 pub mod seqfile;
+pub mod trained;
 pub mod varint;
 
 pub use blockcodec::{BlockCodec, BlockReader, BlockWriter, ShuffleCompression};
@@ -54,5 +58,6 @@ pub use delta::{DeltaFileReader, DeltaFileWriter};
 pub use dict::{DictFileReader, DictFileWriter, Dictionary};
 pub use error::{Result, StorageError};
 pub use fault::{IoFaults, IoSite};
-pub use runfile::{RunFileReader, RunFileStats, RunFileWriter};
+pub use runfile::{RunFileReader, RunFileStats, RunFileWriter, RunScratch};
 pub use seqfile::{write_seqfile, SeqFileMeta, SeqFileReader, SeqFileWriter, Split};
+pub use trained::{DictTrainer, TrainedDict};

@@ -101,6 +101,15 @@ impl SeqFileWriter {
         codec: ShuffleCompression,
         faults: Option<Arc<IoFaults>>,
     ) -> Result<SeqFileWriter> {
+        if codec == ShuffleCompression::DictTrained {
+            // The trained columnar layout is a shuffle-run format; a
+            // schema-carrying input file has no dictionary to
+            // reference, so reject rather than write an unreadable
+            // header.
+            return Err(StorageError::Schema(
+                "seqfiles do not support the dict-trained shuffle codec".into(),
+            ));
+        }
         let mut file = BufWriter::new(File::create(path)?);
         let compressed = codec != ShuffleCompression::None;
         let mut data_start = MAGIC.len() as u64;
@@ -517,6 +526,13 @@ mod tests {
         let records = make_records(&s, 500);
         for codec in ShuffleCompression::ALL {
             let path = tmp(&format!("comp-roundtrip-{codec}"));
+            if codec == ShuffleCompression::DictTrained {
+                // A shuffle-run-only codec: seqfiles reject it, typed.
+                let err = write_seqfile_with(&path, Arc::clone(&s), codec, records.clone())
+                    .expect_err("seqfile must reject dict-trained");
+                assert!(matches!(err, StorageError::Schema(_)), "{err}");
+                continue;
+            }
             let n = write_seqfile_with(&path, Arc::clone(&s), codec, records.clone()).unwrap();
             assert_eq!(n, 500);
             let meta = SeqFileMeta::open(&path).unwrap();

@@ -1,0 +1,876 @@
+//! Trained shared LZW dictionaries for the shuffle codec.
+//!
+//! The per-frame dictionary codec ([`DictBlock`](crate::blockcodec))
+//! starts every 32 KiB frame from an empty table, so the many small
+//! frames a spill produces each re-learn the same byte strings from
+//! scratch. This module implements the paper's analyze→optimize→reuse
+//! discipline at the codec level: **train once per corpus, reuse
+//! everywhere**. A [`DictTrainer`] samples the first spill's encoded
+//! pairs and builds a shared *seed* dictionary; every later frame —
+//! across spills, compaction rewrites, merges, task retries, and
+//! process-backend workers — starts its LZW state from that seed and
+//! keeps learning privately above it.
+//!
+//! Identity is content-based, twice over:
+//!
+//! * the **corpus hash** fingerprints the sampled training bytes; it is
+//!   the deduplication key for the persistent dictionary store (two
+//!   jobs over identical data train zero new dictionaries);
+//! * the **dictionary hash** fingerprints the trained entries
+//!   themselves; run files reference it in their header, and a reader
+//!   that resolves a dictionary with a different hash reports typed
+//!   [`StorageError::Corrupt`] — never silent garbage.
+//!
+//! On disk a dictionary is a tiny self-checking artifact:
+//!
+//! ```text
+//! magic "MRTD1"
+//! corpus_hash u64 LE
+//! varint n_entries
+//! n_entries × [varint prefix_code][byte u8]   ← codes 256..256+n
+//! crc32(everything after magic) u32 LE
+//! ```
+//!
+//! Within a job the committed copy lives at `shuffle.dict` in the job's
+//! spill directory, committed **first-trainer-wins** via an atomic
+//! hard-link (the same commit discipline task attempts use), so retries
+//! and speculative attempts converge on one dictionary without
+//! coordination. Readers resolve a header hash through a process-wide
+//! registry first, then the run file's directory and its parent — no
+//! job configuration needed, which is what keeps merge, compaction, and
+//! process-backend workers config-free.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::{Result, StorageError};
+use crate::varint::{decode_u64, encode_u64};
+
+/// Magic bytes of the on-disk dictionary artifact.
+const MAGIC: &[u8; 5] = b"MRTD1";
+
+/// File name of the per-job committed dictionary, placed in the job's
+/// spill directory next to (or one level above) its run files.
+pub const DICT_FILE_NAME: &str = "shuffle.dict";
+
+/// Largest seed the trainer emits. 12 288 entries keeps every seed
+/// code ≤ 12 543 — a 14-bit packed code — and leaves the rest of the
+/// 16-bit code space for per-frame learning.
+const SEED_MAX_ENTRIES: usize = 12 * 1024;
+
+/// Default cap on the bytes a trainer retains for the learning pass.
+/// The corpus hash still covers everything observed.
+pub const DEFAULT_SAMPLE_CAP: usize = 256 * 1024;
+
+/// Codes the codec may assign (shared with the untrained dict codec);
+/// the seed occupies 256..256+n, per-frame learning continues above.
+const DICT_MAX_CODES: u32 = 1 << 16;
+
+/// Bits needed for any code the encoder may emit while its next free
+/// code is `next`: emitted codes are always `< next` (the KwKwK code a
+/// decoder sees equals *its* limit, one behind the encoder), so the
+/// width spans `next - 1`. Both sides track `next` in lockstep, which
+/// keeps every code readable at the exact width it was written.
+fn code_width(next: u32) -> u32 {
+    32 - (next - 1).leading_zeros()
+}
+
+/// Little-endian bit accumulator for variable-width LZW codes.
+#[derive(Default)]
+struct BitPacker {
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitPacker {
+    fn push(&mut self, code: u32, width: u32, out: &mut Vec<u8>) {
+        self.acc |= (code as u64) << self.nbits;
+        self.nbits += width;
+        while self.nbits >= 8 {
+            out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flush the final partial byte (zero-padded high bits).
+    fn finish(self, out: &mut Vec<u8>) {
+        if self.nbits > 0 {
+            out.push(self.acc as u8);
+        }
+    }
+}
+
+/// Mirror of [`BitPacker`] for the decoder.
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            buf,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn read(&mut self, width: u32) -> Option<u32> {
+        while self.nbits < width {
+            let b = *self.buf.get(self.pos)?;
+            self.pos += 1;
+            self.acc |= (b as u64) << self.nbits;
+            self.nbits += 8;
+        }
+        let code = (self.acc & ((1u64 << width) - 1)) as u32;
+        self.acc >>= width;
+        self.nbits -= width;
+        Some(code)
+    }
+
+    /// True once every input byte is consumed and the bits left in the
+    /// accumulator are all padding zeros.
+    fn drained(&self) -> bool {
+        self.pos == self.buf.len() && self.acc == 0
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a 64-bit state.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Samples a training corpus and builds a [`TrainedDict`].
+///
+/// # Example
+///
+/// ```
+/// use mr_storage::trained::DictTrainer;
+///
+/// let mut t = DictTrainer::new();
+/// t.observe(b"10.0.0.1\t1\n");
+/// t.observe(b"10.0.0.2\t1\n");
+/// let dict = t.train();
+/// let mut comp = Vec::new();
+/// dict.compress(b"10.0.0.1\t1\n10.0.0.2\t1\n", &mut comp);
+/// let mut back = Vec::new();
+/// dict.decompress(&comp, 22, &mut back)?;
+/// assert_eq!(back, b"10.0.0.1\t1\n10.0.0.2\t1\n");
+/// # Ok::<(), mr_storage::StorageError>(())
+/// ```
+#[derive(Debug)]
+pub struct DictTrainer {
+    sample: Vec<u8>,
+    cap: usize,
+    hash: u64,
+}
+
+impl Default for DictTrainer {
+    fn default() -> Self {
+        DictTrainer::new()
+    }
+}
+
+impl DictTrainer {
+    /// A trainer with the default sample cap
+    /// ([`DEFAULT_SAMPLE_CAP`]).
+    pub fn new() -> DictTrainer {
+        DictTrainer::with_sample_cap(DEFAULT_SAMPLE_CAP)
+    }
+
+    /// A trainer that retains at most `cap` bytes for the learning
+    /// pass. The corpus hash always covers every observed byte, so the
+    /// cap changes what is learned, never what is identified.
+    pub fn with_sample_cap(cap: usize) -> DictTrainer {
+        DictTrainer {
+            sample: Vec::new(),
+            cap: cap.max(1),
+            hash: FNV_OFFSET,
+        }
+    }
+
+    /// Feed one block of corpus bytes to the trainer.
+    pub fn observe(&mut self, bytes: &[u8]) {
+        self.hash = fnv1a(self.hash, bytes);
+        let room = self.cap.saturating_sub(self.sample.len());
+        if room > 0 {
+            self.sample
+                .extend_from_slice(&bytes[..bytes.len().min(room)]);
+        }
+    }
+
+    /// FNV-1a hash of every byte observed so far — the store
+    /// deduplication key.
+    pub fn corpus_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Run the learning passes over the retained sample and freeze the
+    /// resulting seed dictionary. Deterministic: same observed bytes ⇒
+    /// same dictionary (and hashes).
+    ///
+    /// Training is two-staged. First, several LZW learning passes over
+    /// the sample build a *working* table far past the seed cap — later
+    /// passes extend the entries of earlier ones, so a string repeated
+    /// across the corpus compounds into one long entry instead of
+    /// growing one byte per occurrence. Then a scoring pass
+    /// greedy-encodes the sample against the working table and credits
+    /// each entry with the bytes it actually saves; only the
+    /// highest-value entries (with their prefix chains — the seed must
+    /// stay prefix-closed) survive into the capped seed. A single
+    /// capped pass would instead fill the seed with whatever short
+    /// fragments the first few kilobytes happened to produce.
+    pub fn train(&self) -> TrainedDict {
+        const LEARN_PASSES: usize = 3;
+        const WORK_MAX_ENTRIES: usize = 8 * SEED_MAX_ENTRIES;
+        let mut table: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut entries: Vec<(u32, u8)> = Vec::new();
+        for _ in 0..LEARN_PASSES {
+            let mut bytes = self.sample.iter();
+            let Some(&first) = bytes.next() else { break };
+            let mut cur = first as u32;
+            let before = entries.len();
+            for &b in bytes {
+                match table.get(&(cur, b)) {
+                    Some(&code) => cur = code,
+                    None => {
+                        if entries.len() < WORK_MAX_ENTRIES {
+                            table.insert((cur, b), 256 + entries.len() as u32);
+                            entries.push((cur, b));
+                        }
+                        cur = b as u32;
+                    }
+                }
+            }
+            if entries.len() == before {
+                break;
+            }
+        }
+
+        // Expansion length of each working entry (prefixes always
+        // reference earlier codes, so one forward pass suffices).
+        let mut len = vec![0usize; entries.len()];
+        for (i, &(p, _)) in entries.iter().enumerate() {
+            len[i] = if p < 256 {
+                2
+            } else {
+                len[(p - 256) as usize] + 1
+            };
+        }
+
+        // Scoring pass: greedy-encode the sample with the full working
+        // table (no private learning) and credit every emitted entry
+        // with the bytes it replaces beyond its ~2-byte code.
+        let mut saved = vec![0i64; entries.len()];
+        let credit = |code: u32, saved: &mut Vec<i64>| {
+            if code >= 256 {
+                let i = (code - 256) as usize;
+                saved[i] += len[i] as i64 - 2;
+            }
+        };
+        let mut bytes = self.sample.iter();
+        if let Some(&first) = bytes.next() {
+            let mut cur = first as u32;
+            for &b in bytes {
+                match table.get(&(cur, b)) {
+                    Some(&code) => cur = code,
+                    None => {
+                        credit(cur, &mut saved);
+                        cur = b as u32;
+                    }
+                }
+            }
+            credit(cur, &mut saved);
+        }
+
+        // Keep the best entries, pulling in each survivor's unkept
+        // prefix chain, until the seed cap. Ties break on working-table
+        // order so training stays deterministic.
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(saved[i]), i));
+        let mut keep = vec![false; entries.len()];
+        let mut kept = 0usize;
+        let mut chain = Vec::new();
+        for i in order {
+            if saved[i] <= 0 || kept == SEED_MAX_ENTRIES {
+                break;
+            }
+            chain.clear();
+            let mut j = i;
+            loop {
+                if keep[j] {
+                    break;
+                }
+                chain.push(j);
+                let p = entries[j].0;
+                if p < 256 {
+                    break;
+                }
+                j = (p - 256) as usize;
+            }
+            if kept + chain.len() > SEED_MAX_ENTRIES {
+                continue;
+            }
+            for &c in &chain {
+                keep[c] = true;
+            }
+            kept += chain.len();
+        }
+
+        // Renumber survivors in working-table order: prefixes stay
+        // strictly earlier than their extensions, so the pruned seed is
+        // prefix-closed by construction like the working table was.
+        let mut remap = vec![u32::MAX; entries.len()];
+        let mut pruned = Vec::with_capacity(kept);
+        for (i, &(p, b)) in entries.iter().enumerate() {
+            if keep[i] {
+                let np = if p < 256 {
+                    p
+                } else {
+                    remap[(p - 256) as usize]
+                };
+                remap[i] = 256 + pruned.len() as u32;
+                pruned.push((np, b));
+            }
+        }
+        TrainedDict::from_parts(pruned, self.hash)
+    }
+}
+
+/// A frozen shared seed dictionary: the LZW entries every frame starts
+/// from, plus the content hashes that identify it.
+#[derive(Debug)]
+pub struct TrainedDict {
+    /// Seed entry `i` defines code `256 + i` as
+    /// `expand(prefix) ++ [byte]`. Prefixes always reference earlier
+    /// codes, so the seed is prefix-closed by construction.
+    entries: Vec<(u32, u8)>,
+    /// Reverse lookup for the encoder, built once.
+    seed: HashMap<(u32, u8), u32>,
+    corpus_hash: u64,
+    dict_hash: u64,
+}
+
+impl TrainedDict {
+    fn from_parts(entries: Vec<(u32, u8)>, corpus_hash: u64) -> TrainedDict {
+        let mut entry_bytes = Vec::with_capacity(3 * entries.len() + 4);
+        encode_entries(&entries, &mut entry_bytes);
+        let dict_hash = fnv1a(FNV_OFFSET, &entry_bytes);
+        let seed = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, 256 + i as u32))
+            .collect();
+        TrainedDict {
+            entries,
+            seed,
+            corpus_hash,
+            dict_hash,
+        }
+    }
+
+    /// A dictionary trained on nothing: plain LZW. Lets an empty job
+    /// keep the trained layout without a special case.
+    pub fn empty() -> TrainedDict {
+        DictTrainer::new().train()
+    }
+
+    /// Number of seed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the seed holds no entries (untrained).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hash of the training corpus (store deduplication key).
+    pub fn corpus_hash(&self) -> u64 {
+        self.corpus_hash
+    }
+
+    /// Hash of the trained entries (the identity run headers record).
+    pub fn dict_hash(&self) -> u64 {
+        self.dict_hash
+    }
+
+    /// LZW-compress `raw` into `out` (append), starting from the seed
+    /// table. Codes are bit-packed little-endian at the narrowest
+    /// width that spans the current code space (classic variable-width
+    /// LZW), so a ~12k-entry seed costs 14 bits per code where a
+    /// varint would spend 16. Per-frame learning continues above the
+    /// seed exactly like the untrained codec, so frames stay
+    /// independently decodable given the same seed.
+    pub fn compress(&self, raw: &[u8], out: &mut Vec<u8>) {
+        let mut learned: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut next = 256 + self.entries.len() as u32;
+        let mut packer = BitPacker::default();
+        let mut bytes = raw.iter();
+        let Some(&first) = bytes.next() else { return };
+        let mut cur = first as u32;
+        for &b in bytes {
+            let hit = self.seed.get(&(cur, b)).or_else(|| learned.get(&(cur, b)));
+            match hit {
+                Some(&code) => cur = code,
+                None => {
+                    packer.push(cur, code_width(next), out);
+                    if next < DICT_MAX_CODES {
+                        learned.insert((cur, b), next);
+                        next += 1;
+                    }
+                    cur = b as u32;
+                }
+            }
+        }
+        packer.push(cur, code_width(next), out);
+        packer.finish(out);
+    }
+
+    /// Decompress one frame payload produced by
+    /// [`compress`](Self::compress) with this same seed; `out` must
+    /// grow by exactly `raw_len` bytes, anything else is typed
+    /// corruption.
+    pub fn decompress(&self, comp: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        let mut entries: Vec<(u32, u8)> = self.entries.clone();
+        let mut scratch: Vec<u8> = Vec::new();
+        let mut prev: Option<u32> = None;
+        let mut reader = BitReader::new(comp);
+        let target = out.len() + raw_len;
+        while out.len() < target {
+            let limit = 256 + entries.len() as u32;
+            // The encoder has already defined the entry this step will
+            // add (it inserts on emit, we insert on read), so every
+            // code after the first is written one width-step ahead.
+            let width = match prev {
+                None => code_width(limit),
+                Some(_) => code_width((limit + 1).min(DICT_MAX_CODES)),
+            };
+            let code = reader
+                .read(width)
+                .ok_or_else(|| StorageError::corrupt("trained frame", "code stream truncated"))?;
+            scratch.clear();
+            if code < limit {
+                expand(code, &entries, &mut scratch);
+            } else if code == limit && limit < DICT_MAX_CODES {
+                // KwKwK: the code this very step defines. Legal only
+                // while the table still grows (see blockcodec).
+                let p = prev.ok_or_else(|| {
+                    StorageError::corrupt("trained frame", "stream starts with a novel code")
+                })?;
+                expand(p, &entries, &mut scratch);
+                let head = scratch[0];
+                scratch.push(head);
+            } else {
+                return Err(StorageError::corrupt(
+                    "trained frame",
+                    "dict code out of range",
+                ));
+            }
+            if let Some(p) = prev {
+                if limit < DICT_MAX_CODES {
+                    entries.push((p, scratch[0]));
+                }
+            }
+            if out.len() + scratch.len() > target {
+                return Err(StorageError::corrupt(
+                    "trained frame",
+                    "block inflates past its declared size",
+                ));
+            }
+            out.extend_from_slice(&scratch);
+            prev = Some(code);
+        }
+        if !reader.drained() {
+            return Err(StorageError::corrupt(
+                "trained frame",
+                "trailing bytes after the final code",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the `MRTD1` artifact layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18 + 3 * self.entries.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.corpus_hash.to_le_bytes());
+        encode_entries(&self.entries, &mut out);
+        let crc = crate::blockcodec::crc32(&out[MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse an `MRTD1` artifact; any structural damage is typed
+    /// [`StorageError::Corrupt`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainedDict> {
+        let bad = |detail: &str| StorageError::corrupt("trained dictionary", detail);
+        if bytes.len() < MAGIC.len() + 8 + 4 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(bad("bad magic or truncated header"));
+        }
+        let body = &bytes[MAGIC.len()..bytes.len() - 4];
+        let crc_stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if crate::blockcodec::crc32(body) != crc_stored {
+            return Err(bad("crc mismatch"));
+        }
+        let corpus_hash = u64::from_le_bytes(body[..8].try_into().unwrap());
+        let mut pos = 8usize;
+        let (n64, used) = decode_u64(&body[pos..])?;
+        pos += used;
+        if n64 > SEED_MAX_ENTRIES as u64 {
+            return Err(bad("implausible entry count"));
+        }
+        let mut entries = Vec::with_capacity(n64 as usize);
+        for i in 0..n64 {
+            let (prefix64, used) = decode_u64(&body[pos..])?;
+            pos += used;
+            let prefix = u32::try_from(prefix64).map_err(|_| bad("prefix code exceeds u32"))?;
+            // Prefix closure: each entry may only reference literals or
+            // strictly earlier seed codes.
+            if prefix >= 256 + i as u32 {
+                return Err(bad("entry references a later code"));
+            }
+            let &byte = body.get(pos).ok_or_else(|| bad("truncated entries"))?;
+            pos += 1;
+            entries.push((prefix, byte));
+        }
+        if pos != body.len() {
+            return Err(bad("trailing bytes after entries"));
+        }
+        Ok(TrainedDict::from_parts(entries, corpus_hash))
+    }
+
+    /// Write the artifact to `path` (truncating).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read an artifact back from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainedDict> {
+        TrainedDict::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Serialize the entry section (`varint n` + entries) — also the
+/// preimage of the dictionary hash.
+fn encode_entries(entries: &[(u32, u8)], out: &mut Vec<u8>) {
+    encode_u64(entries.len() as u64, out);
+    for &(prefix, byte) in entries {
+        encode_u64(prefix as u64, out);
+        out.push(byte);
+    }
+}
+
+/// Expand `code` against `entries` (same walk as the untrained codec).
+fn expand(mut code: u32, entries: &[(u32, u8)], out: &mut Vec<u8>) {
+    let start = out.len();
+    loop {
+        if code < 256 {
+            out.push(code as u8);
+            break;
+        }
+        let (prefix, byte) = entries[(code - 256) as usize];
+        out.push(byte);
+        code = prefix;
+    }
+    out[start..].reverse();
+}
+
+/// Process-wide cache of loaded dictionaries, keyed by dictionary
+/// hash. Writers register what they commit; readers in the same
+/// process then resolve header hashes without touching the filesystem.
+fn registry() -> &'static Mutex<HashMap<u64, Arc<TrainedDict>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<TrainedDict>>>> = OnceLock::new();
+    REGISTRY.get_or_init(Default::default)
+}
+
+/// Insert `dict` into the process-wide registry (idempotent).
+pub fn register(dict: &Arc<TrainedDict>) {
+    registry()
+        .lock()
+        .expect("dictionary registry poisoned")
+        .entry(dict.dict_hash())
+        .or_insert_with(|| Arc::clone(dict));
+}
+
+/// Look up a dictionary hash in the process-wide registry.
+pub fn lookup(dict_hash: u64) -> Option<Arc<TrainedDict>> {
+    registry()
+        .lock()
+        .expect("dictionary registry poisoned")
+        .get(&dict_hash)
+        .cloned()
+}
+
+/// Commit `dict` as `dir/shuffle.dict`, **first trainer wins**: the
+/// artifact is staged to a unique temp name and hard-linked into
+/// place, so concurrent attempts (including retried and speculative
+/// ones, and process-backend workers) converge on exactly one
+/// dictionary. Returns the winning dictionary — the caller's own, or
+/// the one an earlier attempt already committed.
+pub fn commit_dict(dir: impl AsRef<Path>, dict: TrainedDict) -> Result<Arc<TrainedDict>> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = dir.as_ref();
+    let final_path = dir.join(DICT_FILE_NAME);
+    let tmp = dir.join(format!(
+        ".dict-tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    dict.save(&tmp)?;
+    let won = match std::fs::hard_link(&tmp, &final_path) {
+        Ok(()) => true,
+        Err(e) if e.kind() == ErrorKind::AlreadyExists => false,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+    };
+    let _ = std::fs::remove_file(&tmp);
+    let winner = if won {
+        Arc::new(dict)
+    } else {
+        Arc::new(TrainedDict::load(&final_path)?)
+    };
+    register(&winner);
+    Ok(winner)
+}
+
+/// Resolve the dictionary a run-file header references by hash:
+/// process registry first, then `shuffle.dict` beside the run file,
+/// then one directory up (runs inside an attempt directory commit the
+/// dictionary to the job directory above them). A found artifact whose
+/// hash disagrees with the header — or no artifact at all — is typed
+/// corruption.
+pub fn resolve(run_path: &Path, dict_hash: u64) -> Result<Arc<TrainedDict>> {
+    if let Some(dict) = lookup(dict_hash) {
+        return Ok(dict);
+    }
+    let parent = run_path.parent().map(Path::to_path_buf);
+    let grandparent = parent
+        .as_deref()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf);
+    let candidates: Vec<PathBuf> = [parent, grandparent]
+        .into_iter()
+        .flatten()
+        .map(|d| d.join(DICT_FILE_NAME))
+        .collect();
+    for candidate in &candidates {
+        if candidate.exists() {
+            let dict = TrainedDict::load(candidate)?;
+            if dict.dict_hash() != dict_hash {
+                return Err(StorageError::corrupt(
+                    "trained dictionary",
+                    format!(
+                        "hash mismatch: run expects {dict_hash:016x}, \
+                         {} holds {:016x}",
+                        candidate.display(),
+                        dict.dict_hash()
+                    ),
+                ));
+            }
+            let dict = Arc::new(dict);
+            register(&dict);
+            return Ok(dict);
+        }
+    }
+    Err(StorageError::corrupt(
+        "trained dictionary",
+        format!("no dictionary found for hash {dict_hash:016x}"),
+    ))
+}
+
+/// The store file name for a corpus hash:
+/// `dict-<corpus_hash hex>.mrtd` under the store directory. The name
+/// is the deduplication key — a second job over identical data finds
+/// the artifact instead of retraining.
+pub fn store_path(store_dir: &Path, corpus_hash: u64) -> PathBuf {
+    store_dir.join(format!("dict-{corpus_hash:016x}.mrtd"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mr-trained-tests-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn corpus() -> Vec<u8> {
+        (0..400)
+            .flat_map(|i| format!("10.0.{}.{}\thit\n", i % 16, i % 7).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn trained_roundtrip_beats_cold_dict_on_small_frames() {
+        let mut t = DictTrainer::new();
+        t.observe(&corpus());
+        let dict = t.train();
+        assert!(!dict.is_empty());
+
+        // A frame much smaller than the corpus: cold LZW barely warms
+        // up, the trained seed starts hot.
+        let frame: Vec<u8> = corpus()[..1024].to_vec();
+        let mut trained_out = Vec::new();
+        dict.compress(&frame, &mut trained_out);
+        let mut cold_out = Vec::new();
+        use crate::blockcodec::{BlockCodec, DictBlock};
+        DictBlock.compress(&frame, &mut cold_out);
+        assert!(
+            trained_out.len() < cold_out.len(),
+            "trained {} vs cold {}",
+            trained_out.len(),
+            cold_out.len()
+        );
+
+        let mut back = Vec::new();
+        dict.decompress(&trained_out, frame.len(), &mut back)
+            .unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn empty_dict_is_plain_lzw() {
+        let dict = TrainedDict::empty();
+        assert!(dict.is_empty());
+        let payload = b"abababababab".repeat(32);
+        let mut comp = Vec::new();
+        dict.compress(&payload, &mut comp);
+        let mut back = Vec::new();
+        dict.decompress(&comp, payload.len(), &mut back).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_hashes_are_stable() {
+        let mut t = DictTrainer::new();
+        t.observe(&corpus());
+        let dict = t.train();
+        let bytes = dict.to_bytes();
+        let back = TrainedDict::from_bytes(&bytes).unwrap();
+        assert_eq!(back.dict_hash(), dict.dict_hash());
+        assert_eq!(back.corpus_hash(), dict.corpus_hash());
+        assert_eq!(back.len(), dict.len());
+
+        // Same corpus ⇒ same hashes; different corpus ⇒ different.
+        let mut t2 = DictTrainer::new();
+        t2.observe(&corpus());
+        assert_eq!(t2.corpus_hash(), dict.corpus_hash());
+        t2.observe(b"more");
+        assert_ne!(t2.corpus_hash(), dict.corpus_hash());
+    }
+
+    #[test]
+    fn corrupt_artifact_is_typed() {
+        let mut t = DictTrainer::new();
+        t.observe(&corpus());
+        let mut bytes = t.train().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let err = TrainedDict::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+
+        assert!(TrainedDict::from_bytes(b"NOTADICT").is_err());
+    }
+
+    #[test]
+    fn commit_is_first_trainer_wins() {
+        let dir = tmp("commit");
+        let mut t1 = DictTrainer::new();
+        t1.observe(b"first trainer's corpus, repeated: aaaa aaaa aaaa");
+        let first = commit_dict(&dir, t1.train()).unwrap();
+
+        let mut t2 = DictTrainer::new();
+        t2.observe(b"a different corpus entirely: bbbb bbbb bbbb bbbb");
+        let second = commit_dict(&dir, t2.train()).unwrap();
+
+        // The second committer gets the first's dictionary back.
+        assert_eq!(second.dict_hash(), first.dict_hash());
+        let on_disk = TrainedDict::load(dir.join(DICT_FILE_NAME)).unwrap();
+        assert_eq!(on_disk.dict_hash(), first.dict_hash());
+        // Temp staging files are cleaned up.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with(".dict-tmp-")
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+    }
+
+    #[test]
+    fn resolve_finds_dict_beside_and_above_runs() {
+        let dir = tmp("resolve");
+        let attempt = dir.join("attempt-map-00000-000");
+        std::fs::create_dir_all(&attempt).unwrap();
+        let mut t = DictTrainer::new();
+        t.observe(&corpus());
+        let dict = commit_dict(&dir, t.train()).unwrap();
+
+        // Beside: a committed run in the job dir.
+        let d1 = resolve(&dir.join("run-00000-000001"), dict.dict_hash()).unwrap();
+        assert_eq!(d1.dict_hash(), dict.dict_hash());
+        // One up: a staged run inside the attempt dir.
+        let d2 = resolve(&attempt.join("run-00000-000001"), dict.dict_hash()).unwrap();
+        assert_eq!(d2.dict_hash(), dict.dict_hash());
+    }
+
+    #[test]
+    fn resolve_hash_mismatch_is_typed_corruption() {
+        let dir = tmp("mismatch");
+        let mut t = DictTrainer::new();
+        t.observe(&corpus());
+        commit_dict(&dir, t.train()).unwrap();
+        let bogus_hash = 0xDEAD_BEEF_0BAD_F00Du64;
+        let err = resolve(&dir.join("run-00000-000001"), bogus_hash).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        // Missing entirely is also typed, not a panic or I/O surprise.
+        let empty = tmp("mismatch-empty");
+        let err = resolve(&empty.join("run-00000-000001"), bogus_hash).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn sample_cap_bounds_learning_not_identity() {
+        let big: Vec<u8> = corpus().repeat(8);
+        let mut capped = DictTrainer::with_sample_cap(1024);
+        capped.observe(&big);
+        let mut full = DictTrainer::new();
+        full.observe(&big);
+        // Identity covers all observed bytes regardless of cap…
+        assert_eq!(capped.corpus_hash(), full.corpus_hash());
+        // …and the capped trainer still produces a working dictionary.
+        let dict = capped.train();
+        let mut comp = Vec::new();
+        dict.compress(&big[..2048], &mut comp);
+        let mut back = Vec::new();
+        dict.decompress(&comp, 2048, &mut back).unwrap();
+        assert_eq!(back, &big[..2048]);
+    }
+}
