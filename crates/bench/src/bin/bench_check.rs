@@ -5,8 +5,8 @@
 //! Two field families gate, matched anywhere in the document tree so
 //! every bench's schema participates without registration:
 //!
-//! * `records_per_sec` — throughput; the current value must not fall
-//!   more than 25% below baseline;
+//! * `records_per_sec` / `jobs_per_sec` — throughput; the current
+//!   value must not fall more than 25% below baseline;
 //! * `alloc_count` / `alloc_bytes` — the counting-allocator totals;
 //!   machine-independent, so growth beyond 25% fails even when timing
 //!   noise would hide it. Zero baselines (bench built without
@@ -20,7 +20,7 @@
 //! context only — they never fail the gate.
 //!
 //! Usage: `bench_check --baseline <dir> --current <dir> [names…]`
-//! (default names: shuffle combine compress hotpath). To accept a new
+//! (default names: shuffle combine compress hotpath service). To accept a new
 //! performance floor, rerun with `MANIMAL_BENCH_REBASELINE=1`: the gate
 //! copies the current documents over the baselines and exits green —
 //! commit the updated `BENCH_*.json` files with the change that
@@ -34,7 +34,7 @@ use mr_json::Json;
 /// How far a gated metric may move against us: 25%.
 const TOLERANCE: f64 = 0.25;
 
-const DEFAULT_NAMES: &[&str] = &["shuffle", "combine", "compress", "hotpath"];
+const DEFAULT_NAMES: &[&str] = &["shuffle", "combine", "compress", "hotpath", "service"];
 
 /// One gated numeric field extracted from a document, with the JSON
 /// path that locates it (for error messages).
@@ -93,23 +93,28 @@ fn collect_metrics(doc: &Json, field: &str, prefix: &str, out: &mut Vec<Metric>)
 fn check_doc(name: &str, baseline: &Json, current: &Json) -> Vec<String> {
     let mut violations = Vec::new();
     // Throughput: current must reach at least (1 - TOLERANCE) × baseline.
-    let mut base_rps = Vec::new();
-    let mut cur_rps = Vec::new();
-    collect_metrics(baseline, "records_per_sec", name, &mut base_rps);
-    collect_metrics(current, "records_per_sec", name, &mut cur_rps);
-    for b in &base_rps {
-        let Some(c) = cur_rps.iter().find(|c| c.path == b.path) else {
-            violations.push(format!("{}: metric missing from current run", b.path));
-            continue;
-        };
-        if b.value > 0.0 && c.value < b.value * (1.0 - TOLERANCE) {
-            violations.push(format!(
-                "{}: throughput regressed {:.0} -> {:.0} records/sec ({:+.1}%)",
-                b.path,
-                b.value,
-                c.value,
-                (c.value / b.value - 1.0) * 100.0
-            ));
+    for (field, unit) in [
+        ("records_per_sec", "records/sec"),
+        ("jobs_per_sec", "jobs/sec"),
+    ] {
+        let mut base_rps = Vec::new();
+        let mut cur_rps = Vec::new();
+        collect_metrics(baseline, field, name, &mut base_rps);
+        collect_metrics(current, field, name, &mut cur_rps);
+        for b in &base_rps {
+            let Some(c) = cur_rps.iter().find(|c| c.path == b.path) else {
+                violations.push(format!("{}: metric missing from current run", b.path));
+                continue;
+            };
+            if b.value > 0.0 && c.value < b.value * (1.0 - TOLERANCE) {
+                violations.push(format!(
+                    "{}: throughput regressed {:.0} -> {:.0} {unit} ({:+.1}%)",
+                    b.path,
+                    b.value,
+                    c.value,
+                    (c.value / b.value - 1.0) * 100.0
+                ));
+            }
         }
     }
     // Up-is-bad machine-independent metrics: allocation counters and
@@ -286,6 +291,26 @@ mod tests {
         assert!(check_doc("compress", &compress_doc(0.40), &compress_doc(0.48)).is_empty());
         // Improvement is always fine.
         assert!(check_doc("compress", &compress_doc(0.40), &compress_doc(0.20)).is_empty());
+    }
+
+    fn service_doc(jps: f64) -> Json {
+        Json::obj([(
+            "throughput",
+            Json::obj([
+                ("jobs_per_sec", Json::Float(jps)),
+                ("p95_secs", Json::Float(0.1)),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn jobs_per_sec_regression_fails() {
+        let violations = check_doc("service", &service_doc(100.0), &service_doc(50.0));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("jobs/sec"), "{violations:?}");
+        // Within tolerance (or better) passes.
+        assert!(check_doc("service", &service_doc(100.0), &service_doc(80.0)).is_empty());
+        assert!(check_doc("service", &service_doc(100.0), &service_doc(400.0)).is_empty());
     }
 
     #[test]

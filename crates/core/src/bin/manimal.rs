@@ -15,6 +15,8 @@
 //!                 [--no-combine]                  # disable map-side combining
 //!                 [--max-task-attempts N]         # task-level retries
 //!                 [--fault-spec SPEC]             # deterministic fault drill
+//! manimal serve   SOCKET [--work DIR]             # run the job daemon
+//! manimal submit  PROG.mrasm DATA.seq --remote SOCKET  # run via a daemon
 //! ```
 //!
 //! The program file is MR-IR assembly (see `mr_ir::asm`); the input's
@@ -60,6 +62,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze_cmd(&rest),
         "build" => build(&rest),
         "run" => run_cmd(&rest),
+        "serve" => serve_cmd(&rest),
+        "submit" => submit_cmd(&rest),
+        "stats" => stats_cmd(&rest),
+        "shutdown" => shutdown_cmd(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -72,7 +78,9 @@ const HELP: &str = "\
 manimal — automatic optimization for MapReduce programs
 
   manimal generate webpages   OUT.seq [--pages N] [--content BYTES] [--codec C]
+                              [--notify SOCKET]
   manimal generate uservisits OUT.seq [--visits N] [--pages N] [--codec C]
+                              [--notify SOCKET]
   manimal cat     DATA.seq  [--limit N]
   manimal analyze PROG.mrasm DATA.seq
   manimal build   PROG.mrasm DATA.seq [--work DIR]
@@ -84,6 +92,12 @@ manimal — automatic optimization for MapReduce programs
                   [--no-combine] [--no-dict-train] [--max-task-attempts N]
                   [--fault-spec SPEC]
                   [--backend local|process|process:N]
+  manimal serve   SOCKET [--work DIR] [--max-running N] [--queue-cap N]
+                  [--cache-bytes BYTES]
+  manimal submit  PROG.mrasm DATA.seq --remote SOCKET [--reducer R]
+                  [--reduce-ir REDUCE.mrasm] [--baseline] [--build]
+  manimal stats   SOCKET                  # daemon counter snapshot
+  manimal shutdown SOCKET                 # drain in-flight jobs and exit
 
 codecs: --shuffle-codec block-compresses spill runs (dict = LZW
 dictionary frames, delta = stride-delta frames, raw = CRC framing
@@ -120,6 +134,15 @@ driven over a Unix-socket task protocol, with byte-identical output.
 Contradictory knob combinations (a fault site the other knobs make
 unreachable, process faults on the local backend, a worker id past the
 worker count) are rejected before anything runs.
+
+daemon: `manimal serve` (or the standalone `manimald` binary) runs a
+long-lived job service on a Unix socket — one shared catalog and
+buffer pool, FIFO admission with typed overload rejections, in-flight
+index-build dedup, and a size-bounded LRU result cache. `manimal
+submit --remote SOCKET` runs a program through it (--build asks the
+daemon to build recommended indexes first); `manimal generate
+--notify SOCKET` tells a running daemon the file was regenerated, so
+its stale catalog entries and cached results are dropped.
 ";
 
 /// A knob combination `manimal run` rejects before running anything —
@@ -314,7 +337,34 @@ fn generate(rest: &[&String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown dataset `{other}` (webpages|uservisits)")),
     }
+    // A regenerated file invalidates every index and cached result a
+    // running daemon holds for it; --notify keeps the daemon honest.
+    if let Some(socket) = flag_value(rest, "--notify") {
+        let input = absolute(out);
+        let mut client = manimal::ServiceClient::connect(socket).map_err(|e| e.to_string())?;
+        let dropped = client.invalidate(&input).map_err(|e| e.to_string())?;
+        eprintln!(
+            "notified daemon at {socket}: {dropped} cached result(s) dropped for {}",
+            input.display()
+        );
+    }
     Ok(())
+}
+
+/// Resolve a client-side path for the daemon's namespace: canonical
+/// when the file exists (so every client names it identically), made
+/// absolute against the cwd otherwise.
+fn absolute(path: &str) -> PathBuf {
+    std::fs::canonicalize(path).unwrap_or_else(|_| {
+        let p = Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            std::env::current_dir()
+                .unwrap_or_else(|_| PathBuf::from("."))
+                .join(p)
+        }
+    })
 }
 
 fn cat(rest: &[&String]) -> Result<(), String> {
@@ -504,6 +554,96 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
     if extra > 0 {
         println!("… {extra} more rows");
     }
+    Ok(())
+}
+
+fn serve_cmd(rest: &[&String]) -> Result<(), String> {
+    let socket = positional(rest, 0)?;
+    let mut cfg = manimal::ServiceConfig::new(
+        socket,
+        flag_value(rest, "--work").unwrap_or("manimald-work"),
+    );
+    cfg.max_running = parse_num(rest, "--max-running", cfg.max_running)?.max(1);
+    cfg.queue_cap = parse_num(rest, "--queue-cap", cfg.queue_cap)?;
+    cfg.cache_bytes = parse_num(rest, "--cache-bytes", cfg.cache_bytes)?;
+    eprintln!(
+        "manimal serve: listening on {} (work {}, {} slots, queue {}, cache {} bytes)",
+        cfg.socket.display(),
+        cfg.workdir.display(),
+        cfg.max_running,
+        cfg.queue_cap,
+        cfg.cache_bytes
+    );
+    let stats = manimal::serve_blocking(cfg).map_err(|e| e.to_string())?;
+    eprintln!("manimal serve: shut down cleanly; final counters:\n{stats}");
+    Ok(())
+}
+
+fn submit_cmd(rest: &[&String]) -> Result<(), String> {
+    let prog_path = positional(rest, 0)?;
+    let input = positional(rest, 1)?;
+    let socket = flag_value(rest, "--remote")
+        .ok_or("submit needs --remote SOCKET (for local execution use `manimal run`)")?;
+    let program_asm =
+        std::fs::read_to_string(prog_path).map_err(|e| format!("read {prog_path}: {e}"))?;
+    let reduce_ir = match flag_value(rest, "--reduce-ir") {
+        Some(path) => Some(std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?),
+        None => None,
+    };
+    let name = Path::new(prog_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "program".to_string());
+    let req = manimal::service::proto::JobRequest {
+        name,
+        program_asm,
+        input: absolute(input),
+        reducer: flag_value(rest, "--reducer").unwrap_or("count").to_string(),
+        reduce_ir,
+        build_indexes: flag_present(rest, "--build"),
+        baseline: flag_present(rest, "--baseline"),
+    };
+    let mut client = manimal::ServiceClient::connect(socket).map_err(|e| e.to_string())?;
+    let reply = match client.submit(&req).map_err(|e| e.to_string())? {
+        manimal::SubmitOutcome::Completed(reply) => reply,
+        manimal::SubmitOutcome::Rejected(r) => return Err(r.to_string()),
+    };
+    eprintln!("plan: {}", reply.plan);
+    if let Some(name) = &reply.combiner {
+        eprintln!("combiner: {name} (map-side)");
+    }
+    if reply.cache_hit {
+        eprintln!("served from the daemon's result cache");
+    }
+    if reply.deduped_builds > 0 {
+        eprintln!(
+            "waited out {} in-flight index build(s) instead of duplicating them",
+            reply.deduped_builds
+        );
+    }
+    let output = reply.decode_output().map_err(|e| e.to_string())?;
+    for (k, v) in output.iter().take(50) {
+        println!("{k}\t{v}");
+    }
+    let extra = output.len().saturating_sub(50);
+    if extra > 0 {
+        println!("… {extra} more rows");
+    }
+    Ok(())
+}
+
+fn stats_cmd(rest: &[&String]) -> Result<(), String> {
+    let socket = positional(rest, 0)?;
+    let mut client = manimal::ServiceClient::connect(socket).map_err(|e| e.to_string())?;
+    print!("{}", client.stats().map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn shutdown_cmd(rest: &[&String]) -> Result<(), String> {
+    let socket = positional(rest, 0)?;
+    let mut client = manimal::ServiceClient::connect(socket).map_err(|e| e.to_string())?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    eprintln!("daemon at {socket} acknowledged shutdown; draining in-flight jobs");
     Ok(())
 }
 

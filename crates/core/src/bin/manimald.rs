@@ -1,0 +1,77 @@
+//! `manimald` — the Manimal job daemon.
+//!
+//! ```text
+//! manimald SOCKET [--work DIR] [--max-running N] [--queue-cap N]
+//!                 [--cache-bytes BYTES]
+//! ```
+//!
+//! One daemon owns one catalog, one buffer pool, and one dictionary
+//! store; clients (`manimal submit --remote`, the bench harness) speak
+//! the frame protocol of `manimal::service::proto` over the Unix
+//! socket. The process runs in the foreground until a client sends a
+//! shutdown frame, then drains in-flight jobs and exits, printing its
+//! final counters.
+
+use std::process::ExitCode;
+
+use manimal::service::{serve_blocking, ServiceConfig};
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_num(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("{name} expects a number, got `{v}`")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let socket = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .filter(|a| {
+            let pos = args.iter().position(|b| b == *a).expect("present");
+            pos == 0 || !args[pos - 1].starts_with("--")
+        })
+        .ok_or("usage: manimald SOCKET [--work DIR] [--max-running N] [--queue-cap N] [--cache-bytes BYTES]")?;
+    let mut cfg = ServiceConfig::new(
+        socket,
+        flag_value(args, "--work").unwrap_or("manimald-work"),
+    );
+    cfg.max_running = parse_num(args, "--max-running", cfg.max_running)?.max(1);
+    cfg.queue_cap = parse_num(args, "--queue-cap", cfg.queue_cap)?;
+    cfg.cache_bytes = parse_num(args, "--cache-bytes", cfg.cache_bytes)?;
+    eprintln!(
+        "manimald: listening on {} (work {}, {} slots, queue {}, cache {} bytes)",
+        cfg.socket.display(),
+        cfg.workdir.display(),
+        cfg.max_running,
+        cfg.queue_cap,
+        cfg.cache_bytes
+    );
+    let stats = serve_blocking(cfg).map_err(|e| e.to_string())?;
+    eprintln!("manimald: shut down cleanly; final counters:\n{stats}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // The process backend re-execs this binary as a task-protocol
+    // worker when a client asks for process execution; never returns in
+    // that role.
+    mr_engine::maybe_worker_entry();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

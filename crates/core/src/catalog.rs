@@ -8,6 +8,17 @@
 //! artifacts built for them, with enough metadata (index kind, key
 //! expression, fields) for the optimizer to match a new program's
 //! optimization descriptors against existing indexes.
+//!
+//! Durability discipline: every write lands in a tmp file in the
+//! catalog's own directory and renames over `catalog.json`, so a crash
+//! (even `kill -9` mid-write) leaves the old or the new state on disk,
+//! never a torn file. Every mutation runs under an advisory `flock` on
+//! a sibling `catalog.json.lock` and re-reads the on-disk state before
+//! applying itself, so concurrent writers — threads with their own
+//! `Catalog` instances, or whole separate processes (`manimald` plus a
+//! CLI run) — merge instead of clobbering each other's entries. The
+//! kernel drops the flock when its holder dies, so a killed writer
+//! cannot wedge the catalog.
 
 use std::path::{Path, PathBuf};
 
@@ -41,11 +52,11 @@ pub struct RangeRepr {
     pub high: BoundRepr,
 }
 
-fn hex_encode(bytes: &[u8]) -> String {
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
-fn hex_decode(s: &str) -> Option<Vec<u8>> {
+pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }
@@ -453,6 +464,54 @@ impl CatalogFile {
     }
 }
 
+/// An exclusive advisory file lock (`flock(2)`) held for the duration
+/// of one catalog mutation. Advisory locks are released by the kernel
+/// when the holding process dies — including `kill -9` — so a crashed
+/// writer can never wedge the catalog the way a lockfile would.
+///
+/// The workspace has no `libc` crate (externals are vendored shims), but
+/// every Rust binary on Unix already links the platform libc, so the
+/// one symbol needed is declared directly.
+#[derive(Debug)]
+struct FileLock {
+    file: std::fs::File,
+}
+
+extern "C" {
+    fn flock(fd: std::os::raw::c_int, operation: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+const LOCK_EX: std::os::raw::c_int = 2;
+const LOCK_UN: std::os::raw::c_int = 8;
+
+impl FileLock {
+    /// Block until the exclusive lock on `path` is held.
+    fn acquire(path: &Path) -> std::io::Result<FileLock> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        loop {
+            if unsafe { flock(file.as_raw_fd(), LOCK_EX) } == 0 {
+                return Ok(FileLock { file });
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        use std::os::unix::io::AsRawFd;
+        unsafe { flock(self.file.as_raw_fd(), LOCK_UN) };
+    }
+}
+
 /// The filesystem catalog.
 #[derive(Debug)]
 pub struct Catalog {
@@ -472,9 +531,19 @@ impl Catalog {
                     // A stale or corrupt catalog (e.g. written by an
                     // older format) must not brick the system: move it
                     // aside and start fresh, like Hadoop ignoring a bad
-                    // metadata file.
+                    // metadata file. The rename itself must not fail
+                    // silently — if the bad file cannot be moved aside,
+                    // a fresh save would clobber the evidence and the
+                    // next open would hit the same corruption.
                     let backup = path.with_extension("json.corrupt");
-                    let _ = std::fs::rename(&path, &backup);
+                    std::fs::rename(&path, &backup).map_err(|rename_err| {
+                        ManimalError::Catalog(format!(
+                            "unreadable catalog {} ({e}); backing it up to {} also failed: \
+                             {rename_err}",
+                            path.display(),
+                            backup.display()
+                        ))
+                    })?;
                     eprintln!(
                         "warning: unreadable catalog {} ({e}); moved to {} and starting fresh",
                         path.display(),
@@ -492,17 +561,37 @@ impl Catalog {
         })
     }
 
+    /// The sibling lock-file path guarding mutations of this catalog.
+    fn lock_path(&self) -> PathBuf {
+        self.path.with_extension("json.lock")
+    }
+
+    /// Run one mutation under the advisory file lock: re-read the
+    /// on-disk truth (another process or instance may have written
+    /// since we loaded), apply `mutate`, and persist atomically. The
+    /// refreshed, merged state also becomes this instance's in-memory
+    /// view.
+    fn mutate(&self, mutate: impl FnOnce(&mut Vec<CatalogEntry>)) -> Result<()> {
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let _flock = FileLock::acquire(&self.lock_path())?;
+        let mut inner = self.inner.lock();
+        if self.path.exists() {
+            let text = std::fs::read_to_string(&self.path)?;
+            *inner = CatalogFile::parse(&text)?;
+        }
+        mutate(&mut inner.entries);
+        self.save_locked(&inner)
+    }
+
     /// Register an index, replacing any previous entry with the same
     /// input path and kind, and persist.
     pub fn register(&self, entry: CatalogEntry) -> Result<()> {
-        {
-            let mut inner = self.inner.lock();
-            inner
-                .entries
-                .retain(|e| !(e.input_path == entry.input_path && e.kind == entry.kind));
-            inner.entries.push(entry);
-        }
-        self.save()
+        self.mutate(|entries| {
+            entries.retain(|e| !(e.input_path == entry.input_path && e.kind == entry.kind));
+            entries.push(entry);
+        })
     }
 
     /// All indexes registered for an input file.
@@ -523,17 +612,20 @@ impl Catalog {
 
     /// Drop all entries for an input (e.g. after the file changed).
     pub fn invalidate(&self, input: &Path) -> Result<()> {
-        self.inner.lock().entries.retain(|e| e.input_path != input);
-        self.save()
+        self.mutate(|entries| entries.retain(|e| e.input_path != input))
     }
 
-    fn save(&self) -> Result<()> {
-        let inner = self.inner.lock();
+    /// Persist atomically: write a tmp file in the catalog's own
+    /// directory (same filesystem, so the rename cannot cross devices)
+    /// and rename it over `catalog.json` — the commit-by-rename
+    /// discipline the rest of the repo uses for artifacts. A crash at
+    /// any point leaves the old or the new state, never a torn file.
+    /// Callers hold the advisory lock, so the fixed tmp name is safe.
+    fn save_locked(&self, inner: &CatalogFile) -> Result<()> {
         let text = inner.to_json()?.to_string_pretty();
-        if let Some(parent) = self.path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(&self.path, text)?;
+        let tmp = self.path.with_extension("json.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &self.path)?;
         Ok(())
     }
 }
@@ -631,6 +723,124 @@ mod tests {
         cat.invalidate(Path::new("/a")).unwrap();
         assert!(cat.indexes_for(Path::new("/a")).is_empty());
         assert_eq!(cat.indexes_for(Path::new("/b")).len(), 1);
+    }
+
+    /// The lost-update fix: N threads, each with its *own* `Catalog`
+    /// instance on the same path (the exact load-modify-save shape two
+    /// processes would have), register disjoint entries concurrently.
+    /// Every entry must survive.
+    #[test]
+    fn concurrent_writers_lose_no_entries() {
+        let path = tmp("stress");
+        let _ = std::fs::remove_file(&path);
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = 6;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let path = path.clone();
+                scope.spawn(move || {
+                    let cat = Catalog::open(&path).unwrap();
+                    for i in 0..PER_WRITER {
+                        cat.register(entry(
+                            &format!("/data/w{w}-{i}.seq"),
+                            IndexKind::Projection {
+                                fields: vec!["url".into()],
+                            },
+                        ))
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let reopened = Catalog::open(&path).unwrap();
+        assert_eq!(
+            reopened.entries().len(),
+            WRITERS * PER_WRITER,
+            "concurrent registrations must merge, not clobber"
+        );
+    }
+
+    /// A writer's in-memory view picks up entries other instances
+    /// persisted, because every mutation re-reads disk under the lock.
+    #[test]
+    fn mutation_refreshes_from_disk() {
+        let path = tmp("refresh");
+        let _ = std::fs::remove_file(&path);
+        let a = Catalog::open(&path).unwrap();
+        let b = Catalog::open(&path).unwrap();
+        a.register(entry(
+            "/data/a.seq",
+            IndexKind::Projection {
+                fields: vec!["x".into()],
+            },
+        ))
+        .unwrap();
+        b.register(entry(
+            "/data/b.seq",
+            IndexKind::Projection {
+                fields: vec!["y".into()],
+            },
+        ))
+        .unwrap();
+        // b merged a's entry in before writing its own.
+        assert_eq!(b.entries().len(), 2);
+        assert_eq!(Catalog::open(&path).unwrap().entries().len(), 2);
+    }
+
+    /// Saves go through tmp + rename: after a register, no tmp file
+    /// lingers and the catalog parses.
+    #[test]
+    fn save_commits_by_rename() {
+        let path = tmp("atomic");
+        let _ = std::fs::remove_file(&path);
+        let cat = Catalog::open(&path).unwrap();
+        cat.register(entry(
+            "/data/x.seq",
+            IndexKind::Dict {
+                fields: vec!["u".into()],
+            },
+        ))
+        .unwrap();
+        assert!(!path.with_extension("json.tmp").exists());
+        assert!(CatalogFile::parse(&std::fs::read_to_string(&path).unwrap()).is_ok());
+    }
+
+    /// A corrupt catalog whose backup rename *fails* must surface a
+    /// typed error instead of silently discarding it (the old
+    /// `let _ = rename(...)` bug). Renaming a file over a non-empty
+    /// directory fails on every Unix, which simulates the failure
+    /// without permission games.
+    #[test]
+    fn failed_corrupt_backup_is_a_typed_error() {
+        let path = tmp("badbackup");
+        std::fs::write(&path, "this is not json").unwrap();
+        let backup = path.with_extension("json.corrupt");
+        let _ = std::fs::remove_file(&backup);
+        let _ = std::fs::remove_dir_all(&backup);
+        std::fs::create_dir_all(backup.join("occupied")).unwrap();
+        let err = Catalog::open(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("backing it up") && msg.contains("also failed"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&backup).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The recovery path itself still works when the rename can
+    /// succeed: corrupt file moved aside, fresh catalog returned.
+    #[test]
+    fn corrupt_catalog_backed_up_and_opens_fresh() {
+        let path = tmp("recover");
+        let backup = path.with_extension("json.corrupt");
+        let _ = std::fs::remove_file(&backup);
+        std::fs::write(&path, "{ torn garbage").unwrap();
+        let cat = Catalog::open(&path).unwrap();
+        assert!(cat.entries().is_empty());
+        assert!(backup.exists(), "bad file moved aside as evidence");
+        assert!(!path.exists(), "original slot is clear until next save");
+        let _ = std::fs::remove_file(&backup);
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum ManimalError {
     IndexGen(String),
     /// The optimizer was asked for an impossible plan.
     Plan(String),
+    /// Job-service failure (protocol, admission, or daemon state).
+    Service(String),
     /// I/O failure.
     Io(std::io::Error),
 }
@@ -27,6 +29,7 @@ impl fmt::Display for ManimalError {
             ManimalError::Catalog(e) => write!(f, "catalog: {e}"),
             ManimalError::IndexGen(e) => write!(f, "index generation: {e}"),
             ManimalError::Plan(e) => write!(f, "planning: {e}"),
+            ManimalError::Service(e) => write!(f, "service: {e}"),
             ManimalError::Io(e) => write!(f, "i/o: {e}"),
         }
     }

@@ -61,6 +61,7 @@ pub mod catalog;
 pub mod error;
 pub mod indexgen;
 pub mod optimizer;
+pub mod service;
 pub mod submit;
 
 pub use catalog::{Catalog, CatalogEntry, IndexKind};
@@ -70,5 +71,9 @@ pub use mr_analysis::{analyze, find_combine, AnalysisReport, CombineOutcome};
 pub use mr_engine::{Builtin, FaultPlan, JobResult, ShuffleCompression};
 pub use optimizer::{
     choose_plan, combiner_for, enumerate_plans, ir_reducer, ExecutionDescriptor, OptimizerConfig,
+};
+pub use service::{
+    serve_blocking, ServiceClient, ServiceConfig, ServiceHandle, ServiceStats, StatsSnapshot,
+    SubmitOutcome,
 };
 pub use submit::{Execution, Manimal, Submission};

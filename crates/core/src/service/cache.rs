@@ -1,0 +1,221 @@
+//! A size-bounded LRU cache for hot job results.
+//!
+//! The daemon's whole value proposition is reuse across submissions:
+//! identical jobs over unchanged inputs should cost a cache lookup, not
+//! a MapReduce run. Entries are keyed by a hash of the full request
+//! (program text, input path, reducer, knobs) and priced by the bytes
+//! of their encoded output, so one huge result can't silently pin the
+//! budget. Eviction is least-recently-used; invalidation drops every
+//! entry whose *input file* was regenerated, because a new file under
+//! the same path makes the cached output a lie regardless of recency.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// A cached execution result — the reply fields that survive reuse
+/// (`cache_hit`/`deduped_builds` are per-submission, not cacheable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Human-readable summary of the plan that produced this result.
+    pub plan: String,
+    /// Applied optimizations.
+    pub applied: Vec<String>,
+    /// Engaged combiner name, if any.
+    pub combiner: Option<String>,
+    /// Output pairs, hex-encoded (rowcodec) — the wire form, so a hit
+    /// serializes without re-encoding.
+    pub output_hex: Vec<(String, String)>,
+}
+
+impl CachedResult {
+    /// The cache cost of this entry: the bytes its strings occupy.
+    pub fn cost(&self) -> usize {
+        self.plan.len()
+            + self.applied.iter().map(String::len).sum::<usize>()
+            + self.combiner.as_ref().map_or(0, String::len)
+            + self
+                .output_hex
+                .iter()
+                .map(|(k, v)| k.len() + v.len())
+                .sum::<usize>()
+    }
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    input: PathBuf,
+    cost: usize,
+    /// Monotonic recency stamp; smallest = least recently used.
+    tick: u64,
+    value: CachedResult,
+}
+
+/// The size-bounded LRU (see module docs).
+#[derive(Debug)]
+pub struct ResultCache {
+    max_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    slots: HashMap<u64, CacheSlot>,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache bounded at `max_bytes` of entry cost.
+    pub fn new(max_bytes: usize) -> ResultCache {
+        ResultCache {
+            max_bytes,
+            bytes: 0,
+            tick: 0,
+            slots: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Look up a result, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<CachedResult> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.slots.get_mut(&key).map(|slot| {
+            slot.tick = tick;
+            slot.value.clone()
+        })
+    }
+
+    /// Insert a result for `key` over `input`, evicting
+    /// least-recently-used entries until it fits. An entry larger than
+    /// the whole budget is not cached at all.
+    pub fn insert(&mut self, key: u64, input: &Path, value: CachedResult) {
+        let cost = value.cost();
+        if cost > self.max_bytes {
+            return;
+        }
+        if let Some(old) = self.slots.remove(&key) {
+            self.bytes -= old.cost;
+        }
+        while self.bytes + cost > self.max_bytes {
+            let Some((&lru, _)) = self.slots.iter().min_by_key(|(_, s)| s.tick) else {
+                break;
+            };
+            let evicted = self.slots.remove(&lru).expect("lru key present");
+            self.bytes -= evicted.cost;
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.bytes += cost;
+        self.slots.insert(
+            key,
+            CacheSlot {
+                input: input.to_path_buf(),
+                cost,
+                tick: self.tick,
+                value,
+            },
+        );
+    }
+
+    /// Drop every entry computed over `input` (the file was
+    /// regenerated). Returns how many entries were dropped.
+    pub fn invalidate_input(&mut self, input: &Path) -> usize {
+        let doomed: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.input == input)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &doomed {
+            let slot = self.slots.remove(k).expect("doomed key present");
+            self.bytes -= slot.cost;
+        }
+        doomed.len()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current total entry cost in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Entries evicted by the size bound since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: &str, pad: usize) -> CachedResult {
+        CachedResult {
+            plan: tag.to_string(),
+            applied: vec![],
+            combiner: None,
+            output_hex: vec![("ab".repeat(pad / 2).to_string(), String::new())],
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_cost_accounting() {
+        let mut c = ResultCache::new(1024);
+        assert!(c.get(1).is_none());
+        let r = result("plan", 100);
+        c.insert(1, Path::new("/a"), r.clone());
+        assert_eq!(c.get(1), Some(r.clone()));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), r.cost());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        // Budget fits two ~100-byte entries, not three.
+        let mut c = ResultCache::new(260);
+        c.insert(1, Path::new("/a"), result("one!", 100));
+        c.insert(2, Path::new("/a"), result("two!", 100));
+        c.get(1); // 1 is now fresher than 2
+        c.insert(3, Path::new("/a"), result("tri!", 100));
+        assert!(c.get(2).is_none(), "LRU entry 2 evicted");
+        assert!(c.get(1).is_some(), "recently-used entry 1 kept");
+        assert!(c.get(3).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let mut c = ResultCache::new(64);
+        c.insert(1, Path::new("/a"), result("huge", 1000));
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_cost() {
+        let mut c = ResultCache::new(1024);
+        c.insert(1, Path::new("/a"), result("v1", 100));
+        c.insert(1, Path::new("/a"), result("v2", 200));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), c.get(1).unwrap().cost());
+    }
+
+    #[test]
+    fn invalidation_drops_exactly_the_inputs_entries() {
+        let mut c = ResultCache::new(4096);
+        c.insert(1, Path::new("/a"), result("a1", 50));
+        c.insert(2, Path::new("/a"), result("a2", 50));
+        c.insert(3, Path::new("/b"), result("b1", 50));
+        assert_eq!(c.invalidate_input(Path::new("/a")), 2);
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some(), "other inputs untouched");
+        assert_eq!(c.invalidate_input(Path::new("/missing")), 0);
+    }
+}

@@ -26,13 +26,13 @@ cd "$repo"
 
 echo "== building bench bins =="
 cargo build --release -p bench \
-    --bin scale_shuffle --bin scale_combine --bin scale_compress
+    --bin scale_shuffle --bin scale_combine --bin scale_compress --bin scale_service
 cargo build --release -p bench --features bench-alloc \
     --bin scale_hotpath --bin bench_check
 
 echo "== running gated scale bins (--smoke) =="
 cd "$out"
-for bin in scale_shuffle scale_combine scale_compress scale_hotpath; do
+for bin in scale_shuffle scale_combine scale_compress scale_hotpath scale_service; do
     echo "-- $bin"
     "$repo/target/release/$bin" --smoke
 done
