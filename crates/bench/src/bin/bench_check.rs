@@ -20,7 +20,7 @@
 //! context only — they never fail the gate.
 //!
 //! Usage: `bench_check --baseline <dir> --current <dir> [names…]`
-//! (default names: shuffle combine compress hotpath service). To accept a new
+//! (default names: shuffle combine compress hotpath service join). To accept a new
 //! performance floor, rerun with `MANIMAL_BENCH_REBASELINE=1`: the gate
 //! copies the current documents over the baselines and exits green —
 //! commit the updated `BENCH_*.json` files with the change that
@@ -34,7 +34,9 @@ use mr_json::Json;
 /// How far a gated metric may move against us: 25%.
 const TOLERANCE: f64 = 0.25;
 
-const DEFAULT_NAMES: &[&str] = &["shuffle", "combine", "compress", "hotpath", "service"];
+const DEFAULT_NAMES: &[&str] = &[
+    "shuffle", "combine", "compress", "hotpath", "service", "join",
+];
 
 /// One gated numeric field extracted from a document, with the JSON
 /// path that locates it (for error messages).

@@ -137,9 +137,7 @@ fn main() {
         generate_uservisits(&visits, &uv_cfg).expect("uservisits");
 
         // A date window covering 0.095% of the uniform date range.
-        let span = uv_cfg.date_end - uv_cfg.date_start;
-        let lo = uv_cfg.date_start + span / 2;
-        let hi = lo + (span as f64 * 0.00095) as i64;
+        let (lo, hi) = pavlo::benchmark3_date_window(&uv_cfg, 0.00095);
         let visits_program = pavlo::benchmark3_visits_mapper(lo, hi);
         let rankings_program = pavlo::benchmark3_rankings_mapper();
 
@@ -165,10 +163,12 @@ fn main() {
                         path: rankings.clone(),
                     },
                     mapper: IrMapperFactory::new(rankings_program.mapper.clone()),
+                    join: None,
                 },
                 InputBinding {
                     input: visits_input,
                     mapper: IrMapperFactory::new(visits_program.mapper.clone()),
+                    join: None,
                 },
             ],
             num_reducers: 4,

@@ -84,6 +84,7 @@ fn main() {
         inputs: vec![InputBinding {
             input: input_spec,
             mapper: IrMapperFactory::new(program.mapper.clone()),
+            join: None,
         }],
         num_reducers: 4,
         reducer: Arc::new(Builtin::SumDropKey),

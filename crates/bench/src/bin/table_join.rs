@@ -1,0 +1,200 @@
+//! Join workload bench — Rankings ⋈ UserVisits under both physical
+//! plans.
+//!
+//! Times the paper's Benchmark-3 join (Section 7.3) as a first-class
+//! workload through [`Manimal::execute_join`]: once under the
+//! broadcast hash-join plan and once under the repartition plan, with
+//! byte-identity asserted between them — the physical plan may change
+//! the wall clock, never the answer. A second section runs the
+//! two-stage `filter → join` [`JobDag`] and asserts the DAG machinery's
+//! observable wins: the filter stage's date index is reused (not
+//! rebuilt) by the join stage, and a repeated run hits the committed
+//! stage output instead of re-executing.
+//!
+//! Writes `BENCH_join.json` for the CI bench gate (`bench_check`
+//! gates `records_per_sec` per plan row).
+
+use std::sync::Arc;
+
+use manimal::{
+    choose_join_plan, Builtin, DagInput, DagStage, JobDag, JoinJob, JoinPlan, Manimal, StageJob,
+    DEFAULT_BROADCAST_BUDGET,
+};
+use mr_engine::InputSpec;
+use mr_json::Json;
+use mr_workloads::data::{generate_rankings, generate_uservisits, UserVisitsConfig};
+use mr_workloads::pavlo;
+
+fn main() {
+    bench::worker_guard();
+    bench::banner(
+        "Join workload — Rankings ⋈ UserVisits, both physical plans",
+        "Broadcast hash join vs. repartition join over the same inputs,\n\
+         byte-identity asserted, plus the two-stage filter→join DAG with\n\
+         index reuse and stage-output caching.",
+    );
+    let dir = bench::bench_dir("table_join");
+
+    let rankings = dir.join("rankings.seq");
+    let visits = dir.join("uservisits.seq");
+    generate_rankings(&rankings, bench::scaled(20_000), false, 13).expect("rankings");
+    let uv_cfg = UserVisitsConfig {
+        visits: bench::scaled(150_000),
+        pages: bench::scaled(20_000),
+        ..UserVisitsConfig::default()
+    };
+    generate_uservisits(&visits, &uv_cfg).expect("uservisits");
+
+    // A wide date window (half the range) so the join output is big
+    // enough to time; Table 2 keeps the paper's 0.095% selectivity.
+    let (lo, hi) = pavlo::benchmark3_date_window(&uv_cfg, 0.5);
+    let rankings_prog = pavlo::benchmark3_rankings_mapper();
+    let visits_prog = pavlo::benchmark3_visits_mapper(lo, hi);
+
+    let mut manimal = Manimal::new(dir.join("work")).expect("manimal");
+    let (fault, attempts) = bench::fault_env();
+    manimal.fault_plan = fault;
+    manimal.max_task_attempts = attempts;
+    if let Some(codec) = bench::shuffle_codec_env() {
+        manimal.shuffle_compression = codec;
+    }
+    if let Some(backend) = bench::backend_env() {
+        manimal.backend = backend;
+    }
+
+    let decision = choose_join_plan(&rankings, DEFAULT_BROADCAST_BUDGET, None).expect("decision");
+    println!("auto decision: {decision}\n");
+
+    // ---- both physical plans over identical inputs ----------------------
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut outputs = Vec::new();
+    for plan in [JoinPlan::Broadcast, JoinPlan::Repartition] {
+        let job = JoinJob {
+            name: format!("bench-join-{}", plan.name()),
+            build: InputSpec::SeqFile {
+                path: rankings.clone(),
+            },
+            build_mapper: rankings_prog.mapper.clone(),
+            probe: InputSpec::SeqFile {
+                path: visits.clone(),
+            },
+            probe_mapper: visits_prog.mapper.clone(),
+            plan,
+        };
+        let (secs, run) = bench::time_runs(|| manimal.execute_join(&job).expect("join"));
+        let n = run.result.output.len() as u64;
+        let rps = n as f64 / secs.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            plan.name().to_string(),
+            n.to_string(),
+            bench::fmt_secs(secs),
+            format!("{rps:.0}"),
+        ]);
+        json_rows.push(Json::obj([
+            ("cell", Json::str(plan.name())),
+            ("rows", Json::Int(n as i64)),
+            ("total_secs", bench::json_secs(secs)),
+            ("records_per_sec", Json::Float(rps)),
+        ]));
+        outputs.push(run.result.output);
+    }
+    assert!(!outputs[0].is_empty(), "degenerate join: no output rows");
+    assert_eq!(
+        outputs[0], outputs[1],
+        "broadcast and repartition outputs must be byte-identical"
+    );
+    bench::print_table(&["plan", "rows", "mean time", "records/sec"], &rows);
+
+    // ---- two-stage filter → join DAG ------------------------------------
+    // Stage 1 filters the visits and registers the analyzer's date
+    // index; the join stage plans its probe side against the catalog
+    // and must *reuse* that index, not rebuild it.
+    let dag = || JobDag {
+        name: "bench3".into(),
+        stages: vec![
+            DagStage {
+                name: "filter-visits".into(),
+                job: StageJob::Map {
+                    input: DagInput::Path(visits.clone()),
+                    program: visits_prog.clone(),
+                    reducer: Arc::new(Builtin::Identity),
+                    build_index: true,
+                },
+            },
+            DagStage {
+                name: "join".into(),
+                job: StageJob::Join {
+                    build: DagInput::Path(rankings.clone()),
+                    build_mapper: rankings_prog.clone(),
+                    probe: DagInput::Path(visits.clone()),
+                    probe_mapper: visits_prog.clone(),
+                    plan: None,
+                    broadcast_budget: DEFAULT_BROADCAST_BUDGET,
+                    index_probe: true,
+                },
+            },
+        ],
+    };
+    let manimal_dag = {
+        let mut m = Manimal::new(dir.join("dag-work")).expect("manimal");
+        m.fault_plan = manimal.fault_plan.clone();
+        m.max_task_attempts = manimal.max_task_attempts;
+        m.shuffle_compression = manimal.shuffle_compression;
+        m.backend = manimal.backend.clone();
+        m
+    };
+    let (dag_secs, cold) = bench::time_runs(|| manimal_dag.execute_dag(&dag()).expect("dag"));
+    println!("\ndag (cold-ish): mean {}", bench::fmt_secs(dag_secs));
+    for s in &cold.stages {
+        println!(
+            "  stage {}: {}{} ({} rows)",
+            s.name,
+            s.summary,
+            if s.cached { " [cached]" } else { "" },
+            s.rows
+        );
+    }
+    assert!(
+        cold.index_builds_reused >= 1,
+        "join stage must reuse the filter stage's index, got {} reused",
+        cold.index_builds_reused
+    );
+    let dag_join_rows = cold.stages.last().expect("stages").rows;
+    assert_eq!(
+        dag_join_rows,
+        outputs[0].len() as u64,
+        "DAG join must produce the same row count as the direct join"
+    );
+    let warm = manimal_dag.execute_dag(&dag()).expect("dag warm");
+    assert!(
+        warm.stages[0].cached,
+        "second run must hit the committed stage output"
+    );
+    assert_eq!(warm.index_builds, 0, "warm run must build nothing");
+    println!(
+        "dag warm rerun: filter stage cached, {} index builds, {} reused",
+        warm.index_builds, warm.index_builds_reused
+    );
+
+    bench::write_bench_json(
+        "join",
+        Json::obj([
+            ("decision", Json::str(decision.to_string())),
+            ("rows", Json::Arr(json_rows)),
+            (
+                "dag",
+                Json::obj([
+                    ("total_secs", bench::json_secs(dag_secs)),
+                    ("join_rows", Json::Int(dag_join_rows as i64)),
+                    ("index_builds", Json::Int(cold.index_builds as i64)),
+                    (
+                        "index_builds_reused",
+                        Json::Int(cold.index_builds_reused as i64),
+                    ),
+                    ("warm_cached", Json::Bool(warm.stages[0].cached)),
+                ]),
+            ),
+        ]),
+    );
+}

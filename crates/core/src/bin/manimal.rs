@@ -27,15 +27,16 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use manimal::{Builtin, FaultPlan, Manimal, ShuffleCompression};
+use manimal::{choose_join_plan, Builtin, FaultPlan, Manimal, ShuffleCompression};
 use mr_engine::BackendSpec;
 use mr_ir::asm::parse_function;
 use mr_ir::Program;
 use mr_storage::fault::IoSite;
 use mr_storage::seqfile::SeqFileMeta;
 use mr_workloads::data::{
-    generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig,
+    generate_rankings, generate_uservisits, generate_webpages, UserVisitsConfig, WebPagesConfig,
 };
+use mr_workloads::pavlo;
 
 fn main() -> ExitCode {
     // The process backend re-execs this binary as a task-protocol
@@ -62,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze_cmd(&rest),
         "build" => build(&rest),
         "run" => run_cmd(&rest),
+        "join" => join_cmd(&rest),
         "serve" => serve_cmd(&rest),
         "submit" => submit_cmd(&rest),
         "stats" => stats_cmd(&rest),
@@ -81,6 +83,7 @@ manimal — automatic optimization for MapReduce programs
                               [--notify SOCKET]
   manimal generate uservisits OUT.seq [--visits N] [--pages N] [--codec C]
                               [--notify SOCKET]
+  manimal generate rankings   OUT.seq [--pages N] [--seed N]
   manimal cat     DATA.seq  [--limit N]
   manimal analyze PROG.mrasm DATA.seq
   manimal build   PROG.mrasm DATA.seq [--work DIR]
@@ -91,6 +94,14 @@ manimal — automatic optimization for MapReduce programs
                   [--spill-writer-threads N]
                   [--no-combine] [--no-dict-train] [--max-task-attempts N]
                   [--fault-spec SPEC]
+                  [--backend local|process|process:N]
+  manimal join    RANKINGS.seq USERVISITS.seq [--work DIR]
+                  [--join-plan auto|broadcast|repartition]
+                  [--broadcast-budget BYTES]
+                  [--date-lo EPOCH] [--date-hi EPOCH]
+                  [--dag]                 # 2-stage pipeline: filter+index, then join
+                  [--shuffle-buffer BYTES] [--shuffle-codec CODEC]
+                  [--max-task-attempts N] [--fault-spec SPEC]
                   [--backend local|process|process:N]
   manimal serve   SOCKET [--work DIR] [--max-running N] [--queue-cap N]
                   [--cache-bytes BYTES]
@@ -134,6 +145,16 @@ driven over a Unix-socket task protocol, with byte-identical output.
 Contradictory knob combinations (a fault site the other knobs make
 unreachable, process faults on the local backend, a worker id past the
 worker count) are rejected before anything runs.
+
+joins: `manimal join` runs the Pavlo Benchmark-3 equijoin
+(Rankings ⋈ UserVisits on URL, with --date-lo/--date-hi filtering the
+visits side). --join-plan auto (default) broadcasts the rankings side
+when its file fits --broadcast-budget (64 MiB default) and falls back
+to a repartition join of tagged-union values otherwise; both plans
+produce byte-identical output. --dag runs it as a two-stage JobDag:
+stage 1 filters the visits and builds its recommended indexes, stage 2
+plans the probe side against the catalog and *reuses* those indexes
+instead of rebuilding them (the run report counts builds vs. reuses).
 
 daemon: `manimal serve` (or the standalone `manimald` binary) runs a
 long-lived job service on a Unix socket — one shared catalog and
@@ -335,7 +356,17 @@ fn generate(rest: &[&String]) -> Result<(), String> {
             let n = generate_uservisits(out, &cfg).map_err(|e| e.to_string())?;
             println!("wrote {n} UserVisits records to {out}");
         }
-        other => return Err(format!("unknown dataset `{other}` (webpages|uservisits)")),
+        "rankings" => {
+            let pages = parse_num(rest, "--pages", 10_000)?;
+            let n = generate_rankings(out, pages, false, parse_num(rest, "--seed", 13)? as u64)
+                .map_err(|e| e.to_string())?;
+            println!("wrote {n} Rankings records to {out}");
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (webpages|uservisits|rankings)"
+            ))
+        }
     }
     // A regenerated file invalidates every index and cached result a
     // running daemon holds for it; --notify keeps the daemon honest.
@@ -555,6 +586,145 @@ fn run_cmd(rest: &[&String]) -> Result<(), String> {
         println!("… {extra} more rows");
     }
     Ok(())
+}
+
+/// `manimal join RANKINGS USERVISITS` — the Pavlo Benchmark-3 equijoin
+/// on the tagged-union join fabric, either as a single job or (with
+/// `--dag`) as a two-stage [`manimal::JobDag`] whose join stage reuses
+/// the indexes stage 1 registered.
+fn join_cmd(rest: &[&String]) -> Result<(), String> {
+    let rankings = positional(rest, 0)?;
+    let visits = positional(rest, 1)?;
+    let force = match flag_value(rest, "--join-plan") {
+        None | Some("auto") => None,
+        Some(v) => Some(manimal::JoinPlan::parse(v).ok_or_else(|| {
+            format!("--join-plan: unknown plan `{v}` (auto|broadcast|repartition)")
+        })?),
+    };
+    let budget = parse_num(
+        rest,
+        "--broadcast-budget",
+        manimal::DEFAULT_BROADCAST_BUDGET as usize,
+    )? as u64;
+    // Default window: the full uniform date range of the generators, so
+    // freshly generated smoke data joins every visit; narrow it with
+    // --date-lo/--date-hi (the paper's 0.095% selectivity needs a real
+    // dataset to leave anything behind).
+    let defaults = UserVisitsConfig::default();
+    let date_lo = parse_num(rest, "--date-lo", defaults.date_start as usize)? as i64;
+    let date_hi = parse_num(rest, "--date-hi", defaults.date_end as usize)? as i64;
+
+    let mut manimal = Manimal::new(workdir(rest, rankings)).map_err(|e| e.to_string())?;
+    if let Some(bytes) = flag_value(rest, "--shuffle-buffer") {
+        manimal.shuffle_buffer_bytes = Some(
+            bytes
+                .parse::<usize>()
+                .map_err(|_| format!("--shuffle-buffer: `{bytes}` is not a byte count"))?,
+        );
+    }
+    manimal.shuffle_compression = parse_codec(rest, "--shuffle-codec")?;
+    manimal.spill_writer_threads = parse_num(rest, "--spill-writer-threads", 1)?;
+    manimal.max_task_attempts = parse_num(rest, "--max-task-attempts", 1)?.max(1);
+    manimal.backend = parse_backend(rest).map_err(|e| e.to_string())?;
+    if let Some(spec) = flag_value(rest, "--fault-spec") {
+        let plan = manimal::FaultPlan::from_spec(spec).map_err(|e| format!("--fault-spec: {e}"))?;
+        manimal.fault_plan = Some(Arc::new(plan));
+    }
+    validate_run_knobs(&RunKnobs {
+        shuffle_buffer: manimal.shuffle_buffer_bytes,
+        codec: manimal.shuffle_compression,
+        spill_writer_threads: manimal.spill_writer_threads,
+        backend: &manimal.backend,
+        fault: manimal.fault_plan.as_deref(),
+    })
+    .map_err(|e| e.to_string())?;
+
+    let rankings_prog = pavlo::benchmark3_rankings_mapper();
+    let visits_prog = pavlo::benchmark3_visits_mapper(date_lo, date_hi);
+
+    if flag_present(rest, "--dag") {
+        let dag = manimal::JobDag {
+            name: "bench3".into(),
+            stages: vec![
+                manimal::DagStage {
+                    name: "filter-visits".into(),
+                    job: manimal::StageJob::Map {
+                        input: manimal::DagInput::Path(PathBuf::from(visits)),
+                        program: visits_prog.clone(),
+                        reducer: Arc::new(Builtin::Identity),
+                        build_index: true,
+                    },
+                },
+                manimal::DagStage {
+                    name: "join".into(),
+                    job: manimal::StageJob::Join {
+                        build: manimal::DagInput::Path(PathBuf::from(rankings)),
+                        build_mapper: rankings_prog,
+                        probe: manimal::DagInput::Path(PathBuf::from(visits)),
+                        probe_mapper: visits_prog,
+                        plan: force,
+                        broadcast_budget: budget,
+                        index_probe: true,
+                    },
+                },
+            ],
+        };
+        let run = manimal.execute_dag(&dag).map_err(|e| e.to_string())?;
+        for stage in &run.stages {
+            eprintln!(
+                "stage {}: {}{} ({} rows)",
+                stage.name,
+                stage.summary,
+                if stage.cached { " [cached]" } else { "" },
+                stage.rows
+            );
+        }
+        eprintln!(
+            "index builds: {} new, {} reused from the catalog",
+            run.index_builds, run.index_builds_reused
+        );
+        let rows = run
+            .stages
+            .last()
+            .and_then(|s| s.result.as_ref())
+            .map(|r| r.output.as_slice())
+            .unwrap_or(&[]);
+        print_rows(rows);
+        return Ok(());
+    }
+
+    let decision =
+        choose_join_plan(Path::new(rankings), budget, force).map_err(|e| e.to_string())?;
+    eprintln!("join plan: {decision}");
+    let join = manimal::JoinJob {
+        name: "bench3-join".into(),
+        build: mr_engine::InputSpec::SeqFile {
+            path: PathBuf::from(rankings),
+        },
+        build_mapper: rankings_prog.mapper,
+        probe: mr_engine::InputSpec::SeqFile {
+            path: PathBuf::from(visits),
+        },
+        probe_mapper: visits_prog.mapper,
+        plan: decision.plan,
+    };
+    let execution = manimal.execute_join(&join).map_err(|e| e.to_string())?;
+    eprintln!(
+        "elapsed: {:?}; {}",
+        execution.result.elapsed, execution.result.counters
+    );
+    print_rows(&execution.result.output);
+    Ok(())
+}
+
+fn print_rows(rows: &[(mr_ir::Value, mr_ir::Value)]) {
+    for (k, v) in rows.iter().take(50) {
+        println!("{k}\t{v}");
+    }
+    let extra = rows.len().saturating_sub(50);
+    if extra > 0 {
+        println!("… {extra} more rows");
+    }
 }
 
 fn serve_cmd(rest: &[&String]) -> Result<(), String> {

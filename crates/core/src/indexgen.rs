@@ -272,6 +272,7 @@ impl IndexGenProgram {
                     path: self.input.clone(),
                 },
                 mapper: Arc::new(ExprKeyMapperFactory { expr }),
+                join: None,
             }],
             num_reducers: 1,
             reducer: Arc::new(mr_engine::Builtin::Identity),

@@ -70,10 +70,13 @@ pub use indexgen::{plan_index_programs, IndexGenProgram};
 pub use mr_analysis::{analyze, find_combine, AnalysisReport, CombineOutcome};
 pub use mr_engine::{Builtin, FaultPlan, JobResult, ShuffleCompression};
 pub use optimizer::{
-    choose_plan, combiner_for, enumerate_plans, ir_reducer, ExecutionDescriptor, OptimizerConfig,
+    choose_join_plan, choose_plan, combiner_for, enumerate_plans, ir_reducer, ExecutionDescriptor,
+    JoinDecision, JoinPlan, OptimizerConfig, DEFAULT_BROADCAST_BUDGET,
 };
 pub use service::{
     serve_blocking, ServiceClient, ServiceConfig, ServiceHandle, ServiceStats, StatsSnapshot,
     SubmitOutcome,
 };
-pub use submit::{Execution, Manimal, Submission};
+pub use submit::{
+    DagInput, DagRun, DagStage, Execution, JobDag, JoinJob, Manimal, StageJob, StageRun, Submission,
+};

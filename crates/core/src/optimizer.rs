@@ -309,6 +309,104 @@ pub fn enumerate_plans(
     Ok(plans)
 }
 
+/// The physical plan for a two-table equi-join stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPlan {
+    /// Load the whole build side into a shared in-memory hash table and
+    /// probe it inline inside every map task — no build rows cross the
+    /// shuffle at all. Only sound for build sides that fit in memory,
+    /// which is what the size budget gates.
+    Broadcast,
+    /// Co-partition both sides by join key as tagged-union values and
+    /// join each key group in the reducer (build/probe buffering, cross
+    /// product). Works at any build-side size.
+    Repartition,
+}
+
+impl JoinPlan {
+    /// Stable CLI/wire name (`broadcast` / `repartition`), round-trips
+    /// through [`JoinPlan::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinPlan::Broadcast => "broadcast",
+            JoinPlan::Repartition => "repartition",
+        }
+    }
+
+    /// Look a plan up by name.
+    pub fn parse(s: &str) -> Option<JoinPlan> {
+        match s {
+            "broadcast" => Some(JoinPlan::Broadcast),
+            "repartition" => Some(JoinPlan::Repartition),
+            _ => None,
+        }
+    }
+}
+
+/// Default build-side size budget for [`choose_join_plan`]: build
+/// inputs up to this many bytes broadcast, larger ones repartition.
+pub const DEFAULT_BROADCAST_BUDGET: u64 = 64 * 1024 * 1024;
+
+/// The optimizer's join-plan decision together with its witness: what
+/// was measured, against what budget, and why the plan won — the same
+/// explain-your-work posture as [`ExecutionDescriptor::applied`].
+#[derive(Debug, Clone)]
+pub struct JoinDecision {
+    /// The chosen physical plan.
+    pub plan: JoinPlan,
+    /// On-disk size of the build input, the quantity the rule tests.
+    pub build_bytes: u64,
+    /// The budget it was tested against.
+    pub budget: u64,
+    /// `true` when the caller forced the plan (`--join-plan`), making
+    /// the size rule advisory only.
+    pub forced: bool,
+}
+
+impl std::fmt::Display for JoinDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rel = if self.build_bytes <= self.budget {
+            "≤"
+        } else {
+            ">"
+        };
+        write!(
+            f,
+            "{} join ({}build side {} B {rel} budget {} B)",
+            self.plan.name(),
+            if self.forced { "forced; " } else { "" },
+            self.build_bytes,
+            self.budget
+        )
+    }
+}
+
+/// Pick the physical plan for a two-table equi-join: **broadcast** when
+/// the build input fits the size budget, **repartition** otherwise.
+/// `force` (the `--join-plan` escape hatch) overrides the rule but the
+/// decision still records the measured size, so a forced choice is
+/// auditable.
+pub fn choose_join_plan(
+    build_input: &Path,
+    budget: u64,
+    force: Option<JoinPlan>,
+) -> Result<JoinDecision> {
+    let build_bytes = std::fs::metadata(build_input)
+        .map_err(crate::error::ManimalError::Io)?
+        .len();
+    let plan = force.unwrap_or(if build_bytes <= budget {
+        JoinPlan::Broadcast
+    } else {
+        JoinPlan::Repartition
+    });
+    Ok(JoinDecision {
+        plan,
+        build_bytes,
+        budget,
+        forced: force.is_some(),
+    })
+}
+
 /// Map a proven combiner descriptor (`mr_analysis::combine`) onto the
 /// engine combiner that implements it. `Product` folds are proven
 /// combinable but have no builtin implementation yet, so they fall back

@@ -54,8 +54,12 @@ pub trait ExecBackend: Send + Sync {
     fn run(&self, job: &JobConfig) -> Result<JobResult>;
 }
 
-/// Route a job to the backend its config names.
+/// Route a job to the backend its config names, after the join-stage
+/// validity check ([`crate::join::validate_job`]) — rejections like a
+/// combiner on a join stage surface here, before any task runs, on
+/// every backend.
 pub(crate) fn dispatch(job: &JobConfig) -> Result<JobResult> {
+    crate::join::validate_job(job)?;
     match &job.backend {
         BackendSpec::Local => LocalBackend.run(job),
         BackendSpec::Process(cfg) => ProcessBackend::new(cfg.clone()).run(job),

@@ -35,6 +35,7 @@ use crate::error::{EngineError, Result};
 use crate::fault::FaultPlan;
 use crate::input::InputSpec;
 use crate::job::{InputBinding, JobConfig};
+use crate::join::{BroadcastSpec, JoinSide};
 use crate::mapper::IrMapperFactory;
 use crate::reducer::{Builtin, IrReducerFactory, ReducerFactory};
 
@@ -355,9 +356,22 @@ pub(crate) fn encode_job(job: &JobConfig, job_dir: &Path, slow_ms: u64) -> Resul
                  native closure mapper that cannot travel"
             )));
         };
+        // Join roles travel as markers; a broadcast role ships its
+        // build input plus build-mapper IR, and the worker re-loads the
+        // table locally (build rows never cross the socket).
+        let join = match &binding.join {
+            None => Json::Null,
+            Some(JoinSide::Build) => Json::str("build"),
+            Some(JoinSide::Probe) => Json::str("probe"),
+            Some(JoinSide::Broadcast(spec)) => Json::obj([
+                ("input", input_json(&spec.input)?),
+                ("mapper", Json::str(to_asm(&spec.mapper))),
+            ]),
+        };
         inputs.push(Json::obj([
             ("mapper", Json::str(to_asm(func))),
             ("input", input_json(&binding.input)?),
+            ("join", join),
         ]));
     }
     let obj = Json::obj([
@@ -435,9 +449,30 @@ pub(crate) fn decode_job(payload: &[u8]) -> Result<WireJob> {
     {
         let asm = str_field(b, "mapper")?;
         let func = parse_function(asm).map_err(|e| bad(format!("map IR does not parse: {e}")))?;
+        let join = match b.get("join") {
+            Some(Json::Null) | None => None,
+            Some(role) => Some(match role.as_str() {
+                Some("build") => JoinSide::Build,
+                Some("probe") => JoinSide::Probe,
+                Some(other) => return Err(bad(format!("unknown join role `{other}`"))),
+                None => {
+                    let asm = str_field(role, "mapper")?;
+                    let func = parse_function(asm)
+                        .map_err(|e| bad(format!("broadcast build IR does not parse: {e}")))?;
+                    JoinSide::Broadcast(BroadcastSpec {
+                        input: input_from_json(
+                            role.get("input")
+                                .ok_or_else(|| bad("broadcast join without input"))?,
+                        )?,
+                        mapper: Arc::new(func),
+                    })
+                }
+            }),
+        };
         inputs.push(InputBinding {
             input: input_from_json(b.get("input").ok_or_else(|| bad("binding without input"))?)?,
             mapper: IrMapperFactory::new(func),
+            join,
         });
     }
     Ok(WireJob {
@@ -766,6 +801,7 @@ mod tests {
                         path: "/tmp/a.seq".into(),
                     },
                     mapper: ir_mapper(),
+                    join: None,
                 },
                 InputBinding {
                     input: InputSpec::BTreeRanges {
@@ -776,6 +812,7 @@ mod tests {
                         )],
                     },
                     mapper: ir_mapper(),
+                    join: None,
                 },
             ],
             num_reducers: 3,
@@ -827,6 +864,45 @@ mod tests {
                 );
             }
             other => panic!("wrong input decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_roles_round_trip() {
+        let mut job = wire_job();
+        job.combiner = None;
+        job.reducer = Arc::new(Builtin::JoinTagged);
+        job.inputs[0].join = Some(JoinSide::Build);
+        job.inputs[1].join = Some(JoinSide::Probe);
+        let wire = decode_job(&encode_job(&job, Path::new("/tmp/d"), 0).unwrap()).unwrap();
+        assert!(matches!(wire.inputs[0].join, Some(JoinSide::Build)));
+        assert!(matches!(wire.inputs[1].join, Some(JoinSide::Probe)));
+        assert_eq!(wire.reducer.as_builtin(), Some(Builtin::JoinTagged));
+
+        let mut job = wire_job();
+        job.combiner = None;
+        job.inputs.truncate(1);
+        job.inputs[0].join = Some(JoinSide::Broadcast(BroadcastSpec {
+            input: InputSpec::SeqFile {
+                path: "/tmp/build.seq".into(),
+            },
+            mapper: Arc::new(
+                parse_function(
+                    "func map(key, value) {\n  r0 = param value\n  emit r0, r0\n  ret\n}\n",
+                )
+                .unwrap(),
+            ),
+        }));
+        let wire = decode_job(&encode_job(&job, Path::new("/tmp/d"), 0).unwrap()).unwrap();
+        match &wire.inputs[0].join {
+            Some(JoinSide::Broadcast(spec)) => {
+                assert!(matches!(
+                    &spec.input,
+                    InputSpec::SeqFile { path } if path == Path::new("/tmp/build.seq")
+                ));
+                assert_eq!(spec.mapper.name, "map");
+            }
+            other => panic!("broadcast role lost in transit: {other:?}"),
         }
     }
 

@@ -64,7 +64,7 @@ pub fn worker_main(socket: &str, worker_id: usize) -> Result<()> {
     let mut writer = BufWriter::new(stream);
     write_frame(&mut writer, TAG_HELLO, &encode_hello(worker_id))?;
 
-    let job = match read_frame(&mut reader)? {
+    let mut job = match read_frame(&mut reader)? {
         Some((TAG_JOB, payload)) => decode_job(&payload)?,
         Some((tag, _)) => {
             return Err(EngineError::Config(format!(
@@ -73,6 +73,13 @@ pub fn worker_main(socket: &str, worker_id: usize) -> Result<()> {
         }
         None => return Ok(()), // coordinator gave up before sending the job
     };
+    // Join roles wrap each binding's decoded mapper here, once per
+    // worker process: broadcast build tables load a single time and are
+    // shared by every task attempt this worker runs.
+    let effective = crate::join::effective_factories(&job.inputs)?;
+    for (binding, mapper) in job.inputs.iter_mut().zip(effective) {
+        binding.mapper = mapper;
+    }
     let combine = CombineStrategy::new(job.combiner.clone());
     let pool = BufferPool::new();
     // The dict-trained codec's dictionary authority. Committing into

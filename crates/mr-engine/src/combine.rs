@@ -256,7 +256,7 @@ impl Builtin {
             Builtin::Sum | Builtin::Count | Builtin::Max | Builtin::Min | Builtin::SumDropKey => {
                 Some(Arc::new(BuiltinCombiner { kind: *self }))
             }
-            Builtin::Identity | Builtin::First => None,
+            Builtin::Identity | Builtin::First | Builtin::JoinTagged => None,
         }
     }
 }
@@ -330,7 +330,7 @@ impl Combiner for BuiltinCombiner {
                     "SumDropKey: non-integer value {value}"
                 ))),
             },
-            Builtin::Identity | Builtin::First => {
+            Builtin::Identity | Builtin::First | Builtin::JoinTagged => {
                 Err(EngineError::Combine("reducer declares no combiner".into()))
             }
         }
@@ -351,7 +351,7 @@ impl Combiner for BuiltinCombiner {
             // representation (e.g. Int(2) vs Double(2.0)).
             Builtin::Max => Ok(if *other >= acc { other.clone() } else { acc }),
             Builtin::Min => Ok(if *other < acc { other.clone() } else { acc }),
-            Builtin::Identity | Builtin::First => {
+            Builtin::Identity | Builtin::First | Builtin::JoinTagged => {
                 Err(EngineError::Combine("reducer declares no combiner".into()))
             }
         }
@@ -390,7 +390,7 @@ impl Combiner for BuiltinCombiner {
             Builtin::Max => "max",
             Builtin::Min => "min",
             Builtin::SumDropKey => "sum-drop-key",
-            Builtin::Identity | Builtin::First => "none",
+            Builtin::Identity | Builtin::First | Builtin::JoinTagged => "none",
         }
     }
 }
@@ -416,6 +416,10 @@ mod tests {
         }
         assert!(Builtin::Identity.combiner().is_none());
         assert!(Builtin::First.combiner().is_none());
+        assert!(
+            Builtin::JoinTagged.combiner().is_none(),
+            "folding tagged-union join values would corrupt them"
+        );
     }
 
     #[test]

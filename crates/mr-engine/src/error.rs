@@ -27,6 +27,17 @@ pub enum EngineError {
     /// faults, which stay [`EngineError::Injected`] so drills can match
     /// on them).
     Remote(String),
+    /// A combiner was declared on a job whose shuffle values are not
+    /// combinable — today that means join stages, whose tagged-union
+    /// values a fold would silently corrupt (a combined
+    /// `[tag, payload]` pair is no longer a tagged pair). Rejected
+    /// up front at dispatch, before any task runs, on every backend.
+    CombinerRejected {
+        /// The reducer the job was configured with.
+        reducer: String,
+        /// Why a combiner cannot engage for it.
+        reason: String,
+    },
     /// A task failed on every allowed attempt
     /// ([`JobConfig::max_task_attempts`](crate::job::JobConfig::max_task_attempts));
     /// `cause` is the last attempt's error.
@@ -51,6 +62,9 @@ impl fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "i/o: {e}"),
             EngineError::Injected(e) => write!(f, "injected fault: {e}"),
             EngineError::Remote(e) => write!(f, "worker: {e}"),
+            EngineError::CombinerRejected { reducer, reason } => {
+                write!(f, "combiner rejected for reducer `{reducer}`: {reason}")
+            }
             EngineError::TaskFailed {
                 task,
                 attempts,

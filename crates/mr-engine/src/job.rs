@@ -9,6 +9,7 @@ use mr_storage::blockcodec::ShuffleCompression;
 use crate::combine::Combiner;
 use crate::fault::FaultPlan;
 use crate::input::InputSpec;
+use crate::join::JoinSide;
 use crate::mapper::{IrMapperFactory, MapperFactory};
 use crate::pool::BufferPool;
 use crate::reducer::{Builtin, ReducerFactory};
@@ -22,6 +23,12 @@ pub struct InputBinding {
     pub input: InputSpec,
     /// The mapper applied to this input.
     pub mapper: Arc<dyn MapperFactory>,
+    /// The binding's join role, when the job is a join stage
+    /// ([`crate::join`]): `Build`/`Probe` shuffle the mapper's output
+    /// as tagged unions for a repartition join, `Broadcast` probes a
+    /// shared build table inline. `None` (the default) shuffles mapper
+    /// output unchanged.
+    pub join: Option<JoinSide>,
 }
 
 impl InputBinding {
@@ -30,6 +37,16 @@ impl InputBinding {
         InputBinding {
             input,
             mapper: IrMapperFactory::new(func),
+            join: None,
+        }
+    }
+
+    /// Bind a compiled IR map function to an input with a join role.
+    pub fn ir_join(input: InputSpec, func: Function, join: JoinSide) -> InputBinding {
+        InputBinding {
+            input,
+            mapper: IrMapperFactory::new(func),
+            join: Some(join),
         }
     }
 }

@@ -1,0 +1,431 @@
+//! Two-table equi-join support: tagged-union repartition joins and
+//! broadcast hash joins.
+//!
+//! The Pavlo Benchmark 3 (Rankings⋈UserVisits) joins two tables whose
+//! mappers each emit `(join_key, payload)`. The engine runs that join
+//! under one of two physical plans, both producing the *same* output
+//! pairs `(join_key, [build_payload, probe_payload])`:
+//!
+//! * **Repartition join** — each [`InputBinding`] carries a
+//!   [`JoinSide::Build`] or [`JoinSide::Probe`] role; the engine wraps
+//!   the binding's mapper so every emitted value is shuffled as the
+//!   tagged union `[tag, payload]` (tag [`BUILD_TAG`] or
+//!   [`PROBE_TAG`]), and the [`Builtin::JoinTagged`] reducer buffers
+//!   each key group into build/probe sides (arrival order preserved)
+//!   and emits the cross product.
+//! * **Broadcast hash join** — a single probe-side binding carries
+//!   [`JoinSide::Broadcast`] naming the build input and its mapper; the
+//!   whole build side is loaded once per job into a shared hash table
+//!   and every map task probes it inline, emitting already-joined
+//!   pairs. The reducer is plain [`Builtin::Identity`]; no build rows
+//!   cross the shuffle at all.
+//!
+//! The wrapping happens at task-planning time on *both* backends
+//! ([`effective_factories`]): the job's bindings keep the raw mapper
+//! (which is what the process backend ships over the wire as IR
+//! assembly, together with the join role), and the worker re-wraps
+//! locally after decoding — so broadcast tables are built exactly once
+//! per worker process and shared across its map tasks, retries
+//! included.
+//!
+//! Join stages must not combine: a map-side combiner would fold tagged
+//! unions across tags and corrupt them. [`Builtin::JoinTagged`]
+//! declares no combiner, and dispatch rejects any explicitly configured
+//! one with the typed
+//! [`EngineError::CombinerRejected`] before any task runs
+//! ([`validate_job`]).
+//!
+//! [`Builtin::JoinTagged`]: crate::reducer::Builtin::JoinTagged
+//! [`Builtin::Identity`]: crate::reducer::Builtin::Identity
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mr_ir::function::Function;
+use mr_ir::value::Value;
+
+use crate::error::{EngineError, Result};
+use crate::input::InputSpec;
+use crate::job::{InputBinding, JobConfig};
+use crate::mapper::{IrMapper, MapStats, Mapper, MapperFactory};
+use crate::reducer::Builtin;
+
+/// Tag marking a build-side payload in a tagged-union shuffle value.
+pub const BUILD_TAG: i64 = 0;
+
+/// Tag marking a probe-side payload in a tagged-union shuffle value.
+pub const PROBE_TAG: i64 = 1;
+
+/// The build side of a broadcast hash join: where the build rows come
+/// from and the IR map function that extracts `(join_key, payload)`
+/// pairs from them — the same function the repartition plan would bind
+/// with [`JoinSide::Build`], which is what keeps the two plans'
+/// outputs identical.
+#[derive(Clone)]
+pub struct BroadcastSpec {
+    /// The build-side input (a plain seqfile, or a catalog-registered
+    /// index input for index-fed broadcasts).
+    pub input: InputSpec,
+    /// Compiled IR map function emitting `(join_key, payload)`.
+    pub mapper: Arc<Function>,
+}
+
+impl fmt::Debug for BroadcastSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BroadcastSpec")
+            .field("input", &self.input)
+            .field("mapper", &self.mapper.name)
+            .finish()
+    }
+}
+
+/// The join role of one [`InputBinding`] (see the module docs).
+#[derive(Debug, Clone)]
+pub enum JoinSide {
+    /// Repartition build side: emitted values shuffle as `[0, v]`.
+    Build,
+    /// Repartition probe side: emitted values shuffle as `[1, v]`.
+    Probe,
+    /// Broadcast join probe side: the named build input is loaded into
+    /// a shared in-memory table and probed inline by every map task.
+    Broadcast(BroadcastSpec),
+}
+
+/// Wrap a payload as the tagged-union shuffle value `[tag, payload]`.
+pub fn tag_value(tag: i64, payload: Value) -> Value {
+    Value::list(vec![Value::Int(tag), payload])
+}
+
+/// Split a tagged-union shuffle value back into `(tag, payload)`.
+pub fn untag_value(v: &Value) -> Result<(i64, &Value)> {
+    if let Value::List(items) = v {
+        if items.len() == 2 {
+            if let Value::Int(tag) = items[0] {
+                if tag == BUILD_TAG || tag == PROBE_TAG {
+                    return Ok((tag, &items[1]));
+                }
+            }
+        }
+    }
+    Err(EngineError::Reduce(format!(
+        "join-tagged: value {v} is not a tagged union [0|1, payload] — \
+         was a binding without a join role fed into a join stage?"
+    )))
+}
+
+/// The joined output value both physical plans emit:
+/// `[build_payload, probe_payload]`.
+pub fn joined_value(build: Value, probe: Value) -> Value {
+    Value::list(vec![build, probe])
+}
+
+/// Reduce one key group of tagged-union values: partition by tag with
+/// arrival order preserved, then emit the build×probe cross product as
+/// `(key, [build_payload, probe_payload])` in build-major order. This
+/// is [`Builtin::JoinTagged`]'s implementation and the reference
+/// semantics the property tests pin down.
+pub fn reduce_tagged_group(
+    key: &Value,
+    values: &[Value],
+    out: &mut Vec<(Value, Value)>,
+) -> Result<()> {
+    let mut build = Vec::new();
+    let mut probe = Vec::new();
+    for v in values {
+        let (tag, payload) = untag_value(v)?;
+        if tag == BUILD_TAG {
+            build.push(payload);
+        } else {
+            probe.push(payload);
+        }
+    }
+    for b in &build {
+        for p in &probe {
+            out.push((key.clone(), joined_value((*b).clone(), (*p).clone())));
+        }
+    }
+    Ok(())
+}
+
+/// A broadcast build side loaded into memory: join key → build
+/// payloads in build-input order. Ordered so iteration (and therefore
+/// any diagnostics walking it) is deterministic.
+pub type BroadcastTable = BTreeMap<Value, Vec<Value>>;
+
+/// Load a broadcast build side by running its mapper over the whole
+/// build input in a single deterministic pass. Called once per job
+/// (local backend) or once per worker process, never per task or per
+/// retry.
+pub fn load_broadcast_table(spec: &BroadcastSpec) -> Result<Arc<BroadcastTable>> {
+    let mut table = BroadcastTable::new();
+    let mut mapper = IrMapper::new(Arc::clone(&spec.mapper));
+    let mut emits = Vec::new();
+    for reader in spec.input.open(1)? {
+        for pair in reader {
+            let (k, v) = pair?;
+            emits.clear();
+            mapper.map(&k, &v, &mut emits)?;
+            for (jk, payload) in emits.drain(..) {
+                table.entry(jk).or_default().push(payload);
+            }
+        }
+    }
+    Ok(Arc::new(table))
+}
+
+/// Tags every value the inner mapper emits ([`JoinSide::Build`] /
+/// [`JoinSide::Probe`]).
+struct TaggingMapper {
+    inner: Box<dyn Mapper>,
+    tag: i64,
+    buf: Vec<(Value, Value)>,
+}
+
+impl Mapper for TaggingMapper {
+    fn map(
+        &mut self,
+        key: &Value,
+        value: &Value,
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<MapStats> {
+        self.buf.clear();
+        let stats = self.inner.map(key, value, &mut self.buf)?;
+        out.extend(self.buf.drain(..).map(|(k, v)| (k, tag_value(self.tag, v))));
+        Ok(stats)
+    }
+}
+
+struct TaggingMapperFactory {
+    inner: Arc<dyn MapperFactory>,
+    tag: i64,
+}
+
+impl MapperFactory for TaggingMapperFactory {
+    fn create(&self) -> Box<dyn Mapper> {
+        Box::new(TaggingMapper {
+            inner: self.inner.create(),
+            tag: self.tag,
+            buf: Vec::new(),
+        })
+    }
+}
+
+/// Probes the shared broadcast table with every key the inner (probe)
+/// mapper emits, emitting already-joined pairs.
+struct BroadcastMapper {
+    inner: Box<dyn Mapper>,
+    table: Arc<BroadcastTable>,
+    buf: Vec<(Value, Value)>,
+}
+
+impl Mapper for BroadcastMapper {
+    fn map(
+        &mut self,
+        key: &Value,
+        value: &Value,
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<MapStats> {
+        self.buf.clear();
+        let stats = self.inner.map(key, value, &mut self.buf)?;
+        for (k, pv) in self.buf.drain(..) {
+            if let Some(builds) = self.table.get(&k) {
+                for bv in builds {
+                    out.push((k.clone(), joined_value(bv.clone(), pv.clone())));
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+struct BroadcastMapperFactory {
+    inner: Arc<dyn MapperFactory>,
+    table: Arc<BroadcastTable>,
+}
+
+impl MapperFactory for BroadcastMapperFactory {
+    fn create(&self) -> Box<dyn Mapper> {
+        Box::new(BroadcastMapper {
+            inner: self.inner.create(),
+            table: Arc::clone(&self.table),
+            buf: Vec::new(),
+        })
+    }
+}
+
+/// Compute the effective mapper factory for every binding of a job:
+/// bindings with a join role get their mapper wrapped (tagging for the
+/// repartition sides, table-probing for broadcast), plain bindings
+/// pass through untouched. Broadcast build tables are loaded exactly
+/// once here, so every task — retries and speculative duplicates
+/// included — shares one table. Both backends call this before
+/// planning tasks.
+pub fn effective_factories(inputs: &[InputBinding]) -> Result<Vec<Arc<dyn MapperFactory>>> {
+    inputs
+        .iter()
+        .map(|binding| -> Result<Arc<dyn MapperFactory>> {
+            Ok(match &binding.join {
+                None => Arc::clone(&binding.mapper),
+                Some(JoinSide::Build) => Arc::new(TaggingMapperFactory {
+                    inner: Arc::clone(&binding.mapper),
+                    tag: BUILD_TAG,
+                }),
+                Some(JoinSide::Probe) => Arc::new(TaggingMapperFactory {
+                    inner: Arc::clone(&binding.mapper),
+                    tag: PROBE_TAG,
+                }),
+                Some(JoinSide::Broadcast(spec)) => Arc::new(BroadcastMapperFactory {
+                    inner: Arc::clone(&binding.mapper),
+                    table: load_broadcast_table(spec)?,
+                }),
+            })
+        })
+        .collect()
+}
+
+/// `true` when any binding of the job carries a join role.
+pub fn is_join_stage(job: &JobConfig) -> bool {
+    job.inputs.iter().any(|b| b.join.is_some())
+        || job.reducer.as_builtin() == Some(Builtin::JoinTagged)
+}
+
+/// Reject invalid join configurations before any task runs — today
+/// that is exactly one hazard: a combiner on a join stage, which would
+/// silently fold `[tag, payload]` unions across tags. Called by
+/// backend dispatch, so it covers the local and process backends
+/// alike.
+pub fn validate_job(job: &JobConfig) -> Result<()> {
+    if !is_join_stage(job) {
+        return Ok(());
+    }
+    if let Some(combiner) = &job.combiner {
+        let reducer = match job.reducer.as_builtin() {
+            Some(b) => b.name().to_string(),
+            None => "user-defined".to_string(),
+        };
+        return Err(EngineError::CombinerRejected {
+            reducer,
+            reason: format!(
+                "join stages shuffle tagged-union [tag, payload] values; \
+                 combiner `{}` would fold across tags and corrupt them",
+                combiner.name()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_ir::asm::parse_function;
+    use mr_ir::record::record;
+    use mr_ir::schema::{FieldType, Schema};
+    use mr_storage::seqfile::SeqFileWriter;
+
+    #[test]
+    fn tag_untag_round_trip() {
+        let v = tag_value(BUILD_TAG, Value::str("payload"));
+        let (tag, payload) = untag_value(&v).unwrap();
+        assert_eq!(tag, BUILD_TAG);
+        assert_eq!(payload, &Value::str("payload"));
+    }
+
+    #[test]
+    fn untag_rejects_untagged_values() {
+        for bad in [
+            Value::Int(7),
+            Value::str("plain"),
+            Value::list(vec![Value::Int(2), Value::Null]),
+            Value::list(vec![Value::Int(0)]),
+        ] {
+            let err = untag_value(&bad).unwrap_err();
+            assert!(matches!(err, EngineError::Reduce(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn tagged_group_emits_cross_product_in_order() {
+        let key = Value::str("url");
+        let values = vec![
+            tag_value(PROBE_TAG, Value::str("p1")),
+            tag_value(BUILD_TAG, Value::str("b1")),
+            tag_value(PROBE_TAG, Value::str("p2")),
+            tag_value(BUILD_TAG, Value::str("b2")),
+        ];
+        let mut out = Vec::new();
+        reduce_tagged_group(&key, &values, &mut out).unwrap();
+        let pairs: Vec<(Value, Value)> = out
+            .iter()
+            .map(|(_, v)| match v {
+                Value::List(items) => (items[0].clone(), items[1].clone()),
+                other => panic!("not a joined pair: {other}"),
+            })
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (Value::str("b1"), Value::str("p1")),
+                (Value::str("b1"), Value::str("p2")),
+                (Value::str("b2"), Value::str("p1")),
+                (Value::str("b2"), Value::str("p2")),
+            ]
+        );
+    }
+
+    #[test]
+    fn unmatched_sides_emit_nothing() {
+        let mut out = Vec::new();
+        reduce_tagged_group(
+            &Value::str("k"),
+            &[tag_value(BUILD_TAG, Value::Int(1))],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty(), "build row without probes must not emit");
+    }
+
+    fn key_value_mapper() -> Function {
+        parse_function(
+            r#"
+            func map(key, value) {
+              r0 = param value
+              r1 = field r0.k
+              r2 = field r0.v
+              emit r1, r2
+              ret
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn broadcast_table_loads_in_input_order() {
+        let schema =
+            Schema::new("T", vec![("k", FieldType::Str), ("v", FieldType::Int)]).into_arc();
+        let dir = std::env::temp_dir().join("mr-engine-join-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bcast-{}", std::process::id()));
+        let mut w = SeqFileWriter::create(&path, Arc::clone(&schema)).unwrap();
+        for (k, v) in [("a", 1), ("b", 2), ("a", 3)] {
+            w.append(&record(&schema, vec![k.into(), Value::Int(v)]))
+                .unwrap();
+        }
+        w.finish().unwrap();
+
+        let spec = BroadcastSpec {
+            input: InputSpec::SeqFile { path: path.clone() },
+            mapper: Arc::new(key_value_mapper()),
+        };
+        let table = load_broadcast_table(&spec).unwrap();
+        assert_eq!(
+            table.get(&Value::str("a")),
+            Some(&vec![Value::Int(1), Value::Int(3)]),
+            "payloads keep build-input order"
+        );
+        assert_eq!(table.get(&Value::str("b")), Some(&vec![Value::Int(2)]));
+        std::fs::remove_file(&path).ok();
+    }
+}

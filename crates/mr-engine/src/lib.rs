@@ -57,6 +57,7 @@ pub mod error;
 pub mod fault;
 pub mod input;
 pub mod job;
+pub mod join;
 pub mod mapper;
 pub mod merge;
 pub mod partition;
@@ -74,6 +75,7 @@ pub use error::{EngineError, Result};
 pub use fault::{FaultPlan, TaskFault};
 pub use input::{InputSpec, SplitReader};
 pub use job::{BackendSpec, InputBinding, JobConfig, OutputSpec, ProcessCfg};
+pub use join::{BroadcastSpec, JoinSide};
 pub use mapper::{FnMapperFactory, IrMapperFactory, Mapper, MapperFactory};
 pub use merge::{KWayMerge, LoserTree, RunStream};
 pub use mr_storage::blockcodec::ShuffleCompression;

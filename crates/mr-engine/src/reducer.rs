@@ -78,11 +78,20 @@ pub enum Builtin {
     /// (the paper's Table 6 program: "groups these sums by destURL, but
     /// does not in the end emit the URL").
     SumDropKey,
+    /// Repartition-join reducer: each value is a tagged union
+    /// `[tag, payload]` (tag `0` = build side, `1` = probe side — see
+    /// [`crate::join`]); the group is partitioned by tag with arrival
+    /// order preserved and the build×probe cross product is emitted as
+    /// `(key, [build_payload, probe_payload])`. Declares no combiner —
+    /// folding tagged values would corrupt them, and dispatch rejects
+    /// any combiner configured alongside it
+    /// ([`EngineError::CombinerRejected`]).
+    JoinTagged,
 }
 
 impl Builtin {
     /// Every builtin reducer, in declaration order.
-    pub const ALL: [Builtin; 7] = [
+    pub const ALL: [Builtin; 8] = [
         Builtin::Sum,
         Builtin::Count,
         Builtin::Max,
@@ -90,6 +99,7 @@ impl Builtin {
         Builtin::Identity,
         Builtin::First,
         Builtin::SumDropKey,
+        Builtin::JoinTagged,
     ];
 
     /// Stable wire name of this builtin (round-trips through
@@ -103,6 +113,7 @@ impl Builtin {
             Builtin::Identity => "identity",
             Builtin::First => "first",
             Builtin::SumDropKey => "sum-drop-key",
+            Builtin::JoinTagged => "join-tagged",
         }
     }
 
@@ -181,6 +192,9 @@ impl Reducer for Builtin {
                     }
                 }
                 out.push((Value::Null, Value::Int(sum)));
+            }
+            Builtin::JoinTagged => {
+                crate::join::reduce_tagged_group(key, values, out)?;
             }
         }
         Ok(())

@@ -891,6 +891,7 @@ impl Reducer for StreamingReducer {
 ///     inputs: vec![InputBinding {
 ///         input: InputSpec::SeqFile { path },
 ///         mapper: Arc::new(mapper),
+///         join: None,
 ///     }],
 ///     num_reducers: 2,
 ///     reducer: Arc::new(Builtin::Count),
@@ -975,6 +976,10 @@ pub(crate) fn run_job_local(job: &JobConfig) -> Result<JobResult> {
     // of slack).
     let local_cap = job.shuffle_buffer_bytes.map(|b| (b / 2 / workers).max(1));
 
+    // Join roles wrap each binding's mapper (tagging / broadcast-table
+    // probing) once here; broadcast build tables load a single time and
+    // are shared by every task, retries included.
+    let mappers = crate::join::effective_factories(&job.inputs)?;
     let mut tasks: VecDeque<MapTask> = VecDeque::new();
     for (binding_idx, binding) in job.inputs.iter().enumerate() {
         for (split_idx, reader) in binding
@@ -987,7 +992,7 @@ pub(crate) fn run_job_local(job: &JobConfig) -> Result<JobResult> {
                 id: tasks.len(),
                 binding: binding_idx,
                 split: split_idx,
-                mapper: Arc::clone(&binding.mapper),
+                mapper: Arc::clone(&mappers[binding_idx]),
                 first_reader: Some(reader),
             });
         }

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use mr_engine::backend::protocol::{read_frame, write_frame, MAX_PAYLOAD};
 use mr_engine::{
-    run_job, BackendSpec, Builtin, EngineError, FaultPlan, InputSpec, JobConfig, JobResult,
-    ProcessCfg,
+    run_job, BackendSpec, BroadcastSpec, Builtin, EngineError, FaultPlan, InputBinding, InputSpec,
+    JobConfig, JobResult, JoinSide, ProcessCfg,
 };
 use mr_ir::asm::parse_function;
 use mr_ir::record::{record, Record};
@@ -336,6 +336,189 @@ fn kill_composes_with_record_faults() {
     assert_eq!(faulted.counters.map_task_failures, 1);
     assert_eq!(faulted.counters.reduce_task_failures, 1);
     assert_clean(&parent);
+}
+
+// ---- join drills -----------------------------------------------------
+
+fn build_schema() -> Arc<Schema> {
+    Schema::new(
+        "Build",
+        vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+    )
+    .into_arc()
+}
+
+fn probe_schema() -> Arc<Schema> {
+    Schema::new(
+        "Probe",
+        vec![("url", FieldType::Str), ("ip", FieldType::Str)],
+    )
+    .into_arc()
+}
+
+/// Emit `(url, whole record)` — the join-side mapper shape.
+fn emit_record_mapper() -> mr_ir::function::Function {
+    parse_function(
+        r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.url
+          emit r1, r0
+          ret
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+/// A build side of `n` urls and a probe side of `m` visits over `keys`
+/// colliding urls (every probe url has a build match; some build urls
+/// go unmatched).
+fn write_join_data(name: &str, n: usize, m: usize, keys: usize) -> (PathBuf, PathBuf) {
+    let bs = build_schema();
+    let build: Vec<Record> = (0..n)
+        .map(|i| {
+            record(
+                &bs,
+                vec![format!("u{}", i % (keys * 2)).into(), Value::Int(i as i64)],
+            )
+        })
+        .collect();
+    let build_path = tmp(&format!("{name}-build"));
+    write_seqfile(&build_path, bs, build).unwrap();
+
+    let ps = probe_schema();
+    let probe: Vec<Record> = (0..m)
+        .map(|i| {
+            record(
+                &ps,
+                vec![
+                    format!("u{}", i % keys).into(),
+                    format!("10.0.{}.{}", i / 250, i % 250).into(),
+                ],
+            )
+        })
+        .collect();
+    let probe_path = tmp(&format!("{name}-probe"));
+    write_seqfile(&probe_path, ps, probe).unwrap();
+    (build_path, probe_path)
+}
+
+/// A join job under `plan`, built on the drill scaffolding.
+fn join_job(
+    build: &Path,
+    probe: &Path,
+    repartition: bool,
+    parent: &Path,
+    backend: BackendSpec,
+) -> JobConfig {
+    let build_spec = InputSpec::SeqFile {
+        path: build.to_path_buf(),
+    };
+    let probe_spec = InputSpec::SeqFile {
+        path: probe.to_path_buf(),
+    };
+    let mut j = JobConfig::ir_job(
+        "join-drill",
+        probe_spec.clone(),
+        emit_record_mapper(),
+        Builtin::Identity,
+    )
+    .with_reducers(3)
+    .with_parallelism(1)
+    .with_max_attempts(2)
+    .with_spill_dir(parent)
+    .with_backend(backend);
+    if repartition {
+        j.inputs = vec![
+            InputBinding::ir_join(build_spec, emit_record_mapper(), JoinSide::Build),
+            InputBinding::ir_join(probe_spec, emit_record_mapper(), JoinSide::Probe),
+        ];
+        j.reducer = Arc::new(Builtin::JoinTagged);
+    } else {
+        j.inputs = vec![InputBinding::ir_join(
+            probe_spec,
+            emit_record_mapper(),
+            JoinSide::Broadcast(BroadcastSpec {
+                input: build_spec,
+                mapper: Arc::new(emit_record_mapper()),
+            }),
+        )];
+    }
+    j
+}
+
+/// SIGKILL the lone worker mid-join-reduce, on both physical plans: the
+/// respawn completes the job with output byte-identical to the
+/// fault-free local run of *either* plan, exactly one retry charged to
+/// the reduce phase, and no orphaned attempt dirs or leaked workers.
+#[test]
+fn worker_killed_mid_join_reduce_both_plans() {
+    let (build, probe) = write_join_data("kill-join", 40, 2000, 13);
+    let parent = tmp("kill-join-spills");
+    std::fs::create_dir_all(&parent).unwrap();
+
+    // The reference: repartition, local, fault-free.
+    let reference = run_job(&join_job(&build, &probe, true, &parent, BackendSpec::Local)).unwrap();
+    assert!(!reference.output.is_empty(), "degenerate join drill");
+
+    for repartition in [true, false] {
+        // With one worker the schedule is pinned: map assignments come
+        // first (two bindings under repartition, one under broadcast),
+        // then three reduces — so the kill index of the first reduce
+        // assignment is the binding count.
+        let maps = if repartition { 2 } else { 1 };
+        let mut j = join_job(&build, &probe, repartition, &parent, process(1, false));
+        j = j.with_fault_plan(Arc::new(FaultPlan::new().kill_worker(0, maps)));
+        let killed = run_job(&j).unwrap();
+        assert_eq!(
+            killed.output,
+            reference.output,
+            "kill changed {} join output",
+            if repartition {
+                "repartition"
+            } else {
+                "broadcast"
+            }
+        );
+        assert_eq!(killed.counters.workers_killed, 1);
+        assert_eq!(killed.counters.task_retries, 1, "exactly one retry");
+        assert_eq!(killed.counters.map_task_failures, 0, "map phase was done");
+        assert_eq!(killed.counters.reduce_task_failures, 1);
+        assert_clean(&parent);
+    }
+}
+
+/// A combiner configured on a join stage is rejected with the typed
+/// `CombinerRejected` — on both backends, before any task runs — never
+/// silently folded across tagged-union values.
+#[test]
+fn join_stage_rejects_declared_combiner_typed() {
+    let (build, probe) = write_join_data("combine-join", 10, 50, 5);
+    let parent = tmp("combine-join-spills");
+    std::fs::create_dir_all(&parent).unwrap();
+    for backend in [BackendSpec::Local, process(1, false)] {
+        for repartition in [true, false] {
+            let mut j = join_job(&build, &probe, repartition, &parent, backend.clone());
+            j.combiner = Builtin::Sum.combiner();
+            let err = run_job(&j).unwrap_err();
+            match err {
+                EngineError::CombinerRejected { reducer, reason } => {
+                    assert_eq!(
+                        reducer,
+                        j.reducer.as_builtin().unwrap().name(),
+                        "rejection names the configured reducer"
+                    );
+                    assert!(
+                        reason.contains("tagged"),
+                        "reason must explain the corruption risk: {reason}"
+                    );
+                }
+                other => panic!("expected CombinerRejected, got {other}"),
+            }
+        }
+        assert_clean(&parent);
+    }
 }
 
 fn is_corrupt(e: &EngineError) -> bool {

@@ -1,0 +1,232 @@
+//! Property tests for the repartition-join reducer and the physical
+//! join pipeline.
+//!
+//! The reducer-level property pins the semantics of
+//! [`mr_engine::join::reduce_tagged_group`] under arbitrary
+//! interleavings of tagged build/probe values: the output is exactly
+//! the build×probe cross product, build-major, with arrival order
+//! preserved on both sides. The job-level property runs a repartition
+//! join over skewed, colliding URLs twice — fully resident and under a
+//! tiny spill budget — and requires byte-identical output (tie order
+//! must not shift across spill-run boundaries) that multiset-matches a
+//! nested-loop reference join.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mr_engine::join::{reduce_tagged_group, tag_value, BUILD_TAG, PROBE_TAG};
+use mr_engine::{run_job, Builtin, InputBinding, InputSpec, JobConfig, JoinSide};
+use mr_ir::asm::parse_function;
+use mr_ir::record::{record, Record};
+use mr_ir::schema::{FieldType, Schema};
+use mr_ir::value::Value;
+use mr_storage::seqfile::write_seqfile;
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mr-engine-join-prop-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    dir.join(format!("{name}-{}-{n}", std::process::id()))
+}
+
+// ---- reducer-level: arrival-order cross product ----------------------
+
+/// One tagged value in a shuffled key group: side plus a payload that
+/// records its arrival position so order violations are visible.
+fn tagged_group() -> impl Strategy<Value = Vec<(bool, i64)>> {
+    prop::collection::vec((any::<bool>(), 0i64..1000), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any interleaving of tagged values the reducer emits the
+    /// build×probe cross product, build-major, with each side's
+    /// arrival order preserved — and nothing else.
+    #[test]
+    fn reducer_emits_arrival_ordered_cross_product(group in tagged_group()) {
+        let key = Value::from("k");
+        let values: Vec<Value> = group
+            .iter()
+            .map(|(is_build, payload)| {
+                let tag = if *is_build { BUILD_TAG } else { PROBE_TAG };
+                tag_value(tag, Value::Int(*payload))
+            })
+            .collect();
+
+        let mut out = Vec::new();
+        reduce_tagged_group(&key, &values, &mut out).unwrap();
+
+        let builds: Vec<i64> = group.iter().filter(|(b, _)| *b).map(|(_, p)| *p).collect();
+        let probes: Vec<i64> = group.iter().filter(|(b, _)| !*b).map(|(_, p)| *p).collect();
+        let mut expected: Vec<(Value, Value)> = Vec::new();
+        for b in &builds {
+            for p in &probes {
+                expected.push((
+                    key.clone(),
+                    Value::list(vec![Value::Int(*b), Value::Int(*p)]),
+                ));
+            }
+        }
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Untagged values are a typed reduce error, not silent garbage —
+    /// the failure mode of wiring a plain binding into a join stage.
+    #[test]
+    fn reducer_rejects_untagged_values(v in 0i64..100) {
+        let mut out = Vec::new();
+        let err = reduce_tagged_group(
+            &Value::from("k"),
+            &[Value::Int(v)],
+            &mut out,
+        )
+        .unwrap_err();
+        prop_assert!(err.to_string().contains("tagged union"), "got: {err}");
+    }
+}
+
+// ---- job-level: spill boundaries never reorder ties ------------------
+
+fn build_schema() -> Arc<Schema> {
+    Schema::new(
+        "Build",
+        vec![("url", FieldType::Str), ("rank", FieldType::Int)],
+    )
+    .into_arc()
+}
+
+fn probe_schema() -> Arc<Schema> {
+    Schema::new(
+        "Probe",
+        vec![("url", FieldType::Str), ("visit", FieldType::Int)],
+    )
+    .into_arc()
+}
+
+/// Emit `(url, whole record)` — the join-side mapper shape.
+fn emit_record_mapper() -> mr_ir::function::Function {
+    parse_function(
+        r#"
+        func map(key, value) {
+          r0 = param value
+          r1 = field r0.url
+          emit r1, r0
+          ret
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+/// Skewed URL indices: most rows collide on `u0`, the rest spread over
+/// a small tail — the shape that makes one reduce group much larger
+/// than the others and forces multi-run groups under a spill budget.
+fn skewed_url() -> impl Strategy<Value = usize> {
+    (0usize..20).prop_map(|x| if x < 15 { 0 } else { 1 + x % 4 })
+}
+
+fn repartition_join(
+    build: &std::path::Path,
+    probe: &std::path::Path,
+    name: &str,
+    spill_budget: Option<usize>,
+) -> JobConfig {
+    let mut j = JobConfig::ir_job(
+        name,
+        InputSpec::SeqFile {
+            path: probe.to_path_buf(),
+        },
+        emit_record_mapper(),
+        Builtin::JoinTagged,
+    )
+    .with_reducers(2)
+    .with_parallelism(2)
+    .with_spill_dir(tmp(&format!("{name}-spills")));
+    j.inputs = vec![
+        InputBinding::ir_join(
+            InputSpec::SeqFile {
+                path: build.to_path_buf(),
+            },
+            emit_record_mapper(),
+            JoinSide::Build,
+        ),
+        InputBinding::ir_join(
+            InputSpec::SeqFile {
+                path: probe.to_path_buf(),
+            },
+            emit_record_mapper(),
+            JoinSide::Probe,
+        ),
+    ];
+    if let Some(bytes) = spill_budget {
+        j = j.with_shuffle_buffer(bytes);
+    }
+    j
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A repartition join over skewed, colliding URLs produces the
+    /// same bytes fully resident and under a spill budget small enough
+    /// to force multi-run merges — ties inside a key group must not be
+    /// reordered by spill boundaries — and both match a nested-loop
+    /// reference join as a multiset.
+    #[test]
+    fn spill_boundaries_never_reorder_join_ties(
+        build_urls in prop::collection::vec(skewed_url(), 5..25),
+        probe_urls in prop::collection::vec(skewed_url(), 40..120),
+    ) {
+        let bs = build_schema();
+        let build_rows: Vec<Record> = build_urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| record(&bs, vec![format!("u{u}").into(), Value::Int(i as i64)]))
+            .collect();
+        let build_path = tmp("prop-build");
+        write_seqfile(&build_path, bs, build_rows.clone()).unwrap();
+
+        let ps = probe_schema();
+        let probe_rows: Vec<Record> = probe_urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| record(&ps, vec![format!("u{u}").into(), Value::Int(i as i64)]))
+            .collect();
+        let probe_path = tmp("prop-probe");
+        write_seqfile(&probe_path, ps, probe_rows.clone()).unwrap();
+
+        let resident =
+            run_job(&repartition_join(&build_path, &probe_path, "prop-resident", None)).unwrap();
+        let spilled =
+            run_job(&repartition_join(&build_path, &probe_path, "prop-spilled", Some(1 << 9)))
+                .unwrap();
+        prop_assert!(
+            spilled.counters.spill_count > 0,
+            "spill budget too generous to exercise merge boundaries"
+        );
+        prop_assert_eq!(&resident.output, &spilled.output);
+
+        let mut reference: Vec<(Value, Value)> = Vec::new();
+        for b in &build_rows {
+            let url = b.get("url").unwrap();
+            for p in &probe_rows {
+                if p.get("url").unwrap() == url {
+                    reference.push((
+                        url.clone(),
+                        Value::list(vec![
+                            Value::from(b.clone()),
+                            Value::from(p.clone()),
+                        ]),
+                    ));
+                }
+            }
+        }
+        reference.sort();
+        let mut got = resident.output.clone();
+        got.sort();
+        prop_assert_eq!(got, reference);
+    }
+}

@@ -138,12 +138,15 @@ const TAG_DOUBLE: u8 = 4;
 const TAG_STR: u8 = 5;
 const TAG_BYTES: u8 = 6;
 const TAG_LIST: u8 = 7;
+const TAG_RECORD: u8 = 8;
 
 /// Append a self-describing encoding of `v`.
 ///
-/// Maps and records are not supported (they never appear as index keys
-/// or shuffle keys that need persistence); encoding one is a schema
-/// error.
+/// Records carry their schema inline (schema header + schema-typed
+/// row), so whole-record payloads — the join fabric ships them as
+/// tagged-union values — survive spill runs and the worker wire.
+/// Maps are not supported (they never appear as shuffle data that
+/// needs persistence); encoding one is a schema error.
 pub fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<()> {
     match v {
         Value::Null => out.push(TAG_NULL),
@@ -174,7 +177,12 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<()> {
                 encode_value(item, out)?;
             }
         }
-        Value::Map(_) | Value::Record(_) => {
+        Value::Record(r) => {
+            out.push(TAG_RECORD);
+            encode_schema(r.schema(), out);
+            encode_row(r, out)?;
+        }
+        Value::Map(_) => {
             return Err(StorageError::Schema(format!(
                 "cannot persist a {} value",
                 v.kind_name()
@@ -233,6 +241,13 @@ pub fn decode_value(buf: &[u8]) -> Result<(Value, usize)> {
                 pos += n;
             }
             (Value::list(items), 1 + pos)
+        }
+        TAG_RECORD => {
+            let (schema, mut pos) = decode_schema(rest)?;
+            let schema = schema.into_arc();
+            let (record, n) = decode_row(&schema, &rest[pos..])?;
+            pos += n;
+            (Value::from(record), 1 + pos)
         }
         other => {
             return Err(StorageError::corrupt(
@@ -426,11 +441,22 @@ mod tests {
     }
 
     #[test]
-    fn map_and_record_values_rejected() {
+    fn map_values_rejected() {
         assert!(encode_value(&Value::empty_map(), &mut Vec::new()).is_err());
-        let s = Schema::new("T", vec![("n", FieldType::Int)]).into_arc();
-        let r: Value = record(&s, vec![1.into()]).into();
-        assert!(encode_value(&r, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn record_values_roundtrip_with_schema() {
+        let s = Schema::new("T", vec![("n", FieldType::Int), ("s", FieldType::Str)]).into_arc();
+        let r: Value = record(&s, vec![1.into(), "x".into()]).into();
+        // Nested inside a list too — the join's tagged-union shape.
+        for v in [r.clone(), Value::list(vec![Value::Int(0), r])] {
+            let mut buf = Vec::new();
+            encode_value(&v, &mut buf).unwrap();
+            let (back, n) = decode_value(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
     }
 
     #[test]

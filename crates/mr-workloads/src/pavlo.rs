@@ -153,6 +153,18 @@ pub fn benchmark3_visits_mapper(date_lo: i64, date_hi: i64) -> Program {
     Program::new("pavlo-bench3-visits", b.finish(), uservisits_schema())
 }
 
+/// The Benchmark-3 date window over a UserVisits generation config:
+/// centred in the uniform date range and covering `fraction` of it.
+/// The paper's configuration uses `fraction = 0.00095` ("removes all
+/// but 0.095% of the UserVisits data"); wider fractions keep small
+/// smoke datasets from filtering down to an empty join.
+pub fn benchmark3_date_window(cfg: &crate::data::UserVisitsConfig, fraction: f64) -> (i64, i64) {
+    let span = cfg.date_end - cfg.date_start;
+    let lo = cfg.date_start + span / 2;
+    let hi = lo + (span as f64 * fraction) as i64;
+    (lo, hi.max(lo + 1))
+}
+
 /// Benchmark 3 human annotation (the visits side dominates): selection
 /// present (the date window); projection absent (whole records are
 /// emitted for the join); delta present (UserVisits numerics).

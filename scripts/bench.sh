@@ -26,13 +26,15 @@ cd "$repo"
 
 echo "== building bench bins =="
 cargo build --release -p bench \
-    --bin scale_shuffle --bin scale_combine --bin scale_compress --bin scale_service
+    --bin scale_shuffle --bin scale_combine --bin scale_compress --bin scale_service \
+    --bin table_join
 cargo build --release -p bench --features bench-alloc \
     --bin scale_hotpath --bin bench_check
 
 echo "== running gated scale bins (--smoke) =="
 cd "$out"
-for bin in scale_shuffle scale_combine scale_compress scale_hotpath scale_service; do
+for bin in scale_shuffle scale_combine scale_compress scale_hotpath scale_service \
+           table_join; do
     echo "-- $bin"
     "$repo/target/release/$bin" --smoke
 done
